@@ -1,0 +1,72 @@
+//! **Figure 15** — borrowed snapshots: scan throughput vs. scan length,
+//! borrowing ON vs. OFF (paper: 15 clients, 3 scanning + 12 updating;
+//! k = 0 so every scan wants a fresh snapshot).
+//!
+//! With short scans the snapshot-creation rate is the bottleneck and
+//! borrowing (Fig. 7) improves scan throughput by over an order of
+//! magnitude; at 1M-key scans the two configurations converge.
+
+use minuet_bench as hb;
+use minuet_workload::{fmt_count, print_table};
+use std::time::Duration;
+
+fn main() {
+    let machines = if hb::fast_mode() { 2 } else { 4 };
+    hb::header(
+        "Figure 15: borrowed snapshots vs. scan length",
+        ">10x scan throughput from borrowing at 1k-key scans; identical at \
+         1M-key scans (snapshot creation no longer the bottleneck)",
+    );
+    let n = hb::records();
+    let lengths: Vec<usize> = if hb::fast_mode() {
+        vec![10, 1000]
+    } else {
+        vec![100, 1_000, 10_000, 25_000]
+    };
+    // The paper used 3 scanning clients among 15; borrowing (Fig. 7) only
+    // fires when requests actually queue behind an in-flight creation, so
+    // we provision enough scanners for a standing SCS queue.
+    let upd_threads = machines + 1;
+    let scan_threads = if hb::fast_mode() { 4 } else { 8 };
+
+    let mc = hb::build_minuet(machines, 1, hb::bench_tree_config());
+    hb::preload_minuet(&mc, 0, n);
+    let _gc = hb::spawn_gc(mc.clone(), 0, 64, Duration::from_millis(500));
+
+    let mut rows = Vec::new();
+    for &len in &lengths {
+        let with = hb::run_mixed(
+            &mc,
+            upd_threads,
+            scan_threads,
+            n,
+            len,
+            Duration::ZERO,
+            true,
+            hb::bench_secs(),
+        );
+        let without = hb::run_mixed(
+            &mc,
+            upd_threads,
+            scan_threads,
+            n,
+            len,
+            Duration::ZERO,
+            false,
+            hb::bench_secs(),
+        );
+        rows.push(vec![
+            len.to_string(),
+            fmt_count(with.scan_tput),
+            fmt_count(without.scan_tput),
+            format!("{:.1}x", with.scan_tput / without.scan_tput.max(0.001)),
+            format!("{}/{}", with.snapshots_borrowed, with.snapshots_created),
+        ]);
+    }
+    print_table(
+        "scans/s vs scan length (k=0, strictly serializable)",
+        &["scan len", "borrow ON", "borrow OFF", "ON/OFF", "borrowed/created"],
+        &rows,
+    );
+    println!("\nshape check: ON/OFF ratio largest for short scans, ~1x for the longest.");
+}

@@ -1,0 +1,57 @@
+//! **Figure 17** — update throughput under concurrent snapshot scans, for
+//! different minimum-time-between-snapshots values k (paper: k ∈ {0, 5,
+//! 30, 60}s of a 60s run, plus a no-scans baseline).
+//!
+//! Small k ⇒ frequent snapshot creation ⇒ every snapshot triggers an
+//! all-memnode replicated-tip update plus a wave of copy-on-write, so
+//! update throughput collapses (paper: <10% of baseline at k=0, 50-70% at
+//! k=60).
+//!
+//! Our k values are scaled to the run length: {0, 1/8, 1/2, ∞} of the
+//! measured duration.
+
+use minuet_bench as hb;
+use minuet_workload::{fmt_count, print_table};
+use std::time::Duration;
+
+fn main() {
+    hb::header(
+        "Figure 17: update throughput with concurrent scans (k sweep)",
+        "k=0 -> <10% of no-scan throughput; larger k recovers to 50-70%",
+    );
+    let n = hb::records();
+    let scan_len = (n / 5) as usize;
+    let secs = hb::bench_secs();
+    let ks: Vec<(String, Option<Duration>)> = vec![
+        ("no scans".into(), None),
+        (format!("k={:?}", secs / 2), Some(secs / 2)),
+        (format!("k={:?}", secs / 8), Some(secs / 8)),
+        ("k=0".into(), Some(Duration::ZERO)),
+    ];
+
+    let mut rows = Vec::new();
+    for machines in hb::scales() {
+        let clients = machines * hb::clients_per_machine();
+        let mut cells = vec![machines.to_string()];
+        for (_, k) in &ks {
+            let mc = hb::build_minuet(machines, 1, hb::bench_tree_config());
+            hb::preload_minuet(&mc, 0, n);
+            let _gc = hb::spawn_gc(mc.clone(), 0, 64, Duration::from_millis(500));
+            let r = match k {
+                None => hb::run_mixed(&mc, clients, 0, n, scan_len, Duration::ZERO, true, secs),
+                Some(k) => {
+                    let scan_threads = 1; // the paper adds a single scanning client
+                    hb::run_mixed(&mc, clients, scan_threads, n, scan_len, *k, true, secs)
+                }
+            };
+            cells.push(fmt_count(r.update_tput));
+        }
+        rows.push(cells);
+    }
+    let headers: Vec<String> = std::iter::once("machines".to_string())
+        .chain(ks.iter().map(|(name, _)| name.clone()))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table("update throughput (ops/s) by snapshot interval", &headers_ref, &rows);
+    println!("\nshape check: columns ordered no-scans >= large k >= small k >= k=0.");
+}

@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the core public API (no injected
+//! latency: pure software-path cost of the simulated cluster).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minuet_bench as hb;
+use minuet_workload::encode_key;
+
+fn bench_core_ops(c: &mut Criterion) {
+    let n: u64 = 10_000;
+    let mc = hb::build_minuet(2, 1, hb::bench_tree_config());
+    hb::preload_minuet(&mc, 0, n);
+    let mut proxy = mc.proxy();
+
+    let mut i = 0u64;
+    c.bench_function("get_uniform", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B97F4A7C15);
+            proxy.get(0, &encode_key(i % n)).unwrap()
+        })
+    });
+    c.bench_function("put_uniform", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B97F4A7C15);
+            proxy.put(0, encode_key(i % n), vec![0u8; 8]).unwrap()
+        })
+    });
+    c.bench_function("scan_100_snapshot", |b| {
+        let snap = proxy.create_snapshot(0).unwrap();
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B97F4A7C15);
+            proxy
+                .scan_at(0, snap.frozen_sid, &encode_key(i % (n - 200)), 100)
+                .unwrap()
+        })
+    });
+    c.bench_function("create_snapshot", |b| {
+        // Snapshots consume catalog entries and root slots; amortize over
+        // fresh clusters so criterion's iteration counts cannot exhaust
+        // either.
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            let mut done = 0u64;
+            while done < iters {
+                let mc = hb::build_minuet(2, 1, hb::bench_tree_config());
+                hb::preload_minuet(&mc, 0, 1_000);
+                let mut p = mc.proxy();
+                let batch = (iters - done).min(10_000);
+                let t0 = std::time::Instant::now();
+                for _ in 0..batch {
+                    p.create_snapshot(0).unwrap();
+                }
+                total += t0.elapsed();
+                done += batch;
+            }
+            total
+        })
+    });
+    c.bench_function("dual_key_txn", |b| {
+        let mc2 = hb::build_minuet(2, 2, hb::bench_tree_config());
+        hb::preload_minuet(&mc2, 0, 1000);
+        hb::preload_minuet(&mc2, 1, 1000);
+        let mut p = mc2.proxy();
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B97F4A7C15);
+            let k = encode_key(i % 1000);
+            p.txn(|t| {
+                let v = t.get(0, &k)?.unwrap_or_default();
+                t.put(1, k.clone(), v)?;
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    use minuet_sinfonia::{ClusterConfig, ItemRange, MemNodeId, Minitransaction, SinfoniaCluster};
+    let cluster = SinfoniaCluster::new(ClusterConfig::with_memnodes(2));
+    c.bench_function("minitx_single_node_write", |b| {
+        b.iter(|| {
+            let mut m = Minitransaction::new();
+            m.write(ItemRange::new(MemNodeId(0), 0, 8), vec![7u8; 8]);
+            cluster.execute(&m).unwrap()
+        })
+    });
+    c.bench_function("minitx_two_node_2pc", |b| {
+        b.iter(|| {
+            let mut m = Minitransaction::new();
+            m.write(ItemRange::new(MemNodeId(0), 0, 8), vec![7u8; 8]);
+            m.write(ItemRange::new(MemNodeId(1), 0, 8), vec![7u8; 8]);
+            cluster.execute(&m).unwrap()
+        })
+    });
+    let node = minuet_core::Node::empty_root(0);
+    c.bench_function("node_encode_empty", |b| b.iter(|| node.encode()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_core_ops, bench_substrate
+}
+criterion_main!(benches);

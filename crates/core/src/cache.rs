@@ -1,0 +1,107 @@
+//! Per-proxy cache of decoded B-tree nodes.
+//!
+//! Proxies cache internal nodes to traverse the upper levels of the tree
+//! without round trips (§2.3). The cache is non-coherent: stale entries are
+//! detected by fence-key checks, version-tag checks, and commit-time
+//! validation, all of which invalidate the offending entries and retry.
+//! Leaves are not cached (they change too often to be worth it, matching
+//! the prototype in the paper).
+
+use crate::node::{Node, NodePtr};
+use minuet_dyntx::SeqNo;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A per-proxy decoded-node cache keyed by `(tree, ptr)`.
+#[derive(Default)]
+pub struct NodeCache {
+    map: HashMap<(u32, NodePtr), (SeqNo, Arc<Node>)>,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl NodeCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a cached node.
+    pub fn get(&mut self, tree: u32, ptr: NodePtr) -> Option<(SeqNo, Arc<Node>)> {
+        match self.map.get(&(tree, ptr)) {
+            Some(e) => {
+                self.hits += 1;
+                Some(e.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs a node image.
+    pub fn put(&mut self, tree: u32, ptr: NodePtr, seqno: SeqNo, node: Arc<Node>) {
+        self.map.insert((tree, ptr), (seqno, node));
+    }
+
+    /// Drops one entry.
+    pub fn invalidate(&mut self, tree: u32, ptr: NodePtr) {
+        self.map.remove(&(tree, ptr));
+    }
+
+    /// Drops every entry of one tree.
+    pub fn invalidate_tree(&mut self, tree: u32) {
+        self.map.retain(|(t, _), _| *t != tree);
+    }
+
+    /// Number of cached nodes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minuet_sinfonia::MemNodeId;
+
+    fn ptr(slot: u32) -> NodePtr {
+        NodePtr {
+            mem: MemNodeId(0),
+            slot,
+        }
+    }
+
+    #[test]
+    fn basic_cycle() {
+        let mut c = NodeCache::new();
+        assert!(c.get(0, ptr(1)).is_none());
+        c.put(0, ptr(1), 9, Arc::new(Node::empty_root(0)));
+        let (seq, n) = c.get(0, ptr(1)).unwrap();
+        assert_eq!(seq, 9);
+        assert_eq!(n.height, 0);
+        c.invalidate(0, ptr(1));
+        assert!(c.get(0, ptr(1)).is_none());
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn per_tree_isolation() {
+        let mut c = NodeCache::new();
+        c.put(0, ptr(1), 1, Arc::new(Node::empty_root(0)));
+        c.put(1, ptr(1), 2, Arc::new(Node::empty_root(0)));
+        assert_eq!(c.len(), 2);
+        c.invalidate_tree(0);
+        assert!(c.get(0, ptr(1)).is_none());
+        assert!(c.get(1, ptr(1)).is_some());
+    }
+}

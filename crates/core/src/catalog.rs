@@ -1,0 +1,353 @@
+//! The snapshot catalog and version tree (§5.1).
+//!
+//! Every snapshot has a catalog entry — a replicated object holding the
+//! snapshot's root location, its parent in the version tree, its *branch
+//! id* (the first branch created from it; `0` = none, i.e. the snapshot is
+//! a writable tip), a branch count (to enforce the version-tree branching
+//! factor β), and a deleted flag for GC.
+//!
+//! In the paper the catalog is a dedicated B-tree whose leaves are
+//! replicated at every memnode and cached at proxies. We store each entry
+//! directly as a replicated object indexed by snapshot id (ids are dense),
+//! which preserves the behaviour the paper relies on — cheap validated
+//! reads from any replica, write-all updates — with a simpler
+//! representation (see DESIGN.md §3.7).
+//!
+//! Immutable fields (`root`, `parent`) are cached process-wide in a
+//! [`VersionCache`]; mutable fields (`branch_id`, `nbranches`, `deleted`)
+//! are always read transactionally when a decision depends on them.
+
+use crate::error::Error;
+use crate::node::{NodePtr, SnapshotId};
+use minuet_sinfonia::MemNodeId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Sentinel parent for the initial snapshot (id 0).
+pub const NO_PARENT: u64 = u64::MAX;
+
+/// Payload of the replicated TIP object: the mainline tip snapshot id and
+/// its root location (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TipVal {
+    /// Mainline tip snapshot id.
+    pub sid: SnapshotId,
+    /// Root node of the tip snapshot.
+    pub root: NodePtr,
+}
+
+impl TipVal {
+    /// Serializes the tip payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(14);
+        v.extend_from_slice(&self.sid.to_le_bytes());
+        v.extend_from_slice(&self.root.mem.0.to_le_bytes());
+        v.extend_from_slice(&self.root.slot.to_le_bytes());
+        v
+    }
+
+    /// Deserializes the tip payload.
+    pub fn decode(raw: &[u8]) -> Option<TipVal> {
+        if raw.len() < 14 {
+            return None;
+        }
+        Some(TipVal {
+            sid: u64::from_le_bytes(raw[0..8].try_into().unwrap()),
+            root: NodePtr {
+                mem: MemNodeId(u16::from_le_bytes(raw[8..10].try_into().unwrap())),
+                slot: u32::from_le_bytes(raw[10..14].try_into().unwrap()),
+            },
+        })
+    }
+}
+
+/// Payload of the replicated GLOBAL header object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GlobalVal {
+    /// Next snapshot id to assign.
+    pub next_sid: SnapshotId,
+    /// Lowest snapshot id still queryable (GC watermark, §4.4).
+    pub lowest: SnapshotId,
+}
+
+impl GlobalVal {
+    /// Serializes the header payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(16);
+        v.extend_from_slice(&self.next_sid.to_le_bytes());
+        v.extend_from_slice(&self.lowest.to_le_bytes());
+        v
+    }
+
+    /// Deserializes the header payload.
+    pub fn decode(raw: &[u8]) -> Option<GlobalVal> {
+        if raw.len() < 16 {
+            return None;
+        }
+        Some(GlobalVal {
+            next_sid: u64::from_le_bytes(raw[0..8].try_into().unwrap()),
+            lowest: u64::from_le_bytes(raw[8..16].try_into().unwrap()),
+        })
+    }
+}
+
+/// One catalog entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CatEntry {
+    /// Root node of this snapshot.
+    pub root: NodePtr,
+    /// Parent snapshot in the version tree ([`NO_PARENT`] for snapshot 0).
+    pub parent: SnapshotId,
+    /// First branch created from this snapshot; `0` = none (writable tip).
+    pub branch_id: SnapshotId,
+    /// Number of branches created from this snapshot (bounded by β).
+    pub nbranches: u8,
+    /// True once the snapshot has been deleted (GC may reclaim).
+    pub deleted: bool,
+}
+
+impl CatEntry {
+    /// True if this snapshot is a writable tip (§5.1: branch id NULL).
+    pub fn is_writable(&self) -> bool {
+        self.branch_id == 0 && !self.deleted
+    }
+
+    /// Serializes the entry.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(24);
+        v.extend_from_slice(&self.root.mem.0.to_le_bytes());
+        v.extend_from_slice(&self.root.slot.to_le_bytes());
+        v.extend_from_slice(&self.parent.to_le_bytes());
+        v.extend_from_slice(&self.branch_id.to_le_bytes());
+        v.push(self.nbranches);
+        v.push(self.deleted as u8);
+        v
+    }
+
+    /// Deserializes an entry; `None` for an unwritten slot.
+    pub fn decode(raw: &[u8]) -> Option<CatEntry> {
+        if raw.len() < 24 {
+            return None;
+        }
+        Some(CatEntry {
+            root: NodePtr {
+                mem: MemNodeId(u16::from_le_bytes(raw[0..2].try_into().unwrap())),
+                slot: u32::from_le_bytes(raw[2..6].try_into().unwrap()),
+            },
+            parent: u64::from_le_bytes(raw[6..14].try_into().unwrap()),
+            branch_id: u64::from_le_bytes(raw[14..22].try_into().unwrap()),
+            nbranches: raw[22],
+            deleted: raw[23] != 0,
+        })
+    }
+}
+
+/// Process-wide cache of the *immutable* catalog fields, backing ancestry
+/// queries during traversals without round trips.
+#[derive(Default)]
+pub struct VersionCache {
+    map: RwLock<HashMap<SnapshotId, (SnapshotId, NodePtr)>>,
+}
+
+impl VersionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a snapshot's parent and root.
+    pub fn insert(&self, sid: SnapshotId, parent: SnapshotId, root: NodePtr) {
+        self.map.write().insert(sid, (parent, root));
+    }
+
+    /// Parent of `sid`, if cached.
+    pub fn parent(&self, sid: SnapshotId) -> Option<SnapshotId> {
+        self.map.read().get(&sid).map(|e| e.0)
+    }
+
+    /// Root of `sid`, if cached.
+    pub fn root(&self, sid: SnapshotId) -> Option<NodePtr> {
+        self.map.read().get(&sid).map(|e| e.1)
+    }
+
+    /// Walks parents from `b` toward the root to decide whether `a` is an
+    /// ancestor of (or equal to) `b`. Parent ids are always smaller than
+    /// child ids, so the walk stops as soon as the current id drops below
+    /// `a`. Missing entries are resolved through `fetch` (which should
+    /// consult the catalog and populate the cache).
+    pub fn is_ancestor_or_self(
+        &self,
+        a: SnapshotId,
+        b: SnapshotId,
+        mut fetch: impl FnMut(SnapshotId) -> Result<(SnapshotId, NodePtr), Error>,
+    ) -> Result<bool, Error> {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return Ok(true);
+            }
+            if cur < a || cur == NO_PARENT {
+                return Ok(false);
+            }
+            let parent = match self.parent(cur) {
+                Some(p) => p,
+                None => {
+                    let (p, root) = fetch(cur)?;
+                    self.insert(cur, p, root);
+                    p
+                }
+            };
+            if parent == NO_PARENT {
+                return Ok(false);
+            }
+            cur = parent;
+        }
+    }
+
+    /// Lowest common ancestor of `a` and `b` (requires both paths cached
+    /// or fetchable).
+    pub fn lca(
+        &self,
+        a: SnapshotId,
+        b: SnapshotId,
+        mut fetch: impl FnMut(SnapshotId) -> Result<(SnapshotId, NodePtr), Error>,
+    ) -> Result<SnapshotId, Error> {
+        let mut pa = a;
+        let mut pb = b;
+        // Parents have smaller ids: repeatedly lift the larger one.
+        loop {
+            if pa == pb {
+                return Ok(pa);
+            }
+            let lift = |cache: &Self, cur: SnapshotId, fetch: &mut dyn FnMut(SnapshotId) -> Result<(SnapshotId, NodePtr), Error>| -> Result<SnapshotId, Error> {
+                if let Some(p) = cache.parent(cur) {
+                    return Ok(p);
+                }
+                let (p, root) = fetch(cur)?;
+                cache.insert(cur, p, root);
+                Ok(p)
+            };
+            if pa > pb {
+                pa = lift(self, pa, &mut fetch)?;
+                if pa == NO_PARENT {
+                    return Err(Error::NoSuchSnapshot(a));
+                }
+            } else {
+                pb = lift(self, pb, &mut fetch)?;
+                if pb == NO_PARENT {
+                    return Err(Error::NoSuchSnapshot(b));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ptr(slot: u32) -> NodePtr {
+        NodePtr {
+            mem: MemNodeId(0),
+            slot,
+        }
+    }
+
+    #[test]
+    fn tip_roundtrip() {
+        let t = TipVal {
+            sid: 42,
+            root: NodePtr {
+                mem: MemNodeId(3),
+                slot: 77,
+            },
+        };
+        assert_eq!(TipVal::decode(&t.encode()), Some(t));
+        assert_eq!(TipVal::decode(&[]), None);
+    }
+
+    #[test]
+    fn global_roundtrip() {
+        let g = GlobalVal {
+            next_sid: 9,
+            lowest: 4,
+        };
+        assert_eq!(GlobalVal::decode(&g.encode()), Some(g));
+    }
+
+    #[test]
+    fn cat_entry_roundtrip() {
+        let e = CatEntry {
+            root: ptr(5),
+            parent: 2,
+            branch_id: 7,
+            nbranches: 2,
+            deleted: true,
+        };
+        assert_eq!(CatEntry::decode(&e.encode()), Some(e));
+        assert!(!e.is_writable());
+        let w = CatEntry {
+            branch_id: 0,
+            deleted: false,
+            ..e
+        };
+        assert!(w.is_writable());
+    }
+
+    /// Version tree used below (ids in parentheses are parents):
+    /// 0 -> 1 -> 2 -> 4        (mainline)
+    ///      1 -> 3 -> 5
+    #[test]
+    fn ancestry_walks() {
+        let vc = VersionCache::new();
+        vc.insert(0, NO_PARENT, ptr(0));
+        vc.insert(1, 0, ptr(1));
+        vc.insert(2, 1, ptr(2));
+        vc.insert(3, 1, ptr(3));
+        vc.insert(4, 2, ptr(4));
+        vc.insert(5, 3, ptr(5));
+        let no_fetch =
+            |s: SnapshotId| -> Result<(SnapshotId, NodePtr), Error> { Err(Error::NoSuchSnapshot(s)) };
+        assert!(vc.is_ancestor_or_self(1, 4, no_fetch).unwrap());
+        assert!(vc.is_ancestor_or_self(1, 5, no_fetch).unwrap());
+        assert!(vc.is_ancestor_or_self(4, 4, no_fetch).unwrap());
+        assert!(!vc.is_ancestor_or_self(2, 5, no_fetch).unwrap());
+        assert!(!vc.is_ancestor_or_self(3, 4, no_fetch).unwrap());
+        assert!(!vc.is_ancestor_or_self(4, 1, no_fetch).unwrap());
+    }
+
+    #[test]
+    fn ancestry_fetches_missing() {
+        let vc = VersionCache::new();
+        vc.insert(0, NO_PARENT, ptr(0));
+        // 1 and 2 not cached: provided by fetch.
+        let fetched = std::cell::RefCell::new(Vec::new());
+        let ok = vc
+            .is_ancestor_or_self(0, 2, |s| {
+                fetched.borrow_mut().push(s);
+                Ok((s - 1, ptr(s as u32)))
+            })
+            .unwrap();
+        assert!(ok);
+        assert_eq!(*fetched.borrow(), vec![2, 1]);
+        // Now cached.
+        assert_eq!(vc.parent(2), Some(1));
+    }
+
+    #[test]
+    fn lca_queries() {
+        let vc = VersionCache::new();
+        vc.insert(0, NO_PARENT, ptr(0));
+        vc.insert(1, 0, ptr(1));
+        vc.insert(2, 1, ptr(2));
+        vc.insert(3, 1, ptr(3));
+        vc.insert(4, 2, ptr(4));
+        vc.insert(5, 3, ptr(5));
+        let no_fetch =
+            |s: SnapshotId| -> Result<(SnapshotId, NodePtr), Error> { Err(Error::NoSuchSnapshot(s)) };
+        assert_eq!(vc.lca(4, 5, no_fetch).unwrap(), 1);
+        assert_eq!(vc.lca(2, 4, no_fetch).unwrap(), 2);
+        assert_eq!(vc.lca(3, 3, no_fetch).unwrap(), 3);
+        assert_eq!(vc.lca(4, 3, no_fetch).unwrap(), 1);
+    }
+}

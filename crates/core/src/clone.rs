@@ -1,0 +1,107 @@
+//! Branching-version machinery (§5.2): bounded descendant sets and
+//! discretionary copy-on-write.
+//!
+//! Invariant maintained on every node created at snapshot `x` and copied to
+//! a set `C` of descendants of `x`: the stored descendant set `C' ⊆ C` has
+//! at most β entries and every `y ∈ C` has an ancestor in `C'`. Because the
+//! version-tree branching factor is also bounded by β (enforced at branch
+//! creation), whenever the set would exceed β two of its pairwise
+//! incomparable entries lie under the same direct child of `x`, so their
+//! lowest common ancestor `z` is a *proper* descendant of `x`: the pair is
+//! collapsed into `z` by materializing a **discretionary copy** of the node
+//! at `z` whose own descendant set is the collapsed pair.
+//!
+//! Descendant-set entries carry the copies' addresses, and traversals
+//! *redirect* through them (see
+//! `VersionCheck::Redirect` in `traverse`): a reader at any
+//! descendant of `z` that reaches the original node hops to the copy at
+//! `z`, and from there (via the pair entries) to the copy that serves its
+//! branch. No read-only tree is ever rewritten, and exactly one extra node
+//! is allocated per collapse — matching the paper's at-most-2× space
+//! accounting.
+
+use crate::error::{Attempt, Error};
+use crate::node::{DescEntry, Node, NodePtr, SnapshotId};
+use crate::proxy::Proxy;
+use crate::traverse::{cat_immutable_fetcher, OpCtx, PathEntry};
+use crate::tree::VersionMode;
+use minuet_dyntx::DynTx;
+
+impl Proxy {
+    /// Returns the original node of `path[level]` with its descendant set
+    /// updated to record the copy at `ctx.sid` (located at `copy_ptr`),
+    /// staging a discretionary copy when β would be exceeded.
+    pub(crate) fn add_copy_to_desc(
+        &mut self,
+        tx: &mut DynTx<'_>,
+        tree: u32,
+        ctx: &OpCtx,
+        path: &[PathEntry],
+        level: usize,
+        copy_ptr: NodePtr,
+    ) -> Result<Attempt<Node>, Error> {
+        let orig = &path[level];
+        let mut node = (*orig.node).clone();
+
+        if self.mc.cfg.version_mode == VersionMode::Linear {
+            // Each node is copied at most once along a linear history
+            // (§4.2): any prior copy would have redirected the traversal.
+            debug_assert!(node.desc.is_empty(), "linear node copied twice");
+            node.desc = vec![DescEntry {
+                sid: ctx.sid,
+                ptr: copy_ptr,
+            }];
+            return Ok(Attempt::Done(node));
+        }
+
+        node.desc.push(DescEntry {
+            sid: ctx.sid,
+            ptr: copy_ptr,
+        });
+        let beta = self.mc.cfg.beta;
+        if node.desc.len() <= beta {
+            return Ok(Attempt::Done(node));
+        }
+
+        // Collapse two entries into their LCA and create the discretionary
+        // copy there.
+        let (i, j, z) = self
+            .find_collapsible_pair(tree, &node.desc, node.created)?
+            .expect("pigeonhole guarantees a collapsible pair when β bounds branching");
+        let (a, b) = (node.desc[i], node.desc[j]);
+
+        self.stats.discretionary_copies += 1;
+        let mut dcopy = (*orig.node).clone();
+        dcopy.created = z;
+        dcopy.desc = vec![a, b];
+        let zptr = self.alloc_pref(tree, orig.ptr.mem)?;
+        self.write_node(tx, tree, zptr, &dcopy);
+
+        node.desc.retain(|d| d.sid != a.sid && d.sid != b.sid);
+        node.desc.push(DescEntry { sid: z, ptr: zptr });
+        Ok(Attempt::Done(node))
+    }
+
+    /// Finds a pair of descendant-set entries (by index) whose LCA is a
+    /// *proper* descendant of `created`, preferring the deepest
+    /// (largest-id) LCA.
+    fn find_collapsible_pair(
+        &self,
+        tree: u32,
+        desc: &[DescEntry],
+        created: SnapshotId,
+    ) -> Result<Option<(usize, usize, SnapshotId)>, Error> {
+        let shared = self.mc.shared(tree);
+        let mut fetch = cat_immutable_fetcher(self.mc.clone(), tree, self.home);
+        let mut best: Option<(usize, usize, SnapshotId)> = None;
+        for i in 0..desc.len() {
+            for j in i + 1..desc.len() {
+                let z = shared.vcache.lca(desc[i].sid, desc[j].sid, &mut fetch)?;
+                if z != created && best.map(|(_, _, bz)| z > bz).unwrap_or(true) {
+                    best = Some((i, j, z));
+                }
+            }
+        }
+        Ok(best)
+    }
+}

@@ -1,0 +1,139 @@
+//! Error types for the Minuet B-tree.
+
+use crate::node::SnapshotId;
+use minuet_dyntx::TxError;
+use std::fmt;
+
+/// A node image failed to decode (torn raw read, freed slot, or corruption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptNode {
+    /// Wrong leading magic byte.
+    BadMagic(u8),
+    /// Buffer ended mid-field.
+    Truncated,
+    /// Unknown fence tag.
+    BadFenceTag(u8),
+}
+
+impl fmt::Display for CorruptNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptNode::BadMagic(m) => write!(f, "bad node magic 0x{m:02x}"),
+            CorruptNode::Truncated => write!(f, "truncated node image"),
+            CorruptNode::BadFenceTag(t) => write!(f, "bad fence tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CorruptNode {}
+
+/// Errors surfaced by Minuet operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The operation kept aborting (validation failures / inconsistent
+    /// traversals) beyond the configured retry budget. Under correct
+    /// configuration this indicates pathological contention.
+    TooManyRetries {
+        /// Retries attempted.
+        attempts: usize,
+    },
+    /// A memnode stayed unavailable beyond the Sinfonia retry budget.
+    Unavailable(minuet_sinfonia::MemNodeId),
+    /// A memnode ran out of node slots (GC cannot keep up or the tree
+    /// outgrew the configured region).
+    OutOfSlots(minuet_sinfonia::MemNodeId),
+    /// The requested snapshot does not exist.
+    NoSuchSnapshot(SnapshotId),
+    /// The snapshot is read-only (a branch was already created from it) and
+    /// cannot be written through this handle.
+    SnapshotReadOnly(SnapshotId),
+    /// The version-tree branching factor β would be exceeded by creating
+    /// another branch from this snapshot.
+    BranchingFactorExceeded {
+        /// The snapshot at its branching limit.
+        from: SnapshotId,
+        /// Configured β.
+        beta: usize,
+    },
+    /// Branching API used on a tree configured for linear snapshots.
+    BranchingDisabled,
+    /// The snapshot id space or catalog region is exhausted.
+    CatalogFull,
+    /// A stored node image failed to decode.
+    Corrupt(CorruptNode),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TooManyRetries { attempts } => {
+                write!(f, "operation aborted {attempts} times; giving up")
+            }
+            Error::Unavailable(m) => write!(f, "memnode {m} unavailable"),
+            Error::OutOfSlots(m) => write!(f, "memnode {m} out of node slots"),
+            Error::NoSuchSnapshot(s) => write!(f, "snapshot {s} does not exist"),
+            Error::SnapshotReadOnly(s) => write!(f, "snapshot {s} is read-only"),
+            Error::BranchingFactorExceeded { from, beta } => {
+                write!(f, "snapshot {from} already has β={beta} branches")
+            }
+            Error::BranchingDisabled => write!(f, "tree configured for linear snapshots"),
+            Error::CatalogFull => write!(f, "snapshot catalog exhausted"),
+            Error::Corrupt(c) => write!(f, "corrupt node: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<CorruptNode> for Error {
+    fn from(c: CorruptNode) -> Self {
+        Error::Corrupt(c)
+    }
+}
+
+/// Internal result of one optimistic attempt: either done, or abort and
+/// retry (validation failure, fence violation, version-tag staleness, ...).
+#[derive(Debug)]
+pub(crate) enum Attempt<T> {
+    /// Attempt succeeded.
+    Done(T),
+    /// Abort and retry the whole operation.
+    Retry(RetryCause),
+}
+
+/// Why an attempt aborted (kept for statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryCause {
+    /// Commit-time (or piggy-backed) validation failed.
+    Validation,
+    /// Search key fell outside a visited node's fences (§3).
+    FenceViolation,
+    /// Child height did not decrease by one (§3, "fatal inconsistency").
+    HeightMismatch,
+    /// The node was copied to a snapshot covering the target (§4.2/§5.2).
+    StaleVersion,
+    /// The cached/observed tip or catalog entry was stale.
+    StaleTip,
+    /// A node image failed to decode during a dirty read.
+    TornRead,
+}
+
+/// Converts a dyntx error into an attempt disposition.
+pub(crate) fn tx_attempt<T>(e: TxError) -> Result<Attempt<T>, Error> {
+    match e {
+        TxError::Validation => Ok(Attempt::Retry(RetryCause::Validation)),
+        TxError::Unavailable(m) => Err(Error::Unavailable(m)),
+    }
+}
+
+/// Unwraps `Attempt::Done` or early-returns the `Retry` from the enclosing
+/// `Result<Attempt<_>, Error>` function.
+macro_rules! attempt {
+    ($e:expr) => {
+        match $e {
+            $crate::error::Attempt::Done(v) => v,
+            $crate::error::Attempt::Retry(c) => return Ok($crate::error::Attempt::Retry(c)),
+        }
+    };
+}
+pub(crate) use attempt;

@@ -1,0 +1,294 @@
+//! Garbage collection of superseded node versions (§4.4) and deleted
+//! branches (§5.2).
+//!
+//! Minuet records a global *lowest snapshot id* (the watermark): snapshots
+//! below it can no longer be queried. A background sweep walks every
+//! memnode's node region, identifies physical nodes that no live snapshot
+//! can reach — a node created at `x` and copied to `y` serves exactly the
+//! snapshots that descend from `x` but not from any copy target — and
+//! returns their slots to the allocator's free list.
+//!
+//! The scan itself uses unsynchronized raw reads (cheap, possibly torn);
+//! every freeing decision is then *confirmed transactionally*: the slot is
+//! re-read inside a dynamic transaction, the condition re-evaluated, and
+//! the free-list push commits only if the slot was unchanged.
+
+use crate::alloc::{push_free_segment, AllocState};
+use crate::catalog::GlobalVal;
+use crate::error::Error;
+use crate::node::{Node, NodePtr, SnapshotId};
+use crate::proxy::Proxy;
+use crate::traverse::fetch_cat_raw;
+use crate::tree::VersionMode;
+use minuet_dyntx::{decode_obj, DynTx, TxError};
+use minuet_sinfonia::MemNodeId;
+use std::collections::HashMap;
+
+/// Result of one GC sweep.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Slots examined.
+    pub scanned: u64,
+    /// Slots reclaimed.
+    pub freed: u64,
+    /// Candidates that failed transactional confirmation (raced with a
+    /// writer); they will be reconsidered by the next sweep.
+    pub skipped: u64,
+}
+
+/// Immutable context for liveness decisions during one sweep.
+struct LivenessCtx {
+    live: Vec<SnapshotId>,
+    /// parent pointers for ancestry tests (snapshot -> parent).
+    parents: HashMap<SnapshotId, SnapshotId>,
+    /// root slot -> owning snapshot.
+    roots: HashMap<NodePtr, SnapshotId>,
+    linear: bool,
+    lowest: SnapshotId,
+}
+
+impl LivenessCtx {
+    fn is_ancestor_or_self(&self, a: SnapshotId, b: SnapshotId) -> bool {
+        if self.linear {
+            return a <= b;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur < a {
+                return false;
+            }
+            match self.parents.get(&cur) {
+                Some(&p) if p != crate::catalog::NO_PARENT => cur = p,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Can any live snapshot still reach this node?
+    fn node_live(&self, ptr: NodePtr, node: &Node) -> bool {
+        if let Some(&owner) = self.roots.get(&ptr) {
+            // Roots serve exactly their own snapshot (each snapshot gets a
+            // fresh root copy at creation). The catalog keeps entries for
+            // dead snapshots, so a recycled root slot may still be named by
+            // one: the occupant is only *that* snapshot's root if the
+            // creation tags match (snapshot ids are never reused, so a
+            // recycled occupant always carries a newer tag).
+            if node.created == owner {
+                return self.live.contains(&owner);
+            }
+        }
+        if self.linear {
+            // Precise rule (§4.4): the node serves [created, first-copy);
+            // it is dead iff it was copied at or below the watermark.
+            return match node.desc.first() {
+                Some(d) => d.sid > self.lowest,
+                None => true,
+            };
+        }
+        // Branching mode is conservative: superseded nodes still act as
+        // redirect routers for their copies (descendant-set chains), so a
+        // node is kept while *any* live snapshot descends from its
+        // creation snapshot. Deleted branches and watermarked prefixes
+        // are reclaimed in full (the paper's §5.2 GC claim).
+        self.live
+            .iter()
+            .any(|&s| self.is_ancestor_or_self(node.created, s))
+    }
+}
+
+impl Proxy {
+    /// Raises the GC watermark: snapshots with id below `lowest` may no
+    /// longer be queried and their exclusive nodes become reclaimable.
+    pub fn set_watermark(&mut self, tree: u32, lowest: SnapshotId) -> Result<(), Error> {
+        let mc = self.mc.clone();
+        let sin = mc.sinfonia.clone();
+        let layout = *mc.layout(tree);
+        loop {
+            let mut tx = DynTx::new(&sin);
+            let raw = match tx.read_repl(layout.global(), self.home) {
+                Ok(r) => r,
+                Err(TxError::Validation) => continue,
+                Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+            };
+            let mut g = GlobalVal::decode(&raw).expect("global header corrupt");
+            g.lowest = g.lowest.max(lowest);
+            tx.write_repl(layout.global(), g.encode());
+            match tx.commit() {
+                Ok(_) => return Ok(()),
+                Err(TxError::Validation) => continue,
+                Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+            }
+        }
+    }
+
+    /// Marks a snapshot deleted (branch deletion, §5.2). Its exclusive
+    /// nodes — including discretionary copies made for it — become
+    /// reclaimable by the next sweep. The mainline tip cannot be deleted.
+    pub fn delete_snapshot(&mut self, tree: u32, sid: SnapshotId) -> Result<(), Error> {
+        let mc = self.mc.clone();
+        let sin = mc.sinfonia.clone();
+        let layout = *mc.layout(tree);
+        let repl = layout.catalog_entry(sid).ok_or(Error::NoSuchSnapshot(sid))?;
+        loop {
+            let mut tx = DynTx::new(&sin);
+            let traw = match tx.read_repl(layout.tip(), self.home) {
+                Ok(r) => r,
+                Err(TxError::Validation) => continue,
+                Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+            };
+            let tip = crate::catalog::TipVal::decode(&traw).expect("tip corrupt");
+            if tip.sid == sid {
+                return Err(Error::SnapshotReadOnly(sid));
+            }
+            let raw = match tx.read_repl(repl, self.home) {
+                Ok(r) => r,
+                Err(TxError::Validation) => continue,
+                Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+            };
+            let mut entry =
+                crate::catalog::CatEntry::decode(&raw).ok_or(Error::NoSuchSnapshot(sid))?;
+            entry.deleted = true;
+            tx.write_repl(repl, entry.encode());
+            match tx.commit() {
+                Ok(_) => {
+                    self.cat_cache.remove(&(tree, sid));
+                    return Ok(());
+                }
+                Err(TxError::Validation) => continue,
+                Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+            }
+        }
+    }
+
+    fn liveness_ctx(&mut self, tree: u32) -> Result<LivenessCtx, Error> {
+        let mc = self.mc.clone();
+        let layout = *mc.layout(tree);
+        // Watermark + snapshot count from the global header (raw read).
+        let graw = mc
+            .sinfonia
+            .node(self.home)
+            .raw_read(layout.global().at(self.home).off, 64)
+            .map_err(|u| Error::Unavailable(u.0))?;
+        let g = GlobalVal::decode(&decode_obj(&graw).data).expect("global header corrupt");
+
+        let mut live = Vec::new();
+        let mut parents = HashMap::new();
+        let mut roots = HashMap::new();
+        for sid in 0..g.next_sid {
+            if let Some((_, e)) = fetch_cat_raw(&mc, tree, sid, self.home)? {
+                parents.insert(sid, e.parent);
+                roots.insert(e.root, sid);
+                if !e.deleted && sid >= g.lowest {
+                    live.push(sid);
+                }
+            }
+        }
+        Ok(LivenessCtx {
+            live,
+            parents,
+            roots,
+            linear: mc.cfg.version_mode == VersionMode::Linear,
+            lowest: g.lowest,
+        })
+    }
+
+    /// One full GC sweep over every memnode of `tree`.
+    pub fn gc_sweep(&mut self, tree: u32) -> Result<SweepStats, Error> {
+        let mc = self.mc.clone();
+        let sin = mc.sinfonia.clone();
+        let layout = *mc.layout(tree);
+        let ctx = self.liveness_ctx(tree)?;
+        let mut stats = SweepStats::default();
+
+        for mem in sin.memnode_ids() {
+            // Unsynchronized candidate scan.
+            let state_raw = sin
+                .node(mem)
+                .raw_read(layout.alloc_state(mem).off, 64)
+                .map_err(|u| Error::Unavailable(u.0))?;
+            let bump = AllocState::decode(&decode_obj(&state_raw).data).bump;
+            let mut candidates: Vec<u32> = Vec::new();
+            for slot in 0..bump {
+                let ptr = NodePtr { mem, slot };
+                let obj = layout.node_obj(ptr);
+                let raw = sin
+                    .node(mem)
+                    .raw_read(obj.off, obj.cap)
+                    .map_err(|u| Error::Unavailable(u.0))?;
+                stats.scanned += 1;
+                let val = decode_obj(&raw);
+                if let Ok(node) = Node::decode(&val.data) {
+                    if !ctx.node_live(ptr, &node) {
+                        candidates.push(slot);
+                    }
+                }
+            }
+
+            // Transactional confirm-and-free, in batches.
+            let seg_cap = crate::alloc::FreeSegment::capacity(layout.params.node_payload);
+            for batch in candidates.chunks(seg_cap.max(1).min(64)) {
+                let (freed, skipped) = self.confirm_and_free(&ctx, tree, mem, batch)?;
+                stats.freed += freed;
+                stats.skipped += skipped;
+            }
+        }
+        Ok(stats)
+    }
+
+    fn confirm_and_free(
+        &mut self,
+        ctx: &LivenessCtx,
+        tree: u32,
+        mem: MemNodeId,
+        batch: &[u32],
+    ) -> Result<(u64, u64), Error> {
+        let mc = self.mc.clone();
+        let sin = mc.sinfonia.clone();
+        let layout = *mc.layout(tree);
+        loop {
+            let mut tx = DynTx::new(&sin);
+            let state_obj = layout.alloc_state(mem);
+            let state = match tx.read(state_obj) {
+                Ok(r) => AllocState::decode(&r),
+                Err(TxError::Validation) => continue,
+                Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+            };
+            // Re-confirm each candidate under validation.
+            let mut confirmed: Vec<u32> = Vec::new();
+            let mut skipped = 0u64;
+            for &slot in batch {
+                let ptr = NodePtr { mem, slot };
+                let raw = match tx.read(layout.node_obj(ptr)) {
+                    Ok(r) => r,
+                    Err(TxError::Validation) => {
+                        skipped += 1;
+                        continue;
+                    }
+                    Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                };
+                match Node::decode(&raw) {
+                    Ok(node) if !ctx.node_live(ptr, &node) => confirmed.push(slot),
+                    _ => skipped += 1,
+                }
+            }
+            if confirmed.is_empty() {
+                return Ok((0, skipped));
+            }
+            let new_state = push_free_segment(&mut tx, &layout, mem, &state, &confirmed);
+            tx.write(state_obj, new_state.encode());
+            match tx.commit() {
+                Ok(_) => {
+                    for &slot in &confirmed {
+                        self.ncache.invalidate(tree, NodePtr { mem, slot });
+                    }
+                    return Ok((confirmed.len() as u64, skipped));
+                }
+                Err(TxError::Validation) => continue,
+                Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Keys, values, and fence keys.
+//!
+//! Minuet exposes a byte-string ordered key-value interface. Every B-tree
+//! node carries **two fence keys** (§3) delimiting the key range the node is
+//! responsible for, whether or not those keys are present: `[low, high)`.
+//! Fences are what make dirty traversals safe — a traversal that wanders
+//! off the correct path is detected because the search key falls outside
+//! the visited node's fences.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A key: an arbitrary byte string ordered lexicographically.
+pub type Key = Vec<u8>;
+
+/// A value: an arbitrary byte string.
+pub type Value = Vec<u8>;
+
+/// A fence: either an actual key or an infinity sentinel.
+///
+/// The root node's fences are `(NegInf, PosInf)`; splits introduce finite
+/// fences.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Fence {
+    /// Below every key.
+    NegInf,
+    /// An actual key bound.
+    Key(Key),
+    /// Above every key.
+    PosInf,
+}
+
+impl Fence {
+    /// True if `key` is at or above this fence (used for low fences).
+    pub fn le_key(&self, key: &[u8]) -> bool {
+        match self {
+            Fence::NegInf => true,
+            Fence::Key(k) => k.as_slice() <= key,
+            Fence::PosInf => false,
+        }
+    }
+
+    /// True if `key` is strictly below this fence (used for high fences).
+    pub fn gt_key(&self, key: &[u8]) -> bool {
+        match self {
+            Fence::NegInf => false,
+            Fence::Key(k) => k.as_slice() > key,
+            Fence::PosInf => true,
+        }
+    }
+
+    /// Returns the finite key, if any.
+    pub fn as_key(&self) -> Option<&Key> {
+        match self {
+            Fence::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+impl PartialOrd for Fence {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Fence {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Fence::*;
+        match (self, other) {
+            (NegInf, NegInf) | (PosInf, PosInf) => Ordering::Equal,
+            (NegInf, _) | (_, PosInf) => Ordering::Less,
+            (_, NegInf) | (PosInf, _) => Ordering::Greater,
+            (Key(a), Key(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Debug for Fence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fence::NegInf => write!(f, "-inf"),
+            Fence::PosInf => write!(f, "+inf"),
+            Fence::Key(k) => write!(f, "{:?}", String::from_utf8_lossy(k)),
+        }
+    }
+}
+
+/// True if `key` lies within `[low, high)`.
+pub fn in_range(low: &Fence, high: &Fence, key: &[u8]) -> bool {
+    low.le_key(key) && high.gt_key(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fence_ordering() {
+        assert!(Fence::NegInf < Fence::Key(vec![]));
+        assert!(Fence::Key(vec![0xff]) < Fence::PosInf);
+        assert!(Fence::Key(b"a".to_vec()) < Fence::Key(b"b".to_vec()));
+        assert_eq!(Fence::NegInf, Fence::NegInf);
+    }
+
+    #[test]
+    fn in_range_boundaries() {
+        let low = Fence::Key(b"b".to_vec());
+        let high = Fence::Key(b"d".to_vec());
+        assert!(!in_range(&low, &high, b"a"));
+        assert!(in_range(&low, &high, b"b")); // inclusive low
+        assert!(in_range(&low, &high, b"c"));
+        assert!(!in_range(&low, &high, b"d")); // exclusive high
+        assert!(in_range(&Fence::NegInf, &Fence::PosInf, b"anything"));
+    }
+
+    #[test]
+    fn empty_key_vs_neginf() {
+        // The empty key is a real key, distinct from -inf.
+        assert!(in_range(&Fence::NegInf, &Fence::PosInf, b""));
+        assert!(!in_range(&Fence::Key(vec![0]), &Fence::PosInf, b""));
+    }
+}

@@ -1,0 +1,235 @@
+//! Address-space layout of a Minuet tree.
+//!
+//! Each tree occupies a fixed stride of every memnode's address space,
+//! containing well-known metadata objects followed by the node-slot region:
+//!
+//! ```text
+//! +0        TIP          replicated object: (mainline tip sid, root ptr)      §4.1
+//! +64       GLOBAL       replicated object: (next snapshot id, flags)         §5.1
+//! +128      ALLOC        per-memnode allocator state (bump + free list head)
+//! +4096     CATALOG      replicated objects, one per snapshot id              §5.1
+//! +cat_end  SEQTAB       replicated raw seqno table for internal nodes,
+//!                        one entry per (home memnode, slot)                   §2.3
+//! +tab_end  NODES        node slots, `slot_size` bytes each
+//! ```
+//!
+//! "Replicated" means the same offset holds a replica on every memnode;
+//! reads use any replica and writes update all (see
+//! [`minuet_dyntx::ReplRef`]).
+//!
+//! The seqno table is only *written* in the baseline FullValidation mode,
+//! but the region is always reserved: its per-memnode size is
+//! `n_mems × slots_per_mem × 8` bytes, growing with aggregate cluster
+//! capacity — reproducing the space overhead the paper criticizes in §3.
+
+use crate::node::NodePtr;
+use minuet_dyntx::{ObjRef, ReplRef, OBJ_HEADER};
+use minuet_sinfonia::{ItemRange, MemNodeId};
+
+/// Capacity of the small metadata objects (TIP, GLOBAL, ALLOC).
+pub const META_OBJ_CAP: u32 = 64;
+
+/// Capacity of one catalog entry object.
+pub const CAT_SLOT_CAP: u32 = 64;
+
+/// Layout parameters of one tree.
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutParams {
+    /// Maximum node payload bytes (the paper uses 4 kB tree nodes).
+    pub node_payload: u32,
+    /// Node slots per memnode.
+    pub slots_per_mem: u32,
+    /// Maximum number of snapshots (catalog entries).
+    pub max_snapshots: u64,
+}
+
+impl Default for LayoutParams {
+    fn default() -> Self {
+        LayoutParams {
+            node_payload: 4096,
+            slots_per_mem: 1 << 15,
+            max_snapshots: 1 << 16,
+        }
+    }
+}
+
+/// Resolved layout of one tree within every memnode's address space.
+#[derive(Debug, Clone, Copy)]
+pub struct Layout {
+    /// Base offset of this tree's region.
+    pub base: u64,
+    /// Parameters.
+    pub params: LayoutParams,
+    cat_base: u64,
+    seqtab_base: u64,
+    nodes_base: u64,
+    /// Total bytes of address space this tree uses per memnode.
+    pub stride: u64,
+}
+
+impl Layout {
+    /// Computes the layout of tree `tree_id` for a cluster of `n_mems`
+    /// memnodes.
+    pub fn new(tree_id: u32, params: LayoutParams, n_mems: usize) -> Layout {
+        let cat_rel = 4096u64;
+        let cat_end = cat_rel + params.max_snapshots * CAT_SLOT_CAP as u64;
+        let seqtab_rel = (cat_end + 63) & !63;
+        let seqtab_end = seqtab_rel + n_mems as u64 * params.slots_per_mem as u64 * 8;
+        let nodes_rel = (seqtab_end + 63) & !63;
+        let slot_size = Self::slot_size_for(params.node_payload);
+        let stride = nodes_rel + params.slots_per_mem as u64 * slot_size;
+        let base = tree_id as u64 * ((stride + 4095) & !4095);
+        Layout {
+            base,
+            params,
+            cat_base: base + cat_rel,
+            seqtab_base: base + seqtab_rel,
+            nodes_base: base + nodes_rel,
+            stride,
+        }
+    }
+
+    /// Size of one node slot: object header + payload, rounded to 16 bytes.
+    pub fn slot_size_for(node_payload: u32) -> u64 {
+        ((OBJ_HEADER + node_payload + 15) & !15) as u64
+    }
+
+    /// Size of one node slot for this layout.
+    pub fn slot_size(&self) -> u64 {
+        Self::slot_size_for(self.params.node_payload)
+    }
+
+    /// Address-space capacity a memnode needs to host trees `0..n_trees`.
+    pub fn required_capacity(n_trees: u32, params: LayoutParams, n_mems: usize) -> u64 {
+        let last = Layout::new(n_trees.saturating_sub(1), params, n_mems);
+        last.base + ((last.stride + 4095) & !4095)
+    }
+
+    /// The replicated TIP object: (mainline tip snapshot id, root pointer).
+    pub fn tip(&self) -> ReplRef {
+        ReplRef::new(self.base, META_OBJ_CAP)
+    }
+
+    /// The replicated GLOBAL header object: (next snapshot id, flags).
+    pub fn global(&self) -> ReplRef {
+        ReplRef::new(self.base + 64, META_OBJ_CAP)
+    }
+
+    /// The allocator-state object on memnode `mem`.
+    pub fn alloc_state(&self, mem: MemNodeId) -> ObjRef {
+        ObjRef::new(mem, self.base + 128, META_OBJ_CAP)
+    }
+
+    /// The replicated catalog entry object for snapshot `sid`.
+    ///
+    /// Returns `None` when the catalog region is exhausted.
+    pub fn catalog_entry(&self, sid: u64) -> Option<ReplRef> {
+        if sid >= self.params.max_snapshots {
+            return None;
+        }
+        Some(ReplRef::new(
+            self.cat_base + sid * CAT_SLOT_CAP as u64,
+            CAT_SLOT_CAP,
+        ))
+    }
+
+    /// The raw (headerless) replicated seqno-table entry for node `ptr`,
+    /// as stored on memnode `at`. Baseline FullValidation mode only.
+    pub fn seqtab_entry(&self, ptr: NodePtr, at: MemNodeId) -> ItemRange {
+        let idx = ptr.mem.0 as u64 * self.params.slots_per_mem as u64 + ptr.slot as u64;
+        ItemRange::new(at, self.seqtab_base + idx * 8, 8)
+    }
+
+    /// The object reference for node slot `ptr`.
+    pub fn node_obj(&self, ptr: NodePtr) -> ObjRef {
+        debug_assert!(ptr.slot < self.params.slots_per_mem);
+        ObjRef::new(
+            ptr.mem,
+            self.nodes_base + ptr.slot as u64 * self.slot_size(),
+            OBJ_HEADER + self.params.node_payload,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let p = LayoutParams::default();
+        let l = Layout::new(0, p, 8);
+        assert!(l.base + 192 <= l.cat_base);
+        let cat_end = l.cat_base + p.max_snapshots * CAT_SLOT_CAP as u64;
+        assert!(cat_end <= l.seqtab_base);
+        let tab_end = l.seqtab_base + 8 * p.slots_per_mem as u64 * 8;
+        assert!(tab_end <= l.nodes_base);
+    }
+
+    #[test]
+    fn trees_do_not_overlap() {
+        let p = LayoutParams::default();
+        let a = Layout::new(0, p, 4);
+        let b = Layout::new(1, p, 4);
+        assert!(a.base + a.stride <= b.base);
+    }
+
+    #[test]
+    fn node_objects_distinct_and_in_region() {
+        let p = LayoutParams {
+            node_payload: 256,
+            slots_per_mem: 100,
+            max_snapshots: 16,
+        };
+        let l = Layout::new(0, p, 2);
+        let o0 = l.node_obj(NodePtr { mem: MemNodeId(0), slot: 0 });
+        let o1 = l.node_obj(NodePtr { mem: MemNodeId(0), slot: 1 });
+        assert!(o0.off >= l.nodes_base);
+        assert_eq!(o1.off - o0.off, l.slot_size());
+        assert!(o0.off + o0.cap as u64 <= o1.off + l.slot_size());
+    }
+
+    #[test]
+    fn capacity_covers_all_trees() {
+        let p = LayoutParams {
+            node_payload: 512,
+            slots_per_mem: 64,
+            max_snapshots: 8,
+        };
+        let cap = Layout::required_capacity(3, p, 4);
+        let last = Layout::new(2, p, 4);
+        let last_node = last.node_obj(NodePtr { mem: MemNodeId(0), slot: 63 });
+        assert!(last_node.off + last_node.cap as u64 <= cap);
+    }
+
+    #[test]
+    fn seqtab_entries_distinct_per_home() {
+        let p = LayoutParams {
+            node_payload: 256,
+            slots_per_mem: 10,
+            max_snapshots: 8,
+        };
+        let l = Layout::new(0, p, 4);
+        let at = MemNodeId(2);
+        let e0 = l.seqtab_entry(NodePtr { mem: MemNodeId(0), slot: 3 }, at);
+        let e1 = l.seqtab_entry(NodePtr { mem: MemNodeId(1), slot: 3 }, at);
+        assert_ne!(e0.off, e1.off);
+        assert_eq!(e0.mem, at);
+        // Entries stay inside the table region.
+        let last = l.seqtab_entry(NodePtr { mem: MemNodeId(3), slot: 9 }, at);
+        assert!(last.off + 8 <= l.node_obj(NodePtr { mem: at, slot: 0 }).off);
+    }
+
+    #[test]
+    fn catalog_bounds() {
+        let p = LayoutParams {
+            node_payload: 256,
+            slots_per_mem: 10,
+            max_snapshots: 4,
+        };
+        let l = Layout::new(0, p, 1);
+        assert!(l.catalog_entry(0).is_some());
+        assert!(l.catalog_entry(3).is_some());
+        assert!(l.catalog_entry(4).is_none());
+    }
+}

@@ -1,0 +1,289 @@
+//! Core B-tree mutation machinery: in-place updates, splits, copy-on-write,
+//! and the bubbling of pointer changes toward the root (§3, §4.1, §5).
+//!
+//! All functions here operate *within one optimistic attempt*: they stage
+//! writes into the caller's [`DynTx`] and return `Retry` when a safety
+//! check fails; nothing takes effect until the attempt's commit succeeds.
+
+use crate::error::{attempt, Attempt, Error, RetryCause};
+use crate::key::{Fence, Value};
+use crate::node::{Node, NodeBody, NodePtr};
+use crate::proxy::Proxy;
+use crate::traverse::{LeafAccess, OpCtx, PathEntry};
+use crate::tree::ConcurrencyMode;
+use minuet_dyntx::DynTx;
+use minuet_sinfonia::MemNodeId;
+
+/// Child-pointer changes bubbling up from a lower level.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ChildOps {
+    /// Replace pointer `old` with `new` (after a copy-on-write or a split
+    /// that relocated the child).
+    pub replace: Option<(NodePtr, NodePtr)>,
+    /// Insert a new separator + child (after a split).
+    pub insert: Option<(Vec<u8>, NodePtr)>,
+}
+
+impl Proxy {
+    /// Stages a node image write. In FullValidation mode, internal-node
+    /// writes also update the node's replicated seqno-table entry at every
+    /// memnode — the all-memnode engagement that makes splits expensive in
+    /// the baseline (§3).
+    pub(crate) fn write_node(
+        &mut self,
+        tx: &mut DynTx<'_>,
+        tree: u32,
+        ptr: NodePtr,
+        node: &Node,
+    ) {
+        let layout = *self.mc.layout(tree);
+        let obj = layout.node_obj(ptr);
+        let payload = node.encode();
+        debug_assert!(
+            payload.len() <= layout.params.node_payload as usize,
+            "node exceeds payload capacity: {} > {}",
+            payload.len(),
+            layout.params.node_payload
+        );
+        if self.mc.cfg.mode == ConcurrencyMode::FullValidation && node.is_internal() {
+            let seqno = self.mc.sinfonia.next_txid();
+            tx.write_with_seqno(obj, payload, seqno);
+            for mem in self.mc.sinfonia.memnode_ids() {
+                tx.add_raw_write(
+                    layout.seqtab_entry(ptr, mem),
+                    seqno.to_le_bytes().to_vec(),
+                );
+            }
+        } else {
+            tx.write(obj, payload);
+        }
+        self.ncache.invalidate(tree, ptr);
+    }
+
+    /// Allocates a node slot with round-robin placement.
+    pub(crate) fn alloc_any(&mut self, tree: u32) -> Result<NodePtr, Error> {
+        let mc = self.mc.clone();
+        self.chunks
+            .alloc(&mc.sinfonia, mc.layout(tree), tree, None)
+    }
+
+    /// Allocates a node slot on a preferred memnode (CoW copies stay with
+    /// the original so leaf commits stay single-node).
+    pub(crate) fn alloc_pref(&mut self, tree: u32, mem: MemNodeId) -> Result<NodePtr, Error> {
+        let mc = self.mc.clone();
+        self.chunks
+            .alloc(&mc.sinfonia, mc.layout(tree), tree, Some(mem))
+    }
+
+    fn limits(&self, node: &Node) -> (usize, usize) {
+        let payload_cap = self.mc.cfg.layout.node_payload as usize;
+        let max_entries = if node.is_internal() {
+            self.mc.cfg.max_internal_entries
+        } else {
+            self.mc.cfg.max_leaf_entries
+        };
+        (payload_cap, max_entries)
+    }
+
+    /// One read-only lookup attempt.
+    pub(crate) fn try_get(
+        &mut self,
+        tx: &mut DynTx<'_>,
+        tree: u32,
+        ctx: &OpCtx,
+        key: &[u8],
+    ) -> Result<Attempt<Option<Value>>, Error> {
+        let access = if ctx.writable {
+            LeafAccess::Transactional
+        } else {
+            LeafAccess::Dirty
+        };
+        let path = attempt!(self.traverse(tx, tree, ctx, key, access, 0)?);
+        Ok(Attempt::Done(
+            path.last().unwrap().node.leaf_get(key).cloned(),
+        ))
+    }
+
+    /// One mutation attempt: applies `f` to the leaf responsible for `key`
+    /// and stages all structural consequences (CoW, splits, pointer
+    /// updates).
+    pub(crate) fn try_mutate(
+        &mut self,
+        tx: &mut DynTx<'_>,
+        tree: u32,
+        ctx: &OpCtx,
+        key: &[u8],
+        f: &mut dyn FnMut(&mut Node) -> Option<Value>,
+    ) -> Result<Attempt<Option<Value>>, Error> {
+        debug_assert!(ctx.writable);
+        let path = attempt!(self.traverse(tx, tree, ctx, key, LeafAccess::Transactional, 0)?);
+        let leaf_level = path.len() - 1;
+        let mut new_leaf = (*path[leaf_level].node).clone();
+        let old = f(&mut new_leaf);
+        attempt!(self.materialize(tx, tree, ctx, &path, leaf_level, new_leaf)?);
+        Ok(Attempt::Done(old))
+    }
+
+    /// Stages the updated content of `path[level]` according to the CoW
+    /// rules: in place if the node already belongs to the target snapshot,
+    /// otherwise copy-on-write (§4.1); splitting either way on overflow.
+    pub(crate) fn materialize(
+        &mut self,
+        tx: &mut DynTx<'_>,
+        tree: u32,
+        ctx: &OpCtx,
+        path: &[PathEntry],
+        level: usize,
+        node: Node,
+    ) -> Result<Attempt<()>, Error> {
+        let orig = &path[level];
+        let (payload_cap, max_entries) = self.limits(&node);
+        let in_snapshot = orig.node.created == ctx.sid;
+
+        if in_snapshot {
+            if !node.overflows(payload_cap, max_entries) {
+                self.write_node(tx, tree, orig.ptr, &node);
+                return Ok(Attempt::Done(()));
+            }
+            if level == 0 {
+                return self.root_split(tx, tree, ctx, orig.ptr, node);
+            }
+            // Split in place: the left half keeps the slot (so the parent
+            // pointer stays valid); the right half is a fresh node.
+            self.stats.splits += 1;
+            let (left, sep, right) = node.split();
+            let rptr = self.alloc_any(tree)?;
+            self.write_node(tx, tree, orig.ptr, &left);
+            self.write_node(tx, tree, rptr, &right);
+            return self.bubble(
+                tx,
+                tree,
+                ctx,
+                path,
+                level - 1,
+                ChildOps {
+                    replace: None,
+                    insert: Some((sep, rptr)),
+                },
+            );
+        }
+
+        // Copy-on-write (§4.1). The root is never CoW'd during operations
+        // (it is copied at snapshot creation); reaching here at level 0
+        // means the tip observation was stale.
+        if level == 0 {
+            return Ok(Attempt::Retry(RetryCause::StaleTip));
+        }
+        self.stats.cow_copies += 1;
+        let mut copy = node;
+        copy.created = ctx.sid;
+        copy.desc = Vec::new();
+
+        if !copy.overflows(payload_cap, max_entries) {
+            let cptr = self.alloc_pref(tree, orig.ptr.mem)?;
+            // Tag the original with the copy (§4.2); with branching
+            // versions this may trigger a discretionary copy (§5.2).
+            let updated_orig =
+                attempt!(self.add_copy_to_desc(tx, tree, ctx, path, level, cptr)?);
+            self.write_node(tx, tree, orig.ptr, &updated_orig);
+            self.write_node(tx, tree, cptr, &copy);
+            self.bubble(
+                tx,
+                tree,
+                ctx,
+                path,
+                level - 1,
+                ChildOps {
+                    replace: Some((orig.link, cptr)),
+                    insert: None,
+                },
+            )
+        } else {
+            self.stats.splits += 1;
+            let (left, sep, right) = copy.split();
+            let lptr = self.alloc_pref(tree, orig.ptr.mem)?;
+            let rptr = self.alloc_pref(tree, orig.ptr.mem)?;
+            let updated_orig =
+                attempt!(self.add_copy_to_desc(tx, tree, ctx, path, level, lptr)?);
+            self.write_node(tx, tree, orig.ptr, &updated_orig);
+            self.write_node(tx, tree, lptr, &left);
+            self.write_node(tx, tree, rptr, &right);
+            self.bubble(
+                tx,
+                tree,
+                ctx,
+                path,
+                level - 1,
+                ChildOps {
+                    replace: Some((orig.link, lptr)),
+                    insert: Some((sep, rptr)),
+                },
+            )
+        }
+    }
+
+    /// Applies bubbled child-pointer operations to `path[level]` and
+    /// materializes the result.
+    fn bubble(
+        &mut self,
+        tx: &mut DynTx<'_>,
+        tree: u32,
+        ctx: &OpCtx,
+        path: &[PathEntry],
+        level: usize,
+        ops: ChildOps,
+    ) -> Result<Attempt<()>, Error> {
+        let orig = &path[level];
+        let mut node = (*orig.node).clone();
+        if let Some((old, new)) = ops.replace {
+            if !node.replace_child(old, new) {
+                // Our (possibly cached) parent image no longer references
+                // the child: concurrent structural change.
+                self.ncache.invalidate(tree, orig.ptr);
+                return Ok(Attempt::Retry(RetryCause::Validation));
+            }
+        }
+        if let Some((sep, ptr)) = ops.insert {
+            node.insert_child(sep, ptr);
+        }
+        self.materialize(tx, tree, ctx, path, level, node)
+    }
+
+    /// Splits an overflowing root in place: its halves become fresh
+    /// children and the root (same slot, same fences) gains a level. The
+    /// root's slot never moves, so the TIP root location stays valid.
+    fn root_split(
+        &mut self,
+        tx: &mut DynTx<'_>,
+        tree: u32,
+        ctx: &OpCtx,
+        root_ptr: NodePtr,
+        node: Node,
+    ) -> Result<Attempt<()>, Error> {
+        self.stats.splits += 1;
+        let height = node.height;
+        let desc = node.desc.clone();
+        let low = node.low.clone();
+        let high = node.high.clone();
+        debug_assert_eq!(low, Fence::NegInf);
+        debug_assert_eq!(high, Fence::PosInf);
+        let (left, sep, right) = node.split();
+        let lptr = self.alloc_any(tree)?;
+        let rptr = self.alloc_any(tree)?;
+        self.write_node(tx, tree, lptr, &left);
+        self.write_node(tx, tree, rptr, &right);
+        let new_root = Node {
+            height: height + 1,
+            created: ctx.sid,
+            desc,
+            low,
+            high,
+            body: NodeBody::Internal {
+                seps: vec![sep],
+                kids: vec![lptr, rptr],
+            },
+        };
+        self.write_node(tx, tree, root_ptr, &new_root);
+        Ok(Attempt::Done(()))
+    }
+}

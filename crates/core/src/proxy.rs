@@ -1,0 +1,480 @@
+//! Proxies: the per-thread handles through which clients execute B-tree
+//! operations (Figure 1).
+//!
+//! A proxy owns the non-coherent caches (internal nodes, tip, catalog
+//! entries), a local allocator chunk cache, and the optimistic retry loop
+//! that wraps every operation. Operations are strictly serializable:
+//! up-to-date reads and writes validate the tip snapshot id (§4.1), and
+//! reads on read-only snapshots are immutable by construction.
+
+use crate::alloc::ChunkCache;
+use crate::cache::NodeCache;
+use crate::catalog::{CatEntry, TipVal};
+use crate::error::{attempt, tx_attempt, Attempt, Error, RetryCause};
+use crate::key::{Key, Value};
+use crate::node::SnapshotId;
+use crate::stats::ProxyStats;
+use crate::traverse::{fetch_cat_raw, OpCtx};
+use crate::tree::MinuetCluster;
+use minuet_dyntx::{DynTx, SeqNo, TxError, TxKey};
+use minuet_sinfonia::MemNodeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifies the snapshot an operation targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OpTarget {
+    /// The mainline tip (validated through the replicated TIP object).
+    MainlineTip,
+    /// A specific writable tip (validated through its catalog entry).
+    TipSid(SnapshotId),
+    /// A read-only snapshot (no validation; §4.2).
+    Snapshot(SnapshotId),
+}
+
+/// A per-thread client handle. Create with
+/// [`MinuetCluster::proxy`](crate::tree::MinuetCluster::proxy); cheap to
+/// create, not shareable across threads (spawn one per worker).
+pub struct Proxy {
+    pub(crate) mc: Arc<MinuetCluster>,
+    pub(crate) home: MemNodeId,
+    pub(crate) ncache: NodeCache,
+    pub(crate) tip_cache: HashMap<u32, (SeqNo, TipVal)>,
+    pub(crate) cat_cache: HashMap<(u32, SnapshotId), (SeqNo, CatEntry)>,
+    pub(crate) chunks: ChunkCache,
+    /// Operation statistics.
+    pub stats: ProxyStats,
+}
+
+fn backoff(attempt: usize) {
+    use std::cell::Cell;
+    thread_local! {
+        static SEED: Cell<u64> = const { Cell::new(0x9E3779B97F4A7C15) };
+    }
+    let ceil = 1u64 << attempt.min(8);
+    let j = SEED.with(|s| {
+        let mut x = s.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        x % ceil
+    });
+    std::thread::sleep(Duration::from_micros(1 + j));
+}
+
+impl Proxy {
+    pub(crate) fn new(mc: Arc<MinuetCluster>, home: MemNodeId) -> Proxy {
+        let chunk = mc.cfg.alloc_chunk;
+        Proxy {
+            mc,
+            home,
+            ncache: NodeCache::new(),
+            tip_cache: HashMap::new(),
+            cat_cache: HashMap::new(),
+            chunks: ChunkCache::new(chunk),
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// The proxy's preferred memnode for replicated reads.
+    pub fn home(&self) -> MemNodeId {
+        self.home
+    }
+
+    /// The cluster this proxy belongs to.
+    pub fn cluster(&self) -> &Arc<MinuetCluster> {
+        &self.mc
+    }
+
+    /// Invalidation + accounting shared by all retry sites.
+    pub(crate) fn note_retry(&mut self, tree: u32, cause: RetryCause) {
+        self.stats.record_retry(cause);
+        // Metadata observations may be stale; refresh them on the next
+        // attempt. Node-cache entries are invalidated at the fault sites.
+        self.tip_cache.remove(&tree);
+        self.cat_cache.retain(|(t, _), _| *t != tree);
+    }
+
+    /// Runs one operation to completion with optimistic retries.
+    pub(crate) fn run_op<T>(
+        &mut self,
+        tree: u32,
+        f: impl FnMut(&mut Proxy, &mut DynTx<'_>) -> Result<Attempt<T>, Error>,
+    ) -> Result<T, Error> {
+        let budget = self.mc.cfg.max_op_retries;
+        self.run_op_budget(tree, budget, f)
+    }
+
+    /// Like [`Proxy::run_op`] with an explicit retry budget. Read-only
+    /// snapshot scans use a small budget so that scanning a snapshot the
+    /// GC has reclaimed fails promptly instead of retrying at length.
+    pub(crate) fn run_op_budget<T>(
+        &mut self,
+        tree: u32,
+        budget: usize,
+        mut f: impl FnMut(&mut Proxy, &mut DynTx<'_>) -> Result<Attempt<T>, Error>,
+    ) -> Result<T, Error> {
+        let mc = self.mc.clone();
+        let sin = mc.sinfonia.clone();
+        let mut attempts = 0usize;
+        loop {
+            if attempts >= budget {
+                return Err(Error::TooManyRetries { attempts });
+            }
+            let mut tx = DynTx::with_piggyback(&sin, mc.cfg.piggyback);
+            match f(self, &mut tx)? {
+                Attempt::Retry(cause) => {
+                    self.note_retry(tree, cause);
+                    attempts += 1;
+                    backoff(attempts);
+                }
+                Attempt::Done(v) => match tx.commit() {
+                    Ok(_) => {
+                        self.stats.ops += 1;
+                        return Ok(v);
+                    }
+                    Err(TxError::Validation) => {
+                        self.note_retry(tree, RetryCause::Validation);
+                        attempts += 1;
+                        backoff(attempts);
+                    }
+                    Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                },
+            }
+        }
+    }
+
+    /// Resolves an operation target to a snapshot id + root, pinning the
+    /// tip / catalog entry into the read set for writable targets (§4.1,
+    /// §5.1).
+    pub(crate) fn resolve(
+        &mut self,
+        tx: &mut DynTx<'_>,
+        tree: u32,
+        target: OpTarget,
+    ) -> Result<Attempt<OpCtx>, Error> {
+        let mc = self.mc.clone();
+        let layout = *mc.layout(tree);
+        match target {
+            OpTarget::MainlineTip => {
+                if let Some((seq, tip)) = self.tip_cache.get(&tree) {
+                    tx.assume(TxKey::Repl(layout.tip()), *seq, tip.encode());
+                    return Ok(Attempt::Done(OpCtx {
+                        sid: tip.sid,
+                        root: tip.root,
+                        writable: true,
+                    }));
+                }
+                let raw = match tx.read_repl(layout.tip(), self.home) {
+                    Ok(r) => r,
+                    Err(e) => return tx_attempt(e),
+                };
+                let tip = TipVal::decode(&raw).expect("tip object corrupt");
+                if let Some(seq) = tx.observed_seqno(&TxKey::Repl(layout.tip())) {
+                    self.tip_cache.insert(tree, (seq, tip));
+                }
+                Ok(Attempt::Done(OpCtx {
+                    sid: tip.sid,
+                    root: tip.root,
+                    writable: true,
+                }))
+            }
+            OpTarget::TipSid(sid) => {
+                let repl = layout
+                    .catalog_entry(sid)
+                    .ok_or(Error::NoSuchSnapshot(sid))?;
+                if let Some((seq, entry)) = self.cat_cache.get(&(tree, sid)) {
+                    if entry.is_writable() {
+                        tx.assume(TxKey::Repl(repl), *seq, entry.encode());
+                        return Ok(Attempt::Done(OpCtx {
+                            sid,
+                            root: entry.root,
+                            writable: true,
+                        }));
+                    }
+                    // Cached entry says read-only: confirm with a fresh
+                    // read below before surfacing the error.
+                    self.cat_cache.remove(&(tree, sid));
+                }
+                let raw = match tx.read_repl(repl, self.home) {
+                    Ok(r) => r,
+                    Err(e) => return tx_attempt(e),
+                };
+                let entry = CatEntry::decode(&raw).ok_or(Error::NoSuchSnapshot(sid))?;
+                if let Some(seq) = tx.observed_seqno(&TxKey::Repl(repl)) {
+                    self.cat_cache.insert((tree, sid), (seq, entry));
+                }
+                if !entry.is_writable() {
+                    return Err(Error::SnapshotReadOnly(sid));
+                }
+                Ok(Attempt::Done(OpCtx {
+                    sid,
+                    root: entry.root,
+                    writable: true,
+                }))
+            }
+            OpTarget::Snapshot(sid) => {
+                let shared = mc.shared(tree);
+                if let Some(root) = shared.vcache.root(sid) {
+                    return Ok(Attempt::Done(OpCtx {
+                        sid,
+                        root,
+                        writable: false,
+                    }));
+                }
+                match fetch_cat_raw(&mc, tree, sid, self.home)? {
+                    None => Err(Error::NoSuchSnapshot(sid)),
+                    Some((_, entry)) => {
+                        shared.vcache.insert(sid, entry.parent, entry.root);
+                        Ok(Attempt::Done(OpCtx {
+                            sid,
+                            root: entry.root,
+                            writable: false,
+                        }))
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Single-key operations
+    // ------------------------------------------------------------------
+
+    /// Strictly-serializable point lookup at the mainline tip.
+    pub fn get(&mut self, tree: u32, key: &[u8]) -> Result<Option<Value>, Error> {
+        self.run_op(tree, |p, tx| {
+            let ctx = attempt!(p.resolve(tx, tree, OpTarget::MainlineTip)?);
+            p.try_get(tx, tree, &ctx, key)
+        })
+    }
+
+    /// Inserts or updates a key at the mainline tip; returns the previous
+    /// value.
+    pub fn put(&mut self, tree: u32, key: Key, value: Value) -> Result<Option<Value>, Error> {
+        self.run_op(tree, |p, tx| {
+            let ctx = attempt!(p.resolve(tx, tree, OpTarget::MainlineTip)?);
+            let mut k = Some(key.clone());
+            let mut v = Some(value.clone());
+            p.try_mutate(tx, tree, &ctx, &key, &mut |leaf| {
+                leaf.leaf_put(k.take().unwrap(), v.take().unwrap())
+            })
+        })
+    }
+
+    /// Removes a key at the mainline tip; returns the previous value.
+    pub fn remove(&mut self, tree: u32, key: &[u8]) -> Result<Option<Value>, Error> {
+        self.run_op(tree, |p, tx| {
+            let ctx = attempt!(p.resolve(tx, tree, OpTarget::MainlineTip)?);
+            p.try_mutate(tx, tree, &ctx, key, &mut |leaf| leaf.leaf_remove(key))
+        })
+    }
+
+    /// Point lookup on any snapshot. For read-only snapshots this never
+    /// validates and never aborts due to concurrent updates (§4.2); if
+    /// `sid` is a writable tip the lookup is validated against its branch
+    /// id instead.
+    pub fn get_at(
+        &mut self,
+        tree: u32,
+        sid: SnapshotId,
+        key: &[u8],
+    ) -> Result<Option<Value>, Error> {
+        self.run_op(tree, |p, tx| {
+            let ctx = attempt!(p.resolve(tx, tree, OpTarget::Snapshot(sid))?);
+            p.try_get(tx, tree, &ctx, key)
+        })
+    }
+
+    /// Strictly-serializable lookup at a specific writable tip (§5.1).
+    pub fn get_branch(
+        &mut self,
+        tree: u32,
+        sid: SnapshotId,
+        key: &[u8],
+    ) -> Result<Option<Value>, Error> {
+        self.run_op(tree, |p, tx| {
+            let ctx = attempt!(p.resolve(tx, tree, OpTarget::TipSid(sid))?);
+            p.try_get(tx, tree, &ctx, key)
+        })
+    }
+
+    /// Inserts or updates a key at a specific writable tip (§5.1).
+    pub fn put_branch(
+        &mut self,
+        tree: u32,
+        sid: SnapshotId,
+        key: Key,
+        value: Value,
+    ) -> Result<Option<Value>, Error> {
+        self.run_op(tree, |p, tx| {
+            let ctx = attempt!(p.resolve(tx, tree, OpTarget::TipSid(sid))?);
+            let mut k = Some(key.clone());
+            let mut v = Some(value.clone());
+            p.try_mutate(tx, tree, &ctx, &key, &mut |leaf| {
+                leaf.leaf_put(k.take().unwrap(), v.take().unwrap())
+            })
+        })
+    }
+
+    /// Removes a key at a specific writable tip.
+    pub fn remove_branch(
+        &mut self,
+        tree: u32,
+        sid: SnapshotId,
+        key: &[u8],
+    ) -> Result<Option<Value>, Error> {
+        self.run_op(tree, |p, tx| {
+            let ctx = attempt!(p.resolve(tx, tree, OpTarget::TipSid(sid))?);
+            p.try_mutate(tx, tree, &ctx, key, &mut |leaf| leaf.leaf_remove(key))
+        })
+    }
+
+    /// Reads the current mainline tip (one round trip; not cached).
+    pub fn current_tip(&mut self, tree: u32) -> Result<(SnapshotId, crate::node::NodePtr), Error> {
+        let mc = self.mc.clone();
+        let sin = mc.sinfonia.clone();
+        let layout = mc.layout(tree);
+        let mut tx = DynTx::new(&sin);
+        let raw = match tx.read_repl(layout.tip(), self.home) {
+            Ok(r) => r,
+            Err(TxError::Validation) => unreachable!("plain read cannot fail validation"),
+            Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+        };
+        let tip = TipVal::decode(&raw).expect("tip object corrupt");
+        Ok((tip.sid, tip.root))
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-key / multi-index transactions
+    // ------------------------------------------------------------------
+
+    /// Runs a closure of multiple operations (possibly across trees) as
+    /// one strictly-serializable dynamic transaction, retrying
+    /// transparently on conflicts (§6.2's multi-index transactions).
+    ///
+    /// ```
+    /// # use minuet_core::{MinuetCluster, TreeConfig};
+    /// let mc = MinuetCluster::new(2, 2, TreeConfig::default());
+    /// let mut p = mc.proxy();
+    /// p.txn(|t| {
+    ///     let v = t.get(0, b"balance")?.unwrap_or_default();
+    ///     t.put(1, b"audit".to_vec(), v)?;
+    ///     Ok(())
+    /// })
+    /// .unwrap();
+    /// ```
+    pub fn txn<R>(
+        &mut self,
+        mut f: impl FnMut(&mut Txn<'_, '_, '_>) -> Result<R, TxnError>,
+    ) -> Result<R, Error> {
+        let mc = self.mc.clone();
+        let sin = mc.sinfonia.clone();
+        let mut attempts = 0usize;
+        loop {
+            if attempts >= mc.cfg.max_op_retries {
+                return Err(Error::TooManyRetries { attempts });
+            }
+            let mut tx = DynTx::with_piggyback(&sin, mc.cfg.piggyback);
+            let r = {
+                let mut t = Txn {
+                    proxy: self,
+                    tx: &mut tx,
+                };
+                f(&mut t)
+            };
+            match r {
+                Ok(v) => match tx.commit() {
+                    Ok(_) => {
+                        self.stats.ops += 1;
+                        return Ok(v);
+                    }
+                    Err(TxError::Validation) => {
+                        self.note_retry(0, RetryCause::Validation);
+                        attempts += 1;
+                        backoff(attempts);
+                    }
+                    Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                },
+                Err(TxnError::Retry(cause)) => {
+                    self.note_retry(0, cause);
+                    attempts += 1;
+                    backoff(attempts);
+                }
+                Err(TxnError::Error(e)) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Error type inside [`Proxy::txn`] closures. Use `?` freely: internal
+/// conflict aborts are retried by the loop, real errors propagate out.
+#[derive(Debug)]
+pub enum TxnError {
+    /// Internal: the attempt must be retried.
+    #[doc(hidden)]
+    Retry(RetryCause),
+    /// A non-retryable error.
+    Error(Error),
+}
+
+impl From<Error> for TxnError {
+    fn from(e: Error) -> Self {
+        TxnError::Error(e)
+    }
+}
+
+/// Handle passed to [`Proxy::txn`] closures: the same single-key
+/// operations, all staged into one dynamic transaction.
+pub struct Txn<'p, 't, 'c> {
+    proxy: &'p mut Proxy,
+    tx: &'t mut DynTx<'c>,
+}
+
+impl Txn<'_, '_, '_> {
+    fn lift<T>(r: Result<Attempt<T>, Error>) -> Result<T, TxnError> {
+        match r {
+            Ok(Attempt::Done(v)) => Ok(v),
+            Ok(Attempt::Retry(c)) => Err(TxnError::Retry(c)),
+            Err(e) => Err(TxnError::Error(e)),
+        }
+    }
+
+    /// Transactional lookup at the mainline tip of `tree`.
+    pub fn get(&mut self, tree: u32, key: &[u8]) -> Result<Option<Value>, TxnError> {
+        let ctx = Self::lift(self.proxy.resolve(self.tx, tree, OpTarget::MainlineTip))?;
+        Self::lift(self.proxy.try_get(self.tx, tree, &ctx, key))
+    }
+
+    /// Transactional insert/update at the mainline tip of `tree`.
+    pub fn put(&mut self, tree: u32, key: Key, value: Value) -> Result<Option<Value>, TxnError> {
+        let ctx = Self::lift(self.proxy.resolve(self.tx, tree, OpTarget::MainlineTip))?;
+        let mut k = Some(key.clone());
+        let mut v = Some(value);
+        Self::lift(self.proxy.try_mutate(self.tx, tree, &ctx, &key, &mut |leaf| {
+            leaf.leaf_put(k.take().unwrap(), v.take().unwrap())
+        }))
+    }
+
+    /// Transactional removal at the mainline tip of `tree`.
+    pub fn remove(&mut self, tree: u32, key: &[u8]) -> Result<Option<Value>, TxnError> {
+        let ctx = Self::lift(self.proxy.resolve(self.tx, tree, OpTarget::MainlineTip))?;
+        Self::lift(
+            self.proxy
+                .try_mutate(self.tx, tree, &ctx, key, &mut |leaf| leaf.leaf_remove(key)),
+        )
+    }
+
+    /// Lookup on a read-only snapshot within the transaction.
+    pub fn get_at(
+        &mut self,
+        tree: u32,
+        sid: SnapshotId,
+        key: &[u8],
+    ) -> Result<Option<Value>, TxnError> {
+        let ctx = Self::lift(self.proxy.resolve(self.tx, tree, OpTarget::Snapshot(sid)))?;
+        Self::lift(self.proxy.try_get(self.tx, tree, &ctx, key))
+    }
+}

@@ -1,0 +1,73 @@
+//! Per-proxy operation statistics.
+
+use crate::error::RetryCause;
+
+/// Counters a proxy accumulates while executing operations. Useful for
+//  understanding abort behaviour in benchmarks and tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ProxyStats {
+    /// Completed operations.
+    pub ops: u64,
+    /// Total optimistic retries across all operations.
+    pub retries: u64,
+    /// Retries caused by commit/piggy-backed validation failures.
+    pub retries_validation: u64,
+    /// Retries caused by fence-key violations during dirty traversals.
+    pub retries_fence: u64,
+    /// Retries caused by height inconsistencies (Fig. 5 fatal check).
+    pub retries_height: u64,
+    /// Retries caused by version-tag staleness (§4.2/§5.2 checks).
+    pub retries_stale_version: u64,
+    /// Retries caused by stale tip / catalog observations.
+    pub retries_stale_tip: u64,
+    /// Retries caused by torn node decodes.
+    pub retries_torn: u64,
+    /// Copy-on-write node copies performed.
+    pub cow_copies: u64,
+    /// Discretionary copies performed (§5.2).
+    pub discretionary_copies: u64,
+    /// Leaf/internal splits performed.
+    pub splits: u64,
+}
+
+impl ProxyStats {
+    /// Records one retry with its cause.
+    pub fn record_retry(&mut self, cause: RetryCause) {
+        self.retries += 1;
+        match cause {
+            RetryCause::Validation => self.retries_validation += 1,
+            RetryCause::FenceViolation => self.retries_fence += 1,
+            RetryCause::HeightMismatch => self.retries_height += 1,
+            RetryCause::StaleVersion => self.retries_stale_version += 1,
+            RetryCause::StaleTip => self.retries_stale_tip += 1,
+            RetryCause::TornRead => self.retries_torn += 1,
+        }
+    }
+
+    /// Abort rate: retries per completed operation.
+    pub fn abort_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.retries as f64 / self.ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_accounting() {
+        let mut s = ProxyStats::default();
+        s.record_retry(RetryCause::Validation);
+        s.record_retry(RetryCause::FenceViolation);
+        s.record_retry(RetryCause::Validation);
+        s.ops = 2;
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.retries_validation, 2);
+        assert_eq!(s.retries_fence, 1);
+        assert!((s.abort_rate() - 1.5).abs() < 1e-9);
+    }
+}

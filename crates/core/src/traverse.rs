@@ -1,0 +1,356 @@
+//! Transactional B-tree traversal (Figure 5) with the safety checks that
+//! make dirty reads sound: fence keys (§3), the fatal height-consistency
+//! check (§3), and version-tag checks for snapshots and branching versions
+//! (§4.2, §5.2).
+
+use crate::catalog::CatEntry;
+use crate::error::{tx_attempt, Attempt, Error, RetryCause};
+use crate::key::in_range;
+use crate::node::{Node, NodePtr, SnapshotId};
+use crate::proxy::Proxy;
+use crate::tree::{ConcurrencyMode, MinuetCluster, VersionMode};
+use minuet_dyntx::{DynTx, SeqNo, TxKey};
+use minuet_sinfonia::{MemNodeId, Minitransaction, Outcome};
+use std::sync::Arc;
+
+/// Resolved target of one operation attempt.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OpCtx {
+    /// Snapshot the operation acts on.
+    pub sid: SnapshotId,
+    /// Root node of that snapshot.
+    pub root: NodePtr,
+    /// True if the target is a validated writable tip.
+    pub writable: bool,
+}
+
+/// How the final (stop-height) node of a traversal is fetched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum LeafAccess {
+    /// Added to the read set (validated at commit / piggy-backed).
+    Transactional,
+    /// Dirty read: reads on read-only snapshots never validate (§4.2).
+    Dirty,
+}
+
+/// One node on a traversed path.
+pub(crate) struct PathEntry {
+    /// Where the node actually lives (after following copy redirects).
+    pub ptr: NodePtr,
+    /// The pointer by which the *parent* refers to this level (before
+    /// redirects); parent child-pointer updates must replace this value.
+    pub link: NodePtr,
+    /// Version observed.
+    pub seqno: SeqNo,
+    /// Decoded image.
+    pub node: Arc<Node>,
+}
+
+#[derive(Clone, Copy)]
+enum FetchStyle {
+    DirtyCached,
+    DirtyUncached,
+    Transactional,
+}
+
+/// Reads a catalog entry without any transactional tracking (one round
+/// trip to the preferred replica). Used for ancestry resolution and
+/// read-only snapshot lookups.
+pub(crate) fn fetch_cat_raw(
+    mc: &MinuetCluster,
+    tree: u32,
+    sid: SnapshotId,
+    prefer: MemNodeId,
+) -> Result<Option<(SeqNo, CatEntry)>, Error> {
+    let layout = mc.layout(tree);
+    let repl = layout
+        .catalog_entry(sid)
+        .ok_or(Error::NoSuchSnapshot(sid))?;
+    let obj = repl.at(prefer);
+    let mut m = Minitransaction::new();
+    m.read(obj.full_range());
+    match mc.sinfonia.execute(&m) {
+        Err(minuet_sinfonia::SinfoniaError::Unavailable(mem)) => Err(Error::Unavailable(mem)),
+        Err(minuet_sinfonia::SinfoniaError::OutOfBounds { .. }) => {
+            Err(Error::NoSuchSnapshot(sid))
+        }
+        Ok(Outcome::FailedCompare(_)) => unreachable!("read-only minitx"),
+        Ok(Outcome::Committed(res)) => {
+            let val = minuet_dyntx::decode_obj(&res.data[0]);
+            if val.is_unwritten() {
+                return Ok(None);
+            }
+            Ok(CatEntry::decode(&val.data).map(|e| (val.seqno, e)))
+        }
+    }
+}
+
+/// Resolves parent/root of a snapshot for the version cache.
+pub(crate) fn cat_immutable_fetcher(
+    mc: Arc<MinuetCluster>,
+    tree: u32,
+    prefer: MemNodeId,
+) -> impl FnMut(SnapshotId) -> Result<(SnapshotId, NodePtr), Error> {
+    move |sid| match fetch_cat_raw(&mc, tree, sid, prefer)? {
+        Some((_, e)) => Ok((e.parent, e.root)),
+        None => Err(Error::NoSuchSnapshot(sid)),
+    }
+}
+
+/// Outcome of the version-tag check at one node (§4.2/§5.2).
+pub(crate) enum VersionCheck {
+    /// The node is the correct version for the target snapshot.
+    Current,
+    /// The node cannot serve the target snapshot and no redirect is
+    /// possible: abort the attempt.
+    Stale,
+    /// The node was copied at an ancestor of the target snapshot: the
+    /// traversal continues at the copy (branching mode, §5.2).
+    Redirect(NodePtr),
+}
+
+impl Proxy {
+    /// Checks a node's version tags against the target snapshot (§4.2 for
+    /// linear snapshots, §5.2 for branching versions).
+    pub(crate) fn version_check(
+        &self,
+        tree: u32,
+        node: &Node,
+        sid: SnapshotId,
+    ) -> Result<VersionCheck, Error> {
+        let mc = &self.mc;
+        match mc.cfg.version_mode {
+            VersionMode::Linear => {
+                // Ancestry along a path is plain ordering. Linear
+                // traversals abort on a covering copy (§4.2): the retry
+                // re-reads the parent, whose pointer was updated in the
+                // same commit that made the copy.
+                if node.created > sid {
+                    return Ok(VersionCheck::Stale);
+                }
+                Ok(match node.desc.iter().find(|d| d.sid <= sid) {
+                    Some(_) => VersionCheck::Stale,
+                    None => VersionCheck::Current,
+                })
+            }
+            VersionMode::Branching => {
+                let shared = mc.shared(tree);
+                let mut fetch = cat_immutable_fetcher(mc.clone(), tree, self.home);
+                if !shared
+                    .vcache
+                    .is_ancestor_or_self(node.created, sid, &mut fetch)?
+                {
+                    return Ok(VersionCheck::Stale);
+                }
+                // Descendant-set entries are pairwise incomparable, so at
+                // most one can cover `sid`.
+                for d in &node.desc {
+                    if shared.vcache.is_ancestor_or_self(d.sid, sid, &mut fetch)? {
+                        return Ok(VersionCheck::Redirect(d.ptr));
+                    }
+                }
+                Ok(VersionCheck::Current)
+            }
+        }
+    }
+
+    fn fetch_node(
+        &mut self,
+        tx: &mut DynTx<'_>,
+        tree: u32,
+        ptr: NodePtr,
+        style: FetchStyle,
+    ) -> Result<Attempt<PathEntry>, Error> {
+        let layout = *self.mc.layout(tree);
+        let obj = layout.node_obj(ptr);
+        let cache_ok = self.mc.cfg.cache_internal_nodes;
+        match style {
+            FetchStyle::DirtyCached if cache_ok => {
+                if let Some((seqno, node)) = self.ncache.get(tree, ptr) {
+                    tx.note_dirty(obj, seqno);
+                    return Ok(Attempt::Done(PathEntry {
+                        ptr,
+                        link: ptr,
+                        seqno,
+                        node,
+                    }));
+                }
+            }
+            _ => {}
+        }
+        let (seqno, data, tracked) = match style {
+            FetchStyle::Transactional => match tx.read(obj) {
+                Ok(data) => (tx.observed_seqno(&TxKey::Plain(obj)).unwrap_or(0), data, true),
+                Err(e) => return tx_attempt(e),
+            },
+            _ => match tx.dirty_read(obj) {
+                Ok(val) => (val.seqno, val.data, false),
+                Err(e) => return tx_attempt(e),
+            },
+        };
+        match Node::decode(&data) {
+            Ok(node) => {
+                let node = Arc::new(node);
+                if !tracked && node.is_internal() && cache_ok {
+                    self.ncache.put(tree, ptr, seqno, node.clone());
+                }
+                Ok(Attempt::Done(PathEntry {
+                    ptr,
+                    link: ptr,
+                    seqno,
+                    node,
+                }))
+            }
+            Err(_) => {
+                // Freed slot or torn image: the pointer that led here is
+                // stale.
+                self.ncache.invalidate(tree, ptr);
+                Ok(Attempt::Retry(RetryCause::TornRead))
+            }
+        }
+    }
+
+    fn invalidate_path(&mut self, tree: u32, path: &[PathEntry]) {
+        for e in path {
+            self.ncache.invalidate(tree, e.ptr);
+        }
+    }
+
+    /// Traverses from `ctx.root` toward `key`, stopping at the node of
+    /// height `stop_height` (0 = leaf). Internal levels use dirty reads
+    /// (or, in FullValidation mode, unvalidated reads whose seqnos are
+    /// compared against the replicated table at the leaf's memnode); the
+    /// stop node is fetched per `leaf_access`.
+    ///
+    /// On any safety-check failure the visited path is dropped from the
+    /// node cache and `Retry` is returned, per Figure 5's `T.Abort()`.
+    pub(crate) fn traverse(
+        &mut self,
+        tx: &mut DynTx<'_>,
+        tree: u32,
+        ctx: &OpCtx,
+        key: &[u8],
+        leaf_access: LeafAccess,
+        stop_height: u8,
+    ) -> Result<Attempt<Vec<PathEntry>>, Error> {
+        let mode = self.mc.cfg.mode;
+        let layout = *self.mc.layout(tree);
+        let mut path: Vec<PathEntry> = Vec::with_capacity(8);
+        let mut cur = ctx.root;
+        loop {
+            let expect_stop = path
+                .last()
+                .map(|p| p.node.height == stop_height + 1)
+                .unwrap_or(false);
+
+            // Baseline mode validates the whole path at the leaf's memnode:
+            // add the seqno-table compares before fetching the leaf so the
+            // fetch minitransaction piggy-backs them (§2.3).
+            if expect_stop
+                && mode == ConcurrencyMode::FullValidation
+                && leaf_access == LeafAccess::Transactional
+            {
+                for e in &path {
+                    // Nodes this transaction already rewrote carry pinned
+                    // fresh seqnos; their table entries are raw-written in
+                    // the same commit, so comparing the old value would
+                    // self-conflict.
+                    if tx.is_staged(&TxKey::Plain(layout.node_obj(e.ptr))) {
+                        continue;
+                    }
+                    tx.add_raw_compare(
+                        layout.seqtab_entry(e.ptr, cur.mem),
+                        e.seqno.to_le_bytes().to_vec(),
+                    );
+                }
+            }
+
+            let style = if expect_stop {
+                match leaf_access {
+                    LeafAccess::Transactional => FetchStyle::Transactional,
+                    LeafAccess::Dirty => FetchStyle::DirtyUncached,
+                }
+            } else {
+                FetchStyle::DirtyCached
+            };
+
+            // Fetch, following copy redirects (§5.2): a bounded chain of
+            // forwarding hops through descendant-set entries.
+            let link = cur;
+            let mut hops = 0u32;
+            let entry = loop {
+                let mut e = match self.fetch_node(tx, tree, cur, style)? {
+                    Attempt::Done(e) => e,
+                    Attempt::Retry(c) => {
+                        self.invalidate_path(tree, &path);
+                        return Ok(Attempt::Retry(c));
+                    }
+                };
+                match self.version_check(tree, &e.node, ctx.sid)? {
+                    VersionCheck::Current => {
+                        e.link = link;
+                        break e;
+                    }
+                    VersionCheck::Stale => {
+                        self.ncache.invalidate(tree, e.ptr);
+                        self.invalidate_path(tree, &path);
+                        return Ok(Attempt::Retry(RetryCause::StaleVersion));
+                    }
+                    VersionCheck::Redirect(next) => {
+                        hops += 1;
+                        if hops > 64 {
+                            self.invalidate_path(tree, &path);
+                            return Ok(Attempt::Retry(RetryCause::StaleVersion));
+                        }
+                        cur = next;
+                    }
+                }
+            };
+
+            // Fence check (Fig. 5 lines 5 and 22).
+            if !in_range(&entry.node.low, &entry.node.high, key) {
+                self.ncache.invalidate(tree, entry.ptr);
+                self.invalidate_path(tree, &path);
+                return Ok(Attempt::Retry(RetryCause::FenceViolation));
+            }
+            // Height consistency (Fig. 5 line 15: fatal inconsistency).
+            if let Some(prev) = path.last() {
+                if entry.node.height != prev.node.height - 1 {
+                    self.ncache.invalidate(tree, entry.ptr);
+                    self.invalidate_path(tree, &path);
+                    return Ok(Attempt::Retry(RetryCause::HeightMismatch));
+                }
+            } else if entry.node.height < stop_height {
+                // Root shallower than the requested stop level: stale root
+                // observation.
+                return Ok(Attempt::Retry(RetryCause::StaleTip));
+            }
+
+            let at_stop = entry.node.height == stop_height;
+            if at_stop
+                && path.is_empty()
+                && leaf_access == LeafAccess::Transactional
+                && matches!(mode, ConcurrencyMode::DirtyTraversals | ConcurrencyMode::FullValidation)
+            {
+                // Single-level tree: the root is the leaf and was fetched
+                // through the dirty/cached path. Promote it into the read
+                // set at the observed version.
+                let obj = layout.node_obj(entry.ptr);
+                if tx.observed_seqno(&TxKey::Plain(obj)).is_none() {
+                    tx.assume(TxKey::Plain(obj), entry.seqno, entry.node.encode());
+                }
+            }
+
+            let next = if at_stop {
+                None
+            } else {
+                Some(entry.node.child_for(key))
+            };
+            path.push(entry);
+            match next {
+                None => return Ok(Attempt::Done(path)),
+                Some(ptr) => cur = ptr,
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Cluster-level handle: configuration, bootstrap, and shared tree state.
+
+use crate::catalog::{CatEntry, GlobalVal, TipVal, VersionCache, NO_PARENT};
+use crate::layout::{Layout, LayoutParams};
+use crate::node::{Node, NodePtr};
+use crate::proxy::Proxy;
+use crate::scs::SnapshotService;
+use minuet_dyntx::encode_obj;
+use minuet_sinfonia::{ClusterConfig, MemNodeId, SinfoniaCluster};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Concurrency-control mode of the B-tree (§3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConcurrencyMode {
+    /// Minuet's scheme: traverse internal nodes with dirty reads guarded by
+    /// fence keys and version tags; only the leaf is validated.
+    DirtyTraversals,
+    /// The baseline of Aguilera et al.: every traversed node is validated,
+    /// with internal-node seqnos replicated at every memnode so validation
+    /// can happen at the leaf's memnode. Internal-node updates engage all
+    /// memnodes.
+    FullValidation,
+}
+
+/// Versioning mode of the tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VersionMode {
+    /// Linear snapshots only (§4): the version tree is a path.
+    Linear,
+    /// Branching versions / writable clones (§5).
+    Branching,
+}
+
+/// Configuration of every tree hosted by a [`MinuetCluster`].
+#[derive(Clone, Debug)]
+pub struct TreeConfig {
+    /// Concurrency-control mode.
+    pub mode: ConcurrencyMode,
+    /// Versioning mode.
+    pub version_mode: VersionMode,
+    /// Address-space layout parameters.
+    pub layout: LayoutParams,
+    /// Cap on leaf entries (besides the byte-size cap); small values force
+    /// deep trees in tests.
+    pub max_leaf_entries: usize,
+    /// Cap on internal-node children.
+    pub max_internal_entries: usize,
+    /// Version-tree branching factor bound β (§5.2).
+    pub beta: usize,
+    /// Cache internal nodes at proxies (§2.3; ablation switch).
+    pub cache_internal_nodes: bool,
+    /// Piggy-back read-set validation onto fetches (§2.2; ablation switch).
+    pub piggyback: bool,
+    /// Use blocking minitransactions for snapshot-creation commits (§4.1).
+    pub blocking_meta_updates: bool,
+    /// Lock-wait budget of blocking minitransactions.
+    pub blocking_wait: Duration,
+    /// Give up an operation after this many optimistic retries.
+    pub max_op_retries: usize,
+    /// Slots grabbed per allocator chunk refill.
+    pub alloc_chunk: u32,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            mode: ConcurrencyMode::DirtyTraversals,
+            version_mode: VersionMode::Linear,
+            layout: LayoutParams::default(),
+            max_leaf_entries: usize::MAX,
+            max_internal_entries: usize::MAX,
+            beta: 2,
+            cache_internal_nodes: true,
+            piggyback: true,
+            blocking_meta_updates: true,
+            blocking_wait: Duration::from_millis(50),
+            max_op_retries: 100_000,
+            alloc_chunk: 64,
+        }
+    }
+}
+
+impl TreeConfig {
+    /// A configuration with tiny nodes, handy for tests that need deep
+    /// trees from few keys.
+    pub fn small_nodes(max_entries: usize) -> Self {
+        TreeConfig {
+            max_leaf_entries: max_entries,
+            max_internal_entries: max_entries,
+            layout: LayoutParams {
+                node_payload: 1024,
+                slots_per_mem: 4096,
+                max_snapshots: 1024,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Shared (cross-proxy) state of one tree.
+pub(crate) struct TreeShared {
+    /// Resolved layout.
+    pub layout: Layout,
+    /// Cached immutable catalog fields for ancestry queries.
+    pub vcache: VersionCache,
+    /// Snapshot creation service (Fig. 7).
+    pub scs: SnapshotService,
+}
+
+/// A Minuet cluster hosting one or more distributed multiversion B-trees
+/// over a simulated Sinfonia cluster.
+pub struct MinuetCluster {
+    /// The underlying Sinfonia cluster.
+    pub sinfonia: Arc<SinfoniaCluster>,
+    /// Tree configuration (shared by all trees).
+    pub cfg: TreeConfig,
+    pub(crate) trees: Vec<TreeShared>,
+    proxy_rr: AtomicUsize,
+}
+
+impl MinuetCluster {
+    /// Builds a cluster of `n_mems` memnodes hosting `n_trees` trees, and
+    /// bootstraps each tree with an empty root at snapshot 0.
+    pub fn new(n_mems: usize, n_trees: u32, cfg: TreeConfig) -> Arc<MinuetCluster> {
+        Self::with_cluster_config(
+            ClusterConfig::with_memnodes(n_mems),
+            n_trees,
+            cfg,
+        )
+    }
+
+    /// Like [`MinuetCluster::new`] but with explicit Sinfonia settings
+    /// (model RTT, injected latency, ...). `capacity_per_node` is
+    /// recomputed from the layout.
+    pub fn with_cluster_config(
+        mut sin_cfg: ClusterConfig,
+        n_trees: u32,
+        cfg: TreeConfig,
+    ) -> Arc<MinuetCluster> {
+        assert!(n_trees > 0);
+        assert!(cfg.beta >= 2, "β must be at least 2");
+        let n_mems = sin_cfg.memnodes;
+        sin_cfg.capacity_per_node =
+            Layout::required_capacity(n_trees, cfg.layout, n_mems).max(1 << 20);
+        let sinfonia = SinfoniaCluster::new(sin_cfg);
+
+        let mut trees = Vec::with_capacity(n_trees as usize);
+        for t in 0..n_trees {
+            let layout = Layout::new(t, cfg.layout, n_mems);
+            let shared = TreeShared {
+                layout,
+                vcache: VersionCache::new(),
+                scs: SnapshotService::new(),
+            };
+            bootstrap_tree(&sinfonia, &shared, t, n_mems);
+            trees.push(shared);
+        }
+
+        Arc::new(MinuetCluster {
+            sinfonia,
+            cfg,
+            trees,
+            proxy_rr: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of memnodes.
+    pub fn n_memnodes(&self) -> usize {
+        self.sinfonia.n()
+    }
+
+    /// Number of trees hosted.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Creates a proxy. Proxies are cheap, single-threaded handles; create
+    /// one per worker thread. Each proxy is assigned a home memnode
+    /// (round-robin) whose replicas it prefers for replicated reads.
+    pub fn proxy(self: &Arc<Self>) -> Proxy {
+        let home = MemNodeId(
+            (self.proxy_rr.fetch_add(1, Ordering::Relaxed) % self.n_memnodes()) as u16,
+        );
+        Proxy::new(self.clone(), home)
+    }
+
+    pub(crate) fn shared(&self, tree: u32) -> &TreeShared {
+        &self.trees[tree as usize]
+    }
+
+    /// The layout of tree `tree` (bench/test introspection).
+    pub fn layout(&self, tree: u32) -> &Layout {
+        &self.trees[tree as usize].layout
+    }
+}
+
+/// Writes the initial images of a tree directly into the (quiescent)
+/// memnodes: empty root leaf at snapshot 0, allocator states, TIP, GLOBAL,
+/// and catalog entry 0.
+fn bootstrap_tree(sin: &SinfoniaCluster, shared: &TreeShared, tree: u32, n_mems: usize) {
+    let layout = &shared.layout;
+    let root_mem = MemNodeId((tree as usize % n_mems) as u16);
+    let root_ptr = NodePtr {
+        mem: root_mem,
+        slot: 0,
+    };
+
+    // Root node (a blind slot-0 write on its home memnode).
+    let root = Node::empty_root(0);
+    let root_obj = layout.node_obj(root_ptr);
+    sin.node(root_mem)
+        .raw_write(root_obj.off, &encode_obj(sin.next_txid(), &root.encode()))
+        .expect("bootstrap root");
+
+    // Allocator state: slot 0 consumed on the root's memnode.
+    for mem in sin.memnode_ids() {
+        let st = crate::alloc::AllocState {
+            bump: if mem == root_mem { 1 } else { 0 },
+            free_head: crate::alloc::NIL_SLOT,
+            free_count: 0,
+        };
+        let obj = layout.alloc_state(mem);
+        sin.node(mem)
+            .raw_write(obj.off, &encode_obj(sin.next_txid(), &st.encode()))
+            .expect("bootstrap alloc state");
+    }
+
+    // Replicated TIP, GLOBAL and catalog[0]: identical image (same seqno)
+    // on every memnode.
+    let tip = TipVal {
+        sid: 0,
+        root: root_ptr,
+    };
+    let global = GlobalVal {
+        next_sid: 1,
+        lowest: 0,
+    };
+    let cat0 = CatEntry {
+        root: root_ptr,
+        parent: NO_PARENT,
+        branch_id: 0,
+        nbranches: 0,
+        deleted: false,
+    };
+    for (obj, payload) in [
+        (layout.tip(), tip.encode()),
+        (layout.global(), global.encode()),
+        (layout.catalog_entry(0).unwrap(), cat0.encode()),
+    ] {
+        let image = encode_obj(sin.next_txid(), &payload);
+        for mem in sin.memnode_ids() {
+            sin.node(mem)
+                .raw_write(obj.at(mem).off, &image)
+                .expect("bootstrap replicated object");
+        }
+    }
+
+    shared.vcache.insert(0, NO_PARENT, root_ptr);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minuet_dyntx::{decode_obj, DynTx};
+
+    #[test]
+    fn bootstrap_images_readable() {
+        let mc = MinuetCluster::new(3, 2, TreeConfig::default());
+        for t in 0..2 {
+            let layout = mc.layout(t);
+            let mut tx = DynTx::new(&mc.sinfonia);
+            // TIP readable from every replica and identical.
+            let mut tips = Vec::new();
+            for mem in mc.sinfonia.memnode_ids() {
+                let raw = mc.sinfonia.node(mem).raw_read(layout.tip().at(mem).off, 64).unwrap();
+                tips.push(decode_obj(&raw));
+            }
+            assert!(tips.windows(2).all(|w| w[0] == w[1]));
+            let tip = TipVal::decode(&tips[0].data).unwrap();
+            assert_eq!(tip.sid, 0);
+            // Root decodes as an empty leaf.
+            let root_raw = tx.read(layout.node_obj(tip.root)).unwrap();
+            let root = Node::decode(&root_raw).unwrap();
+            assert_eq!(root.height, 0);
+            assert!(root.is_empty());
+            assert_eq!(root.created, 0);
+        }
+    }
+
+    #[test]
+    fn roots_spread_across_memnodes() {
+        let mc = MinuetCluster::new(2, 2, TreeConfig::default());
+        let mut tx = DynTx::new(&mc.sinfonia);
+        let t0 = TipVal::decode(&tx.read_repl(mc.layout(0).tip(), MemNodeId(0)).unwrap()).unwrap();
+        let t1 = TipVal::decode(&tx.read_repl(mc.layout(1).tip(), MemNodeId(0)).unwrap()).unwrap();
+        assert_ne!(t0.root.mem, t1.root.mem);
+    }
+}

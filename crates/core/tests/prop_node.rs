@@ -1,0 +1,163 @@
+//! Property-based tests for the node binary format and split algebra.
+
+use minuet_core::node::{DescEntry, Node, NodeBody, NodePtr};
+use minuet_core::Fence;
+use minuet_sinfonia::MemNodeId;
+use proptest::prelude::*;
+
+fn fence_strategy() -> impl Strategy<Value = Fence> {
+    prop_oneof![
+        Just(Fence::NegInf),
+        proptest::collection::vec(any::<u8>(), 0..12).prop_map(Fence::Key),
+        Just(Fence::PosInf),
+    ]
+}
+
+fn desc_strategy() -> impl Strategy<Value = Vec<DescEntry>> {
+    proptest::collection::vec(
+        (any::<u64>(), any::<u16>(), any::<u32>()).prop_map(|(sid, mem, slot)| DescEntry {
+            sid,
+            ptr: NodePtr {
+                mem: MemNodeId(mem),
+                slot,
+            },
+        }),
+        0..4,
+    )
+}
+
+fn leaf_strategy() -> impl Strategy<Value = Node> {
+    (
+        any::<u64>(),
+        desc_strategy(),
+        fence_strategy(),
+        fence_strategy(),
+        proptest::collection::btree_map(
+            proptest::collection::vec(any::<u8>(), 0..16),
+            proptest::collection::vec(any::<u8>(), 0..16),
+            0..12,
+        ),
+    )
+        .prop_map(|(created, desc, low, high, entries)| Node {
+            height: 0,
+            created,
+            desc,
+            low,
+            high,
+            body: NodeBody::Leaf {
+                entries: entries.into_iter().collect(),
+            },
+        })
+}
+
+fn internal_strategy() -> impl Strategy<Value = Node> {
+    (
+        1u8..6,
+        any::<u64>(),
+        desc_strategy(),
+        fence_strategy(),
+        fence_strategy(),
+        proptest::collection::btree_set(proptest::collection::vec(any::<u8>(), 0..10), 0..8),
+        proptest::collection::vec((any::<u16>(), any::<u32>()), 9),
+    )
+        .prop_map(|(height, created, desc, low, high, seps, ptrs)| {
+            let seps: Vec<Vec<u8>> = seps.into_iter().collect();
+            let kids: Vec<NodePtr> = ptrs
+                .into_iter()
+                .take(seps.len() + 1)
+                .map(|(mem, slot)| NodePtr {
+                    mem: MemNodeId(mem),
+                    slot,
+                })
+                .collect();
+            Node {
+                height,
+                created,
+                desc,
+                low,
+                high,
+                body: NodeBody::Internal { seps, kids },
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn leaf_roundtrip(node in leaf_strategy()) {
+        let raw = node.encode();
+        prop_assert_eq!(raw.len(), node.encoded_size());
+        prop_assert_eq!(Node::decode(&raw).unwrap(), node);
+    }
+
+    #[test]
+    fn internal_roundtrip(node in internal_strategy()) {
+        let raw = node.encode();
+        prop_assert_eq!(raw.len(), node.encoded_size());
+        prop_assert_eq!(Node::decode(&raw).unwrap(), node);
+    }
+
+    /// Truncated or bit-flipped images must never panic — decode returns
+    /// an error or (for flips that stay structurally valid) some node.
+    #[test]
+    fn decode_is_total(node in leaf_strategy(), cut in any::<u16>(), flip in any::<u16>()) {
+        let mut raw = node.encode();
+        if !raw.is_empty() {
+            let cut = cut as usize % (raw.len() + 1);
+            raw.truncate(cut);
+            let _ = Node::decode(&raw); // must not panic
+        }
+        let mut raw2 = node.encode();
+        if !raw2.is_empty() {
+            let i = flip as usize % raw2.len();
+            raw2[i] ^= 0xFF;
+            let _ = Node::decode(&raw2); // must not panic
+        }
+    }
+
+    /// Splitting preserves entries, ordering, and fence continuity.
+    #[test]
+    fn split_preserves_content(node in leaf_strategy()) {
+        prop_assume!(node.len() >= 2);
+        let before: Vec<(Vec<u8>, Vec<u8>)> = match &node.body {
+            NodeBody::Leaf { entries } => entries.clone(),
+            _ => unreachable!(),
+        };
+        let (low, high) = (node.low.clone(), node.high.clone());
+        let (l, sep, r) = node.split();
+        prop_assert_eq!(&l.low, &low);
+        prop_assert_eq!(&l.high, &Fence::Key(sep.clone()));
+        prop_assert_eq!(&r.low, &Fence::Key(sep));
+        prop_assert_eq!(&r.high, &high);
+        let mut after = Vec::new();
+        for n in [&l, &r] {
+            if let NodeBody::Leaf { entries } = &n.body {
+                after.extend(entries.clone());
+            }
+        }
+        prop_assert_eq!(after, before);
+        // Every left key below every right key.
+        if let (NodeBody::Leaf { entries: le }, NodeBody::Leaf { entries: re }) = (&l.body, &r.body) {
+            if let (Some(lmax), Some(rmin)) = (le.last(), re.first()) {
+                prop_assert!(lmax.0 < rmin.0);
+            }
+        }
+    }
+
+    /// child_for routes to the child whose range contains the key.
+    #[test]
+    fn child_routing_consistent(node in internal_strategy(), key in proptest::collection::vec(any::<u8>(), 0..10)) {
+        prop_assume!(matches!(&node.body, NodeBody::Internal { seps, .. } if !seps.is_empty()));
+        let ptr = node.child_for(&key);
+        if let NodeBody::Internal { seps, kids } = &node.body {
+            let idx = seps.partition_point(|s| s.as_slice() <= key.as_slice());
+            prop_assert_eq!(ptr, kids[idx]);
+            // The chosen child's implied range contains the key.
+            if idx > 0 {
+                prop_assert!(seps[idx - 1].as_slice() <= key.as_slice());
+            }
+            if idx < seps.len() {
+                prop_assert!(key.as_slice() < seps[idx].as_slice());
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! A non-coherent per-proxy object cache.
+//!
+//! Proxies cache fetched objects (B-tree inner nodes, the tip snapshot id,
+//! catalog entries) to avoid network round trips. The cache is deliberately
+//! *not* kept coherent across proxies or even across entries (§2.3):
+//! staleness is caught by the B-tree's safety checks (fence keys, version
+//! tags) and by commit-time validation, which trigger invalidation and
+//! retry.
+
+use crate::object::{ObjRef, SeqNo};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One cached object version.
+#[derive(Clone, Debug)]
+pub struct CachedObj {
+    /// Version the value was observed at.
+    pub seqno: SeqNo,
+    /// Payload bytes.
+    pub data: Arc<Vec<u8>>,
+}
+
+/// Cache hit/miss counters.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: AtomicU64,
+    /// Lookups that found nothing.
+    pub misses: AtomicU64,
+    /// Entries dropped by invalidation.
+    pub invalidations: AtomicU64,
+}
+
+/// A simple unbounded object cache keyed by `(memnode, offset)`.
+///
+/// B-tree inner nodes are few relative to leaves (high fanout), so an
+/// unbounded cache matches the paper's prototype; `clear` supports
+/// bounded-memory policies on top.
+pub struct ObjectCache {
+    map: RwLock<HashMap<(u16, u64), CachedObj>>,
+    /// Counters.
+    pub stats: CacheStats,
+}
+
+impl Default for ObjectCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjectCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ObjectCache {
+            map: RwLock::new(HashMap::new()),
+            stats: CacheStats::default(),
+        }
+    }
+
+    #[inline]
+    fn key(obj: &ObjRef) -> (u16, u64) {
+        (obj.mem.0, obj.off)
+    }
+
+    /// Looks up a cached version of `obj`.
+    pub fn get(&self, obj: &ObjRef) -> Option<CachedObj> {
+        let got = self.map.read().get(&Self::key(obj)).cloned();
+        match &got {
+            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Installs (or refreshes) a cached version.
+    pub fn put(&self, obj: &ObjRef, seqno: SeqNo, data: Arc<Vec<u8>>) {
+        self.map
+            .write()
+            .insert(Self::key(obj), CachedObj { seqno, data });
+    }
+
+    /// Drops the entry for `obj`, if any.
+    pub fn invalidate(&self, obj: &ObjRef) {
+        if self.map.write().remove(&Self::key(obj)).is_some() {
+            self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minuet_sinfonia::MemNodeId;
+
+    fn obj(mem: u16, off: u64) -> ObjRef {
+        ObjRef::new(MemNodeId(mem), off, 64)
+    }
+
+    #[test]
+    fn put_get_invalidate() {
+        let c = ObjectCache::new();
+        let o = obj(0, 100);
+        assert!(c.get(&o).is_none());
+        c.put(&o, 5, Arc::new(b"x".to_vec()));
+        let got = c.get(&o).unwrap();
+        assert_eq!(got.seqno, 5);
+        assert_eq!(*got.data, b"x".to_vec());
+        c.invalidate(&o);
+        assert!(c.get(&o).is_none());
+        assert_eq!(c.stats.invalidations.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn distinct_offsets_distinct_entries() {
+        let c = ObjectCache::new();
+        c.put(&obj(0, 0), 1, Arc::new(vec![1]));
+        c.put(&obj(0, 64), 2, Arc::new(vec![2]));
+        c.put(&obj(1, 0), 3, Arc::new(vec![3]));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&obj(0, 64)).unwrap().seqno, 2);
+    }
+
+    #[test]
+    fn stats_count() {
+        let c = ObjectCache::new();
+        let o = obj(0, 0);
+        c.get(&o);
+        c.put(&o, 1, Arc::new(vec![]));
+        c.get(&o);
+        assert_eq!(c.stats.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(c.stats.misses.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Objects: versioned byte regions layered over the Sinfonia address space.
+//!
+//! The dynamic transaction layer (Aguilera et al., PVLDB 2008) turns the raw
+//! compare/read/write interface of minitransactions into transactional
+//! *objects*. Each object occupies a fixed-capacity region whose first bytes
+//! hold a header: a **sequence number** that changes on every update (used
+//! for cheap backward validation) and the current payload length.
+//!
+//! Sequence numbers here are globally unique rather than per-object
+//! monotonic: every committed write installs a fresh id drawn from a global
+//! counter. Equality comparison still detects any intervening update, and
+//! uniqueness additionally rules out ABA hazards when the allocator reuses
+//! freed regions.
+
+use minuet_sinfonia::{ItemRange, MemNodeId};
+
+/// Size of the object header: 8-byte seqno + 4-byte payload length.
+pub const OBJ_HEADER: u32 = 12;
+
+/// Sequence number of an object version. `0` means "never written".
+pub type SeqNo = u64;
+
+/// Reference to a plain (unreplicated) object: a fixed-capacity region on
+/// one memnode. `cap` includes the header.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjRef {
+    /// Home memnode.
+    pub mem: MemNodeId,
+    /// Byte offset of the region.
+    pub off: u64,
+    /// Total region capacity in bytes, including the header.
+    pub cap: u32,
+}
+
+impl ObjRef {
+    /// Creates an object reference.
+    pub fn new(mem: MemNodeId, off: u64, cap: u32) -> Self {
+        debug_assert!(cap >= OBJ_HEADER);
+        ObjRef { mem, off, cap }
+    }
+
+    /// Maximum payload this object can hold.
+    pub fn payload_cap(&self) -> u32 {
+        self.cap - OBJ_HEADER
+    }
+
+    /// The range holding the 8-byte sequence number.
+    pub fn seqno_range(&self) -> ItemRange {
+        ItemRange::new(self.mem, self.off, 8)
+    }
+
+    /// The full region range.
+    pub fn full_range(&self) -> ItemRange {
+        ItemRange::new(self.mem, self.off, self.cap)
+    }
+}
+
+/// Reference to a replicated object: the same `(off, cap)` region on
+/// *every* memnode of the cluster. Reads may use any replica; writes update
+/// all replicas atomically (used for the tip snapshot id and root location,
+/// §4.1, and the baseline's internal-node sequence-number table, §2.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ReplRef {
+    /// Byte offset of the region on each memnode.
+    pub off: u64,
+    /// Region capacity (with header).
+    pub cap: u32,
+}
+
+impl ReplRef {
+    /// Creates a replicated object reference.
+    pub fn new(off: u64, cap: u32) -> Self {
+        debug_assert!(cap >= OBJ_HEADER);
+        ReplRef { off, cap }
+    }
+
+    /// The replica of this object living on `mem`.
+    pub fn at(&self, mem: MemNodeId) -> ObjRef {
+        ObjRef::new(mem, self.off, self.cap)
+    }
+
+    /// Maximum payload this object can hold.
+    pub fn payload_cap(&self) -> u32 {
+        self.cap - OBJ_HEADER
+    }
+}
+
+/// A fetched object version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjVal {
+    /// Version observed.
+    pub seqno: SeqNo,
+    /// Payload bytes (header stripped).
+    pub data: Vec<u8>,
+}
+
+impl ObjVal {
+    /// True if the object has never been written.
+    pub fn is_unwritten(&self) -> bool {
+        self.seqno == 0
+    }
+}
+
+/// Encodes an object region image: header plus payload.
+pub fn encode_obj(seqno: SeqNo, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(OBJ_HEADER as usize + payload.len());
+    out.extend_from_slice(&seqno.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes a raw region image into an [`ObjVal`].
+///
+/// Tolerates short buffers (unwritten regions read as zeroes).
+pub fn decode_obj(raw: &[u8]) -> ObjVal {
+    if raw.len() < OBJ_HEADER as usize {
+        return ObjVal {
+            seqno: 0,
+            data: Vec::new(),
+        };
+    }
+    let seqno = u64::from_le_bytes(raw[0..8].try_into().unwrap());
+    let len = u32::from_le_bytes(raw[8..12].try_into().unwrap()) as usize;
+    let avail = raw.len() - OBJ_HEADER as usize;
+    let len = len.min(avail);
+    ObjVal {
+        seqno,
+        data: raw[OBJ_HEADER as usize..OBJ_HEADER as usize + len].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let raw = encode_obj(42, b"payload");
+        let v = decode_obj(&raw);
+        assert_eq!(v.seqno, 42);
+        assert_eq!(v.data, b"payload");
+    }
+
+    #[test]
+    fn decode_zeroes_is_unwritten() {
+        let v = decode_obj(&[0u8; 64]);
+        assert!(v.is_unwritten());
+        assert!(v.data.is_empty());
+    }
+
+    #[test]
+    fn decode_truncated_payload_clamps() {
+        let mut raw = encode_obj(1, b"abc");
+        raw[8..12].copy_from_slice(&100u32.to_le_bytes()); // lie about length
+        let v = decode_obj(&raw);
+        assert_eq!(v.data, b"abc");
+    }
+
+    #[test]
+    fn ranges() {
+        let r = ObjRef::new(MemNodeId(2), 1000, 64);
+        assert_eq!(r.seqno_range(), ItemRange::new(MemNodeId(2), 1000, 8));
+        assert_eq!(r.full_range(), ItemRange::new(MemNodeId(2), 1000, 64));
+        assert_eq!(r.payload_cap(), 52);
+    }
+
+    #[test]
+    fn repl_at() {
+        let r = ReplRef::new(500, 32);
+        assert_eq!(r.at(MemNodeId(3)), ObjRef::new(MemNodeId(3), 500, 32));
+    }
+}

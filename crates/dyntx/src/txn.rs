@@ -1,0 +1,667 @@
+//! Dynamic transactions: optimistic multi-object transactions built from
+//! minitransactions (Aguilera et al., PVLDB 2008), extended with **dirty
+//! reads** (Minuet §3).
+//!
+//! A dynamic transaction maintains a *read set* and a *write set* of
+//! objects. Transactional reads fetch objects with minitransactions and
+//! record the observed sequence numbers; commit executes one final
+//! minitransaction that validates the read set (backward validation by
+//! seqno comparison) and applies the write set atomically.
+//!
+//! Two optimizations from the papers are implemented faithfully:
+//!
+//! * **Piggy-backed validation**: fetch minitransactions carry compare
+//!   items for the read-set entries co-located with the fetch target; if
+//!   the last fetch validated the entire read set and the write set is
+//!   empty, commit requires *zero* additional round trips.
+//! * **Dirty reads** (Minuet's extension): fetch an object *without*
+//!   adding it to the read set. The B-tree uses this to traverse internal
+//!   nodes so that only the leaf must validate. A dirty-read object that is
+//!   later written is first *promoted* into the read set with the seqno
+//!   observed by the dirty read.
+
+use crate::object::{decode_obj, encode_obj, ObjRef, ObjVal, ReplRef, SeqNo};
+use minuet_sinfonia::{MemNodeId, Minitransaction, Outcome, SinfoniaCluster, SinfoniaError};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+/// Key identifying an object within a transaction's read/write sets.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TxKey {
+    /// A plain object on one memnode.
+    Plain(ObjRef),
+    /// A replicated object (all memnodes).
+    Repl(ReplRef),
+}
+
+/// Reasons a dynamic transaction fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxError {
+    /// Backward validation failed: some read-set object changed since it
+    /// was read. The caller retries the whole operation.
+    Validation,
+    /// A memnode stayed unavailable beyond the retry budget.
+    Unavailable(MemNodeId),
+}
+
+impl std::fmt::Display for TxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxError::Validation => write!(f, "validation failed"),
+            TxError::Unavailable(m) => write!(f, "memnode {m} unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+impl From<SinfoniaError> for TxError {
+    fn from(e: SinfoniaError) -> Self {
+        match e {
+            SinfoniaError::Unavailable(m) => TxError::Unavailable(m),
+            SinfoniaError::OutOfBounds { mem, detail } => {
+                panic!("out-of-bounds object access at {mem}: {detail}")
+            }
+        }
+    }
+}
+
+/// Summary returned by a successful commit.
+#[derive(Debug, Default)]
+pub struct CommitInfo {
+    /// New sequence numbers installed for written objects.
+    pub installed: Vec<(TxKey, SeqNo)>,
+    /// True if commit needed no minitransaction (read-only, fully
+    /// piggy-back-validated).
+    pub validation_skipped: bool,
+}
+
+/// A dynamic transaction over a Sinfonia cluster.
+pub struct DynTx<'c> {
+    cluster: &'c SinfoniaCluster,
+    read_set: BTreeMap<TxKey, SeqNo>,
+    read_vals: HashMap<TxKey, Vec<u8>>,
+    write_set: BTreeMap<TxKey, (Vec<u8>, Option<SeqNo>)>,
+    dirty_seen: HashMap<TxKey, SeqNo>,
+    /// Raw compare items added verbatim to fetch (same-memnode) and commit
+    /// minitransactions. Used by the baseline B-tree mode to validate
+    /// internal-node seqnos against the replicated table (§2.3).
+    raw_compares: Vec<(minuet_sinfonia::ItemRange, Vec<u8>)>,
+    /// Raw write items added verbatim to the commit minitransaction (e.g.
+    /// replicated seqno-table updates).
+    raw_writes: Vec<(minuet_sinfonia::ItemRange, Vec<u8>)>,
+    /// True iff every current read-set entry was compare-validated by the
+    /// most recent minitransaction (all at one instant).
+    fully_validated: bool,
+    /// Piggy-backed validation enabled (ablation switch).
+    piggyback: bool,
+    /// Lock policy override for the commit minitransaction.
+    blocking_commit: Option<Duration>,
+}
+
+impl<'c> DynTx<'c> {
+    /// Begins a transaction with piggy-backed validation enabled.
+    pub fn new(cluster: &'c SinfoniaCluster) -> Self {
+        Self::with_piggyback(cluster, true)
+    }
+
+    /// Begins a transaction, choosing whether fetches piggy-back read-set
+    /// validation (used by the `ablation_piggyback` bench).
+    pub fn with_piggyback(cluster: &'c SinfoniaCluster, piggyback: bool) -> Self {
+        DynTx {
+            cluster,
+            read_set: BTreeMap::new(),
+            read_vals: HashMap::new(),
+            write_set: BTreeMap::new(),
+            dirty_seen: HashMap::new(),
+            raw_compares: Vec::new(),
+            raw_writes: Vec::new(),
+            fully_validated: true,
+            piggyback,
+            blocking_commit: None,
+        }
+    }
+
+    /// Makes the commit minitransaction *blocking*: memnodes wait for busy
+    /// locks (up to the budget) instead of aborting. Used for replicated
+    /// snapshot-id updates (§4.1).
+    pub fn set_blocking_commit(&mut self, budget: Duration) {
+        self.blocking_commit = Some(budget);
+    }
+
+    /// Number of objects in the read set.
+    pub fn read_set_len(&self) -> usize {
+        self.read_set.len()
+    }
+
+    /// Number of objects in the write set.
+    pub fn write_set_len(&self) -> usize {
+        self.write_set.len()
+    }
+
+    /// Access to the underlying cluster.
+    pub fn cluster(&self) -> &'c SinfoniaCluster {
+        self.cluster
+    }
+
+    /// The version at which `key` was read into the read set, if it was.
+    /// Lets callers populate caches with `(seqno, value)` pairs.
+    pub fn observed_seqno(&self, key: &TxKey) -> Option<SeqNo> {
+        self.read_set.get(key).copied()
+    }
+
+    /// True if this transaction has staged a write to `key`.
+    pub fn is_staged(&self, key: &TxKey) -> bool {
+        self.write_set.contains_key(key)
+    }
+
+    /// Builds the piggy-back compare items for a fetch at `mem`: compares
+    /// every read-set entry (and raw compare) whose (replica) seqno lives
+    /// on `mem`. Returns whether *all* current entries were covered.
+    fn piggyback_compares(&self, m: &mut Minitransaction, mem: MemNodeId) -> bool {
+        if !self.piggyback {
+            return self.read_set.is_empty() && self.raw_compares.is_empty();
+        }
+        let mut covered_all = true;
+        for (key, seqno) in &self.read_set {
+            let range = match key {
+                TxKey::Plain(r) if r.mem == mem => r.seqno_range(),
+                TxKey::Plain(_) => {
+                    covered_all = false;
+                    continue;
+                }
+                // Replicated objects validate against the local replica.
+                TxKey::Repl(r) => r.at(mem).seqno_range(),
+            };
+            m.compare(range, seqno.to_le_bytes().to_vec());
+        }
+        for (range, expected) in &self.raw_compares {
+            if range.mem == mem {
+                m.compare(*range, expected.clone());
+            } else {
+                covered_all = false;
+            }
+        }
+        covered_all
+    }
+
+    fn fetch(&mut self, key: TxKey, obj: ObjRef, track: bool) -> Result<ObjVal, TxError> {
+        let mut m = Minitransaction::new();
+        let covered_all = if track {
+            self.piggyback_compares(&mut m, obj.mem)
+        } else {
+            false
+        };
+        m.read(obj.full_range());
+        match self.cluster.execute(&m)? {
+            Outcome::FailedCompare(_) => Err(TxError::Validation),
+            Outcome::Committed(res) => {
+                let val = decode_obj(&res.data[0]);
+                if track {
+                    self.read_set.insert(key, val.seqno);
+                    self.read_vals.insert(key, val.data.clone());
+                    // The fetch and the compares happened atomically: if the
+                    // compares covered everything else, the entire read set
+                    // (including this fetch) was valid at one instant.
+                    self.fully_validated = covered_all;
+                } else {
+                    self.dirty_seen.insert(key, val.seqno);
+                }
+                Ok(val)
+            }
+        }
+    }
+
+    /// Transactional read of a plain object. Consults the write set, then
+    /// the read set, then fetches from the memnode (adding the object to
+    /// the read set for commit-time validation).
+    pub fn read(&mut self, obj: ObjRef) -> Result<Vec<u8>, TxError> {
+        let key = TxKey::Plain(obj);
+        if let Some((v, _)) = self.write_set.get(&key) {
+            return Ok(v.clone());
+        }
+        if let Some(v) = self.read_vals.get(&key) {
+            return Ok(v.clone());
+        }
+        Ok(self.fetch(key, obj, true)?.data)
+    }
+
+    /// Transactional read of a replicated object from the replica at
+    /// `prefer`.
+    pub fn read_repl(&mut self, obj: ReplRef, prefer: MemNodeId) -> Result<Vec<u8>, TxError> {
+        let key = TxKey::Repl(obj);
+        if let Some((v, _)) = self.write_set.get(&key) {
+            return Ok(v.clone());
+        }
+        if let Some(v) = self.read_vals.get(&key) {
+            return Ok(v.clone());
+        }
+        Ok(self.fetch(key, obj.at(prefer), true)?.data)
+    }
+
+    /// **Dirty read** (Minuet §3): fetches the current value of `obj`
+    /// without adding it to the read set. Returns the observed version so
+    /// callers can populate caches; the version is remembered for
+    /// promotion if the object is later written.
+    pub fn dirty_read(&mut self, obj: ObjRef) -> Result<ObjVal, TxError> {
+        let key = TxKey::Plain(obj);
+        if let Some((v, _)) = self.write_set.get(&key) {
+            return Ok(ObjVal {
+                seqno: self.dirty_seen.get(&key).copied().unwrap_or(0),
+                data: v.clone(),
+            });
+        }
+        if let Some(v) = self.read_vals.get(&key) {
+            return Ok(ObjVal {
+                seqno: self.read_set[&key],
+                data: v.clone(),
+            });
+        }
+        self.fetch(key, obj, false)
+    }
+
+    /// Seeds the read set from a value the proxy already holds (e.g. its
+    /// cached tip snapshot id, §4.1: "a proxy adds its cached copy of the
+    /// tip snapshot ... to the transaction's read set"). No round trip; if
+    /// the cached version is stale, validation fails and the caller
+    /// refreshes its cache and retries.
+    pub fn assume(&mut self, key: TxKey, seqno: SeqNo, value: Vec<u8>) {
+        self.read_set.insert(key, seqno);
+        self.read_vals.insert(key, value);
+        self.fully_validated = false;
+    }
+
+    /// Records a dirty-read observation served from an upper-layer cache,
+    /// so a later write can promote it with the right expected version.
+    pub fn note_dirty(&mut self, obj: ObjRef, seqno: SeqNo) {
+        self.dirty_seen.insert(TxKey::Plain(obj), seqno);
+    }
+
+    /// Transactional write of a plain object. If the object was previously
+    /// dirty-read (directly or via [`DynTx::note_dirty`]) it is promoted
+    /// into the read set first, so commit validates the version the writer
+    /// derived its update from. Objects never read are written blindly
+    /// (fresh allocations).
+    pub fn write(&mut self, obj: ObjRef, payload: Vec<u8>) {
+        assert!(
+            payload.len() <= obj.payload_cap() as usize,
+            "payload {} exceeds object capacity {}",
+            payload.len(),
+            obj.payload_cap()
+        );
+        let key = TxKey::Plain(obj);
+        if !self.read_set.contains_key(&key) {
+            if let Some(&seen) = self.dirty_seen.get(&key) {
+                self.read_set.insert(key, seen);
+            }
+        }
+        self.write_set.insert(key, (payload, None));
+    }
+
+    /// Like [`DynTx::write`], but pins the sequence number the commit will
+    /// install. Used when the new seqno must also be written elsewhere in
+    /// the same commit (the baseline's replicated seqno table, §2.3).
+    pub fn write_with_seqno(&mut self, obj: ObjRef, payload: Vec<u8>, seqno: SeqNo) {
+        assert!(payload.len() <= obj.payload_cap() as usize);
+        let key = TxKey::Plain(obj);
+        if !self.read_set.contains_key(&key) {
+            if let Some(&seen) = self.dirty_seen.get(&key) {
+                self.read_set.insert(key, seen);
+            }
+        }
+        self.write_set.insert(key, (payload, Some(seqno)));
+    }
+
+    /// Adds a raw compare item evaluated both by subsequent same-memnode
+    /// fetches (piggy-backed) and by the commit minitransaction.
+    pub fn add_raw_compare(&mut self, range: minuet_sinfonia::ItemRange, expected: Vec<u8>) {
+        self.raw_compares.push((range, expected));
+        self.fully_validated = false;
+    }
+
+    /// Adds a raw write item applied by the commit minitransaction.
+    pub fn add_raw_write(&mut self, range: minuet_sinfonia::ItemRange, data: Vec<u8>) {
+        self.raw_writes.push((range, data));
+    }
+
+    /// Transactional write of a replicated object: commit updates every
+    /// replica atomically (engaging all memnodes).
+    pub fn write_repl(&mut self, obj: ReplRef, payload: Vec<u8>) {
+        assert!(payload.len() <= obj.payload_cap() as usize);
+        self.write_set.insert(TxKey::Repl(obj), (payload, None));
+    }
+
+    /// True if the transaction has nothing to write.
+    pub fn is_read_only(&self) -> bool {
+        self.write_set.is_empty()
+    }
+
+    /// Commits the transaction.
+    ///
+    /// Read-only transactions whose read set was entirely validated by the
+    /// last fetch minitransaction commit without any round trip. Otherwise
+    /// a single minitransaction validates every read-set entry and applies
+    /// every write atomically; it commits at a single memnode (one phase)
+    /// whenever all items land there.
+    pub fn commit(self) -> Result<CommitInfo, TxError> {
+        if self.write_set.is_empty() && self.raw_writes.is_empty() && self.fully_validated {
+            return Ok(CommitInfo {
+                installed: Vec::new(),
+                validation_skipped: true,
+            });
+        }
+        let mut m = Minitransaction::new();
+        if let Some(budget) = self.blocking_commit {
+            m = m.blocking(budget);
+        }
+
+        // Bind replicated-object compares to a memnode that is already a
+        // participant, to preserve single-node commits.
+        let bind = self
+            .write_set
+            .keys()
+            .find_map(|k| match k {
+                TxKey::Plain(r) => Some(r.mem),
+                TxKey::Repl(_) => None,
+            })
+            .or_else(|| {
+                self.read_set.keys().find_map(|k| match k {
+                    TxKey::Plain(r) => Some(r.mem),
+                    TxKey::Repl(_) => None,
+                })
+            })
+            .unwrap_or(MemNodeId(0));
+
+        for (key, seqno) in &self.read_set {
+            let range = match key {
+                TxKey::Plain(r) => r.seqno_range(),
+                TxKey::Repl(r) => r.at(bind).seqno_range(),
+            };
+            m.compare(range, seqno.to_le_bytes().to_vec());
+        }
+        for (range, expected) in &self.raw_compares {
+            m.compare(*range, expected.clone());
+        }
+
+        let mut installed = Vec::with_capacity(self.write_set.len());
+        for (key, (payload, pinned)) in &self.write_set {
+            let new_seqno = pinned.unwrap_or_else(|| self.cluster.next_txid());
+            let image = encode_obj(new_seqno, payload);
+            match key {
+                TxKey::Plain(r) => {
+                    let range = minuet_sinfonia::ItemRange::new(r.mem, r.off, image.len() as u32);
+                    m.write(range, image);
+                }
+                TxKey::Repl(r) => {
+                    for mem in self.cluster.memnode_ids() {
+                        let range =
+                            minuet_sinfonia::ItemRange::new(mem, r.off, image.len() as u32);
+                        m.write(range, image.clone());
+                    }
+                }
+            }
+            installed.push((*key, new_seqno));
+        }
+        for (range, data) in &self.raw_writes {
+            m.write(*range, data.clone());
+        }
+
+        match self.cluster.execute(&m)? {
+            Outcome::Committed(_) => Ok(CommitInfo {
+                installed,
+                validation_skipped: false,
+            }),
+            Outcome::FailedCompare(_) => Err(TxError::Validation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minuet_sinfonia::{ClusterConfig, with_op_net};
+    use std::sync::Arc;
+
+    fn cluster(n: usize) -> Arc<SinfoniaCluster> {
+        SinfoniaCluster::new(ClusterConfig {
+            memnodes: n,
+            capacity_per_node: 1 << 20,
+            ..Default::default()
+        })
+    }
+
+    fn obj(mem: u16, off: u64) -> ObjRef {
+        ObjRef::new(MemNodeId(mem), off, 64)
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let c = cluster(1);
+        let o = obj(0, 0);
+        let mut tx = DynTx::new(&c);
+        tx.write(o, b"v1".to_vec());
+        tx.commit().unwrap();
+
+        let mut tx = DynTx::new(&c);
+        assert_eq!(tx.read(o).unwrap(), b"v1");
+        assert!(tx.commit().unwrap().validation_skipped);
+    }
+
+    #[test]
+    fn read_own_writes() {
+        let c = cluster(1);
+        let o = obj(0, 0);
+        let mut tx = DynTx::new(&c);
+        tx.write(o, b"mine".to_vec());
+        assert_eq!(tx.read(o).unwrap(), b"mine");
+    }
+
+    #[test]
+    fn validation_detects_conflict() {
+        let c = cluster(1);
+        let o = obj(0, 0);
+        let mut t0 = DynTx::new(&c);
+        t0.write(o, b"init".to_vec());
+        t0.commit().unwrap();
+
+        let mut t1 = DynTx::new(&c);
+        let _ = t1.read(o).unwrap();
+        // Concurrent writer commits first.
+        let mut t2 = DynTx::new(&c);
+        let _ = t2.read(o).unwrap();
+        t2.write(o, b"two".to_vec());
+        t2.commit().unwrap();
+
+        t1.write(o, b"one".to_vec());
+        assert_eq!(t1.commit().unwrap_err(), TxError::Validation);
+        // t2's write survives.
+        let mut t3 = DynTx::new(&c);
+        assert_eq!(t3.read(o).unwrap(), b"two");
+    }
+
+    #[test]
+    fn dirty_read_skips_validation() {
+        let c = cluster(1);
+        let a = obj(0, 0);
+        let b = obj(0, 64);
+        let mut t0 = DynTx::new(&c);
+        t0.write(a, b"a0".to_vec());
+        t0.write(b, b"b0".to_vec());
+        t0.commit().unwrap();
+
+        // t1 dirty-reads a, transactionally reads b.
+        let mut t1 = DynTx::new(&c);
+        assert_eq!(t1.dirty_read(a).unwrap().data, b"a0");
+        assert_eq!(t1.read(b).unwrap(), b"b0");
+        // Concurrent update to a (the dirty-read object).
+        let mut t2 = DynTx::new(&c);
+        let _ = t2.read(a).unwrap();
+        t2.write(a, b"a1".to_vec());
+        t2.commit().unwrap();
+        // t1 still commits: a is not in its read set.
+        assert_eq!(t1.read_set_len(), 1);
+        assert!(t1.commit().is_ok());
+    }
+
+    #[test]
+    fn dirty_then_write_promotes_and_validates() {
+        let c = cluster(1);
+        let a = obj(0, 0);
+        let mut t0 = DynTx::new(&c);
+        t0.write(a, b"a0".to_vec());
+        t0.commit().unwrap();
+
+        let mut t1 = DynTx::new(&c);
+        let _ = t1.dirty_read(a).unwrap();
+        // Concurrent update invalidates the version t1 observed.
+        let mut t2 = DynTx::new(&c);
+        let _ = t2.read(a).unwrap();
+        t2.write(a, b"a1".to_vec());
+        t2.commit().unwrap();
+
+        t1.write(a, b"bad".to_vec()); // promotion: expected seqno = dirty-read version
+        assert_eq!(t1.commit().unwrap_err(), TxError::Validation);
+    }
+
+    #[test]
+    fn piggyback_makes_readonly_commit_free() {
+        let c = cluster(1);
+        let a = obj(0, 0);
+        let b = obj(0, 64);
+        let mut t0 = DynTx::new(&c);
+        t0.write(a, b"a".to_vec());
+        t0.write(b, b"b".to_vec());
+        t0.commit().unwrap();
+
+        let mut t1 = DynTx::new(&c);
+        let _ = t1.read(a).unwrap();
+        let ((), net) = with_op_net(|| {
+            let _ = t1.read(b).unwrap();
+        });
+        assert_eq!(net.round_trips, 1); // fetch b validates a in the same trip
+        let info = t1.commit().unwrap();
+        assert!(info.validation_skipped);
+    }
+
+    #[test]
+    fn no_piggyback_requires_commit_validation() {
+        let c = cluster(1);
+        let a = obj(0, 0);
+        let b = obj(0, 64);
+        let mut t0 = DynTx::new(&c);
+        t0.write(a, b"a".to_vec());
+        t0.write(b, b"b".to_vec());
+        t0.commit().unwrap();
+
+        let mut t1 = DynTx::with_piggyback(&c, false);
+        let _ = t1.read(a).unwrap();
+        let _ = t1.read(b).unwrap();
+        let info = t1.commit().unwrap();
+        assert!(!info.validation_skipped);
+    }
+
+    #[test]
+    fn piggyback_catches_stale_assumption() {
+        let c = cluster(1);
+        let a = obj(0, 0);
+        let b = obj(0, 64);
+        let mut t0 = DynTx::new(&c);
+        t0.write(a, b"a0".to_vec());
+        t0.write(b, b"b0".to_vec());
+        t0.commit().unwrap();
+
+        // Proxy cached a at some stale version.
+        let mut t1 = DynTx::new(&c);
+        t1.assume(TxKey::Plain(a), 9999, b"stale".to_vec());
+        assert_eq!(t1.read(b).unwrap_err(), TxError::Validation);
+    }
+
+    #[test]
+    fn replicated_write_updates_all_replicas() {
+        let c = cluster(3);
+        let r = ReplRef::new(0, 64);
+        let mut t = DynTx::new(&c);
+        t.write_repl(r, b"tip".to_vec());
+        t.commit().unwrap();
+        for mem in c.memnode_ids() {
+            let mut tr = DynTx::new(&c);
+            assert_eq!(tr.read_repl(r, mem).unwrap(), b"tip");
+        }
+    }
+
+    #[test]
+    fn replicated_read_any_validates_against_write_all() {
+        let c = cluster(3);
+        let r = ReplRef::new(0, 64);
+        let mut t0 = DynTx::new(&c);
+        t0.write_repl(r, b"v0".to_vec());
+        t0.commit().unwrap();
+
+        // Reader snapshots the replicated object from replica 2.
+        let mut t1 = DynTx::new(&c);
+        let _ = t1.read_repl(r, MemNodeId(2)).unwrap();
+        // Writer bumps it everywhere.
+        let mut t2 = DynTx::new(&c);
+        let _ = t2.read_repl(r, MemNodeId(0)).unwrap();
+        t2.write_repl(r, b"v1".to_vec());
+        t2.commit().unwrap();
+        // Reader's plain-object write must fail validation of the repl entry.
+        let o = obj(1, 512);
+        t1.write(o, b"x".to_vec());
+        assert_eq!(t1.commit().unwrap_err(), TxError::Validation);
+    }
+
+    #[test]
+    fn single_key_update_is_two_round_trips() {
+        let c = cluster(4);
+        let o = obj(2, 0);
+        let mut t0 = DynTx::new(&c);
+        t0.write(o, b"v0".to_vec());
+        t0.commit().unwrap();
+
+        let (res, net) = with_op_net(|| {
+            let mut t = DynTx::new(&c);
+            let _ = t.read(o).unwrap(); // 1 RT
+            t.write(o, b"v1".to_vec());
+            t.commit().unwrap() // 1 RT (single memnode, one-phase)
+        });
+        assert!(!res.validation_skipped);
+        assert_eq!(net.round_trips, 2);
+    }
+
+    #[test]
+    fn blind_write_needs_no_read() {
+        let c = cluster(2);
+        let o = obj(1, 4096);
+        let (_, net) = with_op_net(|| {
+            let mut t = DynTx::new(&c);
+            t.write(o, b"fresh".to_vec());
+            t.commit().unwrap();
+        });
+        assert_eq!(net.round_trips, 1);
+        let mut t = DynTx::new(&c);
+        assert_eq!(t.read(o).unwrap(), b"fresh");
+    }
+
+    #[test]
+    fn unique_seqnos_prevent_aba() {
+        let c = cluster(1);
+        let o = obj(0, 0);
+        let mut t0 = DynTx::new(&c);
+        t0.write(o, b"A".to_vec());
+        t0.commit().unwrap();
+
+        let mut reader = DynTx::new(&c);
+        let _ = reader.read(o).unwrap();
+
+        // A -> B -> A: same payload returns, but seqno differs.
+        for v in [b"B".to_vec(), b"A".to_vec()] {
+            let mut t = DynTx::new(&c);
+            let _ = t.read(o).unwrap();
+            t.write(o, v);
+            t.commit().unwrap();
+        }
+        reader.write(o, b"C".to_vec());
+        assert_eq!(reader.commit().unwrap_err(), TxError::Validation);
+    }
+}

@@ -1,0 +1,137 @@
+//! Addressing primitives for the Sinfonia address space.
+//!
+//! Each memnode exports an unstructured, byte-addressable storage space.
+//! Minitransaction items name byte ranges within a memnode's space using
+//! [`ItemRange`].
+
+use std::fmt;
+
+/// Identifier of a memnode (storage node) within a cluster.
+///
+/// Memnode ids are dense: a cluster of `n` memnodes uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MemNodeId(pub u16);
+
+impl MemNodeId {
+    /// Returns the id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MemNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mem{}", self.0)
+    }
+}
+
+/// A contiguous byte range within one memnode's address space.
+///
+/// This is the unit at which minitransactions read, compare, write, and at
+/// which the lock manager acquires locks.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ItemRange {
+    /// The memnode that stores this range.
+    pub mem: MemNodeId,
+    /// Byte offset of the first byte of the range.
+    pub off: u64,
+    /// Length of the range in bytes. Zero-length ranges are permitted and
+    /// never conflict with anything.
+    pub len: u32,
+}
+
+impl ItemRange {
+    /// Creates a new item range.
+    #[inline]
+    pub fn new(mem: MemNodeId, off: u64, len: u32) -> Self {
+        ItemRange { mem, off, len }
+    }
+
+    /// One-past-the-end offset of the range.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.off + self.len as u64
+    }
+
+    /// Returns true if the two ranges overlap (and live on the same memnode).
+    #[inline]
+    pub fn overlaps(&self, other: &ItemRange) -> bool {
+        self.mem == other.mem
+            && self.len > 0
+            && other.len > 0
+            && self.off < other.end()
+            && other.off < self.end()
+    }
+
+    /// Returns true if `self` fully contains `other`.
+    #[inline]
+    pub fn contains(&self, other: &ItemRange) -> bool {
+        self.mem == other.mem && self.off <= other.off && other.end() <= self.end()
+    }
+}
+
+impl fmt::Display for ItemRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}..{}]", self.mem, self.off, self.end())
+    }
+}
+
+/// Canonicalizes a set of `(off, end)` intervals: sorts and merges
+/// overlapping or adjacent intervals. Used to build per-memnode lock sets so
+/// that a minitransaction never conflicts with itself.
+pub fn merge_intervals(mut spans: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    spans.retain(|s| s.1 > s.0);
+    spans.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(spans.len());
+    for (s, e) in spans {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(mem: u16, off: u64, len: u32) -> ItemRange {
+        ItemRange::new(MemNodeId(mem), off, len)
+    }
+
+    #[test]
+    fn overlap_basic() {
+        assert!(r(0, 0, 10).overlaps(&r(0, 5, 10)));
+        assert!(r(0, 5, 10).overlaps(&r(0, 0, 10)));
+        assert!(!r(0, 0, 10).overlaps(&r(0, 10, 10)));
+        assert!(!r(0, 0, 10).overlaps(&r(1, 0, 10)));
+    }
+
+    #[test]
+    fn zero_length_never_overlaps() {
+        assert!(!r(0, 5, 0).overlaps(&r(0, 0, 10)));
+        assert!(!r(0, 0, 10).overlaps(&r(0, 5, 0)));
+    }
+
+    #[test]
+    fn contains_basic() {
+        assert!(r(0, 0, 10).contains(&r(0, 2, 3)));
+        assert!(r(0, 0, 10).contains(&r(0, 0, 10)));
+        assert!(!r(0, 0, 10).contains(&r(0, 8, 3)));
+        assert!(!r(0, 0, 10).contains(&r(1, 2, 3)));
+    }
+
+    #[test]
+    fn merge_intervals_merges_overlapping_and_adjacent() {
+        let merged = merge_intervals(vec![(10, 20), (0, 5), (5, 8), (19, 25), (30, 30)]);
+        assert_eq!(merged, vec![(0, 8), (10, 25)]);
+    }
+
+    #[test]
+    fn merge_intervals_empty() {
+        assert!(merge_intervals(vec![]).is_empty());
+        assert!(merge_intervals(vec![(3, 3)]).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Error types for the Sinfonia layer.
+
+use crate::addr::MemNodeId;
+use std::fmt;
+
+/// Errors surfaced to applications by the Sinfonia library.
+///
+/// Note that lock contention and compare failures are *not* errors: the
+/// former is retried transparently, the latter is reported through
+/// [`crate::minitx::Outcome::FailedCompare`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinfoniaError {
+    /// A participating memnode stayed unavailable past the retry budget.
+    Unavailable(MemNodeId),
+    /// An item referenced an address outside the configured space.
+    OutOfBounds {
+        /// The memnode whose bounds were violated.
+        mem: MemNodeId,
+        /// Description of the access.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SinfoniaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SinfoniaError::Unavailable(m) => write!(f, "memnode {m} unavailable"),
+            SinfoniaError::OutOfBounds { mem, detail } => {
+                write!(f, "out-of-bounds access at {mem}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SinfoniaError {}

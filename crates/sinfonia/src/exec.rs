@@ -1,0 +1,192 @@
+//! Coordinator-side minitransaction execution.
+//!
+//! Implements Sinfonia's two-phase protocol with the automatic collapse to
+//! one phase when a single memnode is involved, transparent retry on lock
+//! contention with jittered exponential backoff, and bounded retry against
+//! crashed participants (waiting for failover/recovery).
+
+use crate::cluster::SinfoniaCluster;
+use crate::error::SinfoniaError;
+use crate::lock::TxId;
+use crate::memnode::{SingleResult, Vote};
+use crate::minitx::{LockPolicy, Minitransaction, Outcome, ReadResults};
+use std::time::{Duration, Instant};
+
+/// Cheap thread-local xorshift for backoff jitter (no rand dependency in
+/// the hot path).
+fn jitter(bound: u64) -> u64 {
+    use std::cell::Cell;
+    thread_local! {
+        static SEED: Cell<u64> = const { Cell::new(0) };
+    }
+    SEED.with(|s| {
+        let mut x = s.get();
+        if x == 0 {
+            // Seed from the thread id's hash and the clock.
+            let tid = std::thread::current().id();
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            use std::hash::{Hash, Hasher};
+            tid.hash(&mut h);
+            x = h.finish() | 1;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        if bound == 0 {
+            0
+        } else {
+            x % bound
+        }
+    })
+}
+
+fn backoff(attempt: u32) {
+    // 1µs .. ~256µs exponential with jitter; contention windows in the
+    // simulated cluster are short, so the ceiling stays low.
+    let exp = attempt.min(8);
+    let ceil = 1u64 << exp;
+    let us = 1 + jitter(ceil);
+    std::thread::sleep(Duration::from_micros(us));
+}
+
+/// Executes a minitransaction against the cluster, retrying transparently
+/// on lock contention and (within `cfg.unavailable_retry`) on crashed
+/// participants.
+///
+/// Returns [`Outcome::FailedCompare`] to let the application react to
+/// failed comparisons, per the Sinfonia API.
+pub fn execute(
+    cluster: &SinfoniaCluster,
+    m: &Minitransaction,
+) -> Result<Outcome, SinfoniaError> {
+    debug_assert!(!m.is_empty(), "empty minitransaction");
+    let policy = m.policy.unwrap_or(LockPolicy::AbortOnBusy);
+    let deadline = Instant::now() + cluster.cfg.unavailable_retry;
+    let mut attempt: u32 = 0;
+    loop {
+        let txid: TxId = cluster.next_txid();
+        match try_once(cluster, m, txid, policy) {
+            TryResult::Done(outcome) => return Ok(outcome),
+            TryResult::Busy => {
+                attempt += 1;
+                backoff(attempt);
+            }
+            TryResult::Unavailable(id) => {
+                if Instant::now() >= deadline {
+                    return Err(SinfoniaError::Unavailable(id));
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+enum TryResult {
+    Done(Outcome),
+    Busy,
+    Unavailable(crate::addr::MemNodeId),
+}
+
+fn try_once(
+    cluster: &SinfoniaCluster,
+    m: &Minitransaction,
+    txid: TxId,
+    policy: LockPolicy,
+) -> TryResult {
+    let shards = m.shard();
+    let mut reads: Vec<Vec<u8>> = vec![Vec::new(); m.reads.len()];
+
+    if shards.len() == 1 {
+        // Collapsed one-phase protocol: one round trip, locks held only
+        // inside the memnode call.
+        let (mem, shard) = shards.iter().next().unwrap();
+        cluster.transport.round_trip(1);
+        let node = cluster.node(*mem);
+        match node.exec_single(txid, shard, policy) {
+            Err(u) => TryResult::Unavailable(u.0),
+            Ok(SingleResult::Busy) => TryResult::Busy,
+            Ok(SingleResult::BadCompare(idx)) => TryResult::Done(Outcome::FailedCompare(idx)),
+            Ok(SingleResult::Committed(pairs)) => {
+                for (i, data) in pairs {
+                    reads[i] = data;
+                }
+                TryResult::Done(Outcome::Committed(ReadResults { data: reads }))
+            }
+        }
+    } else {
+        // Phase one: prepare at every participant (messages in parallel on
+        // a real network; one round trip).
+        cluster.transport.round_trip(shards.len());
+        let mut prepared: Vec<crate::addr::MemNodeId> = Vec::with_capacity(shards.len());
+        let mut failed_compares: Vec<usize> = Vec::new();
+        let mut busy = false;
+        let mut unavailable = None;
+        for (mem, shard) in &shards {
+            let node = cluster.node(*mem);
+            match node.prepare(txid, shard, policy) {
+                Err(u) => {
+                    unavailable = Some(u.0);
+                    break;
+                }
+                Ok(Vote::Busy) => {
+                    busy = true;
+                    break;
+                }
+                Ok(Vote::BadCompare(mut idx)) => {
+                    failed_compares.append(&mut idx);
+                    break;
+                }
+                Ok(Vote::Ok(pairs)) => {
+                    prepared.push(*mem);
+                    for (i, data) in pairs {
+                        reads[i] = data;
+                    }
+                }
+            }
+        }
+
+        let all_prepared = prepared.len() == shards.len();
+        if all_prepared {
+            // Phase two: commit everywhere. A participant that crashed
+            // after voting Ok must still apply the decision after recovery:
+            // we retry commit delivery until the recovery deadline.
+            cluster.transport.round_trip(prepared.len());
+            for mem in &prepared {
+                let node = cluster.node(*mem);
+                let deadline = Instant::now() + cluster.cfg.unavailable_retry;
+                loop {
+                    match node.commit(txid) {
+                        Ok(()) => break,
+                        Err(_) if Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(u) => {
+                            // Decision is committed (all voted Ok); a
+                            // permanently dead participant is a cluster
+                            // fault surfaced to the caller.
+                            return TryResult::Unavailable(u.0);
+                        }
+                    }
+                }
+            }
+            return TryResult::Done(Outcome::Committed(ReadResults { data: reads }));
+        }
+
+        // Abort everyone we prepared.
+        if !prepared.is_empty() {
+            cluster.transport.round_trip(prepared.len());
+            for mem in &prepared {
+                let _ = cluster.node(*mem).abort(txid);
+            }
+        }
+        if let Some(id) = unavailable {
+            TryResult::Unavailable(id)
+        } else if busy {
+            TryResult::Busy
+        } else {
+            failed_compares.sort_unstable();
+            TryResult::Done(Outcome::FailedCompare(failed_compares))
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # minuet-sinfonia
+//!
+//! A from-scratch implementation of the **Sinfonia** data-sharing service
+//! (Aguilera et al., SOSP 2007 / TOCS 2009) as used by **Minuet** (Sowell,
+//! Golab, Shah; VLDB 2012): a set of *memnodes* exporting byte-addressable
+//! address spaces, accessed through *minitransactions* that atomically
+//! compare, read, and conditionally write multiple memory ranges across
+//! multiple memnodes.
+//!
+//! The cluster is simulated in-process: memnodes are real concurrent
+//! objects with real lock managers; the network is an instrumented
+//! [`transport::Transport`] that counts round trips exactly (and can inject
+//! latency), so distributed cost structure is observable without physical
+//! machines.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use minuet_sinfonia::{ClusterConfig, SinfoniaCluster, Minitransaction, ItemRange, MemNodeId};
+//!
+//! let cluster = SinfoniaCluster::new(ClusterConfig::with_memnodes(2));
+//! // Atomically write to two memnodes.
+//! let mut m = Minitransaction::new();
+//! m.write(ItemRange::new(MemNodeId(0), 0, 3), b"foo".to_vec());
+//! m.write(ItemRange::new(MemNodeId(1), 0, 3), b"bar".to_vec());
+//! assert!(cluster.execute(&m).unwrap().committed());
+//! ```
+
+pub mod addr;
+pub mod cluster;
+pub mod error;
+pub mod exec;
+pub mod lock;
+pub mod memnode;
+pub mod minitx;
+pub mod space;
+pub mod transport;
+
+pub use addr::{ItemRange, MemNodeId};
+pub use cluster::{ClusterConfig, SinfoniaCluster};
+pub use error::SinfoniaError;
+pub use memnode::{MemNode, Unavailable};
+pub use minitx::{LockPolicy, Minitransaction, Outcome, ReadResults};
+pub use transport::{op_counters, op_reset, with_op_net, OpNet, Transport};

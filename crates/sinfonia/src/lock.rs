@@ -1,0 +1,241 @@
+//! Range lock manager for a memnode.
+//!
+//! During minitransaction execution a memnode locks the byte ranges touched
+//! by the transaction (phase one of the two-phase protocol, or the body of
+//! the collapsed one-phase protocol). Locks are all-or-nothing: if any range
+//! is busy the acquisition fails and the minitransaction aborts, to be
+//! retried by the application library (ordinary mode), or the caller waits
+//! until a deadline (blocking mode, used for replicated snapshot-id updates
+//! per §4.1 of the paper).
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Identifier of a lock owner (a minitransaction execution attempt).
+pub type TxId = u64;
+
+#[derive(Debug)]
+struct LockTable {
+    /// start -> (end, owner). Invariant: intervals are disjoint.
+    locks: BTreeMap<u64, (u64, TxId)>,
+}
+
+impl LockTable {
+    fn conflicts(&self, start: u64, end: u64, owner: TxId) -> bool {
+        // The first interval with lock_start < end could overlap; intervals
+        // are disjoint so one predecessor check plus forward scan suffices.
+        for (&s, &(e, o)) in self.locks.range(..end).rev() {
+            if e <= start {
+                break;
+            }
+            debug_assert!(s < end);
+            if o != owner {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn insert_all(&mut self, spans: &[(u64, u64)], owner: TxId) {
+        for &(s, e) in spans {
+            // Coalesce with this owner's existing overlapping intervals so
+            // the table stays disjoint (the reverse conflict scan's early
+            // break relies on it). `conflicts` already guaranteed that any
+            // overlap belongs to the same owner.
+            let (mut s, mut e) = (s, e);
+            let mut absorb = Vec::new();
+            for (&os, &(oe, _)) in self.locks.range(..e).rev() {
+                if oe <= s {
+                    break;
+                }
+                absorb.push(os);
+            }
+            for os in absorb {
+                if let Some((oe, _)) = self.locks.remove(&os) {
+                    s = s.min(os);
+                    e = e.max(oe);
+                }
+            }
+            self.locks.insert(s, (e, owner));
+        }
+    }
+
+    fn remove_owner(&mut self, owner: TxId) -> usize {
+        let before = self.locks.len();
+        self.locks.retain(|_, &mut (_, o)| o != owner);
+        before - self.locks.len()
+    }
+}
+
+/// Outcome of a lock acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockAcquire {
+    /// All ranges locked.
+    Granted,
+    /// At least one range is held by another transaction.
+    Busy,
+}
+
+/// A per-memnode range lock manager.
+///
+/// `spans` passed to acquisition methods must already be canonicalized via
+/// [`crate::addr::merge_intervals`] so a transaction cannot conflict with
+/// itself.
+pub struct LockManager {
+    table: Mutex<LockTable>,
+    released: Condvar,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockManager {
+    /// Creates an empty lock manager.
+    pub fn new() -> Self {
+        LockManager {
+            table: Mutex::new(LockTable {
+                locks: BTreeMap::new(),
+            }),
+            released: Condvar::new(),
+        }
+    }
+
+    /// Attempts to atomically lock all spans for `owner`. Never blocks.
+    pub fn try_lock(&self, spans: &[(u64, u64)], owner: TxId) -> LockAcquire {
+        let mut t = self.table.lock();
+        if spans
+            .iter()
+            .any(|&(s, e)| t.conflicts(s, e, owner))
+        {
+            return LockAcquire::Busy;
+        }
+        t.insert_all(spans, owner);
+        LockAcquire::Granted
+    }
+
+    /// Blocking acquisition: waits for conflicting locks to be released, up
+    /// to `wait_budget`. Returns [`LockAcquire::Busy`] if the budget is
+    /// exhausted (the minitransaction then simply aborts, per §4.1).
+    pub fn lock_blocking(
+        &self,
+        spans: &[(u64, u64)],
+        owner: TxId,
+        wait_budget: Duration,
+    ) -> LockAcquire {
+        let deadline = Instant::now() + wait_budget;
+        let mut t = self.table.lock();
+        loop {
+            if !spans.iter().any(|&(s, e)| t.conflicts(s, e, owner)) {
+                t.insert_all(spans, owner);
+                return LockAcquire::Granted;
+            }
+            if self.released.wait_until(&mut t, deadline).timed_out() {
+                return LockAcquire::Busy;
+            }
+        }
+    }
+
+    /// Releases every lock held by `owner` and wakes waiters. Returns the
+    /// number of released intervals.
+    pub fn release(&self, owner: TxId) -> usize {
+        let mut t = self.table.lock();
+        let n = t.remove_owner(owner);
+        drop(t);
+        if n > 0 {
+            self.released.notify_all();
+        }
+        n
+    }
+
+    /// Releases *all* locks (crash recovery clears volatile lock state).
+    pub fn clear(&self) {
+        let mut t = self.table.lock();
+        t.locks.clear();
+        drop(t);
+        self.released.notify_all();
+    }
+
+    /// Number of locked intervals (diagnostics).
+    pub fn held(&self) -> usize {
+        self.table.lock().locks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn disjoint_grants() {
+        let lm = LockManager::new();
+        assert_eq!(lm.try_lock(&[(0, 10)], 1), LockAcquire::Granted);
+        assert_eq!(lm.try_lock(&[(10, 20)], 2), LockAcquire::Granted);
+        assert_eq!(lm.held(), 2);
+    }
+
+    #[test]
+    fn overlap_busy_then_granted_after_release() {
+        let lm = LockManager::new();
+        assert_eq!(lm.try_lock(&[(0, 10)], 1), LockAcquire::Granted);
+        assert_eq!(lm.try_lock(&[(5, 15)], 2), LockAcquire::Busy);
+        assert_eq!(lm.release(1), 1);
+        assert_eq!(lm.try_lock(&[(5, 15)], 2), LockAcquire::Granted);
+    }
+
+    #[test]
+    fn same_owner_reentrant_overlap() {
+        let lm = LockManager::new();
+        assert_eq!(lm.try_lock(&[(0, 10)], 1), LockAcquire::Granted);
+        // The same owner re-locking an overlapping span is not a conflict.
+        assert_eq!(lm.try_lock(&[(5, 15)], 1), LockAcquire::Granted);
+    }
+
+    #[test]
+    fn all_or_nothing() {
+        let lm = LockManager::new();
+        assert_eq!(lm.try_lock(&[(100, 110)], 1), LockAcquire::Granted);
+        // Second txn wants two spans, one conflicting: nothing is taken.
+        assert_eq!(lm.try_lock(&[(0, 10), (105, 120)], 2), LockAcquire::Busy);
+        lm.release(1);
+        assert_eq!(lm.held(), 0);
+        assert_eq!(lm.try_lock(&[(0, 10), (105, 120)], 2), LockAcquire::Granted);
+        assert_eq!(lm.held(), 2);
+    }
+
+    #[test]
+    fn blocking_waits_for_release() {
+        let lm = Arc::new(LockManager::new());
+        assert_eq!(lm.try_lock(&[(0, 10)], 1), LockAcquire::Granted);
+        let lm2 = lm.clone();
+        let h = thread::spawn(move || {
+            lm2.lock_blocking(&[(0, 10)], 2, Duration::from_secs(5))
+        });
+        thread::sleep(Duration::from_millis(20));
+        lm.release(1);
+        assert_eq!(h.join().unwrap(), LockAcquire::Granted);
+    }
+
+    #[test]
+    fn blocking_times_out() {
+        let lm = LockManager::new();
+        assert_eq!(lm.try_lock(&[(0, 10)], 1), LockAcquire::Granted);
+        let got = lm.lock_blocking(&[(0, 10)], 2, Duration::from_millis(10));
+        assert_eq!(got, LockAcquire::Busy);
+    }
+
+    #[test]
+    fn clear_releases_everything() {
+        let lm = LockManager::new();
+        lm.try_lock(&[(0, 10), (20, 30)], 1);
+        lm.try_lock(&[(40, 50)], 2);
+        lm.clear();
+        assert_eq!(lm.held(), 0);
+        assert_eq!(lm.try_lock(&[(0, 50)], 3), LockAcquire::Granted);
+    }
+}

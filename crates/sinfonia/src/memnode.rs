@@ -1,0 +1,489 @@
+//! Memnode: a Sinfonia storage node.
+//!
+//! A memnode owns a byte-addressable [`PagedSpace`], a range [`LockManager`],
+//! and participates in the one/two-phase minitransaction protocol. In
+//! primary-backup mode every committed write is synchronously applied to an
+//! in-memory backup mirror, and prepared-but-undecided transactions are
+//! mirrored too so that a crash never loses a committed minitransaction and
+//! never breaks two-phase atomicity.
+
+use crate::addr::MemNodeId;
+use crate::lock::{LockAcquire, LockManager, TxId};
+use crate::minitx::{LockPolicy, Shard};
+use crate::space::PagedSpace;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A participant's vote in the two-phase protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Vote {
+    /// Locks held, compares matched; staged reads are returned eagerly
+    /// (they are stable until commit/abort because the locks are held).
+    /// Pairs are `(original read-item index, data)`.
+    Ok(Vec<(usize, Vec<u8>)>),
+    /// One or more compares failed; local locks were already released.
+    /// Carries original compare-item indices.
+    BadCompare(Vec<usize>),
+    /// A lock was busy (or the blocking wait budget expired); local locks
+    /// were already released. The coordinator retries the minitransaction.
+    Busy,
+}
+
+/// Result of the collapsed one-phase protocol at a single memnode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SingleResult {
+    /// Committed; read results as `(original index, data)` pairs.
+    Committed(Vec<(usize, Vec<u8>)>),
+    /// Compares failed (original indices); nothing written.
+    BadCompare(Vec<usize>),
+    /// Lock contention; caller retries.
+    Busy,
+}
+
+/// Error returned when a memnode is crashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unavailable(pub MemNodeId);
+
+impl std::fmt::Display for Unavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "memnode {} is unavailable", self.0)
+    }
+}
+
+impl std::error::Error for Unavailable {}
+
+/// A prepared (staged) transaction awaiting the coordinator's decision.
+#[derive(Clone)]
+struct PreparedTx {
+    spans: Vec<(u64, u64)>,
+    writes: Vec<(u64, Vec<u8>)>,
+}
+
+/// Per-memnode operation counters.
+#[derive(Default)]
+pub struct MemNodeStats {
+    /// One-phase executions that committed.
+    pub single_commits: AtomicU64,
+    /// Prepares that voted Ok.
+    pub prepares: AtomicU64,
+    /// Two-phase commits applied.
+    pub commits: AtomicU64,
+    /// Aborts processed (both compare failures and coordinator aborts).
+    pub aborts: AtomicU64,
+    /// Lock-busy rejections.
+    pub busy: AtomicU64,
+}
+
+/// A Sinfonia memnode (primary plus synchronous backup mirror).
+pub struct MemNode {
+    /// This node's id.
+    pub id: MemNodeId,
+    locks: LockManager,
+    space: RwLock<PagedSpace>,
+    /// Synchronous backup of the space; conceptually lives on another
+    /// server. Committed writes are applied here before the primary.
+    backup: Mutex<PagedSpace>,
+    /// Prepared transactions, mirrored to the backup as Sinfonia's
+    /// in-memory redo state.
+    prepared: Mutex<HashMap<TxId, PreparedTx>>,
+    crashed: AtomicBool,
+    /// Operation counters.
+    pub stats: MemNodeStats,
+}
+
+impl MemNode {
+    /// Creates a memnode with `capacity` bytes of address space.
+    pub fn new(id: MemNodeId, capacity: u64) -> Self {
+        MemNode {
+            id,
+            locks: LockManager::new(),
+            space: RwLock::new(PagedSpace::new(capacity)),
+            backup: Mutex::new(PagedSpace::new(capacity)),
+            prepared: Mutex::new(HashMap::new()),
+            crashed: AtomicBool::new(false),
+            stats: MemNodeStats::default(),
+        }
+    }
+
+    #[inline]
+    fn check_up(&self) -> Result<(), Unavailable> {
+        if self.crashed.load(Ordering::Acquire) {
+            Err(Unavailable(self.id))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// True if the node is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    fn acquire(&self, spans: &[(u64, u64)], txid: TxId, policy: LockPolicy) -> LockAcquire {
+        match policy {
+            LockPolicy::AbortOnBusy => self.locks.try_lock(spans, txid),
+            LockPolicy::Block(budget) => self.locks.lock_blocking(spans, txid, budget),
+        }
+    }
+
+    /// Evaluates compares and stages reads under held locks. Returns
+    /// `Err(indices)` on compare failure.
+    fn eval(&self, shard: &Shard<'_>) -> Result<Vec<(usize, Vec<u8>)>, Vec<usize>> {
+        let space = self.space.read();
+        let mut failed = Vec::new();
+        for (idx, c) in &shard.compares {
+            let ok = space
+                .compare(c.range.off, &c.expected)
+                .unwrap_or_else(|e| panic!("compare item out of bounds: {e}"));
+            if !ok {
+                failed.push(*idx);
+            }
+        }
+        if !failed.is_empty() {
+            return Err(failed);
+        }
+        let mut reads = Vec::with_capacity(shard.reads.len());
+        for (idx, r) in &shard.reads {
+            let data = space
+                .read(r.range.off, r.range.len)
+                .unwrap_or_else(|e| panic!("read item out of bounds: {e}"));
+            reads.push((*idx, data));
+        }
+        Ok(reads)
+    }
+
+    /// Applies writes to the backup mirror first, then the primary
+    /// (synchronous primary-backup replication).
+    fn apply(&self, writes: &[(u64, Vec<u8>)]) {
+        {
+            let mut b = self.backup.lock();
+            for (off, data) in writes {
+                b.write(*off, data)
+                    .unwrap_or_else(|e| panic!("write item out of bounds: {e}"));
+            }
+        }
+        let mut s = self.space.write();
+        for (off, data) in writes {
+            s.write(*off, data)
+                .unwrap_or_else(|e| panic!("write item out of bounds: {e}"));
+        }
+    }
+
+    /// One-phase (collapsed) execution: used when a minitransaction touches
+    /// only this memnode. Locks, compares, reads, writes, unlocks — one
+    /// round trip, and locks are held only for the duration of the call.
+    pub fn exec_single(
+        &self,
+        txid: TxId,
+        shard: &Shard<'_>,
+        policy: LockPolicy,
+    ) -> Result<SingleResult, Unavailable> {
+        self.check_up()?;
+        let spans = shard.lock_spans();
+        if self.acquire(&spans, txid, policy) == LockAcquire::Busy {
+            self.stats.busy.fetch_add(1, Ordering::Relaxed);
+            return Ok(SingleResult::Busy);
+        }
+        let result = match self.eval(shard) {
+            Err(failed) => {
+                self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                SingleResult::BadCompare(failed)
+            }
+            Ok(reads) => {
+                if !shard.writes.is_empty() {
+                    let writes: Vec<(u64, Vec<u8>)> = shard
+                        .writes
+                        .iter()
+                        .map(|(_, w)| (w.range.off, w.data.clone()))
+                        .collect();
+                    self.apply(&writes);
+                }
+                self.stats.single_commits.fetch_add(1, Ordering::Relaxed);
+                SingleResult::Committed(reads)
+            }
+        };
+        self.locks.release(txid);
+        Ok(result)
+    }
+
+    /// Phase one of the two-phase protocol: lock, compare, stage writes.
+    /// Reads are performed now (safe: locks are held until the decision).
+    pub fn prepare(
+        &self,
+        txid: TxId,
+        shard: &Shard<'_>,
+        policy: LockPolicy,
+    ) -> Result<Vote, Unavailable> {
+        self.check_up()?;
+        let spans = shard.lock_spans();
+        if self.acquire(&spans, txid, policy) == LockAcquire::Busy {
+            self.stats.busy.fetch_add(1, Ordering::Relaxed);
+            return Ok(Vote::Busy);
+        }
+        match self.eval(shard) {
+            Err(failed) => {
+                self.locks.release(txid);
+                self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                Ok(Vote::BadCompare(failed))
+            }
+            Ok(reads) => {
+                let staged = PreparedTx {
+                    spans,
+                    writes: shard
+                        .writes
+                        .iter()
+                        .map(|(_, w)| (w.range.off, w.data.clone()))
+                        .collect(),
+                };
+                self.prepared.lock().insert(txid, staged);
+                self.stats.prepares.fetch_add(1, Ordering::Relaxed);
+                Ok(Vote::Ok(reads))
+            }
+        }
+    }
+
+    /// Phase two, commit: applies the staged writes and releases locks.
+    /// Idempotent: committing an unknown txid is a no-op (the decision was
+    /// already applied before a crash/retry).
+    pub fn commit(&self, txid: TxId) -> Result<(), Unavailable> {
+        self.check_up()?;
+        let staged = self.prepared.lock().remove(&txid);
+        if let Some(tx) = staged {
+            self.apply(&tx.writes);
+            self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.locks.release(txid);
+        Ok(())
+    }
+
+    /// Phase two, abort: discards staged writes and releases locks.
+    /// Safe to call for transactions this node never prepared.
+    pub fn abort(&self, txid: TxId) -> Result<(), Unavailable> {
+        self.check_up()?;
+        self.prepared.lock().remove(&txid);
+        self.locks.release(txid);
+        self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Simulates a crash of the primary: volatile state (primary space
+    /// image and lock table) is dropped. The backup mirror and the
+    /// replicated prepared-transaction set survive.
+    pub fn crash(&self) {
+        self.crashed.store(true, Ordering::Release);
+        self.locks.clear();
+        // Scribble over the primary space to make any buggy post-crash read
+        // through stale state detectable in tests.
+        let capacity = self.space.read().capacity();
+        *self.space.write() = PagedSpace::new(capacity);
+    }
+
+    /// Recovers the node: restores the primary image from the backup,
+    /// re-stages prepared transactions and re-acquires their locks, then
+    /// marks the node available. The coordinator's eventual commit/abort
+    /// decision completes them.
+    pub fn recover(&self) {
+        {
+            let backup = self.backup.lock();
+            *self.space.write() = backup.snapshot_clone();
+        }
+        {
+            let prepared = self.prepared.lock();
+            for (txid, tx) in prepared.iter() {
+                let got = self.locks.try_lock(&tx.spans, *txid);
+                debug_assert_eq!(got, LockAcquire::Granted, "recovery lock conflict");
+            }
+        }
+        self.crashed.store(false, Ordering::Release);
+    }
+
+    /// Unsynchronized raw read used for bootstrap and GC candidate scans.
+    /// Concurrent minitransactions may be writing; callers must confirm any
+    /// decision with a proper minitransaction.
+    pub fn raw_read(&self, off: u64, len: u32) -> Result<Vec<u8>, Unavailable> {
+        self.check_up()?;
+        Ok(self
+            .space
+            .read()
+            .read(off, len)
+            .unwrap_or_else(|e| panic!("raw read out of bounds: {e}")))
+    }
+
+    /// Raw write used only for cluster bootstrap (before any concurrent
+    /// access exists). Applied to both primary and backup.
+    pub fn raw_write(&self, off: u64, data: &[u8]) -> Result<(), Unavailable> {
+        self.check_up()?;
+        self.apply(&[(off, data.to_vec())]);
+        Ok(())
+    }
+
+    /// Number of currently prepared (in-doubt) transactions.
+    pub fn in_doubt(&self) -> usize {
+        self.prepared.lock().len()
+    }
+
+    /// Checks that primary and backup images are byte-identical (test
+    /// support; only meaningful while quiescent).
+    pub fn mirror_consistent(&self, probe: &[(u64, u32)]) -> bool {
+        let s = self.space.read();
+        let b = self.backup.lock();
+        probe.iter().all(|&(off, len)| {
+            s.read(off, len).unwrap() == b.read(off, len).unwrap()
+        })
+    }
+}
+
+/// Wait policy helper: default blocking budget used when a caller marks a
+/// minitransaction blocking without an explicit budget.
+pub const DEFAULT_BLOCKING_WAIT: Duration = Duration::from_millis(50);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::ItemRange;
+    use crate::minitx::Minitransaction;
+
+    fn node() -> MemNode {
+        MemNode::new(MemNodeId(0), 1 << 20)
+    }
+
+    fn single(
+        n: &MemNode,
+        txid: TxId,
+        m: &Minitransaction,
+    ) -> SingleResult {
+        let shards = m.shard();
+        let shard = shards.get(&n.id).expect("shard for node");
+        n.exec_single(txid, shard, LockPolicy::AbortOnBusy).unwrap()
+    }
+
+    #[test]
+    fn one_phase_write_then_read() {
+        let n = node();
+        let mut w = Minitransaction::new();
+        w.write(ItemRange::new(n.id, 100, 3), b"abc".to_vec());
+        assert!(matches!(single(&n, 1, &w), SingleResult::Committed(_)));
+
+        let mut r = Minitransaction::new();
+        r.read(ItemRange::new(n.id, 100, 3));
+        match single(&n, 2, &r) {
+            SingleResult::Committed(reads) => assert_eq!(reads[0].1, b"abc"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_failure_blocks_write() {
+        let n = node();
+        let mut m = Minitransaction::new();
+        m.compare(ItemRange::new(n.id, 0, 1), vec![7]);
+        m.write(ItemRange::new(n.id, 100, 1), vec![1]);
+        match single(&n, 1, &m) {
+            SingleResult::BadCompare(idx) => assert_eq!(idx, vec![0]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(n.raw_read(100, 1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn two_phase_commit_applies() {
+        let n = node();
+        let mut m = Minitransaction::new();
+        m.write(ItemRange::new(n.id, 50, 2), vec![9, 9]);
+        let shards = m.shard();
+        let shard = shards.get(&n.id).unwrap();
+        assert!(matches!(
+            n.prepare(7, shard, LockPolicy::AbortOnBusy).unwrap(),
+            Vote::Ok(_)
+        ));
+        assert_eq!(n.in_doubt(), 1);
+        // Data not yet visible.
+        assert_eq!(n.raw_read(50, 2).unwrap(), vec![0, 0]);
+        n.commit(7).unwrap();
+        assert_eq!(n.raw_read(50, 2).unwrap(), vec![9, 9]);
+        assert_eq!(n.in_doubt(), 0);
+    }
+
+    #[test]
+    fn two_phase_abort_discards() {
+        let n = node();
+        let mut m = Minitransaction::new();
+        m.write(ItemRange::new(n.id, 50, 2), vec![9, 9]);
+        let shards = m.shard();
+        let shard = shards.get(&n.id).unwrap();
+        n.prepare(7, shard, LockPolicy::AbortOnBusy).unwrap();
+        n.abort(7).unwrap();
+        assert_eq!(n.raw_read(50, 2).unwrap(), vec![0, 0]);
+        // Locks released: another txn can take the range.
+        let mut m2 = Minitransaction::new();
+        m2.write(ItemRange::new(n.id, 50, 2), vec![1, 1]);
+        assert!(matches!(single(&n, 8, &m2), SingleResult::Committed(_)));
+    }
+
+    #[test]
+    fn prepared_locks_block_conflicting() {
+        let n = node();
+        let mut m = Minitransaction::new();
+        m.write(ItemRange::new(n.id, 50, 2), vec![9, 9]);
+        let shards = m.shard();
+        n.prepare(7, shards.get(&n.id).unwrap(), LockPolicy::AbortOnBusy)
+            .unwrap();
+        let mut m2 = Minitransaction::new();
+        m2.write(ItemRange::new(n.id, 51, 2), vec![1, 1]);
+        assert!(matches!(single(&n, 8, &m2), SingleResult::Busy));
+        n.commit(7).unwrap();
+        assert!(matches!(single(&n, 9, &m2), SingleResult::Committed(_)));
+    }
+
+    #[test]
+    fn crash_loses_nothing_committed() {
+        let n = node();
+        let mut m = Minitransaction::new();
+        m.write(ItemRange::new(n.id, 0, 4), vec![1, 2, 3, 4]);
+        assert!(matches!(single(&n, 1, &m), SingleResult::Committed(_)));
+        n.crash();
+        assert!(n.raw_read(0, 4).is_err());
+        n.recover();
+        assert_eq!(n.raw_read(0, 4).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn crash_preserves_prepared_and_locks() {
+        let n = node();
+        let mut m = Minitransaction::new();
+        m.write(ItemRange::new(n.id, 0, 4), vec![1, 2, 3, 4]);
+        let shards = m.shard();
+        n.prepare(42, shards.get(&n.id).unwrap(), LockPolicy::AbortOnBusy)
+            .unwrap();
+        n.crash();
+        n.recover();
+        assert_eq!(n.in_doubt(), 1);
+        // Lock still held post-recovery.
+        let mut m2 = Minitransaction::new();
+        m2.write(ItemRange::new(n.id, 2, 2), vec![5, 5]);
+        assert!(matches!(single(&n, 43, &m2), SingleResult::Busy));
+        // Coordinator decides commit; write becomes visible.
+        n.commit(42).unwrap();
+        assert_eq!(n.raw_read(0, 4).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn commit_idempotent_for_unknown_txid() {
+        let n = node();
+        n.commit(999).unwrap();
+        n.abort(999).unwrap();
+    }
+
+    #[test]
+    fn mirror_stays_consistent() {
+        let n = node();
+        for i in 0..10u8 {
+            let mut m = Minitransaction::new();
+            m.write(ItemRange::new(n.id, i as u64 * 8, 1), vec![i]);
+            assert!(matches!(single(&n, i as u64, &m), SingleResult::Committed(_)));
+        }
+        assert!(n.mirror_consistent(&[(0, 128)]));
+    }
+}

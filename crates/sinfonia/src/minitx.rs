@@ -1,0 +1,236 @@
+//! Minitransactions: Sinfonia's atomic compare/read/write primitive.
+//!
+//! A minitransaction specifies, ahead of time, a set of memory locations and
+//! performs atomically: (1) evaluate all compare items; (2) if every compare
+//! matches, return the data named by the read items and apply all write
+//! items. If any compare fails, nothing is written and the failed compare
+//! indices are reported to the application. Lock contention is handled
+//! transparently by the execution library (retry), except in blocking mode
+//! where memnodes briefly wait for locks instead.
+
+use crate::addr::{merge_intervals, ItemRange, MemNodeId};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A compare item: the bytes at `range` must equal `expected` for the
+/// minitransaction to commit.
+#[derive(Clone, Debug)]
+pub struct CompareItem {
+    /// Location to compare.
+    pub range: ItemRange,
+    /// Expected contents.
+    pub expected: Vec<u8>,
+}
+
+/// A read item: the bytes at `range` are returned on commit.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadItem {
+    /// Location to read.
+    pub range: ItemRange,
+}
+
+/// A write item: `data` is stored at `range` on commit.
+#[derive(Clone, Debug)]
+pub struct WriteItem {
+    /// Location to write. `range.len` must equal `data.len()`.
+    pub range: ItemRange,
+    /// Bytes to store.
+    pub data: Vec<u8>,
+}
+
+/// How the memnodes treat lock contention for this minitransaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockPolicy {
+    /// Abort immediately when a lock is busy; the library retries the whole
+    /// minitransaction transparently. This is the default Sinfonia behavior.
+    AbortOnBusy,
+    /// Wait at the memnode for locks to be released, up to the budget; used
+    /// for replicated snapshot-id updates (§4.1) to mitigate contention. If
+    /// the budget is exceeded the minitransaction aborts like an ordinary
+    /// one.
+    Block(Duration),
+}
+
+/// A minitransaction under construction.
+#[derive(Clone, Debug, Default)]
+pub struct Minitransaction {
+    /// Compare items (evaluated first).
+    pub compares: Vec<CompareItem>,
+    /// Read items (returned on success).
+    pub reads: Vec<ReadItem>,
+    /// Write items (applied on success).
+    pub writes: Vec<WriteItem>,
+    /// Lock contention policy.
+    pub policy: Option<LockPolicy>,
+}
+
+impl Minitransaction {
+    /// Creates an empty minitransaction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a compare item; returns its index for failure reporting.
+    pub fn compare(&mut self, range: ItemRange, expected: Vec<u8>) -> usize {
+        debug_assert_eq!(range.len as usize, expected.len());
+        self.compares.push(CompareItem { range, expected });
+        self.compares.len() - 1
+    }
+
+    /// Adds a read item; returns its index into the result vector.
+    pub fn read(&mut self, range: ItemRange) -> usize {
+        self.reads.push(ReadItem { range });
+        self.reads.len() - 1
+    }
+
+    /// Adds a write item.
+    pub fn write(&mut self, range: ItemRange, data: Vec<u8>) {
+        debug_assert_eq!(range.len as usize, data.len());
+        self.writes.push(WriteItem { range, data });
+    }
+
+    /// Marks this minitransaction as blocking with the given wait budget.
+    pub fn blocking(mut self, budget: Duration) -> Self {
+        self.policy = Some(LockPolicy::Block(budget));
+        self
+    }
+
+    /// True if there is nothing to do.
+    pub fn is_empty(&self) -> bool {
+        self.compares.is_empty() && self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    /// True if the minitransaction writes nothing (pure validate/read).
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// The set of memnodes participating in this minitransaction.
+    pub fn participants(&self) -> Vec<MemNodeId> {
+        let mut v: Vec<MemNodeId> = self
+            .compares
+            .iter()
+            .map(|c| c.range.mem)
+            .chain(self.reads.iter().map(|r| r.range.mem))
+            .chain(self.writes.iter().map(|w| w.range.mem))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Splits the minitransaction into per-memnode shards, preserving item
+    /// indices so results and failures can be reassembled by the coordinator.
+    pub fn shard(&self) -> BTreeMap<MemNodeId, Shard<'_>> {
+        let mut shards: BTreeMap<MemNodeId, Shard<'_>> = BTreeMap::new();
+        for (i, c) in self.compares.iter().enumerate() {
+            shards.entry(c.range.mem).or_default().compares.push((i, c));
+        }
+        for (i, r) in self.reads.iter().enumerate() {
+            shards.entry(r.range.mem).or_default().reads.push((i, *r));
+        }
+        for (i, w) in self.writes.iter().enumerate() {
+            shards.entry(w.range.mem).or_default().writes.push((i, w));
+        }
+        shards
+    }
+}
+
+/// The slice of a minitransaction destined for one memnode. Item tuples
+/// carry the index of the item in the original minitransaction.
+#[derive(Default)]
+pub struct Shard<'a> {
+    /// Compare items with original indices.
+    pub compares: Vec<(usize, &'a CompareItem)>,
+    /// Read items with original indices.
+    pub reads: Vec<(usize, ReadItem)>,
+    /// Write items with original indices.
+    pub writes: Vec<(usize, &'a WriteItem)>,
+}
+
+impl Shard<'_> {
+    /// Canonicalized lock spans covering every item in the shard.
+    pub fn lock_spans(&self) -> Vec<(u64, u64)> {
+        let spans = self
+            .compares
+            .iter()
+            .map(|(_, c)| (c.range.off, c.range.end()))
+            .chain(self.reads.iter().map(|(_, r)| (r.range.off, r.range.end())))
+            .chain(self.writes.iter().map(|(_, w)| (w.range.off, w.range.end())))
+            .collect();
+        merge_intervals(spans)
+    }
+}
+
+/// Result of a successfully committed minitransaction.
+#[derive(Debug, Clone)]
+pub struct ReadResults {
+    /// One buffer per read item, in the order the reads were added.
+    pub data: Vec<Vec<u8>>,
+}
+
+/// Application-visible outcome of executing a minitransaction.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// All compares matched; reads returned; writes applied atomically.
+    Committed(ReadResults),
+    /// One or more compares failed; indices of the failed compare items.
+    /// Nothing was written.
+    FailedCompare(Vec<usize>),
+}
+
+impl Outcome {
+    /// True if the minitransaction committed.
+    pub fn committed(&self) -> bool {
+        matches!(self, Outcome::Committed(_))
+    }
+
+    /// Unwraps read results, panicking on a failed compare (test helper).
+    pub fn into_reads(self) -> ReadResults {
+        match self {
+            Outcome::Committed(r) => r,
+            Outcome::FailedCompare(idx) => {
+                panic!("minitransaction failed compares {idx:?}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(mem: u16, off: u64, len: u32) -> ItemRange {
+        ItemRange::new(MemNodeId(mem), off, len)
+    }
+
+    #[test]
+    fn participants_deduped_sorted() {
+        let mut m = Minitransaction::new();
+        m.read(range(3, 0, 8));
+        m.write(range(1, 0, 2), vec![0, 1]);
+        m.compare(range(3, 8, 1), vec![0]);
+        assert_eq!(m.participants(), vec![MemNodeId(1), MemNodeId(3)]);
+    }
+
+    #[test]
+    fn shard_preserves_indices() {
+        let mut m = Minitransaction::new();
+        m.read(range(0, 0, 4));
+        m.read(range(1, 0, 4));
+        m.read(range(0, 8, 4));
+        let shards = m.shard();
+        assert_eq!(shards[&MemNodeId(0)].reads.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(shards[&MemNodeId(1)].reads.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn shard_lock_spans_merged() {
+        let mut m = Minitransaction::new();
+        m.compare(range(0, 0, 8), vec![0; 8]);
+        m.write(range(0, 0, 8), vec![1; 8]);
+        m.read(range(0, 4, 8));
+        let shards = m.shard();
+        assert_eq!(shards[&MemNodeId(0)].lock_spans(), vec![(0, 12)]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Paged, byte-addressable storage space of a memnode.
+//!
+//! The space is logically a flat array of `capacity` bytes, all initially
+//! zero. Physically it is a vector of lazily-allocated fixed-size pages so
+//! that sparse address-space layouts (well-known regions at large offsets)
+//! do not consume memory until touched.
+
+/// Size of one physical page. 64 KiB amortizes allocation cost while keeping
+/// sparse layouts cheap.
+pub const PAGE_SIZE: usize = 64 * 1024;
+
+/// Error returned when an access falls outside the configured capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBounds {
+    /// First byte of the offending access.
+    pub off: u64,
+    /// Length of the offending access.
+    pub len: u32,
+    /// Configured capacity of the space.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for OutOfBounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "address space access [{}, {}) out of bounds (capacity {})",
+            self.off,
+            self.off + self.len as u64,
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfBounds {}
+
+/// A paged byte-addressable storage space.
+///
+/// All bytes read as zero until written. Reads of never-written pages do not
+/// allocate.
+pub struct PagedSpace {
+    pages: Vec<Option<Box<[u8]>>>,
+    capacity: u64,
+}
+
+impl PagedSpace {
+    /// Creates a space with the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        let npages = capacity.div_ceil(PAGE_SIZE as u64) as usize;
+        PagedSpace {
+            pages: (0..npages).map(|_| None).collect(),
+            capacity,
+        }
+    }
+
+    /// Configured capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of physical pages currently allocated.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    fn check(&self, off: u64, len: u32) -> Result<(), OutOfBounds> {
+        if off.checked_add(len as u64).is_none_or(|end| end > self.capacity) {
+            return Err(OutOfBounds {
+                off,
+                len,
+                capacity: self.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `off` into a fresh vector.
+    pub fn read(&self, off: u64, len: u32) -> Result<Vec<u8>, OutOfBounds> {
+        self.check(off, len)?;
+        let mut out = vec![0u8; len as usize];
+        self.read_into(off, &mut out);
+        Ok(out)
+    }
+
+    /// Reads into a caller-provided buffer; the access must be in bounds
+    /// (checked by the caller via `read`).
+    fn read_into(&self, off: u64, out: &mut [u8]) {
+        let mut done = 0usize;
+        while done < out.len() {
+            let pos = off + done as u64;
+            let page_idx = (pos / PAGE_SIZE as u64) as usize;
+            let in_page = (pos % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(out.len() - done);
+            match &self.pages[page_idx] {
+                Some(p) => out[done..done + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => out[done..done + n].fill(0),
+            }
+            done += n;
+        }
+    }
+
+    /// Writes `data` starting at `off`, allocating pages as needed.
+    pub fn write(&mut self, off: u64, data: &[u8]) -> Result<(), OutOfBounds> {
+        self.check(off, data.len() as u32)?;
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = off + done as u64;
+            let page_idx = (pos / PAGE_SIZE as u64) as usize;
+            let in_page = (pos % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(data.len() - done);
+            let page = self.pages[page_idx]
+                .get_or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice());
+            page[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Compares the bytes at `[off, off+expected.len())` against `expected`.
+    pub fn compare(&self, off: u64, expected: &[u8]) -> Result<bool, OutOfBounds> {
+        self.check(off, expected.len() as u32)?;
+        // Fast path: compare page by page without copying.
+        let mut done = 0usize;
+        while done < expected.len() {
+            let pos = off + done as u64;
+            let page_idx = (pos / PAGE_SIZE as u64) as usize;
+            let in_page = (pos % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(expected.len() - done);
+            let want = &expected[done..done + n];
+            let eq = match &self.pages[page_idx] {
+                Some(p) => &p[in_page..in_page + n] == want,
+                None => want.iter().all(|&b| b == 0),
+            };
+            if !eq {
+                return Ok(false);
+            }
+            done += n;
+        }
+        Ok(true)
+    }
+
+    /// Produces a deep copy of this space (used by the replication layer).
+    pub fn snapshot_clone(&self) -> PagedSpace {
+        PagedSpace {
+            pages: self.pages.clone(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let s = PagedSpace::new(1 << 20);
+        assert_eq!(s.read(12345, 16).unwrap(), vec![0u8; 16]);
+        assert_eq!(s.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut s = PagedSpace::new(1 << 20);
+        s.write(100, b"hello world").unwrap();
+        assert_eq!(s.read(100, 11).unwrap(), b"hello world");
+        assert_eq!(s.read(99, 13).unwrap(), {
+            let mut v = vec![0u8];
+            v.extend_from_slice(b"hello world");
+            v.push(0);
+            v
+        });
+    }
+
+    #[test]
+    fn cross_page_write_read() {
+        let mut s = PagedSpace::new(4 * PAGE_SIZE as u64);
+        let off = PAGE_SIZE as u64 - 7;
+        let data: Vec<u8> = (0..40u8).collect();
+        s.write(off, &data).unwrap();
+        assert_eq!(s.read(off, 40).unwrap(), data);
+        assert_eq!(s.resident_pages(), 2);
+    }
+
+    #[test]
+    fn compare_semantics() {
+        let mut s = PagedSpace::new(1 << 20);
+        assert!(s.compare(500, &[0, 0, 0]).unwrap());
+        s.write(500, &[1, 2, 3]).unwrap();
+        assert!(s.compare(500, &[1, 2, 3]).unwrap());
+        assert!(!s.compare(500, &[1, 2, 4]).unwrap());
+        assert!(!s.compare(499, &[1, 2, 3]).unwrap());
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut s = PagedSpace::new(100);
+        assert!(s.write(90, &[0u8; 20]).is_err());
+        assert!(s.read(101, 1).is_err());
+        assert!(s.write(0, &[0u8; 100]).is_ok());
+    }
+
+    #[test]
+    fn snapshot_clone_is_independent() {
+        let mut s = PagedSpace::new(1 << 20);
+        s.write(0, b"abc").unwrap();
+        let c = s.snapshot_clone();
+        s.write(0, b"xyz").unwrap();
+        assert_eq!(c.read(0, 3).unwrap(), b"abc");
+        assert_eq!(s.read(0, 3).unwrap(), b"xyz");
+    }
+}

@@ -1,0 +1,168 @@
+//! Instrumented transport layer.
+//!
+//! The simulated cluster runs in one process: an "RPC" is a function call
+//! into a memnode. This module makes the *network cost* of every operation
+//! observable: it counts round trips and messages globally and per
+//! logical operation (thread-scoped), and can optionally inject real
+//! latency per round trip. Benchmarks report modeled latency as
+//! `measured wall time + round_trips × model_rtt`, reproducing the paper's
+//! round-trip-dominated latency shapes without physical machines.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+thread_local! {
+    static OP_ROUND_TRIPS: Cell<u64> = const { Cell::new(0) };
+    static OP_MESSAGES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Network counters observed during one logical operation on the calling
+/// thread (e.g. one B-tree get, including all of its retries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpNet {
+    /// Sequential round trips: phases of minitransactions, counted once per
+    /// phase regardless of fan-out (messages travel in parallel).
+    pub round_trips: u64,
+    /// Total messages sent (one per participant per phase).
+    pub messages: u64,
+}
+
+impl OpNet {
+    /// Latency contribution of the network under a constant-RTT model.
+    pub fn modeled_latency(&self, rtt: Duration) -> Duration {
+        rtt * self.round_trips as u32
+    }
+}
+
+/// Resets the calling thread's per-operation counters.
+pub fn op_reset() {
+    OP_ROUND_TRIPS.with(|c| c.set(0));
+    OP_MESSAGES.with(|c| c.set(0));
+}
+
+/// Reads the calling thread's per-operation counters.
+pub fn op_counters() -> OpNet {
+    OpNet {
+        round_trips: OP_ROUND_TRIPS.with(|c| c.get()),
+        messages: OP_MESSAGES.with(|c| c.get()),
+    }
+}
+
+/// Runs `f` with fresh per-operation counters and returns its result along
+/// with the network counters it accumulated.
+pub fn with_op_net<R>(f: impl FnOnce() -> R) -> (R, OpNet) {
+    op_reset();
+    let r = f();
+    (r, op_counters())
+}
+
+/// Cluster-wide transport statistics.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Total round trips (sequential network delays) across all threads.
+    pub round_trips: AtomicU64,
+    /// Total messages.
+    pub messages: AtomicU64,
+}
+
+impl NetStats {
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.round_trips.load(Ordering::Relaxed),
+            self.messages.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The instrumented transport: every coordinator phase goes through
+/// [`Transport::round_trip`].
+pub struct Transport {
+    /// Global counters.
+    pub stats: NetStats,
+    /// Injected per-round-trip latency in nanoseconds (0 = off). Runtime
+    /// switchable so benchmark preloads can run at memory speed while the
+    /// measured phase pays realistic network delays.
+    inject_ns: AtomicU64,
+    /// RTT used for *modeled* latency in reports (never slept here).
+    pub model_rtt: Duration,
+}
+
+impl Transport {
+    /// Creates a transport with a model RTT and optional injected latency.
+    pub fn new(model_rtt: Duration, inject_rtt: Option<Duration>) -> Self {
+        Transport {
+            stats: NetStats::default(),
+            inject_ns: AtomicU64::new(inject_rtt.map_or(0, |d| d.as_nanos() as u64)),
+            model_rtt,
+        }
+    }
+
+    /// Enables/disables injected latency at runtime.
+    pub fn set_inject(&self, rtt: Option<Duration>) {
+        self.inject_ns
+            .store(rtt.map_or(0, |d| d.as_nanos() as u64), Ordering::Relaxed);
+    }
+
+    /// Currently injected latency.
+    pub fn inject(&self) -> Option<Duration> {
+        match self.inject_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+
+    /// Records one round trip carrying `fanout` parallel messages, then
+    /// optionally injects latency.
+    #[inline]
+    pub fn round_trip(&self, fanout: usize) {
+        self.stats.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .messages
+            .fetch_add(fanout as u64, Ordering::Relaxed);
+        OP_ROUND_TRIPS.with(|c| c.set(c.get() + 1));
+        OP_MESSAGES.with(|c| c.set(c.get() + fanout as u64));
+        let ns = self.inject_ns.load(Ordering::Relaxed);
+        if ns > 0 {
+            std::thread::sleep(Duration::from_nanos(ns));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = Transport::new(Duration::from_micros(100), None);
+        let (_, net) = with_op_net(|| {
+            t.round_trip(1);
+            t.round_trip(3);
+        });
+        assert_eq!(net, OpNet { round_trips: 2, messages: 4 });
+        assert_eq!(t.stats.snapshot(), (2, 4));
+    }
+
+    #[test]
+    fn op_scope_resets() {
+        let t = Transport::new(Duration::from_micros(100), None);
+        let (_, a) = with_op_net(|| t.round_trip(1));
+        let (_, b) = with_op_net(|| {
+            t.round_trip(1);
+            t.round_trip(1);
+        });
+        assert_eq!(a.round_trips, 1);
+        assert_eq!(b.round_trips, 2);
+    }
+
+    #[test]
+    fn modeled_latency() {
+        let net = OpNet { round_trips: 3, messages: 5 };
+        assert_eq!(
+            net.modeled_latency(Duration::from_micros(100)),
+            Duration::from_micros(300)
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Key-choice distributions, ported from YCSB (Cooper et al., SoCC 2010).
+//!
+//! * `Uniform` — uniformly random over the key space (the paper's default).
+//! * `Zipfian` — Gray et al.'s rejection-free zipfian generator with
+//!   constant-time sampling; skews toward low ranks.
+//! * `ScrambledZipfian` — zipfian ranks scattered over the key space by
+//!   FNV hashing, so the *popularity* distribution is zipfian but the hot
+//!   keys are spread out (YCSB's default for workloads A–D).
+//! * `Latest` — zipfian over recency: favors recently inserted records.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which distribution to draw record indices from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniformly random.
+    Uniform,
+    /// Zipfian with the classic θ=0.99 constant, scattered via FNV.
+    ScrambledZipfian,
+    /// Plain zipfian (rank 0 hottest).
+    Zipfian,
+    /// Favor the most recently inserted records.
+    Latest,
+}
+
+/// Gray et al. zipfian generator over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+/// YCSB's zipfian constant.
+pub const ZIPFIAN_CONSTANT: f64 = 0.99;
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // O(n) precomputation; cached per generator. For the scaled-down
+    // benches (≤ a few million records) this is fast enough.
+    let mut sum = 0.0;
+    for i in 0..n {
+        sum += 1.0 / ((i + 1) as f64).powf(theta);
+    }
+    sum
+}
+
+impl Zipfian {
+    /// Creates a zipfian generator over `0..items` with θ =
+    /// [`ZIPFIAN_CONSTANT`].
+    pub fn new(items: u64) -> Self {
+        Self::with_theta(items, ZIPFIAN_CONSTANT)
+    }
+
+    /// Creates a zipfian generator with an explicit θ.
+    pub fn with_theta(items: u64, theta: f64) -> Self {
+        assert!(items > 0);
+        let zetan = zeta(items, theta);
+        let zeta2theta = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Zipfian {
+            items,
+            theta,
+            zetan,
+            alpha,
+            eta,
+        }
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Draws a rank in `0..items` (0 = hottest).
+    pub fn next(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.items - 1)
+    }
+}
+
+/// FNV-1a 64-bit hash used by YCSB to scatter zipfian ranks.
+pub fn fnv1a(v: u64) -> u64 {
+    const PRIME: u64 = 0x100000001b3;
+    let mut h: u64 = 0xcbf29ce484222325;
+    for i in 0..8 {
+        h ^= (v >> (i * 8)) & 0xff;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// A sampler over record indices `0..count()`, where `count` can grow as
+/// inserts happen (shared via an atomic).
+pub struct KeyChooser {
+    dist: KeyDist,
+    zipf: Option<Zipfian>,
+    record_count: Arc<AtomicU64>,
+    rng: SmallRng,
+}
+
+impl KeyChooser {
+    /// Creates a chooser. `record_count` is shared with the insert path so
+    /// `Latest`/bounds track growth.
+    pub fn new(dist: KeyDist, record_count: Arc<AtomicU64>, seed: u64) -> Self {
+        let n = record_count.load(Ordering::Relaxed).max(1);
+        let zipf = match dist {
+            KeyDist::Uniform => None,
+            _ => Some(Zipfian::new(n)),
+        };
+        KeyChooser {
+            dist,
+            zipf,
+            record_count,
+            rng: SmallRng::seed_from_u64(seed ^ 0xD1B54A32D192ED03),
+        }
+    }
+
+    /// Draws a record index.
+    pub fn next(&mut self) -> u64 {
+        let n = self.record_count.load(Ordering::Relaxed).max(1);
+        match self.dist {
+            KeyDist::Uniform => self.rng.gen_range(0..n),
+            KeyDist::Zipfian => {
+                let z = self.zipf.as_ref().unwrap();
+                z.next(&mut self.rng).min(n - 1)
+            }
+            KeyDist::ScrambledZipfian => {
+                let z = self.zipf.as_ref().unwrap();
+                fnv1a(z.next(&mut self.rng)) % n
+            }
+            KeyDist::Latest => {
+                let z = self.zipf.as_ref().unwrap();
+                let back = z.next(&mut self.rng).min(n - 1);
+                n - 1 - back
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_in_range_and_skewed() {
+        let z = Zipfian::new(1000);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..200_000 {
+            let v = z.next(&mut rng) as usize;
+            assert!(v < 1000);
+            counts[v] += 1;
+        }
+        // Rank 0 should be far hotter than rank 500.
+        assert!(counts[0] > counts[500] * 20, "{} vs {}", counts[0], counts[500]);
+        // And the head should dominate: top-10 > 25% of mass.
+        let head: u64 = counts[..10].iter().sum();
+        assert!(head > 50_000, "head mass {head}");
+    }
+
+    #[test]
+    fn uniform_roughly_flat() {
+        let rc = Arc::new(AtomicU64::new(100));
+        let mut c = KeyChooser::new(KeyDist::Uniform, rc, 3);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..100_000 {
+            counts[c.next() as usize] += 1;
+        }
+        let (mn, mx) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*mx < mn * 2, "uniformity: {mn}..{mx}");
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let rc = Arc::new(AtomicU64::new(1000));
+        let mut c = KeyChooser::new(KeyDist::ScrambledZipfian, rc, 3);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(c.next()).or_insert(0u64) += 1;
+        }
+        // Hottest key should not be index 0 (scrambling moved it).
+        let hottest = counts.iter().max_by_key(|(_, &c)| c).map(|(&k, _)| k).unwrap();
+        assert_ne!(hottest, 0);
+        // Still skewed.
+        let max = counts.values().max().unwrap();
+        assert!(*max > 5_000, "skew preserved: {max}");
+    }
+
+    #[test]
+    fn latest_prefers_new_records() {
+        let rc = Arc::new(AtomicU64::new(1000));
+        let mut c = KeyChooser::new(KeyDist::Latest, rc.clone(), 3);
+        let mut newest = 0u64;
+        for _ in 0..10_000 {
+            if c.next() >= 900 {
+                newest += 1;
+            }
+        }
+        assert!(newest > 5_000, "latest skew: {newest}");
+        // Growth is tracked.
+        rc.store(2000, Ordering::Relaxed);
+        for _ in 0..100 {
+            assert!(c.next() < 2000);
+        }
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_spread() {
+        assert_eq!(fnv1a(1), fnv1a(1));
+        assert_ne!(fnv1a(1), fnv1a(2));
+    }
+}

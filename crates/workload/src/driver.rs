@@ -1,0 +1,267 @@
+//! Closed-loop benchmark driver (the YCSB client model).
+//!
+//! `threads` workers each own a connection to the system under test and
+//! issue operations back-to-back (closed loop). Latency is measured per
+//! operation; the connection may report *extra* modeled latency (e.g.
+//! network round trips × RTT from the simulated transport) which is added
+//! to the recorded value. Aggregate throughput is ops / measured window,
+//! optionally bucketed into fixed windows for time-series plots (Fig. 14).
+
+use crate::hist::{Histogram, LatencySummary};
+use crate::spec::{OpGenerator, Operation, OpKind, SharedState, WorkloadSpec};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Closed-loop worker threads.
+    pub threads: usize,
+    /// Measured duration.
+    pub duration: Duration,
+    /// Unrecorded warmup before measurement.
+    pub warmup: Duration,
+    /// If set, also report ops per window of this size.
+    pub window: Option<Duration>,
+}
+
+impl RunConfig {
+    /// A config with the given threads and duration, no warmup.
+    pub fn new(threads: usize, duration: Duration) -> Self {
+        RunConfig {
+            threads,
+            duration,
+            warmup: Duration::ZERO,
+            window: None,
+        }
+    }
+
+    /// Adds a warmup phase.
+    pub fn with_warmup(mut self, warmup: Duration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Enables time-series windows.
+    pub fn with_window(mut self, window: Duration) -> Self {
+        self.window = Some(window);
+        self
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Measured wall time.
+    pub elapsed: Duration,
+    /// Operations completed in the measured window.
+    pub ops: u64,
+    /// Operations per second.
+    pub throughput: f64,
+    /// Latency over all operations.
+    pub latency: LatencySummary,
+    /// Per-class latency.
+    pub per_kind: Vec<(OpKind, LatencySummary)>,
+    /// Ops per time window (empty unless windows enabled).
+    pub windows: Vec<u64>,
+}
+
+struct WorkerResult {
+    all: Histogram,
+    per_kind: [(OpKind, Histogram); 4],
+    ops: u64,
+}
+
+/// Runs the workload closed-loop. `make_worker(thread_idx)` builds each
+/// worker's connection: a closure executing one [`Operation`] and
+/// returning the *extra* (modeled) latency to add to the measured wall
+/// time.
+pub fn run_closed_loop<C, F>(
+    cfg: &RunConfig,
+    spec: &WorkloadSpec,
+    shared: &Arc<SharedState>,
+    make_worker: F,
+) -> RunReport
+where
+    F: Fn(usize) -> C + Sync,
+    C: FnMut(&Operation) -> Duration,
+{
+    let nwindows = cfg
+        .window
+        .map(|w| (cfg.duration.as_nanos() / w.as_nanos().max(1)) as usize + 2)
+        .unwrap_or(0);
+    let window_counts: Vec<AtomicU64> = (0..nwindows).map(|_| AtomicU64::new(0)).collect();
+    let stop = AtomicBool::new(false);
+
+    let start = Instant::now();
+    let measure_from = start + cfg.warmup;
+    let deadline = measure_from + cfg.duration;
+
+    let results: Vec<WorkerResult> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(cfg.threads);
+        for t in 0..cfg.threads {
+            let make_worker = &make_worker;
+            let stop = &stop;
+            let window_counts = &window_counts;
+            let window = cfg.window;
+            handles.push(s.spawn(move || {
+                let mut conn = make_worker(t);
+                let mut gen = OpGenerator::new(spec, shared, t as u64 + 1);
+                let mut all = Histogram::new();
+                let mut per_kind = [
+                    (OpKind::Read, Histogram::new()),
+                    (OpKind::Update, Histogram::new()),
+                    (OpKind::Insert, Histogram::new()),
+                    (OpKind::Scan, Histogram::new()),
+                ];
+                let mut ops = 0u64;
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let op = gen.next_op();
+                    let t0 = Instant::now();
+                    let extra = conn(&op);
+                    let lat = t0.elapsed() + extra;
+                    let done = Instant::now();
+                    if done >= measure_from && done < deadline {
+                        all.record_duration(lat);
+                        let slot = per_kind
+                            .iter_mut()
+                            .find(|(k, _)| *k == op.kind())
+                            .expect("kind slot");
+                        slot.1.record_duration(lat);
+                        ops += 1;
+                        if let Some(w) = window {
+                            let idx = (done.duration_since(measure_from).as_nanos()
+                                / w.as_nanos().max(1))
+                                as usize;
+                            if idx < window_counts.len() {
+                                window_counts[idx].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                WorkerResult { all, per_kind, ops }
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let elapsed = cfg.duration;
+    let mut all = Histogram::new();
+    let mut merged = [
+        (OpKind::Read, Histogram::new()),
+        (OpKind::Update, Histogram::new()),
+        (OpKind::Insert, Histogram::new()),
+        (OpKind::Scan, Histogram::new()),
+    ];
+    let mut ops = 0u64;
+    for r in &results {
+        all.merge(&r.all);
+        ops += r.ops;
+        for (k, h) in &r.per_kind {
+            merged
+                .iter_mut()
+                .find(|(mk, _)| mk == k)
+                .unwrap()
+                .1
+                .merge(h);
+        }
+    }
+    let windows: Vec<u64> = window_counts
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .take(
+            cfg.window
+                .map(|w| (cfg.duration.as_nanos() / w.as_nanos().max(1)) as usize)
+                .unwrap_or(0),
+        )
+        .collect();
+    RunReport {
+        elapsed,
+        ops,
+        throughput: ops as f64 / elapsed.as_secs_f64(),
+        latency: all.summary(),
+        per_kind: merged
+            .into_iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(k, h)| (k, h.summary()))
+            .collect(),
+        windows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    /// A toy in-memory KV store standing in for an engine.
+    #[derive(Default)]
+    struct ToyStore {
+        map: Mutex<HashMap<Vec<u8>, Vec<u8>>>,
+    }
+
+    #[test]
+    fn driver_reports_sane_numbers() {
+        let store = Arc::new(ToyStore::default());
+        let spec = WorkloadSpec::mix(100, 0.5, 0.5, 0.0, 0.0);
+        let shared = SharedState::new(&spec);
+        let cfg = RunConfig::new(4, Duration::from_millis(200));
+        let report = run_closed_loop(&cfg, &spec, &shared, |_t| {
+            let store = store.clone();
+            move |op: &Operation| {
+                match op {
+                    Operation::Read { key } => {
+                        store.map.lock().get(key);
+                    }
+                    Operation::Update { key, value } => {
+                        store.map.lock().insert(key.clone(), value.clone());
+                    }
+                    _ => {}
+                }
+                Duration::ZERO
+            }
+        });
+        assert!(report.ops > 1000, "ops {}", report.ops);
+        assert!(report.throughput > 5000.0);
+        assert_eq!(report.latency.count, report.ops);
+        let kinds: Vec<_> = report.per_kind.iter().map(|(k, _)| *k).collect();
+        assert!(kinds.contains(&OpKind::Read));
+        assert!(kinds.contains(&OpKind::Update));
+    }
+
+    #[test]
+    fn extra_latency_is_added() {
+        let spec = WorkloadSpec::read_only(10);
+        let shared = SharedState::new(&spec);
+        let cfg = RunConfig::new(1, Duration::from_millis(100));
+        let report = run_closed_loop(&cfg, &spec, &shared, |_t| {
+            |_op: &Operation| Duration::from_millis(5)
+        });
+        // Mean latency must reflect the 5ms modeled extra.
+        assert!(report.latency.mean_ns >= 5_000_000.0);
+    }
+
+    #[test]
+    fn windows_cover_duration() {
+        let spec = WorkloadSpec::read_only(10);
+        let shared = SharedState::new(&spec);
+        let cfg = RunConfig::new(2, Duration::from_millis(200))
+            .with_window(Duration::from_millis(50));
+        let report = run_closed_loop(&cfg, &spec, &shared, |_t| {
+            |_op: &Operation| Duration::ZERO
+        });
+        assert_eq!(report.windows.len(), 4);
+        assert_eq!(report.windows.iter().sum::<u64>(), report.ops);
+        assert!(report.windows.iter().all(|&w| w > 0));
+    }
+}

@@ -1,0 +1,357 @@
+//! Workload specification and operation generation (YCSB core workload).
+
+use crate::dist::{KeyChooser, KeyDist};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One generated request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operation {
+    /// Point read.
+    Read {
+        /// Key to read.
+        key: Vec<u8> },
+    /// Update an existing key.
+    Update {
+        /// Key to update.
+        key: Vec<u8>,
+        /// New value.
+        value: Vec<u8>,
+    },
+    /// Insert a fresh key.
+    Insert {
+        /// Key to insert.
+        key: Vec<u8>,
+        /// Value.
+        value: Vec<u8>,
+    },
+    /// Range scan of `len` consecutive records starting at `start`.
+    Scan {
+        /// First key of the range.
+        start: Vec<u8>,
+        /// Records to retrieve.
+        len: usize,
+    },
+    /// Atomic multi-index read: key `i` targets table/tree `i` (§6.2's
+    /// dual-key transactions).
+    MultiRead {
+        /// One key per table.
+        keys: Vec<Vec<u8>>,
+    },
+    /// Atomic multi-index update.
+    MultiUpdate {
+        /// One key per table.
+        keys: Vec<Vec<u8>>,
+        /// Value written to every table.
+        value: Vec<u8>,
+    },
+    /// Atomic multi-index insert.
+    MultiInsert {
+        /// One key per table.
+        keys: Vec<Vec<u8>>,
+        /// Value written to every table.
+        value: Vec<u8>,
+    },
+}
+
+impl Operation {
+    /// Coarse operation class, for per-class reporting.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Operation::Read { .. } | Operation::MultiRead { .. } => OpKind::Read,
+            Operation::Update { .. } | Operation::MultiUpdate { .. } => OpKind::Update,
+            Operation::Insert { .. } | Operation::MultiInsert { .. } => OpKind::Insert,
+            Operation::Scan { .. } => OpKind::Scan,
+        }
+    }
+}
+
+/// Operation classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Point / multi reads.
+    Read,
+    /// Updates.
+    Update,
+    /// Inserts.
+    Insert,
+    /// Range scans.
+    Scan,
+}
+
+/// Declarative workload description (mirrors a YCSB properties file).
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Records preloaded before the run.
+    pub record_count: u64,
+    /// Proportion of reads.
+    pub read_prop: f64,
+    /// Proportion of updates.
+    pub update_prop: f64,
+    /// Proportion of inserts.
+    pub insert_prop: f64,
+    /// Proportion of scans.
+    pub scan_prop: f64,
+    /// Records per scan.
+    pub scan_len: usize,
+    /// Key distribution.
+    pub dist: KeyDist,
+    /// Value size in bytes (the paper uses 8-byte values).
+    pub value_len: usize,
+    /// If set, point ops become `Multi*` ops over this many tables.
+    pub multi: Option<usize>,
+}
+
+impl WorkloadSpec {
+    /// 100% reads.
+    pub fn read_only(record_count: u64) -> Self {
+        Self::mix(record_count, 1.0, 0.0, 0.0, 0.0)
+    }
+
+    /// 100% updates (the paper's snapshot-stress workload).
+    pub fn update_only(record_count: u64) -> Self {
+        Self::mix(record_count, 0.0, 1.0, 0.0, 0.0)
+    }
+
+    /// 100% inserts (the YCSB load phase).
+    pub fn insert_only(record_count: u64) -> Self {
+        Self::mix(record_count, 0.0, 0.0, 1.0, 0.0)
+    }
+
+    /// Custom mix.
+    pub fn mix(record_count: u64, read: f64, update: f64, insert: f64, scan: f64) -> Self {
+        let total = read + update + insert + scan;
+        assert!(total > 0.0);
+        WorkloadSpec {
+            record_count,
+            read_prop: read / total,
+            update_prop: update / total,
+            insert_prop: insert / total,
+            scan_prop: scan / total,
+            scan_len: 1000,
+            dist: KeyDist::Uniform,
+            value_len: 8,
+            multi: None,
+        }
+    }
+
+    /// Sets the key distribution.
+    pub fn with_dist(mut self, dist: KeyDist) -> Self {
+        self.dist = dist;
+        self
+    }
+
+    /// Makes point ops span `tables` tables atomically.
+    pub fn with_multi(mut self, tables: usize) -> Self {
+        self.multi = Some(tables);
+        self
+    }
+
+    /// Sets the scan length.
+    pub fn with_scan_len(mut self, len: usize) -> Self {
+        self.scan_len = len;
+        self
+    }
+}
+
+/// YCSB key encoding: `user` + 10 zero-padded digits — 14 bytes, as in the
+/// paper's experiments. Record numbers are scattered by FNV hashing
+/// (YCSB's default `insertorder=hashed`), so sequentially-generated
+/// inserts spread across the whole key space instead of hammering the
+/// right-most leaf.
+pub fn encode_key(record: u64) -> Vec<u8> {
+    let scattered = crate::dist::fnv1a(record) % 10_000_000_000;
+    format!("user{scattered:010}").into_bytes()
+}
+
+/// Shared growth state: the number of records that exist (inserts bump it).
+pub struct SharedState {
+    record_count: Arc<AtomicU64>,
+    insert_seq: Arc<AtomicU64>,
+}
+
+impl SharedState {
+    /// Creates shared state for a workload preloaded with
+    /// `spec.record_count` records.
+    pub fn new(spec: &WorkloadSpec) -> Arc<Self> {
+        Arc::new(SharedState {
+            record_count: Arc::new(AtomicU64::new(spec.record_count)),
+            insert_seq: Arc::new(AtomicU64::new(spec.record_count)),
+        })
+    }
+
+    /// Current record count.
+    pub fn records(&self) -> u64 {
+        self.record_count.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-thread operation generator.
+pub struct OpGenerator {
+    spec: WorkloadSpec,
+    chooser: KeyChooser,
+    rng: SmallRng,
+    shared: Arc<SharedState>,
+}
+
+impl OpGenerator {
+    /// Creates a generator for one worker thread.
+    pub fn new(spec: &WorkloadSpec, shared: &Arc<SharedState>, seed: u64) -> Self {
+        OpGenerator {
+            spec: spec.clone(),
+            chooser: KeyChooser::new(spec.dist, shared.record_count.clone(), seed),
+            rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1),
+            shared: shared.clone(),
+        }
+    }
+
+    fn value(&mut self) -> Vec<u8> {
+        let mut v = vec![0u8; self.spec.value_len];
+        self.rng.fill(v.as_mut_slice());
+        v
+    }
+
+    fn fresh_key(&mut self) -> Vec<u8> {
+        let id = self.shared.insert_seq.fetch_add(1, Ordering::Relaxed);
+        self.shared.record_count.fetch_add(1, Ordering::Relaxed);
+        encode_key(id)
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Operation {
+        let r: f64 = self.rng.gen();
+        let s = self.spec.clone();
+        if r < s.read_prop {
+            match s.multi {
+                None => Operation::Read {
+                    key: encode_key(self.chooser.next()),
+                },
+                Some(n) => Operation::MultiRead {
+                    keys: (0..n).map(|_| encode_key(self.chooser.next())).collect(),
+                },
+            }
+        } else if r < s.read_prop + s.update_prop {
+            let value = self.value();
+            match s.multi {
+                None => Operation::Update {
+                    key: encode_key(self.chooser.next()),
+                    value,
+                },
+                Some(n) => Operation::MultiUpdate {
+                    keys: (0..n).map(|_| encode_key(self.chooser.next())).collect(),
+                    value,
+                },
+            }
+        } else if r < s.read_prop + s.update_prop + s.insert_prop {
+            let value = self.value();
+            match s.multi {
+                None => Operation::Insert {
+                    key: self.fresh_key(),
+                    value,
+                },
+                Some(n) => Operation::MultiInsert {
+                    keys: (0..n).map(|_| self.fresh_key()).collect(),
+                    value,
+                },
+            }
+        } else {
+            Operation::Scan {
+                start: encode_key(self.chooser.next()),
+                len: s.scan_len,
+            }
+        }
+    }
+}
+
+/// Keys for the load phase: records `0..record_count` in a deterministic
+/// shuffled order (loading in pure sequence would underestimate split
+/// costs).
+pub fn load_keys(record_count: u64, seed: u64) -> Vec<Vec<u8>> {
+    let mut ids: Vec<u64> = (0..record_count).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in (1..ids.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    ids.into_iter().map(encode_key).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_encoding_fixed_width_and_scattered() {
+        assert_eq!(encode_key(42).len(), 14);
+        assert!(encode_key(42).starts_with(b"user"));
+        // Deterministic.
+        assert_eq!(encode_key(7), encode_key(7));
+        // Hashed order: consecutive records are far apart.
+        assert_ne!(encode_key(1), encode_key(2));
+        let distinct: std::collections::HashSet<_> = (0..1000).map(encode_key).collect();
+        assert!(distinct.len() >= 999, "hash collisions should be rare");
+    }
+
+    #[test]
+    fn mix_proportions_normalized() {
+        let s = WorkloadSpec::mix(100, 2.0, 1.0, 1.0, 0.0);
+        assert!((s.read_prop - 0.5).abs() < 1e-9);
+        assert!((s.update_prop - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generator_respects_mix() {
+        let spec = WorkloadSpec::mix(1000, 0.5, 0.5, 0.0, 0.0);
+        let shared = SharedState::new(&spec);
+        let mut g = OpGenerator::new(&spec, &shared, 1);
+        let mut reads = 0;
+        for _ in 0..10_000 {
+            match g.next_op() {
+                Operation::Read { .. } => reads += 1,
+                Operation::Update { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!((4_500..5_500).contains(&reads), "reads {reads}");
+    }
+
+    #[test]
+    fn inserts_generate_fresh_keys_and_grow_count() {
+        let spec = WorkloadSpec::insert_only(10);
+        let shared = SharedState::new(&spec);
+        let mut g = OpGenerator::new(&spec, &shared, 1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            match g.next_op() {
+                Operation::Insert { key, .. } => {
+                    assert!(seen.insert(key), "fresh keys must not repeat");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(shared.records(), 110);
+    }
+
+    #[test]
+    fn multi_ops_span_tables() {
+        let spec = WorkloadSpec::read_only(100).with_multi(2);
+        let shared = SharedState::new(&spec);
+        let mut g = OpGenerator::new(&spec, &shared, 1);
+        match g.next_op() {
+            Operation::MultiRead { keys } => assert_eq!(keys.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_keys_complete_and_distinct() {
+        let keys = load_keys(100, 42);
+        assert_eq!(keys.len(), 100);
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+    }
+}

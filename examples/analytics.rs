@@ -1,0 +1,93 @@
+//! In-situ analytics (the paper's §1 motivation): a live OLTP workload —
+//! an online shop tracking per-user cart totals — runs concurrently with
+//! long analytical scans that aggregate over consistent snapshots, never
+//! blocking or aborting the transactions.
+//!
+//! Run with: `cargo run --release --example analytics`
+
+use minuet::{MinuetCluster, TreeConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+fn user_key(u: u64) -> Vec<u8> {
+    format!("user{u:06}").into_bytes()
+}
+
+fn main() {
+    let cluster = MinuetCluster::new(4, 1, TreeConfig::default());
+    let users = 20_000u64;
+
+    // Seed operational state: every user starts with a zero cart.
+    {
+        let mut p = cluster.proxy();
+        for u in 0..users {
+            p.put(0, user_key(u), 0u64.to_le_bytes().to_vec()).unwrap();
+        }
+    }
+    println!("seeded {users} user carts");
+
+    let stop = AtomicBool::new(false);
+    let txns = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        // OLTP: four writers performing read-modify-write "add to cart"
+        // transactions.
+        for w in 0..4u64 {
+            let cluster = &cluster;
+            let stop = &stop;
+            let txns = &txns;
+            s.spawn(move || {
+                let mut p = cluster.proxy();
+                let mut rng = 0x9E3779B97F4A7C15u64 ^ w;
+                while !stop.load(Ordering::Relaxed) {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let key = user_key(rng % users);
+                    let k2 = key.clone();
+                    p.txn(move |t| {
+                        let cur = t
+                            .get(0, &k2)?
+                            .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
+                            .unwrap_or(0);
+                        t.put(0, k2.clone(), (cur + 1).to_le_bytes().to_vec())?;
+                        Ok(())
+                    })
+                    .unwrap();
+                    txns.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // Analytics: periodically snapshot and compute the total items in
+        // all carts — a full scan that would be hopeless as a serializable
+        // tip transaction under this write load.
+        let mut p = cluster.proxy();
+        let scs = cluster.scs(0);
+        for round in 1..=5 {
+            std::thread::sleep(Duration::from_millis(300));
+            let before = txns.load(Ordering::Relaxed);
+            let (sid, _) = scs
+                .snapshot_for_scan(&mut p, 0, Duration::ZERO)
+                .unwrap();
+            let rows = p.scan_at(0, sid, b"", usize::MAX).unwrap();
+            let total: u64 = rows
+                .iter()
+                .map(|(_, v)| u64::from_le_bytes(v.as_slice().try_into().unwrap()))
+                .sum();
+            let during = txns.load(Ordering::Relaxed) - before;
+            println!(
+                "analytics round {round}: snapshot {sid} scanned {} carts, total items {total} \
+                 ({during} OLTP txns committed during the scan)",
+                rows.len()
+            );
+            assert_eq!(rows.len() as u64, users, "snapshot must be complete");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    println!(
+        "done: {} cart transactions, analytics never blocked them",
+        txns.load(Ordering::Relaxed)
+    );
+}

@@ -1,0 +1,185 @@
+//! Property-based tests: the Minuet tree behaves as an ordered map, its
+//! physical structure satisfies the fence/height invariants, and snapshots
+//! are point-in-time immutable — under arbitrary operation sequences.
+
+use minuet::core::{Fence, MinuetCluster, Node, NodeBody, NodePtr, TreeConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Remove(u16),
+    Get(u16),
+    Scan(u16, u8),
+    Snapshot,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 512, v)),
+        2 => any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        2 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        1 => (any::<u16>(), any::<u8>()).prop_map(|(k, n)| Op::Scan(k % 512, n)),
+        1 => Just(Op::Snapshot),
+    ]
+}
+
+fn key(k: u16) -> Vec<u8> {
+    format!("p{k:05}").into_bytes()
+}
+
+/// Walks every reachable node of a snapshot and checks the structural
+/// invariants: fences nest, children partition the parent range, heights
+/// decrease by one, keys lie within fences.
+fn check_structure(mc: &MinuetCluster, root: NodePtr) {
+    fn walk(mc: &MinuetCluster, ptr: NodePtr, low: &Fence, high: &Fence, height: Option<u8>) {
+        let layout = mc.layout(0);
+        let obj = layout.node_obj(ptr);
+        let raw = mc
+            .sinfonia
+            .node(ptr.mem)
+            .raw_read(obj.off, obj.cap)
+            .unwrap();
+        let val = minuet::dyntx::decode_obj(&raw);
+        let node = Node::decode(&val.data).expect("reachable node must decode");
+        assert!(node.low >= *low, "low fence must nest");
+        assert!(node.high <= *high, "high fence must nest");
+        if let Some(h) = height {
+            assert_eq!(node.height, h, "height must decrease by one per level");
+        }
+        match &node.body {
+            NodeBody::Leaf { entries } => {
+                for w in entries.windows(2) {
+                    assert!(w[0].0 < w[1].0, "leaf keys sorted");
+                }
+                for (k, _) in entries {
+                    assert!(node.low.le_key(k) && node.high.gt_key(k), "key in fences");
+                }
+            }
+            NodeBody::Internal { seps, kids } => {
+                assert_eq!(kids.len(), seps.len() + 1);
+                for w in seps.windows(2) {
+                    assert!(w[0] < w[1], "separators sorted");
+                }
+                let mut lo = node.low.clone();
+                for (i, kid) in kids.iter().enumerate() {
+                    let hi = if i < seps.len() {
+                        Fence::Key(seps[i].clone())
+                    } else {
+                        node.high.clone()
+                    };
+                    walk(mc, *kid, &lo, &hi, Some(node.height - 1));
+                    lo = hi;
+                }
+            }
+        }
+    }
+    walk(mc, root, &Fence::NegInf, &Fence::PosInf, None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn behaves_like_btreemap_with_snapshots(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        let mc = MinuetCluster::new(2, 1, TreeConfig::small_nodes(4));
+        let mut p = mc.proxy();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut snaps: Vec<(u64, BTreeMap<Vec<u8>, Vec<u8>>)> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    let got = p.put(0, key(*k), vec![*v]).unwrap();
+                    let want = model.insert(key(*k), vec![*v]);
+                    prop_assert_eq!(got, want);
+                }
+                Op::Remove(k) => {
+                    let got = p.remove(0, &key(*k)).unwrap();
+                    let want = model.remove(&key(*k));
+                    prop_assert_eq!(got, want);
+                }
+                Op::Get(k) => {
+                    let got = p.get(0, &key(*k)).unwrap();
+                    prop_assert_eq!(got.as_ref(), model.get(&key(*k)));
+                }
+                Op::Scan(k, n) => {
+                    let start = key(*k);
+                    let limit = *n as usize;
+                    let got = p.scan_serializable(0, &start, limit).unwrap();
+                    let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range(start..)
+                        .take(limit)
+                        .map(|(a, b)| (a.clone(), b.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Snapshot => {
+                    let info = p.create_snapshot(0).unwrap();
+                    snaps.push((info.frozen_sid, model.clone()));
+                }
+            }
+        }
+
+        // Every snapshot still reflects exactly its frozen model.
+        for (sid, frozen) in &snaps {
+            let got = p.scan_at(0, *sid, b"", usize::MAX).unwrap();
+            let want: Vec<(Vec<u8>, Vec<u8>)> =
+                frozen.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+            prop_assert_eq!(&got, &want, "snapshot {} diverged", sid);
+        }
+
+        // Structural invariants hold for the tip and every snapshot root.
+        let (_, tip_root) = p.current_tip(0).unwrap();
+        check_structure(&mc, tip_root);
+    }
+
+    #[test]
+    fn concurrent_put_histories_converge(seed in any::<u64>()) {
+        // Two proxies race on an overlapping key range; afterwards the
+        // tree equals a BTreeMap built from the union (last-writer-wins on
+        // values is not checked — only key membership, which is
+        // deterministic since removes are not raced here).
+        let mc = MinuetCluster::new(2, 1, TreeConfig::small_nodes(6));
+        let mut rng = seed;
+        let mut keys_a = Vec::new();
+        let mut keys_b = Vec::new();
+        for _ in 0..60 {
+            rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17;
+            keys_a.push((rng % 128) as u16);
+            rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17;
+            keys_b.push((rng % 128) as u16);
+        }
+        let mc2 = mc.clone();
+        let ka = keys_a.clone();
+        let h = std::thread::spawn(move || {
+            let mut p = mc2.proxy();
+            for k in ka {
+                p.put(0, key(k), b"a".to_vec()).unwrap();
+            }
+        });
+        let mut p = mc.proxy();
+        for k in &keys_b {
+            p.put(0, key(*k), b"b".to_vec()).unwrap();
+        }
+        h.join().unwrap();
+
+        let mut expect: Vec<Vec<u8>> = keys_a
+            .iter()
+            .chain(keys_b.iter())
+            .map(|k| key(*k))
+            .collect();
+        expect.sort();
+        expect.dedup();
+        let got: Vec<Vec<u8>> = p
+            .scan_serializable(0, b"", usize::MAX)
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}
