@@ -61,7 +61,14 @@ fn main() {
     }
     print_table(
         "load throughput (inserts/s) and network messages per insert",
-        &["machines", "dirty ON", "dirty OFF", "ON/OFF", "msgs/ins ON", "msgs/ins OFF"],
+        &[
+            "machines",
+            "dirty ON",
+            "dirty OFF",
+            "ON/OFF",
+            "msgs/ins ON",
+            "msgs/ins OFF",
+        ],
         &rows,
     );
     println!("\nshape check: ON/OFF throughput ratio grows with scale (paper: ~2x at 35");

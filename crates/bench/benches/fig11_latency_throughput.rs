@@ -71,7 +71,14 @@ fn main() {
     }
     print_table(
         format!("Minuet ({machines} machines): latency vs throughput").as_str(),
-        &["clients", "tput", "rd mean ms", "rd p95 ms", "up mean ms", "up p95 ms"],
+        &[
+            "clients",
+            "tput",
+            "rd mean ms",
+            "rd p95 ms",
+            "up mean ms",
+            "up p95 ms",
+        ],
         &rows,
     );
 
@@ -103,7 +110,14 @@ fn main() {
     }
     print_table(
         format!("CDB ({machines} servers): latency vs throughput").as_str(),
-        &["clients", "tput", "rd mean ms", "rd p95 ms", "up mean ms", "up p95 ms"],
+        &[
+            "clients",
+            "tput",
+            "rd mean ms",
+            "rd p95 ms",
+            "up mean ms",
+            "up p95 ms",
+        ],
         &rows,
     );
     println!("\nshape check: latency flat vs load until saturation; Minuet update ≈ 2x read (2 RT vs 1 RT).");

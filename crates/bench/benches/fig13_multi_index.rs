@@ -19,7 +19,11 @@ fn main() {
         "Minuet scales near-linearly (250K 2-key reads @35 hosts); CDB \
          <1200 tx/s and drops with scale (every txn engages all servers)",
     );
-    let n = if hb::fast_mode() { 2_000 } else { hb::records() / 5 };
+    let n = if hb::fast_mode() {
+        2_000
+    } else {
+        hb::records() / 5
+    };
     let mut rows = Vec::new();
     for machines in hb::scales() {
         let threads = machines * hb::clients_per_machine();

@@ -76,6 +76,11 @@ fn main() {
         &["t", "updates/s", ""],
         &rows,
     );
-    println!("\nsnapshot creation latency: {:.2}ms", snap_latency.as_secs_f64() * 1e3);
-    println!("shape check: dip at/after the snapshot window, then recovery to the pre-snapshot level.");
+    println!(
+        "\nsnapshot creation latency: {:.2}ms",
+        snap_latency.as_secs_f64() * 1e3
+    );
+    println!(
+        "shape check: dip at/after the snapshot window, then recovery to the pre-snapshot level."
+    );
 }

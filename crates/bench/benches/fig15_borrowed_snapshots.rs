@@ -65,7 +65,13 @@ fn main() {
     }
     print_table(
         "scans/s vs scan length (k=0, strictly serializable)",
-        &["scan len", "borrow ON", "borrow OFF", "ON/OFF", "borrowed/created"],
+        &[
+            "scan len",
+            "borrow ON",
+            "borrow OFF",
+            "ON/OFF",
+            "borrowed/created",
+        ],
         &rows,
     );
     println!("\nshape check: ON/OFF ratio largest for short scans, ~1x for the longest.");

@@ -49,8 +49,16 @@ fn main() {
     }
     print_table(
         format!("scan scalability (scan len {scan_len}, k={k:?})").as_str(),
-        &["machines", "scanners", "keys scanned/s", "updates/s", "speedup"],
+        &[
+            "machines",
+            "scanners",
+            "keys scanned/s",
+            "updates/s",
+            "speedup",
+        ],
         &rows,
     );
-    println!("\nshape check: keys-scanned/s grows ~linearly with machines (speedup ~ scanner count).");
+    println!(
+        "\nshape check: keys-scanned/s grows ~linearly with machines (speedup ~ scanner count)."
+    );
 }

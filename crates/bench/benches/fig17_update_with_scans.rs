@@ -52,6 +52,10 @@ fn main() {
         .chain(ks.iter().map(|(name, _)| name.clone()))
         .collect();
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    print_table("update throughput (ops/s) by snapshot interval", &headers_ref, &rows);
+    print_table(
+        "update throughput (ops/s) by snapshot interval",
+        &headers_ref,
+        &rows,
+    );
     println!("\nshape check: columns ordered no-scans >= large k >= small k >= k=0.");
 }

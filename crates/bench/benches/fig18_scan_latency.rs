@@ -48,7 +48,10 @@ fn main() {
             format!("{:.2}s", k.as_secs_f64()),
             format!("{:.1}", with.scan_mean_ms),
             format!("{:.1}", without.scan_mean_ms),
-            format!("{:.2}x", with.scan_mean_ms / without.scan_mean_ms.max(0.001)),
+            format!(
+                "{:.2}x",
+                with.scan_mean_ms / without.scan_mean_ms.max(0.001)
+            ),
             format!("{:.0}", with.update_tput),
         ]);
     }
@@ -57,5 +60,7 @@ fn main() {
         &["k", "with upd (ms)", "no upd (ms)", "ratio", "updates/s"],
         &rows,
     );
-    println!("\nshape check: ratio stays modest (paper: <=1.4x) — snapshots isolate scans from updates.");
+    println!(
+        "\nshape check: ratio stays modest (paper: <=1.4x) — snapshots isolate scans from updates."
+    );
 }

@@ -68,10 +68,7 @@ pub fn records() -> u64 {
 /// Machine counts swept by scaling benches.
 pub fn scales() -> Vec<usize> {
     if let Ok(s) = std::env::var("MINUET_BENCH_SCALES") {
-        return s
-            .split(',')
-            .filter_map(|x| x.trim().parse().ok())
-            .collect();
+        return s.split(',').filter_map(|x| x.trim().parse().ok()).collect();
     }
     if fast_mode() {
         vec![1, 2]
@@ -234,8 +231,7 @@ pub fn cdb_conn(cdb: Arc<CdbCluster>) -> impl FnMut(&Operation) -> Duration {
                 let _ = cdb.scan(0, start, *len);
             }
             Operation::MultiRead { keys } => {
-                let pairs: Vec<(usize, Vec<u8>)> =
-                    keys.iter().cloned().enumerate().map(|(i, k)| (i, k)).collect();
+                let pairs: Vec<(usize, Vec<u8>)> = keys.iter().cloned().enumerate().collect();
                 cdb.multi(&pairs, |ctx| {
                     for i in 0..pairs.len() {
                         ctx.get(i);
@@ -243,8 +239,7 @@ pub fn cdb_conn(cdb: Arc<CdbCluster>) -> impl FnMut(&Operation) -> Duration {
                 });
             }
             Operation::MultiUpdate { keys, value } | Operation::MultiInsert { keys, value } => {
-                let pairs: Vec<(usize, Vec<u8>)> =
-                    keys.iter().cloned().enumerate().map(|(i, k)| (i, k)).collect();
+                let pairs: Vec<(usize, Vec<u8>)> = keys.iter().cloned().enumerate().collect();
                 cdb.multi(&pairs, |ctx| {
                     for i in 0..pairs.len() {
                         ctx.put(i, value.clone());
@@ -285,12 +280,7 @@ impl Drop for GcHandle {
 /// Spawns a background GC keeping the `keep_last` most recent snapshots
 /// (§4.4's "always supporting queries over the ten most recent snapshots"
 /// policy), sweeping every `period`.
-pub fn spawn_gc(
-    mc: Arc<MinuetCluster>,
-    tree: u32,
-    keep_last: u64,
-    period: Duration,
-) -> GcHandle {
+pub fn spawn_gc(mc: Arc<MinuetCluster>, tree: u32, keep_last: u64, period: Duration) -> GcHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = stop.clone();
     let join = std::thread::spawn(move || {

@@ -32,6 +32,9 @@ impl Default for CdbConfig {
     }
 }
 
+/// Rows returned by a scan: `(key, value)` pairs in key order.
+pub type Rows = Vec<(Vec<u8>, Vec<u8>)>;
+
 /// CDB errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CdbError {
@@ -126,17 +129,16 @@ impl CdbCluster {
     /// `(table, key)` pair. As in VoltDB-style engines, the transaction is
     /// coordinated globally and **stalls every server** for its duration
     /// (two-phase: prepare + commit fan-out to all servers).
-    pub fn multi<R>(
-        &self,
-        keys: &[(usize, Vec<u8>)],
-        f: impl FnOnce(&mut MultiCtx<'_>) -> R,
-    ) -> R {
+    pub fn multi<R>(&self, keys: &[(usize, Vec<u8>)], f: impl FnOnce(&mut MultiCtx<'_>) -> R) -> R {
         // Global serialization point: only one multi-partition transaction
         // executes at a time (single-threaded coordinator).
         let _g = self.multi_coordinator.lock();
         // Engages all servers: prepare + commit.
         self.transport.round_trip(self.cfg.servers);
-        let mut ctx = MultiCtx { cluster: self, keys };
+        let mut ctx = MultiCtx {
+            cluster: self,
+            keys,
+        };
         let r = f(&mut ctx);
         self.transport.round_trip(self.cfg.servers);
         r
@@ -145,12 +147,7 @@ impl CdbCluster {
     /// Range scan stored procedure: fans out to every server of the
     /// table, merges the per-partition results, and enforces the
     /// per-query memory cap.
-    pub fn scan(
-        &self,
-        table: usize,
-        start: &[u8],
-        limit: usize,
-    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, CdbError> {
+    pub fn scan(&self, table: usize, start: &[u8], limit: usize) -> Result<Rows, CdbError> {
         // One fan-out round trip; every partition conservatively returns
         // up to `limit` rows because the coordinator cannot know the
         // global cut-off in advance — this over-fetch is what blows the

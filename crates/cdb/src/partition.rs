@@ -98,6 +98,9 @@ mod tests {
             p.put(vec![i], vec![i]);
         }
         let got = p.scan_from(&[2], 3);
-        assert_eq!(got.iter().map(|(k, _)| k[0]).collect::<Vec<_>>(), vec![2, 3, 5]);
+        assert_eq!(
+            got.iter().map(|(k, _)| k[0]).collect::<Vec<_>>(),
+            vec![2, 3, 5]
+        );
     }
 }

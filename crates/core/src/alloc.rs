@@ -209,9 +209,7 @@ fn grab_chunk(
             match FreeSegment::decode(&seg_raw) {
                 Some(seg) => {
                     state.free_head = seg.next;
-                    state.free_count = state
-                        .free_count
-                        .saturating_sub(1 + seg.slots.len() as u32);
+                    state.free_count = state.free_count.saturating_sub(1 + seg.slots.len() as u32);
                     got.push(seg_slot);
                     got.extend_from_slice(&seg.slots);
                 }
@@ -264,7 +262,10 @@ pub fn push_free_segment(
     });
     tx.write(seg_obj, seg.encode());
     for &s in &slots[1..] {
-        tx.write(layout.node_obj(NodePtr { mem, slot: s }), TOMBSTONE.to_vec());
+        tx.write(
+            layout.node_obj(NodePtr { mem, slot: s }),
+            TOMBSTONE.to_vec(),
+        );
     }
     AllocState {
         bump: state.bump,
@@ -334,9 +335,7 @@ mod tests {
         let (cluster, layout) = setup(100, 4);
         let mut cc = ChunkCache::new(4);
         for _ in 0..10 {
-            let p = cc
-                .alloc(&cluster, &layout, 0, Some(MemNodeId(2)))
-                .unwrap();
+            let p = cc.alloc(&cluster, &layout, 0, Some(MemNodeId(2))).unwrap();
             assert_eq!(p.mem, MemNodeId(2));
         }
     }

@@ -219,14 +219,18 @@ impl VersionCache {
             if pa == pb {
                 return Ok(pa);
             }
-            let lift = |cache: &Self, cur: SnapshotId, fetch: &mut dyn FnMut(SnapshotId) -> Result<(SnapshotId, NodePtr), Error>| -> Result<SnapshotId, Error> {
-                if let Some(p) = cache.parent(cur) {
-                    return Ok(p);
-                }
-                let (p, root) = fetch(cur)?;
-                cache.insert(cur, p, root);
-                Ok(p)
-            };
+            let lift =
+                |cache: &Self,
+                 cur: SnapshotId,
+                 fetch: &mut dyn FnMut(SnapshotId) -> Result<(SnapshotId, NodePtr), Error>|
+                 -> Result<SnapshotId, Error> {
+                    if let Some(p) = cache.parent(cur) {
+                        return Ok(p);
+                    }
+                    let (p, root) = fetch(cur)?;
+                    cache.insert(cur, p, root);
+                    Ok(p)
+                };
             if pa > pb {
                 pa = lift(self, pa, &mut fetch)?;
                 if pa == NO_PARENT {
@@ -306,8 +310,9 @@ mod tests {
         vc.insert(3, 1, ptr(3));
         vc.insert(4, 2, ptr(4));
         vc.insert(5, 3, ptr(5));
-        let no_fetch =
-            |s: SnapshotId| -> Result<(SnapshotId, NodePtr), Error> { Err(Error::NoSuchSnapshot(s)) };
+        let no_fetch = |s: SnapshotId| -> Result<(SnapshotId, NodePtr), Error> {
+            Err(Error::NoSuchSnapshot(s))
+        };
         assert!(vc.is_ancestor_or_self(1, 4, no_fetch).unwrap());
         assert!(vc.is_ancestor_or_self(1, 5, no_fetch).unwrap());
         assert!(vc.is_ancestor_or_self(4, 4, no_fetch).unwrap());
@@ -343,8 +348,9 @@ mod tests {
         vc.insert(3, 1, ptr(3));
         vc.insert(4, 2, ptr(4));
         vc.insert(5, 3, ptr(5));
-        let no_fetch =
-            |s: SnapshotId| -> Result<(SnapshotId, NodePtr), Error> { Err(Error::NoSuchSnapshot(s)) };
+        let no_fetch = |s: SnapshotId| -> Result<(SnapshotId, NodePtr), Error> {
+            Err(Error::NoSuchSnapshot(s))
+        };
         assert_eq!(vc.lca(4, 5, no_fetch).unwrap(), 1);
         assert_eq!(vc.lca(2, 4, no_fetch).unwrap(), 2);
         assert_eq!(vc.lca(3, 3, no_fetch).unwrap(), 3);

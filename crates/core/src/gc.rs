@@ -131,7 +131,9 @@ impl Proxy {
         let mc = self.mc.clone();
         let sin = mc.sinfonia.clone();
         let layout = *mc.layout(tree);
-        let repl = layout.catalog_entry(sid).ok_or(Error::NoSuchSnapshot(sid))?;
+        let repl = layout
+            .catalog_entry(sid)
+            .ok_or(Error::NoSuchSnapshot(sid))?;
         loop {
             let mut tx = DynTx::new(&sin);
             let traw = match tx.read_repl(layout.tip(), self.home) {
@@ -229,7 +231,7 @@ impl Proxy {
 
             // Transactional confirm-and-free, in batches.
             let seg_cap = crate::alloc::FreeSegment::capacity(layout.params.node_payload);
-            for batch in candidates.chunks(seg_cap.max(1).min(64)) {
+            for batch in candidates.chunks(seg_cap.clamp(1, 64)) {
                 let (freed, skipped) = self.confirm_and_free(&ctx, tree, mem, batch)?;
                 stats.freed += freed;
                 stats.skipped += skipped;

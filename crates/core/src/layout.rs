@@ -182,8 +182,14 @@ mod tests {
             max_snapshots: 16,
         };
         let l = Layout::new(0, p, 2);
-        let o0 = l.node_obj(NodePtr { mem: MemNodeId(0), slot: 0 });
-        let o1 = l.node_obj(NodePtr { mem: MemNodeId(0), slot: 1 });
+        let o0 = l.node_obj(NodePtr {
+            mem: MemNodeId(0),
+            slot: 0,
+        });
+        let o1 = l.node_obj(NodePtr {
+            mem: MemNodeId(0),
+            slot: 1,
+        });
         assert!(o0.off >= l.nodes_base);
         assert_eq!(o1.off - o0.off, l.slot_size());
         assert!(o0.off + o0.cap as u64 <= o1.off + l.slot_size());
@@ -198,7 +204,10 @@ mod tests {
         };
         let cap = Layout::required_capacity(3, p, 4);
         let last = Layout::new(2, p, 4);
-        let last_node = last.node_obj(NodePtr { mem: MemNodeId(0), slot: 63 });
+        let last_node = last.node_obj(NodePtr {
+            mem: MemNodeId(0),
+            slot: 63,
+        });
         assert!(last_node.off + last_node.cap as u64 <= cap);
     }
 
@@ -211,12 +220,30 @@ mod tests {
         };
         let l = Layout::new(0, p, 4);
         let at = MemNodeId(2);
-        let e0 = l.seqtab_entry(NodePtr { mem: MemNodeId(0), slot: 3 }, at);
-        let e1 = l.seqtab_entry(NodePtr { mem: MemNodeId(1), slot: 3 }, at);
+        let e0 = l.seqtab_entry(
+            NodePtr {
+                mem: MemNodeId(0),
+                slot: 3,
+            },
+            at,
+        );
+        let e1 = l.seqtab_entry(
+            NodePtr {
+                mem: MemNodeId(1),
+                slot: 3,
+            },
+            at,
+        );
         assert_ne!(e0.off, e1.off);
         assert_eq!(e0.mem, at);
         // Entries stay inside the table region.
-        let last = l.seqtab_entry(NodePtr { mem: MemNodeId(3), slot: 9 }, at);
+        let last = l.seqtab_entry(
+            NodePtr {
+                mem: MemNodeId(3),
+                slot: 9,
+            },
+            at,
+        );
         assert!(last.off + 8 <= l.node_obj(NodePtr { mem: at, slot: 0 }).off);
     }
 

@@ -29,13 +29,7 @@ impl Proxy {
     /// writes also update the node's replicated seqno-table entry at every
     /// memnode — the all-memnode engagement that makes splits expensive in
     /// the baseline (§3).
-    pub(crate) fn write_node(
-        &mut self,
-        tx: &mut DynTx<'_>,
-        tree: u32,
-        ptr: NodePtr,
-        node: &Node,
-    ) {
+    pub(crate) fn write_node(&mut self, tx: &mut DynTx<'_>, tree: u32, ptr: NodePtr, node: &Node) {
         let layout = *self.mc.layout(tree);
         let obj = layout.node_obj(ptr);
         let payload = node.encode();
@@ -49,10 +43,7 @@ impl Proxy {
             let seqno = self.mc.sinfonia.next_txid();
             tx.write_with_seqno(obj, payload, seqno);
             for mem in self.mc.sinfonia.memnode_ids() {
-                tx.add_raw_write(
-                    layout.seqtab_entry(ptr, mem),
-                    seqno.to_le_bytes().to_vec(),
-                );
+                tx.add_raw_write(layout.seqtab_entry(ptr, mem), seqno.to_le_bytes().to_vec());
             }
         } else {
             tx.write(obj, payload);
@@ -63,8 +54,7 @@ impl Proxy {
     /// Allocates a node slot with round-robin placement.
     pub(crate) fn alloc_any(&mut self, tree: u32) -> Result<NodePtr, Error> {
         let mc = self.mc.clone();
-        self.chunks
-            .alloc(&mc.sinfonia, mc.layout(tree), tree, None)
+        self.chunks.alloc(&mc.sinfonia, mc.layout(tree), tree, None)
     }
 
     /// Allocates a node slot on a preferred memnode (CoW copies stay with
@@ -183,8 +173,7 @@ impl Proxy {
             let cptr = self.alloc_pref(tree, orig.ptr.mem)?;
             // Tag the original with the copy (§4.2); with branching
             // versions this may trigger a discretionary copy (§5.2).
-            let updated_orig =
-                attempt!(self.add_copy_to_desc(tx, tree, ctx, path, level, cptr)?);
+            let updated_orig = attempt!(self.add_copy_to_desc(tx, tree, ctx, path, level, cptr)?);
             self.write_node(tx, tree, orig.ptr, &updated_orig);
             self.write_node(tx, tree, cptr, &copy);
             self.bubble(
@@ -203,8 +192,7 @@ impl Proxy {
             let (left, sep, right) = copy.split();
             let lptr = self.alloc_pref(tree, orig.ptr.mem)?;
             let rptr = self.alloc_pref(tree, orig.ptr.mem)?;
-            let updated_orig =
-                attempt!(self.add_copy_to_desc(tx, tree, ctx, path, level, lptr)?);
+            let updated_orig = attempt!(self.add_copy_to_desc(tx, tree, ctx, path, level, lptr)?);
             self.write_node(tx, tree, orig.ptr, &updated_orig);
             self.write_node(tx, tree, lptr, &left);
             self.write_node(tx, tree, rptr, &right);

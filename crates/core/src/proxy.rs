@@ -453,9 +453,12 @@ impl Txn<'_, '_, '_> {
         let ctx = Self::lift(self.proxy.resolve(self.tx, tree, OpTarget::MainlineTip))?;
         let mut k = Some(key.clone());
         let mut v = Some(value);
-        Self::lift(self.proxy.try_mutate(self.tx, tree, &ctx, &key, &mut |leaf| {
-            leaf.leaf_put(k.take().unwrap(), v.take().unwrap())
-        }))
+        Self::lift(
+            self.proxy
+                .try_mutate(self.tx, tree, &ctx, &key, &mut |leaf| {
+                    leaf.leaf_put(k.take().unwrap(), v.take().unwrap())
+                }),
+        )
     }
 
     /// Transactional removal at the mainline tip of `tree`.

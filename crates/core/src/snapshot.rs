@@ -68,7 +68,9 @@ impl Proxy {
         }
 
         // Source catalog entry.
-        let cat_repl = layout.catalog_entry(src).ok_or(Error::NoSuchSnapshot(src))?;
+        let cat_repl = layout
+            .catalog_entry(src)
+            .ok_or(Error::NoSuchSnapshot(src))?;
         let craw = match tx.read_repl(cat_repl, home) {
             Ok(r) => r,
             Err(e) => return crate::error::tx_attempt(e),

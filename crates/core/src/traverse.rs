@@ -71,9 +71,7 @@ pub(crate) fn fetch_cat_raw(
     m.read(obj.full_range());
     match mc.sinfonia.execute(&m) {
         Err(minuet_sinfonia::SinfoniaError::Unavailable(mem)) => Err(Error::Unavailable(mem)),
-        Err(minuet_sinfonia::SinfoniaError::OutOfBounds { .. }) => {
-            Err(Error::NoSuchSnapshot(sid))
-        }
+        Err(minuet_sinfonia::SinfoniaError::OutOfBounds { .. }) => Err(Error::NoSuchSnapshot(sid)),
         Ok(Outcome::FailedCompare(_)) => unreachable!("read-only minitx"),
         Ok(Outcome::Committed(res)) => {
             let val = minuet_dyntx::decode_obj(&res.data[0]);
@@ -180,7 +178,11 @@ impl Proxy {
         }
         let (seqno, data, tracked) = match style {
             FetchStyle::Transactional => match tx.read(obj) {
-                Ok(data) => (tx.observed_seqno(&TxKey::Plain(obj)).unwrap_or(0), data, true),
+                Ok(data) => (
+                    tx.observed_seqno(&TxKey::Plain(obj)).unwrap_or(0),
+                    data,
+                    true,
+                ),
                 Err(e) => return tx_attempt(e),
             },
             _ => match tx.dirty_read(obj) {
@@ -330,7 +332,10 @@ impl Proxy {
             if at_stop
                 && path.is_empty()
                 && leaf_access == LeafAccess::Transactional
-                && matches!(mode, ConcurrencyMode::DirtyTraversals | ConcurrencyMode::FullValidation)
+                && matches!(
+                    mode,
+                    ConcurrencyMode::DirtyTraversals | ConcurrencyMode::FullValidation
+                )
             {
                 // Single-level tree: the root is the leaf and was fetched
                 // through the dirty/cached path. Promote it into the read

@@ -93,7 +93,6 @@ impl TreeConfig {
                 node_payload: 1024,
                 slots_per_mem: 4096,
                 max_snapshots: 1024,
-                ..Default::default()
             },
             ..Default::default()
         }
@@ -125,11 +124,7 @@ impl MinuetCluster {
     /// Builds a cluster of `n_mems` memnodes hosting `n_trees` trees, and
     /// bootstraps each tree with an empty root at snapshot 0.
     pub fn new(n_mems: usize, n_trees: u32, cfg: TreeConfig) -> Arc<MinuetCluster> {
-        Self::with_cluster_config(
-            ClusterConfig::with_memnodes(n_mems),
-            n_trees,
-            cfg,
-        )
+        Self::with_cluster_config(ClusterConfig::with_memnodes(n_mems), n_trees, cfg)
     }
 
     /// Like [`MinuetCluster::new`] but with explicit Sinfonia settings
@@ -181,9 +176,8 @@ impl MinuetCluster {
     /// one per worker thread. Each proxy is assigned a home memnode
     /// (round-robin) whose replicas it prefers for replicated reads.
     pub fn proxy(self: &Arc<Self>) -> Proxy {
-        let home = MemNodeId(
-            (self.proxy_rr.fetch_add(1, Ordering::Relaxed) % self.n_memnodes()) as u16,
-        );
+        let home =
+            MemNodeId((self.proxy_rr.fetch_add(1, Ordering::Relaxed) % self.n_memnodes()) as u16);
         Proxy::new(self.clone(), home)
     }
 
@@ -275,7 +269,11 @@ mod tests {
             // TIP readable from every replica and identical.
             let mut tips = Vec::new();
             for mem in mc.sinfonia.memnode_ids() {
-                let raw = mc.sinfonia.node(mem).raw_read(layout.tip().at(mem).off, 64).unwrap();
+                let raw = mc
+                    .sinfonia
+                    .node(mem)
+                    .raw_read(layout.tip().at(mem).off, 64)
+                    .unwrap();
                 tips.push(decode_obj(&raw));
             }
             assert!(tips.windows(2).all(|w| w[0] == w[1]));

@@ -3,6 +3,8 @@
 use minuet_core::{Error, MinuetCluster, SnapshotId, TreeConfig, VersionMode};
 use std::collections::BTreeMap;
 
+type Model = BTreeMap<Vec<u8>, Vec<u8>>;
+
 fn key(i: u64) -> Vec<u8> {
     format!("k{:08}", i).into_bytes()
 }
@@ -58,12 +60,20 @@ fn branch_diverges_from_parent() {
     }
     // Mainline sees its own writes only.
     for i in 0..50 {
-        let expect = if i % 2 == 0 { val("main", i) } else { val("base", i) };
+        let expect = if i % 2 == 0 {
+            val("main", i)
+        } else {
+            val("base", i)
+        };
         assert_eq!(p.get(0, &key(i)).unwrap(), Some(expect), "main key {i}");
     }
     // Branch sees its own writes only.
     for i in 0..50 {
-        let expect = if i % 2 == 1 { val("br", i) } else { val("base", i) };
+        let expect = if i % 2 == 1 {
+            val("br", i)
+        } else {
+            val("base", i)
+        };
         assert_eq!(
             p.get_branch(0, branch, &key(i)).unwrap(),
             Some(expect),
@@ -119,8 +129,8 @@ fn discretionary_copies_preserve_all_versions() {
 
     // Chain of snapshots; branch off each, writing in every branch so old
     // nodes get copied in many incomparable descendants.
-    let mut models: Vec<(SnapshotId, BTreeMap<Vec<u8>, Vec<u8>>)> = Vec::new();
-    let mut branch_tips: Vec<(SnapshotId, BTreeMap<Vec<u8>, Vec<u8>>)> = Vec::new();
+    let mut models: Vec<(SnapshotId, Model)> = Vec::new();
+    let mut branch_tips: Vec<(SnapshotId, Model)> = Vec::new();
     let mut main_model = base_model.clone();
 
     for round in 0..6u64 {
@@ -141,7 +151,7 @@ fn discretionary_copies_preserve_all_versions() {
 
         // Mainline writes.
         for i in 0..n {
-            if i % 5 == round as u64 % 5 {
+            if i % 5 == round % 5 {
                 let v = val(&format!("m{round}"), i);
                 p.put(0, key(i), v.clone()).unwrap();
                 main_model.insert(key(i), v);
@@ -201,7 +211,11 @@ fn deep_branch_chains() {
     for (tip, depth) in &tips {
         // Reads via snapshots (tips that got children became read-only).
         for d in 0..=*depth {
-            let expect = if d == 0 { val("root", 0) } else { val("depth", d) };
+            let expect = if d == 0 {
+                val("root", 0)
+            } else {
+                val("depth", d)
+            };
             assert_eq!(
                 p.get_at(0, *tip, &key(d)).unwrap(),
                 Some(expect),

@@ -34,7 +34,9 @@ fn matches_btreemap_with_splits() {
     // Deterministic pseudo-random op sequence.
     let mut x = 12345u64;
     for _ in 0..2000 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let k = x % 300;
         match x % 10 {
             0..=6 => {
@@ -252,7 +254,9 @@ fn snapshot_scan_ignores_concurrent_updates() {
     let snap = p.create_snapshot(0).unwrap();
 
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let progress = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
     let stop2 = stop.clone();
+    let progress2 = progress.clone();
     let mc2 = mc.clone();
     let writer = std::thread::spawn(move || {
         let mut p = mc2.proxy();
@@ -260,9 +264,21 @@ fn snapshot_scan_ignores_concurrent_updates() {
         while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
             p.put(0, key(i % 500), val(i + 1_000_000)).unwrap();
             i += 1;
+            progress2.store(i, std::sync::atomic::Ordering::Relaxed);
         }
         i
     });
+    // Don't start scanning until the writer is demonstrably firing, so the
+    // scans genuinely overlap updates (and `writes > 0` below can't race
+    // thread scheduling).
+    while progress.load(std::sync::atomic::Ordering::Relaxed) == 0 {
+        if writer.is_finished() {
+            // Writer died before its first write; join to surface its panic.
+            writer.join().unwrap();
+            panic!("writer exited without writing");
+        }
+        std::thread::yield_now();
+    }
 
     // Scans on the frozen snapshot under fire: always exactly the frozen
     // content.

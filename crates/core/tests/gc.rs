@@ -158,10 +158,7 @@ fn deleted_branch_nodes_reclaimed() {
 
     // Base snapshot and mainline unaffected.
     for i in 0..100 {
-        assert_eq!(
-            p.get_at(0, snap.frozen_sid, &key(i)).unwrap(),
-            Some(val(i))
-        );
+        assert_eq!(p.get_at(0, snap.frozen_sid, &key(i)).unwrap(), Some(val(i)));
         assert_eq!(p.get(0, &key(i)).unwrap(), Some(val(i)));
     }
 }

@@ -394,8 +394,7 @@ impl<'c> DynTx<'c> {
                 }
                 TxKey::Repl(r) => {
                     for mem in self.cluster.memnode_ids() {
-                        let range =
-                            minuet_sinfonia::ItemRange::new(mem, r.off, image.len() as u32);
+                        let range = minuet_sinfonia::ItemRange::new(mem, r.off, image.len() as u32);
                         m.write(range, image.clone());
                     }
                 }
@@ -419,7 +418,7 @@ impl<'c> DynTx<'c> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use minuet_sinfonia::{ClusterConfig, with_op_net};
+    use minuet_sinfonia::{with_op_net, ClusterConfig};
     use std::sync::Arc;
 
     fn cluster(n: usize) -> Arc<SinfoniaCluster> {

@@ -102,7 +102,10 @@ fn no_write_skew() {
     let mut t = DynTx::new(&c);
     let va = i64::from_le_bytes(t.read(a).unwrap().try_into().unwrap());
     let vb = i64::from_le_bytes(t.read(b).unwrap().try_into().unwrap());
-    assert!(va + vb >= 0, "write skew violated the invariant: {va} + {vb}");
+    assert!(
+        va + vb >= 0,
+        "write skew violated the invariant: {va} + {vb}"
+    );
 }
 
 /// Replicated objects stay replica-consistent under concurrent write-all

@@ -245,7 +245,11 @@ mod tests {
         let shards = held.shard();
         let txid = c.next_txid();
         c.node(MemNodeId(0))
-            .prepare(txid, shards.get(&MemNodeId(0)).unwrap(), crate::minitx::LockPolicy::AbortOnBusy)
+            .prepare(
+                txid,
+                shards.get(&MemNodeId(0)).unwrap(),
+                crate::minitx::LockPolicy::AbortOnBusy,
+            )
             .unwrap();
 
         let c2 = c.clone();

@@ -56,10 +56,7 @@ fn backoff(attempt: u32) {
 ///
 /// Returns [`Outcome::FailedCompare`] to let the application react to
 /// failed comparisons, per the Sinfonia API.
-pub fn execute(
-    cluster: &SinfoniaCluster,
-    m: &Minitransaction,
-) -> Result<Outcome, SinfoniaError> {
+pub fn execute(cluster: &SinfoniaCluster, m: &Minitransaction) -> Result<Outcome, SinfoniaError> {
     debug_assert!(!m.is_empty(), "empty minitransaction");
     let policy = m.policy.unwrap_or(LockPolicy::AbortOnBusy);
     let deadline = Instant::now() + cluster.cfg.unavailable_retry;

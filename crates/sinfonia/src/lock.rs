@@ -107,10 +107,7 @@ impl LockManager {
     /// Attempts to atomically lock all spans for `owner`. Never blocks.
     pub fn try_lock(&self, spans: &[(u64, u64)], owner: TxId) -> LockAcquire {
         let mut t = self.table.lock();
-        if spans
-            .iter()
-            .any(|&(s, e)| t.conflicts(s, e, owner))
-        {
+        if spans.iter().any(|&(s, e)| t.conflicts(s, e, owner)) {
             return LockAcquire::Busy;
         }
         t.insert_all(spans, owner);
@@ -213,9 +210,7 @@ mod tests {
         let lm = Arc::new(LockManager::new());
         assert_eq!(lm.try_lock(&[(0, 10)], 1), LockAcquire::Granted);
         let lm2 = lm.clone();
-        let h = thread::spawn(move || {
-            lm2.lock_blocking(&[(0, 10)], 2, Duration::from_secs(5))
-        });
+        let h = thread::spawn(move || lm2.lock_blocking(&[(0, 10)], 2, Duration::from_secs(5)));
         thread::sleep(Duration::from_millis(20));
         lm.release(1);
         assert_eq!(h.join().unwrap(), LockAcquire::Granted);

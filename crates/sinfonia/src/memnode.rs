@@ -329,9 +329,9 @@ impl MemNode {
     pub fn mirror_consistent(&self, probe: &[(u64, u32)]) -> bool {
         let s = self.space.read();
         let b = self.backup.lock();
-        probe.iter().all(|&(off, len)| {
-            s.read(off, len).unwrap() == b.read(off, len).unwrap()
-        })
+        probe
+            .iter()
+            .all(|&(off, len)| s.read(off, len).unwrap() == b.read(off, len).unwrap())
     }
 }
 
@@ -349,11 +349,7 @@ mod tests {
         MemNode::new(MemNodeId(0), 1 << 20)
     }
 
-    fn single(
-        n: &MemNode,
-        txid: TxId,
-        m: &Minitransaction,
-    ) -> SingleResult {
+    fn single(n: &MemNode, txid: TxId, m: &Minitransaction) -> SingleResult {
         let shards = m.shard();
         let shard = shards.get(&n.id).expect("shard for node");
         n.exec_single(txid, shard, LockPolicy::AbortOnBusy).unwrap()
@@ -482,7 +478,10 @@ mod tests {
         for i in 0..10u8 {
             let mut m = Minitransaction::new();
             m.write(ItemRange::new(n.id, i as u64 * 8, 1), vec![i]);
-            assert!(matches!(single(&n, i as u64, &m), SingleResult::Committed(_)));
+            assert!(matches!(
+                single(&n, i as u64, &m),
+                SingleResult::Committed(_)
+            ));
         }
         assert!(n.mirror_consistent(&[(0, 128)]));
     }

@@ -156,7 +156,11 @@ impl Shard<'_> {
             .iter()
             .map(|(_, c)| (c.range.off, c.range.end()))
             .chain(self.reads.iter().map(|(_, r)| (r.range.off, r.range.end())))
-            .chain(self.writes.iter().map(|(_, w)| (w.range.off, w.range.end())))
+            .chain(
+                self.writes
+                    .iter()
+                    .map(|(_, w)| (w.range.off, w.range.end())),
+            )
             .collect();
         merge_intervals(spans)
     }
@@ -220,8 +224,22 @@ mod tests {
         m.read(range(1, 0, 4));
         m.read(range(0, 8, 4));
         let shards = m.shard();
-        assert_eq!(shards[&MemNodeId(0)].reads.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 2]);
-        assert_eq!(shards[&MemNodeId(1)].reads.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(
+            shards[&MemNodeId(0)]
+                .reads
+                .iter()
+                .map(|(i, _)| *i)
+                .collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(
+            shards[&MemNodeId(1)]
+                .reads
+                .iter()
+                .map(|(i, _)| *i)
+                .collect::<Vec<_>>(),
+            vec![1]
+        );
     }
 
     #[test]

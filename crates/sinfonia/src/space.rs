@@ -65,7 +65,10 @@ impl PagedSpace {
     }
 
     fn check(&self, off: u64, len: u32) -> Result<(), OutOfBounds> {
-        if off.checked_add(len as u64).is_none_or(|end| end > self.capacity) {
+        if off
+            .checked_add(len as u64)
+            .is_none_or(|end| end > self.capacity)
+        {
             return Err(OutOfBounds {
                 off,
                 len,
@@ -109,8 +112,8 @@ impl PagedSpace {
             let page_idx = (pos / PAGE_SIZE as u64) as usize;
             let in_page = (pos % PAGE_SIZE as u64) as usize;
             let n = (PAGE_SIZE - in_page).min(data.len() - done);
-            let page = self.pages[page_idx]
-                .get_or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice());
+            let page =
+                self.pages[page_idx].get_or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice());
             page[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
             done += n;
         }

@@ -141,7 +141,13 @@ mod tests {
             t.round_trip(1);
             t.round_trip(3);
         });
-        assert_eq!(net, OpNet { round_trips: 2, messages: 4 });
+        assert_eq!(
+            net,
+            OpNet {
+                round_trips: 2,
+                messages: 4
+            }
+        );
         assert_eq!(t.stats.snapshot(), (2, 4));
     }
 
@@ -159,7 +165,10 @@ mod tests {
 
     #[test]
     fn modeled_latency() {
-        let net = OpNet { round_trips: 3, messages: 5 };
+        let net = OpNet {
+            round_trips: 3,
+            messages: 5,
+        };
         assert_eq!(
             net.modeled_latency(Duration::from_micros(100)),
             Duration::from_micros(300)

@@ -168,8 +168,14 @@ fn crash_preserves_all_or_nothing() {
                 for i in 0..100u64 {
                     let off = (t * 100 + i) * 8;
                     let mut m = Minitransaction::new();
-                    m.write(ItemRange::new(MemNodeId(0), off, 8), (i + 1).to_le_bytes().to_vec());
-                    m.write(ItemRange::new(MemNodeId(1), off, 8), (i + 1).to_le_bytes().to_vec());
+                    m.write(
+                        ItemRange::new(MemNodeId(0), off, 8),
+                        (i + 1).to_le_bytes().to_vec(),
+                    );
+                    m.write(
+                        ItemRange::new(MemNodeId(1), off, 8),
+                        (i + 1).to_le_bytes().to_vec(),
+                    );
                     match c.execute(&m) {
                         Ok(Outcome::Committed(_)) => committed.push(off),
                         Ok(Outcome::FailedCompare(_)) => unreachable!(),

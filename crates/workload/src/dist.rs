@@ -130,6 +130,7 @@ impl KeyChooser {
     }
 
     /// Draws a record index.
+    #[allow(clippy::should_implement_trait)] // generator, not an Iterator
     pub fn next(&mut self) -> u64 {
         let n = self.record_count.load(Ordering::Relaxed).max(1);
         match self.dist {
@@ -166,7 +167,12 @@ mod tests {
             counts[v] += 1;
         }
         // Rank 0 should be far hotter than rank 500.
-        assert!(counts[0] > counts[500] * 20, "{} vs {}", counts[0], counts[500]);
+        assert!(
+            counts[0] > counts[500] * 20,
+            "{} vs {}",
+            counts[0],
+            counts[500]
+        );
         // And the head should dominate: top-10 > 25% of mass.
         let head: u64 = counts[..10].iter().sum();
         assert!(head > 50_000, "head mass {head}");
@@ -193,7 +199,11 @@ mod tests {
             *counts.entry(c.next()).or_insert(0u64) += 1;
         }
         // Hottest key should not be index 0 (scrambling moved it).
-        let hottest = counts.iter().max_by_key(|(_, &c)| c).map(|(&k, _)| k).unwrap();
+        let hottest = counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&k, _)| k)
+            .unwrap();
         assert_ne!(hottest, 0);
         // Still skewed.
         let max = counts.values().max().unwrap();

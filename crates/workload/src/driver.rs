@@ -8,7 +8,7 @@
 //! optionally bucketed into fixed windows for time-series plots (Fig. 14).
 
 use crate::hist::{Histogram, LatencySummary};
-use crate::spec::{OpGenerator, Operation, OpKind, SharedState, WorkloadSpec};
+use crate::spec::{OpGenerator, OpKind, Operation, SharedState, WorkloadSpec};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -255,11 +255,9 @@ mod tests {
     fn windows_cover_duration() {
         let spec = WorkloadSpec::read_only(10);
         let shared = SharedState::new(&spec);
-        let cfg = RunConfig::new(2, Duration::from_millis(200))
-            .with_window(Duration::from_millis(50));
-        let report = run_closed_loop(&cfg, &spec, &shared, |_t| {
-            |_op: &Operation| Duration::ZERO
-        });
+        let cfg =
+            RunConfig::new(2, Duration::from_millis(200)).with_window(Duration::from_millis(50));
+        let report = run_closed_loop(&cfg, &spec, &shared, |_t| |_op: &Operation| Duration::ZERO);
         assert_eq!(report.windows.len(), 4);
         assert_eq!(report.windows.iter().sum::<u64>(), report.ops);
         assert!(report.windows.iter().all(|&w| w > 0));

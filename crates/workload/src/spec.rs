@@ -12,7 +12,8 @@ pub enum Operation {
     /// Point read.
     Read {
         /// Key to read.
-        key: Vec<u8> },
+        key: Vec<u8>,
+    },
     /// Update an existing key.
     Update {
         /// Key to update.

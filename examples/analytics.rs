@@ -67,9 +67,7 @@ fn main() {
         for round in 1..=5 {
             std::thread::sleep(Duration::from_millis(300));
             let before = txns.load(Ordering::Relaxed);
-            let (sid, _) = scs
-                .snapshot_for_scan(&mut p, 0, Duration::ZERO)
-                .unwrap();
+            let (sid, _) = scs.snapshot_for_scan(&mut p, 0, Duration::ZERO).unwrap();
             let rows = p.scan_at(0, sid, b"", usize::MAX).unwrap();
             let total: u64 = rows
                 .iter()

@@ -40,10 +40,14 @@ fn main() {
         })
         .unwrap();
     }
-    println!("inserted {} orders with atomic secondary-index maintenance", orders.len());
+    println!(
+        "inserted {} orders with atomic secondary-index maintenance",
+        orders.len()
+    );
 
     // Range-scan the secondary index for one customer.
-    let alice: Vec<_> = p.scan_serializable(BY_CUSTOMER, b"alice/", 100)
+    let alice: Vec<_> = p
+        .scan_serializable(BY_CUSTOMER, b"alice/", 100)
         .unwrap()
         .into_iter()
         .take_while(|(k, _)| k.starts_with(b"alice/"))
@@ -97,8 +101,7 @@ fn main() {
                     let ok = p
                         .txn(|t| {
                             let primary = t.get(ORDERS, format!("order/{oid:08}").as_bytes())?;
-                            let index =
-                                t.get(BY_CUSTOMER, format!("dave/{oid:08}").as_bytes())?;
+                            let index = t.get(BY_CUSTOMER, format!("dave/{oid:08}").as_bytes())?;
                             Ok(match (primary, index) {
                                 (None, None) => true,
                                 (Some(pv), Some(iv)) => {

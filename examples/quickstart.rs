@@ -13,7 +13,11 @@ fn main() {
     // Strictly-serializable key-value operations.
     for i in 0..1000u32 {
         proxy
-            .put(0, format!("key{i:04}").into_bytes(), i.to_le_bytes().to_vec())
+            .put(
+                0,
+                format!("key{i:04}").into_bytes(),
+                i.to_le_bytes().to_vec(),
+            )
             .unwrap();
     }
     let v = proxy.get(0, b"key0042").unwrap().expect("key present");
@@ -24,7 +28,11 @@ fn main() {
     let snap = proxy.create_snapshot(0).unwrap();
     for i in 0..1000u32 {
         proxy
-            .put(0, format!("key{i:04}").into_bytes(), (i + 1_000_000).to_le_bytes().to_vec())
+            .put(
+                0,
+                format!("key{i:04}").into_bytes(),
+                (i + 1_000_000).to_le_bytes().to_vec(),
+            )
             .unwrap();
     }
 

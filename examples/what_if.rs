@@ -36,7 +36,10 @@ fn main() {
     }
     println!("live portfolio:");
     for t in &tickers {
-        println!("  {t}: {}", decode_shares(&p.get(0, &pos_key(t)).unwrap().unwrap()));
+        println!(
+            "  {t}: {}",
+            decode_shares(&p.get(0, &pos_key(t)).unwrap().unwrap())
+        );
     }
 
     // Freeze the current state and fork two hypotheses from it.
@@ -44,12 +47,18 @@ fn main() {
     let base = snap.frozen_sid;
     let aggressive = p.create_branch(0, base).unwrap();
     let defensive = p.create_branch(0, base).unwrap();
-    println!("\nforked branches: aggressive={aggressive}, defensive={defensive} (from snapshot {base})");
+    println!(
+        "\nforked branches: aggressive={aggressive}, defensive={defensive} (from snapshot {base})"
+    );
 
     // Hypothesis 1: move everything into AAAA.
     for t in &tickers[1..] {
         let had = decode_shares(&p.get_branch(0, aggressive, &pos_key(t)).unwrap().unwrap());
-        let a = decode_shares(&p.get_branch(0, aggressive, &pos_key("AAAA")).unwrap().unwrap());
+        let a = decode_shares(
+            &p.get_branch(0, aggressive, &pos_key("AAAA"))
+                .unwrap()
+                .unwrap(),
+        );
         p.put_branch(0, aggressive, pos_key("AAAA"), encode_shares(a + had))
             .unwrap();
         p.put_branch(0, aggressive, pos_key(t), encode_shares(0))
@@ -61,15 +70,23 @@ fn main() {
         .map(|t| decode_shares(&p.get_branch(0, defensive, &pos_key(t)).unwrap().unwrap()))
         .sum();
     for t in &tickers {
-        p.put_branch(0, defensive, pos_key(t), encode_shares(total / tickers.len() as u64))
-            .unwrap();
+        p.put_branch(
+            0,
+            defensive,
+            pos_key(t),
+            encode_shares(total / tickers.len() as u64),
+        )
+        .unwrap();
     }
 
     // Meanwhile the mainline keeps trading.
     p.put(0, pos_key("AAAA"), encode_shares(111)).unwrap();
 
     // Compare the three worlds with consistent reads.
-    println!("\n{:>8} {:>10} {:>12} {:>12}", "ticker", "mainline", "aggressive", "defensive");
+    println!(
+        "\n{:>8} {:>10} {:>12} {:>12}",
+        "ticker", "mainline", "aggressive", "defensive"
+    );
     for t in &tickers {
         let main = decode_shares(&p.get(0, &pos_key(t)).unwrap().unwrap());
         let agg = decode_shares(&p.get_branch(0, aggressive, &pos_key(t)).unwrap().unwrap());
@@ -83,7 +100,10 @@ fn main() {
     // Experiment over: drop the aggressive branch and reclaim its space.
     p.delete_snapshot(0, aggressive).unwrap();
     let swept = p.gc_sweep(0).unwrap();
-    println!("\ndeleted 'aggressive' branch; GC reclaimed {} nodes", swept.freed);
+    println!(
+        "\ndeleted 'aggressive' branch; GC reclaimed {} nodes",
+        swept.freed
+    );
 
     // Everything else is unaffected.
     assert_eq!(
@@ -91,7 +111,11 @@ fn main() {
         111
     );
     assert_eq!(
-        decode_shares(&p.get_branch(0, defensive, &pos_key("AAAA")).unwrap().unwrap()),
+        decode_shares(
+            &p.get_branch(0, defensive, &pos_key("AAAA"))
+                .unwrap()
+                .unwrap()
+        ),
         total / tickers.len() as u64
     );
     println!("mainline and surviving branch verified intact");

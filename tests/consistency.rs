@@ -134,10 +134,7 @@ fn per_key_reads_never_go_backwards() {
             while !stop.load(Ordering::Relaxed) {
                 if let Some(v) = p.get(0, &key(7)).unwrap() {
                     let t = u64::from_le_bytes(v.try_into().unwrap());
-                    assert!(
-                        t >= last,
-                        "read went backwards in time: {t} after {last}"
-                    );
+                    assert!(t >= last, "read went backwards in time: {t} after {last}");
                     last = t;
                     observed += 1;
                 }
@@ -246,8 +243,8 @@ fn borrowers_see_identical_data() {
     upd.join().unwrap();
 
     // Group scans by snapshot id across both scanners: same sid => same data.
-    let mut by_sid: std::collections::HashMap<u64, Vec<&Vec<(Vec<u8>, Vec<u8>)>>> =
-        std::collections::HashMap::new();
+    type Rows = Vec<(Vec<u8>, Vec<u8>)>;
+    let mut by_sid: std::collections::HashMap<u64, Vec<&Rows>> = std::collections::HashMap::new();
     for run in &results {
         for (sid, data) in run {
             by_sid.entry(*sid).or_default().push(data);

@@ -109,7 +109,10 @@ fn snapshots_survive_crashes() {
     let frozen = p.scan_at(0, snap.frozen_sid, b"", usize::MAX).unwrap();
     assert_eq!(frozen.len(), 150);
     for (i, (_, v)) in frozen.iter().enumerate() {
-        assert_eq!(u64::from_le_bytes(v.as_slice().try_into().unwrap()), i as u64);
+        assert_eq!(
+            u64::from_le_bytes(v.as_slice().try_into().unwrap()),
+            i as u64
+        );
     }
     for i in 0..150 {
         assert_eq!(

@@ -87,8 +87,9 @@ proptest! {
     fn behaves_like_btreemap_with_snapshots(ops in proptest::collection::vec(op_strategy(), 1..250)) {
         let mc = MinuetCluster::new(2, 1, TreeConfig::small_nodes(4));
         let mut p = mc.proxy();
-        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
-        let mut snaps: Vec<(u64, BTreeMap<Vec<u8>, Vec<u8>>)> = Vec::new();
+        type Model = BTreeMap<Vec<u8>, Vec<u8>>;
+        let mut model: Model = BTreeMap::new();
+        let mut snaps: Vec<(u64, Model)> = Vec::new();
 
         for op in &ops {
             match op {

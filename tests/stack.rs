@@ -15,9 +15,7 @@ fn preload(mc: &std::sync::Arc<MinuetCluster>, n: u64) {
     }
 }
 
-fn minuet_worker(
-    mc: std::sync::Arc<MinuetCluster>,
-) -> impl FnMut(&Operation) -> Duration {
+fn minuet_worker(mc: std::sync::Arc<MinuetCluster>) -> impl FnMut(&Operation) -> Duration {
     let mut p = mc.proxy();
     move |op: &Operation| {
         match op {
@@ -154,8 +152,12 @@ fn snapshot_churn_with_background_gc_stays_bounded() {
         // Scan with a fresh snapshot, then churn updates.
         let _ = p.scan_with_snapshot(0, &encode_key(0), 100);
         for i in 0..60 {
-            p.put(0, encode_key((round * 7 + i) % n), round.to_le_bytes().to_vec())
-                .unwrap();
+            p.put(
+                0,
+                encode_key((round * 7 + i) % n),
+                round.to_le_bytes().to_vec(),
+            )
+            .unwrap();
         }
     }
     stop.store(true, std::sync::atomic::Ordering::Relaxed);

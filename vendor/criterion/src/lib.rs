@@ -1,0 +1,174 @@
+//! Minimal, API-compatible stand-in for the subset of
+//! [`criterion`](https://docs.rs/criterion/0.5) that minuet's
+//! micro-benchmarks use: [`Criterion::bench_function`] with
+//! [`Bencher::iter`] / [`Bencher::iter_custom`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The build environment has no access to crates.io, so this crate does
+//! straightforward warm-up + timed-loop measurement and prints
+//! `name  time: [mean ns/iter]` lines — no statistical analysis, HTML
+//! reports, or command-line filtering. Swapping in the real crate is a
+//! one-line manifest change; no source edits are required.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver: holds measurement settings and runs benchmarks
+/// registered through [`bench_function`](Criterion::bench_function).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs `f` with a [`Bencher`] and prints the measured mean time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            measured: None,
+        };
+        f(&mut b);
+        match b.measured {
+            Some((total, iters)) if iters > 0 => {
+                let ns = total.as_nanos() as f64 / iters as f64;
+                println!("{name:<40} time: [{} /iter]", fmt_ns(ns));
+            }
+            _ => println!("{name:<40} time: [no measurement recorded]"),
+        }
+        self
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit, criterion-style.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timing helper passed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` (warm-up, then timed batches
+    /// sized so the total run approaches the configured measurement
+    /// time).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and estimate per-iteration cost.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) as u64 / warm_iters.max(1);
+
+        let budget_ns = self.measurement_time.as_nanos() as u64;
+        let total_iters = (budget_ns / per_iter.max(1)).clamp(self.sample_size as u64, 10_000_000);
+
+        let t0 = Instant::now();
+        for _ in 0..total_iters {
+            std::hint::black_box(routine());
+        }
+        self.measured = Some((t0.elapsed(), total_iters));
+    }
+
+    /// Hands full timing control to `routine`: it receives an iteration
+    /// count and returns the measured duration for exactly that many
+    /// iterations.
+    pub fn iter_custom<R>(&mut self, mut routine: R)
+    where
+        R: FnMut(u64) -> Duration,
+    {
+        let iters = self.sample_size as u64;
+        let total = routine(iters);
+        self.measured = Some((total, iters));
+    }
+}
+
+/// Opaque value returned by [`black_box`] — re-exported for parity with
+/// criterion's hint API.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro
+/// (both the `name/config/targets` form and the positional form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this `criterion_group!`.
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,49 @@
+//! Test-runner plumbing used by the [`proptest!`](crate::proptest) macro
+//! expansion: per-test configuration and the deterministic case RNG.
+
+pub use rand::rngs::SmallRng as TestRng;
+use rand::SeedableRng;
+
+/// Per-block configuration, mirroring the fields of
+/// `proptest::test_runner::Config` that minuet sets.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must pass.
+    pub cases: u32,
+    /// Accepted for source compatibility with the real crate; this
+    /// stand-in does not shrink, so the value is ignored.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Self {
+            cases,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Marker returned (via `Err`) when `prop_assume!` rejects an input.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// Builds the deterministic RNG for one test: seeded from the test name,
+/// optionally perturbed by `PROPTEST_SEED` for exploring new inputs.
+pub fn rng_for(test_name: &str) -> TestRng {
+    // FNV-1a over the test name keeps runs reproducible per test.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let env_seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    TestRng::seed_from_u64(h ^ env_seed)
+}

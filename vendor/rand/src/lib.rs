@@ -1,0 +1,188 @@
+//! Minimal, API-compatible stand-in for the subset of
+//! [`rand` 0.8](https://docs.rs/rand/0.8) that minuet uses: the [`Rng`]
+//! and [`SeedableRng`] traits and [`rngs::SmallRng`].
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the same call signatures over a xoshiro256++ generator (the
+//! same family the real `SmallRng` uses on 64-bit targets). Determinism
+//! per seed is guaranteed *within* this crate but the streams differ from
+//! the real crate's — workload seeds reproduce runs, not rand-crate
+//! output. Swapping in the real crate is a one-line manifest change.
+
+pub mod rngs;
+
+/// A random number generator.
+///
+/// Mirrors the `rand 0.8` trait of the same name for the methods minuet
+/// calls: [`gen`](Rng::gen), [`gen_range`](Rng::gen_range),
+/// [`gen_bool`](Rng::gen_bool), and [`fill`](Rng::fill).
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from its standard distribution
+    /// (uniform over the type's range; `f64` is uniform in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from their "standard" distribution via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one sample from `rng`.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Uniform sample in `[0, bound)` by rejection (debiased modulo).
+fn uniform_u64<R: Rng>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.gen_range(0..=5);
+            assert!(w <= 5);
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean} not ~0.5");
+    }
+
+    #[test]
+    fn fill_covers_tail() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut buf = vec![0u8; 13];
+        rng.fill(buf.as_mut_slice());
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
