@@ -102,10 +102,29 @@ pub fn bench_tree_config() -> TreeConfig {
 /// Builds a Minuet cluster of `machines` memnodes hosting `trees` trees,
 /// with injection initially **off** (enable before the measured phase).
 pub fn build_minuet(machines: usize, trees: u32, cfg: TreeConfig) -> Arc<MinuetCluster> {
+    // Default durability (dir = None) means purely in-memory memnodes.
+    build_minuet_durable(
+        machines,
+        trees,
+        cfg,
+        minuet_sinfonia::DurabilityConfig::default(),
+    )
+}
+
+/// Like [`build_minuet`] but with memnode durability (redo logging +
+/// checkpoints) enabled. The caller owns cleanup of the directory in
+/// `durability.dir`.
+pub fn build_minuet_durable(
+    machines: usize,
+    trees: u32,
+    cfg: TreeConfig,
+    durability: minuet_sinfonia::DurabilityConfig,
+) -> Arc<MinuetCluster> {
     let sin_cfg = minuet_sinfonia::ClusterConfig {
         memnodes: machines,
         model_rtt: rtt(),
         inject_rtt: None,
+        durability,
         ..Default::default()
     };
     MinuetCluster::with_cluster_config(sin_cfg, trees, cfg)

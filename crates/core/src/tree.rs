@@ -128,18 +128,16 @@ impl MinuetCluster {
     }
 
     /// Like [`MinuetCluster::new`] but with explicit Sinfonia settings
-    /// (model RTT, injected latency, ...). `capacity_per_node` is
-    /// recomputed from the layout.
+    /// (model RTT, injected latency, durability, ...). `capacity_per_node`
+    /// is recomputed from the layout.
     pub fn with_cluster_config(
         mut sin_cfg: ClusterConfig,
         n_trees: u32,
         cfg: TreeConfig,
     ) -> Arc<MinuetCluster> {
-        assert!(n_trees > 0);
-        assert!(cfg.beta >= 2, "β must be at least 2");
+        Self::check_cfg(&cfg, n_trees);
         let n_mems = sin_cfg.memnodes;
-        sin_cfg.capacity_per_node =
-            Layout::required_capacity(n_trees, cfg.layout, n_mems).max(1 << 20);
+        sin_cfg.capacity_per_node = Self::capacity_for(&cfg, n_trees, n_mems);
         let sinfonia = SinfoniaCluster::new(sin_cfg);
 
         let mut trees = Vec::with_capacity(n_trees as usize);
@@ -160,6 +158,55 @@ impl MinuetCluster {
             trees,
             proxy_rr: AtomicUsize::new(0),
         })
+    }
+
+    /// Reopens a whole Minuet cluster — every tree, its catalog, and all
+    /// snapshots — from the durability directory configured in `sin_cfg`.
+    /// The Sinfonia layer replays checkpoint images + redo logs and
+    /// resolves in-doubt two-phase minitransactions; no tree is
+    /// re-bootstrapped, so every committed key/version is exactly as it
+    /// was. `n_trees` and `cfg.layout` must match the original cluster
+    /// (they determine the address-space layout being reopened).
+    pub fn restart_from_disk(
+        mut sin_cfg: ClusterConfig,
+        n_trees: u32,
+        cfg: TreeConfig,
+    ) -> std::io::Result<(Arc<MinuetCluster>, minuet_sinfonia::Resolution)> {
+        Self::check_cfg(&cfg, n_trees);
+        let n_mems = sin_cfg.memnodes;
+        sin_cfg.capacity_per_node = Self::capacity_for(&cfg, n_trees, n_mems);
+        let (sinfonia, resolution) = SinfoniaCluster::restart_from_disk(sin_cfg)?;
+
+        let mut trees = Vec::with_capacity(n_trees as usize);
+        for t in 0..n_trees {
+            let layout = Layout::new(t, cfg.layout, n_mems);
+            let shared = TreeShared {
+                layout,
+                vcache: VersionCache::new(),
+                scs: SnapshotService::new(),
+            };
+            reopen_tree(&sinfonia, &shared);
+            trees.push(shared);
+        }
+
+        Ok((
+            Arc::new(MinuetCluster {
+                sinfonia,
+                cfg,
+                trees,
+                proxy_rr: AtomicUsize::new(0),
+            }),
+            resolution,
+        ))
+    }
+
+    fn check_cfg(cfg: &TreeConfig, n_trees: u32) {
+        assert!(n_trees > 0);
+        assert!(cfg.beta >= 2, "β must be at least 2");
+    }
+
+    fn capacity_for(cfg: &TreeConfig, n_trees: u32, n_mems: usize) -> u64 {
+        Layout::required_capacity(n_trees, cfg.layout, n_mems).max(1 << 20)
     }
 
     /// Number of memnodes.
@@ -253,6 +300,26 @@ fn bootstrap_tree(sin: &SinfoniaCluster, shared: &TreeShared, tree: u32, n_mems:
     }
 
     shared.vcache.insert(0, NO_PARENT, root_ptr);
+}
+
+/// Re-seeds a tree's process-local caches from recovered memnode images
+/// (the on-disk counterpart of [`bootstrap_tree`]): nothing is written,
+/// only the initial snapshot's catalog entry is read back so ancestry
+/// walks can anchor at the root of the version tree. Everything else is
+/// fetched lazily through the normal catalog paths.
+fn reopen_tree(sin: &SinfoniaCluster, shared: &TreeShared) {
+    let layout = &shared.layout;
+    let repl = layout
+        .catalog_entry(0)
+        .expect("catalog region holds snapshot 0");
+    let mem = MemNodeId(0);
+    let raw = sin
+        .node(mem)
+        .raw_read(repl.at(mem).off, repl.at(mem).cap)
+        .expect("recovered memnode readable");
+    let entry = CatEntry::decode(&minuet_dyntx::decode_obj(&raw).data)
+        .expect("recovered catalog entry 0 decodes");
+    shared.vcache.insert(0, NO_PARENT, entry.root);
 }
 
 #[cfg(test)]

@@ -4,8 +4,11 @@ use crate::addr::MemNodeId;
 use crate::error::SinfoniaError;
 use crate::memnode::MemNode;
 use crate::minitx::{Minitransaction, Outcome};
+use crate::recovery::{self, NodeMeta, Resolution};
 use crate::transport::Transport;
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::wal::DurabilityConfig;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -23,6 +26,8 @@ pub struct ClusterConfig {
     /// How long `execute` keeps retrying a crashed participant before
     /// surfacing [`SinfoniaError::Unavailable`].
     pub unavailable_retry: Duration,
+    /// Durability settings (off by default).
+    pub durability: DurabilityConfig,
 }
 
 impl Default for ClusterConfig {
@@ -33,6 +38,7 @@ impl Default for ClusterConfig {
             model_rtt: Duration::from_micros(100),
             inject_rtt: None,
             unavailable_retry: Duration::from_secs(2),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -45,7 +51,32 @@ impl ClusterConfig {
             ..Default::default()
         }
     }
+
+    /// Sets the durability configuration.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = durability;
+        self
+    }
 }
+
+/// Aggregated durability counters across all memnodes, in the spirit of
+/// [`crate::transport::NetStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurSnapshot {
+    /// Redo records appended.
+    pub appends: u64,
+    /// Log bytes appended (frames included).
+    pub bytes: u64,
+    /// fsync calls issued.
+    pub fsyncs: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Log bytes currently retained on disk.
+    pub retained_bytes: u64,
+}
+
+/// How often the background checkpointer polls log sizes.
+const CHECKPOINT_POLL: Duration = Duration::from_millis(5);
 
 /// A simulated Sinfonia cluster: a set of memnodes plus the instrumented
 /// transport and a global minitransaction-id generator.
@@ -56,24 +87,104 @@ pub struct SinfoniaCluster {
     /// Configuration the cluster was built with.
     pub cfg: ClusterConfig,
     txid: AtomicU64,
+    ckpt_stop: Arc<AtomicBool>,
+    ckpt_thread: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl SinfoniaCluster {
-    /// Builds a cluster per `cfg`.
+    /// Builds a cluster per `cfg`. With durability enabled this starts
+    /// from **fresh** on-disk state (any previous log/checkpoint files in
+    /// the directory are removed); use [`SinfoniaCluster::restart_from_disk`]
+    /// to resume existing state.
     pub fn new(cfg: ClusterConfig) -> Arc<Self> {
+        Self::check_cfg(&cfg);
+        let nodes: Vec<Arc<MemNode>> = (0..cfg.memnodes)
+            .map(|i| {
+                let id = MemNodeId(i as u16);
+                let node = if cfg.durability.enabled() {
+                    MemNode::durable(id, cfg.capacity_per_node, &cfg.durability)
+                        .expect("creating durable memnode failed")
+                } else {
+                    MemNode::new(id, cfg.capacity_per_node)
+                };
+                Arc::new(node)
+            })
+            .collect();
+        Self::assemble(nodes, cfg, 1)
+    }
+
+    /// Rebuilds a cluster from the durability directory: every memnode
+    /// replays its checkpoint image + redo log, in-doubt two-phase
+    /// minitransactions are resolved cluster-wide (commit iff every
+    /// participant voted yes), and the transaction-id generator resumes
+    /// above every id seen on disk. Returns the cluster and the
+    /// resolution outcome counts.
+    ///
+    /// The previous cluster object (if any) must have been dropped or
+    /// fully crashed: the directory is reopened exclusively.
+    pub fn restart_from_disk(cfg: ClusterConfig) -> io::Result<(Arc<Self>, Resolution)> {
+        Self::check_cfg(&cfg);
+        assert!(
+            cfg.durability.enabled(),
+            "restart_from_disk needs durability configured"
+        );
+        let mut nodes = Vec::with_capacity(cfg.memnodes);
+        let mut metas: Vec<NodeMeta> = Vec::with_capacity(cfg.memnodes);
+        let mut max_txid = 0;
+        for i in 0..cfg.memnodes {
+            let (node, meta, node_max) = MemNode::open_from_disk(
+                MemNodeId(i as u16),
+                cfg.capacity_per_node,
+                &cfg.durability,
+            )?;
+            nodes.push(Arc::new(node));
+            metas.push(meta);
+            max_txid = max_txid.max(node_max);
+        }
+        let cluster = Self::assemble(nodes, cfg, max_txid + 1);
+        let resolution = recovery::resolve_in_doubt(&cluster, &metas);
+        Ok((cluster, resolution))
+    }
+
+    fn check_cfg(cfg: &ClusterConfig) {
         assert!(cfg.memnodes > 0, "cluster needs at least one memnode");
         assert!(
             cfg.memnodes <= u16::MAX as usize,
             "too many memnodes for MemNodeId"
         );
-        let nodes = (0..cfg.memnodes)
-            .map(|i| Arc::new(MemNode::new(MemNodeId(i as u16), cfg.capacity_per_node)))
-            .collect();
+    }
+
+    fn assemble(nodes: Vec<Arc<MemNode>>, cfg: ClusterConfig, first_txid: u64) -> Arc<Self> {
+        let ckpt_stop = Arc::new(AtomicBool::new(false));
+        let ckpt_thread = if cfg.durability.enabled() && cfg.durability.checkpoint_log_bytes > 0 {
+            let threshold = cfg.durability.checkpoint_log_bytes;
+            let nodes = nodes.clone();
+            let stop = ckpt_stop.clone();
+            Some(std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::sleep(CHECKPOINT_POLL);
+                    for node in &nodes {
+                        if !node.is_crashed() && node.wal_retained_bytes() > threshold {
+                            if let Err(e) = node.checkpoint() {
+                                eprintln!(
+                                    "background checkpoint of memnode {} failed: {e}",
+                                    node.id
+                                );
+                            }
+                        }
+                    }
+                }
+            }))
+        } else {
+            None
+        };
         Arc::new(SinfoniaCluster {
             nodes,
             transport: Transport::new(cfg.model_rtt, cfg.inject_rtt),
             cfg,
-            txid: AtomicU64::new(1),
+            txid: AtomicU64::new(first_txid),
+            ckpt_stop,
+            ckpt_thread: parking_lot::Mutex::new(ckpt_thread),
         })
     }
 
@@ -110,9 +221,55 @@ impl SinfoniaCluster {
         self.node(id).crash();
     }
 
-    /// Recovers the given memnode from its backup mirror.
+    /// Recovers the given memnode (from its backup mirror, or from disk
+    /// when durable).
     pub fn recover(&self, id: MemNodeId) {
         self.node(id).recover();
+    }
+
+    /// Crashes a memnode and immediately recovers it from its durable
+    /// state — the standard crash-injection step for durability tests.
+    pub fn crash_and_recover(&self, id: MemNodeId) {
+        self.node(id).crash();
+        self.node(id).recover();
+    }
+
+    /// Resolves all in-doubt two-phase transactions across live memnodes
+    /// (used after recovering nodes whose coordinators died
+    /// mid-protocol).
+    ///
+    /// The cluster must be quiescent: a minitransaction whose prepare
+    /// phase is still in flight looks identical to an orphaned one and
+    /// would be aborted out from under its (live) coordinator, breaking
+    /// atomicity. `restart_from_disk` satisfies this by construction.
+    pub fn resolve_in_doubt(&self) -> Resolution {
+        let metas: Vec<NodeMeta> = self.nodes.iter().map(|n| n.node_meta()).collect();
+        recovery::resolve_in_doubt(self, &metas)
+    }
+
+    /// Aggregated durability counters (all zero when durability is off).
+    pub fn durability_stats(&self) -> DurSnapshot {
+        let mut s = DurSnapshot::default();
+        for node in &self.nodes {
+            if let Some(w) = node.wal_stats() {
+                let (appends, bytes, fsyncs) = w.snapshot();
+                s.appends += appends;
+                s.bytes += bytes;
+                s.fsyncs += fsyncs;
+            }
+            s.checkpoints += node.checkpoint_count();
+            s.retained_bytes += node.wal_retained_bytes();
+        }
+        s
+    }
+}
+
+impl Drop for SinfoniaCluster {
+    fn drop(&mut self) {
+        self.ckpt_stop.store(true, Ordering::Release);
+        if let Some(h) = self.ckpt_thread.lock().take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -249,6 +406,7 @@ mod tests {
                 txid,
                 shards.get(&MemNodeId(0)).unwrap(),
                 crate::minitx::LockPolicy::AbortOnBusy,
+                &[MemNodeId(0)],
             )
             .unwrap();
 

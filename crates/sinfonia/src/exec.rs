@@ -113,15 +113,18 @@ fn try_once(
         }
     } else {
         // Phase one: prepare at every participant (messages in parallel on
-        // a real network; one round trip).
+        // a real network; one round trip). Every prepare carries the full
+        // participant list so a durable node can resolve the outcome after
+        // a coordinator crash.
         cluster.transport.round_trip(shards.len());
+        let participants: Vec<crate::addr::MemNodeId> = shards.keys().copied().collect();
         let mut prepared: Vec<crate::addr::MemNodeId> = Vec::with_capacity(shards.len());
         let mut failed_compares: Vec<usize> = Vec::new();
         let mut busy = false;
         let mut unavailable = None;
         for (mem, shard) in &shards {
             let node = cluster.node(*mem);
-            match node.prepare(txid, shard, policy) {
+            match node.prepare(txid, shard, policy, &participants) {
                 Err(u) => {
                     unavailable = Some(u.0);
                     break;

@@ -11,7 +11,10 @@
 //! objects with real lock managers; the network is an instrumented
 //! [`transport::Transport`] that counts round trips exactly (and can inject
 //! latency), so distributed cost structure is observable without physical
-//! machines.
+//! machines. With durability enabled ([`wal::DurabilityConfig`]) memnodes
+//! log before applying, checkpoint in the background, and recover from
+//! disk — including in-doubt two-phase resolution after a coordinator
+//! crash ([`recovery`]).
 //!
 //! ## Quick example
 //!
@@ -27,18 +30,23 @@
 //! ```
 
 pub mod addr;
+pub mod checkpoint;
 pub mod cluster;
 pub mod error;
 pub mod exec;
 pub mod lock;
 pub mod memnode;
 pub mod minitx;
+pub mod recovery;
 pub mod space;
 pub mod transport;
+pub mod wal;
 
 pub use addr::{ItemRange, MemNodeId};
-pub use cluster::{ClusterConfig, SinfoniaCluster};
+pub use cluster::{ClusterConfig, DurSnapshot, SinfoniaCluster};
 pub use error::SinfoniaError;
 pub use memnode::{MemNode, Unavailable};
 pub use minitx::{LockPolicy, Minitransaction, Outcome, ReadResults};
+pub use recovery::Resolution;
 pub use transport::{op_counters, op_reset, with_op_net, OpNet, Transport};
+pub use wal::{DurabilityConfig, SyncMode, WalStats};

@@ -15,6 +15,10 @@ use std::time::{Duration, Instant};
 /// Identifier of a lock owner (a minitransaction execution attempt).
 pub type TxId = u64;
 
+/// Reserved transaction id used by bootstrap raw writes (never allocated
+/// by [`crate::cluster::SinfoniaCluster::next_txid`], which starts at 1).
+pub const BOOTSTRAP_TXID: TxId = 0;
+
 #[derive(Debug)]
 struct LockTable {
     /// start -> (end, owner). Invariant: intervals are disjoint.

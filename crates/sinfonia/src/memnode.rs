@@ -6,13 +6,24 @@
 //! in-memory backup mirror, and prepared-but-undecided transactions are
 //! mirrored too so that a crash never loses a committed minitransaction and
 //! never breaks two-phase atomicity.
+//!
+//! With durability enabled (see [`crate::wal::DurabilityConfig`]) the node
+//! additionally **logs before applying**: one-phase commits, prepares
+//! (with participant lists), and 2PC decisions all hit a per-node redo log
+//! first, checkpoints bound the log, and a crashed node recovers its state
+//! from disk instead of from the in-memory mirror.
 
 use crate::addr::MemNodeId;
 use crate::lock::{LockAcquire, LockManager, TxId};
 use crate::minitx::{LockPolicy, Shard};
+use crate::recovery::{self, NodeMeta};
 use crate::space::PagedSpace;
+use crate::wal::{DurabilityConfig, Record, Wal, WalStats};
+use crate::{checkpoint, lock};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -55,10 +66,15 @@ impl std::fmt::Display for Unavailable {
 impl std::error::Error for Unavailable {}
 
 /// A prepared (staged) transaction awaiting the coordinator's decision.
-#[derive(Clone)]
-struct PreparedTx {
-    spans: Vec<(u64, u64)>,
-    writes: Vec<(u64, Vec<u8>)>,
+#[derive(Clone, Debug)]
+pub struct PreparedTx {
+    /// Canonical lock spans held at this memnode.
+    pub spans: Vec<(u64, u64)>,
+    /// Staged `(offset, data)` writes.
+    pub writes: Vec<(u64, Vec<u8>)>,
+    /// Every memnode participating in the minitransaction (recorded so
+    /// recovery can resolve in-doubt outcomes).
+    pub participants: Vec<MemNodeId>,
 }
 
 /// Per-memnode operation counters.
@@ -76,7 +92,16 @@ pub struct MemNodeStats {
     pub busy: AtomicU64,
 }
 
-/// A Sinfonia memnode (primary plus synchronous backup mirror).
+/// Durable state of a memnode: the redo log plus file locations.
+struct Durable {
+    wal: Wal,
+    dir: PathBuf,
+    ckpt_path: PathBuf,
+    capacity: u64,
+}
+
+/// A Sinfonia memnode (primary plus synchronous backup mirror, plus an
+/// optional on-disk redo log and checkpoint image).
 pub struct MemNode {
     /// This node's id.
     pub id: MemNodeId,
@@ -88,21 +113,125 @@ pub struct MemNode {
     /// Prepared transactions, mirrored to the backup as Sinfonia's
     /// in-memory redo state.
     prepared: Mutex<HashMap<TxId, PreparedTx>>,
+    /// Two-phase transactions this node committed; persisted across
+    /// checkpoints so in-doubt resolution stays sound after the `Commit`
+    /// records are truncated. (A production system would prune this via
+    /// coordinator acknowledgements; we retain it, bounded by workload
+    /// scale.)
+    decided: Mutex<HashSet<TxId>>,
     crashed: AtomicBool,
+    dur: Option<Durable>,
+    ckpt_running: AtomicBool,
+    checkpoints: AtomicU64,
     /// Operation counters.
     pub stats: MemNodeStats,
 }
 
 impl MemNode {
-    /// Creates a memnode with `capacity` bytes of address space.
+    /// Creates a purely in-memory memnode with `capacity` bytes of
+    /// address space.
     pub fn new(id: MemNodeId, capacity: u64) -> Self {
+        Self::build(
+            id,
+            capacity,
+            PagedSpace::new(capacity),
+            HashMap::new(),
+            HashSet::new(),
+            None,
+        )
+    }
+
+    /// Creates a durable memnode with **fresh** on-disk state (any previous
+    /// log or checkpoint at this node's paths is removed). Use
+    /// [`MemNode::open_from_disk`] to resume existing state instead.
+    pub fn durable(id: MemNodeId, capacity: u64, dcfg: &DurabilityConfig) -> io::Result<Self> {
+        let dir = dcfg.dir.clone().expect("durable memnode needs a directory");
+        std::fs::create_dir_all(&dir)?;
+        let wal_p = recovery::wal_path(&dir, id);
+        let ckpt_p = recovery::ckpt_path(&dir, id);
+        let _ = std::fs::remove_file(&wal_p);
+        let _ = std::fs::remove_file(&ckpt_p);
+        let wal = Wal::open(&wal_p, dcfg.sync)?;
+        Ok(Self::build(
+            id,
+            capacity,
+            PagedSpace::new(capacity),
+            HashMap::new(),
+            HashSet::new(),
+            Some(Durable {
+                wal,
+                dir,
+                ckpt_path: ckpt_p,
+                capacity,
+            }),
+        ))
+    }
+
+    /// Reopens a durable memnode from its checkpoint image and redo log.
+    /// Returns the node (with in-doubt transactions re-staged and their
+    /// locks re-acquired), the recovery metadata for in-doubt resolution,
+    /// and the largest transaction id seen on disk.
+    pub fn open_from_disk(
+        id: MemNodeId,
+        capacity: u64,
+        dcfg: &DurabilityConfig,
+    ) -> io::Result<(Self, NodeMeta, TxId)> {
+        let dir = dcfg.dir.clone().expect("durable memnode needs a directory");
+        std::fs::create_dir_all(&dir)?;
+        let rec = recovery::recover_node(&dir, id, capacity)?;
+        let meta = NodeMeta {
+            staged: rec
+                .staged
+                .iter()
+                .map(|(txid, tx)| (*txid, tx.participants.clone()))
+                .collect(),
+            decided: rec.decided.clone(),
+        };
+        let wal_p = recovery::wal_path(&dir, id);
+        let ckpt_p = recovery::ckpt_path(&dir, id);
+        let wal = Wal::open(&wal_p, dcfg.sync)?;
+        let node = Self::build(
+            id,
+            capacity,
+            rec.space,
+            rec.staged,
+            rec.decided,
+            Some(Durable {
+                wal,
+                dir,
+                ckpt_path: ckpt_p,
+                capacity,
+            }),
+        );
+        Ok((node, meta, rec.max_txid))
+    }
+
+    fn build(
+        id: MemNodeId,
+        capacity: u64,
+        space: PagedSpace,
+        staged: HashMap<TxId, PreparedTx>,
+        decided: HashSet<TxId>,
+        dur: Option<Durable>,
+    ) -> Self {
+        debug_assert_eq!(space.capacity(), capacity);
+        let locks = LockManager::new();
+        for (txid, tx) in &staged {
+            let got = locks.try_lock(&tx.spans, *txid);
+            debug_assert_eq!(got, LockAcquire::Granted, "recovery lock conflict");
+        }
+        let backup = space.snapshot_clone();
         MemNode {
             id,
-            locks: LockManager::new(),
-            space: RwLock::new(PagedSpace::new(capacity)),
-            backup: Mutex::new(PagedSpace::new(capacity)),
-            prepared: Mutex::new(HashMap::new()),
+            locks,
+            space: RwLock::new(space),
+            backup: Mutex::new(backup),
+            prepared: Mutex::new(staged),
+            decided: Mutex::new(decided),
             crashed: AtomicBool::new(false),
+            dur,
+            ckpt_running: AtomicBool::new(false),
+            checkpoints: AtomicU64::new(0),
             stats: MemNodeStats::default(),
         }
     }
@@ -119,6 +248,26 @@ impl MemNode {
     /// True if the node is currently crashed.
     pub fn is_crashed(&self) -> bool {
         self.crashed.load(Ordering::Acquire)
+    }
+
+    /// True if this node logs to disk.
+    pub fn is_durable(&self) -> bool {
+        self.dur.is_some()
+    }
+
+    /// Redo-log counters, when durable.
+    pub fn wal_stats(&self) -> Option<&WalStats> {
+        self.dur.as_ref().map(|d| &*d.wal.stats)
+    }
+
+    /// Bytes currently retained in the redo log (0 when not durable).
+    pub fn wal_retained_bytes(&self) -> u64 {
+        self.dur.as_ref().map_or(0, |d| d.wal.retained_bytes())
+    }
+
+    /// Checkpoints taken since this node object was created.
+    pub fn checkpoint_count(&self) -> u64 {
+        self.checkpoints.load(Ordering::Relaxed)
     }
 
     fn acquire(&self, spans: &[(u64, u64)], txid: TxId, policy: LockPolicy) -> LockAcquire {
@@ -171,6 +320,23 @@ impl MemNode {
         }
     }
 
+    /// Logs (when durable) and applies a one-phase batch of writes.
+    /// Returns the log offset the caller must wait on before acking.
+    fn log_and_apply(&self, txid: TxId, writes: &[(u64, Vec<u8>)]) -> Option<u64> {
+        match &self.dur {
+            Some(d) => {
+                let mut g = d.wal.lock();
+                let end = g.append(&Record::Apply { txid, writes });
+                self.apply(writes);
+                Some(end)
+            }
+            None => {
+                self.apply(writes);
+                None
+            }
+        }
+    }
+
     /// One-phase (collapsed) execution: used when a minitransaction touches
     /// only this memnode. Locks, compares, reads, writes, unlocks — one
     /// round trip, and locks are held only for the duration of the call.
@@ -186,6 +352,7 @@ impl MemNode {
             self.stats.busy.fetch_add(1, Ordering::Relaxed);
             return Ok(SingleResult::Busy);
         }
+        let mut wait = None;
         let result = match self.eval(shard) {
             Err(failed) => {
                 self.stats.aborts.fetch_add(1, Ordering::Relaxed);
@@ -198,23 +365,30 @@ impl MemNode {
                         .iter()
                         .map(|(_, w)| (w.range.off, w.data.clone()))
                         .collect();
-                    self.apply(&writes);
+                    wait = self.log_and_apply(txid, &writes);
                 }
                 self.stats.single_commits.fetch_add(1, Ordering::Relaxed);
                 SingleResult::Committed(reads)
             }
         };
         self.locks.release(txid);
+        if let (Some(end), Some(d)) = (wait, &self.dur) {
+            d.wal.wait_durable(end);
+        }
         Ok(result)
     }
 
     /// Phase one of the two-phase protocol: lock, compare, stage writes.
     /// Reads are performed now (safe: locks are held until the decision).
+    /// `participants` is the full participant set of the minitransaction;
+    /// it is logged with the prepare so crash recovery can resolve the
+    /// outcome if the coordinator dies.
     pub fn prepare(
         &self,
         txid: TxId,
         shard: &Shard<'_>,
         policy: LockPolicy,
+        participants: &[MemNodeId],
     ) -> Result<Vote, Unavailable> {
         self.check_up()?;
         let spans = shard.lock_spans();
@@ -236,9 +410,30 @@ impl MemNode {
                         .iter()
                         .map(|(_, w)| (w.range.off, w.data.clone()))
                         .collect(),
+                    participants: participants.to_vec(),
                 };
-                self.prepared.lock().insert(txid, staged);
+                let wait = match &self.dur {
+                    Some(d) => {
+                        let parts: Vec<u16> = participants.iter().map(|m| m.0).collect();
+                        let mut g = d.wal.lock();
+                        let end = g.append(&Record::Prepare {
+                            txid,
+                            participants: &parts,
+                            spans: &staged.spans,
+                            writes: &staged.writes,
+                        });
+                        self.prepared.lock().insert(txid, staged);
+                        Some(end)
+                    }
+                    None => {
+                        self.prepared.lock().insert(txid, staged);
+                        None
+                    }
+                };
                 self.stats.prepares.fetch_add(1, Ordering::Relaxed);
+                if let (Some(end), Some(d)) = (wait, &self.dur) {
+                    d.wal.wait_durable(end);
+                }
                 Ok(Vote::Ok(reads))
             }
         }
@@ -249,47 +444,110 @@ impl MemNode {
     /// already applied before a crash/retry).
     pub fn commit(&self, txid: TxId) -> Result<(), Unavailable> {
         self.check_up()?;
-        let staged = self.prepared.lock().remove(&txid);
-        if let Some(tx) = staged {
-            self.apply(&tx.writes);
-            self.stats.commits.fetch_add(1, Ordering::Relaxed);
-        }
+        let wait = match &self.dur {
+            Some(d) => {
+                let mut g = d.wal.lock();
+                let staged = self.prepared.lock().remove(&txid);
+                match staged {
+                    Some(tx) => {
+                        let end = g.append(&Record::Commit { txid });
+                        self.apply(&tx.writes);
+                        self.decided.lock().insert(txid);
+                        self.stats.commits.fetch_add(1, Ordering::Relaxed);
+                        Some(end)
+                    }
+                    None => None,
+                }
+            }
+            None => {
+                let staged = self.prepared.lock().remove(&txid);
+                if let Some(tx) = staged {
+                    self.apply(&tx.writes);
+                    self.stats.commits.fetch_add(1, Ordering::Relaxed);
+                }
+                None
+            }
+        };
         self.locks.release(txid);
+        if let (Some(end), Some(d)) = (wait, &self.dur) {
+            d.wal.wait_durable(end);
+        }
         Ok(())
     }
 
     /// Phase two, abort: discards staged writes and releases locks.
-    /// Safe to call for transactions this node never prepared.
+    /// Safe to call for transactions this node never prepared. The abort
+    /// record is appended but never forced: losing it merely leaves an
+    /// in-doubt entry that resolution re-aborts (some participant is
+    /// guaranteed to have voted no or stayed unknown).
     pub fn abort(&self, txid: TxId) -> Result<(), Unavailable> {
         self.check_up()?;
-        self.prepared.lock().remove(&txid);
+        match &self.dur {
+            Some(d) => {
+                let mut g = d.wal.lock();
+                if self.prepared.lock().remove(&txid).is_some() {
+                    g.append(&Record::Abort { txid });
+                }
+            }
+            None => {
+                self.prepared.lock().remove(&txid);
+            }
+        }
         self.locks.release(txid);
         self.stats.aborts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Simulates a crash of the primary: volatile state (primary space
-    /// image and lock table) is dropped. The backup mirror and the
-    /// replicated prepared-transaction set survive.
+    /// Simulates a crash of the primary: volatile state is dropped. For an
+    /// in-memory node the backup mirror and the replicated prepared set
+    /// survive; for a durable node *everything* volatile is lost and only
+    /// the on-disk image + log remain.
     pub fn crash(&self) {
-        self.crashed.store(true, Ordering::Release);
-        self.locks.clear();
-        // Scribble over the primary space to make any buggy post-crash read
-        // through stale state detectable in tests.
-        let capacity = self.space.read().capacity();
-        *self.space.write() = PagedSpace::new(capacity);
+        if let Some(d) = &self.dur {
+            // Hold the appender lock so a concurrent checkpoint cannot
+            // capture the scribbled post-crash state.
+            let _g = d.wal.lock();
+            self.crashed.store(true, Ordering::Release);
+            self.locks.clear();
+            *self.backup.lock() = PagedSpace::new(d.capacity);
+            *self.space.write() = PagedSpace::new(d.capacity);
+            self.prepared.lock().clear();
+            self.decided.lock().clear();
+        } else {
+            self.crashed.store(true, Ordering::Release);
+            self.locks.clear();
+            // Scribble over the primary space to make any buggy post-crash
+            // read through stale state detectable in tests.
+            let capacity = self.space.read().capacity();
+            *self.space.write() = PagedSpace::new(capacity);
+        }
     }
 
-    /// Recovers the node: restores the primary image from the backup,
-    /// re-stages prepared transactions and re-acquires their locks, then
-    /// marks the node available. The coordinator's eventual commit/abort
+    /// Recovers the node. In-memory nodes restore the primary image from
+    /// the backup mirror; durable nodes replay checkpoint + redo log from
+    /// disk. Either way prepared transactions are re-staged with their
+    /// locks re-acquired, and the coordinator's eventual commit/abort
     /// decision completes them.
     pub fn recover(&self) {
-        {
-            let backup = self.backup.lock();
-            *self.space.write() = backup.snapshot_clone();
-        }
-        {
+        if let Some(d) = &self.dur {
+            let rec =
+                recovery::recover_node(&d.dir, self.id, d.capacity).expect("disk recovery failed");
+            *self.backup.lock() = rec.space.snapshot_clone();
+            *self.space.write() = rec.space;
+            {
+                let mut p = self.prepared.lock();
+                *p = rec.staged;
+                for (txid, tx) in p.iter() {
+                    let got = self.locks.try_lock(&tx.spans, *txid);
+                    debug_assert_eq!(got, LockAcquire::Granted, "recovery lock conflict");
+                }
+            }
+            *self.decided.lock() = rec.decided;
+        } else {
+            {
+                let backup = self.backup.lock();
+                *self.space.write() = backup.snapshot_clone();
+            }
             let prepared = self.prepared.lock();
             for (txid, tx) in prepared.iter() {
                 let got = self.locks.try_lock(&tx.spans, *txid);
@@ -297,6 +555,43 @@ impl MemNode {
             }
         }
         self.crashed.store(false, Ordering::Release);
+    }
+
+    /// Takes a checkpoint: freezes `(log tail, space, prepared, decided)`
+    /// consistently, writes the image atomically, then drops the covered
+    /// log prefix. Returns `false` when skipped (not durable, crashed, or
+    /// a checkpoint is already running).
+    pub fn checkpoint(&self) -> io::Result<bool> {
+        let Some(d) = &self.dur else {
+            return Ok(false);
+        };
+        if self.ckpt_running.swap(true, Ordering::AcqRel) {
+            return Ok(false);
+        }
+        let result = self.checkpoint_inner(d);
+        self.ckpt_running.store(false, Ordering::Release);
+        result
+    }
+
+    fn checkpoint_inner(&self, d: &Durable) -> io::Result<bool> {
+        // Freeze (tail, state) under the appender lock, but keep the
+        // expensive serialization and file write outside it so commits
+        // only stall for the duration of the in-memory clone.
+        let (space, staged, decided, upto) = {
+            let g = d.wal.lock();
+            if self.is_crashed() {
+                return Ok(false);
+            }
+            let space = self.space.read().snapshot_clone();
+            let staged = self.prepared.lock().clone();
+            let decided = self.decided.lock().clone();
+            (space, staged, decided, g.tail())
+        };
+        let bytes = checkpoint::encode_image(&space, &staged, &decided);
+        checkpoint::write_atomic(&d.ckpt_path, &bytes)?;
+        d.wal.drop_prefix(upto)?;
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
     }
 
     /// Unsynchronized raw read used for bootstrap and GC candidate scans.
@@ -312,16 +607,32 @@ impl MemNode {
     }
 
     /// Raw write used only for cluster bootstrap (before any concurrent
-    /// access exists). Applied to both primary and backup.
+    /// access exists). Applied to both primary and backup, and logged
+    /// (unforced) when durable so bootstrap images survive a restart.
     pub fn raw_write(&self, off: u64, data: &[u8]) -> Result<(), Unavailable> {
         self.check_up()?;
-        self.apply(&[(off, data.to_vec())]);
+        self.log_and_apply(lock::BOOTSTRAP_TXID, &[(off, data.to_vec())]);
         Ok(())
     }
 
     /// Number of currently prepared (in-doubt) transactions.
     pub fn in_doubt(&self) -> usize {
         self.prepared.lock().len()
+    }
+
+    /// Recovery metadata of the live node: in-doubt transactions with
+    /// their participant lists, plus the decided-commit set. Feeds
+    /// [`crate::recovery::resolve_in_doubt`].
+    pub fn node_meta(&self) -> NodeMeta {
+        NodeMeta {
+            staged: self
+                .prepared
+                .lock()
+                .iter()
+                .map(|(txid, tx)| (*txid, tx.participants.clone()))
+                .collect(),
+            decided: self.decided.lock().clone(),
+        }
     }
 
     /// Checks that primary and backup images are byte-identical (test
@@ -344,15 +655,29 @@ mod tests {
     use super::*;
     use crate::addr::ItemRange;
     use crate::minitx::Minitransaction;
+    use crate::wal::SyncMode;
 
     fn node() -> MemNode {
         MemNode::new(MemNodeId(0), 1 << 20)
+    }
+
+    fn durable_node(tag: &str, sync: SyncMode) -> (MemNode, DurabilityConfig) {
+        let dcfg = DurabilityConfig::ephemeral(tag, sync);
+        let n = MemNode::durable(MemNodeId(0), 1 << 20, &dcfg).unwrap();
+        (n, dcfg)
     }
 
     fn single(n: &MemNode, txid: TxId, m: &Minitransaction) -> SingleResult {
         let shards = m.shard();
         let shard = shards.get(&n.id).expect("shard for node");
         n.exec_single(txid, shard, LockPolicy::AbortOnBusy).unwrap()
+    }
+
+    fn prep(n: &MemNode, txid: TxId, m: &Minitransaction) -> Vote {
+        let shards = m.shard();
+        let shard = shards.get(&n.id).expect("shard for node");
+        n.prepare(txid, shard, LockPolicy::AbortOnBusy, &[n.id])
+            .unwrap()
     }
 
     #[test]
@@ -388,12 +713,7 @@ mod tests {
         let n = node();
         let mut m = Minitransaction::new();
         m.write(ItemRange::new(n.id, 50, 2), vec![9, 9]);
-        let shards = m.shard();
-        let shard = shards.get(&n.id).unwrap();
-        assert!(matches!(
-            n.prepare(7, shard, LockPolicy::AbortOnBusy).unwrap(),
-            Vote::Ok(_)
-        ));
+        assert!(matches!(prep(&n, 7, &m), Vote::Ok(_)));
         assert_eq!(n.in_doubt(), 1);
         // Data not yet visible.
         assert_eq!(n.raw_read(50, 2).unwrap(), vec![0, 0]);
@@ -407,9 +727,7 @@ mod tests {
         let n = node();
         let mut m = Minitransaction::new();
         m.write(ItemRange::new(n.id, 50, 2), vec![9, 9]);
-        let shards = m.shard();
-        let shard = shards.get(&n.id).unwrap();
-        n.prepare(7, shard, LockPolicy::AbortOnBusy).unwrap();
+        prep(&n, 7, &m);
         n.abort(7).unwrap();
         assert_eq!(n.raw_read(50, 2).unwrap(), vec![0, 0]);
         // Locks released: another txn can take the range.
@@ -423,9 +741,7 @@ mod tests {
         let n = node();
         let mut m = Minitransaction::new();
         m.write(ItemRange::new(n.id, 50, 2), vec![9, 9]);
-        let shards = m.shard();
-        n.prepare(7, shards.get(&n.id).unwrap(), LockPolicy::AbortOnBusy)
-            .unwrap();
+        prep(&n, 7, &m);
         let mut m2 = Minitransaction::new();
         m2.write(ItemRange::new(n.id, 51, 2), vec![1, 1]);
         assert!(matches!(single(&n, 8, &m2), SingleResult::Busy));
@@ -450,9 +766,7 @@ mod tests {
         let n = node();
         let mut m = Minitransaction::new();
         m.write(ItemRange::new(n.id, 0, 4), vec![1, 2, 3, 4]);
-        let shards = m.shard();
-        n.prepare(42, shards.get(&n.id).unwrap(), LockPolicy::AbortOnBusy)
-            .unwrap();
+        prep(&n, 42, &m);
         n.crash();
         n.recover();
         assert_eq!(n.in_doubt(), 1);
@@ -484,5 +798,56 @@ mod tests {
             ));
         }
         assert!(n.mirror_consistent(&[(0, 128)]));
+    }
+
+    #[test]
+    fn durable_crash_recovers_from_disk() {
+        let (n, _dcfg) = durable_node("node-disk", SyncMode::Sync);
+        let mut m = Minitransaction::new();
+        m.write(ItemRange::new(n.id, 64, 4), vec![4, 3, 2, 1]);
+        assert!(matches!(single(&n, 1, &m), SingleResult::Committed(_)));
+        // Prepared-but-undecided survives too.
+        let mut p = Minitransaction::new();
+        p.write(ItemRange::new(n.id, 128, 2), vec![8, 8]);
+        prep(&n, 2, &p);
+
+        n.crash();
+        assert!(n.raw_read(64, 4).is_err());
+        n.recover();
+        assert_eq!(n.raw_read(64, 4).unwrap(), vec![4, 3, 2, 1]);
+        assert_eq!(n.in_doubt(), 1);
+        // Lock re-held, then the decision lands.
+        let mut c = Minitransaction::new();
+        c.write(ItemRange::new(n.id, 128, 1), vec![5]);
+        assert!(matches!(single(&n, 3, &c), SingleResult::Busy));
+        n.commit(2).unwrap();
+        assert_eq!(n.raw_read(128, 2).unwrap(), vec![8, 8]);
+    }
+
+    #[test]
+    fn durable_checkpoint_truncates_log_and_still_recovers() {
+        let (n, _dcfg) = durable_node("node-ckpt", SyncMode::None);
+        for i in 0..20u8 {
+            let mut m = Minitransaction::new();
+            m.write(ItemRange::new(n.id, i as u64 * 16, 8), vec![i; 8]);
+            assert!(matches!(
+                single(&n, i as u64 + 1, &m),
+                SingleResult::Committed(_)
+            ));
+        }
+        let before = n.wal_retained_bytes();
+        assert!(n.checkpoint().unwrap());
+        assert_eq!(n.checkpoint_count(), 1);
+        assert!(n.wal_retained_bytes() < before);
+        // Post-checkpoint writes land in the (shrunk) log.
+        let mut m = Minitransaction::new();
+        m.write(ItemRange::new(n.id, 512, 1), vec![0xAB]);
+        assert!(matches!(single(&n, 99, &m), SingleResult::Committed(_)));
+        n.crash();
+        n.recover();
+        for i in 0..20u8 {
+            assert_eq!(n.raw_read(i as u64 * 16, 8).unwrap(), vec![i; 8]);
+        }
+        assert_eq!(n.raw_read(512, 1).unwrap(), vec![0xAB]);
     }
 }

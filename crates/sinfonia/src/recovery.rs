@@ -1,0 +1,208 @@
+//! Crash recovery: image + log replay, and in-doubt 2PC resolution.
+//!
+//! Recovering a memnode is: load the latest checkpoint image (if any),
+//! then replay the redo log on top — applying one-phase commits,
+//! re-staging prepares, and finishing decided two-phase transactions. A
+//! torn log tail (crash mid-append) is truncated back to the last valid
+//! record on disk before replay.
+//!
+//! Transactions still staged after replay are **in doubt**: this node
+//! voted yes and never learned the outcome. When the coordinator is also
+//! gone (a whole-cluster restart), [`resolve_in_doubt`] decides them with
+//! Sinfonia's rule: *commit if and only if every participant voted yes* —
+//! which holds exactly when every participant either still stages the
+//! transaction or has already committed it (recorded in its durable
+//! decided set); otherwise abort. Participants never unilaterally abort
+//! after voting yes, so this reconstructs the coordinator's decision.
+
+use crate::addr::MemNodeId;
+use crate::checkpoint;
+use crate::cluster::SinfoniaCluster;
+use crate::lock::TxId;
+use crate::memnode::PreparedTx;
+use crate::space::PagedSpace;
+use crate::wal::{parse_log, OwnedRecord};
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Path of a memnode's redo log within the durability directory.
+pub fn wal_path(dir: &Path, id: MemNodeId) -> PathBuf {
+    dir.join(format!("wal-{:04}.log", id.0))
+}
+
+/// Path of a memnode's checkpoint image within the durability directory.
+pub fn ckpt_path(dir: &Path, id: MemNodeId) -> PathBuf {
+    dir.join(format!("ckpt-{:04}.img", id.0))
+}
+
+/// State reconstructed from a memnode's image and log.
+pub struct RecoveredNode {
+    /// The rebuilt address space.
+    pub space: PagedSpace,
+    /// In-doubt transactions (prepared, outcome unknown).
+    pub staged: HashMap<TxId, PreparedTx>,
+    /// Two-phase transactions this node committed (image ∪ log).
+    pub decided: HashSet<TxId>,
+    /// Largest transaction id seen anywhere in image or log; restarted
+    /// clusters must allocate ids strictly above this.
+    pub max_txid: TxId,
+    /// Bytes of torn tail dropped from the log file.
+    pub truncated_bytes: u64,
+}
+
+/// Rebuilds one memnode's state from `dir`. `capacity` is used when no
+/// checkpoint image exists yet (empty space); when an image exists its
+/// recorded capacity must match.
+pub fn recover_node(dir: &Path, id: MemNodeId, capacity: u64) -> io::Result<RecoveredNode> {
+    let (mut space, mut staged, mut decided) = match checkpoint::load(&ckpt_path(dir, id))? {
+        Some(img) => {
+            if img.space.capacity() != capacity {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "checkpoint capacity {} != configured {capacity} for memnode {id}",
+                        img.space.capacity()
+                    ),
+                ));
+            }
+            (img.space, img.staged, img.decided)
+        }
+        None => (PagedSpace::new(capacity), HashMap::new(), HashSet::new()),
+    };
+
+    let wal = wal_path(dir, id);
+    let buf = match std::fs::read(&wal) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let (records, valid) = parse_log(&buf);
+    let truncated_bytes = buf.len() as u64 - valid;
+    if truncated_bytes > 0 {
+        // Drop the torn tail on disk so subsequent appends extend a clean
+        // log instead of burying garbage mid-file.
+        let f = std::fs::OpenOptions::new().write(true).open(&wal)?;
+        f.set_len(valid)?;
+        f.sync_data()?;
+    }
+
+    let mut max_txid = 0;
+    for rec in records {
+        max_txid = max_txid.max(rec.txid());
+        match rec {
+            OwnedRecord::Apply { writes, .. } => {
+                for (off, data) in &writes {
+                    space.write(*off, data).map_err(|e| {
+                        io::Error::new(io::ErrorKind::InvalidData, format!("redo OOB: {e}"))
+                    })?;
+                }
+            }
+            OwnedRecord::Prepare {
+                txid,
+                participants,
+                spans,
+                writes,
+            } => {
+                staged.insert(
+                    txid,
+                    PreparedTx {
+                        spans,
+                        writes,
+                        participants: participants.into_iter().map(MemNodeId).collect(),
+                    },
+                );
+            }
+            OwnedRecord::Commit { txid } => {
+                if let Some(tx) = staged.remove(&txid) {
+                    for (off, data) in &tx.writes {
+                        space.write(*off, data).map_err(|e| {
+                            io::Error::new(io::ErrorKind::InvalidData, format!("redo OOB: {e}"))
+                        })?;
+                    }
+                    decided.insert(txid);
+                }
+            }
+            OwnedRecord::Abort { txid } => {
+                staged.remove(&txid);
+            }
+        }
+    }
+    for txid in staged.keys().chain(decided.iter()) {
+        max_txid = max_txid.max(*txid);
+    }
+    Ok(RecoveredNode {
+        space,
+        staged,
+        decided,
+        max_txid,
+        truncated_bytes,
+    })
+}
+
+/// Per-node recovery metadata consumed by [`resolve_in_doubt`].
+#[derive(Debug, Default, Clone)]
+pub struct NodeMeta {
+    /// In-doubt transactions with their recorded participant lists.
+    pub staged: HashMap<TxId, Vec<MemNodeId>>,
+    /// Durable decided-commit set.
+    pub decided: HashSet<TxId>,
+}
+
+/// Outcome counts of a resolution pass.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// In-doubt transactions driven to commit.
+    pub committed: u64,
+    /// In-doubt transactions driven to abort.
+    pub aborted: u64,
+}
+
+/// Coordinator-side resolution of in-doubt transactions after a restart.
+/// Applies the decision at every participant through the normal
+/// commit/abort entry points (which log it), so resolution itself is
+/// crash-safe.
+pub fn resolve_in_doubt(cluster: &SinfoniaCluster, metas: &[NodeMeta]) -> Resolution {
+    // Union of in-doubt transactions across nodes.
+    let mut in_doubt: HashMap<TxId, Vec<MemNodeId>> = HashMap::new();
+    for meta in metas {
+        for (txid, participants) in &meta.staged {
+            in_doubt
+                .entry(*txid)
+                .or_insert_with(|| participants.clone());
+        }
+    }
+    let mut txids: Vec<TxId> = in_doubt.keys().copied().collect();
+    txids.sort_unstable();
+
+    let mut res = Resolution::default();
+    for txid in txids {
+        let participants = &in_doubt[&txid];
+        let all_voted_yes = participants.iter().all(|p| {
+            metas
+                .get(p.index())
+                .is_some_and(|m| m.staged.contains_key(&txid) || m.decided.contains(&txid))
+        });
+        let any_committed = participants.iter().any(|p| {
+            metas
+                .get(p.index())
+                .is_some_and(|m| m.decided.contains(&txid))
+        });
+        let commit = any_committed || all_voted_yes;
+        for p in participants {
+            let node = cluster.node(*p);
+            let outcome = if commit {
+                node.commit(txid)
+            } else {
+                node.abort(txid)
+            };
+            outcome.expect("recovered node unavailable during resolution");
+        }
+        if commit {
+            res.committed += 1;
+        } else {
+            res.aborted += 1;
+        }
+    }
+    res
+}

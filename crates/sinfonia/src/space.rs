@@ -143,6 +143,15 @@ impl PagedSpace {
         Ok(true)
     }
 
+    /// Iterates over resident pages as `(page index, page bytes)` — the
+    /// checkpoint writer's view of the space.
+    pub fn resident(&self) -> impl Iterator<Item = (u64, &[u8])> + '_ {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|p| (i as u64, &p[..])))
+    }
+
     /// Produces a deep copy of this space (used by the replication layer).
     pub fn snapshot_clone(&self) -> PagedSpace {
         PagedSpace {

@@ -1,0 +1,891 @@
+//! Per-memnode write-ahead (redo) log.
+//!
+//! Sinfonia memnodes log every state change *before* applying it: one-phase
+//! commits, two-phase prepares (with the full participant list, so recovery
+//! can decide in-doubt outcomes), and commit/abort decisions. Records are
+//! CRC-framed; a torn tail left by a crash is detected on replay and
+//! truncated back to the last valid record.
+//!
+//! The log offers four durability levels ([`SyncMode`]): no syncing at all,
+//! background (asynchronous) syncing, an fsync per forced record, and group
+//! commit — the classic batching trade-off the paper's lineage (Sinfonia
+//! §4; MV-PBT's persistent index) leans on. Every fsync is counted in
+//! [`WalStats`], mirroring how the instrumented transport counts round
+//! trips, so benches can report the cost of each mode.
+//!
+//! ## Consistency contract
+//!
+//! Every logged mutation appends its record and applies its in-memory
+//! effect while holding the appender lock ([`Wal::lock`]). The checkpointer
+//! relies on this: freezing the appender lock yields a log tail such that
+//! the in-memory state reflects exactly the records at or before that tail
+//! (see [`crate::checkpoint`]).
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How (and whether) the log is fsynced before a forced operation is
+/// acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Never fsync. Appends still hit the file via `write(2)`, so the log
+    /// survives a *process* crash; an OS crash may lose the unsynced tail.
+    None,
+    /// A background flusher thread fsyncs every few milliseconds. Commits
+    /// are acknowledged before they are durable (bounded-loss window).
+    Async,
+    /// fsync before acknowledging every forced record. Maximum durability,
+    /// one fsync per logged commit/prepare.
+    Sync,
+    /// Group commit: the first waiter becomes the leader, sleeps `window`
+    /// to let concurrent commits pile up, then issues one fsync covering
+    /// the whole batch.
+    GroupCommit {
+        /// How long the leader waits before syncing the batch.
+        window: Duration,
+    },
+}
+
+/// Durability settings of a cluster.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding per-memnode logs and checkpoint images. `None`
+    /// disables durability entirely (purely in-memory memnodes).
+    pub dir: Option<PathBuf>,
+    /// Log sync mode.
+    pub sync: SyncMode,
+    /// Auto-checkpoint a memnode once its retained log exceeds this many
+    /// bytes (`0` = manual checkpoints only).
+    pub checkpoint_log_bytes: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            dir: None,
+            sync: SyncMode::Sync,
+            checkpoint_log_bytes: 8 << 20,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with the given sync mode.
+    pub fn at(dir: impl Into<PathBuf>, sync: SyncMode) -> Self {
+        DurabilityConfig {
+            dir: Some(dir.into()),
+            sync,
+            ..Default::default()
+        }
+    }
+
+    /// Durability in a fresh unique directory under the system temp dir —
+    /// for tests, benches and examples. The caller owns cleanup.
+    pub fn ephemeral(tag: &str, sync: SyncMode) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "minuet-dur-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        Self::at(dir, sync)
+    }
+
+    /// True when durability is enabled.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE), table-driven; no external dependency in the offline build.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// Largest admissible record payload; frames claiming more are treated as
+/// torn/corrupt.
+pub const MAX_RECORD: u32 = 1 << 28;
+
+/// Size of the frame header: payload length + payload CRC.
+pub const FRAME_HEADER: u64 = 8;
+
+/// A redo record as appended (borrowing the transaction's buffers).
+#[derive(Debug)]
+pub enum Record<'a> {
+    /// One-phase commit: writes applied atomically at this memnode.
+    Apply {
+        /// Minitransaction id.
+        txid: u64,
+        /// `(offset, data)` writes.
+        writes: &'a [(u64, Vec<u8>)],
+    },
+    /// Phase-one vote Ok: staged writes plus the lock spans and the full
+    /// participant list (needed to resolve in-doubt outcomes after a
+    /// coordinator crash).
+    Prepare {
+        /// Minitransaction id.
+        txid: u64,
+        /// All memnodes participating in the minitransaction.
+        participants: &'a [u16],
+        /// Canonical lock spans held at this memnode.
+        spans: &'a [(u64, u64)],
+        /// Staged `(offset, data)` writes.
+        writes: &'a [(u64, Vec<u8>)],
+    },
+    /// Phase-two commit decision for a previously prepared transaction.
+    Commit {
+        /// Minitransaction id.
+        txid: u64,
+    },
+    /// Phase-two abort decision.
+    Abort {
+        /// Minitransaction id.
+        txid: u64,
+    },
+}
+
+/// A redo record as decoded during replay (owning its buffers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OwnedRecord {
+    /// See [`Record::Apply`].
+    Apply {
+        /// Minitransaction id.
+        txid: u64,
+        /// `(offset, data)` writes.
+        writes: Vec<(u64, Vec<u8>)>,
+    },
+    /// See [`Record::Prepare`].
+    Prepare {
+        /// Minitransaction id.
+        txid: u64,
+        /// Participant memnode ids.
+        participants: Vec<u16>,
+        /// Lock spans held at this memnode.
+        spans: Vec<(u64, u64)>,
+        /// Staged writes.
+        writes: Vec<(u64, Vec<u8>)>,
+    },
+    /// See [`Record::Commit`].
+    Commit {
+        /// Minitransaction id.
+        txid: u64,
+    },
+    /// See [`Record::Abort`].
+    Abort {
+        /// Minitransaction id.
+        txid: u64,
+    },
+}
+
+/// Appends a `(offset, data)` write list in the shared framing used by
+/// both log records and checkpoint images.
+pub(crate) fn put_writes(out: &mut Vec<u8>, writes: &[(u64, Vec<u8>)]) {
+    out.extend_from_slice(&(writes.len() as u32).to_le_bytes());
+    for (off, data) in writes {
+        out.extend_from_slice(&off.to_le_bytes());
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        out.extend_from_slice(data);
+    }
+}
+
+impl Record<'_> {
+    /// Serializes the record payload (excluding the frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Record::Apply { txid, writes } => {
+                out.push(1);
+                out.extend_from_slice(&txid.to_le_bytes());
+                put_writes(&mut out, writes);
+            }
+            Record::Prepare {
+                txid,
+                participants,
+                spans,
+                writes,
+            } => {
+                out.push(2);
+                out.extend_from_slice(&txid.to_le_bytes());
+                out.extend_from_slice(&(participants.len() as u16).to_le_bytes());
+                for p in *participants {
+                    out.extend_from_slice(&p.to_le_bytes());
+                }
+                out.extend_from_slice(&(spans.len() as u32).to_le_bytes());
+                for (a, b) in *spans {
+                    out.extend_from_slice(&a.to_le_bytes());
+                    out.extend_from_slice(&b.to_le_bytes());
+                }
+                put_writes(&mut out, writes);
+            }
+            Record::Commit { txid } => {
+                out.push(3);
+                out.extend_from_slice(&txid.to_le_bytes());
+            }
+            Record::Abort { txid } => {
+                out.push(4);
+                out.extend_from_slice(&txid.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+/// A bounds-checked little-endian cursor, shared by record and
+/// checkpoint-image decoding.
+pub(crate) struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+    pub(crate) fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+    }
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+    /// True once every byte has been consumed.
+    pub(crate) fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+    pub(crate) fn writes(&mut self) -> Option<Vec<(u64, Vec<u8>)>> {
+        let n = self.u32()? as usize;
+        let mut v = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let off = self.u64()?;
+            let len = self.u32()? as usize;
+            v.push((off, self.take(len)?.to_vec()));
+        }
+        Some(v)
+    }
+}
+
+impl OwnedRecord {
+    /// Decodes a record payload; `None` on any structural corruption.
+    pub fn decode(payload: &[u8]) -> Option<OwnedRecord> {
+        let mut c = Cur::new(payload);
+        let tag = c.u8()?;
+        let txid = c.u64()?;
+        let rec = match tag {
+            1 => OwnedRecord::Apply {
+                txid,
+                writes: c.writes()?,
+            },
+            2 => {
+                let np = c.u16()? as usize;
+                let mut participants = Vec::with_capacity(np);
+                for _ in 0..np {
+                    participants.push(c.u16()?);
+                }
+                let ns = c.u32()? as usize;
+                let mut spans = Vec::with_capacity(ns.min(1024));
+                for _ in 0..ns {
+                    spans.push((c.u64()?, c.u64()?));
+                }
+                OwnedRecord::Prepare {
+                    txid,
+                    participants,
+                    spans,
+                    writes: c.writes()?,
+                }
+            }
+            3 => OwnedRecord::Commit { txid },
+            4 => OwnedRecord::Abort { txid },
+            _ => return None,
+        };
+        if !c.finished() {
+            return None;
+        }
+        Some(rec)
+    }
+
+    /// The record's minitransaction id.
+    pub fn txid(&self) -> u64 {
+        match self {
+            OwnedRecord::Apply { txid, .. }
+            | OwnedRecord::Prepare { txid, .. }
+            | OwnedRecord::Commit { txid }
+            | OwnedRecord::Abort { txid } => *txid,
+        }
+    }
+}
+
+/// Parses a log buffer into records, stopping at the first torn or corrupt
+/// frame. Returns the records and the byte offset of the valid prefix
+/// (callers truncate the file there).
+pub fn parse_log(buf: &[u8]) -> (Vec<OwnedRecord>, u64) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if buf.len() - pos < FRAME_HEADER as usize {
+            break;
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD || buf.len() - pos - 8 < len as usize {
+            break;
+        }
+        let payload = &buf[pos + 8..pos + 8 + len as usize];
+        if crc32(payload) != crc {
+            break;
+        }
+        match OwnedRecord::decode(payload) {
+            Some(rec) => records.push(rec),
+            None => break,
+        }
+        pos += 8 + len as usize;
+    }
+    (records, pos as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// Counters of one memnode's log, in the spirit of
+/// [`crate::transport::NetStats`].
+#[derive(Debug, Default)]
+pub struct WalStats {
+    /// Records appended.
+    pub appends: AtomicU64,
+    /// Payload + frame bytes appended.
+    pub bytes: AtomicU64,
+    /// fsync calls issued (by any path: sync, group leader, flusher,
+    /// checkpoint rotation).
+    pub fsyncs: AtomicU64,
+}
+
+impl WalStats {
+    /// Snapshot `(appends, bytes, fsyncs)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.appends.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+            self.fsyncs.load(Ordering::Relaxed),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The log
+// ---------------------------------------------------------------------------
+
+struct WalInner {
+    file: File,
+    /// Current file length in bytes.
+    len: u64,
+    /// Logical stream offset of file byte 0 (advances when a checkpoint
+    /// drops the replayed prefix).
+    base: u64,
+}
+
+/// State shared with the sync paths (and the async flusher thread).
+struct SyncShared {
+    /// Handle used for fsync, refreshed when the file is rotated.
+    file: Mutex<File>,
+    /// Logical tail: total bytes ever appended this process.
+    tail: AtomicU64,
+    /// Logical offset known durable.
+    synced: AtomicU64,
+    /// Flusher shutdown flag.
+    stop: AtomicBool,
+}
+
+struct GroupState {
+    leader_active: bool,
+}
+
+/// A per-memnode redo log. See the module docs for the locking contract.
+pub struct Wal {
+    path: PathBuf,
+    mode: SyncMode,
+    inner: Mutex<WalInner>,
+    sync: Arc<SyncShared>,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
+    /// Operation counters.
+    pub stats: Arc<WalStats>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Interval between background fsyncs in [`SyncMode::Async`].
+const ASYNC_FLUSH_EVERY: Duration = Duration::from_millis(2);
+
+impl Wal {
+    /// Opens (or creates) the log at `path`, appending after any existing
+    /// content. Callers recovering from disk must truncate a torn tail
+    /// (via [`parse_log`]) *before* opening.
+    pub fn open(path: impl Into<PathBuf>, mode: SyncMode) -> io::Result<Wal> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        let sync = Arc::new(SyncShared {
+            file: Mutex::new(file.try_clone()?),
+            tail: AtomicU64::new(len),
+            synced: AtomicU64::new(len),
+            stop: AtomicBool::new(false),
+        });
+        let stats = Arc::new(WalStats::default());
+        let flusher = if mode == SyncMode::Async {
+            let sync = sync.clone();
+            let stats = stats.clone();
+            Some(std::thread::spawn(move || {
+                while !sync.stop.load(Ordering::Acquire) {
+                    std::thread::sleep(ASYNC_FLUSH_EVERY);
+                    let tail = sync.tail.load(Ordering::Acquire);
+                    if tail > sync.synced.load(Ordering::Acquire) {
+                        let f = sync.file.lock();
+                        if f.sync_data().is_ok() {
+                            stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                            sync.synced.fetch_max(tail, Ordering::AcqRel);
+                        }
+                    }
+                }
+            }))
+        } else {
+            None
+        };
+        Ok(Wal {
+            path,
+            mode,
+            inner: Mutex::new(WalInner { file, len, base: 0 }),
+            sync,
+            group: Mutex::new(GroupState {
+                leader_active: false,
+            }),
+            group_cv: Condvar::new(),
+            stats,
+            flusher,
+        })
+    }
+
+    /// The log's sync mode.
+    pub fn mode(&self) -> SyncMode {
+        self.mode
+    }
+
+    /// Acquires the appender lock. State mutations paired with a record
+    /// must happen while this guard is held (see module docs).
+    pub fn lock(&self) -> WalAppender<'_> {
+        WalAppender {
+            wal: self,
+            inner: self.inner.lock(),
+        }
+    }
+
+    /// Bytes currently retained in the log file (shrinks at checkpoints).
+    pub fn retained_bytes(&self) -> u64 {
+        self.inner.lock().len
+    }
+
+    /// Blocks until logical offset `upto` is durable per the sync mode.
+    /// [`SyncMode::None`] and [`SyncMode::Async`] return immediately.
+    pub fn wait_durable(&self, upto: u64) {
+        match self.mode {
+            SyncMode::None | SyncMode::Async => {}
+            SyncMode::Sync => {
+                if self.sync.synced.load(Ordering::Acquire) >= upto {
+                    return;
+                }
+                let tail = self.sync.tail.load(Ordering::Acquire);
+                let f = self.sync.file.lock();
+                if self.sync.synced.load(Ordering::Acquire) < upto {
+                    f.sync_data().expect("wal fsync failed");
+                    self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    self.sync.synced.fetch_max(tail, Ordering::AcqRel);
+                }
+            }
+            SyncMode::GroupCommit { window } => {
+                let mut g = self.group.lock();
+                loop {
+                    if self.sync.synced.load(Ordering::Acquire) >= upto {
+                        return;
+                    }
+                    if !g.leader_active {
+                        g.leader_active = true;
+                        drop(g);
+                        // Leader: let the group build up, then one fsync
+                        // covers every record appended before it.
+                        std::thread::sleep(window);
+                        let tail = self.sync.tail.load(Ordering::Acquire);
+                        let synced = {
+                            let f = self.sync.file.lock();
+                            f.sync_data()
+                        };
+                        if synced.is_ok() {
+                            self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                            self.sync.synced.fetch_max(tail, Ordering::AcqRel);
+                        }
+                        // Hand leadership back (and wake the group) even on
+                        // failure, so waiters surface the error themselves
+                        // instead of hanging on a dead leader.
+                        g = self.group.lock();
+                        g.leader_active = false;
+                        self.group_cv.notify_all();
+                        if let Err(e) = synced {
+                            drop(g);
+                            panic!("wal fsync failed: {e}");
+                        }
+                    } else {
+                        self.group_cv.wait(&mut g);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops the log prefix before logical offset `upto` (records already
+    /// captured by a checkpoint image), atomically via a sibling file and
+    /// rename. Appends are blocked for the duration.
+    pub fn drop_prefix(&self, upto: u64) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        let cut = upto.saturating_sub(inner.base);
+        if cut == 0 {
+            return Ok(());
+        }
+        debug_assert!(cut <= inner.len, "checkpoint tail beyond log end");
+        let mut suffix = vec![0u8; (inner.len - cut) as usize];
+        inner.file.seek(SeekFrom::Start(cut))?;
+        inner.file.read_exact(&mut suffix)?;
+        let tmp = self.path.with_extension("rot");
+        {
+            let mut t = File::create(&tmp)?;
+            t.write_all(&suffix)?;
+            t.sync_data()?;
+            self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        *self.sync.file.lock() = file.try_clone()?;
+        inner.file = file;
+        inner.len = len;
+        inner.base = upto;
+        Ok(())
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.sync.stop.store(true, Ordering::Release);
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Guard over the log's appender lock; see [`Wal::lock`].
+pub struct WalAppender<'a> {
+    wal: &'a Wal,
+    inner: MutexGuard<'a, WalInner>,
+}
+
+impl WalAppender<'_> {
+    /// Appends one framed record; returns the logical end offset to pass
+    /// to [`Wal::wait_durable`]. Panics on I/O failure (the simulated
+    /// cluster treats a dead log device as fatal, like an OOB access).
+    pub fn append(&mut self, rec: &Record<'_>) -> u64 {
+        let payload = rec.encode();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let at = self.inner.len;
+        self.inner
+            .file
+            .seek(SeekFrom::Start(at))
+            .expect("wal seek failed");
+        self.inner
+            .file
+            .write_all(&frame)
+            .expect("wal append failed");
+        self.inner.len += frame.len() as u64;
+        let end = self.inner.base + self.inner.len;
+        self.wal.sync.tail.store(end, Ordering::Release);
+        self.wal.stats.appends.fetch_add(1, Ordering::Relaxed);
+        self.wal
+            .stats
+            .bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        end
+    }
+
+    /// Current logical tail (all records at or before it are reflected in
+    /// memnode state — the checkpoint freeze point).
+    pub fn tail(&self) -> u64 {
+        self.inner.base + self.inner.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> PathBuf {
+        let d = DurabilityConfig::ephemeral(tag, SyncMode::None)
+            .dir
+            .unwrap();
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("wal.log")
+    }
+
+    #[test]
+    fn crc_known_vector() {
+        // CRC-32/IEEE of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let writes = vec![(64u64, vec![1, 2, 3]), (0u64, vec![])];
+        let spans = vec![(0u64, 8u64), (64, 67)];
+        let parts = vec![0u16, 3];
+        for rec in [
+            Record::Apply {
+                txid: 7,
+                writes: &writes,
+            },
+            Record::Prepare {
+                txid: 8,
+                participants: &parts,
+                spans: &spans,
+                writes: &writes,
+            },
+            Record::Commit { txid: 9 },
+            Record::Abort { txid: 10 },
+        ] {
+            let payload = rec.encode();
+            let owned = OwnedRecord::decode(&payload).expect("decodes");
+            assert_eq!(owned, OwnedRecord::decode(&payload).unwrap());
+            match (&rec, &owned) {
+                (
+                    Record::Apply { txid, .. },
+                    OwnedRecord::Apply {
+                        txid: t2,
+                        writes: w2,
+                    },
+                ) => {
+                    assert_eq!(*txid, *t2);
+                    assert_eq!(*w2, writes);
+                }
+                (
+                    Record::Prepare { txid, .. },
+                    OwnedRecord::Prepare {
+                        txid: t2,
+                        participants,
+                        spans: s2,
+                        writes: w2,
+                    },
+                ) => {
+                    assert_eq!(*txid, *t2);
+                    assert_eq!(*participants, parts);
+                    assert_eq!(*s2, spans);
+                    assert_eq!(*w2, writes);
+                }
+                (Record::Commit { txid }, OwnedRecord::Commit { txid: t2 }) => {
+                    assert_eq!(txid, t2)
+                }
+                (Record::Abort { txid }, OwnedRecord::Abort { txid: t2 }) => {
+                    assert_eq!(txid, t2)
+                }
+                other => panic!("mismatched decode {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(OwnedRecord::decode(&[]).is_none());
+        assert!(OwnedRecord::decode(&[99]).is_none());
+        let mut ok = Record::Commit { txid: 1 }.encode();
+        ok.push(0); // trailing byte
+        assert!(OwnedRecord::decode(&ok).is_none());
+    }
+
+    #[test]
+    fn append_then_parse() {
+        let path = temp("parse");
+        let wal = Wal::open(&path, SyncMode::Sync).unwrap();
+        let writes = vec![(8u64, vec![9u8; 4])];
+        let end = {
+            let mut a = wal.lock();
+            a.append(&Record::Apply {
+                txid: 1,
+                writes: &writes,
+            });
+            a.append(&Record::Commit { txid: 2 })
+        };
+        wal.wait_durable(end);
+        assert_eq!(wal.stats.snapshot().0, 2);
+        assert!(wal.stats.snapshot().2 >= 1);
+        drop(wal);
+
+        let buf = std::fs::read(&path).unwrap();
+        let (recs, valid) = parse_log(&buf);
+        assert_eq!(valid, buf.len() as u64);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1], OwnedRecord::Commit { txid: 2 });
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid() {
+        let path = temp("torn");
+        let wal = Wal::open(&path, SyncMode::None).unwrap();
+        let writes = vec![(0u64, vec![1u8; 16])];
+        for t in 0..5 {
+            let mut a = wal.lock();
+            a.append(&Record::Apply {
+                txid: t,
+                writes: &writes,
+            });
+        }
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        let frame = full.len() / 5;
+        // Tear mid-way through the last frame.
+        let torn = &full[..full.len() - frame / 2];
+        let (recs, valid) = parse_log(torn);
+        assert_eq!(recs.len(), 4);
+        assert_eq!(valid as usize, 4 * frame);
+        // Corrupt a byte in the middle: parsing stops at that record.
+        let mut bad = full.clone();
+        bad[2 * frame + 12] ^= 0xFF;
+        let (recs, valid) = parse_log(&bad);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(valid as usize, 2 * frame);
+    }
+
+    #[test]
+    fn drop_prefix_keeps_suffix() {
+        let path = temp("rotate");
+        let wal = Wal::open(&path, SyncMode::None).unwrap();
+        let writes = vec![(0u64, vec![7u8; 8])];
+        let mid = {
+            let mut a = wal.lock();
+            a.append(&Record::Apply {
+                txid: 1,
+                writes: &writes,
+            })
+        };
+        {
+            let mut a = wal.lock();
+            a.append(&Record::Commit { txid: 2 });
+        }
+        wal.drop_prefix(mid).unwrap();
+        let buf = std::fs::read(&path).unwrap();
+        let (recs, _) = parse_log(&buf);
+        assert_eq!(recs, vec![OwnedRecord::Commit { txid: 2 }]);
+        // Appends continue after rotation.
+        {
+            let mut a = wal.lock();
+            a.append(&Record::Abort { txid: 3 });
+        }
+        let buf = std::fs::read(&path).unwrap();
+        let (recs, _) = parse_log(&buf);
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs() {
+        let path = temp("group");
+        let wal = Arc::new(
+            Wal::open(
+                &path,
+                SyncMode::GroupCommit {
+                    window: Duration::from_millis(5),
+                },
+            )
+            .unwrap(),
+        );
+        let writes = vec![(0u64, vec![1u8; 8])];
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let wal = wal.clone();
+                let writes = writes.clone();
+                s.spawn(move || {
+                    let end = {
+                        let mut a = wal.lock();
+                        a.append(&Record::Apply {
+                            txid: t,
+                            writes: &writes,
+                        })
+                    };
+                    wal.wait_durable(end);
+                });
+            }
+        });
+        let (appends, _, fsyncs) = wal.stats.snapshot();
+        assert_eq!(appends, 8);
+        assert!((1..8).contains(&fsyncs), "fsyncs {fsyncs} not batched");
+    }
+}

@@ -3,7 +3,8 @@
 //! invariants under contention, crashes, and blocking locks.
 
 use minuet_sinfonia::{
-    ClusterConfig, ItemRange, MemNodeId, Minitransaction, Outcome, SinfoniaCluster,
+    ClusterConfig, DurabilityConfig, ItemRange, MemNodeId, Minitransaction, Outcome,
+    SinfoniaCluster, SyncMode,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -202,6 +203,79 @@ fn crash_preserves_all_or_nothing() {
         assert_eq!(v0, v1, "committed write diverged across memnodes at {off}");
         assert_ne!(v0, vec![0u8; 8], "committed write lost at {off}");
     }
+}
+
+/// Crash injection with durability: kill a memnode mid-2PC storm and
+/// recover it **from disk** (volatile state fully lost). No committed
+/// minitransaction may be lost and no partial cross-node write may
+/// survive: every slot is either present on both memnodes or on neither.
+#[test]
+fn durable_crash_mid_2pc_no_loss_no_partials() {
+    let durability = DurabilityConfig::ephemeral(
+        "atom-2pc",
+        SyncMode::GroupCommit {
+            window: Duration::from_micros(200),
+        },
+    );
+    let dir = durability.dir.clone().unwrap();
+    let c = SinfoniaCluster::new(ClusterConfig {
+        memnodes: 2,
+        capacity_per_node: 1 << 20,
+        durability,
+        ..Default::default()
+    });
+    let writers: Vec<_> = (0..4u64)
+        .map(|t| {
+            let c = c.clone();
+            std::thread::spawn(move || {
+                let mut committed = Vec::new();
+                for i in 0..100u64 {
+                    let off = (t * 100 + i) * 8;
+                    let mut m = Minitransaction::new();
+                    m.write(
+                        ItemRange::new(MemNodeId(0), off, 8),
+                        (i + 1).to_le_bytes().to_vec(),
+                    );
+                    m.write(
+                        ItemRange::new(MemNodeId(1), off, 8),
+                        (i + 1).to_le_bytes().to_vec(),
+                    );
+                    match c.execute(&m) {
+                        Ok(Outcome::Committed(_)) => committed.push(off),
+                        Ok(Outcome::FailedCompare(_)) => unreachable!(),
+                        Err(_) => break, // unavailability surfaced; acceptable
+                    }
+                }
+                committed
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(5));
+    c.crash(MemNodeId(1));
+    std::thread::sleep(Duration::from_millis(20));
+    c.recover(MemNodeId(1)); // disk recovery: image + redo log replay
+
+    let mut all_committed = Vec::new();
+    for w in writers {
+        all_committed.extend(w.join().unwrap());
+    }
+    // Every acknowledged commit is present on BOTH memnodes.
+    for &off in &all_committed {
+        let v0 = c.node(MemNodeId(0)).raw_read(off, 8).unwrap();
+        let v1 = c.node(MemNodeId(1)).raw_read(off, 8).unwrap();
+        assert_eq!(v0, v1, "committed write diverged across memnodes at {off}");
+        assert_ne!(v0, vec![0u8; 8], "committed write lost at {off}");
+    }
+    // And *every* slot is all-or-nothing, acknowledged or not.
+    for off in (0..4 * 100 * 8).step_by(8) {
+        let v0 = c.node(MemNodeId(0)).raw_read(off, 8).unwrap();
+        let v1 = c.node(MemNodeId(1)).raw_read(off, 8).unwrap();
+        assert_eq!(v0, v1, "partial cross-node write survived at {off}");
+    }
+    assert_eq!(c.node(MemNodeId(0)).in_doubt(), 0);
+    assert_eq!(c.node(MemNodeId(1)).in_doubt(), 0);
+    drop(c);
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 /// Compare failures report exact indices across shards.

@@ -1,0 +1,267 @@
+//! Durability tests: whole-cluster restart from disk, checkpoint/log
+//! interaction, and in-doubt two-phase resolution after coordinator loss.
+
+use minuet_sinfonia::{
+    ClusterConfig, DurabilityConfig, ItemRange, LockPolicy, MemNodeId, Minitransaction,
+    SinfoniaCluster, SyncMode,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn dur_cluster(
+    tag: &str,
+    memnodes: usize,
+    sync: SyncMode,
+) -> (Arc<SinfoniaCluster>, ClusterConfig, PathBuf) {
+    let durability = DurabilityConfig {
+        // Manual checkpoints only: these tests control truncation points.
+        checkpoint_log_bytes: 0,
+        ..DurabilityConfig::ephemeral(tag, sync)
+    };
+    let dir = durability.dir.clone().unwrap();
+    let cfg = ClusterConfig {
+        memnodes,
+        capacity_per_node: 1 << 20,
+        durability,
+        ..Default::default()
+    };
+    (SinfoniaCluster::new(cfg.clone()), cfg, dir)
+}
+
+fn write_both(c: &SinfoniaCluster, off: u64, val: u8) {
+    let mut m = Minitransaction::new();
+    m.write(ItemRange::new(MemNodeId(0), off, 1), vec![val]);
+    m.write(ItemRange::new(MemNodeId(1), off, 1), vec![val]);
+    assert!(c.execute(&m).unwrap().committed());
+}
+
+/// Manually runs phase one of a cross-node minitransaction at a subset of
+/// its participants, simulating a coordinator that died mid-protocol.
+fn prepare_at(c: &SinfoniaCluster, txid: u64, m: &Minitransaction, at: &[u16]) -> Vec<MemNodeId> {
+    let shards = m.shard();
+    let participants: Vec<MemNodeId> = shards.keys().copied().collect();
+    for mem in at {
+        let mem = MemNodeId(*mem);
+        let vote = c
+            .node(mem)
+            .prepare(txid, &shards[&mem], LockPolicy::AbortOnBusy, &participants)
+            .unwrap();
+        assert!(matches!(vote, minuet_sinfonia::memnode::Vote::Ok(_)));
+    }
+    participants
+}
+
+#[test]
+fn restart_preserves_committed_minitransactions() {
+    let (c, cfg, dir) = dur_cluster("restart-basic", 2, SyncMode::Sync);
+    // One-phase commits on each node, plus cross-node two-phase commits.
+    for i in 0..50u64 {
+        let mut m = Minitransaction::new();
+        m.write(
+            ItemRange::new(MemNodeId((i % 2) as u16), 64 + i * 8, 8),
+            (i + 1).to_le_bytes().to_vec(),
+        );
+        assert!(c.execute(&m).unwrap().committed());
+    }
+    for i in 0..20u64 {
+        write_both(&c, i, (i + 1) as u8);
+    }
+    let fsyncs = c.durability_stats().fsyncs;
+    assert!(
+        fsyncs >= 70,
+        "sync mode must fsync per commit, got {fsyncs}"
+    );
+    drop(c);
+
+    let (c2, res) = SinfoniaCluster::restart_from_disk(cfg).unwrap();
+    assert_eq!(res.committed + res.aborted, 0, "nothing was in doubt");
+    for i in 0..50u64 {
+        let node = c2.node(MemNodeId((i % 2) as u16));
+        assert_eq!(
+            node.raw_read(64 + i * 8, 8).unwrap(),
+            (i + 1).to_le_bytes().to_vec()
+        );
+    }
+    for i in 0..20u64 {
+        assert_eq!(
+            c2.node(MemNodeId(0)).raw_read(i, 1).unwrap(),
+            vec![(i + 1) as u8]
+        );
+        assert_eq!(
+            c2.node(MemNodeId(1)).raw_read(i, 1).unwrap(),
+            vec![(i + 1) as u8]
+        );
+    }
+    // Service resumes with fresh (non-colliding) transaction ids.
+    write_both(&c2, 999, 7);
+    assert_eq!(c2.node(MemNodeId(1)).raw_read(999, 1).unwrap(), vec![7]);
+    drop(c2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Acceptance: in-doubt 2PC recovery under group commit. Both participants
+/// voted yes, the coordinator vanished before phase two — restart must
+/// commit (participants never unilaterally abort after voting yes).
+#[test]
+fn in_doubt_all_yes_commits_on_restart_group_commit() {
+    let (c, cfg, dir) = dur_cluster(
+        "indoubt-yes",
+        2,
+        SyncMode::GroupCommit {
+            window: Duration::from_millis(1),
+        },
+    );
+    let mut m = Minitransaction::new();
+    m.write(ItemRange::new(MemNodeId(0), 0, 4), vec![1, 2, 3, 4]);
+    m.write(ItemRange::new(MemNodeId(1), 0, 4), vec![5, 6, 7, 8]);
+    let txid = c.next_txid();
+    prepare_at(&c, txid, &m, &[0, 1]);
+    assert_eq!(c.node(MemNodeId(0)).in_doubt(), 1);
+    drop(c); // coordinator and cluster die before any decision
+
+    let (c2, res) = SinfoniaCluster::restart_from_disk(cfg).unwrap();
+    assert_eq!(res.committed, 1);
+    assert_eq!(res.aborted, 0);
+    assert_eq!(
+        c2.node(MemNodeId(0)).raw_read(0, 4).unwrap(),
+        vec![1, 2, 3, 4]
+    );
+    assert_eq!(
+        c2.node(MemNodeId(1)).raw_read(0, 4).unwrap(),
+        vec![5, 6, 7, 8]
+    );
+    assert_eq!(c2.node(MemNodeId(0)).in_doubt(), 0);
+    assert_eq!(c2.node(MemNodeId(1)).in_doubt(), 0);
+    // Locks were released by the resolution: the range is writable again.
+    write_both(&c2, 0, 9);
+    drop(c2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A participant that never voted makes the outcome abort: no partial
+/// writes may survive the restart.
+#[test]
+fn in_doubt_partial_prepare_aborts_on_restart() {
+    let (c, cfg, dir) = dur_cluster(
+        "indoubt-no",
+        2,
+        SyncMode::GroupCommit {
+            window: Duration::from_millis(1),
+        },
+    );
+    let mut m = Minitransaction::new();
+    m.write(ItemRange::new(MemNodeId(0), 0, 4), vec![1, 2, 3, 4]);
+    m.write(ItemRange::new(MemNodeId(1), 0, 4), vec![5, 6, 7, 8]);
+    let txid = c.next_txid();
+    // Only memnode 0 ever receives the prepare.
+    prepare_at(&c, txid, &m, &[0]);
+    drop(c);
+
+    let (c2, res) = SinfoniaCluster::restart_from_disk(cfg).unwrap();
+    assert_eq!(res.committed, 0);
+    assert_eq!(res.aborted, 1);
+    assert_eq!(c2.node(MemNodeId(0)).raw_read(0, 4).unwrap(), vec![0; 4]);
+    assert_eq!(c2.node(MemNodeId(1)).raw_read(0, 4).unwrap(), vec![0; 4]);
+    assert_eq!(c2.node(MemNodeId(0)).in_doubt(), 0);
+    write_both(&c2, 0, 3); // locks free again
+    drop(c2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// The decided-commit set must survive checkpoint truncation: one
+/// participant committed *and checkpointed away its Commit record* while
+/// the other is still in doubt — restart must still commit the straggler.
+#[test]
+fn decided_commit_survives_checkpoint_for_resolution() {
+    let (c, cfg, dir) = dur_cluster("indoubt-ckpt", 2, SyncMode::Sync);
+    let mut m = Minitransaction::new();
+    m.write(ItemRange::new(MemNodeId(0), 8, 2), vec![11, 12]);
+    m.write(ItemRange::new(MemNodeId(1), 8, 2), vec![13, 14]);
+    let txid = c.next_txid();
+    prepare_at(&c, txid, &m, &[0, 1]);
+    // Phase two reached memnode 0 only, which then checkpointed.
+    c.node(MemNodeId(0)).commit(txid).unwrap();
+    assert!(c.node(MemNodeId(0)).checkpoint().unwrap());
+    assert_eq!(c.node(MemNodeId(1)).in_doubt(), 1);
+    drop(c);
+
+    let (c2, res) = SinfoniaCluster::restart_from_disk(cfg).unwrap();
+    assert_eq!(res.committed, 1);
+    assert_eq!(c2.node(MemNodeId(0)).raw_read(8, 2).unwrap(), vec![11, 12]);
+    assert_eq!(c2.node(MemNodeId(1)).raw_read(8, 2).unwrap(), vec![13, 14]);
+    drop(c2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Background checkpoints bound the log while the cluster serves writes,
+/// and the checkpoint+suffix state restarts correctly.
+#[test]
+fn background_checkpoints_bound_log_and_restart_recovers() {
+    let durability = DurabilityConfig {
+        checkpoint_log_bytes: 4 << 10, // tiny: force frequent checkpoints
+        ..DurabilityConfig::ephemeral("auto-ckpt", SyncMode::None)
+    };
+    let dir = durability.dir.clone().unwrap();
+    let cfg = ClusterConfig {
+        memnodes: 1,
+        capacity_per_node: 1 << 20,
+        durability,
+        ..Default::default()
+    };
+    let c = SinfoniaCluster::new(cfg.clone());
+    for round in 0..40u64 {
+        for i in 0..64u64 {
+            let mut m = Minitransaction::new();
+            m.write(
+                ItemRange::new(MemNodeId(0), i * 64, 32),
+                vec![(round + 1) as u8; 32],
+            );
+            assert!(c.execute(&m).unwrap().committed());
+        }
+        // Give the background checkpointer a chance to run.
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let stats = c.durability_stats();
+    assert!(stats.checkpoints > 0, "no background checkpoint ran");
+    assert!(
+        stats.retained_bytes < stats.bytes,
+        "log was never truncated: retained {} of {} appended",
+        stats.retained_bytes,
+        stats.bytes
+    );
+    drop(c);
+
+    let (c2, _) = SinfoniaCluster::restart_from_disk(cfg).unwrap();
+    for i in 0..64u64 {
+        assert_eq!(
+            c2.node(MemNodeId(0)).raw_read(i * 64, 32).unwrap(),
+            vec![40u8; 32]
+        );
+    }
+    drop(c2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// `crash_and_recover` (in-place disk recovery) under async syncing: the
+/// flusher plus the process-survivable page cache keep every committed
+/// write readable after the crash.
+#[test]
+fn crash_and_recover_from_disk_in_place() {
+    let (c, _cfg, dir) = dur_cluster("inplace", 2, SyncMode::Async);
+    for i in 0..30u64 {
+        write_both(&c, i, (i + 1) as u8);
+    }
+    c.crash_and_recover(MemNodeId(1));
+    for i in 0..30u64 {
+        assert_eq!(
+            c.node(MemNodeId(1)).raw_read(i, 1).unwrap(),
+            vec![(i + 1) as u8]
+        );
+    }
+    // The recovered node keeps serving.
+    write_both(&c, 500, 42);
+    assert_eq!(c.node(MemNodeId(1)).raw_read(500, 1).unwrap(), vec![42]);
+    drop(c);
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -48,6 +48,20 @@ pub fn fmt_count(x: f64) -> String {
     }
 }
 
+/// Formats a byte count with adaptive units (e.g. `1.5kB`, `2.3MB`) —
+/// used by the durability ablation for log volumes.
+pub fn fmt_bytes(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}GB", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.1}MB", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}kB", x / 1e3)
+    } else {
+        format!("{x:.0}B")
+    }
+}
+
 /// Formats nanoseconds as adaptive ms/µs.
 pub fn fmt_ns(ns: f64) -> String {
     if ns >= 1e6 {
@@ -71,6 +85,9 @@ mod tests {
         assert_eq!(fmt_ns(2_000_000.0), "2.00ms");
         assert_eq!(fmt_ns(1_500.0), "1.5µs");
         assert_eq!(fmt_ns(900.0), "900ns");
+        assert_eq!(fmt_bytes(512.0), "512B");
+        assert_eq!(fmt_bytes(2_500.0), "2.5kB");
+        assert_eq!(fmt_bytes(3_000_000.0), "3.0MB");
     }
 
     #[test]
