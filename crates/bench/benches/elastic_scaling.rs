@@ -1,0 +1,146 @@
+//! Elastic scale-out bench: throughput of a placement-skewed cluster
+//! (all data bootstrapped onto one memnode) before and after growing the
+//! cluster online with `add_memnode()` + `rebalance()`.
+//!
+//! The paper's incremental-growth claim is that added memory nodes absorb
+//! load. The in-process cluster models each memnode as one serial server
+//! via an injected per-shard service time (`set_service_time`, the
+//! memnode-side analogue of the transport's injected RTT): with every
+//! slot on one memnode, that node is a queueing bottleneck; after
+//! `add_memnode()` + `rebalance()` the same closed-loop workload spreads
+//! over more servers and throughput rises.
+
+use minuet_bench::{bench_secs, bench_tree_config, fast_mode, records};
+use minuet_core::{occupancy, MinuetCluster, TreeConfig};
+use minuet_workload::{encode_key, fmt_count, load_keys, occupancy_row, print_table};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+const GROW_TO: usize = 4;
+/// Modeled memnode service time per minitransaction shard.
+const SERVICE: Duration = Duration::from_micros(50);
+
+/// Closed-loop mixed get/put for the measured window; returns ops/s.
+fn measure(mc: &Arc<MinuetCluster>, nrecords: u64) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    let window = bench_secs();
+    std::thread::scope(|s| {
+        for t in 0..CLIENTS {
+            let mc = mc.clone();
+            let stop = stop.clone();
+            let ops = ops.clone();
+            s.spawn(move || {
+                let mut p = mc.proxy();
+                let mut rng: u64 = 0x2545F4914F6CDD1D ^ (t as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let k = encode_key(rng % nrecords);
+                    if rng.is_multiple_of(2) {
+                        p.get(0, &k).unwrap();
+                    } else {
+                        p.put(0, k, rng.to_le_bytes().to_vec()).unwrap();
+                    }
+                    ops.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    ops.load(Ordering::Relaxed) as f64 / window.as_secs_f64()
+}
+
+fn show_occupancy(mc: &Arc<MinuetCluster>, title: &str) {
+    let rows: Vec<Vec<String>> = occupancy(mc, 0)
+        .unwrap()
+        .iter()
+        .map(|o| {
+            occupancy_row(
+                &o.mem.to_string(),
+                o.live as u64,
+                o.free_listed as u64,
+                o.bump as u64,
+                o.migrating as u64,
+                o.retiring,
+            )
+        })
+        .collect();
+    print_table(
+        title,
+        &["memnode", "live", "free", "bump", "migrating", "state"],
+        &rows,
+    );
+}
+
+fn main() {
+    minuet_bench::header(
+        "Elastic scaling",
+        "adding memory nodes grows capacity incrementally (§1); \
+         rebalancing shifts existing load onto them",
+    );
+
+    let nrecords = records();
+    let cfg = TreeConfig {
+        max_memnodes: GROW_TO,
+        ..bench_tree_config()
+    };
+    // Placement skew: the whole tree starts on a single memnode.
+    let mc = MinuetCluster::new(1, 1, cfg);
+    {
+        let keys = load_keys(nrecords, 0xC0FFEE);
+        let mut p = mc.proxy();
+        for k in keys {
+            p.put(0, k, vec![0u8; 8]).unwrap();
+        }
+    }
+    // No injected RTT; the modeled bottleneck is memnode service time.
+    mc.sinfonia.transport.set_inject(None);
+    mc.sinfonia.set_service_time(Some(SERVICE));
+
+    let before = measure(&mc, nrecords);
+    show_occupancy(&mc, "before (1 memnode)");
+
+    let t0 = Instant::now();
+    for _ in 1..GROW_TO {
+        mc.add_memnode().unwrap();
+    }
+    let report = mc.rebalance().unwrap();
+    let grow_time = t0.elapsed();
+
+    let after = measure(&mc, nrecords);
+    show_occupancy(&mc, &format!("after ({GROW_TO} memnodes, rebalanced)"));
+
+    print_table(
+        "elastic scaling: skewed workload throughput",
+        &["phase", "memnodes", "ops/s", "speedup"],
+        &[
+            vec![
+                "before".into(),
+                "1".into(),
+                fmt_count(before),
+                "1.00x".into(),
+            ],
+            vec![
+                "after".into(),
+                GROW_TO.to_string(),
+                fmt_count(after),
+                format!("{:.2}x", after / before),
+            ],
+        ],
+    );
+    println!(
+        "grow+rebalance: {} nodes migrated in {:.2?} ({} rounds); migration stats: {:?}",
+        report.moved,
+        grow_time,
+        report.rounds,
+        mc.migration.snapshot()
+    );
+    if !fast_mode() && after <= before {
+        println!("WARNING: no speedup after scale-out — investigate contention profile");
+    }
+}

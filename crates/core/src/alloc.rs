@@ -129,6 +129,14 @@ impl ChunkCache {
     /// `prefer` pins the memnode (copy-on-write copies stay on the
     /// original's memnode so commits stay single-node, DESIGN.md §3.5);
     /// otherwise memnodes are rotated round-robin for balance.
+    ///
+    /// Placement is elasticity-aware: memnodes that are *joining* (their
+    /// replicated replicas are still being seeded) or *retiring* (being
+    /// drained for decommissioning) are skipped in a first pass — a
+    /// preferred-but-retiring memnode redirects elsewhere so drains
+    /// converge. A second pass ignores the flags rather than surfacing a
+    /// spurious [`Error::OutOfSlots`] when only flagged memnodes have
+    /// capacity left.
     pub fn alloc(
         &mut self,
         cluster: &SinfoniaCluster,
@@ -146,26 +154,50 @@ impl ChunkCache {
         };
         // Try the chosen memnode first, then fall over to the others if it
         // is out of slots.
-        for i in 0..n {
-            let mem = MemNodeId(((start + i) % n) as u16);
-            let key = (tree, mem.0);
-            if let Some(chunk) = self.chunks.get_mut(&key) {
-                if let Some(slot) = chunk.pop() {
-                    return Ok(NodePtr { mem, slot });
+        for pass in 0..2 {
+            for i in 0..n {
+                let mem = MemNodeId(((start + i) % n) as u16);
+                if pass == 0 {
+                    let node = cluster.node(mem);
+                    if node.is_joining() || node.is_retiring() {
+                        continue;
+                    }
                 }
-            }
-            match grab_chunk(cluster, layout, mem, self.chunk_size) {
-                Ok(slots) if !slots.is_empty() => {
-                    let mut slots = slots;
-                    let slot = slots.pop().unwrap();
-                    self.chunks.insert(key, slots);
-                    return Ok(NodePtr { mem, slot });
+                match self.alloc_on(cluster, layout, tree, mem) {
+                    Ok(ptr) => return Ok(ptr),
+                    Err(Error::OutOfSlots(_)) => continue,
+                    Err(e) => return Err(e),
                 }
-                Ok(_) => continue, // memnode exhausted; try the next one
-                Err(e) => return Err(e),
             }
         }
         Err(Error::OutOfSlots(MemNodeId(start as u16)))
+    }
+
+    /// Allocates one node slot on exactly `mem` — no fallback to other
+    /// memnodes. Used by migration, which must place the copy on the
+    /// requested target.
+    pub fn alloc_on(
+        &mut self,
+        cluster: &SinfoniaCluster,
+        layout: &Layout,
+        tree: u32,
+        mem: MemNodeId,
+    ) -> Result<NodePtr, Error> {
+        let key = (tree, mem.0);
+        if let Some(chunk) = self.chunks.get_mut(&key) {
+            if let Some(slot) = chunk.pop() {
+                return Ok(NodePtr { mem, slot });
+            }
+        }
+        match grab_chunk(cluster, layout, mem, self.chunk_size)? {
+            slots if !slots.is_empty() => {
+                let mut slots = slots;
+                let slot = slots.pop().unwrap();
+                self.chunks.insert(key, slots);
+                Ok(NodePtr { mem, slot })
+            }
+            _ => Err(Error::OutOfSlots(mem)),
+        }
     }
 
     /// Slots currently cached locally (diagnostics).

@@ -61,6 +61,20 @@ pub enum Error {
     CatalogFull,
     /// A stored node image failed to decode.
     Corrupt(CorruptNode),
+    /// The cluster already hosts `max` memnodes — the address-space layout
+    /// was sized with [`crate::tree::TreeConfig::max_memnodes`] and cannot
+    /// grow past it.
+    ClusterAtCapacity {
+        /// The layout's memnode capacity.
+        max: usize,
+    },
+    /// The requested elastic operation is not supported in the current
+    /// configuration (e.g. `FullValidation` mode, whose replicated seqno
+    /// table is exactly the all-memnode coupling the paper criticizes).
+    ElasticityUnsupported(&'static str),
+    /// Creating or opening a memnode's durable state failed (message
+    /// carries the underlying I/O error).
+    Storage(String),
 }
 
 impl fmt::Display for Error {
@@ -79,6 +93,16 @@ impl fmt::Display for Error {
             Error::BranchingDisabled => write!(f, "tree configured for linear snapshots"),
             Error::CatalogFull => write!(f, "snapshot catalog exhausted"),
             Error::Corrupt(c) => write!(f, "corrupt node: {c}"),
+            Error::ClusterAtCapacity { max } => {
+                write!(
+                    f,
+                    "cluster already at its layout capacity of {max} memnodes"
+                )
+            }
+            Error::ElasticityUnsupported(why) => {
+                write!(f, "elastic operation unsupported: {why}")
+            }
+            Error::Storage(why) => write!(f, "memnode storage error: {why}"),
         }
     }
 }

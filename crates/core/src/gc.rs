@@ -207,27 +207,15 @@ impl Proxy {
 
         for mem in sin.memnode_ids() {
             // Unsynchronized candidate scan.
-            let state_raw = sin
-                .node(mem)
-                .raw_read(layout.alloc_state(mem).off, 64)
-                .map_err(|u| Error::Unavailable(u.0))?;
-            let bump = AllocState::decode(&decode_obj(&state_raw).data).bump;
             let mut candidates: Vec<u32> = Vec::new();
-            for slot in 0..bump {
-                let ptr = NodePtr { mem, slot };
-                let obj = layout.node_obj(ptr);
-                let raw = sin
-                    .node(mem)
-                    .raw_read(obj.off, obj.cap)
-                    .map_err(|u| Error::Unavailable(u.0))?;
+            crate::stats::scan_slots(&sin, &layout, mem, &mut |slot, val| {
                 stats.scanned += 1;
-                let val = decode_obj(&raw);
                 if let Ok(node) = Node::decode(&val.data) {
-                    if !ctx.node_live(ptr, &node) {
+                    if !ctx.node_live(NodePtr { mem, slot }, &node) {
                         candidates.push(slot);
                     }
                 }
-            }
+            })?;
 
             // Transactional confirm-and-free, in batches.
             let seg_cap = crate::alloc::FreeSegment::capacity(layout.params.node_payload);

@@ -45,6 +45,7 @@ pub mod error;
 pub mod gc;
 pub mod key;
 pub mod layout;
+pub mod migrate;
 pub mod node;
 pub mod ops;
 pub mod proxy;
@@ -60,11 +61,12 @@ pub use error::{Error, RetryCause};
 pub use gc::SweepStats;
 pub use key::{Fence, Key, Value};
 pub use layout::{Layout, LayoutParams};
+pub use migrate::{RebalanceReport, Rebalancer};
 pub use node::{Node, NodeBody, NodePtr, SnapshotId};
 pub use proxy::{Proxy, Txn, TxnError};
 pub use scs::SnapshotService;
 pub use snapshot::SnapshotInfo;
-pub use stats::ProxyStats;
+pub use stats::{occupancy, MemOccupancy, MigrationCounters, MigrationSnapshot, ProxyStats};
 pub use tree::{ConcurrencyMode, MinuetCluster, TreeConfig, VersionMode};
 
 impl MinuetCluster {

@@ -1,6 +1,43 @@
-//! Per-proxy operation statistics.
+//! Per-proxy operation statistics, per-memnode slot occupancy, and
+//! cluster-wide migration counters — the shared source of truth for the
+//! rebalancer, the elasticity tests, and the bench reports.
 
-use crate::error::RetryCause;
+use crate::alloc::AllocState;
+use crate::error::{Error, RetryCause};
+use crate::layout::Layout;
+use crate::node::{Node, NodePtr};
+use crate::tree::MinuetCluster;
+use minuet_dyntx::ObjVal;
+use minuet_sinfonia::{MemNodeId, SinfoniaCluster};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Raw-scans every allocated slot of `mem` (0..bump), invoking
+/// `f(slot, val)` with each decoded object image, and returns the
+/// allocator state observed before the scan. The single place that knows
+/// the alloc-state/bump scan protocol — shared by [`occupancy`], the GC
+/// sweep, and migration's referencer/liveness scans. Unsynchronized:
+/// concurrent writers may be observed mid-flight; callers must confirm
+/// any decision transactionally.
+pub(crate) fn scan_slots(
+    sin: &SinfoniaCluster,
+    layout: &Layout,
+    mem: MemNodeId,
+    f: &mut dyn FnMut(u32, ObjVal),
+) -> Result<AllocState, Error> {
+    let node = sin.node(mem);
+    let state_raw = node
+        .raw_read(layout.alloc_state(mem).off, layout.alloc_state(mem).cap)
+        .map_err(|u| Error::Unavailable(u.0))?;
+    let state = AllocState::decode(&minuet_dyntx::decode_obj(&state_raw).data);
+    for slot in 0..state.bump {
+        let obj = layout.node_obj(NodePtr { mem, slot });
+        let raw = node
+            .raw_read(obj.off, obj.cap)
+            .map_err(|u| Error::Unavailable(u.0))?;
+        f(slot, minuet_dyntx::decode_obj(&raw));
+    }
+    Ok(state)
+}
 
 /// Counters a proxy accumulates while executing operations. Useful for
 //  understanding abort behaviour in benchmarks and tests.
@@ -50,6 +87,97 @@ impl ProxyStats {
             0.0
         } else {
             self.retries as f64 / self.ops as f64
+        }
+    }
+}
+
+/// Physical slot occupancy of one memnode for one tree, from a raw
+/// (unsynchronized) scan of the node region. Concurrent writers may shift
+/// individual counts by a few slots; the totals are exact while quiescent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOccupancy {
+    /// The memnode.
+    pub mem: MemNodeId,
+    /// Allocator bump pointer: slots ever handed out.
+    pub bump: u32,
+    /// Slots currently on the memnode's free list (allocator state).
+    pub free_listed: u32,
+    /// Slots holding a decodable B-tree node (live or awaiting GC).
+    pub live: u32,
+    /// Slots holding a migration reservation marker (in-flight
+    /// migrations, or crash orphans awaiting
+    /// `Proxy::reclaim_orphaned_reservations`).
+    pub migrating: u32,
+    /// True if the memnode is being drained.
+    pub retiring: bool,
+}
+
+/// Scans every memnode's node region of `tree` and reports per-memnode
+/// slot occupancy. This is the rebalancer's input and the tests' ground
+/// truth for "drained to zero live slots".
+pub fn occupancy(mc: &MinuetCluster, tree: u32) -> Result<Vec<MemOccupancy>, Error> {
+    let layout = *mc.layout(tree);
+    let sin = &mc.sinfonia;
+    let mut out = Vec::new();
+    for mem in sin.memnode_ids() {
+        let (mut live, mut migrating) = (0, 0);
+        let state = scan_slots(sin, &layout, mem, &mut |_, val| {
+            if Node::decode(&val.data).is_ok() {
+                live += 1;
+            } else if crate::migrate::is_reservation(&val.data) {
+                migrating += 1;
+            }
+        })?;
+        out.push(MemOccupancy {
+            mem,
+            bump: state.bump,
+            free_listed: state.free_count,
+            live,
+            migrating,
+            retiring: sin.node(mem).is_retiring(),
+        });
+    }
+    Ok(out)
+}
+
+/// Cluster-wide migration counters, updated by [`crate::migrate`] and
+/// surfaced through `MinuetCluster::migration`.
+#[derive(Debug, Default)]
+pub struct MigrationCounters {
+    /// Migrations attempted (including retried ones, counted once).
+    pub started: AtomicU64,
+    /// Migrations that committed: node copied, referencers swapped,
+    /// source slot freed.
+    pub completed: AtomicU64,
+    /// Migrations abandoned because the source slot stopped being a live
+    /// node (freed or rewritten concurrently).
+    pub aborted: AtomicU64,
+    /// Optimistic retries across all migrations (validation conflicts,
+    /// referencer rescans, reclaimed reservations).
+    pub retries: AtomicU64,
+}
+
+/// A point-in-time copy of [`MigrationCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationSnapshot {
+    /// Migrations attempted.
+    pub started: u64,
+    /// Migrations that committed.
+    pub completed: u64,
+    /// Migrations abandoned (source gone).
+    pub aborted: u64,
+    /// Optimistic retries across all migrations.
+    pub retries: u64,
+}
+
+impl MigrationCounters {
+    /// Reads all counters at once.
+    pub fn snapshot(&self) -> MigrationSnapshot {
+        MigrationSnapshot {
+            started: self.started.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Cluster-level handle: configuration, bootstrap, and shared tree state.
 
 use crate::catalog::{CatEntry, GlobalVal, TipVal, VersionCache, NO_PARENT};
+use crate::error::Error;
 use crate::layout::{Layout, LayoutParams};
 use crate::node::{Node, NodePtr};
 use crate::proxy::Proxy;
@@ -61,6 +62,11 @@ pub struct TreeConfig {
     pub max_op_retries: usize,
     /// Slots grabbed per allocator chunk refill.
     pub alloc_chunk: u32,
+    /// Memnode capacity the address-space layout is sized for (elastic
+    /// scale-out headroom): [`MinuetCluster::add_memnode`] can grow the
+    /// cluster up to this many memnodes without relocating any region.
+    /// `0` means "the initial memnode count" (a fixed-size cluster).
+    pub max_memnodes: usize,
 }
 
 impl Default for TreeConfig {
@@ -78,6 +84,7 @@ impl Default for TreeConfig {
             blocking_wait: Duration::from_millis(50),
             max_op_retries: 100_000,
             alloc_chunk: 64,
+            max_memnodes: 0,
         }
     }
 }
@@ -117,6 +124,13 @@ pub struct MinuetCluster {
     /// Tree configuration (shared by all trees).
     pub cfg: TreeConfig,
     pub(crate) trees: Vec<TreeShared>,
+    /// Memnode count the layout was sized for (elastic growth ceiling).
+    max_mems: usize,
+    /// Serializes [`MinuetCluster::add_memnode`] calls (capacity check +
+    /// membership growth + seeding as one step).
+    join_lock: parking_lot::Mutex<()>,
+    /// Migration / elasticity counters (see [`crate::stats`]).
+    pub migration: crate::stats::MigrationCounters,
     proxy_rr: AtomicUsize,
 }
 
@@ -137,12 +151,13 @@ impl MinuetCluster {
     ) -> Arc<MinuetCluster> {
         Self::check_cfg(&cfg, n_trees);
         let n_mems = sin_cfg.memnodes;
-        sin_cfg.capacity_per_node = Self::capacity_for(&cfg, n_trees, n_mems);
+        let max_mems = Self::layout_mems(&cfg, n_mems);
+        sin_cfg.capacity_per_node = Self::capacity_for(&cfg, n_trees, max_mems);
         let sinfonia = SinfoniaCluster::new(sin_cfg);
 
         let mut trees = Vec::with_capacity(n_trees as usize);
         for t in 0..n_trees {
-            let layout = Layout::new(t, cfg.layout, n_mems);
+            let layout = Layout::new(t, cfg.layout, max_mems);
             let shared = TreeShared {
                 layout,
                 vcache: VersionCache::new(),
@@ -156,6 +171,9 @@ impl MinuetCluster {
             sinfonia,
             cfg,
             trees,
+            max_mems,
+            join_lock: parking_lot::Mutex::new(()),
+            migration: crate::stats::MigrationCounters::default(),
             proxy_rr: AtomicUsize::new(0),
         })
     }
@@ -174,12 +192,21 @@ impl MinuetCluster {
     ) -> std::io::Result<(Arc<MinuetCluster>, minuet_sinfonia::Resolution)> {
         Self::check_cfg(&cfg, n_trees);
         let n_mems = sin_cfg.memnodes;
-        sin_cfg.capacity_per_node = Self::capacity_for(&cfg, n_trees, n_mems);
+        let max_mems = Self::layout_mems(&cfg, n_mems);
+        sin_cfg.capacity_per_node = Self::capacity_for(&cfg, n_trees, max_mems);
         let (sinfonia, resolution) = SinfoniaCluster::restart_from_disk(sin_cfg)?;
+        // Recovery reopens every memnode found on disk (elastic growth
+        // persists); the layout must have been sized for all of them.
+        assert!(
+            sinfonia.n() <= max_mems,
+            "recovered {} memnodes but the layout is sized for {max_mems}; \
+             restart with the original TreeConfig::max_memnodes",
+            sinfonia.n()
+        );
 
         let mut trees = Vec::with_capacity(n_trees as usize);
         for t in 0..n_trees {
-            let layout = Layout::new(t, cfg.layout, n_mems);
+            let layout = Layout::new(t, cfg.layout, max_mems);
             let shared = TreeShared {
                 layout,
                 vcache: VersionCache::new(),
@@ -194,6 +221,9 @@ impl MinuetCluster {
                 sinfonia,
                 cfg,
                 trees,
+                max_mems,
+                join_lock: parking_lot::Mutex::new(()),
+                migration: crate::stats::MigrationCounters::default(),
                 proxy_rr: AtomicUsize::new(0),
             }),
             resolution,
@@ -203,6 +233,12 @@ impl MinuetCluster {
     fn check_cfg(cfg: &TreeConfig, n_trees: u32) {
         assert!(n_trees > 0);
         assert!(cfg.beta >= 2, "β must be at least 2");
+    }
+
+    /// Memnode count the layout is sized for: the configured elastic
+    /// ceiling, never less than the initial membership.
+    fn layout_mems(cfg: &TreeConfig, n_mems: usize) -> usize {
+        cfg.max_memnodes.max(n_mems)
     }
 
     fn capacity_for(cfg: &TreeConfig, n_trees: u32, n_mems: usize) -> u64 {
@@ -221,11 +257,80 @@ impl MinuetCluster {
 
     /// Creates a proxy. Proxies are cheap, single-threaded handles; create
     /// one per worker thread. Each proxy is assigned a home memnode
-    /// (round-robin) whose replicas it prefers for replicated reads.
+    /// (round-robin over seeded memnodes) whose replicas it prefers for
+    /// replicated reads.
     pub fn proxy(self: &Arc<Self>) -> Proxy {
-        let home =
-            MemNodeId((self.proxy_rr.fetch_add(1, Ordering::Relaxed) % self.n_memnodes()) as u16);
-        Proxy::new(self.clone(), home)
+        let n = self.n_memnodes();
+        let start = self.proxy_rr.fetch_add(1, Ordering::Relaxed);
+        // Skip memnodes still joining: their replicated replicas may not
+        // be seeded yet, so they cannot serve replicated reads.
+        for i in 0..n {
+            let home = MemNodeId(((start + i) % n) as u16);
+            if !self.sinfonia.node(home).is_joining() {
+                return Proxy::new(self.clone(), home);
+            }
+        }
+        Proxy::new(self.clone(), self.sinfonia.first_ready())
+    }
+
+    /// Memnode count the layout was sized for: the elastic growth ceiling
+    /// of [`MinuetCluster::add_memnode`].
+    pub fn max_memnodes(&self) -> usize {
+        self.max_mems
+    }
+
+    /// Brings a new memnode into the **running** cluster (elastic
+    /// scale-out, the paper's headline incremental-growth claim). The
+    /// node (with its own WAL/checkpoint files when durability is
+    /// configured) joins the Sinfonia membership, every tree's replicated
+    /// objects — TIP, GLOBAL, and all allocated catalog entries — are
+    /// seeded onto it, and only then does it become eligible as a
+    /// replicated-read replica, proxy home, and allocation target.
+    ///
+    /// Concurrent operations keep running throughout: replicated writes
+    /// engage the new replica from the moment it joins (see
+    /// `SinfoniaCluster::membership_guard`), and each seeding
+    /// minitransaction compare-swaps against the source replica's
+    /// sequence number so a racing update can never be overwritten with a
+    /// stale image.
+    ///
+    /// The new memnode starts empty; call [`MinuetCluster::rebalance`] to
+    /// shift load onto it, or let new allocations fill it round-robin.
+    ///
+    /// On failure (e.g. a memnode became unavailable mid-seed) the new
+    /// node stays in the harmless `joining` state — it serves no
+    /// replicated reads and receives no allocations — and the **next**
+    /// `add_memnode` call adopts and re-seeds it instead of growing the
+    /// membership again, so a failed join is simply retried.
+    pub fn add_memnode(self: &Arc<Self>) -> Result<MemNodeId, Error> {
+        if self.cfg.mode == ConcurrencyMode::FullValidation {
+            return Err(Error::ElasticityUnsupported(
+                "FullValidation replicates the internal-node seqno table at every memnode \
+                 (the §3 baseline); only DirtyTraversals clusters scale out",
+            ));
+        }
+        // Serialize concurrent joins: the capacity check and the
+        // membership growth must be atomic with respect to each other.
+        let _join = self.join_lock.lock();
+        let id = match self.sinfonia.joining_node() {
+            // Adopt a half-joined node left by an earlier failed attempt
+            // (seeding is idempotent compare-and-copy).
+            Some(id) => id,
+            None => {
+                if self.n_memnodes() >= self.max_mems {
+                    return Err(Error::ClusterAtCapacity { max: self.max_mems });
+                }
+                self.sinfonia
+                    .add_memnode()
+                    .map_err(|e| Error::Storage(e.to_string()))?
+            }
+        };
+        let src = self.sinfonia.first_ready();
+        for t in 0..self.trees.len() as u32 {
+            seed_tree_replicas(&self.sinfonia, self.layout(t), src, id)?;
+        }
+        self.sinfonia.finish_join(id);
+        Ok(id)
     }
 
     pub(crate) fn shared(&self, tree: u32) -> &TreeShared {
@@ -300,6 +405,78 @@ fn bootstrap_tree(sin: &SinfoniaCluster, shared: &TreeShared, tree: u32, n_mems:
     }
 
     shared.vcache.insert(0, NO_PARENT, root_ptr);
+}
+
+/// Number of replicated objects copied per seeding minitransaction.
+const SEED_BATCH: usize = 64;
+
+/// Copies one tree's replicated objects (TIP, GLOBAL, catalog entries)
+/// from the seeded replica at `src` onto the joining memnode `dst`,
+/// batched into compare-and-copy minitransactions: each batch compares
+/// every source object's sequence number against the raw image it read,
+/// so a concurrent replicated update (which engages `dst` already, since
+/// membership grew first) either serializes before the copy — the compare
+/// fails and the batch retries with the fresh image — or after it, and
+/// overwrites `dst` with the newer value itself. Either way `dst`
+/// converges to the current image.
+fn seed_tree_replicas(
+    sin: &SinfoniaCluster,
+    layout: &Layout,
+    src: MemNodeId,
+    dst: MemNodeId,
+) -> Result<(), Error> {
+    use minuet_sinfonia::{ItemRange, Minitransaction, Outcome, SinfoniaError};
+
+    let mut repls = vec![layout.tip(), layout.global()];
+    // Entries at or above the observed next_sid are created by commits
+    // that already include the new replica, so copying 0..next_sid
+    // suffices. (Unwritten entries below it copy harmlessly as zeroes.)
+    let graw = sin
+        .node(src)
+        .raw_read(layout.global().at(src).off, layout.global().cap)
+        .map_err(|u| Error::Unavailable(u.0))?;
+    let next_sid = crate::catalog::GlobalVal::decode(&minuet_dyntx::decode_obj(&graw).data)
+        .map_or(1, |g| g.next_sid);
+    for sid in 0..next_sid {
+        if let Some(r) = layout.catalog_entry(sid) {
+            repls.push(r);
+        }
+    }
+
+    // Generous per-batch budget: each retry re-reads the batch, so this
+    // only trips under pathological replicated-object churn — surfaced
+    // as an error (the join stays retryable) instead of spinning forever.
+    const SEED_RETRIES: usize = 10_000;
+    for batch in repls.chunks(SEED_BATCH) {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            if attempts > SEED_RETRIES {
+                return Err(Error::TooManyRetries {
+                    attempts: SEED_RETRIES,
+                });
+            }
+            let mut m = Minitransaction::new();
+            for r in batch {
+                let s = r.at(src);
+                let raw = sin
+                    .node(src)
+                    .raw_read(s.off, s.cap)
+                    .map_err(|u| Error::Unavailable(u.0))?;
+                m.compare(ItemRange::new(src, s.off, 8), raw[0..8].to_vec());
+                m.write(ItemRange::new(dst, s.off, raw.len() as u32), raw);
+            }
+            match sin.execute(&m) {
+                Ok(Outcome::Committed(_)) => break,
+                Ok(Outcome::FailedCompare(_)) => continue, // racing update; re-read
+                Err(SinfoniaError::Unavailable(mem)) => return Err(Error::Unavailable(mem)),
+                Err(SinfoniaError::OutOfBounds { mem, detail }) => {
+                    panic!("seeding out of bounds at {mem}: {detail}")
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Re-seeds a tree's process-local caches from recovered memnode images

@@ -350,27 +350,39 @@ impl<'c> DynTx<'c> {
                 validation_skipped: true,
             });
         }
+        // Replicated writes snapshot the membership to enumerate replicas;
+        // hold the membership gate until execution so an elastic
+        // `add_memnode` cannot add a replica this commit would miss.
+        let _membership = if self.write_set.keys().any(|k| matches!(k, TxKey::Repl(_))) {
+            Some(self.cluster.membership_guard())
+        } else {
+            None
+        };
+
         let mut m = Minitransaction::new();
         if let Some(budget) = self.blocking_commit {
             m = m.blocking(budget);
         }
 
         // Bind replicated-object compares to a memnode that is already a
-        // participant, to preserve single-node commits.
+        // participant, to preserve single-node commits. Joining memnodes
+        // are skipped: their replicas of pre-existing replicated objects
+        // may not be seeded yet, so comparing there would spuriously fail.
+        let ready = |mem: MemNodeId| !self.cluster.node(mem).is_joining();
         let bind = self
             .write_set
             .keys()
             .find_map(|k| match k {
-                TxKey::Plain(r) => Some(r.mem),
-                TxKey::Repl(_) => None,
+                TxKey::Plain(r) if ready(r.mem) => Some(r.mem),
+                _ => None,
             })
             .or_else(|| {
                 self.read_set.keys().find_map(|k| match k {
-                    TxKey::Plain(r) => Some(r.mem),
-                    TxKey::Repl(_) => None,
+                    TxKey::Plain(r) if ready(r.mem) => Some(r.mem),
+                    _ => None,
                 })
             })
-            .unwrap_or(MemNodeId(0));
+            .unwrap_or_else(|| self.cluster.first_ready());
 
         for (key, seqno) in &self.read_set {
             let range = match key {

@@ -80,13 +80,26 @@ const CHECKPOINT_POLL: Duration = Duration::from_millis(5);
 
 /// A simulated Sinfonia cluster: a set of memnodes plus the instrumented
 /// transport and a global minitransaction-id generator.
+///
+/// Membership is **elastic**: [`SinfoniaCluster::add_memnode`] appends a
+/// new memnode to a *running* cluster. Memnode ids stay dense and are
+/// never reused, so the membership vector only ever grows.
 pub struct SinfoniaCluster {
-    nodes: Vec<Arc<MemNode>>,
+    nodes: Arc<parking_lot::RwLock<Vec<Arc<MemNode>>>>,
     /// The instrumented transport (round-trip accounting).
     pub transport: Transport,
     /// Configuration the cluster was built with.
     pub cfg: ClusterConfig,
     txid: AtomicU64,
+    /// Serializes membership growth against in-flight write-all-replicas
+    /// commits: a coordinator that snapshots the membership to build a
+    /// replicated write holds the read side until the minitransaction has
+    /// executed, and [`SinfoniaCluster::add_memnode`] takes the write side
+    /// while growing the vector — so no replicated update can miss a
+    /// just-added replica.
+    membership_gate: parking_lot::RwLock<()>,
+    /// Injected per-shard service time in nanoseconds (0 = off).
+    service_ns: AtomicU64,
     ckpt_stop: Arc<AtomicBool>,
     ckpt_thread: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
 }
@@ -128,15 +141,24 @@ impl SinfoniaCluster {
             cfg.durability.enabled(),
             "restart_from_disk needs durability configured"
         );
-        let mut nodes = Vec::with_capacity(cfg.memnodes);
-        let mut metas: Vec<NodeMeta> = Vec::with_capacity(cfg.memnodes);
+        let dir = cfg.durability.dir.clone().expect("durability dir");
+        // Elastic growth is recorded on disk by the added nodes' redo
+        // logs: reopen every memnode found there, not just the configured
+        // count, or data migrated onto added nodes would be lost.
+        let n = cfg.memnodes.max(recovery::discover_memnodes(&dir)?);
+        let mut nodes = Vec::with_capacity(n);
+        let mut metas: Vec<NodeMeta> = Vec::with_capacity(n);
         let mut max_txid = 0;
-        for i in 0..cfg.memnodes {
-            let (node, meta, node_max) = MemNode::open_from_disk(
-                MemNodeId(i as u16),
-                cfg.capacity_per_node,
-                &cfg.durability,
-            )?;
+        for i in 0..n {
+            let id = MemNodeId(i as u16);
+            let (node, meta, node_max) =
+                MemNode::open_from_disk(id, cfg.capacity_per_node, &cfg.durability)?;
+            // A join marker means the crash hit mid-seed: reopen the node
+            // as joining so it serves no replicated reads until a retried
+            // add_memnode re-seeds it.
+            if recovery::join_marker_path(&dir, id).exists() {
+                node.set_joining(true);
+            }
             nodes.push(Arc::new(node));
             metas.push(meta);
             max_txid = max_txid.max(node_max);
@@ -155,15 +177,20 @@ impl SinfoniaCluster {
     }
 
     fn assemble(nodes: Vec<Arc<MemNode>>, cfg: ClusterConfig, first_txid: u64) -> Arc<Self> {
+        let nodes = Arc::new(parking_lot::RwLock::new(nodes));
         let ckpt_stop = Arc::new(AtomicBool::new(false));
         let ckpt_thread = if cfg.durability.enabled() && cfg.durability.checkpoint_log_bytes > 0 {
             let threshold = cfg.durability.checkpoint_log_bytes;
+            // The thread shares the membership vector (not the cluster),
+            // so memnodes added later are checkpointed too and dropping
+            // the cluster still joins the thread.
             let nodes = nodes.clone();
             let stop = ckpt_stop.clone();
             Some(std::thread::spawn(move || {
                 while !stop.load(Ordering::Acquire) {
                     std::thread::sleep(CHECKPOINT_POLL);
-                    for node in &nodes {
+                    let snapshot: Vec<Arc<MemNode>> = nodes.read().clone();
+                    for node in &snapshot {
                         if !node.is_crashed() && node.wal_retained_bytes() > threshold {
                             if let Err(e) = node.checkpoint() {
                                 eprintln!(
@@ -183,6 +210,8 @@ impl SinfoniaCluster {
             transport: Transport::new(cfg.model_rtt, cfg.inject_rtt),
             cfg,
             txid: AtomicU64::new(first_txid),
+            membership_gate: parking_lot::RwLock::new(()),
+            service_ns: AtomicU64::new(0),
             ckpt_stop,
             ckpt_thread: parking_lot::Mutex::new(ckpt_thread),
         })
@@ -191,18 +220,125 @@ impl SinfoniaCluster {
     /// Number of memnodes.
     #[inline]
     pub fn n(&self) -> usize {
-        self.nodes.len()
+        self.nodes.read().len()
     }
 
-    /// All memnode ids.
-    pub fn memnode_ids(&self) -> impl Iterator<Item = MemNodeId> + '_ {
-        (0..self.nodes.len() as u16).map(MemNodeId)
+    /// All memnode ids (membership snapshot at the time of the call).
+    pub fn memnode_ids(&self) -> impl Iterator<Item = MemNodeId> {
+        (0..self.n() as u16).map(MemNodeId)
     }
 
     /// Access a memnode by id.
     #[inline]
-    pub fn node(&self, id: MemNodeId) -> &Arc<MemNode> {
-        &self.nodes[id.index()]
+    pub fn node(&self, id: MemNodeId) -> Arc<MemNode> {
+        self.nodes.read()[id.index()].clone()
+    }
+
+    /// Snapshot of the current membership.
+    pub fn nodes_snapshot(&self) -> Vec<Arc<MemNode>> {
+        self.nodes.read().clone()
+    }
+
+    /// Brings a new memnode into the **running** cluster (elastic
+    /// scale-out). The node gets the next dense id, its own WAL and
+    /// checkpoint files when durability is configured, and joins in the
+    /// `joining` state: it immediately participates in replicated writes
+    /// (so no update is lost) but must not serve replicated reads or
+    /// validation until its replicas are seeded — the caller copies the
+    /// replicated regions over and then calls
+    /// [`SinfoniaCluster::finish_join`].
+    pub fn add_memnode(&self) -> io::Result<MemNodeId> {
+        // Exclude in-flight replicated commits while membership changes
+        // (see `membership_gate`); lock order is gate, then nodes.
+        let _gate = self.membership_gate.write();
+        let mut nodes = self.nodes.write();
+        assert!(
+            nodes.len() < u16::MAX as usize,
+            "too many memnodes for MemNodeId"
+        );
+        let id = MemNodeId(nodes.len() as u16);
+        let node = if self.cfg.durability.enabled() {
+            // Persist the joining state *before* the node's durable files
+            // exist: a crash mid-seed must restart the node as joining
+            // (never as a readable replica). The marker is removed by
+            // `finish_join`; one without a WAL is ignored by discovery.
+            let dir = self.cfg.durability.dir.as_ref().expect("durability dir");
+            std::fs::create_dir_all(dir)?;
+            std::fs::File::create(recovery::join_marker_path(dir, id))?.sync_all()?;
+            MemNode::durable(id, self.cfg.capacity_per_node, &self.cfg.durability)?
+        } else {
+            MemNode::new(id, self.cfg.capacity_per_node)
+        };
+        node.set_joining(true);
+        nodes.push(Arc::new(node));
+        Ok(id)
+    }
+
+    /// Clears a new memnode's `joining` state once its replicated-object
+    /// replicas have been seeded (and removes the on-disk join marker
+    /// when durable).
+    pub fn finish_join(&self, id: MemNodeId) {
+        if let Some(dir) = self.cfg.durability.dir.as_ref() {
+            let _ = std::fs::remove_file(recovery::join_marker_path(dir, id));
+        }
+        self.node(id).set_joining(false);
+    }
+
+    /// The memnode currently in the `joining` state, if any — a join
+    /// whose seeding failed mid-way. A retried join should adopt and
+    /// re-seed it (seeding is idempotent) instead of growing again.
+    pub fn joining_node(&self) -> Option<MemNodeId> {
+        self.nodes
+            .read()
+            .iter()
+            .find(|n| n.is_joining())
+            .map(|n| n.id)
+    }
+
+    /// The lowest-id memnode whose replicated replicas are fully seeded.
+    /// Used to bind replicated-object reads/validation; node 0 is always
+    /// seeded (initial members never join late), so this never fails.
+    pub fn first_ready(&self) -> MemNodeId {
+        let nodes = self.nodes.read();
+        nodes
+            .iter()
+            .find(|n| !n.is_joining())
+            .map(|n| n.id)
+            .unwrap_or(MemNodeId(0))
+    }
+
+    /// Marks / clears the retiring state of a memnode (allocation
+    /// placement steers away from retiring nodes; see the drain path).
+    pub fn set_retiring(&self, id: MemNodeId, retiring: bool) {
+        self.node(id).set_retiring(retiring);
+    }
+
+    /// Injects a modeled per-minitransaction-shard service time at every
+    /// memnode (None/zero disables). While set, each prepare /
+    /// single-phase execution / commit at a memnode sleeps this long
+    /// holding that node's service gate, so one memnode behaves as one
+    /// serial server — the load observable that makes scale-out measurable
+    /// on a single host (cf. the transport's injected RTT).
+    pub fn set_service_time(&self, d: Option<Duration>) {
+        self.service_ns.store(
+            d.map_or(0, |d| d.as_nanos().min(u128::from(u64::MAX)) as u64),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Currently injected per-shard service time (zero when disabled).
+    #[inline]
+    pub fn service_time(&self) -> Duration {
+        Duration::from_nanos(self.service_ns.load(Ordering::Relaxed))
+    }
+
+    /// Takes the membership read guard. Hold this from the moment a
+    /// write-all-replicas minitransaction snapshots the membership until
+    /// it has executed, so a concurrent [`SinfoniaCluster::add_memnode`]
+    /// cannot slip a replica in between (the new replica would miss the
+    /// update and stay stale forever).
+    pub fn membership_guard(&self) -> parking_lot::RwLockReadGuard<'_, ()> {
+        self.membership_gate.read()
     }
 
     /// Allocates a fresh minitransaction id.
@@ -243,14 +379,14 @@ impl SinfoniaCluster {
     /// would be aborted out from under its (live) coordinator, breaking
     /// atomicity. `restart_from_disk` satisfies this by construction.
     pub fn resolve_in_doubt(&self) -> Resolution {
-        let metas: Vec<NodeMeta> = self.nodes.iter().map(|n| n.node_meta()).collect();
+        let metas: Vec<NodeMeta> = self.nodes.read().iter().map(|n| n.node_meta()).collect();
         recovery::resolve_in_doubt(self, &metas)
     }
 
     /// Aggregated durability counters (all zero when durability is off).
     pub fn durability_stats(&self) -> DurSnapshot {
         let mut s = DurSnapshot::default();
-        for node in &self.nodes {
+        for node in self.nodes_snapshot().iter() {
             if let Some(w) = node.wal_stats() {
                 let (appends, bytes, fsyncs) = w.snapshot();
                 s.appends += appends;

@@ -94,12 +94,14 @@ fn try_once(
     let shards = m.shard();
     let mut reads: Vec<Vec<u8>> = vec![Vec::new(); m.reads.len()];
 
+    let service = cluster.service_time();
     if shards.len() == 1 {
         // Collapsed one-phase protocol: one round trip, locks held only
         // inside the memnode call.
         let (mem, shard) = shards.iter().next().unwrap();
         cluster.transport.round_trip(1);
         let node = cluster.node(*mem);
+        node.occupy(service);
         match node.exec_single(txid, shard, policy) {
             Err(u) => TryResult::Unavailable(u.0),
             Ok(SingleResult::Busy) => TryResult::Busy,
@@ -124,6 +126,7 @@ fn try_once(
         let mut unavailable = None;
         for (mem, shard) in &shards {
             let node = cluster.node(*mem);
+            node.occupy(service);
             match node.prepare(txid, shard, policy, &participants) {
                 Err(u) => {
                     unavailable = Some(u.0);
@@ -154,6 +157,7 @@ fn try_once(
             cluster.transport.round_trip(prepared.len());
             for mem in &prepared {
                 let node = cluster.node(*mem);
+                node.occupy(service);
                 let deadline = Instant::now() + cluster.cfg.unavailable_retry;
                 loop {
                     match node.commit(txid) {

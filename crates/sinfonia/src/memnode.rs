@@ -120,6 +120,18 @@ pub struct MemNode {
     /// scale.)
     decided: Mutex<HashSet<TxId>>,
     crashed: AtomicBool,
+    /// True while the node is joining an elastic cluster: it already
+    /// participates in replicated *writes* but its replicas of
+    /// pre-existing replicated objects have not been seeded yet, so it
+    /// must not be chosen as a read/validation replica or as an
+    /// allocation target (see `SinfoniaCluster::add_memnode`).
+    joining: AtomicBool,
+    /// True while the node is being drained for decommissioning:
+    /// allocators should steer new placements elsewhere.
+    retiring: AtomicBool,
+    /// Serializes modeled service time (see [`MemNode::occupy`]): one
+    /// memnode is one server, so injected service latencies queue.
+    service_gate: Mutex<()>,
     dur: Option<Durable>,
     ckpt_running: AtomicBool,
     checkpoints: AtomicU64,
@@ -229,6 +241,9 @@ impl MemNode {
             prepared: Mutex::new(staged),
             decided: Mutex::new(decided),
             crashed: AtomicBool::new(false),
+            joining: AtomicBool::new(false),
+            retiring: AtomicBool::new(false),
+            service_gate: Mutex::new(()),
             dur,
             ckpt_running: AtomicBool::new(false),
             checkpoints: AtomicU64::new(0),
@@ -248,6 +263,39 @@ impl MemNode {
     /// True if the node is currently crashed.
     pub fn is_crashed(&self) -> bool {
         self.crashed.load(Ordering::Acquire)
+    }
+
+    /// True while the node's replicated-object replicas are being seeded
+    /// (elastic join in progress).
+    pub fn is_joining(&self) -> bool {
+        self.joining.load(Ordering::Acquire)
+    }
+
+    /// Marks / clears the joining state (elastic scale-out).
+    pub fn set_joining(&self, joining: bool) {
+        self.joining.store(joining, Ordering::Release);
+    }
+
+    /// True while the node is being drained for decommissioning.
+    pub fn is_retiring(&self) -> bool {
+        self.retiring.load(Ordering::Acquire)
+    }
+
+    /// Marks / clears the retiring state (elastic drain).
+    pub fn set_retiring(&self, retiring: bool) {
+        self.retiring.store(retiring, Ordering::Release);
+    }
+
+    /// Models one server's occupancy for an injected per-request service
+    /// time: the caller sleeps `d` while holding this node's service
+    /// gate, so concurrent requests to the *same* memnode queue while
+    /// requests to different memnodes proceed in parallel — the effect
+    /// scale-out benches measure. No-op when `d` is zero.
+    pub fn occupy(&self, d: Duration) {
+        if !d.is_zero() {
+            let _g = self.service_gate.lock();
+            std::thread::sleep(d);
+        }
     }
 
     /// True if this node logs to disk.

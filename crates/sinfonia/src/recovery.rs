@@ -36,6 +36,41 @@ pub fn ckpt_path(dir: &Path, id: MemNodeId) -> PathBuf {
     dir.join(format!("ckpt-{:04}.img", id.0))
 }
 
+/// Path of the marker recording that a memnode's elastic join is still
+/// in progress (its replicated replicas are not fully seeded). Created
+/// before the node's durable state, removed on `finish_join`; a restart
+/// that finds it re-opens the node in the `joining` state so it is never
+/// read from until a retried join re-seeds it.
+pub fn join_marker_path(dir: &Path, id: MemNodeId) -> PathBuf {
+    dir.join(format!("joining-{:04}", id.0))
+}
+
+/// Discovers how many memnodes left durable state in `dir`, by scanning
+/// for per-node redo logs (`wal-NNNN.log`; ids are dense, so the count is
+/// max id + 1). Elastic growth means a cluster can hold more memnodes
+/// than its original configuration — recovery must open them all or
+/// every node migrated onto the newer memnodes would be lost.
+pub fn discover_memnodes(dir: &Path) -> io::Result<usize> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut count = 0usize;
+    for entry in entries {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(id) = name
+            .strip_prefix("wal-")
+            .and_then(|r| r.strip_suffix(".log"))
+            .and_then(|n| n.parse::<u16>().ok())
+        {
+            count = count.max(id as usize + 1);
+        }
+    }
+    Ok(count)
+}
+
 /// State reconstructed from a memnode's image and log.
 pub struct RecoveredNode {
     /// The rebuilt address space.

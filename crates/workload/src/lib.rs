@@ -20,5 +20,5 @@ pub mod spec;
 pub use dist::{fnv1a, KeyChooser, KeyDist, Zipfian, ZIPFIAN_CONSTANT};
 pub use driver::{run_closed_loop, RunConfig, RunReport};
 pub use hist::{Histogram, LatencySummary};
-pub use report::{fmt_bytes, fmt_count, fmt_ns, print_table};
+pub use report::{fmt_bytes, fmt_count, fmt_ns, occupancy_row, print_table};
 pub use spec::{encode_key, load_keys, OpGenerator, OpKind, Operation, SharedState, WorkloadSpec};

@@ -62,6 +62,29 @@ pub fn fmt_bytes(x: f64) -> String {
     }
 }
 
+/// Builds one row of the standard per-memnode occupancy table used by the
+/// elasticity example, bench, and tests (pair with [`print_table`] and
+/// headers `["memnode", "live", "free", "bump", "migrating", "state"]`).
+/// Taking plain integers keeps this crate decoupled from the core types;
+/// the numbers come from `minuet_core::stats::occupancy`.
+pub fn occupancy_row(
+    name: &str,
+    live: u64,
+    free: u64,
+    bump: u64,
+    migrating: u64,
+    retiring: bool,
+) -> Vec<String> {
+    vec![
+        name.to_string(),
+        live.to_string(),
+        free.to_string(),
+        bump.to_string(),
+        migrating.to_string(),
+        if retiring { "retiring" } else { "ready" }.to_string(),
+    ]
+}
+
 /// Formats nanoseconds as adaptive ms/µs.
 pub fn fmt_ns(ns: f64) -> String {
     if ns >= 1e6 {

@@ -39,6 +39,7 @@ pub use minuet_sinfonia as sinfonia;
 pub use minuet_workload as workload;
 
 pub use minuet_core::{
-    ConcurrencyMode, Error, Fence, Key, LayoutParams, MinuetCluster, Node, NodePtr, Proxy,
-    SnapshotId, SnapshotInfo, SnapshotService, TreeConfig, Txn, TxnError, Value, VersionMode,
+    occupancy, ConcurrencyMode, Error, Fence, Key, LayoutParams, MemOccupancy, MigrationSnapshot,
+    MinuetCluster, Node, NodePtr, Proxy, RebalanceReport, Rebalancer, SnapshotId, SnapshotInfo,
+    SnapshotService, TreeConfig, Txn, TxnError, Value, VersionMode,
 };

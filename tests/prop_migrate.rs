@@ -1,0 +1,230 @@
+//! Property tests for live migration: random interleavings of
+//! put/remove (allocation via splits and copy-on-write), snapshot
+//! creation, watermark+GC (freeing), memnode addition, and node
+//! migration must preserve
+//!
+//! * the ordered-map behaviour (tree == BTreeMap model, snapshots
+//!   immutable),
+//! * the allocator invariants: every slot reachable from a live root
+//!   decodes as a node (no dangling pointer after any migration), every
+//!   free list is duplicate-free, matches its advertised length, and is
+//!   disjoint from the reachable set (no double free, no freed-but-live
+//!   slot).
+
+use minuet::core::alloc::{AllocState, FreeSegment, NIL_SLOT};
+use minuet::dyntx::decode_obj;
+use minuet::sinfonia::MemNodeId;
+use minuet::{MinuetCluster, Node, NodePtr, TreeConfig};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Remove(u16),
+    Snapshot,
+    Gc,
+    AddMem,
+    Migrate(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 256, v)),
+        2 => any::<u16>().prop_map(|k| Op::Remove(k % 256)),
+        1 => Just(Op::Snapshot),
+        1 => Just(Op::Gc),
+        1 => Just(Op::AddMem),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Migrate(a, b)),
+    ]
+}
+
+fn key(k: u16) -> Vec<u8> {
+    format!("m{k:05}").into_bytes()
+}
+
+fn bump_of(mc: &Arc<MinuetCluster>, mem: MemNodeId) -> u32 {
+    let layout = *mc.layout(0);
+    let raw = mc
+        .sinfonia
+        .node(mem)
+        .raw_read(layout.alloc_state(mem).off, 64)
+        .unwrap();
+    AllocState::decode(&decode_obj(&raw).data).bump
+}
+
+fn read_slot(mc: &Arc<MinuetCluster>, ptr: NodePtr) -> Vec<u8> {
+    let layout = *mc.layout(0);
+    let obj = layout.node_obj(ptr);
+    let raw = mc
+        .sinfonia
+        .node(ptr.mem)
+        .raw_read(obj.off, obj.cap)
+        .unwrap();
+    decode_obj(&raw).data
+}
+
+fn live_slots(mc: &Arc<MinuetCluster>, mem: MemNodeId) -> Vec<u32> {
+    (0..bump_of(mc, mem))
+        .filter(|&slot| Node::decode(&read_slot(mc, NodePtr { mem, slot })).is_ok())
+        .collect()
+}
+
+/// Every slot reachable from `roots` via child pointers and
+/// descendant-set forwarding entries; asserts each one decodes.
+fn reachable(mc: &Arc<MinuetCluster>, roots: &[NodePtr]) -> HashSet<NodePtr> {
+    let mut seen: HashSet<NodePtr> = HashSet::new();
+    let mut stack: Vec<NodePtr> = roots.to_vec();
+    while let Some(ptr) = stack.pop() {
+        if !seen.insert(ptr) {
+            continue;
+        }
+        let node = Node::decode(&read_slot(mc, ptr))
+            .unwrap_or_else(|e| panic!("reachable slot {ptr:?} does not decode: {e}"));
+        if let minuet::core::node::NodeBody::Internal { kids, .. } = &node.body {
+            stack.extend_from_slice(kids);
+        }
+        for d in &node.desc {
+            stack.push(d.ptr);
+        }
+    }
+    seen
+}
+
+fn free_list(mc: &Arc<MinuetCluster>, mem: MemNodeId) -> Vec<u32> {
+    let layout = *mc.layout(0);
+    let node = mc.sinfonia.node(mem);
+    let raw = node.raw_read(layout.alloc_state(mem).off, 64).unwrap();
+    let state = AllocState::decode(&decode_obj(&raw).data);
+    let mut out = Vec::new();
+    let mut cur = state.free_head;
+    while cur != NIL_SLOT {
+        let seg = FreeSegment::decode(&read_slot(mc, NodePtr { mem, slot: cur }))
+            .expect("free-list head must decode as a segment");
+        out.push(cur);
+        out.extend_from_slice(&seg.slots);
+        cur = seg.next;
+    }
+    assert_eq!(
+        out.len() as u32,
+        state.free_count,
+        "free_count mismatch on {mem}"
+    );
+    out
+}
+
+/// Roots of every live snapshot (>= watermark, not deleted) plus the tip.
+fn live_roots(mc: &Arc<MinuetCluster>, p: &mut minuet::Proxy) -> Vec<NodePtr> {
+    let layout = *mc.layout(0);
+    let home = p.home();
+    let node = mc.sinfonia.node(home);
+    let graw = node
+        .raw_read(layout.global().at(home).off, layout.global().cap)
+        .unwrap();
+    let g = minuet::core::catalog::GlobalVal::decode(&decode_obj(&graw).data).unwrap();
+    let mut roots = Vec::new();
+    for sid in g.lowest..g.next_sid {
+        if let Some(repl) = layout.catalog_entry(sid) {
+            let raw = node.raw_read(repl.at(home).off, repl.cap).unwrap();
+            if let Some(e) = minuet::core::catalog::CatEntry::decode(&decode_obj(&raw).data) {
+                if !e.deleted {
+                    roots.push(e.root);
+                }
+            }
+        }
+    }
+    roots
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16, .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn migrations_preserve_allocator_invariants(
+        ops in proptest::collection::vec(op_strategy(), 1..150)
+    ) {
+        let mut cfg = TreeConfig::small_nodes(4);
+        cfg.max_memnodes = 3;
+        let mc = MinuetCluster::new(2, 1, cfg);
+        let mut p = mc.proxy();
+        type Model = BTreeMap<Vec<u8>, Vec<u8>>;
+        let mut model: Model = BTreeMap::new();
+        let mut snaps: Vec<(u64, Model)> = Vec::new();
+        let mut migrations = 0u64;
+
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    let got = p.put(0, key(*k), vec![*v]).unwrap();
+                    prop_assert_eq!(got, model.insert(key(*k), vec![*v]));
+                }
+                Op::Remove(k) => {
+                    let got = p.remove(0, &key(*k)).unwrap();
+                    prop_assert_eq!(got, model.remove(&key(*k)));
+                }
+                Op::Snapshot => {
+                    let info = p.create_snapshot(0).unwrap();
+                    snaps.push((info.frozen_sid, model.clone()));
+                }
+                Op::Gc => {
+                    // Keep the last two snapshots queryable, free the rest.
+                    let (tip, _) = p.current_tip(0).unwrap();
+                    p.set_watermark(0, tip.saturating_sub(2)).unwrap();
+                    p.gc_sweep(0).unwrap();
+                    snaps.retain(|(sid, _)| *sid >= tip.saturating_sub(2));
+                }
+                Op::AddMem => match mc.add_memnode() {
+                    Ok(_) | Err(minuet::Error::ClusterAtCapacity { .. }) => {}
+                    Err(e) => panic!("add_memnode: {e}"),
+                },
+                Op::Migrate(a, b) => {
+                    let n = mc.n_memnodes();
+                    let mem = MemNodeId((*a as usize % n) as u16);
+                    let slots = live_slots(&mc, mem);
+                    if slots.is_empty() || n < 2 {
+                        continue;
+                    }
+                    let slot = slots[*b as usize % slots.len()];
+                    let dst = MemNodeId(((mem.index() + 1 + (*b as usize >> 4) % (n - 1)) % n) as u16);
+                    let src = NodePtr { mem, slot };
+                    // Ok(None) (source superseded meanwhile) is fine.
+                    p.migrate_node(0, src, dst).unwrap();
+                    migrations += 1;
+                }
+            }
+        }
+        let _ = migrations;
+
+        // Behaviour: tree equals the model; snapshots stayed frozen.
+        let got = p.scan_serializable(0, b"", usize::MAX).unwrap();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+        prop_assert_eq!(got, want);
+        for (sid, frozen) in &snaps {
+            let got = p.scan_at(0, *sid, b"", usize::MAX).unwrap();
+            let want: Vec<(Vec<u8>, Vec<u8>)> =
+                frozen.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+            prop_assert_eq!(&got, &want, "snapshot {} diverged", sid);
+        }
+
+        // Allocator invariants.
+        let roots = live_roots(&mc, &mut p);
+        let reach = reachable(&mc, &roots); // asserts every reachable slot decodes
+        for mem in mc.sinfonia.memnode_ids() {
+            let freed = free_list(&mc, mem); // asserts free_count matches
+            let unique: HashSet<u32> = freed.iter().copied().collect();
+            prop_assert_eq!(unique.len(), freed.len(), "slot on free list twice on {}", mem);
+            for slot in &unique {
+                prop_assert!(
+                    !reach.contains(&NodePtr { mem, slot: *slot }),
+                    "freed slot {}#{} is still reachable",
+                    mem,
+                    slot
+                );
+            }
+        }
+    }
+}
