@@ -213,6 +213,40 @@ pub fn minuet_conn(
     }
 }
 
+/// Builds a per-thread **batched** Minuet connection for the open-loop
+/// driver: the point reads of one request execute as a single
+/// `multi_get`, the updates/inserts as a single `multi_put`, so the
+/// engine amortizes round trips across the request's
+/// [`minuet_workload::WorkloadSpec::batch_size`] operations. Scans and
+/// multi-index transactions (which carry their own network shapes) run
+/// individually, as in [`minuet_conn`].
+pub fn minuet_batch_conn(mc: Arc<MinuetCluster>) -> impl FnMut(&[Operation]) -> Duration {
+    let mut proxy = mc.proxy();
+    let mut single = minuet_conn(mc, ScanPolicy::Serializable);
+    move |ops: &[Operation]| {
+        let mut gets: Vec<Vec<u8>> = Vec::new();
+        let mut puts: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for op in ops {
+            match op {
+                Operation::Read { key } => gets.push(key.clone()),
+                Operation::Update { key, value } | Operation::Insert { key, value } => {
+                    puts.push((key.clone(), value.clone()));
+                }
+                other => {
+                    single(other);
+                }
+            }
+        }
+        if !gets.is_empty() {
+            proxy.multi_get(0, &gets).unwrap();
+        }
+        if !puts.is_empty() {
+            proxy.multi_put(0, &puts).unwrap();
+        }
+        Duration::ZERO
+    }
+}
+
 /// Builds a CDB cluster.
 pub fn build_cdb(machines: usize, tables: usize) -> Arc<CdbCluster> {
     Arc::new(CdbCluster::new(CdbConfig {

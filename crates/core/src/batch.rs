@@ -1,0 +1,906 @@
+//! Batched multi-key operations and bottom-up bulk loading.
+//!
+//! Minuet's cost model is network round trips: a single `put` pays one
+//! round trip to fetch its leaf and one to commit, so under injected
+//! latency a client is bounded by one operation in flight. This module
+//! amortizes those round trips across K independent operations:
+//!
+//! 1. **Shared routing.** The sorted keys are routed through the proxy's
+//!    cached internal nodes (routing traversals, ~zero round trips once
+//!    the cache is warm) and grouped into *per-leaf groups* by
+//!    the leaf pointers their parents name. Consecutive sorted keys reuse
+//!    the previous route while they stay inside the parent's fence keys.
+//! 2. **Grouped leaf fetches.** All group leaves on the same memnode are
+//!    fetched by a *single* minitransaction that also compares the tip's
+//!    sequence number — the batched analogue of piggy-backed validation —
+//!    executed through [`SinfoniaCluster::exec_many`], so L leaves on M
+//!    memnodes cost M round trips instead of L.
+//! 3. **Pipelined commits.** Each mutating group stages its leaf update
+//!    (including any copy-on-write or split consequences) in its own
+//!    dynamic transaction, and all group commits execute as one
+//!    [`minuet_dyntx::commit_many`] batch — again one round trip per
+//!    participant memnode for the common single-memnode leaf commits.
+//!
+//! **Fallback rules** (the invariant that keeps the batch path exactly as
+//! safe as the per-key path): a batch member is served by the fast path
+//! only if its leaf decodes, covers the key per its fence keys, and passes
+//! the version-tag check; any member whose group misses those checks, or
+//! whose group commit fails validation against a concurrent writer, is
+//! retried through the ordinary single-key operations (`get`/`put`/
+//! `remove`), which carry their own optimistic retry loops. A stale tip
+//! observation retries the whole batch (a bounded number of times)
+//! before degrading to per-key execution. The result is observably
+//! equivalent to applying the same operations one at a time in input
+//! order — `tests/prop_batch.rs` checks exactly that, including under
+//! concurrent writers.
+//!
+//! Batches are **not transactions**: members commit independently, and
+//! concurrent writers may interleave between members (just as they can
+//! between loose single ops). Use [`Proxy::txn`] for multi-key atomicity.
+//!
+//! [`SinfoniaCluster::exec_many`]: minuet_sinfonia::SinfoniaCluster::exec_many
+
+use crate::error::{Attempt, Error, RetryCause};
+use crate::key::{in_range, Fence, Key, Value};
+use crate::node::{Node, NodeBody, NodePtr};
+use crate::proxy::{backoff, OpTarget, Proxy};
+use crate::traverse::{LeafAccess, OpCtx, PathEntry, VersionCheck};
+use crate::tree::ConcurrencyMode;
+use minuet_dyntx::{commit_many, decode_obj, DynTx, SeqNo, StagedCommit, TxError, TxKey};
+use minuet_sinfonia::{MemNodeId, Minitransaction, Outcome, SinfoniaError};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Whole-batch retries (stale tip / stale route) before the remaining
+/// members degrade to the per-key path, which has its own retry budget.
+const BATCH_ATTEMPTS: usize = 16;
+
+/// The operation a batch applies to every member key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BatchKind {
+    Get,
+    Put,
+    Remove,
+}
+
+/// One per-leaf group: the cached internal route that named the leaf and
+/// the batch members (indices into the item vector) it serves.
+struct LeafGroup {
+    route: Vec<PathEntry>,
+    members: Vec<usize>,
+}
+
+/// Disposition of one batch attempt.
+enum BatchOutcome {
+    /// The tip or a route went stale mid-attempt: retry everything still
+    /// pending.
+    Retry,
+    /// The attempt ran to completion. `requeue` holds members whose group
+    /// commit lost a validation race — worth another *batched* attempt
+    /// with a fresh leaf fetch; `fallback` holds members the fast path
+    /// cannot serve (stale routes, redirects, overflow spill), which go to
+    /// the per-key path.
+    Served {
+        fallback: Vec<usize>,
+        requeue: Vec<usize>,
+    },
+}
+
+impl Proxy {
+    /// Point-looks-up many keys at the mainline tip with one shared
+    /// traversal per leaf and one batched fetch round trip per memnode.
+    /// Results are in input order. Each lookup is individually strictly
+    /// serializable (its leaf read and tip validation happen in one atomic
+    /// minitransaction); the batch as a whole is not a transaction.
+    ///
+    /// ```
+    /// # use minuet_core::{MinuetCluster, TreeConfig};
+    /// let mc = MinuetCluster::new(2, 1, TreeConfig::default());
+    /// let mut p = mc.proxy();
+    /// p.multi_put(0, &[(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), b"2".to_vec())])
+    ///     .unwrap();
+    /// let got = p.multi_get(0, &[b"a".to_vec(), b"missing".to_vec()]).unwrap();
+    /// assert_eq!(got, vec![Some(b"1".to_vec()), None]);
+    /// ```
+    pub fn multi_get(&mut self, tree: u32, keys: &[Key]) -> Result<Vec<Option<Value>>, Error> {
+        let items: Vec<(Key, Option<Value>)> = keys.iter().map(|k| (k.clone(), None)).collect();
+        self.multi_op(tree, BatchKind::Get, items)
+    }
+
+    /// Inserts or updates many key/value pairs at the mainline tip,
+    /// sharing traversals per leaf and pipelining the per-leaf commits
+    /// into one round trip per memnode. Returns the previous value per
+    /// pair, in input order, exactly as if the pairs had been `put` one at
+    /// a time in input order (duplicate keys observe the batch's earlier
+    /// writes). On conflict a pair falls back to the ordinary retrying
+    /// [`Proxy::put`].
+    ///
+    /// ```
+    /// # use minuet_core::{MinuetCluster, TreeConfig};
+    /// let mc = MinuetCluster::new(2, 1, TreeConfig::default());
+    /// let mut p = mc.proxy();
+    /// let pairs: Vec<_> = (0..32u8).map(|i| (vec![i], vec![i])).collect();
+    /// assert!(p.multi_put(0, &pairs).unwrap().iter().all(|old| old.is_none()));
+    /// let gone = p.multi_remove(0, &[vec![7], vec![200]]).unwrap();
+    /// assert_eq!(gone, vec![Some(vec![7]), None]);
+    /// ```
+    pub fn multi_put(
+        &mut self,
+        tree: u32,
+        pairs: &[(Key, Value)],
+    ) -> Result<Vec<Option<Value>>, Error> {
+        let items: Vec<(Key, Option<Value>)> = pairs
+            .iter()
+            .map(|(k, v)| (k.clone(), Some(v.clone())))
+            .collect();
+        self.multi_op(tree, BatchKind::Put, items)
+    }
+
+    /// Removes many keys at the mainline tip (the batched analogue of
+    /// [`Proxy::remove`]); returns the previous values in input order.
+    pub fn multi_remove(&mut self, tree: u32, keys: &[Key]) -> Result<Vec<Option<Value>>, Error> {
+        let items: Vec<(Key, Option<Value>)> = keys.iter().map(|k| (k.clone(), None)).collect();
+        self.multi_op(tree, BatchKind::Remove, items)
+    }
+
+    /// Executes one key through the ordinary single-op path.
+    fn op_one(
+        &mut self,
+        tree: u32,
+        kind: BatchKind,
+        key: &Key,
+        value: Option<&Value>,
+    ) -> Result<Option<Value>, Error> {
+        match kind {
+            BatchKind::Get => self.get(tree, key),
+            BatchKind::Put => self.put(tree, key.clone(), value.expect("put value").clone()),
+            BatchKind::Remove => self.remove(tree, key),
+        }
+    }
+
+    fn multi_op(
+        &mut self,
+        tree: u32,
+        kind: BatchKind,
+        items: Vec<(Key, Option<Value>)>,
+    ) -> Result<Vec<Option<Value>>, Error> {
+        let n = items.len();
+        let mut results: Vec<Option<Value>> = vec![None; n];
+        if n == 0 {
+            return Ok(results);
+        }
+
+        // The baseline FullValidation mode validates whole traversal paths
+        // against its replicated seqno table; the batch planner does not
+        // reproduce that protocol, so run the per-key path outright.
+        let mut pending: Vec<usize> = if self.mc.cfg.mode == ConcurrencyMode::FullValidation {
+            (0..n).collect()
+        } else {
+            // Sorted by key (stable, so duplicates keep input order) for
+            // route reuse across consecutive keys.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| items[a].0.cmp(&items[b].0));
+            let mut unserved: Vec<usize> = Vec::new();
+            let mut attempts = 0usize;
+            loop {
+                match self.batch_attempt(tree, kind, &items, &order, &mut results)? {
+                    BatchOutcome::Served { fallback, requeue } => {
+                        unserved.extend(fallback);
+                        order = requeue;
+                        // Conflicted members re-batch against fresh leaf
+                        // images; keep them key-sorted for route reuse.
+                        order.sort_by(|&a, &b| items[a].0.cmp(&items[b].0).then(a.cmp(&b)));
+                    }
+                    BatchOutcome::Retry => {}
+                }
+                if order.is_empty() {
+                    break unserved;
+                }
+                attempts += 1;
+                if attempts >= BATCH_ATTEMPTS {
+                    unserved.extend(order);
+                    break unserved;
+                }
+                backoff(attempts);
+            }
+        };
+
+        // Per-key fallback: the ordinary operations with their own
+        // optimistic retry loops. Input order preserved for duplicates.
+        pending.sort_unstable();
+        self.stats.batch_fallbacks += pending.len() as u64;
+        for i in pending {
+            let (key, value) = &items[i];
+            results[i] = self.op_one(tree, kind, key, value.as_ref())?;
+        }
+        Ok(results)
+    }
+
+    /// One attempt at serving every `pending` member through the batched
+    /// path. Fills `results` for the members it serves.
+    fn batch_attempt(
+        &mut self,
+        tree: u32,
+        kind: BatchKind,
+        items: &[(Key, Option<Value>)],
+        pending: &[usize],
+        results: &mut [Option<Value>],
+    ) -> Result<BatchOutcome, Error> {
+        let mc = self.mc.clone();
+        let sin = mc.sinfonia.clone();
+        let layout = *mc.layout(tree);
+
+        // Routing transaction: only used for dirty-cached internal-node
+        // fetches, never committed.
+        let mut rtx = DynTx::with_piggyback(&sin, mc.cfg.piggyback);
+        let ctx = match self.resolve(&mut rtx, tree, OpTarget::MainlineTip)? {
+            Attempt::Done(c) => c,
+            Attempt::Retry(c) => {
+                self.note_retry(tree, c);
+                return Ok(BatchOutcome::Retry);
+            }
+        };
+        // The tip observation every group pins: the fetch minitransactions
+        // compare it remotely, and every group commit validates it.
+        let Some(&(tip_seq, tip_val)) = self.tip_cache.get(&tree) else {
+            return Ok(BatchOutcome::Retry);
+        };
+
+        // ---- 1. Route the sorted keys into per-leaf groups. ----
+        let mut groups: BTreeMap<NodePtr, LeafGroup> = BTreeMap::new();
+        let mut route: Option<Vec<PathEntry>> = None;
+        for &i in pending {
+            let key = &items[i].0;
+            // A route stays valid while the key sits inside its last
+            // node's fences (that node is the height-1 parent, or the root
+            // itself when the whole tree is a single leaf).
+            let reusable = route.as_ref().is_some_and(|r| {
+                let p = r.last().expect("route nonempty");
+                in_range(&p.node.low, &p.node.high, key)
+            });
+            if !reusable {
+                match self.traverse(&mut rtx, tree, &ctx, key, LeafAccess::Route, 1)? {
+                    Attempt::Done(path) => route = Some(path),
+                    Attempt::Retry(c) => {
+                        self.note_retry(tree, c);
+                        return Ok(BatchOutcome::Retry);
+                    }
+                }
+            }
+            let r = route.as_ref().expect("route set");
+            let parent = r.last().expect("route nonempty");
+            let (leaf_ptr, chain) = if parent.node.height == 0 {
+                // Single-level tree: the root is the leaf; no internal
+                // chain above it.
+                (parent.ptr, &r[..0])
+            } else {
+                (parent.node.child_for(key), &r[..])
+            };
+            groups
+                .entry(leaf_ptr)
+                .or_insert_with(|| LeafGroup {
+                    route: chain.to_vec(),
+                    members: Vec::new(),
+                })
+                .members
+                .push(i);
+        }
+        self.stats.batch_groups += groups.len() as u64;
+
+        // ---- 2. Fetch every group's leaf, one minitransaction per
+        // memnode, each pinning the tip at the observed seqno. ----
+        let mut by_mem: BTreeMap<MemNodeId, Vec<NodePtr>> = BTreeMap::new();
+        for &ptr in groups.keys() {
+            by_mem.entry(ptr.mem).or_default().push(ptr);
+        }
+        let fetches: Vec<(MemNodeId, Vec<NodePtr>)> = by_mem.into_iter().collect();
+        let ms: Vec<Minitransaction> = fetches
+            .iter()
+            .map(|(mem, ptrs)| {
+                let mut m = Minitransaction::new();
+                m.compare(
+                    layout.tip().at(*mem).seqno_range(),
+                    tip_seq.to_le_bytes().to_vec(),
+                );
+                for ptr in ptrs {
+                    m.read(layout.node_obj(*ptr).full_range());
+                }
+                m
+            })
+            .collect();
+        let outcomes = match sin.exec_many(&ms) {
+            Ok(o) => o,
+            Err(SinfoniaError::Unavailable(mem)) => return Err(Error::Unavailable(mem)),
+            Err(SinfoniaError::OutOfBounds { mem, detail }) => {
+                panic!("batched leaf fetch out of bounds at {mem}: {detail}")
+            }
+        };
+        let mut leaves: BTreeMap<NodePtr, (SeqNo, Vec<u8>)> = BTreeMap::new();
+        for ((_, ptrs), outcome) in fetches.iter().zip(outcomes) {
+            match outcome {
+                Outcome::FailedCompare(_) => {
+                    // The tip moved under us (or the replica is unseeded):
+                    // refresh the cached observation and retry the batch.
+                    self.note_retry(tree, RetryCause::StaleTip);
+                    return Ok(BatchOutcome::Retry);
+                }
+                Outcome::Committed(res) => {
+                    for (ptr, raw) in ptrs.iter().zip(res.data) {
+                        let val = decode_obj(&raw);
+                        leaves.insert(*ptr, (val.seqno, val.data));
+                    }
+                }
+            }
+        }
+
+        // ---- 3. Serve each group: answer gets directly; stage mutations
+        // and pipeline their commits. ----
+        let mut fallback: Vec<usize> = Vec::new();
+        let mut staged: Vec<StagedCommit<'_>> = Vec::new();
+        let mut staged_members: Vec<(Vec<usize>, Vec<Option<Value>>)> = Vec::new();
+        for (leaf_ptr, group) in groups {
+            let (leaf_seq, leaf_raw) = &leaves[&leaf_ptr];
+            let Ok(node) = Node::decode(leaf_raw) else {
+                // Freed or rewritten slot: the route was stale.
+                fallback.extend(group.members);
+                continue;
+            };
+            let covered = node.height == 0
+                && group
+                    .members
+                    .iter()
+                    .all(|&i| in_range(&node.low, &node.high, &items[i].0));
+            let current = covered
+                && matches!(
+                    self.version_check(tree, &node, ctx.sid)?,
+                    VersionCheck::Current
+                );
+            if !current {
+                fallback.extend(group.members);
+                continue;
+            }
+
+            match kind {
+                BatchKind::Get => {
+                    // The leaf read and the tip compare were one atomic
+                    // minitransaction: each lookup is serializable at the
+                    // fetch point, no commit needed (the batched analogue
+                    // of the fully-piggy-backed read-only fast path).
+                    for &i in &group.members {
+                        results[i] = node.leaf_get(&items[i].0).cloned();
+                    }
+                    self.stats.ops += group.members.len() as u64;
+                    self.stats.batched_ops += group.members.len() as u64;
+                }
+                BatchKind::Put | BatchKind::Remove => {
+                    let mut gtx = DynTx::with_piggyback(&sin, mc.cfg.piggyback);
+                    // Pin the tip and the fetched leaf image into the read
+                    // set (§4.1: the cached tip joins the read set; the
+                    // leaf at the version the grouped fetch observed).
+                    gtx.assume(TxKey::Repl(layout.tip()), tip_seq, tip_val.encode());
+                    gtx.assume(
+                        TxKey::Plain(layout.node_obj(leaf_ptr)),
+                        *leaf_seq,
+                        leaf_raw.clone(),
+                    );
+                    // Record the routed internal chain as dirty
+                    // observations so split/CoW parent rewrites promote
+                    // with the right expected versions.
+                    for e in &group.route {
+                        gtx.note_dirty(layout.node_obj(e.ptr), e.seqno);
+                    }
+
+                    // Apply the members in input order (duplicates observe
+                    // earlier members, as sequential execution would). A
+                    // staged leaf may overflow by at most one application,
+                    // because `materialize` splits once per level: the
+                    // moment the leaf overflows, every remaining member of
+                    // the group diverts to the per-key path — wholesale,
+                    // so same-key members never reorder across the batch /
+                    // fallback boundary.
+                    let payload_cap = mc.cfg.layout.node_payload as usize;
+                    let max_entries = mc.cfg.max_leaf_entries;
+                    let mut members = group.members.clone();
+                    members.sort_unstable();
+                    let mut new_leaf = node.clone();
+                    let mut applied: Vec<usize> = Vec::new();
+                    let mut olds: Vec<Option<Value>> = Vec::new();
+                    for (pos, &i) in members.iter().enumerate() {
+                        if new_leaf.overflows(payload_cap, max_entries) {
+                            fallback.extend_from_slice(&members[pos..]);
+                            break;
+                        }
+                        let (key, value) = &items[i];
+                        olds.push(match kind {
+                            BatchKind::Put => {
+                                new_leaf.leaf_put(key.clone(), value.clone().expect("put value"))
+                            }
+                            BatchKind::Remove => new_leaf.leaf_remove(key),
+                            BatchKind::Get => unreachable!(),
+                        });
+                        applied.push(i);
+                    }
+                    if applied.is_empty() {
+                        continue;
+                    }
+                    let members = applied;
+
+                    let mut path = group.route;
+                    path.push(PathEntry {
+                        ptr: leaf_ptr,
+                        link: leaf_ptr,
+                        seqno: *leaf_seq,
+                        node: Arc::new(node),
+                    });
+                    let level = path.len() - 1;
+                    match self.materialize(&mut gtx, tree, &ctx, &path, level, new_leaf)? {
+                        Attempt::Done(()) => {
+                            staged.push(gtx.stage_commit());
+                            staged_members.push((members, olds));
+                        }
+                        Attempt::Retry(_) => fallback.extend(members),
+                    }
+                }
+            }
+        }
+
+        // ---- 4. Pipelined group commits: one batched round trip per
+        // participant memnode. Validation failures retry per key. ----
+        let commit_results = commit_many(staged).map_err(|e| match e {
+            TxError::Unavailable(mem) => Error::Unavailable(mem),
+            TxError::Validation => unreachable!("exec_many reports validation per member"),
+        })?;
+        let mut requeue: Vec<usize> = Vec::new();
+        for ((members, olds), outcome) in staged_members.into_iter().zip(commit_results) {
+            match outcome {
+                Ok(_) => {
+                    self.stats.ops += members.len() as u64;
+                    self.stats.batched_ops += members.len() as u64;
+                    for (i, old) in members.into_iter().zip(olds) {
+                        results[i] = old;
+                    }
+                }
+                Err(TxError::Validation) => {
+                    // A concurrent writer won this leaf. The tip is not
+                    // implicated (its staleness surfaces as a fetch-time
+                    // FailedCompare), so keep the cached tip and re-batch
+                    // these members against a fresh leaf image.
+                    self.stats.record_retry(RetryCause::Validation);
+                    requeue.extend(members);
+                }
+                Err(TxError::Unavailable(mem)) => return Err(Error::Unavailable(mem)),
+            }
+        }
+        Ok(BatchOutcome::Served { fallback, requeue })
+    }
+
+    /// Bulk-loads an **empty** tree bottom-up: the sorted pairs are packed
+    /// into full leaves, internal levels are built over them, and the
+    /// whole structure commits in one dynamic transaction that validates
+    /// the root is still the fresh empty leaf — so a concurrent writer
+    /// either serializes entirely before the load (making it fail with
+    /// [`Error::TreeNotEmpty`] on retry) or entirely after it. Far cheaper
+    /// than K inserts: no per-key traversals and no splits, just one
+    /// commit minitransaction carrying every node image.
+    ///
+    /// Input pairs may arrive unsorted; duplicate keys keep the last
+    /// value. Returns the number of records loaded.
+    ///
+    /// ```
+    /// # use minuet_core::{MinuetCluster, TreeConfig};
+    /// let mc = MinuetCluster::new(2, 1, TreeConfig::default());
+    /// let mut p = mc.proxy();
+    /// let pairs: Vec<_> = (0..1000u32)
+    ///     .map(|i| (format!("k{i:04}").into_bytes(), i.to_le_bytes().to_vec()))
+    ///     .collect();
+    /// assert_eq!(p.bulk_load(0, pairs).unwrap(), 1000);
+    /// assert_eq!(p.get(0, b"k0042").unwrap(), Some(42u32.to_le_bytes().to_vec()));
+    /// ```
+    pub fn bulk_load(&mut self, tree: u32, pairs: Vec<(Key, Value)>) -> Result<usize, Error> {
+        let mut pairs = pairs;
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        // Last value wins for duplicate keys, as sequential puts would.
+        pairs.reverse();
+        pairs.dedup_by(|a, b| a.0 == b.0);
+        pairs.reverse();
+        if pairs.is_empty() {
+            return Ok(0);
+        }
+        let count = pairs.len();
+
+        let mc = self.mc.clone();
+        let sin = mc.sinfonia.clone();
+        let layout = *mc.layout(tree);
+        // Keep allocated slots across validation retries so an aborted
+        // attempt's slots are reused instead of leaked.
+        let mut pool: Vec<NodePtr> = Vec::new();
+        let mut attempts = 0usize;
+        loop {
+            if attempts >= mc.cfg.max_op_retries {
+                return Err(Error::TooManyRetries { attempts });
+            }
+            let mut tx = DynTx::with_piggyback(&sin, mc.cfg.piggyback);
+            let ctx = match self.resolve(&mut tx, tree, OpTarget::MainlineTip)? {
+                Attempt::Done(c) => c,
+                Attempt::Retry(c) => {
+                    self.note_retry(tree, c);
+                    attempts += 1;
+                    backoff(attempts);
+                    continue;
+                }
+            };
+            // The root must still be the fresh empty leaf of the current
+            // tip version; it joins the read set, so commit validation
+            // re-checks this against concurrent writers.
+            let root_raw = match tx.read(layout.node_obj(ctx.root)) {
+                Ok(r) => r,
+                Err(TxError::Validation) => {
+                    self.note_retry(tree, RetryCause::Validation);
+                    attempts += 1;
+                    backoff(attempts);
+                    continue;
+                }
+                Err(TxError::Unavailable(mem)) => return Err(Error::Unavailable(mem)),
+            };
+            let root = Node::decode(&root_raw).map_err(Error::Corrupt)?;
+            if !(root.height == 0 && root.is_empty() && root.created == ctx.sid) {
+                return Err(Error::TreeNotEmpty { tree });
+            }
+
+            match self.stage_bulk_tree(&mut tx, tree, &ctx, ctx.root, &pairs, &mut pool)? {
+                Attempt::Done(()) => {}
+                Attempt::Retry(c) => {
+                    self.note_retry(tree, c);
+                    attempts += 1;
+                    backoff(attempts);
+                    continue;
+                }
+            }
+            match tx.commit() {
+                Ok(_) => {
+                    self.stats.ops += 1;
+                    return Ok(count);
+                }
+                Err(TxError::Validation) => {
+                    self.note_retry(tree, RetryCause::Validation);
+                    attempts += 1;
+                    backoff(attempts);
+                }
+                Err(TxError::Unavailable(mem)) => return Err(Error::Unavailable(mem)),
+            }
+        }
+    }
+
+    /// Takes a node slot: the first `cursor` entries of `pool` are in use
+    /// by the current attempt, later entries are left over from aborted
+    /// attempts and reused before allocating fresh ones (so validation
+    /// retries never leak slots).
+    fn bulk_slot(
+        &mut self,
+        tree: u32,
+        pool: &mut Vec<NodePtr>,
+        cursor: &mut usize,
+    ) -> Result<NodePtr, Error> {
+        if *cursor == pool.len() {
+            pool.push(self.alloc_any(tree)?);
+        }
+        let ptr = pool[*cursor];
+        *cursor += 1;
+        Ok(ptr)
+    }
+
+    /// Stages the bottom-up tree for `pairs` into `tx`: leaves packed to
+    /// capacity, internal levels above them, the top level written into
+    /// the existing root slot (the TIP's root pointer never moves).
+    fn stage_bulk_tree(
+        &mut self,
+        tx: &mut DynTx<'_>,
+        tree: u32,
+        ctx: &OpCtx,
+        root_ptr: NodePtr,
+        pairs: &[(Key, Value)],
+        pool: &mut Vec<NodePtr>,
+    ) -> Result<Attempt<()>, Error> {
+        let payload_cap = self.mc.cfg.layout.node_payload as usize;
+        let max_leaf = self.mc.cfg.max_leaf_entries;
+        let max_internal = self.mc.cfg.max_internal_entries;
+        let sid = ctx.sid;
+        let mut cursor = 0usize;
+
+        // Pack leaves greedily up to the overflow thresholds. Packing runs
+        // with infinity fences but the real fences are finite keys, so
+        // leave room for the worst-case fence growth (two finite fences of
+        // the longest key in the batch).
+        let max_klen = pairs.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let pack_cap = payload_cap.saturating_sub(2 * (2 + max_klen)).max(64);
+        let mut leaf_nodes: Vec<Node> = Vec::new();
+        let mut cur = Node::empty_root(sid);
+        for (k, v) in pairs {
+            let mut probe = cur.clone();
+            probe.leaf_put(k.clone(), v.clone());
+            if !cur.is_empty() && probe.overflows(pack_cap, max_leaf) {
+                leaf_nodes.push(std::mem::replace(&mut cur, Node::empty_root(sid)));
+                cur.leaf_put(k.clone(), v.clone());
+            } else {
+                cur = probe;
+            }
+        }
+        leaf_nodes.push(cur);
+
+        // Fences: leaf i covers [sep(i), sep(i+1)) with sep = first key.
+        let seps: Vec<Key> = leaf_nodes
+            .iter()
+            .skip(1)
+            .map(|n| match &n.body {
+                NodeBody::Leaf { entries } => entries[0].0.clone(),
+                NodeBody::Internal { .. } => unreachable!(),
+            })
+            .collect();
+        for (i, leaf) in leaf_nodes.iter_mut().enumerate() {
+            leaf.low = if i == 0 {
+                Fence::NegInf
+            } else {
+                Fence::Key(seps[i - 1].clone())
+            };
+            leaf.high = if i == seps.len() {
+                Fence::PosInf
+            } else {
+                Fence::Key(seps[i].clone())
+            };
+        }
+
+        if leaf_nodes.len() == 1 {
+            // Everything fits in the root leaf.
+            self.write_node(tx, tree, root_ptr, &leaf_nodes[0]);
+            return Ok(Attempt::Done(()));
+        }
+
+        // Write the leaves into fresh slots and build internal levels over
+        // them until one node remains; that node becomes the root image.
+        let mut level: Vec<(Fence, Fence, NodePtr)> = Vec::new();
+        for leaf in &leaf_nodes {
+            let ptr = self.bulk_slot(tree, pool, &mut cursor)?;
+            self.write_node(tx, tree, ptr, leaf);
+            level.push((leaf.low.clone(), leaf.high.clone(), ptr));
+        }
+        let mut height: u8 = 1;
+        loop {
+            let mut next: Vec<(Fence, Fence, NodePtr)> = Vec::new();
+            let mut nodes: Vec<Node> = Vec::new();
+            let mut chunk_start = 0usize;
+            while chunk_start < level.len() {
+                // Grow the chunk until the encoded node would overflow.
+                let mut end = chunk_start + 1;
+                let mut node = Node {
+                    height,
+                    created: sid,
+                    desc: Vec::new(),
+                    low: level[chunk_start].0.clone(),
+                    high: level[chunk_start].1.clone(),
+                    body: NodeBody::Internal {
+                        seps: Vec::new(),
+                        kids: vec![level[chunk_start].2],
+                    },
+                };
+                while end < level.len() {
+                    let mut probe = node.clone();
+                    if let NodeBody::Internal { seps, kids } = &mut probe.body {
+                        seps.push(
+                            level[end]
+                                .0
+                                .as_key()
+                                .expect("non-first child has a finite low fence")
+                                .clone(),
+                        );
+                        kids.push(level[end].2);
+                    }
+                    probe.high = level[end].1.clone();
+                    if probe.overflows(payload_cap, max_internal) {
+                        break;
+                    }
+                    node = probe;
+                    end += 1;
+                }
+                node.high = level[end - 1].1.clone();
+                nodes.push(node);
+                chunk_start = end;
+            }
+            if nodes.len() == 1 {
+                // The single top node is the new root, written in place.
+                self.write_node(tx, tree, root_ptr, &nodes[0]);
+                return Ok(Attempt::Done(()));
+            }
+            assert!(
+                nodes.len() < level.len(),
+                "bulk_load cannot shrink a level: separator keys too large \
+                 for the configured node payload"
+            );
+            for node in &nodes {
+                let ptr = self.bulk_slot(tree, pool, &mut cursor)?;
+                self.write_node(tx, tree, ptr, node);
+                next.push((node.low.clone(), node.high.clone(), ptr));
+            }
+            level = next;
+            height += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tree::{MinuetCluster, TreeConfig};
+    use minuet_sinfonia::with_op_net;
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("k{i:05}").into_bytes()
+    }
+
+    #[test]
+    fn multi_put_then_multi_get_roundtrip() {
+        let mc = MinuetCluster::new(2, 1, TreeConfig::small_nodes(8));
+        let mut p = mc.proxy();
+        let pairs: Vec<_> = (0..100).map(|i| (key(i), vec![i as u8])).collect();
+        let olds = p.multi_put(0, &pairs).unwrap();
+        assert!(olds.iter().all(|o| o.is_none()));
+
+        let keys: Vec<_> = (0..120).map(key).collect();
+        let got = p.multi_get(0, &keys).unwrap();
+        for (i, v) in got.iter().enumerate() {
+            if i < 100 {
+                assert_eq!(v.as_deref(), Some(&[i as u8][..]), "key {i}");
+            } else {
+                assert!(v.is_none(), "key {i}");
+            }
+        }
+        // Second put over the same keys returns the previous values.
+        let olds = p.multi_put(0, &pairs).unwrap();
+        for (i, o) in olds.iter().enumerate() {
+            assert_eq!(o.as_deref(), Some(&[i as u8][..]));
+        }
+    }
+
+    #[test]
+    fn multi_remove_returns_old_values() {
+        let mc = MinuetCluster::new(2, 1, TreeConfig::small_nodes(8));
+        let mut p = mc.proxy();
+        let pairs: Vec<_> = (0..40).map(|i| (key(i), vec![i as u8])).collect();
+        p.multi_put(0, &pairs).unwrap();
+        let keys: Vec<_> = (0..50).map(key).collect();
+        let olds = p.multi_remove(0, &keys).unwrap();
+        for (i, o) in olds.iter().enumerate() {
+            if i < 40 {
+                assert_eq!(o.as_deref(), Some(&[i as u8][..]));
+            } else {
+                assert!(o.is_none());
+            }
+        }
+        assert!(p.scan_serializable(0, b"", usize::MAX).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_in_batch_behave_sequentially() {
+        let mc = MinuetCluster::new(1, 1, TreeConfig::small_nodes(8));
+        let mut p = mc.proxy();
+        let pairs = vec![(key(1), vec![1]), (key(1), vec![2]), (key(1), vec![3])];
+        let olds = p.multi_put(0, &pairs).unwrap();
+        assert_eq!(olds, vec![None, Some(vec![1]), Some(vec![2])]);
+        assert_eq!(p.get(0, &key(1)).unwrap(), Some(vec![3]));
+    }
+
+    #[test]
+    fn batched_updates_amortize_round_trips() {
+        let mc = MinuetCluster::new(2, 1, TreeConfig::default());
+        let mut p = mc.proxy();
+        let pairs: Vec<_> = (0..64).map(|i| (key(i), vec![0u8; 8])).collect();
+        p.multi_put(0, &pairs).unwrap();
+        // Warm the internal-node cache and tip cache.
+        let keys: Vec<_> = (0..64).map(key).collect();
+        p.multi_get(0, &keys).unwrap();
+
+        // Updates of existing keys: no splits, so the fast path serves
+        // everything. 2 memnodes -> at most 2 fetch + 2 commit trips.
+        let (_, net) = with_op_net(|| {
+            let update: Vec<_> = (0..64).map(|i| (key(i), vec![1u8; 8])).collect();
+            p.multi_put(0, &update).unwrap();
+        });
+        assert!(
+            net.round_trips <= 6,
+            "expected ~4 round trips for 64 batched puts, got {}",
+            net.round_trips
+        );
+        // And far fewer than the ~2 round trips per op of the single path.
+        let (_, single) = with_op_net(|| {
+            p.put(0, key(0), vec![2u8; 8]).unwrap();
+        });
+        assert!(single.round_trips >= 2);
+
+        let (_, getnet) = with_op_net(|| {
+            p.multi_get(0, &keys).unwrap();
+        });
+        assert!(
+            getnet.round_trips <= 2,
+            "expected <=2 round trips for 64 batched gets, got {}",
+            getnet.round_trips
+        );
+    }
+
+    #[test]
+    fn batch_with_splits_stays_correct() {
+        // Tiny nodes force splits mid-batch; conflicting groups fall back.
+        let mc = MinuetCluster::new(2, 1, TreeConfig::small_nodes(4));
+        let mut p = mc.proxy();
+        for round in 0..4u8 {
+            let pairs: Vec<_> = (0..200)
+                .map(|i| (key(i * 7 % 256), vec![round, i as u8]))
+                .collect();
+            p.multi_put(0, &pairs).unwrap();
+        }
+        let scan = p.scan_serializable(0, b"", usize::MAX).unwrap();
+        let distinct: std::collections::HashSet<_> =
+            (0..200u32).map(|i| key(i * 7 % 256)).collect();
+        assert_eq!(scan.len(), distinct.len());
+    }
+
+    #[test]
+    fn bulk_load_builds_searchable_tree() {
+        let mc = MinuetCluster::new(3, 1, TreeConfig::small_nodes(6));
+        let mut p = mc.proxy();
+        let pairs: Vec<_> = (0..500).rev().map(|i| (key(i), vec![i as u8])).collect();
+        assert_eq!(p.bulk_load(0, pairs).unwrap(), 500);
+        for i in (0..500).step_by(37) {
+            assert_eq!(p.get(0, &key(i)).unwrap(), Some(vec![i as u8]), "key {i}");
+        }
+        let scan = p.scan_serializable(0, b"", usize::MAX).unwrap();
+        assert_eq!(scan.len(), 500);
+        assert!(scan.windows(2).all(|w| w[0].0 < w[1].0));
+        // Loaded tree keeps working under further writes and splits.
+        for i in 500..600 {
+            p.put(0, key(i), vec![9]).unwrap();
+        }
+        assert_eq!(p.scan_serializable(0, b"", usize::MAX).unwrap().len(), 600);
+    }
+
+    #[test]
+    fn bulk_load_dedups_and_handles_small_inputs() {
+        let mc = MinuetCluster::new(1, 1, TreeConfig::default());
+        let mut p = mc.proxy();
+        assert_eq!(p.bulk_load(0, Vec::new()).unwrap(), 0);
+        let pairs = vec![(key(1), vec![1]), (key(1), vec![2]), (key(0), vec![0])];
+        assert_eq!(p.bulk_load(0, pairs).unwrap(), 2);
+        assert_eq!(p.get(0, &key(1)).unwrap(), Some(vec![2]));
+        assert_eq!(p.get(0, &key(0)).unwrap(), Some(vec![0]));
+    }
+
+    #[test]
+    fn bulk_load_refuses_non_empty_tree() {
+        let mc = MinuetCluster::new(1, 1, TreeConfig::default());
+        let mut p = mc.proxy();
+        p.put(0, key(0), vec![1]).unwrap();
+        match p.bulk_load(0, vec![(key(1), vec![1])]) {
+            Err(crate::error::Error::TreeNotEmpty { tree: 0 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // The original data is untouched.
+        assert_eq!(p.get(0, &key(0)).unwrap(), Some(vec![1]));
+    }
+
+    #[test]
+    fn full_validation_mode_falls_back_to_per_key_path() {
+        let cfg = TreeConfig {
+            mode: crate::tree::ConcurrencyMode::FullValidation,
+            ..TreeConfig::small_nodes(8)
+        };
+        let mc = MinuetCluster::new(2, 1, cfg);
+        let mut p = mc.proxy();
+        let pairs: Vec<_> = (0..50).map(|i| (key(i), vec![i as u8])).collect();
+        p.multi_put(0, &pairs).unwrap();
+        let keys: Vec<_> = (0..50).map(key).collect();
+        let got = p.multi_get(0, &keys).unwrap();
+        assert!(got
+            .iter()
+            .enumerate()
+            .all(|(i, v)| v.as_deref() == Some(&[i as u8][..])));
+        assert_eq!(p.stats.batched_ops, 0);
+        assert!(p.stats.batch_fallbacks >= 100);
+    }
+}

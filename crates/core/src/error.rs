@@ -75,6 +75,13 @@ pub enum Error {
     /// Creating or opening a memnode's durable state failed (message
     /// carries the underlying I/O error).
     Storage(String),
+    /// `bulk_load` was called on a tree whose mainline tip is not a fresh
+    /// empty root (the bottom-up builder only runs against empty trees;
+    /// use `multi_put` for incremental batched ingest).
+    TreeNotEmpty {
+        /// The non-empty tree.
+        tree: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -103,6 +110,12 @@ impl fmt::Display for Error {
                 write!(f, "elastic operation unsupported: {why}")
             }
             Error::Storage(why) => write!(f, "memnode storage error: {why}"),
+            Error::TreeNotEmpty { tree } => {
+                write!(
+                    f,
+                    "bulk_load requires an empty tree, but tree {tree} has data"
+                )
+            }
         }
     }
 }

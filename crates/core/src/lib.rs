@@ -38,6 +38,7 @@
 //! ```
 
 pub mod alloc;
+pub mod batch;
 pub mod cache;
 pub mod catalog;
 pub mod clone;

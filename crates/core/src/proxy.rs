@@ -36,6 +36,24 @@ pub(crate) enum OpTarget {
 /// A per-thread client handle. Create with
 /// [`MinuetCluster::proxy`](crate::tree::MinuetCluster::proxy); cheap to
 /// create, not shareable across threads (spawn one per worker).
+///
+/// Besides the single-key operations shown here, a proxy offers range
+/// scans (`scan_at`, `scan_serializable`), snapshot and branch creation,
+/// multi-key transactions ([`Proxy::txn`]), and the batched multi-op API
+/// (`multi_get` / `multi_put` / `multi_remove` / `bulk_load` in
+/// [`crate::batch`]).
+///
+/// ```
+/// use minuet_core::{MinuetCluster, TreeConfig};
+///
+/// let mc = MinuetCluster::new(2, 1, TreeConfig::default());
+/// let mut p = mc.proxy();
+/// assert_eq!(p.put(0, b"a".to_vec(), b"1".to_vec()).unwrap(), None);
+/// assert_eq!(p.get(0, b"a").unwrap(), Some(b"1".to_vec()));
+/// assert_eq!(p.remove(0, b"a").unwrap(), Some(b"1".to_vec()));
+/// // Per-operation statistics accumulate on the handle.
+/// assert_eq!(p.stats.ops, 3);
+/// ```
 pub struct Proxy {
     pub(crate) mc: Arc<MinuetCluster>,
     pub(crate) home: MemNodeId,
@@ -47,7 +65,7 @@ pub struct Proxy {
     pub stats: ProxyStats,
 }
 
-fn backoff(attempt: usize) {
+pub(crate) fn backoff(attempt: usize) {
     use std::cell::Cell;
     thread_local! {
         static SEED: Cell<u64> = const { Cell::new(0x9E3779B97F4A7C15) };

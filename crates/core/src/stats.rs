@@ -59,6 +59,14 @@ pub struct ProxyStats {
     pub retries_stale_tip: u64,
     /// Retries caused by torn node decodes.
     pub retries_torn: u64,
+    /// Operations served through the batched multi-op fast path (shared
+    /// traversal + grouped leaf fetches + pipelined commits).
+    pub batched_ops: u64,
+    /// Multi-op members that fell back to the per-key path (conflicts,
+    /// fence/version misses, or unsupported configurations).
+    pub batch_fallbacks: u64,
+    /// Per-leaf groups formed by the batch planner.
+    pub batch_groups: u64,
     /// Copy-on-write node copies performed.
     pub cow_copies: u64,
     /// Discretionary copies performed (§5.2).

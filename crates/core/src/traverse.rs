@@ -31,9 +31,16 @@ pub(crate) enum LeafAccess {
     Transactional,
     /// Dirty read: reads on read-only snapshots never validate (§4.2).
     Dirty,
+    /// Routing probe for the batch path: the stop node is dirty-read
+    /// through the proxy's node cache (so repeated routes are free), and a
+    /// root shallower than the requested stop height terminates the
+    /// traversal at the root instead of aborting — the caller handles
+    /// single-level trees itself.
+    Route,
 }
 
 /// One node on a traversed path.
+#[derive(Clone)]
 pub(crate) struct PathEntry {
     /// Where the node actually lives (after following copy redirects).
     pub ptr: NodePtr,
@@ -271,6 +278,7 @@ impl Proxy {
                 match leaf_access {
                     LeafAccess::Transactional => FetchStyle::Transactional,
                     LeafAccess::Dirty => FetchStyle::DirtyUncached,
+                    LeafAccess::Route => FetchStyle::DirtyCached,
                 }
             } else {
                 FetchStyle::DirtyCached
@@ -323,6 +331,12 @@ impl Proxy {
                     return Ok(Attempt::Retry(RetryCause::HeightMismatch));
                 }
             } else if entry.node.height < stop_height {
+                if leaf_access == LeafAccess::Route {
+                    // Routing a tree shallower than the stop level (e.g.
+                    // the root is still a leaf): stop at the root.
+                    path.push(entry);
+                    return Ok(Attempt::Done(path));
+                }
                 // Root shallower than the requested stop level: stale root
                 // observation.
                 return Ok(Attempt::Retry(RetryCause::StaleTip));

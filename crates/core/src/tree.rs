@@ -118,6 +118,23 @@ pub(crate) struct TreeShared {
 
 /// A Minuet cluster hosting one or more distributed multiversion B-trees
 /// over a simulated Sinfonia cluster.
+///
+/// All client operations go through per-thread [`Proxy`] handles:
+///
+/// ```
+/// use minuet_core::{MinuetCluster, TreeConfig};
+///
+/// // 2 memnodes hosting 1 tree, bootstrapped and ready.
+/// let mc = MinuetCluster::new(2, 1, TreeConfig::default());
+/// let mut p = mc.proxy();
+/// p.put(0, b"k".to_vec(), b"v".to_vec()).unwrap();
+/// assert_eq!(p.get(0, b"k").unwrap(), Some(b"v".to_vec()));
+///
+/// // A frozen snapshot scans consistently while writes continue (§4).
+/// let snap = p.create_snapshot(0).unwrap();
+/// p.remove(0, b"k").unwrap();
+/// assert_eq!(p.scan_at(0, snap.frozen_sid, b"", 10).unwrap().len(), 1);
+/// ```
 pub struct MinuetCluster {
     /// The underlying Sinfonia cluster.
     pub sinfonia: Arc<SinfoniaCluster>,

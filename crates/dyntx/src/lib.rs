@@ -39,4 +39,4 @@ pub mod txn;
 
 pub use cache::{CachedObj, ObjectCache};
 pub use object::{decode_obj, encode_obj, ObjRef, ObjVal, ReplRef, SeqNo, OBJ_HEADER};
-pub use txn::{CommitInfo, DynTx, TxError, TxKey};
+pub use txn::{commit_many, CommitInfo, DynTx, StagedCommit, TxError, TxKey};

@@ -344,20 +344,26 @@ impl<'c> DynTx<'c> {
     /// every write atomically; it commits at a single memnode (one phase)
     /// whenever all items land there.
     pub fn commit(self) -> Result<CommitInfo, TxError> {
+        self.stage_commit().execute()
+    }
+
+    /// Builds the commit minitransaction without executing it, so several
+    /// transactions' commits can be pipelined through one batched
+    /// [`SinfoniaCluster::exec_many`] round trip per memnode (see
+    /// [`commit_many`]). Consumes the transaction. Replicated writes are
+    /// *not* fanned out to replicas here: the expansion happens at
+    /// execution time under the membership gate, so staging any number of
+    /// commits never holds a lock (holding several gate read guards on
+    /// one thread could deadlock against a parked `add_memnode` writer).
+    pub fn stage_commit(self) -> StagedCommit<'c> {
         if self.write_set.is_empty() && self.raw_writes.is_empty() && self.fully_validated {
-            return Ok(CommitInfo {
+            return StagedCommit {
+                cluster: self.cluster,
+                m: None,
+                repl_writes: Vec::new(),
                 installed: Vec::new(),
-                validation_skipped: true,
-            });
+            };
         }
-        // Replicated writes snapshot the membership to enumerate replicas;
-        // hold the membership gate until execution so an elastic
-        // `add_memnode` cannot add a replica this commit would miss.
-        let _membership = if self.write_set.keys().any(|k| matches!(k, TxKey::Repl(_))) {
-            Some(self.cluster.membership_guard())
-        } else {
-            None
-        };
 
         let mut m = Minitransaction::new();
         if let Some(budget) = self.blocking_commit {
@@ -396,6 +402,7 @@ impl<'c> DynTx<'c> {
         }
 
         let mut installed = Vec::with_capacity(self.write_set.len());
+        let mut repl_writes = Vec::new();
         for (key, (payload, pinned)) in &self.write_set {
             let new_seqno = pinned.unwrap_or_else(|| self.cluster.next_txid());
             let image = encode_obj(new_seqno, payload);
@@ -404,12 +411,9 @@ impl<'c> DynTx<'c> {
                     let range = minuet_sinfonia::ItemRange::new(r.mem, r.off, image.len() as u32);
                     m.write(range, image);
                 }
-                TxKey::Repl(r) => {
-                    for mem in self.cluster.memnode_ids() {
-                        let range = minuet_sinfonia::ItemRange::new(mem, r.off, image.len() as u32);
-                        m.write(range, image.clone());
-                    }
-                }
+                // Deferred: expanded to one write per replica at execution
+                // time, under the membership gate.
+                TxKey::Repl(r) => repl_writes.push((*r, image)),
             }
             installed.push((*key, new_seqno));
         }
@@ -417,7 +421,45 @@ impl<'c> DynTx<'c> {
             m.write(*range, data.clone());
         }
 
-        match self.cluster.execute(&m)? {
+        StagedCommit {
+            cluster: self.cluster,
+            m: Some(m),
+            repl_writes,
+            installed,
+        }
+    }
+}
+
+/// A commit that has been fully assembled but not yet executed: the commit
+/// minitransaction (absent for read-only, fully piggy-back-validated
+/// transactions), any replicated writes awaiting their per-replica
+/// expansion, and the seqnos the commit installs on success. Replicated
+/// writes fan out at execution time under the membership gate, so an
+/// elastic `add_memnode` cannot add a replica the commit would miss —
+/// and a staged commit holds no locks while it waits. Produced by
+/// [`DynTx::stage_commit`], consumed by [`StagedCommit::execute`] or
+/// [`commit_many`].
+pub struct StagedCommit<'c> {
+    cluster: &'c SinfoniaCluster,
+    m: Option<Minitransaction>,
+    repl_writes: Vec<(ReplRef, Vec<u8>)>,
+    installed: Vec<(TxKey, SeqNo)>,
+}
+
+impl<'c> StagedCommit<'c> {
+    /// True if no commit minitransaction is needed (read-only, fully
+    /// validated by piggy-backed compares).
+    pub fn is_noop(&self) -> bool {
+        self.m.is_none()
+    }
+
+    /// The cluster this commit targets.
+    pub fn cluster(&self) -> &'c SinfoniaCluster {
+        self.cluster
+    }
+
+    fn into_info(installed: Vec<(TxKey, SeqNo)>, outcome: Outcome) -> Result<CommitInfo, TxError> {
+        match outcome {
             Outcome::Committed(_) => Ok(CommitInfo {
                 installed,
                 validation_skipped: false,
@@ -425,6 +467,123 @@ impl<'c> DynTx<'c> {
             Outcome::FailedCompare(_) => Err(TxError::Validation),
         }
     }
+
+    /// Expands the deferred replicated writes into `m`, one write item per
+    /// current replica. The caller must hold the membership gate whenever
+    /// `repl_writes` is nonempty.
+    fn expand_repl_writes(
+        m: &mut Minitransaction,
+        repl_writes: &[(ReplRef, Vec<u8>)],
+        cluster: &SinfoniaCluster,
+    ) {
+        for (r, image) in repl_writes {
+            for mem in cluster.memnode_ids() {
+                let range = minuet_sinfonia::ItemRange::new(mem, r.off, image.len() as u32);
+                m.write(range, image.clone());
+            }
+        }
+    }
+
+    /// Executes the staged commit on its own (the unbatched path).
+    pub fn execute(self) -> Result<CommitInfo, TxError> {
+        let Some(mut m) = self.m else {
+            return Ok(CommitInfo {
+                installed: Vec::new(),
+                validation_skipped: true,
+            });
+        };
+        // Replicated writes snapshot the membership to enumerate replicas;
+        // hold the gate until the minitransaction has executed so an
+        // elastic `add_memnode` cannot add a replica this commit misses.
+        let _membership = if self.repl_writes.is_empty() {
+            None
+        } else {
+            Some(self.cluster.membership_guard())
+        };
+        Self::expand_repl_writes(&mut m, &self.repl_writes, self.cluster);
+        let outcome = self.cluster.execute(&m)?;
+        Self::into_info(self.installed, outcome)
+    }
+}
+
+/// Executes many staged commits as one batch: the commit minitransactions
+/// go through [`SinfoniaCluster::exec_many`], so N single-memnode commits
+/// bound for the same memnode cost one round trip instead of N. Each
+/// commit validates and applies independently (there is no atomicity
+/// across batch members); per-transaction outcomes are returned in input
+/// order, [`TxError::Validation`] marking the members whose read sets went
+/// stale. All staged commits must target the same cluster.
+///
+/// ```
+/// use minuet_sinfonia::{ClusterConfig, MemNodeId, SinfoniaCluster};
+/// use minuet_dyntx::{commit_many, DynTx, ObjRef};
+///
+/// let cluster = SinfoniaCluster::new(ClusterConfig::with_memnodes(1));
+/// let staged: Vec<_> = (0..4u64)
+///     .map(|i| {
+///         let mut tx = DynTx::new(&cluster);
+///         tx.write(ObjRef::new(MemNodeId(0), i * 64, 64), vec![i as u8]);
+///         tx.stage_commit()
+///     })
+///     .collect();
+/// // All four commits share one batched round trip to memnode 0.
+/// let results = commit_many(staged).unwrap();
+/// assert!(results.iter().all(|r| r.is_ok()));
+/// ```
+pub fn commit_many(
+    staged: Vec<StagedCommit<'_>>,
+) -> Result<Vec<Result<CommitInfo, TxError>>, TxError> {
+    let Some(first) = staged.first() else {
+        return Ok(Vec::new());
+    };
+    let cluster = first.cluster;
+    // Mixing clusters would silently apply every member to the first
+    // cluster's memnodes; the pointer comparisons are cheap enough to
+    // keep in release builds.
+    assert!(
+        staged
+            .iter()
+            .all(|s| std::ptr::eq(s.cluster as *const _, cluster as *const _)),
+        "commit_many across clusters"
+    );
+    // One gate acquisition covers every member's replicated fan-out
+    // (never take the gate per member: multiple read guards on one
+    // thread can deadlock against a parked add_memnode writer).
+    let _membership = if staged.iter().any(|s| !s.repl_writes.is_empty()) {
+        Some(cluster.membership_guard())
+    } else {
+        None
+    };
+    // Move each commit minitransaction out (no payload clones) while
+    // remembering which members have one.
+    let mut batch: Vec<Minitransaction> = Vec::with_capacity(staged.len());
+    let mut members: Vec<(bool, Vec<(TxKey, SeqNo)>)> = Vec::with_capacity(staged.len());
+    for s in staged {
+        match s.m {
+            Some(mut m) => {
+                StagedCommit::expand_repl_writes(&mut m, &s.repl_writes, cluster);
+                batch.push(m);
+                members.push((true, s.installed));
+            }
+            None => members.push((false, s.installed)),
+        }
+    }
+    let outcomes = cluster.exec_many(&batch)?;
+    let mut outcomes = outcomes.into_iter();
+    Ok(members
+        .into_iter()
+        .map(|(has_minitx, installed)| {
+            if has_minitx {
+                let outcome = outcomes.next().expect("one outcome per minitx");
+                StagedCommit::into_info(installed, outcome)
+            } else {
+                Ok(CommitInfo {
+                    installed: Vec::new(),
+                    validation_skipped: true,
+                })
+            }
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -652,6 +811,79 @@ mod tests {
         assert_eq!(net.round_trips, 1);
         let mut t = DynTx::new(&c);
         assert_eq!(t.read(o).unwrap(), b"fresh");
+    }
+
+    #[test]
+    fn commit_many_batches_colocated_commits_into_one_round_trip() {
+        let c = cluster(2);
+        // Blind writes to 8 distinct objects on memnode 0.
+        let staged: Vec<StagedCommit<'_>> = (0..8)
+            .map(|i| {
+                let mut t = DynTx::new(&c);
+                t.write(obj(0, i * 64), format!("v{i}").into_bytes());
+                t.stage_commit()
+            })
+            .collect();
+        let (results, net) = with_op_net(|| commit_many(staged).unwrap());
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(net.round_trips, 1);
+        for i in 0..8 {
+            let mut t = DynTx::new(&c);
+            assert_eq!(
+                t.read(obj(0, i * 64)).unwrap(),
+                format!("v{i}").into_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn commit_many_isolates_validation_failures() {
+        let c = cluster(1);
+        let a = obj(0, 0);
+        let b = obj(0, 64);
+        let mut t0 = DynTx::new(&c);
+        t0.write(a, b"a0".to_vec());
+        t0.write(b, b"b0".to_vec());
+        t0.commit().unwrap();
+
+        // Two updaters; a concurrent writer invalidates only `a`.
+        let mut ta = DynTx::new(&c);
+        let _ = ta.read(a).unwrap();
+        ta.write(a, b"a1".to_vec());
+        let mut tb = DynTx::new(&c);
+        let _ = tb.read(b).unwrap();
+        tb.write(b, b"b1".to_vec());
+
+        let mut interloper = DynTx::new(&c);
+        let _ = interloper.read(a).unwrap();
+        interloper.write(a, b"ax".to_vec());
+        interloper.commit().unwrap();
+
+        let results = commit_many(vec![ta.stage_commit(), tb.stage_commit()]).unwrap();
+        assert_eq!(results[0].as_ref().unwrap_err(), &TxError::Validation);
+        assert!(results[1].is_ok());
+        let mut t = DynTx::new(&c);
+        assert_eq!(t.read(a).unwrap(), b"ax");
+        assert_eq!(t.read(b).unwrap(), b"b1");
+    }
+
+    #[test]
+    fn commit_many_passes_noop_commits_through() {
+        let c = cluster(1);
+        let a = obj(0, 0);
+        let mut t0 = DynTx::new(&c);
+        t0.write(a, b"a".to_vec());
+        t0.commit().unwrap();
+
+        let mut ro = DynTx::new(&c);
+        let _ = ro.read(a).unwrap();
+        let mut w = DynTx::new(&c);
+        w.write(obj(0, 64), b"w".to_vec());
+
+        let results = commit_many(vec![ro.stage_commit(), w.stage_commit()]).unwrap();
+        assert!(results[0].as_ref().unwrap().validation_skipped);
+        assert!(!results[1].as_ref().unwrap().validation_skipped);
+        assert!(commit_many(Vec::new()).unwrap().is_empty());
     }
 
     #[test]

@@ -352,6 +352,13 @@ impl SinfoniaCluster {
         crate::exec::execute(self, m)
     }
 
+    /// Executes a batch of independent minitransactions, sharing one round
+    /// trip per participant memnode for the single-memnode members (see
+    /// [`crate::exec::execute_many`]). No atomicity across members.
+    pub fn exec_many(&self, ms: &[Minitransaction]) -> Result<Vec<Outcome>, SinfoniaError> {
+        crate::exec::execute_many(self, ms)
+    }
+
     /// Injects a crash at the given memnode.
     pub fn crash(&self, id: MemNodeId) {
         self.node(id).crash();

@@ -4,12 +4,18 @@
 //! one phase when a single memnode is involved, transparent retry on lock
 //! contention with jittered exponential backoff, and bounded retry against
 //! crashed participants (waiting for failover/recovery).
+//!
+//! [`execute_many`] adds the batched path: independent single-memnode
+//! minitransactions bound for the same memnode share one round trip, so a
+//! batch of N co-located one-phase commits costs ~1 round trip instead of
+//! N — the substrate the B-tree's multi-op API builds on.
 
 use crate::cluster::SinfoniaCluster;
 use crate::error::SinfoniaError;
 use crate::lock::TxId;
 use crate::memnode::{SingleResult, Vote};
 use crate::minitx::{LockPolicy, Minitransaction, Outcome, ReadResults};
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Cheap thread-local xorshift for backoff jitter (no rand dependency in
@@ -77,6 +83,80 @@ pub fn execute(cluster: &SinfoniaCluster, m: &Minitransaction) -> Result<Outcome
             }
         }
     }
+}
+
+/// Executes a batch of **independent** minitransactions, amortizing round
+/// trips: the single-memnode minitransactions are grouped by participant
+/// and each group is delivered to its memnode in one batched round trip
+/// (the one-phase commits piggyback on the same request). Multi-memnode
+/// minitransactions, and any batch member that hits lock contention or a
+/// crashed participant in the batched pass, fall back to the standard
+/// [`execute`] path individually.
+///
+/// The batch carries **no atomicity guarantee across its members**: each
+/// minitransaction commits or fails its compares on its own, exactly as if
+/// executed alone, and members may interleave with concurrent
+/// minitransactions from other coordinators. Outcomes are returned in
+/// input order.
+pub fn execute_many(
+    cluster: &SinfoniaCluster,
+    ms: &[Minitransaction],
+) -> Result<Vec<Outcome>, SinfoniaError> {
+    let mut out: Vec<Option<Outcome>> = (0..ms.len()).map(|_| None).collect();
+
+    // Partition: single-memnode minitransactions group by their memnode,
+    // everything else executes individually below.
+    let mut groups: BTreeMap<crate::addr::MemNodeId, Vec<usize>> = BTreeMap::new();
+    let mut singles: Vec<usize> = Vec::new();
+    for (i, m) in ms.iter().enumerate() {
+        debug_assert!(!m.is_empty(), "empty minitransaction in batch");
+        let participants = m.participants();
+        if participants.len() == 1 {
+            groups.entry(participants[0]).or_default().push(i);
+        } else {
+            singles.push(i);
+        }
+    }
+
+    let service = cluster.service_time();
+    let mut leftovers: Vec<usize> = Vec::new();
+    for (mem, idxs) in &groups {
+        // One batched request to this memnode: one round trip carrying
+        // `idxs.len()` packed minitransactions (counted as messages).
+        cluster.transport.round_trip(idxs.len());
+        let node = cluster.node(*mem);
+        for &i in idxs {
+            let m = &ms[i];
+            let policy = m.policy.unwrap_or(LockPolicy::AbortOnBusy);
+            let shards = m.shard();
+            let shard = shards.get(mem).expect("single participant shard");
+            node.occupy(service);
+            let txid: TxId = cluster.next_txid();
+            match node.exec_single(txid, shard, policy) {
+                // Contention or a crash mid-batch: retry this member alone
+                // through the standard backoff/recovery-wait machinery.
+                Err(_) | Ok(SingleResult::Busy) => leftovers.push(i),
+                Ok(SingleResult::BadCompare(idx)) => {
+                    out[i] = Some(Outcome::FailedCompare(idx));
+                }
+                Ok(SingleResult::Committed(pairs)) => {
+                    let mut reads: Vec<Vec<u8>> = vec![Vec::new(); m.reads.len()];
+                    for (j, data) in pairs {
+                        reads[j] = data;
+                    }
+                    out[i] = Some(Outcome::Committed(ReadResults { data: reads }));
+                }
+            }
+        }
+    }
+
+    for i in singles.into_iter().chain(leftovers) {
+        out[i] = Some(execute(cluster, &ms[i])?);
+    }
+    Ok(out
+        .into_iter()
+        .map(|o| o.expect("outcome filled"))
+        .collect())
 }
 
 enum TryResult {
@@ -192,5 +272,131 @@ fn try_once(
             failed_compares.sort_unstable();
             TryResult::Done(Outcome::FailedCompare(failed_compares))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{ItemRange, MemNodeId};
+    use crate::cluster::ClusterConfig;
+    use crate::transport::with_op_net;
+    use std::sync::Arc;
+
+    fn cluster(n: usize) -> Arc<SinfoniaCluster> {
+        SinfoniaCluster::new(ClusterConfig {
+            memnodes: n,
+            capacity_per_node: 1 << 20,
+            ..Default::default()
+        })
+    }
+
+    fn write_at(mem: u16, off: u64, data: Vec<u8>) -> Minitransaction {
+        let mut m = Minitransaction::new();
+        m.write(ItemRange::new(MemNodeId(mem), off, data.len() as u32), data);
+        m
+    }
+
+    #[test]
+    fn batch_to_one_memnode_is_one_round_trip() {
+        let c = cluster(2);
+        let batch: Vec<Minitransaction> = (0..16)
+            .map(|i| write_at(0, i * 8, vec![i as u8; 8]))
+            .collect();
+        let (outcomes, net) = with_op_net(|| c.exec_many(&batch).unwrap());
+        assert!(outcomes.iter().all(|o| o.committed()));
+        assert_eq!(net.round_trips, 1);
+        assert_eq!(net.messages, 16);
+        for i in 0..16u64 {
+            assert_eq!(
+                c.node(MemNodeId(0)).raw_read(i * 8, 8).unwrap(),
+                vec![i as u8; 8]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_spanning_memnodes_is_one_round_trip_per_memnode() {
+        let c = cluster(4);
+        let batch: Vec<Minitransaction> = (0..12)
+            .map(|i| write_at((i % 4) as u16, 64 + (i / 4) * 8, vec![1; 8]))
+            .collect();
+        let (outcomes, net) = with_op_net(|| c.exec_many(&batch).unwrap());
+        assert!(outcomes.iter().all(|o| o.committed()));
+        assert_eq!(net.round_trips, 4);
+    }
+
+    #[test]
+    fn batch_outcomes_keep_input_order_and_isolate_failures() {
+        let c = cluster(2);
+        // Seed a value the middle member's compare will mismatch.
+        assert!(c.execute(&write_at(0, 0, vec![7])).unwrap().committed());
+
+        let mut failing = Minitransaction::new();
+        failing.compare(ItemRange::new(MemNodeId(0), 0, 1), vec![9]);
+        failing.write(ItemRange::new(MemNodeId(0), 8, 1), vec![1]);
+        let mut reading = Minitransaction::new();
+        reading.read(ItemRange::new(MemNodeId(0), 0, 1));
+        let batch = vec![write_at(0, 16, vec![2]), failing, reading];
+
+        let outcomes = c.exec_many(&batch).unwrap();
+        assert!(outcomes[0].committed());
+        match &outcomes[1] {
+            Outcome::FailedCompare(idx) => assert_eq!(idx, &vec![0]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(outcomes[2].clone().into_reads().data[0], vec![7]);
+        // The failed member wrote nothing; the others did.
+        assert_eq!(c.node(MemNodeId(0)).raw_read(8, 1).unwrap(), vec![0]);
+        assert_eq!(c.node(MemNodeId(0)).raw_read(16, 1).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn multi_memnode_members_fall_back_to_two_phase() {
+        let c = cluster(2);
+        let mut multi = Minitransaction::new();
+        multi.write(ItemRange::new(MemNodeId(0), 0, 1), vec![1]);
+        multi.write(ItemRange::new(MemNodeId(1), 0, 1), vec![2]);
+        let batch = vec![write_at(0, 8, vec![3]), multi];
+        let outcomes = c.exec_many(&batch).unwrap();
+        assert!(outcomes.iter().all(|o| o.committed()));
+        assert_eq!(c.node(MemNodeId(0)).raw_read(0, 1).unwrap(), vec![1]);
+        assert_eq!(c.node(MemNodeId(1)).raw_read(0, 1).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn busy_members_retry_individually() {
+        let c = cluster(1);
+        // Hold a lock over offset 0..8 by preparing a 2-phase txn manually.
+        let mut held = Minitransaction::new();
+        held.write(ItemRange::new(MemNodeId(0), 0, 8), vec![1; 8]);
+        let shards = held.shard();
+        let txid = c.next_txid();
+        c.node(MemNodeId(0))
+            .prepare(
+                txid,
+                shards.get(&MemNodeId(0)).unwrap(),
+                LockPolicy::AbortOnBusy,
+                &[MemNodeId(0)],
+            )
+            .unwrap();
+
+        let c2 = c.clone();
+        let batch = vec![write_at(0, 0, vec![2; 8]), write_at(0, 64, vec![3; 8])];
+        let h = std::thread::spawn(move || c2.exec_many(&batch).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        c.node(MemNodeId(0)).commit(txid).unwrap();
+        let outcomes = h.join().unwrap();
+        assert!(outcomes.iter().all(|o| o.committed()));
+        assert_eq!(c.node(MemNodeId(0)).raw_read(0, 8).unwrap(), vec![2; 8]);
+        assert_eq!(c.node(MemNodeId(0)).raw_read(64, 8).unwrap(), vec![3; 8]);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let c = cluster(1);
+        let (outcomes, net) = with_op_net(|| c.exec_many(&[]).unwrap());
+        assert!(outcomes.is_empty());
+        assert_eq!(net.round_trips, 0);
     }
 }

@@ -27,6 +27,17 @@
 //! m.write(ItemRange::new(MemNodeId(0), 0, 3), b"foo".to_vec());
 //! m.write(ItemRange::new(MemNodeId(1), 0, 3), b"bar".to_vec());
 //! assert!(cluster.execute(&m).unwrap().committed());
+//!
+//! // Independent minitransactions batch: co-located members share one
+//! // round trip per memnode (no atomicity across members).
+//! let batch: Vec<Minitransaction> = (0..8u64)
+//!     .map(|i| {
+//!         let mut m = Minitransaction::new();
+//!         m.write(ItemRange::new(MemNodeId(0), 64 + i * 8, 1), vec![i as u8]);
+//!         m
+//!     })
+//!     .collect();
+//! assert!(cluster.exec_many(&batch).unwrap().iter().all(|o| o.committed()));
 //! ```
 
 pub mod addr;

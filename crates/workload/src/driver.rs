@@ -1,11 +1,23 @@
-//! Closed-loop benchmark driver (the YCSB client model).
+//! Benchmark drivers: closed loop (the YCSB client model) and open loop
+//! (fixed arrival rate).
 //!
-//! `threads` workers each own a connection to the system under test and
-//! issue operations back-to-back (closed loop). Latency is measured per
-//! operation; the connection may report *extra* modeled latency (e.g.
-//! network round trips × RTT from the simulated transport) which is added
-//! to the recorded value. Aggregate throughput is ops / measured window,
-//! optionally bucketed into fixed windows for time-series plots (Fig. 14).
+//! **Closed loop** ([`run_closed_loop`]): `threads` workers each own a
+//! connection to the system under test and issue operations back-to-back.
+//! Latency is measured per operation; the connection may report *extra*
+//! modeled latency (e.g. network round trips × RTT from the simulated
+//! transport) which is added to the recorded value. Aggregate throughput
+//! is ops / measured window, optionally bucketed into fixed windows for
+//! time-series plots (Fig. 14).
+//!
+//! **Open loop** ([`run_open_loop`]): requests arrive on a fixed schedule
+//! regardless of completion, the standard methodology for measuring
+//! latency *versus offered load*. Each arrival is a batch of
+//! [`WorkloadSpec::batch_size`] operations; latency is measured from the
+//! request's **scheduled arrival time** to completion, so queueing delay
+//! from a saturated system shows up in the percentiles (closed-loop
+//! drivers hide it by throttling arrivals — the coordinated-omission
+//! trap). When the system cannot keep up, the backlog at the deadline is
+//! reported alongside the achieved throughput.
 
 use crate::hist::{Histogram, LatencySummary};
 use crate::spec::{OpGenerator, OpKind, Operation, SharedState, WorkloadSpec};
@@ -197,6 +209,165 @@ where
     }
 }
 
+/// Open-loop driver configuration.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Worker threads sharing the arrival schedule.
+    pub threads: usize,
+    /// Measured duration.
+    pub duration: Duration,
+    /// Unrecorded warmup before measurement (arrivals run throughout).
+    pub warmup: Duration,
+    /// Total offered load across all workers, in operations per second
+    /// (batches arrive at `offered / batch_size` per second).
+    pub offered_ops_per_s: f64,
+}
+
+impl OpenLoopConfig {
+    /// A config with the given threads, duration, and offered load.
+    pub fn new(threads: usize, duration: Duration, offered_ops_per_s: f64) -> Self {
+        assert!(offered_ops_per_s > 0.0);
+        OpenLoopConfig {
+            threads,
+            duration,
+            warmup: Duration::ZERO,
+            offered_ops_per_s,
+        }
+    }
+
+    /// Adds a warmup phase.
+    pub fn with_warmup(mut self, warmup: Duration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+}
+
+/// Aggregated results of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Measured wall time.
+    pub elapsed: Duration,
+    /// Offered load (ops/s) the schedule generated.
+    pub offered: f64,
+    /// Operations *issued* for in-window arrivals (each is recorded even
+    /// when its completion crossed the deadline, so the slowest request
+    /// of a saturated run cannot vanish from the percentiles).
+    pub ops: u64,
+    /// Achieved throughput (issued ops per second of measured window).
+    pub throughput: f64,
+    /// Latency from scheduled arrival to completion (queueing included).
+    pub latency: LatencySummary,
+    /// Operations whose scheduled arrival fell inside the measured window
+    /// but were never issued before the deadline (saturation indicator);
+    /// `ops + backlog` covers every in-window arrival exactly once.
+    pub backlog: u64,
+}
+
+/// Runs the workload open-loop: each worker issues batches of
+/// `spec.batch_size` operations on a fixed arrival schedule, recording
+/// latency from scheduled arrival to completion. `make_worker(thread_idx)`
+/// builds each worker's connection: a closure executing one batch and
+/// returning the *extra* (modeled) latency to add.
+pub fn run_open_loop<C, F>(
+    cfg: &OpenLoopConfig,
+    spec: &WorkloadSpec,
+    shared: &Arc<SharedState>,
+    make_worker: F,
+) -> OpenLoopReport
+where
+    F: Fn(usize) -> C + Sync,
+    C: FnMut(&[Operation]) -> Duration,
+{
+    let batch = spec.batch_size.max(1);
+    // Per-worker inter-arrival gap: workers share the offered load evenly
+    // and are staggered so aggregate arrivals stay uniform.
+    let batches_per_s = cfg.offered_ops_per_s / batch as f64 / cfg.threads.max(1) as f64;
+    let interval = Duration::from_secs_f64(1.0 / batches_per_s.max(1e-9));
+
+    let start = Instant::now();
+    let measure_from = start + cfg.warmup;
+    let deadline = measure_from + cfg.duration;
+
+    struct OpenResult {
+        hist: Histogram,
+        ops: u64,
+        backlog: u64,
+    }
+
+    let results: Vec<OpenResult> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(cfg.threads);
+        for t in 0..cfg.threads {
+            let make_worker = &make_worker;
+            handles.push(s.spawn(move || {
+                let mut conn = make_worker(t);
+                let mut gen = OpGenerator::new(spec, shared, t as u64 + 1);
+                let mut hist = Histogram::new();
+                let mut ops = 0u64;
+                let mut backlog = 0u64;
+                // Stagger workers across one interval.
+                let mut scheduled = start + interval.mul_f64(t as f64 / cfg.threads.max(1) as f64);
+                loop {
+                    if scheduled >= deadline {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now < scheduled {
+                        std::thread::sleep(scheduled - now);
+                    } else if now >= deadline {
+                        // Behind schedule past the deadline: everything
+                        // still scheduled inside the window is backlog.
+                        let mut missed = scheduled;
+                        while missed < deadline {
+                            if missed >= measure_from {
+                                backlog += batch as u64;
+                            }
+                            missed += interval;
+                        }
+                        break;
+                    }
+                    let request: Vec<Operation> = (0..batch).map(|_| gen.next_op()).collect();
+                    let extra = conn(&request);
+                    let done = Instant::now();
+                    // Open-loop latency: completion minus *scheduled*
+                    // arrival, so waiting behind earlier requests counts.
+                    // Every issued in-window request is recorded, even one
+                    // completing past the deadline — dropping it would
+                    // erase each worker's slowest request exactly in the
+                    // saturation regime this driver exists to measure.
+                    // Accounting: ops + backlog = all in-window arrivals.
+                    let lat = done.saturating_duration_since(scheduled) + extra;
+                    if scheduled >= measure_from {
+                        for _ in 0..batch {
+                            hist.record_duration(lat);
+                        }
+                        ops += batch as u64;
+                    }
+                    scheduled += interval;
+                }
+                OpenResult { hist, ops, backlog }
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut hist = Histogram::new();
+    let mut ops = 0u64;
+    let mut backlog = 0u64;
+    for r in &results {
+        hist.merge(&r.hist);
+        ops += r.ops;
+        backlog += r.backlog;
+    }
+    OpenLoopReport {
+        elapsed: cfg.duration,
+        offered: cfg.offered_ops_per_s,
+        ops,
+        throughput: ops as f64 / cfg.duration.as_secs_f64(),
+        latency: hist.summary(),
+        backlog,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +420,75 @@ mod tests {
         });
         // Mean latency must reflect the 5ms modeled extra.
         assert!(report.latency.mean_ns >= 5_000_000.0);
+    }
+
+    #[test]
+    fn open_loop_tracks_offered_load() {
+        let spec = WorkloadSpec::read_only(100);
+        let shared = SharedState::new(&spec);
+        // 2000 ops/s for 300ms -> ~600 ops; the connection is instant, so
+        // achieved should track offered with no backlog.
+        let cfg = OpenLoopConfig::new(2, Duration::from_millis(300), 2000.0);
+        let report = run_open_loop(&cfg, &spec, &shared, |_t| {
+            |_ops: &[Operation]| Duration::ZERO
+        });
+        assert_eq!(report.backlog, 0);
+        assert!(
+            (report.throughput - 2000.0).abs() < 400.0,
+            "throughput {}",
+            report.throughput
+        );
+        // Instant service: latency is scheduling noise, far below one
+        // inter-arrival gap.
+        assert!(
+            report.latency.p50_ns < 1_000_000,
+            "p50 {}",
+            report.latency.p50_ns
+        );
+    }
+
+    #[test]
+    fn open_loop_batches_arrive_whole() {
+        let spec = WorkloadSpec::read_only(100).with_batch(8);
+        let shared = SharedState::new(&spec);
+        let cfg = OpenLoopConfig::new(1, Duration::from_millis(200), 800.0);
+        let sizes = Arc::new(Mutex::new(Vec::new()));
+        let report = run_open_loop(&cfg, &spec, &shared, |_t| {
+            let sizes = sizes.clone();
+            move |ops: &[Operation]| {
+                sizes.lock().push(ops.len());
+                Duration::ZERO
+            }
+        });
+        assert!(sizes.lock().iter().all(|&s| s == 8));
+        assert_eq!(report.ops % 8, 0);
+    }
+
+    #[test]
+    fn open_loop_overload_reports_queueing_and_backlog() {
+        let spec = WorkloadSpec::read_only(100);
+        let shared = SharedState::new(&spec);
+        // Offer 1000 ops/s but each op takes 5ms -> capacity 200/s: the
+        // latency must blow up with queueing delay and backlog be nonzero.
+        let cfg = OpenLoopConfig::new(1, Duration::from_millis(300), 1000.0);
+        let report = run_open_loop(&cfg, &spec, &shared, |_t| {
+            |_ops: &[Operation]| {
+                std::thread::sleep(Duration::from_millis(5));
+                Duration::ZERO
+            }
+        });
+        assert!(
+            report.throughput < 400.0,
+            "throughput {}",
+            report.throughput
+        );
+        // p99 latency far exceeds the 5ms service time: queueing counted.
+        assert!(
+            report.latency.p99_ns > 20_000_000,
+            "p99 {}",
+            report.latency.p99_ns
+        );
+        assert!(report.backlog > 0);
     }
 
     #[test]

@@ -18,7 +18,12 @@ pub mod report;
 pub mod spec;
 
 pub use dist::{fnv1a, KeyChooser, KeyDist, Zipfian, ZIPFIAN_CONSTANT};
-pub use driver::{run_closed_loop, RunConfig, RunReport};
+pub use driver::{
+    run_closed_loop, run_open_loop, OpenLoopConfig, OpenLoopReport, RunConfig, RunReport,
+};
 pub use hist::{Histogram, LatencySummary};
-pub use report::{fmt_bytes, fmt_count, fmt_ns, occupancy_row, print_table};
+pub use report::{
+    fmt_bytes, fmt_count, fmt_ns, load_latency_row, occupancy_row, print_table,
+    LOAD_LATENCY_HEADERS,
+};
 pub use spec::{encode_key, load_keys, OpGenerator, OpKind, Operation, SharedState, WorkloadSpec};

@@ -1,5 +1,9 @@
 //! Small fixed-width table/series printers used by the benchmark harness
-//! to emit paper-style result tables.
+//! to emit paper-style result tables, plus the standard rows shared
+//! between benches, examples, and tests (per-memnode occupancy and
+//! latency-versus-offered-load).
+
+use crate::hist::LatencySummary;
 
 /// Prints a titled, fixed-width table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -85,6 +89,41 @@ pub fn occupancy_row(
     ]
 }
 
+/// Column headers for the standard latency-vs-offered-load table
+/// produced by the open-loop driver (pair with [`load_latency_row`]).
+pub const LOAD_LATENCY_HEADERS: [&str; 7] = [
+    "offered/s",
+    "achieved/s",
+    "p50",
+    "p95",
+    "p99",
+    "rts/op",
+    "backlog",
+];
+
+/// Builds one row of the standard latency-vs-offered-load table from an
+/// open-loop run: offered and achieved throughput, latency percentiles
+/// (measured from scheduled arrival, so queueing delay is included), the
+/// network round trips per operation observed on the instrumented
+/// transport during the run, and the unserved backlog at the deadline.
+pub fn load_latency_row(
+    offered: f64,
+    achieved: f64,
+    latency: &LatencySummary,
+    round_trips_per_op: f64,
+    backlog: u64,
+) -> Vec<String> {
+    vec![
+        fmt_count(offered),
+        fmt_count(achieved),
+        fmt_ns(latency.p50_ns as f64),
+        fmt_ns(latency.p95_ns as f64),
+        fmt_ns(latency.p99_ns as f64),
+        format!("{round_trips_per_op:.2}"),
+        backlog.to_string(),
+    ]
+}
+
 /// Formats nanoseconds as adaptive ms/µs.
 pub fn fmt_ns(ns: f64) -> String {
     if ns >= 1e6 {
@@ -111,6 +150,23 @@ mod tests {
         assert_eq!(fmt_bytes(512.0), "512B");
         assert_eq!(fmt_bytes(2_500.0), "2.5kB");
         assert_eq!(fmt_bytes(3_000_000.0), "3.0MB");
+    }
+
+    #[test]
+    fn load_latency_row_formats() {
+        let lat = LatencySummary {
+            count: 100,
+            mean_ns: 1.0e6,
+            p50_ns: 900_000,
+            p95_ns: 2_000_000,
+            p99_ns: 5_000_000,
+            max_ns: 9_000_000,
+        };
+        let row = load_latency_row(10_000.0, 9_500.0, &lat, 0.25, 3);
+        assert_eq!(row.len(), LOAD_LATENCY_HEADERS.len());
+        assert_eq!(row[0], "10.0k");
+        assert_eq!(row[5], "0.25");
+        assert_eq!(row[6], "3");
     }
 
     #[test]

@@ -103,6 +103,10 @@ pub struct WorkloadSpec {
     pub value_len: usize,
     /// If set, point ops become `Multi*` ops over this many tables.
     pub multi: Option<usize>,
+    /// Operations issued per batch: drivers hand the connection closure
+    /// `batch_size` operations at a time, so a batching-aware engine can
+    /// amortize round trips across them (1 = unbatched).
+    pub batch_size: usize,
 }
 
 impl WorkloadSpec {
@@ -135,6 +139,7 @@ impl WorkloadSpec {
             dist: KeyDist::Uniform,
             value_len: 8,
             multi: None,
+            batch_size: 1,
         }
     }
 
@@ -153,6 +158,13 @@ impl WorkloadSpec {
     /// Sets the scan length.
     pub fn with_scan_len(mut self, len: usize) -> Self {
         self.scan_len = len;
+        self
+    }
+
+    /// Sets the per-request batch size (operations issued together).
+    pub fn with_batch(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be at least 1");
+        self.batch_size = batch_size;
         self
     }
 }
