@@ -34,6 +34,10 @@ fn ablation_piggyback(n: u64) {
     for piggyback in [true, false] {
         let cfg = TreeConfig {
             piggyback,
+            // Leaf caching would serve every warm read without any fetch
+            // minitransaction, leaving nothing to piggyback onto — the
+            // ablation isolates the fetch-time validation itself.
+            cache_leaves: false,
             ..hb::bench_tree_config()
         };
         let mc = hb::build_minuet(2, 1, cfg);
@@ -57,6 +61,9 @@ fn ablation_cache(n: u64) {
     for cache in [true, false] {
         let cfg = TreeConfig {
             cache_internal_nodes: cache,
+            // Isolate the internal-node cache: leaf caching hides the
+            // leaf-fetch round trip this ablation counts levels against.
+            cache_leaves: false,
             ..hb::bench_tree_config()
         };
         let mc = hb::build_minuet(2, 1, cfg);

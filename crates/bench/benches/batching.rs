@@ -182,15 +182,19 @@ fn main() {
         .iter()
         .map(|&load| {
             let (rt0, _) = mc.sinfonia.transport.stats.snapshot();
+            let (bo0, bi0) = mc.sinfonia.transport.stats.bytes_snapshot();
             let cfg = OpenLoopConfig::new(CLIENTS, bench_secs(), load);
             let report = run_open_loop(&cfg, &spec, &shared, |_t| minuet_batch_conn(mc.clone()));
             let (rt1, _) = mc.sinfonia.transport.stats.snapshot();
+            let (bo1, bi1) = mc.sinfonia.transport.stats.bytes_snapshot();
             let rts_per_op = (rt1 - rt0) as f64 / report.ops.max(1) as f64;
+            let bytes_per_op = ((bo1 - bo0) + (bi1 - bi0)) as f64 / report.ops.max(1) as f64;
             load_latency_row(
                 load,
                 report.throughput,
                 &report.latency,
                 rts_per_op,
+                bytes_per_op,
                 report.backlog,
             )
         })

@@ -46,7 +46,7 @@ use crate::node::{Node, NodeBody, NodePtr};
 use crate::proxy::{backoff, OpTarget, Proxy};
 use crate::traverse::{LeafAccess, OpCtx, PathEntry, VersionCheck};
 use crate::tree::ConcurrencyMode;
-use minuet_dyntx::{commit_many, decode_obj, DynTx, SeqNo, StagedCommit, TxError, TxKey};
+use minuet_dyntx::{commit_many, DynTx, SeqNo, StagedCommit, TxError, TxKey};
 use minuet_sinfonia::{MemNodeId, Minitransaction, Outcome, SinfoniaError};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -68,6 +68,21 @@ enum BatchKind {
 struct LeafGroup {
     route: Vec<PathEntry>,
     members: Vec<usize>,
+}
+
+/// One memnode's fetch/validate plan: the leaf ptrs its minitransaction
+/// reads in full, and `(compare index, ptr)` for the cached leaves it only
+/// revalidates (compare index 0 is always the tip).
+type FetchPlan = (Vec<NodePtr>, Vec<(usize, NodePtr)>);
+
+/// A group leaf as established by the batched fetch/validate round trip:
+/// either freshly read (`raw` holds the image for read-set pinning) or a
+/// cached image whose seqno the fetch minitransaction revalidated
+/// (`raw == None`; mutations pin the version only).
+struct LeafImage {
+    seqno: SeqNo,
+    node: Arc<Node>,
+    raw: Option<minuet_sinfonia::Bytes>,
 }
 
 /// Disposition of one batch attempt.
@@ -287,27 +302,54 @@ impl Proxy {
         }
         self.stats.batch_groups += groups.len() as u64;
 
-        // ---- 2. Fetch every group's leaf, one minitransaction per
-        // memnode, each pinning the tip at the observed seqno. ----
+        // ---- 2. Fetch or revalidate every group's leaf, one
+        // minitransaction per memnode, each pinning the tip at the
+        // observed seqno. A leaf still in the proxy's cache is not
+        // re-shipped: the minitransaction only *compares* its seqno (the
+        // validated-leaf-cache fast path), so a fully warm batched get
+        // moves tens of bytes per memnode instead of full leaf images. ----
+        let cache_leaves = mc.cfg.cache_leaves;
+        let mut cached: BTreeMap<NodePtr, (SeqNo, Arc<Node>)> = BTreeMap::new();
+        if cache_leaves {
+            for &ptr in groups.keys() {
+                if let Some((seqno, node)) = self.ncache.get(tree, ptr) {
+                    if node.height == 0 {
+                        cached.insert(ptr, (seqno, node));
+                    }
+                }
+            }
+        }
         let mut by_mem: BTreeMap<MemNodeId, Vec<NodePtr>> = BTreeMap::new();
         for &ptr in groups.keys() {
             by_mem.entry(ptr.mem).or_default().push(ptr);
         }
-        let fetches: Vec<(MemNodeId, Vec<NodePtr>)> = by_mem.into_iter().collect();
-        let ms: Vec<Minitransaction> = fetches
-            .iter()
-            .map(|(mem, ptrs)| {
-                let mut m = Minitransaction::new();
-                m.compare(
-                    layout.tip().at(*mem).seqno_range(),
-                    tip_seq.to_le_bytes().to_vec(),
-                );
-                for ptr in ptrs {
-                    m.read(layout.node_obj(*ptr).full_range());
+        // Per memnode: the minitransaction plus which ptr each compare
+        // index validates (index 0 is the tip) and which ptrs are read.
+        let mut plans: Vec<FetchPlan> = Vec::new();
+        let mut ms: Vec<Minitransaction> = Vec::new();
+        for (mem, ptrs) in &by_mem {
+            let mut m = Minitransaction::new();
+            m.compare(
+                layout.tip().at(*mem).seqno_range(),
+                tip_seq.to_le_bytes().to_vec(),
+            );
+            let mut read_ptrs = Vec::new();
+            let mut compare_ptrs = Vec::new();
+            for &ptr in ptrs {
+                if let Some((seqno, _)) = cached.get(&ptr) {
+                    let idx = m.compare(
+                        layout.node_obj(ptr).seqno_range(),
+                        seqno.to_le_bytes().to_vec(),
+                    );
+                    compare_ptrs.push((idx, ptr));
+                } else {
+                    m.read(layout.node_obj(ptr).full_range());
+                    read_ptrs.push(ptr);
                 }
-                m
-            })
-            .collect();
+            }
+            plans.push((read_ptrs, compare_ptrs));
+            ms.push(m);
+        }
         let outcomes = match sin.exec_many(&ms) {
             Ok(o) => o,
             Err(SinfoniaError::Unavailable(mem)) => return Err(Error::Unavailable(mem)),
@@ -315,36 +357,81 @@ impl Proxy {
                 panic!("batched leaf fetch out of bounds at {mem}: {detail}")
             }
         };
-        let mut leaves: BTreeMap<NodePtr, (SeqNo, Vec<u8>)> = BTreeMap::new();
-        for ((_, ptrs), outcome) in fetches.iter().zip(outcomes) {
+        let mut leaves: BTreeMap<NodePtr, LeafImage> = BTreeMap::new();
+        let mut stale_leaf = false;
+        for ((read_ptrs, compare_ptrs), outcome) in plans.iter().zip(outcomes) {
             match outcome {
-                Outcome::FailedCompare(_) => {
-                    // The tip moved under us (or the replica is unseeded):
-                    // refresh the cached observation and retry the batch.
-                    self.note_retry(tree, RetryCause::StaleTip);
-                    return Ok(BatchOutcome::Retry);
+                Outcome::FailedCompare(idx) => {
+                    // Distinguish a moved tip (retry everything) from stale
+                    // cached leaves (invalidate just those and retry; the
+                    // next attempt reads them fresh). Invalidate stale
+                    // leaves even when the tip also failed, or the retry
+                    // would re-issue the same doomed compares.
+                    for (ci, ptr) in compare_ptrs {
+                        if idx.contains(ci) {
+                            self.ncache.invalidate(tree, *ptr);
+                            stale_leaf = true;
+                        }
+                    }
+                    if idx.contains(&0) {
+                        self.note_retry(tree, RetryCause::StaleTip);
+                        return Ok(BatchOutcome::Retry);
+                    }
                 }
                 Outcome::Committed(res) => {
-                    for (ptr, raw) in ptrs.iter().zip(res.data) {
-                        let val = decode_obj(&raw);
-                        leaves.insert(*ptr, (val.seqno, val.data));
+                    for (ptr, raw) in read_ptrs.iter().zip(res.data) {
+                        let val = minuet_dyntx::decode_obj_shared(&raw);
+                        if let Ok(node) = Node::decode(&val.data) {
+                            let node = Arc::new(node);
+                            if node.height == 0 && cache_leaves {
+                                self.ncache.put(tree, *ptr, val.seqno, node.clone());
+                            }
+                            leaves.insert(
+                                *ptr,
+                                LeafImage {
+                                    seqno: val.seqno,
+                                    node,
+                                    raw: Some(val.data),
+                                },
+                            );
+                        }
+                        // Undecodable images (freed / rewritten slots) stay
+                        // absent from `leaves`; their groups fall back.
+                    }
+                    for (_, ptr) in compare_ptrs {
+                        let (seqno, node) = cached[ptr].clone();
+                        // Seqno validated in the same minitransaction as
+                        // the tip compare: the cached image is current.
+                        self.stats.leaf_cache_hits += 1;
+                        leaves.insert(
+                            *ptr,
+                            LeafImage {
+                                seqno,
+                                node,
+                                raw: None,
+                            },
+                        );
                     }
                 }
             }
+        }
+        if stale_leaf {
+            self.stats.record_retry(RetryCause::Validation);
+            return Ok(BatchOutcome::Retry);
         }
 
         // ---- 3. Serve each group: answer gets directly; stage mutations
         // and pipeline their commits. ----
         let mut fallback: Vec<usize> = Vec::new();
         let mut staged: Vec<StagedCommit<'_>> = Vec::new();
-        let mut staged_members: Vec<(Vec<usize>, Vec<Option<Value>>)> = Vec::new();
+        let mut staged_members: Vec<(Vec<usize>, Vec<Option<Value>>, NodePtr)> = Vec::new();
         for (leaf_ptr, group) in groups {
-            let (leaf_seq, leaf_raw) = &leaves[&leaf_ptr];
-            let Ok(node) = Node::decode(leaf_raw) else {
+            let Some(img) = leaves.get(&leaf_ptr) else {
                 // Freed or rewritten slot: the route was stale.
                 fallback.extend(group.members);
                 continue;
             };
+            let (leaf_seq, node) = (&img.seqno, img.node.clone());
             let covered = node.height == 0
                 && group
                     .members
@@ -374,15 +461,22 @@ impl Proxy {
                 }
                 BatchKind::Put | BatchKind::Remove => {
                     let mut gtx = DynTx::with_piggyback(&sin, mc.cfg.piggyback);
-                    // Pin the tip and the fetched leaf image into the read
-                    // set (§4.1: the cached tip joins the read set; the
-                    // leaf at the version the grouped fetch observed).
+                    // Pin the tip and the fetched leaf into the read set
+                    // (§4.1: the cached tip joins the read set; the leaf
+                    // at the version the grouped fetch observed or
+                    // revalidated). Cache-served leaves pin the version
+                    // only — commit still validates the seqno.
                     gtx.assume(TxKey::Repl(layout.tip()), tip_seq, tip_val.encode());
-                    gtx.assume(
-                        TxKey::Plain(layout.node_obj(leaf_ptr)),
-                        *leaf_seq,
-                        leaf_raw.clone(),
-                    );
+                    match &img.raw {
+                        Some(raw) => gtx.assume(
+                            TxKey::Plain(layout.node_obj(leaf_ptr)),
+                            *leaf_seq,
+                            raw.clone(),
+                        ),
+                        None => {
+                            gtx.assume_version(TxKey::Plain(layout.node_obj(leaf_ptr)), *leaf_seq)
+                        }
+                    }
                     // Record the routed internal chain as dirty
                     // observations so split/CoW parent rewrites promote
                     // with the right expected versions.
@@ -402,7 +496,7 @@ impl Proxy {
                     let max_entries = mc.cfg.max_leaf_entries;
                     let mut members = group.members.clone();
                     members.sort_unstable();
-                    let mut new_leaf = node.clone();
+                    let mut new_leaf = (*node).clone();
                     let mut applied: Vec<usize> = Vec::new();
                     let mut olds: Vec<Option<Value>> = Vec::new();
                     for (pos, &i) in members.iter().enumerate() {
@@ -430,13 +524,13 @@ impl Proxy {
                         ptr: leaf_ptr,
                         link: leaf_ptr,
                         seqno: *leaf_seq,
-                        node: Arc::new(node),
+                        node,
                     });
                     let level = path.len() - 1;
                     match self.materialize(&mut gtx, tree, &ctx, &path, level, new_leaf)? {
                         Attempt::Done(()) => {
                             staged.push(gtx.stage_commit());
-                            staged_members.push((members, olds));
+                            staged_members.push((members, olds, leaf_ptr));
                         }
                         Attempt::Retry(_) => fallback.extend(members),
                     }
@@ -451,7 +545,7 @@ impl Proxy {
             TxError::Validation => unreachable!("exec_many reports validation per member"),
         })?;
         let mut requeue: Vec<usize> = Vec::new();
-        for ((members, olds), outcome) in staged_members.into_iter().zip(commit_results) {
+        for ((members, olds, leaf_ptr), outcome) in staged_members.into_iter().zip(commit_results) {
             match outcome {
                 Ok(_) => {
                     self.stats.ops += members.len() as u64;
@@ -463,8 +557,9 @@ impl Proxy {
                 Err(TxError::Validation) => {
                     // A concurrent writer won this leaf. The tip is not
                     // implicated (its staleness surfaces as a fetch-time
-                    // FailedCompare), so keep the cached tip and re-batch
-                    // these members against a fresh leaf image.
+                    // FailedCompare), so drop the now-stale cached leaf and
+                    // re-batch these members against a fresh image.
+                    self.ncache.invalidate(tree, leaf_ptr);
                     self.stats.record_retry(RetryCause::Validation);
                     requeue.extend(members);
                 }

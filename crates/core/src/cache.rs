@@ -1,39 +1,93 @@
 //! Per-proxy cache of decoded B-tree nodes.
 //!
 //! Proxies cache internal nodes to traverse the upper levels of the tree
-//! without round trips (§2.3). The cache is non-coherent: stale entries are
+//! without round trips (§2.3), and — since the hot-path overhaul — leaf
+//! nodes as well: a get over a cached leaf revalidates the observed
+//! sequence number with a compare-only minitransaction instead of
+//! re-shipping the full leaf image (the paper's version-number validation,
+//! applied one level deeper). The cache is non-coherent: stale entries are
 //! detected by fence-key checks, version-tag checks, and commit-time
-//! validation, all of which invalidate the offending entries and retry.
-//! Leaves are not cached (they change too often to be worth it, matching
-//! the prototype in the paper).
+//! seqno validation, all of which invalidate the offending entries and
+//! retry.
+//!
+//! The cache is **bounded**: entries above the configured capacity are
+//! evicted with a CLOCK (second-chance) sweep, so large trees cannot grow
+//! a proxy's footprint without bound. Hits, misses, and evictions are
+//! counted for the bench reports.
 
 use crate::node::{Node, NodePtr};
 use minuet_dyntx::SeqNo;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A per-proxy decoded-node cache keyed by `(tree, ptr)`.
-#[derive(Default)]
+/// Default capacity (in nodes) of a proxy's cache; see
+/// [`crate::tree::TreeConfig::node_cache_capacity`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 8192;
+
+struct Slot {
+    key: (u32, NodePtr),
+    seqno: SeqNo,
+    node: Arc<Node>,
+    /// CLOCK reference bit: set on hit, cleared as the hand sweeps by.
+    referenced: bool,
+}
+
+/// A per-proxy decoded-node cache keyed by `(tree, ptr)`, bounded by a
+/// CLOCK eviction sweep.
 pub struct NodeCache {
-    map: HashMap<(u32, NodePtr), (SeqNo, Arc<Node>)>,
+    map: HashMap<(u32, NodePtr), usize>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    hand: usize,
+    capacity: usize,
     /// Lookups that hit.
     pub hits: u64,
     /// Lookups that missed.
     pub misses: u64,
+    /// Entries evicted by the CLOCK sweep (not counting explicit
+    /// invalidations).
+    pub evictions: u64,
+}
+
+impl Default for NodeCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl NodeCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Creates an empty cache bounded at `capacity` nodes (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        NodeCache {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            hand: 0,
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configured capacity in nodes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Looks up a cached node.
     pub fn get(&mut self, tree: u32, ptr: NodePtr) -> Option<(SeqNo, Arc<Node>)> {
         match self.map.get(&(tree, ptr)) {
-            Some(e) => {
+            Some(&idx) => {
+                let slot = self.slots[idx].as_mut().expect("mapped slot occupied");
+                slot.referenced = true;
                 self.hits += 1;
-                Some(e.clone())
+                Some((slot.seqno, slot.node.clone()))
             }
             None => {
                 self.misses += 1;
@@ -42,19 +96,76 @@ impl NodeCache {
         }
     }
 
-    /// Installs a node image.
+    /// Installs a node image, evicting per CLOCK when at capacity.
     pub fn put(&mut self, tree: u32, ptr: NodePtr, seqno: SeqNo, node: Arc<Node>) {
-        self.map.insert((tree, ptr), (seqno, node));
+        let key = (tree, ptr);
+        if let Some(&idx) = self.map.get(&key) {
+            let slot = self.slots[idx].as_mut().expect("mapped slot occupied");
+            slot.seqno = seqno;
+            slot.node = node;
+            slot.referenced = true;
+            return;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None if self.slots.len() < self.capacity => {
+                self.slots.push(None);
+                self.slots.len() - 1
+            }
+            None => self.evict(),
+        };
+        self.map.insert(key, idx);
+        // Fresh entries start unreferenced: only an actual hit earns the
+        // second chance, so a scan of cold nodes cannot flush the hot set.
+        self.slots[idx] = Some(Slot {
+            key,
+            seqno,
+            node,
+            referenced: false,
+        });
+    }
+
+    /// CLOCK sweep: advance the hand, clearing reference bits, until an
+    /// unreferenced entry is found; evict it and return its slot index.
+    /// Terminates within two sweeps (all bits cleared after one).
+    fn evict(&mut self) -> usize {
+        debug_assert!(!self.slots.is_empty());
+        loop {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            let Some(slot) = self.slots[idx].as_mut() else {
+                continue;
+            };
+            if slot.referenced {
+                slot.referenced = false;
+                continue;
+            }
+            self.map.remove(&slot.key);
+            self.slots[idx] = None;
+            self.evictions += 1;
+            return idx;
+        }
     }
 
     /// Drops one entry.
     pub fn invalidate(&mut self, tree: u32, ptr: NodePtr) {
-        self.map.remove(&(tree, ptr));
+        if let Some(idx) = self.map.remove(&(tree, ptr)) {
+            self.slots[idx] = None;
+            self.free.push(idx);
+        }
     }
 
     /// Drops every entry of one tree.
     pub fn invalidate_tree(&mut self, tree: u32) {
-        self.map.retain(|(t, _), _| *t != tree);
+        let doomed: Vec<NodePtr> = self
+            .map
+            .keys()
+            .filter(|(t, _)| *t == tree)
+            .map(|&(_, p)| p)
+            .collect();
+        for ptr in doomed {
+            self.invalidate(tree, ptr);
+        }
     }
 
     /// Number of cached nodes.
@@ -103,5 +214,57 @@ mod tests {
         c.invalidate_tree(0);
         assert!(c.get(0, ptr(1)).is_none());
         assert!(c.get(1, ptr(1)).is_some());
+    }
+
+    #[test]
+    fn capacity_bounds_and_clock_eviction() {
+        let mut c = NodeCache::with_capacity(4);
+        for i in 0..4 {
+            c.put(0, ptr(i), i as u64, Arc::new(Node::empty_root(0)));
+        }
+        assert_eq!(c.len(), 4);
+        // Touch 0 and 1 so the sweep prefers 2 or 3.
+        c.get(0, ptr(0)).unwrap();
+        c.get(0, ptr(1)).unwrap();
+        for i in 4..40 {
+            c.put(0, ptr(i), i as u64, Arc::new(Node::empty_root(0)));
+            assert!(c.len() <= 4, "capacity exceeded at insert {i}");
+        }
+        assert_eq!(c.evictions, 36);
+    }
+
+    #[test]
+    fn second_chance_protects_hot_entries() {
+        let mut c = NodeCache::with_capacity(3);
+        for i in 0..3 {
+            c.put(0, ptr(i), 0, Arc::new(Node::empty_root(0)));
+        }
+        // Keep entry 0 hot; insert a stream of cold entries.
+        for i in 3..10 {
+            c.get(0, ptr(0)).unwrap();
+            c.put(0, ptr(i), 0, Arc::new(Node::empty_root(0)));
+        }
+        assert!(c.get(0, ptr(0)).is_some(), "hot entry evicted");
+    }
+
+    #[test]
+    fn update_in_place_does_not_grow() {
+        let mut c = NodeCache::with_capacity(2);
+        c.put(0, ptr(1), 1, Arc::new(Node::empty_root(0)));
+        c.put(0, ptr(1), 2, Arc::new(Node::empty_root(0)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(0, ptr(1)).unwrap().0, 2);
+        assert_eq!(c.evictions, 0);
+    }
+
+    #[test]
+    fn invalidated_slots_are_reused() {
+        let mut c = NodeCache::with_capacity(2);
+        c.put(0, ptr(1), 1, Arc::new(Node::empty_root(0)));
+        c.put(0, ptr(2), 2, Arc::new(Node::empty_root(0)));
+        c.invalidate(0, ptr(1));
+        c.put(0, ptr(3), 3, Arc::new(Node::empty_root(0)));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions, 0, "freed slot should be reused, not evicted");
     }
 }

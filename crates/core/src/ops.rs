@@ -83,10 +83,14 @@ impl Proxy {
         ctx: &OpCtx,
         key: &[u8],
     ) -> Result<Attempt<Option<Value>>, Error> {
-        let access = if ctx.writable {
-            LeafAccess::Transactional
-        } else {
+        let access = if !ctx.writable {
             LeafAccess::Dirty
+        } else if self.mc.cfg.cache_leaves && self.mc.cfg.mode != ConcurrencyMode::FullValidation {
+            // Validated leaf cache: a cached leaf is revalidated by a
+            // compare-only commit instead of being re-fetched.
+            LeafAccess::CachedValidated
+        } else {
+            LeafAccess::Transactional
         };
         let path = attempt!(self.traverse(tx, tree, ctx, key, access, 0)?);
         Ok(Attempt::Done(

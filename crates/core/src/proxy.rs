@@ -61,6 +61,10 @@ pub struct Proxy {
     pub(crate) tip_cache: HashMap<u32, (SeqNo, TipVal)>,
     pub(crate) cat_cache: HashMap<(u32, SnapshotId), (SeqNo, CatEntry)>,
     pub(crate) chunks: ChunkCache,
+    /// The cached leaf the current attempt pinned by version only (the
+    /// validated-leaf-cache fast path): a validation failure means this
+    /// entry is the prime suspect, so `note_retry` invalidates it.
+    pub(crate) last_leaf_assumed: Option<(u32, crate::node::NodePtr)>,
     /// Operation statistics.
     pub stats: ProxyStats,
 }
@@ -85,15 +89,28 @@ pub(crate) fn backoff(attempt: usize) {
 impl Proxy {
     pub(crate) fn new(mc: Arc<MinuetCluster>, home: MemNodeId) -> Proxy {
         let chunk = mc.cfg.alloc_chunk;
+        let cache_cap = mc.cfg.node_cache_capacity;
         Proxy {
             mc,
             home,
-            ncache: NodeCache::new(),
+            ncache: NodeCache::with_capacity(cache_cap),
             tip_cache: HashMap::new(),
             cat_cache: HashMap::new(),
             chunks: ChunkCache::new(chunk),
+            last_leaf_assumed: None,
             stats: ProxyStats::default(),
         }
+    }
+
+    /// Node-cache counters `(hits, misses, evictions, resident)` — the
+    /// observability handle for the cache-bounding satellite.
+    pub fn cache_stats(&self) -> (u64, u64, u64, usize) {
+        (
+            self.ncache.hits,
+            self.ncache.misses,
+            self.ncache.evictions,
+            self.ncache.len(),
+        )
     }
 
     /// The proxy's preferred memnode for replicated reads.
@@ -110,7 +127,13 @@ impl Proxy {
     pub(crate) fn note_retry(&mut self, tree: u32, cause: RetryCause) {
         self.stats.record_retry(cause);
         // Metadata observations may be stale; refresh them on the next
-        // attempt. Node-cache entries are invalidated at the fault sites.
+        // attempt. Node-cache entries are invalidated at the fault sites —
+        // except a version-pinned cached leaf, whose staleness surfaces
+        // only as a commit validation failure: drop it here so the retry
+        // fetches fresh instead of re-validating the same stale image.
+        if let Some((t, ptr)) = self.last_leaf_assumed.take() {
+            self.ncache.invalidate(t, ptr);
+        }
         self.tip_cache.remove(&tree);
         self.cat_cache.retain(|(t, _), _| *t != tree);
     }
@@ -142,6 +165,7 @@ impl Proxy {
                 return Err(Error::TooManyRetries { attempts });
             }
             let mut tx = DynTx::with_piggyback(&sin, mc.cfg.piggyback);
+            self.last_leaf_assumed = None;
             match f(self, &mut tx)? {
                 Attempt::Retry(cause) => {
                     self.note_retry(tree, cause);
@@ -150,6 +174,7 @@ impl Proxy {
                 }
                 Attempt::Done(v) => match tx.commit() {
                     Ok(_) => {
+                        self.last_leaf_assumed = None;
                         self.stats.ops += 1;
                         return Ok(v);
                     }

@@ -67,6 +67,13 @@ pub struct ProxyStats {
     pub batch_fallbacks: u64,
     /// Per-leaf groups formed by the batch planner.
     pub batch_groups: u64,
+    /// Gets served from a cached leaf, validated by a compare-only
+    /// minitransaction instead of a full leaf fetch (the hot-path
+    /// overhaul's headline counter; includes batch-path reuses).
+    pub leaf_cache_hits: u64,
+    /// Validated-leaf lookups that missed the cache and fetched the full
+    /// image.
+    pub leaf_cache_misses: u64,
     /// Copy-on-write node copies performed.
     pub cow_copies: u64,
     /// Discretionary copies performed (§5.2).

@@ -29,6 +29,13 @@ pub(crate) struct OpCtx {
 pub(crate) enum LeafAccess {
     /// Added to the read set (validated at commit / piggy-backed).
     Transactional,
+    /// Like `Transactional`, but a still-cached leaf is served from the
+    /// proxy's node cache with only its observed seqno pinned into the
+    /// read set: commit then validates it with a compare-only
+    /// minitransaction (tens of bytes) instead of re-fetching the image.
+    /// A stale cached leaf fails that validation, is invalidated, and the
+    /// retry fetches fresh. Used by gets on writable targets.
+    CachedValidated,
     /// Dirty read: reads on read-only snapshots never validate (§4.2).
     Dirty,
     /// Routing probe for the batch path: the stop node is dirty-read
@@ -53,11 +60,15 @@ pub(crate) struct PathEntry {
     pub node: Arc<Node>,
 }
 
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 enum FetchStyle {
     DirtyCached,
     DirtyUncached,
     Transactional,
+    /// Transactional with the validated-leaf-cache fast path: a cached
+    /// leaf short-circuits the fetch, pinning its seqno for commit-time
+    /// validation.
+    ValidatedLeaf,
 }
 
 /// Reads a catalog entry without any transactional tracking (one round
@@ -169,6 +180,7 @@ impl Proxy {
         let layout = *self.mc.layout(tree);
         let obj = layout.node_obj(ptr);
         let cache_ok = self.mc.cfg.cache_internal_nodes;
+        let cache_leaves = self.mc.cfg.cache_leaves;
         match style {
             FetchStyle::DirtyCached if cache_ok => {
                 if let Some((seqno, node)) = self.ncache.get(tree, ptr) {
@@ -181,10 +193,31 @@ impl Proxy {
                     }));
                 }
             }
+            FetchStyle::ValidatedLeaf if cache_leaves => {
+                if let Some((seqno, node)) = self.ncache.get(tree, ptr) {
+                    if node.height == 0 {
+                        // Serve the image from the cache; pin only its
+                        // version — commit revalidates with a compare-only
+                        // minitransaction, and a stale entry surfaces as a
+                        // validation retry that invalidates it (see
+                        // `Proxy::note_retry`).
+                        tx.assume_version(TxKey::Plain(obj), seqno);
+                        self.last_leaf_assumed = Some((tree, ptr));
+                        self.stats.leaf_cache_hits += 1;
+                        return Ok(Attempt::Done(PathEntry {
+                            ptr,
+                            link: ptr,
+                            seqno,
+                            node,
+                        }));
+                    }
+                }
+                self.stats.leaf_cache_misses += 1;
+            }
             _ => {}
         }
         let (seqno, data, tracked) = match style {
-            FetchStyle::Transactional => match tx.read(obj) {
+            FetchStyle::Transactional | FetchStyle::ValidatedLeaf => match tx.read(obj) {
                 Ok(data) => (
                     tx.observed_seqno(&TxKey::Plain(obj)).unwrap_or(0),
                     data,
@@ -201,6 +234,11 @@ impl Proxy {
             Ok(node) => {
                 let node = Arc::new(node);
                 if !tracked && node.is_internal() && cache_ok {
+                    self.ncache.put(tree, ptr, seqno, node.clone());
+                } else if tracked && node.height == 0 && cache_leaves {
+                    // Leaves observed at a validated version enter the
+                    // cache so the next get revalidates instead of
+                    // re-fetching.
                     self.ncache.put(tree, ptr, seqno, node.clone());
                 }
                 Ok(Attempt::Done(PathEntry {
@@ -277,6 +315,7 @@ impl Proxy {
             let style = if expect_stop {
                 match leaf_access {
                     LeafAccess::Transactional => FetchStyle::Transactional,
+                    LeafAccess::CachedValidated => FetchStyle::ValidatedLeaf,
                     LeafAccess::Dirty => FetchStyle::DirtyUncached,
                     LeafAccess::Route => FetchStyle::DirtyCached,
                 }
@@ -345,7 +384,10 @@ impl Proxy {
             let at_stop = entry.node.height == stop_height;
             if at_stop
                 && path.is_empty()
-                && leaf_access == LeafAccess::Transactional
+                && matches!(
+                    leaf_access,
+                    LeafAccess::Transactional | LeafAccess::CachedValidated
+                )
                 && matches!(
                     mode,
                     ConcurrencyMode::DirtyTraversals | ConcurrencyMode::FullValidation
@@ -353,10 +395,17 @@ impl Proxy {
             {
                 // Single-level tree: the root is the leaf and was fetched
                 // through the dirty/cached path. Promote it into the read
-                // set at the observed version.
+                // set at the observed version. Gets need only the version
+                // pin (their commit is compare-only); mutations keep the
+                // full image so write promotion sees the value.
                 let obj = layout.node_obj(entry.ptr);
                 if tx.observed_seqno(&TxKey::Plain(obj)).is_none() {
-                    tx.assume(TxKey::Plain(obj), entry.seqno, entry.node.encode());
+                    if leaf_access == LeafAccess::CachedValidated {
+                        tx.assume_version(TxKey::Plain(obj), entry.seqno);
+                        self.last_leaf_assumed = Some((tree, entry.ptr));
+                    } else {
+                        tx.assume(TxKey::Plain(obj), entry.seqno, entry.node.encode());
+                    }
                 }
             }
 

@@ -52,6 +52,16 @@ pub struct TreeConfig {
     pub beta: usize,
     /// Cache internal nodes at proxies (§2.3; ablation switch).
     pub cache_internal_nodes: bool,
+    /// Cache **leaf** nodes at proxies too: a get over a cached leaf
+    /// issues a compare-only tip+seqno validation minitransaction (tens
+    /// of bytes) instead of re-fetching the leaf image, falling back to a
+    /// full fetch on mismatch. Ignored in
+    /// [`ConcurrencyMode::FullValidation`] (the baseline has no leaf
+    /// cache).
+    pub cache_leaves: bool,
+    /// Capacity of a proxy's node cache in decoded nodes (internal +
+    /// leaf); entries beyond it are evicted with a CLOCK sweep.
+    pub node_cache_capacity: usize,
     /// Piggy-back read-set validation onto fetches (§2.2; ablation switch).
     pub piggyback: bool,
     /// Use blocking minitransactions for snapshot-creation commits (§4.1).
@@ -79,6 +89,8 @@ impl Default for TreeConfig {
             max_internal_entries: usize::MAX,
             beta: 2,
             cache_internal_nodes: true,
+            cache_leaves: true,
+            node_cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
             piggyback: true,
             blocking_meta_updates: true,
             blocking_wait: Duration::from_millis(50),

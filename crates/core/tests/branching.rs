@@ -251,9 +251,8 @@ fn concurrent_branch_writers() {
         }));
     }
     // Mainline writer in parallel.
-    let mc3 = mc.clone();
     handles.push(std::thread::spawn(move || {
-        let mut p = mc3.proxy();
+        let mut p = mc.proxy();
         for i in 0..40u64 {
             p.put(0, key(i), val("main", i)).unwrap();
         }

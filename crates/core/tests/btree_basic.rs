@@ -215,9 +215,8 @@ fn multi_tree_transactions_atomic() {
 
     // Transfer from tree 0 to tree 1 atomically, under concurrent
     // interference on both trees.
-    let mc2 = mc.clone();
     let noise = std::thread::spawn(move || {
-        let mut p = mc2.proxy();
+        let mut p = mc.proxy();
         for i in 0..300u64 {
             p.put(0, format!("noise{}", i % 10).into_bytes(), val(i))
                 .unwrap();
@@ -257,9 +256,8 @@ fn snapshot_scan_ignores_concurrent_updates() {
     let progress = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
     let stop2 = stop.clone();
     let progress2 = progress.clone();
-    let mc2 = mc.clone();
     let writer = std::thread::spawn(move || {
-        let mut p = mc2.proxy();
+        let mut p = mc.proxy();
         let mut i = 0u64;
         while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
             p.put(0, key(i % 500), val(i + 1_000_000)).unwrap();

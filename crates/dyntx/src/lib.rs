@@ -38,5 +38,7 @@ pub mod object;
 pub mod txn;
 
 pub use cache::{CachedObj, ObjectCache};
-pub use object::{decode_obj, encode_obj, ObjRef, ObjVal, ReplRef, SeqNo, OBJ_HEADER};
+pub use object::{
+    decode_obj, decode_obj_shared, encode_obj, ObjRef, ObjVal, ReplRef, SeqNo, OBJ_HEADER,
+};
 pub use txn::{commit_many, CommitInfo, DynTx, StagedCommit, TxError, TxKey};

@@ -12,7 +12,7 @@
 //! uniqueness additionally rules out ABA hazards when the allocator reuses
 //! freed regions.
 
-use minuet_sinfonia::{ItemRange, MemNodeId};
+use minuet_sinfonia::{Bytes, ItemRange, MemNodeId};
 
 /// Size of the object header: 8-byte seqno + 4-byte payload length.
 pub const OBJ_HEADER: u32 = 12;
@@ -85,13 +85,15 @@ impl ReplRef {
     }
 }
 
-/// A fetched object version.
+/// A fetched object version. The payload is a refcounted [`Bytes`] view —
+/// on the hot read path it aliases the memnode page the object was read
+/// from, so fetching never copies the image.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ObjVal {
     /// Version observed.
     pub seqno: SeqNo,
     /// Payload bytes (header stripped).
-    pub data: Vec<u8>,
+    pub data: Bytes,
 }
 
 impl ObjVal {
@@ -110,24 +112,37 @@ pub fn encode_obj(seqno: SeqNo, payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decodes a raw region image into an [`ObjVal`].
+/// Decodes a raw region image into an [`ObjVal`], copying the payload.
+/// Prefer [`decode_obj_shared`] when the image is already a [`Bytes`] —
+/// it slices instead of copying.
 ///
 /// Tolerates short buffers (unwritten regions read as zeroes).
 pub fn decode_obj(raw: &[u8]) -> ObjVal {
+    let (seqno, start, len) = decode_header(raw);
+    ObjVal {
+        seqno,
+        data: Bytes::from(&raw[start..start + len]),
+    }
+}
+
+/// Zero-copy variant of [`decode_obj`]: the returned payload is a slice of
+/// `raw`'s buffer (one refcount bump).
+pub fn decode_obj_shared(raw: &Bytes) -> ObjVal {
+    let (seqno, start, len) = decode_header(raw);
+    ObjVal {
+        seqno,
+        data: raw.slice(start, len),
+    }
+}
+
+fn decode_header(raw: &[u8]) -> (SeqNo, usize, usize) {
     if raw.len() < OBJ_HEADER as usize {
-        return ObjVal {
-            seqno: 0,
-            data: Vec::new(),
-        };
+        return (0, 0, 0);
     }
     let seqno = u64::from_le_bytes(raw[0..8].try_into().unwrap());
     let len = u32::from_le_bytes(raw[8..12].try_into().unwrap()) as usize;
     let avail = raw.len() - OBJ_HEADER as usize;
-    let len = len.min(avail);
-    ObjVal {
-        seqno,
-        data: raw[OBJ_HEADER as usize..OBJ_HEADER as usize + len].to_vec(),
-    }
+    (seqno, OBJ_HEADER as usize, len.min(avail))
 }
 
 #[cfg(test)]
@@ -147,6 +162,15 @@ mod tests {
         let v = decode_obj(&[0u8; 64]);
         assert!(v.is_unwritten());
         assert!(v.data.is_empty());
+    }
+
+    #[test]
+    fn decode_shared_is_zero_copy() {
+        let raw = Bytes::from(encode_obj(7, b"payload"));
+        let v = decode_obj_shared(&raw);
+        assert_eq!(v.seqno, 7);
+        assert_eq!(v.data, b"payload");
+        assert!(Bytes::same_buffer(&raw, &v.data));
     }
 
     #[test]

@@ -20,8 +20,8 @@
 //!   later written is first *promoted* into the read set with the seqno
 //!   observed by the dirty read.
 
-use crate::object::{decode_obj, encode_obj, ObjRef, ObjVal, ReplRef, SeqNo};
-use minuet_sinfonia::{MemNodeId, Minitransaction, Outcome, SinfoniaCluster, SinfoniaError};
+use crate::object::{decode_obj_shared, encode_obj, ObjRef, ObjVal, ReplRef, SeqNo};
+use minuet_sinfonia::{Bytes, MemNodeId, Minitransaction, Outcome, SinfoniaCluster, SinfoniaError};
 use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
 
@@ -80,8 +80,8 @@ pub struct CommitInfo {
 pub struct DynTx<'c> {
     cluster: &'c SinfoniaCluster,
     read_set: BTreeMap<TxKey, SeqNo>,
-    read_vals: HashMap<TxKey, Vec<u8>>,
-    write_set: BTreeMap<TxKey, (Vec<u8>, Option<SeqNo>)>,
+    read_vals: HashMap<TxKey, Bytes>,
+    write_set: BTreeMap<TxKey, (Bytes, Option<SeqNo>)>,
     dirty_seen: HashMap<TxKey, SeqNo>,
     /// Raw compare items added verbatim to fetch (same-memnode) and commit
     /// minitransactions. Used by the baseline B-tree mode to validate
@@ -196,9 +196,16 @@ impl<'c> DynTx<'c> {
         match self.cluster.execute(&m)? {
             Outcome::FailedCompare(_) => Err(TxError::Validation),
             Outcome::Committed(res) => {
-                let val = decode_obj(&res.data[0]);
+                // Zero-copy: the payload view aliases the page buffer the
+                // memnode served (and the cached value is a refcount bump).
+                let val = decode_obj_shared(&res.data[0]);
                 if track {
-                    self.read_set.insert(key, val.seqno);
+                    // Never overwrite a version already pinned (e.g. by
+                    // `assume_version`): the caller derived state from that
+                    // version, so commit must keep validating it — a later
+                    // fetch observing a newer seqno would silently launder
+                    // the stale observation.
+                    self.read_set.entry(key).or_insert(val.seqno);
                     self.read_vals.insert(key, val.data.clone());
                     // The fetch and the compares happened atomically: if the
                     // compares covered everything else, the entire read set
@@ -215,7 +222,7 @@ impl<'c> DynTx<'c> {
     /// Transactional read of a plain object. Consults the write set, then
     /// the read set, then fetches from the memnode (adding the object to
     /// the read set for commit-time validation).
-    pub fn read(&mut self, obj: ObjRef) -> Result<Vec<u8>, TxError> {
+    pub fn read(&mut self, obj: ObjRef) -> Result<Bytes, TxError> {
         let key = TxKey::Plain(obj);
         if let Some((v, _)) = self.write_set.get(&key) {
             return Ok(v.clone());
@@ -228,7 +235,7 @@ impl<'c> DynTx<'c> {
 
     /// Transactional read of a replicated object from the replica at
     /// `prefer`.
-    pub fn read_repl(&mut self, obj: ReplRef, prefer: MemNodeId) -> Result<Vec<u8>, TxError> {
+    pub fn read_repl(&mut self, obj: ReplRef, prefer: MemNodeId) -> Result<Bytes, TxError> {
         let key = TxKey::Repl(obj);
         if let Some((v, _)) = self.write_set.get(&key) {
             return Ok(v.clone());
@@ -265,9 +272,22 @@ impl<'c> DynTx<'c> {
     /// tip snapshot ... to the transaction's read set"). No round trip; if
     /// the cached version is stale, validation fails and the caller
     /// refreshes its cache and retries.
-    pub fn assume(&mut self, key: TxKey, seqno: SeqNo, value: Vec<u8>) {
+    pub fn assume(&mut self, key: TxKey, seqno: SeqNo, value: impl Into<Bytes>) {
         self.read_set.insert(key, seqno);
-        self.read_vals.insert(key, value);
+        self.read_vals.insert(key, value.into());
+        self.fully_validated = false;
+    }
+
+    /// Like [`DynTx::assume`] but pins only the *version* into the read
+    /// set, without materializing the value. Used by the validated leaf
+    /// cache: a get over a cached leaf pins the cached seqno so commit
+    /// issues a compare-only validation minitransaction (tens of bytes)
+    /// instead of re-fetching the leaf image. A subsequent `read` of the
+    /// same object re-fetches the value (wasting the saved round trip)
+    /// but keeps validating the pinned version, so a cache-served stale
+    /// observation can never be laundered by the newer fetch.
+    pub fn assume_version(&mut self, key: TxKey, seqno: SeqNo) {
+        self.read_set.insert(key, seqno);
         self.fully_validated = false;
     }
 
@@ -282,7 +302,8 @@ impl<'c> DynTx<'c> {
     /// into the read set first, so commit validates the version the writer
     /// derived its update from. Objects never read are written blindly
     /// (fresh allocations).
-    pub fn write(&mut self, obj: ObjRef, payload: Vec<u8>) {
+    pub fn write(&mut self, obj: ObjRef, payload: impl Into<Bytes>) {
+        let payload = payload.into();
         assert!(
             payload.len() <= obj.payload_cap() as usize,
             "payload {} exceeds object capacity {}",
@@ -301,7 +322,8 @@ impl<'c> DynTx<'c> {
     /// Like [`DynTx::write`], but pins the sequence number the commit will
     /// install. Used when the new seqno must also be written elsewhere in
     /// the same commit (the baseline's replicated seqno table, §2.3).
-    pub fn write_with_seqno(&mut self, obj: ObjRef, payload: Vec<u8>, seqno: SeqNo) {
+    pub fn write_with_seqno(&mut self, obj: ObjRef, payload: impl Into<Bytes>, seqno: SeqNo) {
+        let payload = payload.into();
         assert!(payload.len() <= obj.payload_cap() as usize);
         let key = TxKey::Plain(obj);
         if !self.read_set.contains_key(&key) {
@@ -326,7 +348,8 @@ impl<'c> DynTx<'c> {
 
     /// Transactional write of a replicated object: commit updates every
     /// replica atomically (engaging all memnodes).
-    pub fn write_repl(&mut self, obj: ReplRef, payload: Vec<u8>) {
+    pub fn write_repl(&mut self, obj: ReplRef, payload: impl Into<Bytes>) {
+        let payload = payload.into();
         assert!(payload.len() <= obj.payload_cap() as usize);
         self.write_set.insert(TxKey::Repl(obj), (payload, None));
     }
@@ -412,8 +435,9 @@ impl<'c> DynTx<'c> {
                     m.write(range, image);
                 }
                 // Deferred: expanded to one write per replica at execution
-                // time, under the membership gate.
-                TxKey::Repl(r) => repl_writes.push((*r, image)),
+                // time, under the membership gate; one shared buffer
+                // serves every replica's write item.
+                TxKey::Repl(r) => repl_writes.push((*r, Bytes::from(image))),
             }
             installed.push((*key, new_seqno));
         }
@@ -442,7 +466,7 @@ impl<'c> DynTx<'c> {
 pub struct StagedCommit<'c> {
     cluster: &'c SinfoniaCluster,
     m: Option<Minitransaction>,
-    repl_writes: Vec<(ReplRef, Vec<u8>)>,
+    repl_writes: Vec<(ReplRef, Bytes)>,
     installed: Vec<(TxKey, SeqNo)>,
 }
 
@@ -473,7 +497,7 @@ impl<'c> StagedCommit<'c> {
     /// `repl_writes` is nonempty.
     fn expand_repl_writes(
         m: &mut Minitransaction,
-        repl_writes: &[(ReplRef, Vec<u8>)],
+        repl_writes: &[(ReplRef, Bytes)],
         cluster: &SinfoniaCluster,
     ) {
         for (r, image) in repl_writes {
@@ -728,6 +752,31 @@ mod tests {
         let _ = t1.read(b).unwrap();
         let info = t1.commit().unwrap();
         assert!(!info.validation_skipped);
+    }
+
+    #[test]
+    fn assume_version_pin_survives_a_later_fetch() {
+        // assume_version then read(): the fetch must keep validating the
+        // pinned (possibly stale) version, not the freshly observed one.
+        let c = cluster(1);
+        let a = obj(0, 0);
+        let mut t0 = DynTx::new(&c);
+        t0.write(a, b"a0".to_vec());
+        let seq0 = t0.commit().unwrap().installed[0].1;
+
+        // Piggyback off so the re-fetch itself cannot catch the staleness;
+        // only commit validation of the pinned seqno can.
+        let mut t1 = DynTx::with_piggyback(&c, false);
+        t1.assume_version(TxKey::Plain(a), seq0);
+        // Concurrent update invalidates the pinned observation.
+        let mut t2 = DynTx::new(&c);
+        let _ = t2.read(a).unwrap();
+        t2.write(a, b"a1".to_vec());
+        t2.commit().unwrap();
+
+        assert_eq!(t1.read(a).unwrap(), b"a1"); // fetch sees the new value
+        t1.write(obj(0, 64), b"x".to_vec());
+        assert_eq!(t1.commit().unwrap_err(), TxError::Validation);
     }
 
     #[test]

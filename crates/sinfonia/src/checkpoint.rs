@@ -199,7 +199,7 @@ mod tests {
             42u64,
             PreparedTx {
                 spans: vec![(0, 8)],
-                writes: vec![(0, vec![1, 2, 3])],
+                writes: vec![(0, crate::bytes::Bytes::from(vec![1, 2, 3]))],
                 participants: vec![MemNodeId(0), MemNodeId(2)],
             },
         );
@@ -217,7 +217,10 @@ mod tests {
         assert_eq!(img.decided, decided);
         let tx = &img.staged[&42];
         assert_eq!(tx.spans, vec![(0, 8)]);
-        assert_eq!(tx.writes, vec![(0, vec![1, 2, 3])]);
+        assert_eq!(
+            tx.writes,
+            vec![(0, crate::bytes::Bytes::from(vec![1, 2, 3]))]
+        );
         assert_eq!(tx.participants, vec![MemNodeId(0), MemNodeId(2)]);
     }
 

@@ -10,6 +10,7 @@
 //! batch of N co-located one-phase commits costs ~1 round trip instead of
 //! N — the substrate the B-tree's multi-op API builds on.
 
+use crate::bytes::Bytes;
 use crate::cluster::SinfoniaCluster;
 use crate::error::SinfoniaError;
 use crate::lock::TxId;
@@ -123,7 +124,13 @@ pub fn execute_many(
     for (mem, idxs) in &groups {
         // One batched request to this memnode: one round trip carrying
         // `idxs.len()` packed minitransactions (counted as messages).
-        cluster.transport.round_trip(idxs.len());
+        let (req_bytes, resp_bytes) = idxs.iter().fold((0, 0), |(o, b), &i| {
+            let (wo, wb) = ms[i].wire_bytes();
+            (o + wo, b + wb)
+        });
+        cluster
+            .transport
+            .round_trip_bytes(idxs.len(), req_bytes, resp_bytes);
         let node = cluster.node(*mem);
         for &i in idxs {
             let m = &ms[i];
@@ -140,7 +147,7 @@ pub fn execute_many(
                     out[i] = Some(Outcome::FailedCompare(idx));
                 }
                 Ok(SingleResult::Committed(pairs)) => {
-                    let mut reads: Vec<Vec<u8>> = vec![Vec::new(); m.reads.len()];
+                    let mut reads: Vec<Bytes> = vec![Bytes::new(); m.reads.len()];
                     for (j, data) in pairs {
                         reads[j] = data;
                     }
@@ -172,14 +179,15 @@ fn try_once(
     policy: LockPolicy,
 ) -> TryResult {
     let shards = m.shard();
-    let mut reads: Vec<Vec<u8>> = vec![Vec::new(); m.reads.len()];
+    let mut reads: Vec<Bytes> = vec![Bytes::new(); m.reads.len()];
 
+    let (wire_out, wire_in) = m.wire_bytes();
     let service = cluster.service_time();
     if shards.len() == 1 {
         // Collapsed one-phase protocol: one round trip, locks held only
         // inside the memnode call.
         let (mem, shard) = shards.iter().next().unwrap();
-        cluster.transport.round_trip(1);
+        cluster.transport.round_trip_bytes(1, wire_out, wire_in);
         let node = cluster.node(*mem);
         node.occupy(service);
         match node.exec_single(txid, shard, policy) {
@@ -198,7 +206,9 @@ fn try_once(
         // a real network; one round trip). Every prepare carries the full
         // participant list so a durable node can resolve the outcome after
         // a coordinator crash.
-        cluster.transport.round_trip(shards.len());
+        cluster
+            .transport
+            .round_trip_bytes(shards.len(), wire_out, wire_in);
         let participants: Vec<crate::addr::MemNodeId> = shards.keys().copied().collect();
         let mut prepared: Vec<crate::addr::MemNodeId> = Vec::with_capacity(shards.len());
         let mut failed_compares: Vec<usize> = Vec::new();
@@ -234,7 +244,10 @@ fn try_once(
             // Phase two: commit everywhere. A participant that crashed
             // after voting Ok must still apply the decision after recovery:
             // we retry commit delivery until the recovery deadline.
-            cluster.transport.round_trip(prepared.len());
+            let n = prepared.len() as u64;
+            cluster
+                .transport
+                .round_trip_bytes(prepared.len(), 24 * n, 16 * n);
             for mem in &prepared {
                 let node = cluster.node(*mem);
                 node.occupy(service);
@@ -259,7 +272,10 @@ fn try_once(
 
         // Abort everyone we prepared.
         if !prepared.is_empty() {
-            cluster.transport.round_trip(prepared.len());
+            let n = prepared.len() as u64;
+            cluster
+                .transport
+                .round_trip_bytes(prepared.len(), 24 * n, 16 * n);
             for mem in &prepared {
                 let _ = cluster.node(*mem).abort(txid);
             }

@@ -41,6 +41,7 @@
 //! ```
 
 pub mod addr;
+pub mod bytes;
 pub mod checkpoint;
 pub mod cluster;
 pub mod error;
@@ -54,6 +55,7 @@ pub mod transport;
 pub mod wal;
 
 pub use addr::{ItemRange, MemNodeId};
+pub use bytes::Bytes;
 pub use cluster::{ClusterConfig, DurSnapshot, SinfoniaCluster};
 pub use error::SinfoniaError;
 pub use memnode::{MemNode, Unavailable};

@@ -10,6 +10,7 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Identifier of a lock owner (a minitransaction execution attempt).
@@ -18,6 +19,10 @@ pub type TxId = u64;
 /// Reserved transaction id used by bootstrap raw writes (never allocated
 /// by [`crate::cluster::SinfoniaCluster::next_txid`], which starts at 1).
 pub const BOOTSTRAP_TXID: TxId = 0;
+
+/// Owner id used by [`LockManager::probe`]; no real transaction ever holds
+/// it, so every held lock conflicts with a probe.
+const PROBE_OWNER: TxId = u64::MAX;
 
 #[derive(Debug)]
 struct LockTable {
@@ -89,6 +94,9 @@ pub enum LockAcquire {
 pub struct LockManager {
     table: Mutex<LockTable>,
     released: Condvar,
+    /// Bumped on every release/clear — the read fast path's witness that
+    /// no writer completed between two probes (see [`LockManager::probe`]).
+    stamp: AtomicU64,
 }
 
 impl Default for LockManager {
@@ -105,7 +113,28 @@ impl LockManager {
                 locks: BTreeMap::new(),
             }),
             released: Condvar::new(),
+            stamp: AtomicU64::new(0),
         }
+    }
+
+    /// Checks that none of `spans` is currently locked, returning the
+    /// current release stamp if so (`None` when any span is held).
+    ///
+    /// The lock-free read fast path brackets its evaluation with two
+    /// probes: if both return `Some` with equal stamps, no conflicting
+    /// transaction held locks at the first probe and none completed
+    /// (released) in between — so the values it read are the committed,
+    /// current state and no in-flight writer overlaps them. A stamp
+    /// mismatch or a held span means a writer raced; the caller retries or
+    /// falls back to the locked path.
+    pub fn probe(&self, spans: &[(u64, u64)]) -> Option<u64> {
+        let t = self.table.lock();
+        // Any lock at all conflicts here: probing is owner-less, so use an
+        // owner id no transaction can hold.
+        if spans.iter().any(|&(s, e)| t.conflicts(s, e, PROBE_OWNER)) {
+            return None;
+        }
+        Some(self.stamp.load(Ordering::Relaxed))
     }
 
     /// Attempts to atomically lock all spans for `owner`. Never blocks.
@@ -145,6 +174,11 @@ impl LockManager {
     pub fn release(&self, owner: TxId) -> usize {
         let mut t = self.table.lock();
         let n = t.remove_owner(owner);
+        if n > 0 {
+            // Under the table mutex, so probes see the bump and the
+            // removal atomically.
+            self.stamp.fetch_add(1, Ordering::Relaxed);
+        }
         drop(t);
         if n > 0 {
             self.released.notify_all();
@@ -156,6 +190,7 @@ impl LockManager {
     pub fn clear(&self) {
         let mut t = self.table.lock();
         t.locks.clear();
+        self.stamp.fetch_add(1, Ordering::Relaxed);
         drop(t);
         self.released.notify_all();
     }
@@ -226,6 +261,18 @@ mod tests {
         assert_eq!(lm.try_lock(&[(0, 10)], 1), LockAcquire::Granted);
         let got = lm.lock_blocking(&[(0, 10)], 2, Duration::from_millis(10));
         assert_eq!(got, LockAcquire::Busy);
+    }
+
+    #[test]
+    fn probe_detects_locks_and_completed_writers() {
+        let lm = LockManager::new();
+        let s1 = lm.probe(&[(0, 10)]).expect("unlocked");
+        lm.try_lock(&[(5, 15)], 1);
+        assert!(lm.probe(&[(0, 10)]).is_none()); // overlapping lock held
+        assert!(lm.probe(&[(20, 30)]).is_some()); // disjoint span is fine
+        lm.release(1);
+        let s2 = lm.probe(&[(0, 10)]).expect("unlocked again");
+        assert_ne!(s1, s2, "release must bump the stamp");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! from disk instead of from the in-memory mirror.
 
 use crate::addr::MemNodeId;
+use crate::bytes::Bytes;
 use crate::lock::{LockAcquire, LockManager, TxId};
 use crate::minitx::{LockPolicy, Shard};
 use crate::recovery::{self, NodeMeta};
@@ -33,7 +34,7 @@ pub enum Vote {
     /// Locks held, compares matched; staged reads are returned eagerly
     /// (they are stable until commit/abort because the locks are held).
     /// Pairs are `(original read-item index, data)`.
-    Ok(Vec<(usize, Vec<u8>)>),
+    Ok(Vec<(usize, Bytes)>),
     /// One or more compares failed; local locks were already released.
     /// Carries original compare-item indices.
     BadCompare(Vec<usize>),
@@ -46,7 +47,7 @@ pub enum Vote {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SingleResult {
     /// Committed; read results as `(original index, data)` pairs.
-    Committed(Vec<(usize, Vec<u8>)>),
+    Committed(Vec<(usize, Bytes)>),
     /// Compares failed (original indices); nothing written.
     BadCompare(Vec<usize>),
     /// Lock contention; caller retries.
@@ -70,8 +71,9 @@ impl std::error::Error for Unavailable {}
 pub struct PreparedTx {
     /// Canonical lock spans held at this memnode.
     pub spans: Vec<(u64, u64)>,
-    /// Staged `(offset, data)` writes.
-    pub writes: Vec<(u64, Vec<u8>)>,
+    /// Staged `(offset, data)` writes; the payloads share the buffers the
+    /// coordinator shipped (no copy at staging time).
+    pub writes: Vec<(u64, Bytes)>,
     /// Every memnode participating in the minitransaction (recorded so
     /// recovery can resolve in-doubt outcomes).
     pub participants: Vec<MemNodeId>,
@@ -90,6 +92,12 @@ pub struct MemNodeStats {
     pub aborts: AtomicU64,
     /// Lock-busy rejections.
     pub busy: AtomicU64,
+    /// Read-only one-phase executions served by the lock-free fast path
+    /// (no lock acquisition; validated by a span probe + release stamp).
+    pub read_fastpath: AtomicU64,
+    /// Fast-path attempts that detected a racing writer and fell back to
+    /// the locked path.
+    pub read_fastpath_misses: AtomicU64,
 }
 
 /// Durable state of a memnode: the redo log plus file locations.
@@ -325,9 +333,11 @@ impl MemNode {
         }
     }
 
-    /// Evaluates compares and stages reads under held locks. Returns
-    /// `Err(indices)` on compare failure.
-    fn eval(&self, shard: &Shard<'_>) -> Result<Vec<(usize, Vec<u8>)>, Vec<usize>> {
+    /// Evaluates compares and stages reads. The caller guarantees
+    /// stability: either it holds the item locks, or it brackets this call
+    /// with [`LockManager::probe`]s (the read fast path). Reads are
+    /// zero-copy views of the resident pages.
+    fn eval(&self, shard: &Shard<'_>) -> Result<Vec<(usize, Bytes)>, Vec<usize>> {
         let space = self.space.read();
         let mut failed = Vec::new();
         for (idx, c) in &shard.compares {
@@ -353,7 +363,7 @@ impl MemNode {
 
     /// Applies writes to the backup mirror first, then the primary
     /// (synchronous primary-backup replication).
-    fn apply(&self, writes: &[(u64, Vec<u8>)]) {
+    fn apply(&self, writes: &[(u64, Bytes)]) {
         {
             let mut b = self.backup.lock();
             for (off, data) in writes {
@@ -370,7 +380,7 @@ impl MemNode {
 
     /// Logs (when durable) and applies a one-phase batch of writes.
     /// Returns the log offset the caller must wait on before acking.
-    fn log_and_apply(&self, txid: TxId, writes: &[(u64, Vec<u8>)]) -> Option<u64> {
+    fn log_and_apply(&self, txid: TxId, writes: &[(u64, Bytes)]) -> Option<u64> {
         match &self.dur {
             Some(d) => {
                 let mut g = d.wal.lock();
@@ -388,6 +398,15 @@ impl MemNode {
     /// One-phase (collapsed) execution: used when a minitransaction touches
     /// only this memnode. Locks, compares, reads, writes, unlocks — one
     /// round trip, and locks are held only for the duration of the call.
+    ///
+    /// Read-only shards first try a **lock-free fast path**: evaluate
+    /// without acquiring item locks, bracketed by two span probes of the
+    /// lock table. Equal release stamps with no held lock on either side
+    /// prove no conflicting writer was in flight or completed during the
+    /// evaluation, so the result is identical to the locked execution —
+    /// including strictness (an overlapping prepared-but-undecided
+    /// transaction would show up as a held lock). A racing writer fails the
+    /// probe and the execution falls back to the ordinary locked path.
     pub fn exec_single(
         &self,
         txid: TxId,
@@ -396,6 +415,33 @@ impl MemNode {
     ) -> Result<SingleResult, Unavailable> {
         self.check_up()?;
         let spans = shard.lock_spans();
+
+        if shard.writes.is_empty() {
+            for attempt in 0..2 {
+                let Some(s1) = self.locks.probe(&spans) else {
+                    break; // a lock is held: the slow path sorts it out
+                };
+                let result = self.eval(shard);
+                if self.locks.probe(&spans) == Some(s1) {
+                    self.stats.read_fastpath.fetch_add(1, Ordering::Relaxed);
+                    return Ok(match result {
+                        Err(failed) => {
+                            self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                            SingleResult::BadCompare(failed)
+                        }
+                        Ok(reads) => {
+                            self.stats.single_commits.fetch_add(1, Ordering::Relaxed);
+                            SingleResult::Committed(reads)
+                        }
+                    });
+                }
+                self.stats
+                    .read_fastpath_misses
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = attempt;
+            }
+        }
+
         if self.acquire(&spans, txid, policy) == LockAcquire::Busy {
             self.stats.busy.fetch_add(1, Ordering::Relaxed);
             return Ok(SingleResult::Busy);
@@ -408,7 +454,9 @@ impl MemNode {
             }
             Ok(reads) => {
                 if !shard.writes.is_empty() {
-                    let writes: Vec<(u64, Vec<u8>)> = shard
+                    // Arc bumps, not payload copies: the coordinator's
+                    // buffers flow into the log and the space unchanged.
+                    let writes: Vec<(u64, Bytes)> = shard
                         .writes
                         .iter()
                         .map(|(_, w)| (w.range.off, w.data.clone()))
@@ -453,6 +501,7 @@ impl MemNode {
             Ok(reads) => {
                 let staged = PreparedTx {
                     spans,
+                    // Arc bumps: staging shares the shipped payload buffers.
                     writes: shard
                         .writes
                         .iter()
@@ -644,8 +693,9 @@ impl MemNode {
 
     /// Unsynchronized raw read used for bootstrap and GC candidate scans.
     /// Concurrent minitransactions may be writing; callers must confirm any
-    /// decision with a proper minitransaction.
-    pub fn raw_read(&self, off: u64, len: u32) -> Result<Vec<u8>, Unavailable> {
+    /// decision with a proper minitransaction. Zero-copy: the returned
+    /// view shares the resident page.
+    pub fn raw_read(&self, off: u64, len: u32) -> Result<Bytes, Unavailable> {
         self.check_up()?;
         Ok(self
             .space
@@ -659,7 +709,7 @@ impl MemNode {
     /// (unforced) when durable so bootstrap images survive a restart.
     pub fn raw_write(&self, off: u64, data: &[u8]) -> Result<(), Unavailable> {
         self.check_up()?;
-        self.log_and_apply(lock::BOOTSTRAP_TXID, &[(off, data.to_vec())]);
+        self.log_and_apply(lock::BOOTSTRAP_TXID, &[(off, Bytes::copy_from_slice(data))]);
         Ok(())
     }
 
@@ -846,6 +896,78 @@ mod tests {
             ));
         }
         assert!(n.mirror_consistent(&[(0, 128)]));
+    }
+
+    #[test]
+    fn repeated_reads_share_the_resident_page() {
+        // Allocation-free re-reads: both one-phase reads of the same
+        // node-image-sized range return views of the same page buffer (no
+        // per-read copy). Metadata-sized reads intentionally copy — see
+        // `space::SHARE_MIN`.
+        let n = node();
+        let image = vec![7u8; crate::space::SHARE_MIN];
+        let mut w = Minitransaction::new();
+        w.write(ItemRange::new(n.id, 0, image.len() as u32), image.clone());
+        assert!(matches!(single(&n, 1, &w), SingleResult::Committed(_)));
+
+        let mut r = Minitransaction::new();
+        r.read(ItemRange::new(n.id, 0, image.len() as u32));
+        let a = match single(&n, 2, &r) {
+            SingleResult::Committed(mut reads) => reads.pop().unwrap().1,
+            other => panic!("unexpected {other:?}"),
+        };
+        let b = match single(&n, 3, &r) {
+            SingleResult::Committed(mut reads) => reads.pop().unwrap().1,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(Bytes::same_buffer(&a, &b), "re-read must not copy");
+        assert_eq!(a, image);
+    }
+
+    #[test]
+    fn prepare_stages_payload_without_copying() {
+        // Single-allocation write path: the payload buffer the client
+        // allocated is the very buffer staged at the memnode.
+        let n = node();
+        let payload = Bytes::from(vec![9u8; 64]);
+        let mut m = Minitransaction::new();
+        m.write(ItemRange::new(n.id, 128, 64), payload.clone());
+        assert!(matches!(prep(&n, 5, &m), Vote::Ok(_)));
+        {
+            let staged = n.prepared.lock();
+            let tx = staged.get(&5).expect("staged");
+            assert!(
+                Bytes::same_buffer(&tx.writes[0].1, &payload),
+                "prepare must stage the caller's buffer, not a copy"
+            );
+        }
+        n.commit(5).unwrap();
+        assert_eq!(n.raw_read(128, 64).unwrap(), vec![9u8; 64]);
+    }
+
+    #[test]
+    fn read_only_single_phase_uses_lock_free_fast_path() {
+        let n = node();
+        let mut w = Minitransaction::new();
+        w.write(ItemRange::new(n.id, 0, 8), vec![7u8; 8]);
+        assert!(matches!(single(&n, 1, &w), SingleResult::Committed(_)));
+        assert_eq!(n.stats.read_fastpath.load(Ordering::Relaxed), 0);
+
+        let mut r = Minitransaction::new();
+        r.compare(ItemRange::new(n.id, 0, 8), vec![7u8; 8]);
+        r.read(ItemRange::new(n.id, 0, 8));
+        assert!(matches!(single(&n, 2, &r), SingleResult::Committed(_)));
+        assert_eq!(n.stats.read_fastpath.load(Ordering::Relaxed), 1);
+
+        // A held conflicting lock diverts reads to the locked path.
+        let mut held = Minitransaction::new();
+        held.write(ItemRange::new(n.id, 0, 8), vec![1u8; 8]);
+        assert!(matches!(prep(&n, 3, &held), Vote::Ok(_)));
+        assert!(matches!(single(&n, 4, &r), SingleResult::Busy));
+        assert_eq!(n.stats.read_fastpath.load(Ordering::Relaxed), 1);
+        n.abort(3).unwrap();
+        assert!(matches!(single(&n, 5, &r), SingleResult::Committed(_)));
+        assert_eq!(n.stats.read_fastpath.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! where memnodes briefly wait for locks instead.
 
 use crate::addr::{merge_intervals, ItemRange, MemNodeId};
+use crate::bytes::Bytes;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -29,13 +30,15 @@ pub struct ReadItem {
     pub range: ItemRange,
 }
 
-/// A write item: `data` is stored at `range` on commit.
+/// A write item: `data` is stored at `range` on commit. The payload is a
+/// refcounted [`Bytes`]: staging it at a memnode, logging it, and retrying
+/// the minitransaction all share the buffer the caller allocated once.
 #[derive(Clone, Debug)]
 pub struct WriteItem {
     /// Location to write. `range.len` must equal `data.len()`.
     pub range: ItemRange,
     /// Bytes to store.
-    pub data: Vec<u8>,
+    pub data: Bytes,
 }
 
 /// How the memnodes treat lock contention for this minitransaction.
@@ -71,7 +74,8 @@ impl Minitransaction {
     }
 
     /// Adds a compare item; returns its index for failure reporting.
-    pub fn compare(&mut self, range: ItemRange, expected: Vec<u8>) -> usize {
+    pub fn compare(&mut self, range: ItemRange, expected: impl Into<Vec<u8>>) -> usize {
+        let expected = expected.into();
         debug_assert_eq!(range.len as usize, expected.len());
         self.compares.push(CompareItem { range, expected });
         self.compares.len() - 1
@@ -83,8 +87,10 @@ impl Minitransaction {
         self.reads.len() - 1
     }
 
-    /// Adds a write item.
-    pub fn write(&mut self, range: ItemRange, data: Vec<u8>) {
+    /// Adds a write item. Accepts `Vec<u8>` or an existing [`Bytes`]
+    /// (sharing its buffer rather than copying).
+    pub fn write(&mut self, range: ItemRange, data: impl Into<Bytes>) {
+        let data = data.into();
         debug_assert_eq!(range.len as usize, data.len());
         self.writes.push(WriteItem { range, data });
     }
@@ -103,6 +109,29 @@ impl Minitransaction {
     /// True if the minitransaction writes nothing (pure validate/read).
     pub fn is_read_only(&self) -> bool {
         self.writes.is_empty()
+    }
+
+    /// Approximate wire size of this minitransaction as `(request bytes,
+    /// response bytes)`: per-item range descriptors plus payloads out,
+    /// read-item lengths back. Feeds the transport's byte counters so
+    /// benches can report bytes/op next to round trips/op.
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        const ITEM: u64 = 16; // range descriptor (mem + off + len)
+        const HDR: u64 = 16; // per-message framing
+        let out = HDR
+            + self
+                .compares
+                .iter()
+                .map(|c| ITEM + c.expected.len() as u64)
+                .sum::<u64>()
+            + self.reads.len() as u64 * ITEM
+            + self
+                .writes
+                .iter()
+                .map(|w| ITEM + w.data.len() as u64)
+                .sum::<u64>();
+        let back = HDR + self.reads.iter().map(|r| r.range.len as u64).sum::<u64>();
+        (out, back)
     }
 
     /// The set of memnodes participating in this minitransaction.
@@ -169,8 +198,10 @@ impl Shard<'_> {
 /// Result of a successfully committed minitransaction.
 #[derive(Debug, Clone)]
 pub struct ReadResults {
-    /// One buffer per read item, in the order the reads were added.
-    pub data: Vec<Vec<u8>>,
+    /// One buffer per read item, in the order the reads were added. Each
+    /// is a refcounted view of the memnode page it was read from (or of
+    /// the staged read captured at prepare time) — cloning is free.
+    pub data: Vec<Bytes>,
 }
 
 /// Application-visible outcome of executing a minitransaction.

@@ -4,10 +4,33 @@
 //! zero. Physically it is a vector of lazily-allocated fixed-size pages so
 //! that sparse address-space layouts (well-known regions at large offsets)
 //! do not consume memory until touched.
+//!
+//! Pages are reference-counted (`Arc`) and copy-on-write:
+//!
+//! * [`PagedSpace::read`] returns a [`Bytes`] view into the resident page
+//!   when the access stays within one page — the hot-path case, since the
+//!   address-space layout never splits an object across pages — so a read
+//!   costs one refcount bump instead of an allocation + memcpy.
+//! * [`PagedSpace::snapshot_clone`] (checkpoints, the backup mirror) is
+//!   O(resident pages) refcount bumps; the next write to a shared page
+//!   copies just that page (`Arc::make_mut`).
+
+use crate::bytes::Bytes;
+use std::sync::{Arc, OnceLock};
 
 /// Size of one physical page. 64 KiB amortizes allocation cost while keeping
 /// sparse layouts cheap.
 pub const PAGE_SIZE: usize = 64 * 1024;
+
+/// Reads at or above this size share the resident page zero-copy; smaller
+/// reads copy. See [`PagedSpace::read`] for the rationale.
+pub const SHARE_MIN: usize = 1024;
+
+/// The shared all-zero page served for reads of never-written ranges.
+fn zero_page() -> &'static Arc<Vec<u8>> {
+    static ZERO: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    ZERO.get_or_init(|| Arc::new(vec![0u8; PAGE_SIZE]))
+}
 
 /// Error returned when an access falls outside the configured capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,7 +62,7 @@ impl std::error::Error for OutOfBounds {}
 /// All bytes read as zero until written. Reads of never-written pages do not
 /// allocate.
 pub struct PagedSpace {
-    pages: Vec<Option<Box<[u8]>>>,
+    pages: Vec<Option<Arc<Vec<u8>>>>,
     capacity: u64,
 }
 
@@ -78,12 +101,34 @@ impl PagedSpace {
         Ok(())
     }
 
-    /// Reads `len` bytes starting at `off` into a fresh vector.
-    pub fn read(&self, off: u64, len: u32) -> Result<Vec<u8>, OutOfBounds> {
+    /// Reads `len` bytes starting at `off`. Large accesses within one page
+    /// (node images — the dominant transfer) return a refcounted view of
+    /// the resident page: no allocation, no copy. Small reads (metadata:
+    /// tips, catalog entries, seqnos) are copied instead — sharing them
+    /// would pin the whole 64 KiB page and force a copy-on-write the next
+    /// time the very same metadata is updated (classic read-modify-write),
+    /// costing far more than the few bytes saved. Cross-page accesses
+    /// gather into a copy.
+    pub fn read(&self, off: u64, len: u32) -> Result<Bytes, OutOfBounds> {
         self.check(off, len)?;
+        if len == 0 {
+            return Ok(Bytes::new());
+        }
+        let page_idx = (off / PAGE_SIZE as u64) as usize;
+        let in_page = (off % PAGE_SIZE as u64) as usize;
+        if in_page + len as usize <= PAGE_SIZE {
+            let page = match &self.pages[page_idx] {
+                Some(p) => p,
+                None => zero_page(),
+            };
+            if len as usize >= SHARE_MIN {
+                return Ok(Bytes::shared(page.clone(), in_page, len as usize));
+            }
+            return Ok(Bytes::from(&page[in_page..in_page + len as usize]));
+        }
         let mut out = vec![0u8; len as usize];
         self.read_into(off, &mut out);
-        Ok(out)
+        Ok(Bytes::from(out))
     }
 
     /// Reads into a caller-provided buffer; the access must be in bounds
@@ -103,7 +148,9 @@ impl PagedSpace {
         }
     }
 
-    /// Writes `data` starting at `off`, allocating pages as needed.
+    /// Writes `data` starting at `off`, allocating pages as needed. Pages
+    /// shared with snapshots or outstanding read views are copied first
+    /// (copy-on-write).
     pub fn write(&mut self, off: u64, data: &[u8]) -> Result<(), OutOfBounds> {
         self.check(off, data.len() as u32)?;
         let mut done = 0usize;
@@ -112,9 +159,8 @@ impl PagedSpace {
             let page_idx = (pos / PAGE_SIZE as u64) as usize;
             let in_page = (pos % PAGE_SIZE as u64) as usize;
             let n = (PAGE_SIZE - in_page).min(data.len() - done);
-            let page =
-                self.pages[page_idx].get_or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice());
-            page[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
+            let page = self.pages[page_idx].get_or_insert_with(|| Arc::new(vec![0u8; PAGE_SIZE]));
+            Arc::make_mut(page)[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
             done += n;
         }
         Ok(())
@@ -149,10 +195,12 @@ impl PagedSpace {
         self.pages
             .iter()
             .enumerate()
-            .filter_map(|(i, p)| p.as_ref().map(|p| (i as u64, &p[..])))
+            .filter_map(|(i, p)| p.as_ref().map(|p| (i as u64, p.as_slice())))
     }
 
-    /// Produces a deep copy of this space (used by the replication layer).
+    /// Produces a logical copy of this space (replication, checkpoints).
+    /// O(resident pages) refcount bumps; data diverges copy-on-write as
+    /// either side subsequently writes.
     pub fn snapshot_clone(&self) -> PagedSpace {
         PagedSpace {
             pages: self.pages.clone(),
@@ -176,8 +224,8 @@ mod tests {
     fn write_read_roundtrip() {
         let mut s = PagedSpace::new(1 << 20);
         s.write(100, b"hello world").unwrap();
-        assert_eq!(s.read(100, 11).unwrap(), b"hello world");
-        assert_eq!(s.read(99, 13).unwrap(), {
+        assert_eq!(s.read(100, 11).unwrap(), b"hello world"[..]);
+        assert_eq!(s.read(99, 13).unwrap().to_vec(), {
             let mut v = vec![0u8];
             v.extend_from_slice(b"hello world");
             v.push(0);
@@ -219,7 +267,44 @@ mod tests {
         s.write(0, b"abc").unwrap();
         let c = s.snapshot_clone();
         s.write(0, b"xyz").unwrap();
-        assert_eq!(c.read(0, 3).unwrap(), b"abc");
-        assert_eq!(s.read(0, 3).unwrap(), b"xyz");
+        assert_eq!(c.read(0, 3).unwrap(), b"abc"[..]);
+        assert_eq!(s.read(0, 3).unwrap(), b"xyz"[..]);
+    }
+
+    #[test]
+    fn large_in_page_read_is_zero_copy() {
+        let mut s = PagedSpace::new(1 << 20);
+        s.write(64, &[5u8; 4096]).unwrap();
+        let a = s.read(64, 4096).unwrap();
+        let b = s.read(64, 4096).unwrap();
+        // Both reads view the same resident page: no allocation per read.
+        assert!(Bytes::same_buffer(&a, &b));
+        // Unwritten single-page reads share the static zero page.
+        let z1 = s.read(1 << 19, 4096).unwrap();
+        let z2 = s.read((1 << 19) + 8192, 4096).unwrap();
+        assert!(Bytes::same_buffer(&z1, &z2));
+        assert_eq!(z1, vec![0u8; 4096]);
+    }
+
+    #[test]
+    fn small_reads_copy_instead_of_pinning_the_page() {
+        // Metadata-sized reads must not share the page: a later write to
+        // the same page would otherwise pay a 64 KiB copy-on-write.
+        let mut s = PagedSpace::new(1 << 20);
+        s.write(0, &[1u8; 64]).unwrap();
+        let small = s.read(0, 64).unwrap();
+        let big = s.read(0, SHARE_MIN as u32).unwrap();
+        assert!(!Bytes::same_buffer(&small, &big));
+        assert_eq!(small, vec![1u8; 64]);
+    }
+
+    #[test]
+    fn write_after_read_leaves_outstanding_views_stable() {
+        let mut s = PagedSpace::new(1 << 20);
+        s.write(0, b"old").unwrap();
+        let view = s.read(0, 3).unwrap();
+        s.write(0, b"new").unwrap(); // copy-on-write: `view` is shared
+        assert_eq!(view, b"old"[..]);
+        assert_eq!(s.read(0, 3).unwrap(), b"new"[..]);
     }
 }

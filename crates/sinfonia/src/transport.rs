@@ -15,6 +15,8 @@ use std::time::Duration;
 thread_local! {
     static OP_ROUND_TRIPS: Cell<u64> = const { Cell::new(0) };
     static OP_MESSAGES: Cell<u64> = const { Cell::new(0) };
+    static OP_BYTES_OUT: Cell<u64> = const { Cell::new(0) };
+    static OP_BYTES_IN: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Network counters observed during one logical operation on the calling
@@ -26,6 +28,17 @@ pub struct OpNet {
     pub round_trips: u64,
     /// Total messages sent (one per participant per phase).
     pub messages: u64,
+    /// Request bytes shipped to memnodes (item descriptors + payloads).
+    pub bytes_out: u64,
+    /// Response bytes shipped back (read results + framing).
+    pub bytes_in: u64,
+}
+
+impl OpNet {
+    /// Total bytes moved in either direction.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_out + self.bytes_in
+    }
 }
 
 impl OpNet {
@@ -39,6 +52,8 @@ impl OpNet {
 pub fn op_reset() {
     OP_ROUND_TRIPS.with(|c| c.set(0));
     OP_MESSAGES.with(|c| c.set(0));
+    OP_BYTES_OUT.with(|c| c.set(0));
+    OP_BYTES_IN.with(|c| c.set(0));
 }
 
 /// Reads the calling thread's per-operation counters.
@@ -46,6 +61,8 @@ pub fn op_counters() -> OpNet {
     OpNet {
         round_trips: OP_ROUND_TRIPS.with(|c| c.get()),
         messages: OP_MESSAGES.with(|c| c.get()),
+        bytes_out: OP_BYTES_OUT.with(|c| c.get()),
+        bytes_in: OP_BYTES_IN.with(|c| c.get()),
     }
 }
 
@@ -64,14 +81,26 @@ pub struct NetStats {
     pub round_trips: AtomicU64,
     /// Total messages.
     pub messages: AtomicU64,
+    /// Total request bytes shipped to memnodes.
+    pub bytes_out: AtomicU64,
+    /// Total response bytes shipped back.
+    pub bytes_in: AtomicU64,
 }
 
 impl NetStats {
-    /// Snapshot of the counters.
+    /// Snapshot of `(round_trips, messages)`.
     pub fn snapshot(&self) -> (u64, u64) {
         (
             self.round_trips.load(Ordering::Relaxed),
             self.messages.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshot of `(bytes_out, bytes_in)`.
+    pub fn bytes_snapshot(&self) -> (u64, u64) {
+        (
+            self.bytes_out.load(Ordering::Relaxed),
+            self.bytes_in.load(Ordering::Relaxed),
         )
     }
 }
@@ -117,12 +146,24 @@ impl Transport {
     /// optionally injects latency.
     #[inline]
     pub fn round_trip(&self, fanout: usize) {
+        self.round_trip_bytes(fanout, 0, 0);
+    }
+
+    /// Like [`Transport::round_trip`], also accounting the approximate
+    /// request/response payload sizes — the data-plane observable the
+    /// `hotpath` bench reports as bytes/op next to round trips/op.
+    #[inline]
+    pub fn round_trip_bytes(&self, fanout: usize, bytes_out: u64, bytes_in: u64) {
         self.stats.round_trips.fetch_add(1, Ordering::Relaxed);
         self.stats
             .messages
             .fetch_add(fanout as u64, Ordering::Relaxed);
+        self.stats.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        self.stats.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
         OP_ROUND_TRIPS.with(|c| c.set(c.get() + 1));
         OP_MESSAGES.with(|c| c.set(c.get() + fanout as u64));
+        OP_BYTES_OUT.with(|c| c.set(c.get() + bytes_out));
+        OP_BYTES_IN.with(|c| c.set(c.get() + bytes_in));
         let ns = self.inject_ns.load(Ordering::Relaxed);
         if ns > 0 {
             std::thread::sleep(Duration::from_nanos(ns));
@@ -138,17 +179,21 @@ mod tests {
     fn counters_accumulate() {
         let t = Transport::new(Duration::from_micros(100), None);
         let (_, net) = with_op_net(|| {
-            t.round_trip(1);
-            t.round_trip(3);
+            t.round_trip_bytes(1, 100, 40);
+            t.round_trip_bytes(3, 10, 0);
         });
         assert_eq!(
             net,
             OpNet {
                 round_trips: 2,
-                messages: 4
+                messages: 4,
+                bytes_out: 110,
+                bytes_in: 40,
             }
         );
         assert_eq!(t.stats.snapshot(), (2, 4));
+        assert_eq!(t.stats.bytes_snapshot(), (110, 40));
+        assert_eq!(net.bytes_total(), 150);
     }
 
     #[test]
@@ -168,6 +213,8 @@ mod tests {
         let net = OpNet {
             round_trips: 3,
             messages: 5,
+            bytes_out: 0,
+            bytes_in: 0,
         };
         assert_eq!(
             net.modeled_latency(Duration::from_micros(100)),

@@ -21,6 +21,7 @@
 //! the in-memory state reflects exactly the records at or before that tail
 //! (see [`crate::checkpoint`]).
 
+use crate::bytes::Bytes;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -155,8 +156,8 @@ pub enum Record<'a> {
     Apply {
         /// Minitransaction id.
         txid: u64,
-        /// `(offset, data)` writes.
-        writes: &'a [(u64, Vec<u8>)],
+        /// `(offset, data)` writes (payloads shared with the caller).
+        writes: &'a [(u64, Bytes)],
     },
     /// Phase-one vote Ok: staged writes plus the lock spans and the full
     /// participant list (needed to resolve in-doubt outcomes after a
@@ -168,8 +169,9 @@ pub enum Record<'a> {
         participants: &'a [u16],
         /// Canonical lock spans held at this memnode.
         spans: &'a [(u64, u64)],
-        /// Staged `(offset, data)` writes.
-        writes: &'a [(u64, Vec<u8>)],
+        /// Staged `(offset, data)` writes (payloads shared with the
+        /// prepared transaction).
+        writes: &'a [(u64, Bytes)],
     },
     /// Phase-two commit decision for a previously prepared transaction.
     Commit {
@@ -191,7 +193,7 @@ pub enum OwnedRecord {
         /// Minitransaction id.
         txid: u64,
         /// `(offset, data)` writes.
-        writes: Vec<(u64, Vec<u8>)>,
+        writes: Vec<(u64, Bytes)>,
     },
     /// See [`Record::Prepare`].
     Prepare {
@@ -202,7 +204,7 @@ pub enum OwnedRecord {
         /// Lock spans held at this memnode.
         spans: Vec<(u64, u64)>,
         /// Staged writes.
-        writes: Vec<(u64, Vec<u8>)>,
+        writes: Vec<(u64, Bytes)>,
     },
     /// See [`Record::Commit`].
     Commit {
@@ -218,7 +220,7 @@ pub enum OwnedRecord {
 
 /// Appends a `(offset, data)` write list in the shared framing used by
 /// both log records and checkpoint images.
-pub(crate) fn put_writes(out: &mut Vec<u8>, writes: &[(u64, Vec<u8>)]) {
+pub(crate) fn put_writes(out: &mut Vec<u8>, writes: &[(u64, Bytes)]) {
     out.extend_from_slice(&(writes.len() as u32).to_le_bytes());
     for (off, data) in writes {
         out.extend_from_slice(&off.to_le_bytes());
@@ -307,13 +309,13 @@ impl<'a> Cur<'a> {
     pub(crate) fn finished(&self) -> bool {
         self.pos == self.buf.len()
     }
-    pub(crate) fn writes(&mut self) -> Option<Vec<(u64, Vec<u8>)>> {
+    pub(crate) fn writes(&mut self) -> Option<Vec<(u64, Bytes)>> {
         let n = self.u32()? as usize;
         let mut v = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
             let off = self.u64()?;
             let len = self.u32()? as usize;
-            v.push((off, self.take(len)?.to_vec()));
+            v.push((off, Bytes::from(self.take(len)?)));
         }
         Some(v)
     }
@@ -707,7 +709,7 @@ mod tests {
 
     #[test]
     fn record_roundtrip() {
-        let writes = vec![(64u64, vec![1, 2, 3]), (0u64, vec![])];
+        let writes = vec![(64u64, Bytes::from(vec![1, 2, 3])), (0u64, Bytes::new())];
         let spans = vec![(0u64, 8u64), (64, 67)];
         let parts = vec![0u16, 3];
         for rec in [
@@ -776,7 +778,7 @@ mod tests {
     fn append_then_parse() {
         let path = temp("parse");
         let wal = Wal::open(&path, SyncMode::Sync).unwrap();
-        let writes = vec![(8u64, vec![9u8; 4])];
+        let writes = vec![(8u64, Bytes::from(vec![9u8; 4]))];
         let end = {
             let mut a = wal.lock();
             a.append(&Record::Apply {
@@ -801,7 +803,7 @@ mod tests {
     fn torn_tail_truncates_to_last_valid() {
         let path = temp("torn");
         let wal = Wal::open(&path, SyncMode::None).unwrap();
-        let writes = vec![(0u64, vec![1u8; 16])];
+        let writes = vec![(0u64, Bytes::from(vec![1u8; 16]))];
         for t in 0..5 {
             let mut a = wal.lock();
             a.append(&Record::Apply {
@@ -829,7 +831,7 @@ mod tests {
     fn drop_prefix_keeps_suffix() {
         let path = temp("rotate");
         let wal = Wal::open(&path, SyncMode::None).unwrap();
-        let writes = vec![(0u64, vec![7u8; 8])];
+        let writes = vec![(0u64, Bytes::from(vec![7u8; 8]))];
         let mid = {
             let mut a = wal.lock();
             a.append(&Record::Apply {
@@ -867,7 +869,7 @@ mod tests {
             )
             .unwrap(),
         );
-        let writes = vec![(0u64, vec![1u8; 8])];
+        let writes = vec![(0u64, Bytes::from(vec![1u8; 8]))];
         std::thread::scope(|s| {
             for t in 0..8u64 {
                 let wal = wal.clone();

@@ -23,7 +23,7 @@ pub use driver::{
 };
 pub use hist::{Histogram, LatencySummary};
 pub use report::{
-    fmt_bytes, fmt_count, fmt_ns, load_latency_row, occupancy_row, print_table,
-    LOAD_LATENCY_HEADERS,
+    cache_row, fmt_bytes, fmt_count, fmt_ns, load_latency_row, occupancy_row, print_table,
+    CACHE_HEADERS, LOAD_LATENCY_HEADERS,
 };
 pub use spec::{encode_key, load_keys, OpGenerator, OpKind, Operation, SharedState, WorkloadSpec};

@@ -91,26 +91,32 @@ pub fn occupancy_row(
 
 /// Column headers for the standard latency-vs-offered-load table
 /// produced by the open-loop driver (pair with [`load_latency_row`]).
-pub const LOAD_LATENCY_HEADERS: [&str; 7] = [
+/// `B/op` is the data-plane cost next to the round-trip cost: bytes moved
+/// over the (simulated) wire per operation, from the transport's byte
+/// counters.
+pub const LOAD_LATENCY_HEADERS: [&str; 8] = [
     "offered/s",
     "achieved/s",
     "p50",
     "p95",
     "p99",
     "rts/op",
+    "B/op",
     "backlog",
 ];
 
 /// Builds one row of the standard latency-vs-offered-load table from an
 /// open-loop run: offered and achieved throughput, latency percentiles
 /// (measured from scheduled arrival, so queueing delay is included), the
-/// network round trips per operation observed on the instrumented
-/// transport during the run, and the unserved backlog at the deadline.
+/// network round trips and wire bytes per operation observed on the
+/// instrumented transport during the run, and the unserved backlog at the
+/// deadline.
 pub fn load_latency_row(
     offered: f64,
     achieved: f64,
     latency: &LatencySummary,
     round_trips_per_op: f64,
+    bytes_per_op: f64,
     backlog: u64,
 ) -> Vec<String> {
     vec![
@@ -120,7 +126,43 @@ pub fn load_latency_row(
         fmt_ns(latency.p95_ns as f64),
         fmt_ns(latency.p99_ns as f64),
         format!("{round_trips_per_op:.2}"),
+        fmt_bytes(bytes_per_op),
         backlog.to_string(),
+    ]
+}
+
+/// Column headers for the standard proxy node-cache table (pair with
+/// [`cache_row`]): the bounded-cache observability the hot-path work
+/// added. `leaf hits` counts gets served by compare-only revalidation of
+/// a cached leaf.
+pub const CACHE_HEADERS: [&str; 6] = [
+    "proxy",
+    "hits",
+    "misses",
+    "evictions",
+    "resident",
+    "leaf hits",
+];
+
+/// Builds one row of the node-cache table from
+/// `minuet_core::Proxy::cache_stats` plus the proxy's leaf-cache-hit
+/// operation counter. Plain integers keep this crate decoupled from the
+/// core types.
+pub fn cache_row(
+    name: &str,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    resident: u64,
+    leaf_hits: u64,
+) -> Vec<String> {
+    vec![
+        name.to_string(),
+        hits.to_string(),
+        misses.to_string(),
+        evictions.to_string(),
+        resident.to_string(),
+        leaf_hits.to_string(),
     ]
 }
 
@@ -162,11 +204,15 @@ mod tests {
             p99_ns: 5_000_000,
             max_ns: 9_000_000,
         };
-        let row = load_latency_row(10_000.0, 9_500.0, &lat, 0.25, 3);
+        let row = load_latency_row(10_000.0, 9_500.0, &lat, 0.25, 4200.0, 3);
         assert_eq!(row.len(), LOAD_LATENCY_HEADERS.len());
         assert_eq!(row[0], "10.0k");
         assert_eq!(row[5], "0.25");
-        assert_eq!(row[6], "3");
+        assert_eq!(row[6], "4.2kB");
+        assert_eq!(row[7], "3");
+
+        let crow = cache_row("p0", 10, 2, 1, 9, 8);
+        assert_eq!(crow.len(), CACHE_HEADERS.len());
     }
 
     #[test]

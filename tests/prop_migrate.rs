@@ -55,6 +55,7 @@ fn bump_of(mc: &Arc<MinuetCluster>, mem: MemNodeId) -> u32 {
 }
 
 fn read_slot(mc: &Arc<MinuetCluster>, ptr: NodePtr) -> Vec<u8> {
+    // (copies: test-side model code, not the hot path)
     let layout = *mc.layout(0);
     let obj = layout.node_obj(ptr);
     let raw = mc
@@ -62,7 +63,7 @@ fn read_slot(mc: &Arc<MinuetCluster>, ptr: NodePtr) -> Vec<u8> {
         .node(ptr.mem)
         .raw_read(obj.off, obj.cap)
         .unwrap();
-    decode_obj(&raw).data
+    decode_obj(&raw).data.to_vec()
 }
 
 fn live_slots(mc: &Arc<MinuetCluster>, mem: MemNodeId) -> Vec<u32> {
