@@ -1,0 +1,182 @@
+//! Wire vs in-process transport: get/put latency (p50/p95) and bytes per
+//! operation for the same workload on the same topology, differing only
+//! in `ClusterConfig::transport`.
+//!
+//! The in-process mode is the instrumented simulation every other bench
+//! runs on: an RPC is a function call and byte counts are modeled frame
+//! estimates. The wire mode runs the identical coordinator against
+//! memnode servers behind loopback Unix-domain sockets: latency includes
+//! real syscalls, framing, and CRCs, and byte counts are the actual
+//! frames on the wire. The delta between the two columns is the real
+//! cost of the transport — the first wire baseline for this codebase.
+
+use minuet_bench::{bench_tree_config, fast_mode, preload_minuet, records};
+use minuet_core::{MinuetCluster, TreeConfig};
+use minuet_sinfonia::wire::Endpoint;
+use minuet_sinfonia::{
+    ClusterConfig, MemNode, MemNodeId, MemNodeServer, ServerOptions, WireConfig,
+};
+use minuet_workload::{encode_key, fmt_bytes, print_table, Histogram};
+use std::sync::Arc;
+use std::time::Instant;
+
+const MEMNODES: usize = 2;
+
+fn xorshift(rng: &mut u64) -> u64 {
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    *rng
+}
+
+/// Spawns loopback memnode servers sized for the tree layout and returns
+/// (servers, wire cluster). Servers must outlive the cluster.
+fn build_wire(cfg: &TreeConfig) -> (Vec<MemNodeServer>, Arc<MinuetCluster>) {
+    let capacity = MinuetCluster::required_node_capacity(cfg, 1, MEMNODES);
+    let mut servers = Vec::new();
+    let mut endpoints = Vec::new();
+    for i in 0..MEMNODES {
+        let ep = Endpoint::Unix(
+            std::env::temp_dir().join(format!("minuet-bench-wire-{}-{i}.sock", std::process::id())),
+        );
+        let node = Arc::new(MemNode::new(MemNodeId(i as u16), capacity));
+        servers.push(MemNodeServer::spawn(node, &ep, ServerOptions::default()).expect("spawn"));
+        endpoints.push(ep);
+    }
+    let sin = ClusterConfig::with_memnodes(MEMNODES)
+        .with_wire_transport(endpoints, WireConfig::default());
+    let mc = MinuetCluster::with_cluster_config(sin, 1, cfg.clone());
+    (servers, mc)
+}
+
+struct ModeResult {
+    mode: &'static str,
+    get_p50_us: f64,
+    get_p95_us: f64,
+    put_p50_us: f64,
+    put_p95_us: f64,
+    bytes_per_get: f64,
+    bytes_per_put: f64,
+    modeled: bool,
+}
+
+/// One warm pass then a measured pass of `ops` gets and `ops` puts, with
+/// per-op latency histograms and transport byte deltas.
+fn run_mode(mode: &'static str, mc: &Arc<MinuetCluster>, n: u64, ops: u64) -> ModeResult {
+    let mut p = mc.proxy();
+    let mut rng = 0x9E3779B97F4A7C15u64;
+    for _ in 0..ops.min(4_096) {
+        p.get(0, &encode_key(xorshift(&mut rng) % n)).unwrap();
+    }
+
+    let mut get_h = Histogram::new();
+    let (go0, gi0) = mc.sinfonia.transport.stats.bytes_snapshot();
+    for _ in 0..ops {
+        let k = encode_key(xorshift(&mut rng) % n);
+        let t = Instant::now();
+        p.get(0, &k).unwrap();
+        get_h.record_duration(t.elapsed());
+    }
+    let (go1, gi1) = mc.sinfonia.transport.stats.bytes_snapshot();
+
+    let mut put_h = Histogram::new();
+    let (po0, pi0) = mc.sinfonia.transport.stats.bytes_snapshot();
+    for i in 0..ops {
+        let k = encode_key(xorshift(&mut rng) % n);
+        let t = Instant::now();
+        p.put(0, k, i.to_le_bytes().to_vec()).unwrap();
+        put_h.record_duration(t.elapsed());
+    }
+    let (po1, pi1) = mc.sinfonia.transport.stats.bytes_snapshot();
+
+    ModeResult {
+        mode,
+        get_p50_us: get_h.percentile(50.0) as f64 / 1_000.0,
+        get_p95_us: get_h.percentile(95.0) as f64 / 1_000.0,
+        put_p50_us: put_h.percentile(50.0) as f64 / 1_000.0,
+        put_p95_us: put_h.percentile(95.0) as f64 / 1_000.0,
+        bytes_per_get: ((go1 - go0) + (gi1 - gi0)) as f64 / ops as f64,
+        bytes_per_put: ((po1 - po0) + (pi1 - pi0)) as f64 / ops as f64,
+        modeled: mc.sinfonia.transport.bytes_are_modeled(),
+    }
+}
+
+fn main() {
+    minuet_bench::header(
+        "Wire vs in-process transport: get/put latency and bytes per op",
+        "the same coordinator and tree code runs over real loopback sockets \
+         (memnoded wire protocol) or as the instrumented simulation, selected \
+         only by ClusterConfig::transport",
+    );
+
+    let n = records();
+    let ops = if fast_mode() { 2_000 } else { 20_000 };
+    let cfg = bench_tree_config();
+
+    let mc_in = MinuetCluster::new(MEMNODES, 1, cfg.clone());
+    preload_minuet(&mc_in, 0, n);
+    let inproc = run_mode("in-process", &mc_in, n, ops);
+    drop(mc_in);
+
+    let (servers, mc_wire) = build_wire(&cfg);
+    preload_minuet(&mc_wire, 0, n);
+    let wire = run_mode("wire (unix)", &mc_wire, n, ops);
+    drop(mc_wire);
+    drop(servers);
+
+    let rows: Vec<Vec<String>> = [&inproc, &wire]
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                format!("{:.1}", r.get_p50_us),
+                format!("{:.1}", r.get_p95_us),
+                format!("{:.1}", r.put_p50_us),
+                format!("{:.1}", r.put_p95_us),
+                format!(
+                    "{}{}",
+                    fmt_bytes(r.bytes_per_get),
+                    if r.modeled { " (modeled)" } else { "" }
+                ),
+                format!(
+                    "{}{}",
+                    fmt_bytes(r.bytes_per_put),
+                    if r.modeled { " (modeled)" } else { "" }
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("{MEMNODES} memnodes, {n} records, {ops} ops/phase, single client"),
+        &[
+            "transport",
+            "get p50 µs",
+            "get p95 µs",
+            "put p50 µs",
+            "put p95 µs",
+            "B/get",
+            "B/put",
+        ],
+        &rows,
+    );
+    println!();
+    println!(
+        "baseline: wire get p50 {:.1}µs put p50 {:.1}µs, {:.0} B/get {:.0} B/put on the wire \
+         (in-process: get p50 {:.1}µs put p50 {:.1}µs)",
+        wire.get_p50_us,
+        wire.put_p50_us,
+        wire.bytes_per_get,
+        wire.bytes_per_put,
+        inproc.get_p50_us,
+        inproc.put_p50_us,
+    );
+
+    // Sanity, not a perf gate: the wire path must actually cost something
+    // (real syscalls per round trip) and its byte counters must be real.
+    assert!(!wire.modeled, "wire mode must report real frame bytes");
+    assert!(inproc.modeled, "in-process mode reports modeled bytes");
+    assert!(
+        wire.bytes_per_get > 0.0 && wire.bytes_per_put > 0.0,
+        "wire byte accounting is broken"
+    );
+}

@@ -274,6 +274,14 @@ impl MinuetCluster {
         Layout::required_capacity(n_trees, cfg.layout, n_mems).max(1 << 20)
     }
 
+    /// Address-space capacity [`MinuetCluster::with_cluster_config`] will
+    /// require of each memnode for this tree configuration. Wire-mode
+    /// setups use this to size their `memnoded` daemons: the cluster
+    /// validates server capacity against it at handshake time.
+    pub fn required_node_capacity(cfg: &TreeConfig, n_trees: u32, n_mems: usize) -> u64 {
+        Self::capacity_for(cfg, n_trees, Self::layout_mems(cfg, n_mems))
+    }
+
     /// Number of memnodes.
     pub fn n_memnodes(&self) -> usize {
         self.sinfonia.n()

@@ -1,0 +1,164 @@
+//! `memnoded` — the standalone memnode daemon.
+//!
+//! Serves one Sinfonia memnode over the binary wire protocol on a TCP or
+//! Unix-socket endpoint, thread-per-connection with a bounded accept pool.
+//! Coordinators connect with `ClusterConfig::with_wire_transport`.
+//!
+//! ```text
+//! memnoded --listen unix:/tmp/mem0.sock --id 0 --capacity-mb 64
+//! memnoded --listen tcp:127.0.0.1:7400 --id 1 --capacity-mb 256 \
+//!          --dir /var/lib/minuet/mem1 --sync batch
+//! ```
+//!
+//! With `--dir`, the memnode is durable: it reopens an existing
+//! checkpoint + redo log in the directory (crash restart) or starts fresh,
+//! and logs before applying. Without it, state is purely in memory.
+//!
+//! The process exits cleanly when a client sends the `Shutdown` RPC.
+
+use minuet_sinfonia::wire::Endpoint;
+use minuet_sinfonia::{
+    DurabilityConfig, MemNode, MemNodeId, MemNodeServer, ServerOptions, SyncMode,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    listen: Endpoint,
+    id: u16,
+    capacity: u64,
+    dir: Option<PathBuf>,
+    sync: SyncMode,
+    max_connections: usize,
+}
+
+const USAGE: &str = "memnoded --listen <tcp:HOST:PORT|unix:PATH> [--id N] [--capacity-mb MB]
+         [--dir PATH] [--sync none|async|sync|group] [--max-connections N]
+
+  --listen            endpoint to serve on (required)
+  --id                memnode id this daemon serves (default 0)
+  --capacity-mb       address-space capacity in MiB (default 256)
+  --dir               durability directory; resumes existing state if present
+  --sync              log sync mode when --dir is set (default async)
+  --max-connections   bounded accept pool size (default 64)";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: Endpoint::Tcp(String::new()),
+        id: 0,
+        capacity: 256 << 20,
+        dir: None,
+        sync: SyncMode::Async,
+        max_connections: ServerOptions::default().max_connections,
+    };
+    let mut listen_set = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--listen" => {
+                let v = value("--listen")?;
+                args.listen = Endpoint::parse(&v).map_err(|e| format!("--listen {v}: {e}"))?;
+                listen_set = true;
+            }
+            "--id" => {
+                let v = value("--id")?;
+                args.id = v.parse().map_err(|_| format!("--id {v}: not a u16"))?;
+            }
+            "--capacity-mb" => {
+                let v = value("--capacity-mb")?;
+                let mb: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--capacity-mb {v}: not a number"))?;
+                args.capacity = mb << 20;
+            }
+            "--dir" => args.dir = Some(PathBuf::from(value("--dir")?)),
+            "--sync" => {
+                args.sync = match value("--sync")?.as_str() {
+                    "none" => SyncMode::None,
+                    "async" => SyncMode::Async,
+                    "sync" => SyncMode::Sync,
+                    "group" => SyncMode::GroupCommit {
+                        window: std::time::Duration::from_millis(1),
+                    },
+                    other => return Err(format!("--sync {other}: use none|async|sync|group")),
+                }
+            }
+            "--max-connections" => {
+                let v = value("--max-connections")?;
+                args.max_connections = v
+                    .parse()
+                    .map_err(|_| format!("--max-connections {v}: not a number"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+        }
+    }
+    if !listen_set {
+        return Err(format!("--listen is required\n\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn run(args: Args) -> std::io::Result<()> {
+    let id = MemNodeId(args.id);
+    let node = match &args.dir {
+        Some(dir) => {
+            let dcfg = DurabilityConfig {
+                dir: Some(dir.clone()),
+                sync: args.sync,
+                ..Default::default()
+            };
+            let wal = minuet_sinfonia::recovery::wal_path(dir, id);
+            if wal.exists() {
+                let (node, meta, _) = MemNode::open_from_disk(id, args.capacity, &dcfg)?;
+                let staged = meta.staged.len();
+                if staged > 0 {
+                    eprintln!(
+                        "memnoded: {id} reopened with {staged} in-doubt transaction(s); \
+                         a coordinator must resolve them"
+                    );
+                }
+                node
+            } else {
+                MemNode::durable(id, args.capacity, &dcfg)?
+            }
+        }
+        None => MemNode::new(id, args.capacity),
+    };
+    let opts = ServerOptions {
+        max_connections: args.max_connections,
+        ..Default::default()
+    };
+    let server = MemNodeServer::spawn(Arc::new(node), &args.listen, opts)?;
+    eprintln!(
+        "memnoded: serving {id} on {} (capacity {} MiB{})",
+        args.listen,
+        args.capacity >> 20,
+        if args.dir.is_some() { ", durable" } else { "" }
+    );
+    server.wait();
+    eprintln!("memnoded: {id} shutting down");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("memnoded: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! Wire-transport client: a connection-pooled [`NodeRpc`] over sockets.
+//!
+//! [`RemoteNode`] implements the full memnode surface against a
+//! [`crate::server::MemNodeServer`] (or a standalone `memnoded` process):
+//! one request frame out, one response frame back, over a small pool of
+//! blocking connections with per-request timeouts.
+//!
+//! Failure model: any transport failure — dial refused, request timeout,
+//! torn frame — surfaces as [`Unavailable`], exactly like a crashed
+//! in-process memnode, so the execution layer's retry/recovery machinery
+//! ([`crate::exec`], `unavailable_retry`) covers network faults without a
+//! separate path. After a failure the client enters capped exponential
+//! backoff: requests fail fast (no dial) until the backoff window passes,
+//! so a dead server costs a bounded number of file descriptors and
+//! syscalls, not one dial per retry. Fail-fast rejections do not re-arm
+//! the window — only real dial/exchange failures do — so a server that
+//! comes back is re-probed within one backoff period even under tight
+//! retry loops.
+
+use crate::addr::MemNodeId;
+use crate::bytes::Bytes;
+use crate::lock::TxId;
+use crate::memnode::{SingleResult, Unavailable, Vote};
+use crate::minitx::{LockPolicy, Shard};
+use crate::recovery::NodeMeta;
+use crate::rpc::{BatchItem, NodeRpc, NodeStats};
+use crate::transport::Transport;
+use crate::wire::{
+    read_frame, Endpoint, NodeFlags, Request, Response, WireBatchItem, WireShard, PROTO_VERSION,
+};
+use parking_lot::Mutex;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the wire transport client.
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// Per-request read/write timeout; an expired request counts as a
+    /// node failure ([`Unavailable`]).
+    pub request_timeout: Duration,
+    /// Dial timeout for new connections.
+    pub connect_timeout: Duration,
+    /// Idle connections kept per memnode; extra connections are closed
+    /// when returned.
+    pub max_idle_conns: usize,
+    /// First reconnect backoff delay after a failure.
+    pub backoff_base: Duration,
+    /// Backoff ceiling: consecutive failures double the delay up to this.
+    pub backoff_cap: Duration,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            request_timeout: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(1),
+            max_idle_conns: 4,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Reconnect state: consecutive failures and the fail-fast window.
+#[derive(Default)]
+struct Backoff {
+    failures: u32,
+    until: Option<Instant>,
+}
+
+/// A wire-backed memnode handle (see module docs).
+pub struct RemoteNode {
+    id: MemNodeId,
+    endpoint: Endpoint,
+    cfg: WireConfig,
+    transport: Arc<Transport>,
+    idle: Mutex<Vec<crate::wire::Stream>>,
+    backoff: Mutex<Backoff>,
+    /// Server capacity learned from the `Hello` handshake.
+    capacity: AtomicU64,
+}
+
+impl RemoteNode {
+    /// Creates a handle. No connection is made until the first request
+    /// (use [`RemoteNode::hello`] to validate eagerly).
+    pub fn new(
+        id: MemNodeId,
+        endpoint: Endpoint,
+        cfg: WireConfig,
+        transport: Arc<Transport>,
+    ) -> RemoteNode {
+        RemoteNode {
+            id,
+            endpoint,
+            cfg,
+            transport,
+            idle: Mutex::new(Vec::new()),
+            backoff: Mutex::new(Backoff::default()),
+            capacity: AtomicU64::new(0),
+        }
+    }
+
+    /// The endpoint this handle dials.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Performs the `Hello` handshake, validating protocol version and
+    /// node id, and learning the server's capacity. Returns the capacity.
+    pub fn hello(&self) -> io::Result<u64> {
+        match self.request(&Request::Hello {
+            version: PROTO_VERSION,
+        }) {
+            Ok(Response::Hello {
+                version,
+                node,
+                capacity,
+            }) => {
+                if version != PROTO_VERSION {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "protocol version mismatch: server {version}, client {PROTO_VERSION}"
+                        ),
+                    ));
+                }
+                if node != self.id.0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "endpoint {} serves memnode {node}, expected {}",
+                            self.endpoint, self.id
+                        ),
+                    ));
+                }
+                Ok(capacity)
+            }
+            Ok(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected hello response: {other:?}"),
+            )),
+            Err(_) => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("memnode {} at {} unreachable", self.id, self.endpoint),
+            )),
+        }
+    }
+
+    /// Consecutive transport failures since the last success (test /
+    /// observability hook).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.backoff.lock().failures
+    }
+
+    /// The current reconnect delay implied by the failure count: doubles
+    /// from `backoff_base`, capped at `backoff_cap`.
+    pub fn backoff_delay(&self) -> Duration {
+        let failures = self.backoff.lock().failures;
+        Self::delay_for(&self.cfg, failures)
+    }
+
+    fn delay_for(cfg: &WireConfig, failures: u32) -> Duration {
+        if failures == 0 {
+            return Duration::ZERO;
+        }
+        let exp = (failures - 1).min(16);
+        cfg.backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(cfg.backoff_cap)
+    }
+
+    fn dial(&self) -> io::Result<crate::wire::Stream> {
+        let s = self.endpoint.dial(self.cfg.connect_timeout)?;
+        s.set_timeouts(Some(self.cfg.request_timeout))?;
+        Ok(s)
+    }
+
+    /// Pops an idle connection or dials. Fails fast (without dialing)
+    /// while inside the backoff window.
+    fn get_conn(&self) -> io::Result<(crate::wire::Stream, bool)> {
+        if let Some(s) = self.idle.lock().pop() {
+            return Ok((s, true));
+        }
+        {
+            let b = self.backoff.lock();
+            if let Some(until) = b.until {
+                if Instant::now() < until {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        "in reconnect backoff",
+                    ));
+                }
+            }
+        }
+        Ok((self.dial()?, false))
+    }
+
+    fn put_conn(&self, s: crate::wire::Stream) {
+        let mut idle = self.idle.lock();
+        if idle.len() < self.cfg.max_idle_conns {
+            idle.push(s);
+        }
+        // Else: dropped, closing the socket.
+    }
+
+    fn note_success(&self) {
+        let mut b = self.backoff.lock();
+        b.failures = 0;
+        b.until = None;
+    }
+
+    fn note_failure(&self) {
+        let mut b = self.backoff.lock();
+        b.failures = b.failures.saturating_add(1);
+        b.until = Some(Instant::now() + Self::delay_for(&self.cfg, b.failures));
+        // Stale pooled connections are useless after a failure (the server
+        // likely died); drop them so recovery starts from fresh dials.
+        self.idle.lock().clear();
+    }
+
+    fn exchange(&self, conn: &mut crate::wire::Stream, frame: &[u8]) -> io::Result<Response> {
+        conn.write_all(frame)?;
+        conn.flush()?;
+        let payload = read_frame(conn)?;
+        self.transport.record_wire_bytes(
+            frame.len() as u64,
+            (payload.len() + crate::wire::FRAME_HDR) as u64,
+        );
+        let resp = Response::decode(&payload)?;
+        Ok(resp)
+    }
+
+    /// One request/response exchange. A failure on a *pooled* connection
+    /// is retried once on a fresh dial (the pool may hold sockets from
+    /// before a server restart); failures on fresh connections surface
+    /// immediately.
+    fn request(&self, req: &Request) -> Result<Response, Unavailable> {
+        let frame = req.encode();
+        for attempt in 0..2 {
+            let (mut conn, pooled) = match self.get_conn() {
+                Ok(c) => c,
+                Err(e) => {
+                    // A fail-fast rejection inside the backoff window must
+                    // NOT re-arm the window: callers that retry tightly
+                    // (the coordinator's unavailable loop) would otherwise
+                    // keep the breaker open forever and never re-probe a
+                    // server that came back. Only real dial failures count.
+                    if e.kind() != io::ErrorKind::WouldBlock {
+                        self.note_failure();
+                    }
+                    return Err(Unavailable(self.id));
+                }
+            };
+            match self.exchange(&mut conn, &frame) {
+                Ok(resp) => {
+                    self.put_conn(conn);
+                    self.note_success();
+                    return Ok(resp);
+                }
+                Err(_) if pooled && attempt == 0 => {
+                    // Drop the stale socket and retry on a fresh one.
+                    continue;
+                }
+                Err(_) => {
+                    self.note_failure();
+                    return Err(Unavailable(self.id));
+                }
+            }
+        }
+        unreachable!("request retries exhausted without returning")
+    }
+
+    /// Maps a response to `Result<T, Unavailable>`, treating server-side
+    /// errors (bounds violations, I/O failures) as unavailability after
+    /// logging them.
+    fn expect<T>(
+        &self,
+        resp: Result<Response, Unavailable>,
+        f: impl FnOnce(Response) -> Option<T>,
+    ) -> Result<T, Unavailable> {
+        match resp {
+            Ok(Response::Unavailable(id)) => Err(Unavailable(MemNodeId(id))),
+            Ok(Response::Error(msg)) => {
+                eprintln!("memnode {} RPC error: {msg}", self.id);
+                Err(Unavailable(self.id))
+            }
+            Ok(other) => f(other).ok_or_else(|| {
+                eprintln!("memnode {} sent a mismatched response type", self.id);
+                Unavailable(self.id)
+            }),
+            Err(u) => Err(u),
+        }
+    }
+
+    /// Asks the server process to exit cleanly (used by orchestration and
+    /// the CI smoke test).
+    pub fn shutdown_server(&self) -> Result<(), Unavailable> {
+        self.expect(self.request(&Request::Shutdown), |r| match r {
+            Response::Unit => Some(()),
+            _ => None,
+        })
+    }
+
+    fn flags(&self) -> Option<NodeFlags> {
+        match self.request(&Request::Flags) {
+            Ok(Response::Flags(f)) => Some(f),
+            _ => None,
+        }
+    }
+
+    fn stats_rpc(&self) -> Option<NodeStats> {
+        match self.request(&Request::Stats) {
+            Ok(Response::Stats(s)) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl NodeRpc for RemoteNode {
+    fn id(&self) -> MemNodeId {
+        self.id
+    }
+
+    fn capacity(&self) -> u64 {
+        match self.capacity.load(Ordering::Relaxed) {
+            0 => {
+                let cap = self.hello().unwrap_or(0);
+                self.capacity.store(cap, Ordering::Relaxed);
+                cap
+            }
+            cap => cap,
+        }
+    }
+
+    fn exec_single(
+        &self,
+        txid: TxId,
+        shard: &Shard<'_>,
+        policy: LockPolicy,
+    ) -> Result<SingleResult, Unavailable> {
+        let req = Request::ExecSingle {
+            txid,
+            policy,
+            shard: WireShard::from_shard(shard),
+        };
+        self.expect(self.request(&req), |r| match r {
+            Response::Single(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    fn exec_batch(
+        &self,
+        items: &[BatchItem<'_, '_>],
+        _service: Duration,
+    ) -> Vec<Result<SingleResult, Unavailable>> {
+        let req = Request::ExecBatch {
+            items: items
+                .iter()
+                .map(|it| WireBatchItem {
+                    txid: it.txid,
+                    policy: it.policy,
+                    shard: WireShard::from_shard(it.shard),
+                })
+                .collect(),
+        };
+        let fail = || vec![Err(Unavailable(self.id)); items.len()];
+        match self.request(&req) {
+            Ok(Response::Batch(members)) if members.len() == items.len() => members
+                .into_iter()
+                .map(|m| m.map_err(|id| Unavailable(MemNodeId(id))))
+                .collect(),
+            Ok(Response::Unavailable(id)) => {
+                vec![Err(Unavailable(MemNodeId(id))); items.len()]
+            }
+            Ok(Response::Error(msg)) => {
+                eprintln!("memnode {} batch RPC error: {msg}", self.id);
+                fail()
+            }
+            _ => fail(),
+        }
+    }
+
+    fn prepare(
+        &self,
+        txid: TxId,
+        shard: &Shard<'_>,
+        policy: LockPolicy,
+        participants: &[MemNodeId],
+    ) -> Result<Vote, Unavailable> {
+        let req = Request::Prepare {
+            txid,
+            policy,
+            participants: participants.iter().map(|m| m.0).collect(),
+            shard: WireShard::from_shard(shard),
+        };
+        self.expect(self.request(&req), |r| match r {
+            Response::Vote(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    fn commit(&self, txid: TxId) -> Result<(), Unavailable> {
+        self.expect(self.request(&Request::Commit { txid }), |r| match r {
+            Response::Unit => Some(()),
+            _ => None,
+        })
+    }
+
+    fn abort(&self, txid: TxId) -> Result<(), Unavailable> {
+        self.expect(self.request(&Request::Abort { txid }), |r| match r {
+            Response::Unit => Some(()),
+            _ => None,
+        })
+    }
+
+    fn raw_read(&self, off: u64, len: u32) -> Result<Bytes, Unavailable> {
+        self.expect(self.request(&Request::RawRead { off, len }), |r| match r {
+            Response::Data(b) => Some(b),
+            _ => None,
+        })
+    }
+
+    fn raw_write(&self, off: u64, data: &[u8]) -> Result<(), Unavailable> {
+        let req = Request::RawWrite {
+            off,
+            data: Bytes::copy_from_slice(data),
+        };
+        self.expect(self.request(&req), |r| match r {
+            Response::Unit => Some(()),
+            _ => None,
+        })
+    }
+
+    fn is_crashed(&self) -> bool {
+        // An unreachable node is indistinguishable from a crashed one.
+        self.flags().is_none_or(|f| f.crashed)
+    }
+
+    fn is_joining(&self) -> bool {
+        self.flags().is_some_and(|f| f.joining)
+    }
+
+    fn set_joining(&self, joining: bool) {
+        let _ = self.request(&Request::SetJoining(joining));
+    }
+
+    fn is_retiring(&self) -> bool {
+        self.flags().is_some_and(|f| f.retiring)
+    }
+
+    fn set_retiring(&self, retiring: bool) {
+        let _ = self.request(&Request::SetRetiring(retiring));
+    }
+
+    fn crash(&self) {
+        let _ = self.request(&Request::Crash);
+    }
+
+    fn recover(&self) {
+        let _ = self.request(&Request::Recover);
+    }
+
+    fn occupy(&self, _d: Duration) {
+        // Remote nodes have real service time; modeled occupancy is an
+        // in-process instrument.
+    }
+
+    fn in_doubt(&self) -> usize {
+        self.stats_rpc().map_or(0, |s| s.in_doubt as usize)
+    }
+
+    fn node_meta(&self) -> NodeMeta {
+        match self.request(&Request::Meta) {
+            Ok(Response::Meta(m)) => m,
+            _ => NodeMeta::default(),
+        }
+    }
+
+    fn checkpoint(&self) -> io::Result<bool> {
+        match self.request(&Request::Checkpoint) {
+            Ok(Response::Bool(b)) => Ok(b),
+            Ok(Response::Error(msg)) => Err(io::Error::other(msg)),
+            _ => Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                format!("memnode {} unreachable", self.id),
+            )),
+        }
+    }
+
+    fn wal_retained_bytes(&self) -> u64 {
+        self.stats_rpc().map_or(0, |s| s.wal_retained_bytes)
+    }
+
+    fn node_stats(&self) -> NodeStats {
+        self.stats_rpc().unwrap_or_default()
+    }
+
+    fn mirror_consistent(&self, probe: &[(u64, u32)]) -> bool {
+        let req = Request::MirrorConsistent {
+            probe: probe.to_vec(),
+        };
+        matches!(self.request(&req), Ok(Response::Bool(true)))
+    }
+}

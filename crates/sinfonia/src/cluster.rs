@@ -1,33 +1,69 @@
 //! Cluster construction and the application-facing execution handle.
 
 use crate::addr::MemNodeId;
+use crate::client::{RemoteNode, WireConfig};
 use crate::error::SinfoniaError;
 use crate::memnode::MemNode;
 use crate::minitx::{Minitransaction, Outcome};
 use crate::recovery::{self, NodeMeta, Resolution};
+use crate::rpc::{NodeHandle, NodeRpc};
 use crate::transport::Transport;
 use crate::wal::DurabilityConfig;
+use crate::wire::Endpoint;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Configuration of a simulated Sinfonia cluster.
+/// How the coordinator reaches its memnodes.
+#[derive(Debug, Clone, Default)]
+pub enum TransportMode {
+    /// Memnodes are in-process objects; an RPC is an instrumented function
+    /// call. This is the simulation mode every test and benchmark runs by
+    /// default.
+    #[default]
+    InProcess,
+    /// Memnodes are reached over real sockets via the binary wire protocol
+    /// ([`crate::wire`]). Each configured memnode id maps to the endpoint
+    /// at the same index; the servers ([`crate::server::MemNodeServer`] or
+    /// standalone `memnoded` processes) must already be listening.
+    Wire {
+        /// One endpoint per memnode, indexed by id.
+        endpoints: Vec<Endpoint>,
+        /// Client-side pooling / timeout / backoff knobs.
+        wire: WireConfig,
+    },
+}
+
+impl TransportMode {
+    /// True for the in-process simulation mode.
+    pub fn is_in_process(&self) -> bool {
+        matches!(self, TransportMode::InProcess)
+    }
+}
+
+/// Configuration of a Sinfonia cluster (in-process or wire-backed; see
+/// [`TransportMode`]).
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of memnodes.
     pub memnodes: usize,
-    /// Address-space capacity per memnode, in bytes.
+    /// Address-space capacity per memnode, in bytes. In wire mode this is
+    /// validated against (not imposed on) the servers' capacity.
     pub capacity_per_node: u64,
     /// RTT used for modeled latency reporting.
     pub model_rtt: Duration,
-    /// If set, each round trip really sleeps this long.
+    /// If set, each round trip really sleeps this long (in-process mode;
+    /// wire round trips have real latency already).
     pub inject_rtt: Option<Duration>,
     /// How long `execute` keeps retrying a crashed participant before
     /// surfacing [`SinfoniaError::Unavailable`].
     pub unavailable_retry: Duration,
-    /// Durability settings (off by default).
+    /// Durability settings (off by default). In wire mode durability is a
+    /// server-side concern: configure it on the daemons, not here.
     pub durability: DurabilityConfig,
+    /// How the coordinator reaches its memnodes.
+    pub transport: TransportMode,
 }
 
 impl Default for ClusterConfig {
@@ -39,6 +75,7 @@ impl Default for ClusterConfig {
             inject_rtt: None,
             unavailable_retry: Duration::from_secs(2),
             durability: DurabilityConfig::default(),
+            transport: TransportMode::InProcess,
         }
     }
 }
@@ -55,6 +92,14 @@ impl ClusterConfig {
     /// Sets the durability configuration.
     pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// Switches the cluster to wire transport against the given endpoints
+    /// (one per memnode, indexed by id).
+    pub fn with_wire_transport(mut self, endpoints: Vec<Endpoint>, wire: WireConfig) -> Self {
+        self.memnodes = endpoints.len();
+        self.transport = TransportMode::Wire { endpoints, wire };
         self
     }
 }
@@ -85,9 +130,10 @@ const CHECKPOINT_POLL: Duration = Duration::from_millis(5);
 /// new memnode to a *running* cluster. Memnode ids stay dense and are
 /// never reused, so the membership vector only ever grows.
 pub struct SinfoniaCluster {
-    nodes: Arc<parking_lot::RwLock<Vec<Arc<MemNode>>>>,
-    /// The instrumented transport (round-trip accounting).
-    pub transport: Transport,
+    nodes: Arc<parking_lot::RwLock<Vec<NodeHandle>>>,
+    /// The instrumented transport (round-trip accounting). Shared with the
+    /// wire clients in wire mode, which feed real frame sizes into it.
+    pub transport: Arc<Transport>,
     /// Configuration the cluster was built with.
     pub cfg: ClusterConfig,
     txid: AtomicU64,
@@ -111,19 +157,83 @@ impl SinfoniaCluster {
     /// to resume existing state.
     pub fn new(cfg: ClusterConfig) -> Arc<Self> {
         Self::check_cfg(&cfg);
-        let nodes: Vec<Arc<MemNode>> = (0..cfg.memnodes)
-            .map(|i| {
-                let id = MemNodeId(i as u16);
-                let node = if cfg.durability.enabled() {
-                    MemNode::durable(id, cfg.capacity_per_node, &cfg.durability)
-                        .expect("creating durable memnode failed")
-                } else {
-                    MemNode::new(id, cfg.capacity_per_node)
-                };
-                Arc::new(node)
-            })
-            .collect();
-        Self::assemble(nodes, cfg, 1)
+        match cfg.transport.clone() {
+            TransportMode::InProcess => {
+                let nodes: Vec<NodeHandle> = (0..cfg.memnodes)
+                    .map(|i| {
+                        let id = MemNodeId(i as u16);
+                        let node = if cfg.durability.enabled() {
+                            MemNode::durable(id, cfg.capacity_per_node, &cfg.durability)
+                                .expect("creating durable memnode failed")
+                        } else {
+                            MemNode::new(id, cfg.capacity_per_node)
+                        };
+                        Arc::new(node) as NodeHandle
+                    })
+                    .collect();
+                let transport = Arc::new(Transport::new(cfg.model_rtt, cfg.inject_rtt));
+                Self::assemble(nodes, transport, cfg, 1)
+            }
+            TransportMode::Wire { endpoints, wire } => {
+                assert_eq!(
+                    endpoints.len(),
+                    cfg.memnodes,
+                    "wire transport needs one endpoint per memnode"
+                );
+                assert!(
+                    !cfg.durability.enabled(),
+                    "durability is server-side in wire mode: configure it on the daemons"
+                );
+                let transport = Arc::new(Transport::new_wire(cfg.model_rtt, cfg.inject_rtt));
+                let nodes: Vec<NodeHandle> = endpoints
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, ep)| {
+                        let remote = RemoteNode::new(
+                            MemNodeId(i as u16),
+                            ep,
+                            wire.clone(),
+                            transport.clone(),
+                        );
+                        Self::await_hello(&remote, &cfg);
+                        Arc::new(remote) as NodeHandle
+                    })
+                    .collect();
+                Self::assemble(nodes, transport, cfg, 1)
+            }
+        }
+    }
+
+    /// Eagerly handshakes a wire node, retrying for up to the
+    /// `unavailable_retry` budget (servers may still be binding), and
+    /// validates that the server's capacity covers the configured one.
+    fn await_hello(remote: &RemoteNode, cfg: &ClusterConfig) {
+        let deadline = Instant::now() + cfg.unavailable_retry;
+        let capacity = loop {
+            match remote.hello() {
+                Ok(cap) => break cap,
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    panic!("memnode {} handshake failed: {e}", remote.id())
+                }
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        panic!(
+                            "memnode {} at {} unreachable after {:?}: {e}",
+                            remote.id(),
+                            remote.endpoint(),
+                            cfg.unavailable_retry
+                        );
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        };
+        assert!(
+            capacity >= cfg.capacity_per_node,
+            "memnode {} capacity {capacity} is below the configured {}",
+            remote.id(),
+            cfg.capacity_per_node
+        );
     }
 
     /// Rebuilds a cluster from the durability directory: every memnode
@@ -137,6 +247,10 @@ impl SinfoniaCluster {
     /// fully crashed: the directory is reopened exclusively.
     pub fn restart_from_disk(cfg: ClusterConfig) -> io::Result<(Arc<Self>, Resolution)> {
         Self::check_cfg(&cfg);
+        assert!(
+            cfg.transport.is_in_process(),
+            "restart_from_disk reopens local files; wire-mode recovery happens daemon-side"
+        );
         assert!(
             cfg.durability.enabled(),
             "restart_from_disk needs durability configured"
@@ -159,11 +273,12 @@ impl SinfoniaCluster {
             if recovery::join_marker_path(&dir, id).exists() {
                 node.set_joining(true);
             }
-            nodes.push(Arc::new(node));
+            nodes.push(Arc::new(node) as NodeHandle);
             metas.push(meta);
             max_txid = max_txid.max(node_max);
         }
-        let cluster = Self::assemble(nodes, cfg, max_txid + 1);
+        let transport = Arc::new(Transport::new(cfg.model_rtt, cfg.inject_rtt));
+        let cluster = Self::assemble(nodes, transport, cfg, max_txid + 1);
         let resolution = recovery::resolve_in_doubt(&cluster, &metas);
         Ok((cluster, resolution))
     }
@@ -176,7 +291,12 @@ impl SinfoniaCluster {
         );
     }
 
-    fn assemble(nodes: Vec<Arc<MemNode>>, cfg: ClusterConfig, first_txid: u64) -> Arc<Self> {
+    fn assemble(
+        nodes: Vec<NodeHandle>,
+        transport: Arc<Transport>,
+        cfg: ClusterConfig,
+        first_txid: u64,
+    ) -> Arc<Self> {
         let nodes = Arc::new(parking_lot::RwLock::new(nodes));
         let ckpt_stop = Arc::new(AtomicBool::new(false));
         let ckpt_thread = if cfg.durability.enabled() && cfg.durability.checkpoint_log_bytes > 0 {
@@ -189,13 +309,13 @@ impl SinfoniaCluster {
             Some(std::thread::spawn(move || {
                 while !stop.load(Ordering::Acquire) {
                     std::thread::sleep(CHECKPOINT_POLL);
-                    let snapshot: Vec<Arc<MemNode>> = nodes.read().clone();
+                    let snapshot: Vec<NodeHandle> = nodes.read().clone();
                     for node in &snapshot {
                         if !node.is_crashed() && node.wal_retained_bytes() > threshold {
                             if let Err(e) = node.checkpoint() {
                                 eprintln!(
                                     "background checkpoint of memnode {} failed: {e}",
-                                    node.id
+                                    node.id()
                                 );
                             }
                         }
@@ -207,7 +327,7 @@ impl SinfoniaCluster {
         };
         Arc::new(SinfoniaCluster {
             nodes,
-            transport: Transport::new(cfg.model_rtt, cfg.inject_rtt),
+            transport,
             cfg,
             txid: AtomicU64::new(first_txid),
             membership_gate: parking_lot::RwLock::new(()),
@@ -228,14 +348,15 @@ impl SinfoniaCluster {
         (0..self.n() as u16).map(MemNodeId)
     }
 
-    /// Access a memnode by id.
+    /// Access a memnode by id (a local object or a wire client, behind the
+    /// same [`NodeRpc`] surface).
     #[inline]
-    pub fn node(&self, id: MemNodeId) -> Arc<MemNode> {
+    pub fn node(&self, id: MemNodeId) -> NodeHandle {
         self.nodes.read()[id.index()].clone()
     }
 
     /// Snapshot of the current membership.
-    pub fn nodes_snapshot(&self) -> Vec<Arc<MemNode>> {
+    pub fn nodes_snapshot(&self) -> Vec<NodeHandle> {
         self.nodes.read().clone()
     }
 
@@ -248,6 +369,13 @@ impl SinfoniaCluster {
     /// replicated regions over and then calls
     /// [`SinfoniaCluster::finish_join`].
     pub fn add_memnode(&self) -> io::Result<MemNodeId> {
+        if !self.cfg.transport.is_in_process() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "elastic scale-out over the wire requires launching a daemon first; \
+                 not supported from the client yet",
+            ));
+        }
         // Exclude in-flight replicated commits while membership changes
         // (see `membership_gate`); lock order is gate, then nodes.
         let _gate = self.membership_gate.write();
@@ -270,7 +398,7 @@ impl SinfoniaCluster {
             MemNode::new(id, self.cfg.capacity_per_node)
         };
         node.set_joining(true);
-        nodes.push(Arc::new(node));
+        nodes.push(Arc::new(node) as NodeHandle);
         Ok(id)
     }
 
@@ -292,7 +420,7 @@ impl SinfoniaCluster {
             .read()
             .iter()
             .find(|n| n.is_joining())
-            .map(|n| n.id)
+            .map(|n| n.id())
     }
 
     /// The lowest-id memnode whose replicated replicas are fully seeded.
@@ -303,7 +431,7 @@ impl SinfoniaCluster {
         nodes
             .iter()
             .find(|n| !n.is_joining())
-            .map(|n| n.id)
+            .map(|n| n.id())
             .unwrap_or(MemNodeId(0))
     }
 
@@ -394,14 +522,12 @@ impl SinfoniaCluster {
     pub fn durability_stats(&self) -> DurSnapshot {
         let mut s = DurSnapshot::default();
         for node in self.nodes_snapshot().iter() {
-            if let Some(w) = node.wal_stats() {
-                let (appends, bytes, fsyncs) = w.snapshot();
-                s.appends += appends;
-                s.bytes += bytes;
-                s.fsyncs += fsyncs;
-            }
-            s.checkpoints += node.checkpoint_count();
-            s.retained_bytes += node.wal_retained_bytes();
+            let ns = node.node_stats();
+            s.appends += ns.wal_appends;
+            s.bytes += ns.wal_bytes;
+            s.fsyncs += ns.wal_fsyncs;
+            s.checkpoints += ns.checkpoints;
+            s.retained_bytes += ns.wal_retained_bytes;
         }
         s
     }

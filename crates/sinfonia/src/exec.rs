@@ -16,6 +16,7 @@ use crate::error::SinfoniaError;
 use crate::lock::TxId;
 use crate::memnode::{SingleResult, Vote};
 use crate::minitx::{LockPolicy, Minitransaction, Outcome, ReadResults};
+use crate::rpc::BatchItem;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -123,7 +124,8 @@ pub fn execute_many(
     let mut leftovers: Vec<usize> = Vec::new();
     for (mem, idxs) in &groups {
         // One batched request to this memnode: one round trip carrying
-        // `idxs.len()` packed minitransactions (counted as messages).
+        // `idxs.len()` packed minitransactions (counted as messages). In
+        // wire mode the whole group really is one ExecBatch frame.
         let (req_bytes, resp_bytes) = idxs.iter().fold((0, 0), |(o, b), &i| {
             let (wo, wb) = ms[i].wire_bytes();
             (o + wo, b + wb)
@@ -132,14 +134,22 @@ pub fn execute_many(
             .transport
             .round_trip_bytes(idxs.len(), req_bytes, resp_bytes);
         let node = cluster.node(*mem);
-        for &i in idxs {
-            let m = &ms[i];
-            let policy = m.policy.unwrap_or(LockPolicy::AbortOnBusy);
-            let shards = m.shard();
-            let shard = shards.get(mem).expect("single participant shard");
-            node.occupy(service);
-            let txid: TxId = cluster.next_txid();
-            match node.exec_single(txid, shard, policy) {
+        // The shard maps borrow the minitransactions; keep them alive for
+        // the whole batched call.
+        let shard_maps: Vec<_> = idxs.iter().map(|&i| ms[i].shard()).collect();
+        let items: Vec<BatchItem<'_, '_>> = idxs
+            .iter()
+            .zip(&shard_maps)
+            .map(|(&i, shards)| BatchItem {
+                txid: cluster.next_txid(),
+                policy: ms[i].policy.unwrap_or(LockPolicy::AbortOnBusy),
+                shard: shards.get(mem).expect("single participant shard"),
+            })
+            .collect();
+        let results = node.exec_batch(&items, service);
+        debug_assert_eq!(results.len(), idxs.len());
+        for (&i, result) in idxs.iter().zip(results) {
+            match result {
                 // Contention or a crash mid-batch: retry this member alone
                 // through the standard backoff/recovery-wait machinery.
                 Err(_) | Ok(SingleResult::Busy) => leftovers.push(i),
@@ -147,7 +157,7 @@ pub fn execute_many(
                     out[i] = Some(Outcome::FailedCompare(idx));
                 }
                 Ok(SingleResult::Committed(pairs)) => {
-                    let mut reads: Vec<Bytes> = vec![Bytes::new(); m.reads.len()];
+                    let mut reads: Vec<Bytes> = vec![Bytes::new(); ms[i].reads.len()];
                     for (j, data) in pairs {
                         reads[j] = data;
                     }

@@ -7,14 +7,26 @@
 //! compare, read, and conditionally write multiple memory ranges across
 //! multiple memnodes.
 //!
-//! The cluster is simulated in-process: memnodes are real concurrent
-//! objects with real lock managers; the network is an instrumented
-//! [`transport::Transport`] that counts round trips exactly (and can inject
-//! latency), so distributed cost structure is observable without physical
-//! machines. With durability enabled ([`wal::DurabilityConfig`]) memnodes
-//! log before applying, checkpoint in the background, and recover from
-//! disk — including in-doubt two-phase resolution after a coordinator
-//! crash ([`recovery`]).
+//! The cluster runs in one of two transport modes, selected only by
+//! [`cluster::ClusterConfig::transport`]:
+//!
+//! - **In-process** (default): memnodes are real concurrent objects with
+//!   real lock managers; an "RPC" is a function call instrumented by
+//!   [`transport::Transport`], which counts round trips exactly (and can
+//!   inject latency), so distributed cost structure is observable without
+//!   physical machines.
+//! - **Wire**: memnodes live behind real sockets (TCP or Unix), served by
+//!   [`server::MemNodeServer`] (or the standalone `memnoded` binary) and
+//!   reached through the length-prefixed, CRC-framed binary protocol in
+//!   [`wire`] via the pooled [`client::RemoteNode`]. The same byte
+//!   counters then report *measured* frame sizes instead of modeled ones.
+//!
+//! Both modes sit behind the object-safe [`rpc::NodeRpc`] trait, so the
+//! whole coordinator stack runs unchanged in either. With durability
+//! enabled ([`wal::DurabilityConfig`]) memnodes log before applying,
+//! checkpoint in the background, and recover from disk — including
+//! in-doubt two-phase resolution after a coordinator crash
+//! ([`recovery`]).
 //!
 //! ## Quick example
 //!
@@ -43,6 +55,7 @@
 pub mod addr;
 pub mod bytes;
 pub mod checkpoint;
+pub mod client;
 pub mod cluster;
 pub mod error;
 pub mod exec;
@@ -50,16 +63,23 @@ pub mod lock;
 pub mod memnode;
 pub mod minitx;
 pub mod recovery;
+pub mod rpc;
+pub mod server;
 pub mod space;
 pub mod transport;
 pub mod wal;
+pub mod wire;
 
 pub use addr::{ItemRange, MemNodeId};
 pub use bytes::Bytes;
-pub use cluster::{ClusterConfig, DurSnapshot, SinfoniaCluster};
+pub use client::{RemoteNode, WireConfig};
+pub use cluster::{ClusterConfig, DurSnapshot, SinfoniaCluster, TransportMode};
 pub use error::SinfoniaError;
 pub use memnode::{MemNode, Unavailable};
 pub use minitx::{LockPolicy, Minitransaction, Outcome, ReadResults};
 pub use recovery::Resolution;
+pub use rpc::{BatchItem, NodeHandle, NodeRpc, NodeStats};
+pub use server::{MemNodeServer, ServerOptions};
 pub use transport::{op_counters, op_reset, with_op_net, OpNet, Transport};
 pub use wal::{DurabilityConfig, SyncMode, WalStats};
+pub use wire::{Endpoint, WireError};

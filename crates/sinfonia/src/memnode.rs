@@ -273,6 +273,11 @@ impl MemNode {
         self.crashed.load(Ordering::Acquire)
     }
 
+    /// Address-space capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.space.read().capacity()
+    }
+
     /// True while the node's replicated-object replicas are being seeded
     /// (elastic join in progress).
     pub fn is_joining(&self) -> bool {

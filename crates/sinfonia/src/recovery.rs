@@ -176,7 +176,7 @@ pub fn recover_node(dir: &Path, id: MemNodeId, capacity: u64) -> io::Result<Reco
 }
 
 /// Per-node recovery metadata consumed by [`resolve_in_doubt`].
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct NodeMeta {
     /// In-doubt transactions with their recorded participant lists.
     pub staged: HashMap<TxId, Vec<MemNodeId>>,

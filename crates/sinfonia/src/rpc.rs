@@ -1,0 +1,308 @@
+//! The memnode RPC surface as an object-safe trait.
+//!
+//! [`NodeRpc`] abstracts "a memnode the coordinator can talk to": the
+//! in-process [`MemNode`] implements it directly (an RPC is a function
+//! call, instrumented by [`crate::transport::Transport`]), and
+//! [`crate::client::RemoteNode`] implements it over the binary wire
+//! protocol ([`crate::wire`]). The cluster stores [`NodeHandle`]s, so the
+//! whole coordinator stack — minitransaction execution, recovery,
+//! migration fencing, the B-tree above — runs unchanged in either mode;
+//! [`crate::cluster::ClusterConfig::transport`] is the only switch.
+
+use crate::addr::MemNodeId;
+use crate::bytes::Bytes;
+use crate::lock::TxId;
+use crate::memnode::{MemNode, SingleResult, Unavailable, Vote};
+use crate::minitx::{LockPolicy, Shard};
+use crate::recovery::NodeMeta;
+use std::io;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A shared handle to a memnode, local or remote.
+pub type NodeHandle = Arc<dyn NodeRpc>;
+
+/// One member of a batched execution (see [`NodeRpc::exec_batch`]).
+pub struct BatchItem<'a, 'b> {
+    /// Coordinator-assigned minitransaction id.
+    pub txid: TxId,
+    /// Lock contention policy.
+    pub policy: LockPolicy,
+    /// The items destined for this memnode.
+    pub shard: &'a Shard<'b>,
+}
+
+/// Owned snapshot of a memnode's operation and durability counters.
+///
+/// Remote nodes cannot hand out references to their atomics, so the stats
+/// surface is an owned snapshot fetched in one RPC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// One-phase executions that committed.
+    pub single_commits: u64,
+    /// Prepares that voted Ok.
+    pub prepares: u64,
+    /// Two-phase commits applied.
+    pub commits: u64,
+    /// Aborts processed.
+    pub aborts: u64,
+    /// Lock-busy rejections.
+    pub busy: u64,
+    /// Lock-free read fast-path hits.
+    pub read_fastpath: u64,
+    /// Fast-path attempts that fell back to the locked path.
+    pub read_fastpath_misses: u64,
+    /// Currently prepared (in-doubt) transactions.
+    pub in_doubt: u64,
+    /// Redo records appended.
+    pub wal_appends: u64,
+    /// Log bytes appended (frames included).
+    pub wal_bytes: u64,
+    /// fsync calls issued.
+    pub wal_fsyncs: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Log bytes currently retained on disk.
+    pub wal_retained_bytes: u64,
+    /// True if the node logs to disk.
+    pub durable: bool,
+}
+
+/// The full memnode surface a coordinator uses, object-safe so local and
+/// wire-backed nodes are interchangeable behind [`NodeHandle`].
+///
+/// Error convention: data-plane calls return [`Unavailable`] when the
+/// node is crashed **or unreachable** — a dead connection and a dead
+/// process are indistinguishable to a client, and the execution layer's
+/// retry/recovery machinery treats them identically.
+pub trait NodeRpc: Send + Sync {
+    /// This node's id.
+    fn id(&self) -> MemNodeId;
+
+    /// Address-space capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// One-phase (collapsed) minitransaction execution.
+    fn exec_single(
+        &self,
+        txid: TxId,
+        shard: &Shard<'_>,
+        policy: LockPolicy,
+    ) -> Result<SingleResult, Unavailable>;
+
+    /// Executes a batch of independent minitransactions destined for this
+    /// node in one round trip, returning per-member results in order.
+    /// `service` is the modeled per-shard service time (zero when
+    /// disabled; ignored by remote nodes, whose service time is real).
+    ///
+    /// The default implementation loops [`NodeRpc::exec_single`]; the wire
+    /// client overrides it to pack the whole batch into one frame.
+    fn exec_batch(
+        &self,
+        items: &[BatchItem<'_, '_>],
+        service: Duration,
+    ) -> Vec<Result<SingleResult, Unavailable>> {
+        items
+            .iter()
+            .map(|it| {
+                self.occupy(service);
+                self.exec_single(it.txid, it.shard, it.policy)
+            })
+            .collect()
+    }
+
+    /// Two-phase prepare: lock, compare, stage. `participants` is the full
+    /// participant set, logged for in-doubt resolution.
+    fn prepare(
+        &self,
+        txid: TxId,
+        shard: &Shard<'_>,
+        policy: LockPolicy,
+        participants: &[MemNodeId],
+    ) -> Result<Vote, Unavailable>;
+
+    /// Two-phase commit decision (idempotent for unknown ids).
+    fn commit(&self, txid: TxId) -> Result<(), Unavailable>;
+
+    /// Two-phase abort decision (idempotent for unknown ids).
+    fn abort(&self, txid: TxId) -> Result<(), Unavailable>;
+
+    /// Unsynchronized raw read (bootstrap / GC scans).
+    fn raw_read(&self, off: u64, len: u32) -> Result<Bytes, Unavailable>;
+
+    /// Raw bootstrap write.
+    fn raw_write(&self, off: u64, data: &[u8]) -> Result<(), Unavailable>;
+
+    /// True if the node is currently crashed (or unreachable).
+    fn is_crashed(&self) -> bool;
+
+    /// True while the node's elastic join is in progress.
+    fn is_joining(&self) -> bool;
+
+    /// Sets / clears the joining fence.
+    fn set_joining(&self, joining: bool);
+
+    /// True while the node is draining for decommissioning.
+    fn is_retiring(&self) -> bool;
+
+    /// Sets / clears the retiring fence.
+    fn set_retiring(&self, retiring: bool);
+
+    /// Injects a crash (volatile state dropped).
+    fn crash(&self);
+
+    /// Recovers from the mirror / disk.
+    fn recover(&self);
+
+    /// Models one server's occupancy for an injected service time. Remote
+    /// nodes ignore this: their service time is real.
+    fn occupy(&self, d: Duration);
+
+    /// Number of currently prepared (in-doubt) transactions.
+    fn in_doubt(&self) -> usize;
+
+    /// Recovery metadata for in-doubt resolution.
+    fn node_meta(&self) -> NodeMeta;
+
+    /// Takes a checkpoint; `Ok(false)` when skipped.
+    fn checkpoint(&self) -> io::Result<bool>;
+
+    /// Bytes currently retained in the redo log.
+    fn wal_retained_bytes(&self) -> u64;
+
+    /// Owned snapshot of the node's counters.
+    fn node_stats(&self) -> NodeStats;
+
+    /// Compares primary and backup images over the probe ranges (test
+    /// support).
+    fn mirror_consistent(&self, probe: &[(u64, u32)]) -> bool;
+
+    /// Downcast to the in-process memnode, when this handle is local.
+    fn as_local(&self) -> Option<&MemNode> {
+        None
+    }
+}
+
+impl NodeRpc for MemNode {
+    fn id(&self) -> MemNodeId {
+        self.id
+    }
+
+    fn capacity(&self) -> u64 {
+        MemNode::capacity(self)
+    }
+
+    fn exec_single(
+        &self,
+        txid: TxId,
+        shard: &Shard<'_>,
+        policy: LockPolicy,
+    ) -> Result<SingleResult, Unavailable> {
+        MemNode::exec_single(self, txid, shard, policy)
+    }
+
+    fn prepare(
+        &self,
+        txid: TxId,
+        shard: &Shard<'_>,
+        policy: LockPolicy,
+        participants: &[MemNodeId],
+    ) -> Result<Vote, Unavailable> {
+        MemNode::prepare(self, txid, shard, policy, participants)
+    }
+
+    fn commit(&self, txid: TxId) -> Result<(), Unavailable> {
+        MemNode::commit(self, txid)
+    }
+
+    fn abort(&self, txid: TxId) -> Result<(), Unavailable> {
+        MemNode::abort(self, txid)
+    }
+
+    fn raw_read(&self, off: u64, len: u32) -> Result<Bytes, Unavailable> {
+        MemNode::raw_read(self, off, len)
+    }
+
+    fn raw_write(&self, off: u64, data: &[u8]) -> Result<(), Unavailable> {
+        MemNode::raw_write(self, off, data)
+    }
+
+    fn is_crashed(&self) -> bool {
+        MemNode::is_crashed(self)
+    }
+
+    fn is_joining(&self) -> bool {
+        MemNode::is_joining(self)
+    }
+
+    fn set_joining(&self, joining: bool) {
+        MemNode::set_joining(self, joining)
+    }
+
+    fn is_retiring(&self) -> bool {
+        MemNode::is_retiring(self)
+    }
+
+    fn set_retiring(&self, retiring: bool) {
+        MemNode::set_retiring(self, retiring)
+    }
+
+    fn crash(&self) {
+        MemNode::crash(self)
+    }
+
+    fn recover(&self) {
+        MemNode::recover(self)
+    }
+
+    fn occupy(&self, d: Duration) {
+        MemNode::occupy(self, d)
+    }
+
+    fn in_doubt(&self) -> usize {
+        MemNode::in_doubt(self)
+    }
+
+    fn node_meta(&self) -> NodeMeta {
+        MemNode::node_meta(self)
+    }
+
+    fn checkpoint(&self) -> io::Result<bool> {
+        MemNode::checkpoint(self)
+    }
+
+    fn wal_retained_bytes(&self) -> u64 {
+        MemNode::wal_retained_bytes(self)
+    }
+
+    fn node_stats(&self) -> NodeStats {
+        let s = &self.stats;
+        let (wal_appends, wal_bytes, wal_fsyncs) =
+            self.wal_stats().map_or((0, 0, 0), |w| w.snapshot());
+        NodeStats {
+            single_commits: s.single_commits.load(Ordering::Relaxed),
+            prepares: s.prepares.load(Ordering::Relaxed),
+            commits: s.commits.load(Ordering::Relaxed),
+            aborts: s.aborts.load(Ordering::Relaxed),
+            busy: s.busy.load(Ordering::Relaxed),
+            read_fastpath: s.read_fastpath.load(Ordering::Relaxed),
+            read_fastpath_misses: s.read_fastpath_misses.load(Ordering::Relaxed),
+            in_doubt: self.in_doubt() as u64,
+            wal_appends,
+            wal_bytes,
+            wal_fsyncs,
+            checkpoints: self.checkpoint_count(),
+            wal_retained_bytes: MemNode::wal_retained_bytes(self),
+            durable: self.is_durable(),
+        }
+    }
+
+    fn mirror_consistent(&self, probe: &[(u64, u32)]) -> bool {
+        MemNode::mirror_consistent(self, probe)
+    }
+
+    fn as_local(&self) -> Option<&MemNode> {
+        Some(self)
+    }
+}

@@ -1,0 +1,438 @@
+//! `memnoded`: serve one in-process [`MemNode`] over the wire protocol.
+//!
+//! [`MemNodeServer`] owns a listening socket and a bounded
+//! thread-per-connection pool. Each connection is a simple synchronous
+//! request/response loop: read one frame, decode a [`Request`], dispatch
+//! into the memnode, write one [`Response`] frame. There is no async
+//! runtime — the protocol is std-only by design (see `crate::wire`).
+//!
+//! Robustness rules:
+//! - a malformed frame (bad CRC, bad tag, trailing garbage) terminates
+//!   *that connection* only; the server keeps serving others;
+//! - out-of-bounds requests are answered with [`Response::Error`] before
+//!   they reach the memnode, so a buggy or malicious client cannot panic
+//!   the server;
+//! - a panic inside dispatch is caught and answered with
+//!   [`Response::Error`] — the daemon never dies from one request.
+
+use crate::addr::{ItemRange, MemNodeId};
+use crate::memnode::MemNode;
+use crate::minitx::{CompareItem, ReadItem, Shard, WriteItem};
+use crate::rpc::NodeRpc;
+use crate::wire::{
+    read_frame, Endpoint, Listener, NodeFlags, Request, Response, Stream, WireShard, PROTO_VERSION,
+};
+use parking_lot::{Condvar, Mutex};
+use std::io::{self, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Accept-loop and connection-pool tuning for [`MemNodeServer`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Maximum concurrently served connections; the accept loop blocks
+    /// (stops accepting) when the pool is full.
+    pub max_connections: usize,
+    /// Poll interval of the nonblocking accept loop (it must notice stop
+    /// requests without a pending connection).
+    pub accept_poll: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            max_connections: 64,
+            accept_poll: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Shared server state: stop flag, live-connection registry, pool gauge.
+struct Shared {
+    node: Arc<MemNode>,
+    opts: ServerOptions,
+    /// Set to stop accepting; in-flight connections finish their current
+    /// request loop and exit on the next read error.
+    stop: AtomicBool,
+    /// Set by a [`Request::Shutdown`]; [`MemNodeServer::wait`] returns.
+    shutdown_requested: AtomicBool,
+    /// Active connection count, guarding the bounded pool.
+    active: Mutex<usize>,
+    pool_cv: Condvar,
+    /// Clones of every live connection's stream (keyed by a serial id so
+    /// handlers can deregister themselves), letting [`MemNodeServer::kill`]
+    /// sever them abruptly (simulating a process death).
+    conns: Mutex<Vec<(u64, Stream)>>,
+    next_conn_id: AtomicU64,
+    wait_cv: Condvar,
+}
+
+/// A running memnode server (see module docs). Dropping it shuts the
+/// server down gracefully and joins its threads.
+pub struct MemNodeServer {
+    shared: Arc<Shared>,
+    endpoint: Endpoint,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl MemNodeServer {
+    /// Binds `endpoint` and starts serving `node`.
+    pub fn spawn(
+        node: Arc<MemNode>,
+        endpoint: &Endpoint,
+        opts: ServerOptions,
+    ) -> io::Result<MemNodeServer> {
+        let listener = endpoint.listen()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            node,
+            opts,
+            stop: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            active: Mutex::new(0),
+            pool_cv: Condvar::new(),
+            conns: Mutex::new(Vec::new()),
+            next_conn_id: AtomicU64::new(0),
+            wait_cv: Condvar::new(),
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = thread::Builder::new()
+            .name(format!("memnoded-{}", accept_shared.node.id))
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(MemNodeServer {
+            shared,
+            endpoint: endpoint.clone(),
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The endpoint this server listens on.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The served memnode.
+    pub fn node(&self) -> &Arc<MemNode> {
+        &self.shared.node
+    }
+
+    /// Abrupt termination: stop accepting and sever every live connection
+    /// mid-stream. Combined with [`MemNode::crash`], this simulates the
+    /// daemon process dying (clients observe connection resets, possibly
+    /// mid-2PC).
+    pub fn kill(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for (_, c) in self.shared.conns.lock().iter() {
+            let _ = c.shutdown();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until a client sends [`Request::Shutdown`] (the daemon
+    /// main-thread parking spot).
+    pub fn wait(&self) {
+        let mut active = self.shared.active.lock();
+        while !self.shared.shutdown_requested.load(Ordering::SeqCst) {
+            self.shared.wait_cv.wait(&mut active);
+        }
+    }
+}
+
+impl Drop for MemNodeServer {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake any pool waiters so the accept thread can observe stop.
+        self.shared.pool_cv.notify_all();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: Listener, shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        // Bounded pool: wait for a slot before accepting.
+        {
+            let mut active = shared.active.lock();
+            while *active >= shared.opts.max_connections && !shared.stop.load(Ordering::SeqCst) {
+                shared.pool_cv.wait(&mut active);
+            }
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            *active += 1;
+        }
+        let conn = loop {
+            if shared.stop.load(Ordering::SeqCst) {
+                *shared.active.lock() -= 1;
+                return;
+            }
+            match listener.accept() {
+                Ok(s) => break Some(s),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(shared.opts.accept_poll);
+                }
+                Err(_) => break None,
+            }
+        };
+        let Some(conn) = conn else {
+            *shared.active.lock() -= 1;
+            continue;
+        };
+        let conn_shared = shared.clone();
+        let spawned = thread::Builder::new()
+            .name(format!("memnoded-{}-conn", shared.node.id))
+            .spawn(move || serve_conn(conn, conn_shared));
+        if spawned.is_err() {
+            let mut active = shared.active.lock();
+            *active -= 1;
+            shared.pool_cv.notify_one();
+        }
+    }
+}
+
+fn serve_conn(mut conn: Stream, shared: Arc<Shared>) {
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = conn.try_clone() {
+        shared.conns.lock().push((conn_id, clone));
+    }
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let payload = match read_frame(&mut conn) {
+            Ok(p) => p,
+            Err(_) => break, // EOF, reset, or a corrupt frame: drop the conn.
+        };
+        let req = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = write_response(&mut conn, &Response::Error(format!("bad request: {e}")));
+                break;
+            }
+        };
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let resp = catch_unwind(AssertUnwindSafe(|| dispatch(&shared.node, req)))
+            .unwrap_or_else(|_| Response::Error("request handler panicked".to_string()));
+        if write_response(&mut conn, &resp).is_err() {
+            break;
+        }
+        if is_shutdown {
+            shared.shutdown_requested.store(true, Ordering::SeqCst);
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.wait_cv.notify_all();
+            break;
+        }
+    }
+    shared.conns.lock().retain(|(id, _)| *id != conn_id);
+    let mut active = shared.active.lock();
+    *active -= 1;
+    shared.pool_cv.notify_one();
+    shared.wait_cv.notify_all();
+}
+
+fn write_response(conn: &mut Stream, resp: &Response) -> io::Result<()> {
+    let frame = resp.encode();
+    conn.write_all(&frame)?;
+    conn.flush()
+}
+
+/// Owned storage for a server-side reconstructed shard: the borrowed
+/// [`Shard`] the memnode consumes points into these vectors. Write
+/// payloads stay [`crate::bytes::Bytes`] aliasing the request frame —
+/// receive-to-apply is zero-copy.
+struct ShardHolder {
+    compares: Vec<(usize, CompareItem)>,
+    reads: Vec<(usize, ReadItem)>,
+    writes: Vec<(usize, WriteItem)>,
+}
+
+impl ShardHolder {
+    fn from_wire(mem: MemNodeId, ws: &WireShard) -> ShardHolder {
+        ShardHolder {
+            compares: ws
+                .compares
+                .iter()
+                .map(|(i, off, expected)| {
+                    (
+                        *i as usize,
+                        CompareItem {
+                            range: ItemRange::new(mem, *off, expected.len() as u32),
+                            expected: expected.to_vec(),
+                        },
+                    )
+                })
+                .collect(),
+            reads: ws
+                .reads
+                .iter()
+                .map(|(i, off, len)| {
+                    (
+                        *i as usize,
+                        ReadItem {
+                            range: ItemRange::new(mem, *off, *len),
+                        },
+                    )
+                })
+                .collect(),
+            writes: ws
+                .writes
+                .iter()
+                .map(|(i, off, data)| {
+                    (
+                        *i as usize,
+                        WriteItem {
+                            range: ItemRange::new(mem, *off, data.len() as u32),
+                            data: data.clone(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self) -> Shard<'_> {
+        Shard {
+            compares: self.compares.iter().map(|(i, c)| (*i, c)).collect(),
+            reads: self.reads.to_vec(),
+            writes: self.writes.iter().map(|(i, w)| (*i, w)).collect(),
+        }
+    }
+}
+
+fn check_extent(node: &MemNode, extent: u64) -> Result<(), Response> {
+    if extent > node.capacity() {
+        return Err(Response::Error(format!(
+            "request extent {extent} exceeds capacity {}",
+            node.capacity()
+        )));
+    }
+    Ok(())
+}
+
+fn dispatch(node: &Arc<MemNode>, req: Request) -> Response {
+    match req {
+        Request::Hello { version } => {
+            if version != PROTO_VERSION {
+                return Response::Error(format!(
+                    "protocol version mismatch: client {version}, server {PROTO_VERSION}"
+                ));
+            }
+            Response::Hello {
+                version: PROTO_VERSION,
+                node: node.id.0,
+                capacity: node.capacity(),
+            }
+        }
+        Request::ExecSingle {
+            txid,
+            policy,
+            shard,
+        } => {
+            if let Err(e) = check_extent(node, shard.max_extent()) {
+                return e;
+            }
+            let holder = ShardHolder::from_wire(node.id, &shard);
+            match node.exec_single(txid, &holder.shard(), policy) {
+                Ok(r) => Response::Single(r),
+                Err(u) => Response::Unavailable(u.0 .0),
+            }
+        }
+        Request::ExecBatch { items } => {
+            for it in &items {
+                if let Err(e) = check_extent(node, it.shard.max_extent()) {
+                    return e;
+                }
+            }
+            let members = items
+                .iter()
+                .map(|it| {
+                    let holder = ShardHolder::from_wire(node.id, &it.shard);
+                    match node.exec_single(it.txid, &holder.shard(), it.policy) {
+                        Ok(r) => Ok(r),
+                        Err(u) => Err(u.0 .0),
+                    }
+                })
+                .collect();
+            Response::Batch(members)
+        }
+        Request::Prepare {
+            txid,
+            policy,
+            participants,
+            shard,
+        } => {
+            if let Err(e) = check_extent(node, shard.max_extent()) {
+                return e;
+            }
+            let holder = ShardHolder::from_wire(node.id, &shard);
+            let participants: Vec<MemNodeId> = participants.into_iter().map(MemNodeId).collect();
+            match node.prepare(txid, &holder.shard(), policy, &participants) {
+                Ok(v) => Response::Vote(v),
+                Err(u) => Response::Unavailable(u.0 .0),
+            }
+        }
+        Request::Commit { txid } => match node.commit(txid) {
+            Ok(()) => Response::Unit,
+            Err(u) => Response::Unavailable(u.0 .0),
+        },
+        Request::Abort { txid } => match node.abort(txid) {
+            Ok(()) => Response::Unit,
+            Err(u) => Response::Unavailable(u.0 .0),
+        },
+        Request::RawRead { off, len } => {
+            if let Err(e) = check_extent(node, off.saturating_add(len as u64)) {
+                return e;
+            }
+            match node.raw_read(off, len) {
+                Ok(b) => Response::Data(b),
+                Err(u) => Response::Unavailable(u.0 .0),
+            }
+        }
+        Request::RawWrite { off, data } => {
+            if let Err(e) = check_extent(node, off.saturating_add(data.len() as u64)) {
+                return e;
+            }
+            match node.raw_write(off, &data) {
+                Ok(()) => Response::Unit,
+                Err(u) => Response::Unavailable(u.0 .0),
+            }
+        }
+        Request::SetJoining(j) => {
+            node.set_joining(j);
+            Response::Unit
+        }
+        Request::SetRetiring(r) => {
+            node.set_retiring(r);
+            Response::Unit
+        }
+        Request::Crash => {
+            node.crash();
+            Response::Unit
+        }
+        Request::Recover => {
+            node.recover();
+            Response::Unit
+        }
+        Request::Checkpoint => match node.checkpoint() {
+            Ok(took) => Response::Bool(took),
+            Err(e) => Response::Error(format!("checkpoint failed: {e}")),
+        },
+        Request::Stats => Response::Stats(NodeRpc::node_stats(node.as_ref())),
+        Request::Flags => Response::Flags(NodeFlags {
+            crashed: node.is_crashed(),
+            joining: node.is_joining(),
+            retiring: node.is_retiring(),
+        }),
+        Request::Meta => Response::Meta(node.node_meta()),
+        Request::MirrorConsistent { probe } => Response::Bool(node.mirror_consistent(&probe)),
+        Request::Shutdown => Response::Unit,
+    }
+}

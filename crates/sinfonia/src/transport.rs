@@ -116,6 +116,12 @@ pub struct Transport {
     inject_ns: AtomicU64,
     /// RTT used for *modeled* latency in reports (never slept here).
     pub model_rtt: Duration,
+    /// When false (wire mode), the modeled byte arguments of
+    /// [`Transport::round_trip_bytes`] are ignored: real frame sizes are
+    /// recorded by the socket client via [`Transport::record_wire_bytes`]
+    /// instead, so the same counters report measured rather than modeled
+    /// traffic.
+    modeled_bytes: bool,
 }
 
 impl Transport {
@@ -125,7 +131,35 @@ impl Transport {
             stats: NetStats::default(),
             inject_ns: AtomicU64::new(inject_rtt.map_or(0, |d| d.as_nanos() as u64)),
             model_rtt,
+            modeled_bytes: true,
         }
+    }
+
+    /// Creates a transport for wire mode: round trips and messages are
+    /// still counted per coordinator phase, but byte counters are fed by
+    /// real frame sizes ([`Transport::record_wire_bytes`]) instead of the
+    /// modeled estimates.
+    pub fn new_wire(model_rtt: Duration, inject_rtt: Option<Duration>) -> Self {
+        Transport {
+            modeled_bytes: false,
+            ..Transport::new(model_rtt, inject_rtt)
+        }
+    }
+
+    /// True when byte counters come from modeled estimates (in-process
+    /// mode); false when they come from real frames (wire mode).
+    pub fn bytes_are_modeled(&self) -> bool {
+        self.modeled_bytes
+    }
+
+    /// Adds real frame sizes to the byte counters (global and
+    /// per-operation). Called by the socket client on the requesting
+    /// thread, once per request/response exchange.
+    pub fn record_wire_bytes(&self, bytes_out: u64, bytes_in: u64) {
+        self.stats.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        self.stats.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        OP_BYTES_OUT.with(|c| c.set(c.get() + bytes_out));
+        OP_BYTES_IN.with(|c| c.set(c.get() + bytes_in));
     }
 
     /// Enables/disables injected latency at runtime.
@@ -158,12 +192,14 @@ impl Transport {
         self.stats
             .messages
             .fetch_add(fanout as u64, Ordering::Relaxed);
-        self.stats.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
-        self.stats.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
         OP_ROUND_TRIPS.with(|c| c.set(c.get() + 1));
         OP_MESSAGES.with(|c| c.set(c.get() + fanout as u64));
-        OP_BYTES_OUT.with(|c| c.set(c.get() + bytes_out));
-        OP_BYTES_IN.with(|c| c.set(c.get() + bytes_in));
+        if self.modeled_bytes {
+            self.stats.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+            self.stats.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+            OP_BYTES_OUT.with(|c| c.set(c.get() + bytes_out));
+            OP_BYTES_IN.with(|c| c.set(c.get() + bytes_in));
+        }
         let ns = self.inject_ns.load(Ordering::Relaxed);
         if ns > 0 {
             std::thread::sleep(Duration::from_nanos(ns));
@@ -206,6 +242,28 @@ mod tests {
         });
         assert_eq!(a.round_trips, 1);
         assert_eq!(b.round_trips, 2);
+    }
+
+    #[test]
+    fn wire_mode_counts_real_bytes_only() {
+        let t = Transport::new_wire(Duration::from_micros(100), None);
+        let (_, net) = with_op_net(|| {
+            // Modeled byte estimates are ignored in wire mode...
+            t.round_trip_bytes(2, 1000, 1000);
+            // ...real frame sizes are what lands in the counters.
+            t.record_wire_bytes(120, 36);
+        });
+        assert_eq!(
+            net,
+            OpNet {
+                round_trips: 1,
+                messages: 2,
+                bytes_out: 120,
+                bytes_in: 36,
+            }
+        );
+        assert_eq!(t.stats.bytes_snapshot(), (120, 36));
+        assert!(!t.bytes_are_modeled());
     }
 
     #[test]

@@ -1,0 +1,1265 @@
+//! Binary wire protocol for the memnode RPC surface.
+//!
+//! Frames are length-prefixed and CRC-checked: `[len: u32 LE][crc32: u32
+//! LE][payload]`, reusing the WAL's IEEE CRC-32 ([`crate::wal::crc32`]).
+//! Payloads are tag-byte messages with little-endian fixed-width fields —
+//! the same style as the redo-log records, so the two on-disk/on-wire
+//! formats stay mutually legible.
+//!
+//! Decoding is **total**: every malformed input (torn frame, truncated
+//! length, bit flip, bad tag) surfaces as a [`WireError`], never a panic,
+//! and never an unbounded allocation (frames are capped at [`MAX_FRAME`]).
+//! Decoding is also **zero-copy** on the payload plane: a frame is read
+//! into one buffer and write/read payloads are [`Bytes`] slices of it, so
+//! a received minitransaction flows into the memnode's staging area and
+//! redo log without being copied again (the PR 5 data plane, now over a
+//! socket).
+//!
+//! The module is std-only: plain blocking TCP / Unix-domain sockets, no
+//! async runtime. [`Endpoint`] names a listening address in either family.
+
+use crate::bytes::Bytes;
+use crate::lock::TxId;
+use crate::memnode::{SingleResult, Vote};
+use crate::minitx::LockPolicy;
+use crate::recovery::NodeMeta;
+use crate::rpc::NodeStats;
+use crate::wal::crc32;
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Protocol version carried in `Hello`; bumped on incompatible changes.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Largest admissible frame payload. Frames claiming more are rejected
+/// before any allocation, bounding what a corrupt length prefix can cost.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Size of the frame header (length + CRC), in bytes.
+pub const FRAME_HDR: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A protocol-level decoding failure. Connection-fatal: the peer that
+/// observes one closes the connection (stream framing cannot resynchronize
+/// after corruption).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the announced frame or field did.
+    Truncated,
+    /// The payload CRC did not match the frame header.
+    BadCrc {
+        /// CRC announced in the frame header.
+        want: u32,
+        /// CRC computed over the received payload.
+        got: u32,
+    },
+    /// Unknown message tag.
+    BadTag(u8),
+    /// The length prefix exceeds [`MAX_FRAME`].
+    FrameTooLarge(u32),
+    /// A field held an inadmissible value.
+    BadValue(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadCrc { want, got } => {
+                write!(
+                    f,
+                    "frame CRC mismatch: header {want:#10x}, payload {got:#10x}"
+                )
+            }
+            WireError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds MAX_FRAME"),
+            WireError::BadValue(what) => write!(f, "inadmissible field value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Endpoints and streams
+// ---------------------------------------------------------------------------
+
+/// A listening address for a memnode server, in either socket family.
+///
+/// Parsed from `tcp:HOST:PORT` or `unix:/path/to.sock`:
+///
+/// ```
+/// use minuet_sinfonia::wire::Endpoint;
+/// let e = Endpoint::parse("tcp:127.0.0.1:7000").unwrap();
+/// assert_eq!(e.to_string(), "tcp:127.0.0.1:7000");
+/// assert!(Endpoint::parse("quic:nope").is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address (`host:port` as accepted by `ToSocketAddrs`).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `tcp:HOST:PORT` / `unix:PATH`.
+    pub fn parse(s: &str) -> Result<Endpoint, WireError> {
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            if addr.is_empty() {
+                return Err(WireError::BadValue("empty tcp address"));
+            }
+            Ok(Endpoint::Tcp(addr.to_string()))
+        } else if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(WireError::BadValue("empty unix path"));
+            }
+            Ok(Endpoint::Unix(PathBuf::from(path)))
+        } else {
+            Err(WireError::BadValue(
+                "endpoint must start with tcp: or unix:",
+            ))
+        }
+    }
+
+    /// Opens a listener on this endpoint. For Unix endpoints a stale
+    /// socket file from a previous run is removed first.
+    pub fn listen(&self) -> io::Result<Listener> {
+        match self {
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(std::net::TcpListener::bind(addr)?)),
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                Ok(Listener::Unix(std::os::unix::net::UnixListener::bind(
+                    path,
+                )?))
+            }
+        }
+    }
+
+    /// Connects to this endpoint with a dial timeout (best-effort for
+    /// Unix sockets, which connect or fail immediately).
+    pub fn dial(&self, timeout: Duration) -> io::Result<Stream> {
+        match self {
+            Endpoint::Tcp(addr) => {
+                use std::net::ToSocketAddrs;
+                let addr = addr
+                    .to_socket_addrs()?
+                    .next()
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no address"))?;
+                let s = std::net::TcpStream::connect_timeout(&addr, timeout)?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            Endpoint::Unix(path) => {
+                Ok(Stream::Unix(std::os::unix::net::UnixStream::connect(path)?))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+/// A bound listener in either socket family.
+pub enum Listener {
+    /// TCP listener.
+    Tcp(std::net::TcpListener),
+    /// Unix-domain listener.
+    Unix(std::os::unix::net::UnixListener),
+}
+
+impl Listener {
+    /// Accepts one connection (blocking unless the listener is
+    /// nonblocking).
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Unix(s))
+            }
+        }
+    }
+
+    /// Switches the listener between blocking and nonblocking accepts.
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            Listener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+}
+
+/// A connected stream in either socket family.
+#[derive(Debug)]
+pub enum Stream {
+    /// TCP connection.
+    Tcp(std::net::TcpStream),
+    /// Unix-domain connection.
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Stream {
+    /// Sets both read and write timeouts (`None` blocks forever).
+    pub fn set_timeouts(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => {
+                s.set_read_timeout(t)?;
+                s.set_write_timeout(t)
+            }
+            Stream::Unix(s) => {
+                s.set_read_timeout(t)?;
+                s.set_write_timeout(t)
+            }
+        }
+    }
+
+    /// Clones the stream handle (shares the underlying socket).
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Abruptly shuts down both directions, waking any blocked reader —
+    /// the fault-injection hammer the tests use to simulate a died server.
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Builds a sealed frame: reserves the 8-byte header, lets `body` append
+/// the payload, then stamps length and CRC.
+fn seal(body: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    let mut buf = vec![0u8; FRAME_HDR];
+    body(&mut buf);
+    let len = (buf.len() - FRAME_HDR) as u32;
+    debug_assert!(len <= MAX_FRAME, "oversized frame built locally");
+    let crc = crc32(&buf[FRAME_HDR..]);
+    buf[0..4].copy_from_slice(&len.to_le_bytes());
+    buf[4..8].copy_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Reads one frame off a stream, validating length and CRC. The payload
+/// is returned as [`Bytes`] so message decoding can alias it zero-copy.
+///
+/// Protocol-level failures arrive as `io::ErrorKind::InvalidData` wrapping
+/// a [`WireError`]; short reads surface as `UnexpectedEof`. Either way the
+/// connection is unusable afterwards.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Bytes> {
+    let mut hdr = [0u8; FRAME_HDR];
+    r.read_exact(&mut hdr)?;
+    let len = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+    let want = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge(len).into());
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let got = crc32(&payload);
+    if got != want {
+        return Err(WireError::BadCrc { want, got }.into());
+    }
+    Ok(Bytes::from(payload))
+}
+
+/// In-memory variant of [`read_frame`] for tests and fuzzing: decodes one
+/// frame from the front of `buf`, returning the payload and the total
+/// frame size consumed.
+pub fn decode_frame(buf: &[u8]) -> Result<(Bytes, usize), WireError> {
+    if buf.len() < FRAME_HDR {
+        return Err(WireError::Truncated);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    let want = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    let total = FRAME_HDR + len as usize;
+    if buf.len() < total {
+        return Err(WireError::Truncated);
+    }
+    let payload = &buf[FRAME_HDR..total];
+    let got = crc32(payload);
+    if got != want {
+        return Err(WireError::BadCrc { want, got });
+    }
+    Ok((Bytes::copy_from_slice(payload), total))
+}
+
+// ---------------------------------------------------------------------------
+// Cursor (bounds-checked zero-copy reader over a frame payload)
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over a frame payload. Variable-
+/// length fields come back as [`Bytes`] slices of the frame buffer.
+struct Cur<'a> {
+    buf: &'a Bytes,
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a Bytes) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::BadValue("boolean")),
+        }
+    }
+
+    /// A length-prefixed byte payload, aliased from the frame buffer.
+    fn bytes(&mut self) -> Result<Bytes, WireError> {
+        let len = self.u32()? as usize;
+        let end = self.pos.checked_add(len).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let b = self.buf.slice(self.pos, len);
+        self.pos = end;
+        Ok(b)
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::BadValue("trailing bytes after message"))
+        }
+    }
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+// ---------------------------------------------------------------------------
+// Shards on the wire
+// ---------------------------------------------------------------------------
+
+/// A minitransaction shard as shipped to one memnode: the compare, read,
+/// and write items destined there, each carrying its index in the original
+/// minitransaction so the coordinator can reassemble results.
+///
+/// Building one from a borrowed [`crate::minitx::Shard`] is cheap: write
+/// payloads are `Bytes` clones (refcount bumps), compare expectations are
+/// small copies.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WireShard {
+    /// `(original index, offset, expected bytes)` compare items.
+    pub compares: Vec<(u32, u64, Bytes)>,
+    /// `(original index, offset, length)` read items.
+    pub reads: Vec<(u32, u64, u32)>,
+    /// `(original index, offset, payload)` write items.
+    pub writes: Vec<(u32, u64, Bytes)>,
+}
+
+impl WireShard {
+    /// Captures a borrowed coordinator-side shard.
+    pub fn from_shard(shard: &crate::minitx::Shard<'_>) -> WireShard {
+        WireShard {
+            compares: shard
+                .compares
+                .iter()
+                .map(|(i, c)| (*i as u32, c.range.off, Bytes::copy_from_slice(&c.expected)))
+                .collect(),
+            reads: shard
+                .reads
+                .iter()
+                .map(|(i, r)| (*i as u32, r.range.off, r.range.len))
+                .collect(),
+            writes: shard
+                .writes
+                .iter()
+                .map(|(i, w)| (*i as u32, w.range.off, w.data.clone()))
+                .collect(),
+        }
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.compares.len() as u32);
+        for (idx, off, expected) in &self.compares {
+            put_u32(buf, *idx);
+            put_u64(buf, *off);
+            put_bytes(buf, expected);
+        }
+        put_u32(buf, self.reads.len() as u32);
+        for (idx, off, len) in &self.reads {
+            put_u32(buf, *idx);
+            put_u64(buf, *off);
+            put_u32(buf, *len);
+        }
+        put_u32(buf, self.writes.len() as u32);
+        for (idx, off, data) in &self.writes {
+            put_u32(buf, *idx);
+            put_u64(buf, *off);
+            put_bytes(buf, data);
+        }
+    }
+
+    fn decode(c: &mut Cur<'_>) -> Result<WireShard, WireError> {
+        let mut s = WireShard::default();
+        for _ in 0..c.u32()? {
+            let idx = c.u32()?;
+            let off = c.u64()?;
+            let expected = c.bytes()?;
+            s.compares.push((idx, off, expected));
+        }
+        for _ in 0..c.u32()? {
+            let idx = c.u32()?;
+            let off = c.u64()?;
+            let len = c.u32()?;
+            s.reads.push((idx, off, len));
+        }
+        for _ in 0..c.u32()? {
+            let idx = c.u32()?;
+            let off = c.u64()?;
+            let data = c.bytes()?;
+            s.writes.push((idx, off, data));
+        }
+        Ok(s)
+    }
+
+    /// Highest byte offset any item touches (exclusive); used by the
+    /// server for bounds validation before dispatch.
+    pub fn max_extent(&self) -> u64 {
+        let c = self
+            .compares
+            .iter()
+            .map(|(_, off, e)| off.saturating_add(e.len() as u64));
+        let r = self
+            .reads
+            .iter()
+            .map(|(_, off, len)| off.saturating_add(*len as u64));
+        let w = self
+            .writes
+            .iter()
+            .map(|(_, off, d)| off.saturating_add(d.len() as u64));
+        c.chain(r).chain(w).max().unwrap_or(0)
+    }
+}
+
+fn encode_policy(buf: &mut Vec<u8>, p: LockPolicy) {
+    match p {
+        LockPolicy::AbortOnBusy => buf.push(0),
+        LockPolicy::Block(d) => {
+            buf.push(1);
+            put_u64(buf, d.as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+    }
+}
+
+fn decode_policy(c: &mut Cur<'_>) -> Result<LockPolicy, WireError> {
+    match c.u8()? {
+        0 => Ok(LockPolicy::AbortOnBusy),
+        1 => Ok(LockPolicy::Block(Duration::from_nanos(c.u64()?))),
+        _ => Err(WireError::BadValue("lock policy")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One batched minitransaction as shipped in [`Request::ExecBatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireBatchItem {
+    /// Minitransaction id (coordinator-assigned).
+    pub txid: TxId,
+    /// Lock contention policy.
+    pub policy: LockPolicy,
+    /// The items destined for this memnode.
+    pub shard: WireShard,
+}
+
+/// A client→server message. One request per frame; every request gets
+/// exactly one [`Response`] frame back on the same connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake: the server answers with its id, capacity, and version.
+    Hello {
+        /// Client's protocol version.
+        version: u16,
+    },
+    /// Collapsed one-phase minitransaction execution.
+    ExecSingle {
+        /// Minitransaction id.
+        txid: TxId,
+        /// Lock contention policy.
+        policy: LockPolicy,
+        /// Items destined for this memnode.
+        shard: WireShard,
+    },
+    /// A batch of independent single-memnode minitransactions sharing this
+    /// round trip (the `exec_many` fast path).
+    ExecBatch {
+        /// The batch members, executed in order.
+        items: Vec<WireBatchItem>,
+    },
+    /// Two-phase prepare (vote request).
+    Prepare {
+        /// Minitransaction id.
+        txid: TxId,
+        /// Lock contention policy.
+        policy: LockPolicy,
+        /// Full participant set (logged for in-doubt resolution).
+        participants: Vec<u16>,
+        /// Items destined for this memnode.
+        shard: WireShard,
+    },
+    /// Two-phase commit decision.
+    Commit {
+        /// Minitransaction id.
+        txid: TxId,
+    },
+    /// Two-phase abort decision.
+    Abort {
+        /// Minitransaction id.
+        txid: TxId,
+    },
+    /// Unsynchronized raw read (bootstrap / GC scans).
+    RawRead {
+        /// Byte offset.
+        off: u64,
+        /// Length.
+        len: u32,
+    },
+    /// Raw bootstrap write.
+    RawWrite {
+        /// Byte offset.
+        off: u64,
+        /// Payload.
+        data: Bytes,
+    },
+    /// Sets / clears the elastic-join fence (no replicated reads until
+    /// seeded).
+    SetJoining(bool),
+    /// Sets / clears the drain fence (allocation steers away).
+    SetRetiring(bool),
+    /// Crash injection: drop volatile state.
+    Crash,
+    /// Recover from mirror / disk.
+    Recover,
+    /// Take a checkpoint now.
+    Checkpoint,
+    /// Fetch operation / durability counters.
+    Stats,
+    /// Fetch crashed/joining/retiring flags.
+    Flags,
+    /// Fetch recovery metadata (in-doubt transactions + decided set).
+    Meta,
+    /// Compare primary and backup images over the probe ranges.
+    MirrorConsistent {
+        /// `(offset, length)` probe ranges.
+        probe: Vec<(u64, u32)>,
+    },
+    /// Ask the server process to exit cleanly after replying.
+    Shutdown,
+}
+
+mod tag {
+    pub const HELLO: u8 = 0x01;
+    pub const EXEC_SINGLE: u8 = 0x02;
+    pub const EXEC_BATCH: u8 = 0x03;
+    pub const PREPARE: u8 = 0x04;
+    pub const COMMIT: u8 = 0x05;
+    pub const ABORT: u8 = 0x06;
+    pub const RAW_READ: u8 = 0x07;
+    pub const RAW_WRITE: u8 = 0x08;
+    pub const SET_JOINING: u8 = 0x09;
+    pub const SET_RETIRING: u8 = 0x0A;
+    pub const CRASH: u8 = 0x0B;
+    pub const RECOVER: u8 = 0x0C;
+    pub const CHECKPOINT: u8 = 0x0D;
+    pub const STATS: u8 = 0x0E;
+    pub const FLAGS: u8 = 0x0F;
+    pub const META: u8 = 0x10;
+    pub const MIRROR: u8 = 0x11;
+    pub const SHUTDOWN: u8 = 0x12;
+
+    pub const R_HELLO: u8 = 0x81;
+    pub const R_SINGLE: u8 = 0x82;
+    pub const R_BATCH: u8 = 0x83;
+    pub const R_VOTE: u8 = 0x84;
+    pub const R_UNIT: u8 = 0x85;
+    pub const R_DATA: u8 = 0x86;
+    pub const R_BOOL: u8 = 0x87;
+    pub const R_STATS: u8 = 0x88;
+    pub const R_FLAGS: u8 = 0x89;
+    pub const R_META: u8 = 0x8A;
+    pub const R_UNAVAILABLE: u8 = 0x8B;
+    pub const R_ERROR: u8 = 0x8C;
+}
+
+impl Request {
+    /// Encodes the request as a complete sealed frame, ready to write.
+    pub fn encode(&self) -> Vec<u8> {
+        seal(|buf| match self {
+            Request::Hello { version } => {
+                buf.push(tag::HELLO);
+                put_u16(buf, *version);
+            }
+            Request::ExecSingle {
+                txid,
+                policy,
+                shard,
+            } => {
+                buf.push(tag::EXEC_SINGLE);
+                put_u64(buf, *txid);
+                encode_policy(buf, *policy);
+                shard.encode(buf);
+            }
+            Request::ExecBatch { items } => {
+                buf.push(tag::EXEC_BATCH);
+                put_u32(buf, items.len() as u32);
+                for it in items {
+                    put_u64(buf, it.txid);
+                    encode_policy(buf, it.policy);
+                    it.shard.encode(buf);
+                }
+            }
+            Request::Prepare {
+                txid,
+                policy,
+                participants,
+                shard,
+            } => {
+                buf.push(tag::PREPARE);
+                put_u64(buf, *txid);
+                encode_policy(buf, *policy);
+                put_u32(buf, participants.len() as u32);
+                for p in participants {
+                    put_u16(buf, *p);
+                }
+                shard.encode(buf);
+            }
+            Request::Commit { txid } => {
+                buf.push(tag::COMMIT);
+                put_u64(buf, *txid);
+            }
+            Request::Abort { txid } => {
+                buf.push(tag::ABORT);
+                put_u64(buf, *txid);
+            }
+            Request::RawRead { off, len } => {
+                buf.push(tag::RAW_READ);
+                put_u64(buf, *off);
+                put_u32(buf, *len);
+            }
+            Request::RawWrite { off, data } => {
+                buf.push(tag::RAW_WRITE);
+                put_u64(buf, *off);
+                put_bytes(buf, data);
+            }
+            Request::SetJoining(v) => {
+                buf.push(tag::SET_JOINING);
+                buf.push(*v as u8);
+            }
+            Request::SetRetiring(v) => {
+                buf.push(tag::SET_RETIRING);
+                buf.push(*v as u8);
+            }
+            Request::Crash => buf.push(tag::CRASH),
+            Request::Recover => buf.push(tag::RECOVER),
+            Request::Checkpoint => buf.push(tag::CHECKPOINT),
+            Request::Stats => buf.push(tag::STATS),
+            Request::Flags => buf.push(tag::FLAGS),
+            Request::Meta => buf.push(tag::META),
+            Request::MirrorConsistent { probe } => {
+                buf.push(tag::MIRROR);
+                put_u32(buf, probe.len() as u32);
+                for (off, len) in probe {
+                    put_u64(buf, *off);
+                    put_u32(buf, *len);
+                }
+            }
+            Request::Shutdown => buf.push(tag::SHUTDOWN),
+        })
+    }
+
+    /// Decodes a request from a frame payload (as returned by
+    /// [`read_frame`]). Write payloads alias the frame buffer.
+    pub fn decode(payload: &Bytes) -> Result<Request, WireError> {
+        let mut c = Cur::new(payload);
+        let req = match c.u8()? {
+            tag::HELLO => Request::Hello { version: c.u16()? },
+            tag::EXEC_SINGLE => Request::ExecSingle {
+                txid: c.u64()?,
+                policy: decode_policy(&mut c)?,
+                shard: WireShard::decode(&mut c)?,
+            },
+            tag::EXEC_BATCH => {
+                let n = c.u32()?;
+                let mut items = Vec::new();
+                for _ in 0..n {
+                    items.push(WireBatchItem {
+                        txid: c.u64()?,
+                        policy: decode_policy(&mut c)?,
+                        shard: WireShard::decode(&mut c)?,
+                    });
+                }
+                Request::ExecBatch { items }
+            }
+            tag::PREPARE => {
+                let txid = c.u64()?;
+                let policy = decode_policy(&mut c)?;
+                let n = c.u32()?;
+                let mut participants = Vec::new();
+                for _ in 0..n {
+                    participants.push(c.u16()?);
+                }
+                Request::Prepare {
+                    txid,
+                    policy,
+                    participants,
+                    shard: WireShard::decode(&mut c)?,
+                }
+            }
+            tag::COMMIT => Request::Commit { txid: c.u64()? },
+            tag::ABORT => Request::Abort { txid: c.u64()? },
+            tag::RAW_READ => Request::RawRead {
+                off: c.u64()?,
+                len: c.u32()?,
+            },
+            tag::RAW_WRITE => Request::RawWrite {
+                off: c.u64()?,
+                data: c.bytes()?,
+            },
+            tag::SET_JOINING => Request::SetJoining(c.bool()?),
+            tag::SET_RETIRING => Request::SetRetiring(c.bool()?),
+            tag::CRASH => Request::Crash,
+            tag::RECOVER => Request::Recover,
+            tag::CHECKPOINT => Request::Checkpoint,
+            tag::STATS => Request::Stats,
+            tag::FLAGS => Request::Flags,
+            tag::META => Request::Meta,
+            tag::MIRROR => {
+                let n = c.u32()?;
+                let mut probe = Vec::new();
+                for _ in 0..n {
+                    let off = c.u64()?;
+                    let len = c.u32()?;
+                    probe.push((off, len));
+                }
+                Request::MirrorConsistent { probe }
+            }
+            tag::SHUTDOWN => Request::Shutdown,
+            t => return Err(WireError::BadTag(t)),
+        };
+        c.done()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Crashed/joining/retiring state of a memnode, fetched in one RPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeFlags {
+    /// Node is crashed (rejects every data operation).
+    pub crashed: bool,
+    /// Elastic join in progress (no replicated reads).
+    pub joining: bool,
+    /// Drain in progress (no new allocations).
+    pub retiring: bool,
+}
+
+/// A server→client message. `Unavailable` mirrors the in-process
+/// [`crate::memnode::Unavailable`] error; `Error` carries anything else
+/// (bounds violations, I/O failures) as text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake reply.
+    Hello {
+        /// Server's protocol version.
+        version: u16,
+        /// Server's memnode id.
+        node: u16,
+        /// Server's address-space capacity in bytes.
+        capacity: u64,
+    },
+    /// One-phase execution result.
+    Single(SingleResult),
+    /// Per-member batch results (`Err` members hit a crashed node).
+    Batch(Vec<Result<SingleResult, u16>>),
+    /// Prepare vote.
+    Vote(Vote),
+    /// Success with no payload.
+    Unit,
+    /// Raw read payload.
+    Data(Bytes),
+    /// Boolean result (checkpoint taken, mirror consistent).
+    Bool(bool),
+    /// Operation / durability counters.
+    Stats(NodeStats),
+    /// Node state flags.
+    Flags(NodeFlags),
+    /// Recovery metadata.
+    Meta(NodeMeta),
+    /// The memnode is crashed; carries its id.
+    Unavailable(u16),
+    /// Any other server-side failure, as text.
+    Error(String),
+}
+
+fn encode_pairs(buf: &mut Vec<u8>, pairs: &[(usize, Bytes)]) {
+    put_u32(buf, pairs.len() as u32);
+    for (idx, data) in pairs {
+        put_u32(buf, *idx as u32);
+        put_bytes(buf, data);
+    }
+}
+
+fn decode_pairs(c: &mut Cur<'_>) -> Result<Vec<(usize, Bytes)>, WireError> {
+    let n = c.u32()?;
+    let mut pairs = Vec::new();
+    for _ in 0..n {
+        let idx = c.u32()? as usize;
+        let data = c.bytes()?;
+        pairs.push((idx, data));
+    }
+    Ok(pairs)
+}
+
+fn encode_indices(buf: &mut Vec<u8>, idx: &[usize]) {
+    put_u32(buf, idx.len() as u32);
+    for i in idx {
+        put_u32(buf, *i as u32);
+    }
+}
+
+fn decode_indices(c: &mut Cur<'_>) -> Result<Vec<usize>, WireError> {
+    let n = c.u32()?;
+    let mut idx = Vec::new();
+    for _ in 0..n {
+        idx.push(c.u32()? as usize);
+    }
+    Ok(idx)
+}
+
+fn encode_single(buf: &mut Vec<u8>, r: &SingleResult) {
+    match r {
+        SingleResult::Committed(pairs) => {
+            buf.push(0);
+            encode_pairs(buf, pairs);
+        }
+        SingleResult::BadCompare(idx) => {
+            buf.push(1);
+            encode_indices(buf, idx);
+        }
+        SingleResult::Busy => buf.push(2),
+    }
+}
+
+fn decode_single(c: &mut Cur<'_>) -> Result<SingleResult, WireError> {
+    match c.u8()? {
+        0 => Ok(SingleResult::Committed(decode_pairs(c)?)),
+        1 => Ok(SingleResult::BadCompare(decode_indices(c)?)),
+        2 => Ok(SingleResult::Busy),
+        _ => Err(WireError::BadValue("single result kind")),
+    }
+}
+
+impl Response {
+    /// Encodes the response as a complete sealed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        seal(|buf| match self {
+            Response::Hello {
+                version,
+                node,
+                capacity,
+            } => {
+                buf.push(tag::R_HELLO);
+                put_u16(buf, *version);
+                put_u16(buf, *node);
+                put_u64(buf, *capacity);
+            }
+            Response::Single(r) => {
+                buf.push(tag::R_SINGLE);
+                encode_single(buf, r);
+            }
+            Response::Batch(members) => {
+                buf.push(tag::R_BATCH);
+                put_u32(buf, members.len() as u32);
+                for m in members {
+                    match m {
+                        Ok(r) => {
+                            buf.push(0);
+                            encode_single(buf, r);
+                        }
+                        Err(id) => {
+                            buf.push(1);
+                            put_u16(buf, *id);
+                        }
+                    }
+                }
+            }
+            Response::Vote(v) => {
+                buf.push(tag::R_VOTE);
+                match v {
+                    Vote::Ok(pairs) => {
+                        buf.push(0);
+                        encode_pairs(buf, pairs);
+                    }
+                    Vote::BadCompare(idx) => {
+                        buf.push(1);
+                        encode_indices(buf, idx);
+                    }
+                    Vote::Busy => buf.push(2),
+                }
+            }
+            Response::Unit => buf.push(tag::R_UNIT),
+            Response::Data(b) => {
+                buf.push(tag::R_DATA);
+                put_bytes(buf, b);
+            }
+            Response::Bool(v) => {
+                buf.push(tag::R_BOOL);
+                buf.push(*v as u8);
+            }
+            Response::Stats(s) => {
+                buf.push(tag::R_STATS);
+                for v in [
+                    s.single_commits,
+                    s.prepares,
+                    s.commits,
+                    s.aborts,
+                    s.busy,
+                    s.read_fastpath,
+                    s.read_fastpath_misses,
+                    s.in_doubt,
+                    s.wal_appends,
+                    s.wal_bytes,
+                    s.wal_fsyncs,
+                    s.checkpoints,
+                    s.wal_retained_bytes,
+                ] {
+                    put_u64(buf, v);
+                }
+                buf.push(s.durable as u8);
+            }
+            Response::Flags(f) => {
+                buf.push(tag::R_FLAGS);
+                buf.push(f.crashed as u8);
+                buf.push(f.joining as u8);
+                buf.push(f.retiring as u8);
+            }
+            Response::Meta(m) => {
+                buf.push(tag::R_META);
+                put_u32(buf, m.staged.len() as u32);
+                // Deterministic order (HashMap iteration is not).
+                let mut staged: Vec<_> = m.staged.iter().collect();
+                staged.sort_by_key(|(txid, _)| **txid);
+                for (txid, parts) in staged {
+                    put_u64(buf, *txid);
+                    put_u32(buf, parts.len() as u32);
+                    for p in parts {
+                        put_u16(buf, p.0);
+                    }
+                }
+                let mut decided: Vec<_> = m.decided.iter().copied().collect();
+                decided.sort_unstable();
+                put_u32(buf, decided.len() as u32);
+                for txid in decided {
+                    put_u64(buf, txid);
+                }
+            }
+            Response::Unavailable(id) => {
+                buf.push(tag::R_UNAVAILABLE);
+                put_u16(buf, *id);
+            }
+            Response::Error(msg) => {
+                buf.push(tag::R_ERROR);
+                put_bytes(buf, msg.as_bytes());
+            }
+        })
+    }
+
+    /// Decodes a response from a frame payload. Data payloads alias the
+    /// frame buffer.
+    pub fn decode(payload: &Bytes) -> Result<Response, WireError> {
+        let mut c = Cur::new(payload);
+        let resp = match c.u8()? {
+            tag::R_HELLO => Response::Hello {
+                version: c.u16()?,
+                node: c.u16()?,
+                capacity: c.u64()?,
+            },
+            tag::R_SINGLE => Response::Single(decode_single(&mut c)?),
+            tag::R_BATCH => {
+                let n = c.u32()?;
+                let mut members = Vec::new();
+                for _ in 0..n {
+                    members.push(match c.u8()? {
+                        0 => Ok(decode_single(&mut c)?),
+                        1 => Err(c.u16()?),
+                        _ => return Err(WireError::BadValue("batch member kind")),
+                    });
+                }
+                Response::Batch(members)
+            }
+            tag::R_VOTE => Response::Vote(match c.u8()? {
+                0 => Vote::Ok(decode_pairs(&mut c)?),
+                1 => Vote::BadCompare(decode_indices(&mut c)?),
+                2 => Vote::Busy,
+                _ => return Err(WireError::BadValue("vote kind")),
+            }),
+            tag::R_UNIT => Response::Unit,
+            tag::R_DATA => Response::Data(c.bytes()?),
+            tag::R_BOOL => Response::Bool(c.bool()?),
+            tag::R_STATS => {
+                let mut v = [0u64; 13];
+                for slot in v.iter_mut() {
+                    *slot = c.u64()?;
+                }
+                Response::Stats(NodeStats {
+                    single_commits: v[0],
+                    prepares: v[1],
+                    commits: v[2],
+                    aborts: v[3],
+                    busy: v[4],
+                    read_fastpath: v[5],
+                    read_fastpath_misses: v[6],
+                    in_doubt: v[7],
+                    wal_appends: v[8],
+                    wal_bytes: v[9],
+                    wal_fsyncs: v[10],
+                    checkpoints: v[11],
+                    wal_retained_bytes: v[12],
+                    durable: c.bool()?,
+                })
+            }
+            tag::R_FLAGS => Response::Flags(NodeFlags {
+                crashed: c.bool()?,
+                joining: c.bool()?,
+                retiring: c.bool()?,
+            }),
+            tag::R_META => {
+                let n = c.u32()?;
+                let mut staged = HashMap::new();
+                for _ in 0..n {
+                    let txid = c.u64()?;
+                    let np = c.u32()?;
+                    let mut parts = Vec::new();
+                    for _ in 0..np {
+                        parts.push(crate::addr::MemNodeId(c.u16()?));
+                    }
+                    staged.insert(txid, parts);
+                }
+                let nd = c.u32()?;
+                let mut decided = HashSet::new();
+                for _ in 0..nd {
+                    decided.insert(c.u64()?);
+                }
+                Response::Meta(NodeMeta { staged, decided })
+            }
+            tag::R_UNAVAILABLE => Response::Unavailable(c.u16()?),
+            tag::R_ERROR => {
+                let b = c.bytes()?;
+                Response::Error(String::from_utf8_lossy(&b).into_owned())
+            }
+            t => return Err(WireError::BadTag(t)),
+        };
+        c.done()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip_req(req: Request) {
+        let frame = req.encode();
+        let payload = read_frame(&mut Cursor::new(&frame)).unwrap();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let frame = resp.encode();
+        let (payload, used) = decode_frame(&frame).unwrap();
+        assert_eq!(used, frame.len());
+        assert_eq!(Response::decode(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Hello { version: 1 });
+        roundtrip_req(Request::ExecSingle {
+            txid: 42,
+            policy: LockPolicy::Block(Duration::from_millis(3)),
+            shard: WireShard {
+                compares: vec![(0, 8, Bytes::from(vec![1, 2]))],
+                reads: vec![(1, 16, 4)],
+                writes: vec![(0, 24, Bytes::from(vec![9; 16]))],
+            },
+        });
+        roundtrip_req(Request::Commit { txid: 7 });
+        roundtrip_req(Request::MirrorConsistent {
+            probe: vec![(0, 64), (128, 32)],
+        });
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(Response::Hello {
+            version: 1,
+            node: 3,
+            capacity: 1 << 20,
+        });
+        roundtrip_resp(Response::Single(SingleResult::Committed(vec![(
+            2,
+            Bytes::from(vec![5; 8]),
+        )])));
+        roundtrip_resp(Response::Batch(vec![
+            Ok(SingleResult::Busy),
+            Err(4),
+            Ok(SingleResult::BadCompare(vec![0, 3])),
+        ]));
+        roundtrip_resp(Response::Vote(Vote::Ok(vec![(0, Bytes::from(vec![1]))])));
+        roundtrip_resp(Response::Error("nope".into()));
+    }
+
+    #[test]
+    fn corrupt_frames_fail_cleanly() {
+        let frame = Request::Commit { txid: 1 }.encode();
+        // Truncations at every prefix length.
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut]).is_err());
+        }
+        // Single bit flips anywhere must be detected.
+        for byte in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[byte] ^= 0x10;
+            assert!(decode_frame(&bad).is_err(), "flip at {byte} undetected");
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut frame = vec![0u8; FRAME_HDR];
+        frame[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_frame(&frame),
+            Err(WireError::FrameTooLarge(u32::MAX))
+        );
+    }
+
+    #[test]
+    fn zero_copy_decode_aliases_the_frame() {
+        let payload = Bytes::from(vec![7u8; 1024]);
+        let req = Request::RawWrite {
+            off: 0,
+            data: payload,
+        };
+        let frame = req.encode();
+        let buf = read_frame(&mut Cursor::new(&frame)).unwrap();
+        match Request::decode(&buf).unwrap() {
+            Request::RawWrite { data, .. } => {
+                assert!(Bytes::same_buffer(&data, &buf), "decode must not copy");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

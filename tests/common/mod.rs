@@ -1,0 +1,78 @@
+//! Shared test support: transport-selectable cluster construction.
+//!
+//! By default clusters are the in-process simulation. Set
+//! `MINUET_TRANSPORT=wire` and the same tests run against memnode servers
+//! behind real Unix-domain sockets — construction is still driven purely
+//! by `ClusterConfig`, which is the whole point: the suites above must not
+//! care which transport they got.
+
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use minuet::core::{MinuetCluster, TreeConfig};
+use minuet::sinfonia::wire::Endpoint;
+use minuet::sinfonia::{
+    ClusterConfig, MemNode, MemNodeId, MemNodeServer, ServerOptions, WireConfig,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Live in-process servers backing wire-mode clusters. Tests never shut
+/// these down explicitly; they die with the test process.
+static SERVERS: OnceLock<Mutex<Vec<MemNodeServer>>> = OnceLock::new();
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// True when `MINUET_TRANSPORT=wire` selects socket transport.
+pub fn wire_mode() -> bool {
+    std::env::var("MINUET_TRANSPORT").is_ok_and(|v| v == "wire")
+}
+
+/// A unique Unix-socket path under the temp dir.
+pub fn socket_path(tag: &str) -> PathBuf {
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("minuet-{}-{}-{tag}.sock", std::process::id(), seq))
+}
+
+/// Spawns `n` loopback memnode servers of the given capacity and returns
+/// their endpoints. The servers stay alive for the rest of the process.
+pub fn spawn_servers(n: usize, capacity: u64) -> Vec<Endpoint> {
+    let registry = SERVERS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut endpoints = Vec::with_capacity(n);
+    for i in 0..n {
+        let ep = Endpoint::Unix(socket_path(&format!("mem{i}")));
+        let node = Arc::new(MemNode::new(MemNodeId(i as u16), capacity));
+        let server = MemNodeServer::spawn(node, &ep, ServerOptions::default())
+            .expect("spawn memnode server");
+        registry.lock().unwrap().push(server);
+        endpoints.push(ep);
+    }
+    endpoints
+}
+
+/// A `ClusterConfig` for the selected transport: plain in-process by
+/// default, wire-backed by loopback servers under `MINUET_TRANSPORT=wire`.
+pub fn sinfonia_config(n_mems: usize, n_trees: u32, cfg: &TreeConfig) -> ClusterConfig {
+    if !wire_mode() {
+        return ClusterConfig::with_memnodes(n_mems);
+    }
+    let capacity = MinuetCluster::required_node_capacity(cfg, n_trees, n_mems);
+    let endpoints = spawn_servers(n_mems, capacity);
+    ClusterConfig::with_memnodes(n_mems).with_wire_transport(endpoints, WireConfig::default())
+}
+
+/// Builds a `MinuetCluster` on the transport selected by
+/// `MINUET_TRANSPORT` (see module docs).
+pub fn cluster(n_mems: usize, n_trees: u32, cfg: TreeConfig) -> Arc<MinuetCluster> {
+    let sin = sinfonia_config(n_mems, n_trees, &cfg);
+    MinuetCluster::with_cluster_config(sin, n_trees, cfg)
+}
+
+/// Builds a `MinuetCluster` over loopback sockets unconditionally
+/// (conformance tests compare this against the in-process build).
+pub fn wire_cluster(n_mems: usize, n_trees: u32, cfg: TreeConfig) -> Arc<MinuetCluster> {
+    let capacity = MinuetCluster::required_node_capacity(&cfg, n_trees, n_mems);
+    let endpoints = spawn_servers(n_mems, capacity);
+    let sin =
+        ClusterConfig::with_memnodes(n_mems).with_wire_transport(endpoints, WireConfig::default());
+    MinuetCluster::with_cluster_config(sin, n_trees, cfg)
+}

@@ -2,7 +2,9 @@
 //! consistent and respect real-time ("happens-before") order — including
 //! when they are borrowed through the snapshot creation service.
 
-use minuet::core::{MinuetCluster, TreeConfig};
+use minuet::core::TreeConfig;
+
+mod common;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -15,7 +17,7 @@ fn key(i: u64) -> Vec<u8> {
 /// (strict serializability's real-time edge), even under concurrent load.
 #[test]
 fn snapshot_respects_happens_before() {
-    let mc = MinuetCluster::new(3, 1, TreeConfig::small_nodes(8));
+    let mc = common::cluster(3, 1, TreeConfig::small_nodes(8));
     let stop = Arc::new(AtomicBool::new(false));
     // Background noise writers.
     let mut noise = Vec::new();
@@ -57,7 +59,7 @@ fn snapshot_respects_happens_before() {
 /// argument.
 #[test]
 fn borrowed_snapshots_respect_happens_before() {
-    let mc = MinuetCluster::new(3, 1, TreeConfig::small_nodes(8));
+    let mc = common::cluster(3, 1, TreeConfig::small_nodes(8));
     mc.scs(0).set_borrowing(true);
     let counter = Arc::new(AtomicU64::new(0));
     let stop = Arc::new(AtomicBool::new(false));
@@ -107,7 +109,7 @@ fn borrowed_snapshots_respect_happens_before() {
 /// written before v (timestamps are monotonically increasing per key).
 #[test]
 fn per_key_reads_never_go_backwards() {
-    let mc = MinuetCluster::new(3, 1, TreeConfig::small_nodes(8));
+    let mc = common::cluster(3, 1, TreeConfig::small_nodes(8));
     let stop = Arc::new(AtomicBool::new(false));
     let clock = Arc::new(AtomicU64::new(1));
 
@@ -153,7 +155,7 @@ fn per_key_reads_never_go_backwards() {
 /// using transactions must never see mixed values.
 #[test]
 fn multi_key_transactions_never_tear() {
-    let mc = MinuetCluster::new(2, 1, TreeConfig::small_nodes(8));
+    let mc = common::cluster(2, 1, TreeConfig::small_nodes(8));
     {
         let mut p = mc.proxy();
         p.put(0, key(1), 0u64.to_le_bytes().to_vec()).unwrap();
@@ -202,7 +204,7 @@ fn multi_key_transactions_never_tear() {
 /// same data.
 #[test]
 fn borrowers_see_identical_data() {
-    let mc = MinuetCluster::new(2, 1, TreeConfig::small_nodes(8));
+    let mc = common::cluster(2, 1, TreeConfig::small_nodes(8));
     {
         let mut p = mc.proxy();
         for i in 0..200 {

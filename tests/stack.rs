@@ -3,6 +3,8 @@
 //! a snapshot-churning workload bounded.
 
 use minuet::core::{MinuetCluster, TreeConfig};
+
+mod common;
 use minuet::workload::{
     encode_key, run_closed_loop, KeyDist, Operation, RunConfig, SharedState, WorkloadSpec,
 };
@@ -36,7 +38,7 @@ fn minuet_worker(mc: std::sync::Arc<MinuetCluster>) -> impl FnMut(&Operation) ->
 
 #[test]
 fn ycsb_style_mix_on_minuet() {
-    let mc = MinuetCluster::new(2, 1, TreeConfig::default());
+    let mc = common::cluster(2, 1, TreeConfig::default());
     let n = 2_000;
     preload(&mc, n);
     // A YCSB-A-like mix with a few scans, zipfian skew.
@@ -58,7 +60,7 @@ fn ycsb_style_mix_on_minuet() {
 
 #[test]
 fn insert_heavy_mix_grows_tree() {
-    let mc = MinuetCluster::new(2, 1, TreeConfig::small_nodes(16));
+    let mc = common::cluster(2, 1, TreeConfig::small_nodes(16));
     let n = 500;
     preload(&mc, n);
     let spec = WorkloadSpec::mix(n, 0.2, 0.0, 0.8, 0.0);
@@ -127,7 +129,7 @@ fn snapshot_churn_with_background_gc_stays_bounded() {
         max_internal_entries: 16,
         ..TreeConfig::default()
     };
-    let mc = MinuetCluster::new(2, 1, cfg);
+    let mc = common::cluster(2, 1, cfg);
     let n = 500u64;
     preload(&mc, n);
 

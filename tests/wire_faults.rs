@@ -1,0 +1,324 @@
+//! Wire-transport fault injection: daemons killed mid-2PC, daemon
+//! restart + reconnect within the coordinator's retry budget, and the
+//! client's timeout/backoff discipline (bounded request latency, capped
+//! reconnect delay, no file-descriptor leak while a server is dead).
+//!
+//! The point of these tests is that the wire transport folds network
+//! failures into the *existing* failure model: an unreachable daemon is
+//! indistinguishable from a crashed in-process memnode, so recovery
+//! semantics (in-doubt resolution, `unavailable_retry`) carry over
+//! unchanged.
+
+use minuet::sinfonia::memnode::Vote;
+use minuet::sinfonia::{
+    ClusterConfig, DurabilityConfig, Endpoint, ItemRange, LockPolicy, MemNode, MemNodeId,
+    MemNodeServer, Minitransaction, NodeRpc, RemoteNode, ServerOptions, SinfoniaCluster, SyncMode,
+    Transport, WireConfig,
+};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+mod common;
+
+/// A wire-backed Sinfonia cluster against already-listening servers.
+fn wire_sinfonia(endpoints: Vec<Endpoint>, capacity: u64) -> Arc<SinfoniaCluster> {
+    let cfg = ClusterConfig {
+        capacity_per_node: capacity,
+        ..ClusterConfig::with_memnodes(endpoints.len())
+    }
+    .with_wire_transport(endpoints, WireConfig::default());
+    SinfoniaCluster::new(cfg)
+}
+
+/// Spawns `n` *durable* memnode daemons sharing one durability directory.
+fn spawn_durable(
+    n: u16,
+    capacity: u64,
+    dcfg: &DurabilityConfig,
+    tag: &str,
+) -> (Vec<MemNodeServer>, Vec<Endpoint>) {
+    let mut servers = Vec::new();
+    let mut endpoints = Vec::new();
+    for i in 0..n {
+        let node =
+            Arc::new(MemNode::durable(MemNodeId(i), capacity, dcfg).expect("durable memnode"));
+        let ep = Endpoint::Unix(common::socket_path(&format!("{tag}-{i}")));
+        servers.push(MemNodeServer::spawn(node, &ep, ServerOptions::default()).expect("spawn"));
+        endpoints.push(ep);
+    }
+    (servers, endpoints)
+}
+
+/// Reopens the daemons' on-disk state (as a restarted `memnoded` would)
+/// and serves it on fresh sockets. Returns servers, endpoints, and the
+/// total number of in-doubt transactions found in the logs.
+fn restart_durable(
+    n: u16,
+    capacity: u64,
+    dcfg: &DurabilityConfig,
+    tag: &str,
+) -> (Vec<MemNodeServer>, Vec<Endpoint>, usize) {
+    let mut servers = Vec::new();
+    let mut endpoints = Vec::new();
+    let mut staged = 0;
+    for i in 0..n {
+        let (node, meta, _) =
+            MemNode::open_from_disk(MemNodeId(i), capacity, dcfg).expect("reopen memnode");
+        staged += meta.staged.len();
+        let ep = Endpoint::Unix(common::socket_path(&format!("{tag}-r{i}")));
+        servers.push(
+            MemNodeServer::spawn(Arc::new(node), &ep, ServerOptions::default()).expect("spawn"),
+        );
+        endpoints.push(ep);
+    }
+    (servers, endpoints, staged)
+}
+
+/// Runs phase one of a cross-node minitransaction at a subset of its
+/// participants — over the wire — then returns without deciding,
+/// simulating a coordinator that dies mid-protocol.
+fn prepare_at(c: &SinfoniaCluster, txid: u64, m: &Minitransaction, at: &[u16]) {
+    let shards = m.shard();
+    let participants: Vec<MemNodeId> = shards.keys().copied().collect();
+    for mem in at {
+        let mem = MemNodeId(*mem);
+        let vote = c
+            .node(mem)
+            .prepare(txid, &shards[&mem], LockPolicy::AbortOnBusy, &participants)
+            .unwrap();
+        assert!(matches!(vote, Vote::Ok(_)), "prepare must vote yes");
+    }
+}
+
+/// Both participants voted yes over the wire, then both daemons were
+/// killed before phase two. Restarted daemons + a fresh coordinator must
+/// resolve the in-doubt transaction to COMMIT (participants never
+/// unilaterally abort after voting yes), with resolution driven entirely
+/// through wire RPCs (`Meta`, `Commit`).
+#[test]
+fn daemon_killed_mid_2pc_all_yes_commits_after_restart() {
+    let capacity = 1u64 << 20;
+    let dcfg = DurabilityConfig {
+        checkpoint_log_bytes: 0,
+        ..DurabilityConfig::ephemeral("wire-2pc-yes", SyncMode::Sync)
+    };
+    let dir = dcfg.dir.clone().unwrap();
+    let (servers, endpoints) = spawn_durable(2, capacity, &dcfg, "2pc-yes");
+    let c = wire_sinfonia(endpoints, capacity);
+
+    let mut m = Minitransaction::new();
+    m.write(ItemRange::new(MemNodeId(0), 0, 4), vec![1, 2, 3, 4]);
+    m.write(ItemRange::new(MemNodeId(1), 0, 4), vec![5, 6, 7, 8]);
+    let txid = c.next_txid();
+    prepare_at(&c, txid, &m, &[0, 1]);
+    assert_eq!(
+        c.node(MemNodeId(0)).in_doubt(),
+        1,
+        "stats RPC sees the staged tx"
+    );
+
+    // The daemons die mid-2PC: sever every connection, drop the processes.
+    for s in &servers {
+        s.kill();
+    }
+    drop(c);
+    drop(servers);
+
+    let (servers2, endpoints2, staged) = restart_durable(2, capacity, &dcfg, "2pc-yes");
+    assert_eq!(staged, 2, "both daemons reopened in doubt");
+    let c2 = wire_sinfonia(endpoints2, capacity);
+    let res = c2.resolve_in_doubt();
+    assert_eq!(res.committed, 1);
+    assert_eq!(res.aborted, 0);
+    assert_eq!(
+        c2.node(MemNodeId(0)).raw_read(0, 4).unwrap(),
+        vec![1, 2, 3, 4]
+    );
+    assert_eq!(
+        c2.node(MemNodeId(1)).raw_read(0, 4).unwrap(),
+        vec![5, 6, 7, 8]
+    );
+    assert_eq!(c2.node(MemNodeId(0)).in_doubt(), 0);
+    assert_eq!(c2.node(MemNodeId(1)).in_doubt(), 0);
+
+    // Locks were released by the resolution: the range is writable again.
+    let mut m2 = Minitransaction::new();
+    m2.write(ItemRange::new(MemNodeId(0), 0, 1), vec![9]);
+    m2.write(ItemRange::new(MemNodeId(1), 0, 1), vec![9]);
+    assert!(c2.execute(&m2).unwrap().committed());
+
+    drop(c2);
+    drop(servers2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Only one participant received the prepare before the daemons died:
+/// the restarted cluster must ABORT, leaving no partial writes.
+#[test]
+fn daemon_killed_mid_2pc_partial_prepare_aborts_after_restart() {
+    let capacity = 1u64 << 20;
+    let dcfg = DurabilityConfig {
+        checkpoint_log_bytes: 0,
+        ..DurabilityConfig::ephemeral("wire-2pc-no", SyncMode::Sync)
+    };
+    let dir = dcfg.dir.clone().unwrap();
+    let (servers, endpoints) = spawn_durable(2, capacity, &dcfg, "2pc-no");
+    let c = wire_sinfonia(endpoints, capacity);
+
+    let mut m = Minitransaction::new();
+    m.write(ItemRange::new(MemNodeId(0), 0, 4), vec![1, 2, 3, 4]);
+    m.write(ItemRange::new(MemNodeId(1), 0, 4), vec![5, 6, 7, 8]);
+    let txid = c.next_txid();
+    prepare_at(&c, txid, &m, &[0]); // memnode 1 never hears of it
+
+    for s in &servers {
+        s.kill();
+    }
+    drop(c);
+    drop(servers);
+
+    let (servers2, endpoints2, staged) = restart_durable(2, capacity, &dcfg, "2pc-no");
+    assert_eq!(staged, 1, "only the prepared daemon is in doubt");
+    let c2 = wire_sinfonia(endpoints2, capacity);
+    let res = c2.resolve_in_doubt();
+    assert_eq!(res.committed, 0);
+    assert_eq!(res.aborted, 1);
+    assert_eq!(c2.node(MemNodeId(0)).raw_read(0, 4).unwrap(), vec![0; 4]);
+    assert_eq!(c2.node(MemNodeId(1)).raw_read(0, 4).unwrap(), vec![0; 4]);
+    assert_eq!(c2.node(MemNodeId(0)).in_doubt(), 0);
+
+    drop(c2);
+    drop(servers2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A daemon that dies and comes back on the same endpoint within the
+/// coordinator's `unavailable_retry` budget is transparent to callers:
+/// the in-flight minitransaction retries through the reconnect and
+/// commits. This is the wire analogue of `crash`/`recover` in-process.
+#[test]
+fn execute_survives_daemon_restart_within_retry_budget() {
+    let capacity = 1u64 << 20;
+    let node = Arc::new(MemNode::new(MemNodeId(0), capacity));
+    let ep = Endpoint::Unix(common::socket_path("reconnect"));
+    let server = MemNodeServer::spawn(node.clone(), &ep, ServerOptions::default()).unwrap();
+    let c = wire_sinfonia(vec![ep.clone()], capacity);
+
+    let mut m = Minitransaction::new();
+    m.write(ItemRange::new(MemNodeId(0), 0, 1), vec![7]);
+    assert!(c.execute(&m).unwrap().committed());
+
+    // The daemon dies abruptly (connections severed mid-stream) and a
+    // replacement binds the same socket 300ms later.
+    server.kill();
+    drop(server);
+    let (node2, ep2) = (node.clone(), ep.clone());
+    let restarter = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        MemNodeServer::spawn(node2, &ep2, ServerOptions::default()).unwrap()
+    });
+
+    let start = Instant::now();
+    let mut m2 = Minitransaction::new();
+    m2.write(ItemRange::new(MemNodeId(0), 1, 1), vec![9]);
+    let outcome = c.execute(&m2).unwrap();
+    let elapsed = start.elapsed();
+    assert!(outcome.committed(), "execute must ride out the restart");
+    assert!(
+        elapsed >= Duration::from_millis(100),
+        "commit during the dead window is impossible ({elapsed:?})"
+    );
+
+    let server2 = restarter.join().unwrap();
+    assert_eq!(c.node(MemNodeId(0)).raw_read(0, 2).unwrap(), vec![7, 9]);
+    drop(c);
+    drop(server2);
+}
+
+fn count_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd").map_or(0, |d| d.count())
+}
+
+/// Requests against a black-hole server (accepts, never replies) are
+/// bounded by `request_timeout`; subsequent requests fail fast inside the
+/// capped backoff window — no dial per retry, so the dead-server loop
+/// costs no file descriptors and the reconnect delay never exceeds
+/// `backoff_cap`.
+#[test]
+fn request_timeout_backoff_cap_and_no_fd_leak() {
+    let path = common::socket_path("blackhole");
+    let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+    let held: Arc<Mutex<Vec<std::os::unix::net::UnixStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = held.clone();
+    std::thread::spawn(move || {
+        for conn in listener.incoming().flatten() {
+            sink.lock().unwrap().push(conn); // hold it open, never reply
+        }
+    });
+
+    let wire = WireConfig {
+        request_timeout: Duration::from_millis(100),
+        connect_timeout: Duration::from_millis(200),
+        max_idle_conns: 2,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(50),
+    };
+    let transport = Arc::new(Transport::new_wire(Duration::from_micros(100), None));
+    let node = RemoteNode::new(MemNodeId(0), Endpoint::Unix(path), wire.clone(), transport);
+
+    // One request: the per-request timeout bounds it.
+    let start = Instant::now();
+    assert!(node.raw_read(0, 8).is_err(), "black hole must not succeed");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(90),
+        "request failed before the timeout could fire ({elapsed:?})"
+    );
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "request_timeout did not bound the request ({elapsed:?})"
+    );
+
+    // Keep failing until the reconnect delay hits the cap: each real
+    // attempt (made once its backoff window passes) costs one timeout and
+    // doubles the delay, which must stop at `backoff_cap`.
+    let mut real_failures = 1;
+    while node.backoff_delay() < wire.backoff_cap {
+        std::thread::sleep(node.backoff_delay() + Duration::from_millis(2));
+        assert!(node.raw_read(0, 8).is_err());
+        real_failures += 1;
+        assert!(real_failures <= 16, "backoff never reached its cap");
+    }
+    assert_eq!(node.backoff_delay(), wire.backoff_cap);
+    let failures_at_cap = node.consecutive_failures();
+
+    // A hundred requests inside the backoff window: every one fails fast
+    // without dialing — no new file descriptors, no timeout-length
+    // stalls, and no re-arming of the window (the failure count stays
+    // where the real failures left it).
+    let fds_before = count_fds();
+    let start = Instant::now();
+    for _ in 0..100 {
+        assert!(node.raw_read(0, 8).is_err());
+    }
+    let loop_elapsed = start.elapsed();
+    let fds_after = count_fds();
+    assert!(
+        loop_elapsed < wire.backoff_cap,
+        "failed requests are not failing fast ({loop_elapsed:?} for 100)"
+    );
+    assert_eq!(
+        fds_after, fds_before,
+        "fd leak while the server is dead: {fds_before} -> {fds_after}"
+    );
+    assert_eq!(
+        node.consecutive_failures(),
+        failures_at_cap,
+        "fail-fast rejections must not count as new failures"
+    );
+    assert_eq!(
+        node.backoff_delay(),
+        wire.backoff_cap,
+        "backoff must cap, not grow unboundedly"
+    );
+}
