@@ -1,0 +1,218 @@
+//! Span-derived stage breakdown of wire-mode operations: where do the
+//! microseconds of a socket-transport get/put actually go?
+//!
+//! Every operation is traced (sampling 1), so each trace carries the
+//! client-side protocol stages (route, traverse, apply, commit, backoff
+//! — with object fetches, socket round trips, and framing nested
+//! inside) *and* the server-side stages stitched back through the
+//! `Traced` reply envelope (decode, lock wait, exec, WAL append, fsync,
+//! encode). The table reports the per-stage p50 across the run; the
+//! coverage check asserts the top-level client stages tile the traced
+//! op total, i.e. the breakdown accounts for the op rather than
+//! sampling disjoint slivers.
+
+use minuet_bench::{bench_tree_config, fast_mode, preload_minuet, records};
+use minuet_core::{MinuetCluster, TreeConfig};
+use minuet_obs::{ObsConfig, SpanKind, Trace};
+use minuet_sinfonia::wire::Endpoint;
+use minuet_sinfonia::{
+    ClusterConfig, MemNode, MemNodeId, MemNodeServer, ServerOptions, WireConfig,
+};
+use minuet_workload::{encode_key, print_table, Histogram};
+use std::sync::Arc;
+use std::time::Instant;
+
+const MEMNODES: usize = 2;
+
+fn xorshift(rng: &mut u64) -> u64 {
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    *rng
+}
+
+fn build_wire(cfg: &TreeConfig) -> (Vec<MemNodeServer>, Arc<MinuetCluster>) {
+    let capacity = MinuetCluster::required_node_capacity(cfg, 1, MEMNODES);
+    let mut servers = Vec::new();
+    let mut endpoints = Vec::new();
+    for i in 0..MEMNODES {
+        let ep = Endpoint::Unix(
+            std::env::temp_dir().join(format!("minuet-bench-span-{}-{i}.sock", std::process::id())),
+        );
+        let node = Arc::new(MemNode::new(MemNodeId(i as u16), capacity));
+        servers.push(MemNodeServer::spawn(node, &ep, ServerOptions::default()).expect("spawn"));
+        endpoints.push(ep);
+    }
+    let sin = ClusterConfig::with_memnodes(MEMNODES)
+        .with_wire_transport(endpoints, WireConfig::default())
+        .with_obs(ObsConfig {
+            sample_every: 1,
+            slow_op_ns: 0,
+            trace_buffer: 16,
+        });
+    let mc = MinuetCluster::with_cluster_config(sin, 1, cfg.clone());
+    (servers, mc)
+}
+
+/// The stages reported per operation, in pipeline order.
+const STAGES: [SpanKind; 14] = [
+    SpanKind::Route,
+    SpanKind::Traverse,
+    SpanKind::Apply,
+    SpanKind::Commit,
+    SpanKind::Backoff,
+    SpanKind::Fetch,
+    SpanKind::Rtt,
+    SpanKind::Framing,
+    SpanKind::SrvDecode,
+    SpanKind::SrvLockWait,
+    SpanKind::SrvExec,
+    SpanKind::SrvWalAppend,
+    SpanKind::SrvFsync,
+    SpanKind::SrvEncode,
+];
+
+/// True for the client stages that tile the op end-to-end (the nested
+/// fetch/rtt/framing/server stages re-measure time already inside these).
+fn top_level(kind: SpanKind) -> bool {
+    matches!(
+        kind,
+        SpanKind::Route
+            | SpanKind::Traverse
+            | SpanKind::Apply
+            | SpanKind::Commit
+            | SpanKind::Backoff
+    )
+}
+
+struct Breakdown {
+    op: &'static str,
+    e2e: Histogram,
+    stages: Vec<Histogram>,
+    /// Per-op fraction of end-to-end time covered by top-level client
+    /// stages, in tenths of a percent (histograms hold integers).
+    coverage_permille: Histogram,
+}
+
+impl Breakdown {
+    fn new(op: &'static str) -> Breakdown {
+        Breakdown {
+            op,
+            e2e: Histogram::new(),
+            stages: STAGES.iter().map(|_| Histogram::new()).collect(),
+            coverage_permille: Histogram::new(),
+        }
+    }
+
+    fn absorb(&mut self, trace: &Trace, e2e_ns: u64) {
+        self.e2e.record(e2e_ns);
+        let mut covered = 0u64;
+        for (kind, h) in STAGES.iter().zip(&mut self.stages) {
+            let ns = trace.kind_total_ns(*kind);
+            h.record(ns);
+            if top_level(*kind) {
+                covered += ns;
+            }
+        }
+        // Coverage against the trace's own op total: both sides come from
+        // the same instrument, so the residual is genuinely untraced work
+        // (op entry/exit), not cross-clock skew.
+        self.coverage_permille
+            .record(covered.saturating_mul(1000) / trace.total_ns.max(1));
+    }
+}
+
+fn run_op(
+    mc: &Arc<MinuetCluster>,
+    op: &'static str,
+    n: u64,
+    ops: u64,
+    mut f: impl FnMut(&mut minuet_core::Proxy, Vec<u8>, u64),
+) -> Breakdown {
+    let mut p = mc.proxy();
+    let mut rng = 0x9E3779B97F4A7C15u64 ^ ops;
+    for i in 0..ops.min(2_048) {
+        f(&mut p, encode_key(xorshift(&mut rng) % n), i); // warm
+    }
+    let obs = mc.sinfonia.obs().clone();
+    let mut b = Breakdown::new(op);
+    for i in 0..ops {
+        let k = encode_key(xorshift(&mut rng) % n);
+        let t = Instant::now();
+        f(&mut p, k, i);
+        let e2e = t.elapsed().as_nanos() as u64;
+        if let Some(trace) = obs.recent(1).pop() {
+            if i == ops - 1 && std::env::var("MINUET_BREAKDOWN_DUMP").is_ok() {
+                eprintln!("sample {op} trace (e2e {e2e}ns):\n{}", trace.render());
+            }
+            b.absorb(&trace, e2e);
+        }
+    }
+    b
+}
+
+fn main() {
+    minuet_bench::header(
+        "Wire-mode stage breakdown: span-derived cost of each protocol stage",
+        "every op is traced end-to-end; client stages (route/traverse/apply/\
+         commit) are measured by the proxy, server stages (decode/lock/exec/\
+         encode) are measured by the daemon and stitched back through the \
+         reply envelope",
+    );
+
+    let n = records();
+    let ops = if fast_mode() { 2_000 } else { 10_000 };
+    let cfg = bench_tree_config();
+    let (servers, mc) = build_wire(&cfg);
+    preload_minuet(&mc, 0, n);
+
+    let get = run_op(&mc, "get", n, ops, |p, k, _| {
+        p.get(0, &k).unwrap();
+    });
+    let put = run_op(&mc, "put", n, ops, |p, k, i| {
+        p.put(0, k, i.to_le_bytes().to_vec()).unwrap();
+    });
+    drop(mc);
+    drop(servers);
+
+    for b in [&get, &put] {
+        let e2e_p50 = b.e2e.percentile(50.0);
+        let rows: Vec<Vec<String>> = STAGES
+            .iter()
+            .zip(&b.stages)
+            .map(|(kind, h)| {
+                let p50 = h.percentile(50.0);
+                vec![
+                    format!(
+                        "{}{}",
+                        if top_level(*kind) { "" } else { "  " },
+                        kind.name()
+                    ),
+                    format!("{:.1}", p50 as f64 / 1_000.0),
+                    format!("{:.0}%", 100.0 * p50 as f64 / e2e_p50.max(1) as f64),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "wire {} breakdown: e2e p50 {:.1}µs over {} traced ops \
+                 (nested stages indented; they re-measure time inside the top-level ones)",
+                b.op,
+                e2e_p50 as f64 / 1_000.0,
+                b.e2e.count(),
+            ),
+            &[&format!("{} stage", b.op), "p50 µs", "share of e2e"],
+            &rows,
+        );
+        let coverage = b.coverage_permille.percentile(50.0) as f64 / 10.0;
+        println!(
+            "  top-level client stages cover {coverage:.1}% of the op at p50 \
+             (residual is op entry/exit outside any stage)\n"
+        );
+        assert!(
+            (85.0..=110.0).contains(&coverage),
+            "breakdown does not account for the {} op: {coverage:.1}% coverage",
+            b.op
+        );
+    }
+}

@@ -43,10 +43,11 @@
 use crate::error::{Attempt, Error, RetryCause};
 use crate::key::{in_range, Fence, Key, Value};
 use crate::node::{Node, NodeBody, NodePtr};
-use crate::proxy::{backoff, OpTarget, Proxy};
+use crate::proxy::{backoff, op_tag, OpTarget, Proxy, RETRY_TAG_BATCH_FALLBACK};
 use crate::traverse::{LeafAccess, OpCtx, PathEntry, VersionCheck};
 use crate::tree::ConcurrencyMode;
 use minuet_dyntx::{commit_many, DynTx, SeqNo, StagedCommit, TxError, TxKey};
+use minuet_obs::{event, SpanKind};
 use minuet_sinfonia::{MemNodeId, Minitransaction, Outcome, SinfoniaError};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -179,6 +180,10 @@ impl Proxy {
         kind: BatchKind,
         items: Vec<(Key, Option<Value>)>,
     ) -> Result<Vec<Option<Value>>, Error> {
+        let _op = self.mc.sinfonia.obs().op(match kind {
+            BatchKind::Get => op_tag::MULTI_GET,
+            BatchKind::Put | BatchKind::Remove => op_tag::MULTI_PUT,
+        });
         let n = items.len();
         let mut results: Vec<Option<Value>> = vec![None; n];
         if n == 0 {
@@ -224,6 +229,9 @@ impl Proxy {
         // optimistic retry loops. Input order preserved for duplicates.
         pending.sort_unstable();
         self.stats.batch_fallbacks += pending.len() as u64;
+        if !pending.is_empty() {
+            event(SpanKind::Retry, RETRY_TAG_BATCH_FALLBACK);
+        }
         for i in pending {
             let (key, value) = &items[i];
             results[i] = self.op_one(tree, kind, key, value.as_ref())?;
@@ -592,6 +600,7 @@ impl Proxy {
     /// assert_eq!(p.get(0, b"k0042").unwrap(), Some(42u32.to_le_bytes().to_vec()));
     /// ```
     pub fn bulk_load(&mut self, tree: u32, pairs: Vec<(Key, Value)>) -> Result<usize, Error> {
+        let _op = self.mc.sinfonia.obs().op(op_tag::BULK_LOAD);
         let mut pairs = pairs;
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
         // Last value wins for duplicate keys, as sequential puts would.

@@ -17,6 +17,7 @@
 
 use crate::node::{Node, NodePtr};
 use minuet_dyntx::SeqNo;
+use minuet_obs::{Counter, ObsPlane};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -41,12 +42,12 @@ pub struct NodeCache {
     hand: usize,
     capacity: usize,
     /// Lookups that hit.
-    pub hits: u64,
+    pub hits: Counter,
     /// Lookups that missed.
-    pub misses: u64,
+    pub misses: Counter,
     /// Entries evicted by the CLOCK sweep (not counting explicit
     /// invalidations).
-    pub evictions: u64,
+    pub evictions: Counter,
 }
 
 impl Default for NodeCache {
@@ -69,10 +70,21 @@ impl NodeCache {
             free: Vec::new(),
             hand: 0,
             capacity: capacity.max(1),
-            hits: 0,
-            misses: 0,
-            evictions: 0,
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
         }
+    }
+
+    /// Swaps the freshly-created counters for handles shared through
+    /// `plane`'s registry, so every cache attached to the same plane
+    /// aggregates into one `cache.hits` / `cache.misses` /
+    /// `cache.evictions` trio and a single
+    /// [`snapshot`](minuet_obs::Registry::snapshot) covers them all.
+    pub fn attach(&mut self, plane: &ObsPlane) {
+        self.hits = plane.registry.counter("cache.hits");
+        self.misses = plane.registry.counter("cache.misses");
+        self.evictions = plane.registry.counter("cache.evictions");
     }
 
     /// The configured capacity in nodes.
@@ -86,11 +98,11 @@ impl NodeCache {
             Some(&idx) => {
                 let slot = self.slots[idx].as_mut().expect("mapped slot occupied");
                 slot.referenced = true;
-                self.hits += 1;
+                self.hits.inc();
                 Some((slot.seqno, slot.node.clone()))
             }
             None => {
-                self.misses += 1;
+                self.misses.inc();
                 None
             }
         }
@@ -142,7 +154,7 @@ impl NodeCache {
             }
             self.map.remove(&slot.key);
             self.slots[idx] = None;
-            self.evictions += 1;
+            self.evictions.inc();
             return idx;
         }
     }
@@ -201,8 +213,8 @@ mod tests {
         assert_eq!(n.height, 0);
         c.invalidate(0, ptr(1));
         assert!(c.get(0, ptr(1)).is_none());
-        assert_eq!(c.hits, 1);
-        assert_eq!(c.misses, 2);
+        assert_eq!(c.hits.get(), 1);
+        assert_eq!(c.misses.get(), 2);
     }
 
     #[test]
@@ -230,7 +242,7 @@ mod tests {
             c.put(0, ptr(i), i as u64, Arc::new(Node::empty_root(0)));
             assert!(c.len() <= 4, "capacity exceeded at insert {i}");
         }
-        assert_eq!(c.evictions, 36);
+        assert_eq!(c.evictions.get(), 36);
     }
 
     #[test]
@@ -254,7 +266,7 @@ mod tests {
         c.put(0, ptr(1), 2, Arc::new(Node::empty_root(0)));
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(0, ptr(1)).unwrap().0, 2);
-        assert_eq!(c.evictions, 0);
+        assert_eq!(c.evictions.get(), 0);
     }
 
     #[test]
@@ -265,6 +277,10 @@ mod tests {
         c.invalidate(0, ptr(1));
         c.put(0, ptr(3), 3, Arc::new(Node::empty_root(0)));
         assert_eq!(c.len(), 2);
-        assert_eq!(c.evictions, 0, "freed slot should be reused, not evicted");
+        assert_eq!(
+            c.evictions.get(),
+            0,
+            "freed slot should be reused, not evicted"
+        );
     }
 }

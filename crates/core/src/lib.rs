@@ -64,7 +64,7 @@ pub use key::{Fence, Key, Value};
 pub use layout::{Layout, LayoutParams};
 pub use migrate::{RebalanceReport, Rebalancer};
 pub use node::{Node, NodeBody, NodePtr, SnapshotId};
-pub use proxy::{Proxy, Txn, TxnError};
+pub use proxy::{op_tag, op_tag_name, Proxy, Txn, TxnError};
 pub use scs::SnapshotService;
 pub use snapshot::SnapshotInfo;
 pub use stats::{occupancy, MemOccupancy, MigrationCounters, MigrationSnapshot, ProxyStats};

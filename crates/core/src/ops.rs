@@ -12,6 +12,7 @@ use crate::proxy::Proxy;
 use crate::traverse::{LeafAccess, OpCtx, PathEntry};
 use crate::tree::ConcurrencyMode;
 use minuet_dyntx::DynTx;
+use minuet_obs::{span, SpanKind};
 use minuet_sinfonia::MemNodeId;
 
 /// Child-pointer changes bubbling up from a lower level.
@@ -92,7 +93,10 @@ impl Proxy {
         } else {
             LeafAccess::Transactional
         };
-        let path = attempt!(self.traverse(tx, tree, ctx, key, access, 0)?);
+        let path = {
+            let _t = span(SpanKind::Traverse);
+            attempt!(self.traverse(tx, tree, ctx, key, access, 0)?)
+        };
         Ok(Attempt::Done(
             path.last().unwrap().node.leaf_get(key).cloned(),
         ))
@@ -110,7 +114,11 @@ impl Proxy {
         f: &mut dyn FnMut(&mut Node) -> Option<Value>,
     ) -> Result<Attempt<Option<Value>>, Error> {
         debug_assert!(ctx.writable);
-        let path = attempt!(self.traverse(tx, tree, ctx, key, LeafAccess::Transactional, 0)?);
+        let path = {
+            let _t = span(SpanKind::Traverse);
+            attempt!(self.traverse(tx, tree, ctx, key, LeafAccess::Transactional, 0)?)
+        };
+        let _apply = span(SpanKind::Apply);
         let leaf_level = path.len() - 1;
         let mut new_leaf = (*path[leaf_level].node).clone();
         let old = f(&mut new_leaf);

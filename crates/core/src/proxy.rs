@@ -17,10 +17,64 @@ use crate::stats::ProxyStats;
 use crate::traverse::{fetch_cat_raw, OpCtx};
 use crate::tree::MinuetCluster;
 use minuet_dyntx::{DynTx, SeqNo, TxError, TxKey};
+use minuet_obs::{event, span, SpanKind};
 use minuet_sinfonia::MemNodeId;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Tags identifying the proxy operation at the root of a trace
+/// ([`minuet_obs::Trace::op_tag`]).
+pub mod op_tag {
+    /// Point lookup (`get` / `get_branch`).
+    pub const GET: u8 = 1;
+    /// Insert or update (`put` / `put_branch`).
+    pub const PUT: u8 = 2;
+    /// Removal (`remove` / `remove_branch`).
+    pub const REMOVE: u8 = 3;
+    /// Snapshot lookup (`get_at`).
+    pub const GET_AT: u8 = 4;
+    /// Multi-key transaction (`txn`).
+    pub const TXN: u8 = 5;
+    /// Batched lookup (`multi_get`).
+    pub const MULTI_GET: u8 = 6;
+    /// Batched mutation (`multi_put` / `multi_remove`).
+    pub const MULTI_PUT: u8 = 7;
+    /// Sorted preload (`bulk_load`).
+    pub const BULK_LOAD: u8 = 8;
+}
+
+/// Renders an op tag for dashboards; the inverse of the constants above.
+pub fn op_tag_name(tag: u8) -> &'static str {
+    match tag {
+        op_tag::GET => "get",
+        op_tag::PUT => "put",
+        op_tag::REMOVE => "remove",
+        op_tag::GET_AT => "get_at",
+        op_tag::TXN => "txn",
+        op_tag::MULTI_GET => "multi_get",
+        op_tag::MULTI_PUT => "multi_put",
+        op_tag::BULK_LOAD => "bulk_load",
+        _ => "op",
+    }
+}
+
+/// Retry-event tag marking a batch member diverted to the per-key path
+/// (no [`RetryCause`] maps to it; see [`retry_tag`]).
+pub(crate) const RETRY_TAG_BATCH_FALLBACK: u8 = 7;
+
+/// Span event tag for a retry, derived from its cause so traces show why
+/// an attempt was thrown away.
+pub(crate) fn retry_tag(cause: RetryCause) -> u8 {
+    match cause {
+        RetryCause::Validation => 1,
+        RetryCause::FenceViolation => 2,
+        RetryCause::HeightMismatch => 3,
+        RetryCause::StaleVersion => 4,
+        RetryCause::StaleTip => 5,
+        RetryCause::TornRead => 6,
+    }
+}
 
 /// Identifies the snapshot an operation targets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -83,6 +137,7 @@ pub(crate) fn backoff(attempt: usize) {
         s.set(x);
         x % ceil
     });
+    let _backoff = span(SpanKind::Backoff);
     std::thread::sleep(Duration::from_micros(1 + j));
 }
 
@@ -90,10 +145,12 @@ impl Proxy {
     pub(crate) fn new(mc: Arc<MinuetCluster>, home: MemNodeId) -> Proxy {
         let chunk = mc.cfg.alloc_chunk;
         let cache_cap = mc.cfg.node_cache_capacity;
+        let mut ncache = NodeCache::with_capacity(cache_cap);
+        ncache.attach(mc.sinfonia.obs());
         Proxy {
             mc,
             home,
-            ncache: NodeCache::with_capacity(cache_cap),
+            ncache,
             tip_cache: HashMap::new(),
             cat_cache: HashMap::new(),
             chunks: ChunkCache::new(chunk),
@@ -106,9 +163,9 @@ impl Proxy {
     /// observability handle for the cache-bounding satellite.
     pub fn cache_stats(&self) -> (u64, u64, u64, usize) {
         (
-            self.ncache.hits,
-            self.ncache.misses,
-            self.ncache.evictions,
+            self.ncache.hits.get(),
+            self.ncache.misses.get(),
+            self.ncache.evictions.get(),
             self.ncache.len(),
         )
     }
@@ -126,6 +183,7 @@ impl Proxy {
     /// Invalidation + accounting shared by all retry sites.
     pub(crate) fn note_retry(&mut self, tree: u32, cause: RetryCause) {
         self.stats.record_retry(cause);
+        event(SpanKind::Retry, retry_tag(cause));
         // Metadata observations may be stale; refresh them on the next
         // attempt. Node-cache entries are invalidated at the fault sites —
         // except a version-pinned cached leaf, whose staleness surfaces
@@ -198,6 +256,7 @@ impl Proxy {
         tree: u32,
         target: OpTarget,
     ) -> Result<Attempt<OpCtx>, Error> {
+        let _route = span(SpanKind::Route);
         let mc = self.mc.clone();
         let layout = *mc.layout(tree);
         match target {
@@ -288,6 +347,7 @@ impl Proxy {
 
     /// Strictly-serializable point lookup at the mainline tip.
     pub fn get(&mut self, tree: u32, key: &[u8]) -> Result<Option<Value>, Error> {
+        let _op = self.mc.sinfonia.obs().op(op_tag::GET);
         self.run_op(tree, |p, tx| {
             let ctx = attempt!(p.resolve(tx, tree, OpTarget::MainlineTip)?);
             p.try_get(tx, tree, &ctx, key)
@@ -297,6 +357,7 @@ impl Proxy {
     /// Inserts or updates a key at the mainline tip; returns the previous
     /// value.
     pub fn put(&mut self, tree: u32, key: Key, value: Value) -> Result<Option<Value>, Error> {
+        let _op = self.mc.sinfonia.obs().op(op_tag::PUT);
         self.run_op(tree, |p, tx| {
             let ctx = attempt!(p.resolve(tx, tree, OpTarget::MainlineTip)?);
             let mut k = Some(key.clone());
@@ -309,6 +370,7 @@ impl Proxy {
 
     /// Removes a key at the mainline tip; returns the previous value.
     pub fn remove(&mut self, tree: u32, key: &[u8]) -> Result<Option<Value>, Error> {
+        let _op = self.mc.sinfonia.obs().op(op_tag::REMOVE);
         self.run_op(tree, |p, tx| {
             let ctx = attempt!(p.resolve(tx, tree, OpTarget::MainlineTip)?);
             p.try_mutate(tx, tree, &ctx, key, &mut |leaf| leaf.leaf_remove(key))
@@ -325,6 +387,7 @@ impl Proxy {
         sid: SnapshotId,
         key: &[u8],
     ) -> Result<Option<Value>, Error> {
+        let _op = self.mc.sinfonia.obs().op(op_tag::GET_AT);
         self.run_op(tree, |p, tx| {
             let ctx = attempt!(p.resolve(tx, tree, OpTarget::Snapshot(sid))?);
             p.try_get(tx, tree, &ctx, key)
@@ -338,6 +401,7 @@ impl Proxy {
         sid: SnapshotId,
         key: &[u8],
     ) -> Result<Option<Value>, Error> {
+        let _op = self.mc.sinfonia.obs().op(op_tag::GET);
         self.run_op(tree, |p, tx| {
             let ctx = attempt!(p.resolve(tx, tree, OpTarget::TipSid(sid))?);
             p.try_get(tx, tree, &ctx, key)
@@ -352,6 +416,7 @@ impl Proxy {
         key: Key,
         value: Value,
     ) -> Result<Option<Value>, Error> {
+        let _op = self.mc.sinfonia.obs().op(op_tag::PUT);
         self.run_op(tree, |p, tx| {
             let ctx = attempt!(p.resolve(tx, tree, OpTarget::TipSid(sid))?);
             let mut k = Some(key.clone());
@@ -369,6 +434,7 @@ impl Proxy {
         sid: SnapshotId,
         key: &[u8],
     ) -> Result<Option<Value>, Error> {
+        let _op = self.mc.sinfonia.obs().op(op_tag::REMOVE);
         self.run_op(tree, |p, tx| {
             let ctx = attempt!(p.resolve(tx, tree, OpTarget::TipSid(sid))?);
             p.try_mutate(tx, tree, &ctx, key, &mut |leaf| leaf.leaf_remove(key))
@@ -413,6 +479,7 @@ impl Proxy {
         &mut self,
         mut f: impl FnMut(&mut Txn<'_, '_, '_>) -> Result<R, TxnError>,
     ) -> Result<R, Error> {
+        let _op = self.mc.sinfonia.obs().op(op_tag::TXN);
         let mc = self.mc.clone();
         let sin = mc.sinfonia.clone();
         let mut attempts = 0usize;

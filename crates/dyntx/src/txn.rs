@@ -21,6 +21,7 @@
 //!   observed by the dirty read.
 
 use crate::object::{decode_obj_shared, encode_obj, ObjRef, ObjVal, ReplRef, SeqNo};
+use minuet_obs::{span, SpanKind};
 use minuet_sinfonia::{Bytes, MemNodeId, Minitransaction, Outcome, SinfoniaCluster, SinfoniaError};
 use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
@@ -193,7 +194,11 @@ impl<'c> DynTx<'c> {
             false
         };
         m.read(obj.full_range());
-        match self.cluster.execute(&m)? {
+        let outcome = {
+            let _fetch = span(SpanKind::Fetch);
+            self.cluster.execute(&m)?
+        };
+        match outcome {
             Outcome::FailedCompare(_) => Err(TxError::Validation),
             Outcome::Committed(res) => {
                 // Zero-copy: the payload view aliases the page buffer the
@@ -388,6 +393,11 @@ impl<'c> DynTx<'c> {
             };
         }
 
+        // Assembly counts as commit time: binding replicated compares
+        // checks memnode flags (a round trip on the wire transport) and
+        // staging writes copies every node image.
+        let _commit = span(SpanKind::Commit);
+
         let mut m = Minitransaction::new();
         if let Some(budget) = self.blocking_commit {
             m = m.blocking(budget);
@@ -525,7 +535,10 @@ impl<'c> StagedCommit<'c> {
             Some(self.cluster.membership_guard())
         };
         Self::expand_repl_writes(&mut m, &self.repl_writes, self.cluster);
-        let outcome = self.cluster.execute(&m)?;
+        let outcome = {
+            let _commit = span(SpanKind::Commit);
+            self.cluster.execute(&m)?
+        };
         Self::into_info(self.installed, outcome)
     }
 }
@@ -592,7 +605,10 @@ pub fn commit_many(
             None => members.push((false, s.installed)),
         }
     }
-    let outcomes = cluster.exec_many(&batch)?;
+    let outcomes = {
+        let _commit = span(SpanKind::Commit);
+        cluster.exec_many(&batch)?
+    };
     let mut outcomes = outcomes.into_iter();
     Ok(members
         .into_iter()

@@ -31,17 +31,22 @@ struct Args {
     dir: Option<PathBuf>,
     sync: SyncMode,
     max_connections: usize,
+    slow_us: u64,
 }
 
 const USAGE: &str = "memnoded --listen <tcp:HOST:PORT|unix:PATH> [--id N] [--capacity-mb MB]
          [--dir PATH] [--sync none|async|sync|group] [--max-connections N]
+         [--slow-us US]
 
   --listen            endpoint to serve on (required)
   --id                memnode id this daemon serves (default 0)
   --capacity-mb       address-space capacity in MiB (default 256)
   --dir               durability directory; resumes existing state if present
   --sync              log sync mode when --dir is set (default async)
-  --max-connections   bounded accept pool size (default 64)";
+  --max-connections   bounded accept pool size (default 64)
+  --slow-us           slow-op log threshold in microseconds: traced requests
+                      slower than this are pinned in the slow-trace ring
+                      (fetch with minuet-stats --slow; default 0 = off)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -51,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         dir: None,
         sync: SyncMode::Async,
         max_connections: ServerOptions::default().max_connections,
+        slow_us: 0,
     };
     let mut listen_set = false;
     let mut it = std::env::args().skip(1);
@@ -94,6 +100,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--max-connections {v}: not a number"))?;
             }
+            "--slow-us" => {
+                let v = value("--slow-us")?;
+                args.slow_us = v
+                    .parse()
+                    .map_err(|_| format!("--slow-us {v}: not a number"))?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
         }
@@ -130,6 +142,9 @@ fn run(args: Args) -> std::io::Result<()> {
         }
         None => MemNode::new(id, args.capacity),
     };
+    if args.slow_us > 0 {
+        node.obs.set_slow_op_ns(args.slow_us * 1_000);
+    }
     let opts = ServerOptions {
         max_connections: args.max_connections,
         ..Default::default()

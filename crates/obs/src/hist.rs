@@ -1,0 +1,284 @@
+//! Log-linear latency histogram (HDR-style bucketing).
+//!
+//! Values (nanoseconds) are bucketed with a fixed relative precision of
+//! ~1.5% (64 sub-buckets per power of two), so recording is O(1),
+//! memory is bounded, and percentiles are accurate enough for reporting
+//! mean / p50 / p95 / p99 over millions of samples.
+//!
+//! Lives in `minuet-obs` (promoted from the workload crate) so both the
+//! client-side drivers and the server-side metrics registry share one
+//! bucketing scheme and summaries merge exactly.
+
+/// Sub-bucket resolution (log2): 64 linear sub-buckets per octave.
+const SUB_BITS: u32 = 6;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Maximum representable value (~18 minutes in ns); larger values clamp.
+const MAX_VALUE: u64 = 1 << 40;
+
+fn bucket_index(v: u64) -> usize {
+    let v = v.min(MAX_VALUE);
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64;
+    let shift = msb - SUB_BITS as u64;
+    let sub = (v >> shift) & (SUB - 1);
+    ((msb - SUB_BITS as u64 + 1) * SUB + sub) as usize
+}
+
+fn bucket_value(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let octave = idx / SUB - 1;
+    let sub = idx % SUB;
+    // Midpoint of the bucket.
+    let base = (SUB + sub) << octave;
+    let width = 1u64 << octave;
+    base + width / 2
+}
+
+const NBUCKETS: usize = ((40 - SUB_BITS as usize + 1) + 1) * SUB as usize;
+
+/// Worst-case relative error of the log-linear bucketing for values at or
+/// above one octave (`v >= 64`): half a bucket width over the bucket base.
+/// Values below 64 are exact. Property tests assert this bound.
+pub const MAX_RELATIVE_ERROR: f64 = 1.0 / SUB as f64;
+
+/// A mergeable latency histogram.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.total)
+            .field("p50", &self.percentile(50.0))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; NBUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// Records one value (nanoseconds).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Records a [`std::time::Duration`].
+    #[inline]
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean in nanoseconds.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at percentile `p` in `[0, 100]`, in nanoseconds.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return bucket_value(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded value.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Compact summary of this histogram.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.total,
+            mean_ns: self.mean(),
+            p50_ns: self.percentile(50.0),
+            p95_ns: self.percentile(95.0),
+            p99_ns: self.percentile(99.0),
+            max_ns: self.max(),
+        }
+    }
+}
+
+/// Summary statistics of a latency distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Samples.
+    pub count: u64,
+    /// Mean (ns).
+    pub mean_ns: f64,
+    /// Median (ns).
+    pub p50_ns: u64,
+    /// 95th percentile (ns) — the paper's headline latency metric.
+    pub p95_ns: u64,
+    /// 99th percentile (ns).
+    pub p99_ns: u64,
+    /// Maximum (ns).
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Mean in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_ns / 1e6
+    }
+
+    /// p95 in milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        self.p95_ns as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.percentile(50.0), 3);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 3);
+        assert!((h.mean() - 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_precision_on_large_values() {
+        let mut h = Histogram::new();
+        h.record(1_000_000); // 1ms in ns
+        let p = h.percentile(99.0);
+        let err = (p as f64 - 1_000_000.0).abs() / 1_000_000.0;
+        assert!(err < 0.02, "bucketing error {err}");
+    }
+
+    #[test]
+    fn percentile_ordering() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 100);
+        }
+        let p50 = h.percentile(50.0);
+        let p95 = h.percentile(95.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p95 && p95 <= p99);
+        let err50 = (p50 as f64 - 500_000.0).abs() / 500_000.0;
+        let err95 = (p95 as f64 - 950_000.0).abs() / 950_000.0;
+        assert!(err50 < 0.03, "p50 {p50}");
+        assert!(err95 < 0.03, "p95 {p95}");
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..1000u64 {
+            a.record(i);
+            b.record(i + 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 2000);
+        assert_eq!(a.max(), 1999);
+        let p50 = a.percentile(50.0) as f64;
+        assert!((p50 - 1000.0).abs() / 1000.0 < 0.03);
+    }
+
+    #[test]
+    fn empty_histogram_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn bucket_roundtrip_monotone() {
+        let mut prev = 0;
+        for v in (0..1 << 20).step_by(97) {
+            let idx = bucket_index(v);
+            assert!(idx >= prev || bucket_index(v) == prev, "monotone");
+            prev = idx;
+            let mid = bucket_value(idx);
+            if v >= SUB {
+                let err = (mid as f64 - v as f64).abs() / v as f64;
+                assert!(err < 0.02, "v={v} mid={mid}");
+            }
+        }
+    }
+}

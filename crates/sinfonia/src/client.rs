@@ -26,9 +26,12 @@ use crate::recovery::NodeMeta;
 use crate::rpc::{BatchItem, NodeRpc, NodeStats};
 use crate::transport::Transport;
 use crate::wire::{
-    read_frame, Endpoint, NodeFlags, Request, Response, WireBatchItem, WireShard, PROTO_VERSION,
+    encode_traced_request, read_frame, Endpoint, NodeFlags, Request, Response, WireBatchItem,
+    WireShard, PROTO_VERSION,
 };
+use minuet_obs::{absorb_spans, current_ctx, span, span_tagged, HistHandle, ObsSnapshot, SpanKind};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -70,6 +73,15 @@ struct Backoff {
     until: Option<Instant>,
 }
 
+/// Per-RPC-type histogram handles, cached by request tag so the hot path
+/// pays one `HashMap` lookup instead of a registry get-or-create.
+#[derive(Clone)]
+struct RpcHists {
+    lat: HistHandle,
+    bytes_out: HistHandle,
+    bytes_in: HistHandle,
+}
+
 /// A wire-backed memnode handle (see module docs).
 pub struct RemoteNode {
     id: MemNodeId,
@@ -80,6 +92,8 @@ pub struct RemoteNode {
     backoff: Mutex<Backoff>,
     /// Server capacity learned from the `Hello` handshake.
     capacity: AtomicU64,
+    /// Per-RPC-type wire histograms (`wire.lat.*`, `wire.bytes_*`).
+    hists: Mutex<HashMap<u8, RpcHists>>,
 }
 
 impl RemoteNode {
@@ -99,6 +113,7 @@ impl RemoteNode {
             idle: Mutex::new(Vec::new()),
             backoff: Mutex::new(Backoff::default()),
             capacity: AtomicU64::new(0),
+            hists: Mutex::new(HashMap::new()),
         }
     }
 
@@ -220,24 +235,69 @@ impl RemoteNode {
         self.idle.lock().clear();
     }
 
-    fn exchange(&self, conn: &mut crate::wire::Stream, frame: &[u8]) -> io::Result<Response> {
-        conn.write_all(frame)?;
-        conn.flush()?;
-        let payload = read_frame(conn)?;
-        self.transport.record_wire_bytes(
-            frame.len() as u64,
-            (payload.len() + crate::wire::FRAME_HDR) as u64,
-        );
-        let resp = Response::decode(&payload)?;
-        Ok(resp)
+    /// Looks up (or creates and caches) the per-RPC-type histograms for
+    /// this request's kind in the transport's registry.
+    fn rpc_hists(&self, req: &Request) -> RpcHists {
+        let tag = req.tag_byte();
+        let mut cache = self.hists.lock();
+        cache
+            .entry(tag)
+            .or_insert_with(|| {
+                let name = req.kind_name();
+                let r = &self.transport.obs.registry;
+                RpcHists {
+                    lat: r.histogram(&format!("wire.lat.{name}")),
+                    bytes_out: r.histogram(&format!("wire.bytes_out.{name}")),
+                    bytes_in: r.histogram(&format!("wire.bytes_in.{name}")),
+                }
+            })
+            .clone()
+    }
+
+    /// Writes `frame`, reads the reply frame, decodes it. Returns the
+    /// response and the inbound frame size (header included).
+    fn exchange(
+        &self,
+        conn: &mut crate::wire::Stream,
+        frame: &[u8],
+        req_tag: u8,
+    ) -> io::Result<(Response, u64)> {
+        let payload = {
+            let _rtt = span_tagged(SpanKind::Rtt, req_tag);
+            conn.write_all(frame)?;
+            conn.flush()?;
+            read_frame(conn)?
+        };
+        let bytes_in = (payload.len() + crate::wire::FRAME_HDR) as u64;
+        self.transport
+            .record_wire_bytes(frame.len() as u64, bytes_in);
+        let resp = {
+            let _f = span(SpanKind::Framing);
+            Response::decode(&payload)?
+        };
+        Ok((resp, bytes_in))
     }
 
     /// One request/response exchange. A failure on a *pooled* connection
     /// is retried once on a fresh dial (the pool may hold sockets from
     /// before a server restart); failures on fresh connections surface
     /// immediately.
+    ///
+    /// When the calling thread is inside a sampled trace, the request is
+    /// wrapped in a [`Request::Traced`] envelope and the server-side spans
+    /// carried by the [`Response::TracedReply`] are absorbed into the
+    /// client's span tree.
     fn request(&self, req: &Request) -> Result<Response, Unavailable> {
-        let frame = req.encode();
+        let t0 = Instant::now();
+        let traced = current_ctx();
+        let frame = {
+            let _f = span(SpanKind::Framing);
+            match &traced {
+                Some(ctx) => encode_traced_request(ctx.trace_id, req),
+                None => req.encode(),
+            }
+        };
+        let req_tag = req.tag_byte();
         for attempt in 0..2 {
             let (mut conn, pooled) = match self.get_conn() {
                 Ok(c) => c,
@@ -253,10 +313,21 @@ impl RemoteNode {
                     return Err(Unavailable(self.id));
                 }
             };
-            match self.exchange(&mut conn, &frame) {
-                Ok(resp) => {
+            match self.exchange(&mut conn, &frame, req_tag) {
+                Ok((resp, bytes_in)) => {
                     self.put_conn(conn);
                     self.note_success();
+                    let h = self.rpc_hists(req);
+                    h.lat.record(t0.elapsed().as_nanos() as u64);
+                    h.bytes_out.record(frame.len() as u64);
+                    h.bytes_in.record(bytes_in);
+                    let resp = match resp {
+                        Response::TracedReply { spans, inner } => {
+                            absorb_spans(&spans);
+                            *inner
+                        }
+                        other => other,
+                    };
                     return Ok(resp);
                 }
                 Err(_) if pooled && attempt == 0 => {
@@ -503,5 +574,19 @@ impl NodeRpc for RemoteNode {
             probe: probe.to_vec(),
         };
         matches!(self.request(&req), Ok(Response::Bool(true)))
+    }
+
+    fn obs_snapshot(&self) -> ObsSnapshot {
+        match self.request(&Request::ObsSnapshot) {
+            Ok(Response::Obs(b)) => ObsSnapshot::decode(&b).unwrap_or_default(),
+            _ => ObsSnapshot::default(),
+        }
+    }
+
+    fn trace_dump(&self, max: u32, slow: bool) -> Vec<minuet_obs::Trace> {
+        match self.request(&Request::TraceDump { max, slow }) {
+            Ok(Response::Traces(b)) => minuet_obs::Trace::decode_many(&b).unwrap_or_default(),
+            _ => Vec::new(),
+        }
     }
 }

@@ -64,6 +64,9 @@ pub struct ClusterConfig {
     pub durability: DurabilityConfig,
     /// How the coordinator reaches its memnodes.
     pub transport: TransportMode,
+    /// Client-side observability: trace sampling rate, slow-op threshold,
+    /// buffer sizes. Off by default (the metric registry always works).
+    pub obs: minuet_obs::ObsConfig,
 }
 
 impl Default for ClusterConfig {
@@ -76,6 +79,7 @@ impl Default for ClusterConfig {
             unavailable_retry: Duration::from_secs(2),
             durability: DurabilityConfig::default(),
             transport: TransportMode::InProcess,
+            obs: minuet_obs::ObsConfig::default(),
         }
     }
 }
@@ -100,6 +104,12 @@ impl ClusterConfig {
     pub fn with_wire_transport(mut self, endpoints: Vec<Endpoint>, wire: WireConfig) -> Self {
         self.memnodes = endpoints.len();
         self.transport = TransportMode::Wire { endpoints, wire };
+        self
+    }
+
+    /// Sets the observability configuration (trace sampling etc.).
+    pub fn with_obs(mut self, obs: minuet_obs::ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -171,7 +181,10 @@ impl SinfoniaCluster {
                         Arc::new(node) as NodeHandle
                     })
                     .collect();
-                let transport = Arc::new(Transport::new(cfg.model_rtt, cfg.inject_rtt));
+                let transport = Arc::new(
+                    Transport::new(cfg.model_rtt, cfg.inject_rtt)
+                        .with_obs(minuet_obs::ObsPlane::new(&cfg.obs)),
+                );
                 Self::assemble(nodes, transport, cfg, 1)
             }
             TransportMode::Wire { endpoints, wire } => {
@@ -184,7 +197,10 @@ impl SinfoniaCluster {
                     !cfg.durability.enabled(),
                     "durability is server-side in wire mode: configure it on the daemons"
                 );
-                let transport = Arc::new(Transport::new_wire(cfg.model_rtt, cfg.inject_rtt));
+                let transport = Arc::new(
+                    Transport::new_wire(cfg.model_rtt, cfg.inject_rtt)
+                        .with_obs(minuet_obs::ObsPlane::new(&cfg.obs)),
+                );
                 let nodes: Vec<NodeHandle> = endpoints
                     .into_iter()
                     .enumerate()
@@ -277,7 +293,10 @@ impl SinfoniaCluster {
             metas.push(meta);
             max_txid = max_txid.max(node_max);
         }
-        let transport = Arc::new(Transport::new(cfg.model_rtt, cfg.inject_rtt));
+        let transport = Arc::new(
+            Transport::new(cfg.model_rtt, cfg.inject_rtt)
+                .with_obs(minuet_obs::ObsPlane::new(&cfg.obs)),
+        );
         let cluster = Self::assemble(nodes, transport, cfg, max_txid + 1);
         let resolution = recovery::resolve_in_doubt(&cluster, &metas);
         Ok((cluster, resolution))
@@ -467,6 +486,13 @@ impl SinfoniaCluster {
     /// update and stay stale forever).
     pub fn membership_guard(&self) -> parking_lot::RwLockReadGuard<'_, ()> {
         self.membership_gate.read()
+    }
+
+    /// The cluster's client-side observability plane (rides on the
+    /// transport so the wire clients share it).
+    #[inline]
+    pub fn obs(&self) -> &Arc<minuet_obs::ObsPlane> {
+        &self.transport.obs
     }
 
     /// Allocates a fresh minitransaction id.

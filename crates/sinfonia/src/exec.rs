@@ -125,9 +125,11 @@ pub fn execute_many(
     for (mem, idxs) in &groups {
         // One batched request to this memnode: one round trip carrying
         // `idxs.len()` packed minitransactions (counted as messages). In
-        // wire mode the whole group really is one ExecBatch frame.
-        let (req_bytes, resp_bytes) = idxs.iter().fold((0, 0), |(o, b), &i| {
-            let (wo, wb) = ms[i].wire_bytes();
+        // wire mode the whole group really is one ExecBatch frame: frame
+        // header + tag + member count (13 bytes) each way, plus each
+        // member's exact encoded share.
+        let (req_bytes, resp_bytes) = idxs.iter().fold((13, 13), |(o, b), &i| {
+            let (wo, wb) = ms[i].batch_member_wire_bytes();
             (o + wo, b + wb)
         });
         cluster
@@ -191,11 +193,11 @@ fn try_once(
     let shards = m.shard();
     let mut reads: Vec<Bytes> = vec![Bytes::new(); m.reads.len()];
 
-    let (wire_out, wire_in) = m.wire_bytes();
     let service = cluster.service_time();
     if shards.len() == 1 {
         // Collapsed one-phase protocol: one round trip, locks held only
         // inside the memnode call.
+        let (wire_out, wire_in) = m.wire_bytes();
         let (mem, shard) = shards.iter().next().unwrap();
         cluster.transport.round_trip_bytes(1, wire_out, wire_in);
         let node = cluster.node(*mem);
@@ -215,7 +217,12 @@ fn try_once(
         // Phase one: prepare at every participant (messages in parallel on
         // a real network; one round trip). Every prepare carries the full
         // participant list so a durable node can resolve the outcome after
-        // a coordinator crash.
+        // a coordinator crash. Bytes: the exact Prepare frame + Vote reply
+        // per shard.
+        let (wire_out, wire_in) = shards.values().fold((0, 0), |(o, b), s| {
+            let (po, pb) = s.prepare_wire_bytes(shards.len(), policy);
+            (o + po, b + pb)
+        });
         cluster
             .transport
             .round_trip_bytes(shards.len(), wire_out, wire_in);
@@ -254,10 +261,11 @@ fn try_once(
             // Phase two: commit everywhere. A participant that crashed
             // after voting Ok must still apply the decision after recovery:
             // we retry commit delivery until the recovery deadline.
+            // Commit frame: header + tag + txid (17B); Unit reply: 9B.
             let n = prepared.len() as u64;
             cluster
                 .transport
-                .round_trip_bytes(prepared.len(), 24 * n, 16 * n);
+                .round_trip_bytes(prepared.len(), 17 * n, 9 * n);
             for mem in &prepared {
                 let node = cluster.node(*mem);
                 node.occupy(service);
@@ -282,10 +290,11 @@ fn try_once(
 
         // Abort everyone we prepared.
         if !prepared.is_empty() {
+            // Abort frame: header + tag + txid (17B); Unit reply: 9B.
             let n = prepared.len() as u64;
             cluster
                 .transport
-                .round_trip_bytes(prepared.len(), 24 * n, 16 * n);
+                .round_trip_bytes(prepared.len(), 17 * n, 9 * n);
             for mem in &prepared {
                 let _ = cluster.node(*mem).abort(txid);
             }

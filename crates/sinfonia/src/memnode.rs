@@ -21,11 +21,13 @@ use crate::recovery::{self, NodeMeta};
 use crate::space::PagedSpace;
 use crate::wal::{DurabilityConfig, Record, Wal, WalStats};
 use crate::{checkpoint, lock};
+use minuet_obs::{span, Counter, ObsPlane, SpanKind};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A participant's vote in the two-phase protocol.
@@ -79,25 +81,42 @@ pub struct PreparedTx {
     pub participants: Vec<MemNodeId>,
 }
 
-/// Per-memnode operation counters.
+/// Per-memnode operation counters. The fields are registered [`Counter`]
+/// handles: the node increments its own handles, and the node's
+/// [`ObsPlane`] registry exposes the same series under `memnode.*` names,
+/// so one registry snapshot covers them.
 #[derive(Default)]
 pub struct MemNodeStats {
     /// One-phase executions that committed.
-    pub single_commits: AtomicU64,
+    pub single_commits: Counter,
     /// Prepares that voted Ok.
-    pub prepares: AtomicU64,
+    pub prepares: Counter,
     /// Two-phase commits applied.
-    pub commits: AtomicU64,
+    pub commits: Counter,
     /// Aborts processed (both compare failures and coordinator aborts).
-    pub aborts: AtomicU64,
+    pub aborts: Counter,
     /// Lock-busy rejections.
-    pub busy: AtomicU64,
+    pub busy: Counter,
     /// Read-only one-phase executions served by the lock-free fast path
     /// (no lock acquisition; validated by a span probe + release stamp).
-    pub read_fastpath: AtomicU64,
+    pub read_fastpath: Counter,
     /// Fast-path attempts that detected a racing writer and fell back to
     /// the locked path.
-    pub read_fastpath_misses: AtomicU64,
+    pub read_fastpath_misses: Counter,
+}
+
+impl MemNodeStats {
+    /// Registers every counter under `memnode.*` in `plane`'s registry.
+    fn register(&self, plane: &ObsPlane) {
+        let r = &plane.registry;
+        r.register_counter("memnode.single_commits", &self.single_commits);
+        r.register_counter("memnode.prepares", &self.prepares);
+        r.register_counter("memnode.commits", &self.commits);
+        r.register_counter("memnode.aborts", &self.aborts);
+        r.register_counter("memnode.busy", &self.busy);
+        r.register_counter("memnode.read_fastpath", &self.read_fastpath);
+        r.register_counter("memnode.read_fastpath_misses", &self.read_fastpath_misses);
+    }
 }
 
 /// Durable state of a memnode: the redo log plus file locations.
@@ -145,6 +164,10 @@ pub struct MemNode {
     checkpoints: AtomicU64,
     /// Operation counters.
     pub stats: MemNodeStats,
+    /// This node's observability plane: its registry exposes the
+    /// `memnode.*` counters and (when durable) the `wal.*` series; its
+    /// trace buffer holds server-side traces recorded for wire clients.
+    pub obs: Arc<ObsPlane>,
 }
 
 impl MemNode {
@@ -241,6 +264,12 @@ impl MemNode {
             debug_assert_eq!(got, LockAcquire::Granted, "recovery lock conflict");
         }
         let backup = space.snapshot_clone();
+        let obs = ObsPlane::disabled();
+        let stats = MemNodeStats::default();
+        stats.register(&obs);
+        if let Some(d) = &dur {
+            d.wal.stats.register(&obs);
+        }
         MemNode {
             id,
             locks,
@@ -255,7 +284,8 @@ impl MemNode {
             dur,
             ckpt_running: AtomicBool::new(false),
             checkpoints: AtomicU64::new(0),
-            stats: MemNodeStats::default(),
+            stats,
+            obs,
         }
     }
 
@@ -388,8 +418,11 @@ impl MemNode {
     fn log_and_apply(&self, txid: TxId, writes: &[(u64, Bytes)]) -> Option<u64> {
         match &self.dur {
             Some(d) => {
-                let mut g = d.wal.lock();
-                let end = g.append(&Record::Apply { txid, writes });
+                let end = {
+                    let _s = span(SpanKind::SrvWalAppend);
+                    let mut g = d.wal.lock();
+                    g.append(&Record::Apply { txid, writes })
+                };
                 self.apply(writes);
                 Some(end)
             }
@@ -447,33 +480,41 @@ impl MemNode {
             }
         }
 
-        if self.acquire(&spans, txid, policy) == LockAcquire::Busy {
+        let busy = {
+            let _lw = span(SpanKind::SrvLockWait);
+            self.acquire(&spans, txid, policy) == LockAcquire::Busy
+        };
+        if busy {
             self.stats.busy.fetch_add(1, Ordering::Relaxed);
             return Ok(SingleResult::Busy);
         }
         let mut wait = None;
-        let result = match self.eval(shard) {
-            Err(failed) => {
-                self.stats.aborts.fetch_add(1, Ordering::Relaxed);
-                SingleResult::BadCompare(failed)
-            }
-            Ok(reads) => {
-                if !shard.writes.is_empty() {
-                    // Arc bumps, not payload copies: the coordinator's
-                    // buffers flow into the log and the space unchanged.
-                    let writes: Vec<(u64, Bytes)> = shard
-                        .writes
-                        .iter()
-                        .map(|(_, w)| (w.range.off, w.data.clone()))
-                        .collect();
-                    wait = self.log_and_apply(txid, &writes);
+        let result = {
+            let _ex = span(SpanKind::SrvExec);
+            match self.eval(shard) {
+                Err(failed) => {
+                    self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                    SingleResult::BadCompare(failed)
                 }
-                self.stats.single_commits.fetch_add(1, Ordering::Relaxed);
-                SingleResult::Committed(reads)
+                Ok(reads) => {
+                    if !shard.writes.is_empty() {
+                        // Arc bumps, not payload copies: the coordinator's
+                        // buffers flow into the log and the space unchanged.
+                        let writes: Vec<(u64, Bytes)> = shard
+                            .writes
+                            .iter()
+                            .map(|(_, w)| (w.range.off, w.data.clone()))
+                            .collect();
+                        wait = self.log_and_apply(txid, &writes);
+                    }
+                    self.stats.single_commits.fetch_add(1, Ordering::Relaxed);
+                    SingleResult::Committed(reads)
+                }
             }
         };
         self.locks.release(txid);
         if let (Some(end), Some(d)) = (wait, &self.dur) {
+            let _fs = span(SpanKind::SrvFsync);
             d.wal.wait_durable(end);
         }
         Ok(result)
@@ -493,7 +534,11 @@ impl MemNode {
     ) -> Result<Vote, Unavailable> {
         self.check_up()?;
         let spans = shard.lock_spans();
-        if self.acquire(&spans, txid, policy) == LockAcquire::Busy {
+        let lock_busy = {
+            let _lw = span(SpanKind::SrvLockWait);
+            self.acquire(&spans, txid, policy) == LockAcquire::Busy
+        };
+        if lock_busy {
             self.stats.busy.fetch_add(1, Ordering::Relaxed);
             return Ok(Vote::Busy);
         }
@@ -517,13 +562,16 @@ impl MemNode {
                 let wait = match &self.dur {
                     Some(d) => {
                         let parts: Vec<u16> = participants.iter().map(|m| m.0).collect();
-                        let mut g = d.wal.lock();
-                        let end = g.append(&Record::Prepare {
-                            txid,
-                            participants: &parts,
-                            spans: &staged.spans,
-                            writes: &staged.writes,
-                        });
+                        let end = {
+                            let _s = span(SpanKind::SrvWalAppend);
+                            let mut g = d.wal.lock();
+                            g.append(&Record::Prepare {
+                                txid,
+                                participants: &parts,
+                                spans: &staged.spans,
+                                writes: &staged.writes,
+                            })
+                        };
                         self.prepared.lock().insert(txid, staged);
                         Some(end)
                     }
@@ -534,6 +582,7 @@ impl MemNode {
                 };
                 self.stats.prepares.fetch_add(1, Ordering::Relaxed);
                 if let (Some(end), Some(d)) = (wait, &self.dur) {
+                    let _fs = span(SpanKind::SrvFsync);
                     d.wal.wait_durable(end);
                 }
                 Ok(Vote::Ok(reads))
@@ -572,6 +621,7 @@ impl MemNode {
         };
         self.locks.release(txid);
         if let (Some(end), Some(d)) = (wait, &self.dur) {
+            let _fs = span(SpanKind::SrvFsync);
             d.wal.wait_durable(end);
         }
         Ok(())

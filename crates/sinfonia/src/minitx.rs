@@ -111,26 +111,65 @@ impl Minitransaction {
         self.writes.is_empty()
     }
 
-    /// Approximate wire size of this minitransaction as `(request bytes,
-    /// response bytes)`: per-item range descriptors plus payloads out,
-    /// read-item lengths back. Feeds the transport's byte counters so
-    /// benches can report bytes/op next to round trips/op.
-    pub fn wire_bytes(&self) -> (u64, u64) {
-        const ITEM: u64 = 16; // range descriptor (mem + off + len)
-        const HDR: u64 = 16; // per-message framing
-        let out = HDR
-            + self
-                .compares
-                .iter()
-                .map(|c| ITEM + c.expected.len() as u64)
-                .sum::<u64>()
-            + self.reads.len() as u64 * ITEM
+    /// Encoded size of this minitransaction's lock policy byte(s) on the
+    /// wire (`encode_policy` in the wire module).
+    fn policy_wire_bytes(&self) -> u64 {
+        match self.policy {
+            Some(LockPolicy::Block(_)) => 9, // variant byte + u64 budget
+            _ => 1,                          // variant byte
+        }
+    }
+
+    /// Encoded size of the item lists as a wire shard: three u32 counts
+    /// plus one 16-byte descriptor (u32 index + u64 offset + u32
+    /// length-or-len-prefix) and any payload per item.
+    fn shard_item_wire_bytes(&self) -> u64 {
+        12 + self
+            .compares
+            .iter()
+            .map(|c| 16 + c.expected.len() as u64)
+            .sum::<u64>()
+            + self.reads.len() as u64 * 16
             + self
                 .writes
                 .iter()
-                .map(|w| ITEM + w.data.len() as u64)
-                .sum::<u64>();
-        let back = HDR + self.reads.iter().map(|r| r.range.len as u64).sum::<u64>();
+                .map(|w| 16 + w.data.len() as u64)
+                .sum::<u64>()
+    }
+
+    /// Encoded size of the read results carried by a committed reply:
+    /// result kind + pair count, then u32 index + u32 length prefix + data
+    /// per read item.
+    fn reply_pairs_wire_bytes(&self) -> u64 {
+        1 + 4
+            + self
+                .reads
+                .iter()
+                .map(|r| 8 + r.range.len as u64)
+                .sum::<u64>()
+    }
+
+    /// Exact wire size of this minitransaction as `(request bytes,
+    /// response bytes)` for the collapsed one-phase protocol: the sealed
+    /// `ExecSingle` frame out and the committed `Single` reply back,
+    /// byte-for-byte what the wire module's encoders produce (asserted by
+    /// the frame-conformance test there). Feeds the transport's byte
+    /// counters so benches report bytes/op next to round trips/op.
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        // Frame header (8) + request tag + txid + policy + shard items.
+        let out = 8 + 1 + 8 + self.policy_wire_bytes() + self.shard_item_wire_bytes();
+        // Frame header + response tag + committed read pairs.
+        let back = 8 + 1 + self.reply_pairs_wire_bytes();
+        (out, back)
+    }
+
+    /// Exact wire size of this minitransaction as one `ExecBatch` member
+    /// `(request bytes, response bytes)`: the member's share of the batch
+    /// frame out (txid + policy + shard) and of the batch reply back
+    /// (ok-discriminant + committed result).
+    pub fn batch_member_wire_bytes(&self) -> (u64, u64) {
+        let out = 8 + self.policy_wire_bytes() + self.shard_item_wire_bytes();
+        let back = 1 + self.reply_pairs_wire_bytes();
         (out, back)
     }
 
@@ -178,6 +217,42 @@ pub struct Shard<'a> {
 }
 
 impl Shard<'_> {
+    /// Exact wire size of the two-phase `Prepare` frame carrying this
+    /// shard and of its `Vote::Ok` reply, as `(request bytes, response
+    /// bytes)` — mirrors the wire module's encoders byte-for-byte (see
+    /// the frame-conformance test there).
+    pub fn prepare_wire_bytes(&self, participants: usize, policy: LockPolicy) -> (u64, u64) {
+        let policy_len: u64 = match policy {
+            LockPolicy::Block(_) => 9,
+            LockPolicy::AbortOnBusy => 1,
+        };
+        let items: u64 = 12
+            + self
+                .compares
+                .iter()
+                .map(|(_, c)| 16 + c.expected.len() as u64)
+                .sum::<u64>()
+            + self.reads.len() as u64 * 16
+            + self
+                .writes
+                .iter()
+                .map(|(_, w)| 16 + w.data.len() as u64)
+                .sum::<u64>();
+        // Frame header + tag + txid + policy + participant list + shard.
+        let out = 8 + 1 + 8 + policy_len + 4 + 2 * participants as u64 + items;
+        // Frame header + tag + vote variant + pair count + read pairs.
+        let back = 8
+            + 1
+            + 1
+            + 4
+            + self
+                .reads
+                .iter()
+                .map(|(_, r)| 8 + r.range.len as u64)
+                .sum::<u64>();
+        (out, back)
+    }
+
     /// Canonicalized lock spans covering every item in the shard.
     pub fn lock_spans(&self) -> Vec<(u64, u64)> {
         let spans = self

@@ -178,6 +178,19 @@ pub trait NodeRpc: Send + Sync {
     /// support).
     fn mirror_consistent(&self, probe: &[(u64, u32)]) -> bool;
 
+    /// Point-in-time snapshot of every metric the node's observability
+    /// plane registers (`memnode.*`, `wal.*`, …). Default: empty, for
+    /// handles with no plane.
+    fn obs_snapshot(&self) -> minuet_obs::ObsSnapshot {
+        minuet_obs::ObsSnapshot::default()
+    }
+
+    /// Recent traces from the node's ring buffer (the slow-op buffer when
+    /// `slow`), oldest first. Default: empty.
+    fn trace_dump(&self, _max: u32, _slow: bool) -> Vec<minuet_obs::Trace> {
+        Vec::new()
+    }
+
     /// Downcast to the in-process memnode, when this handle is local.
     fn as_local(&self) -> Option<&MemNode> {
         None
@@ -300,6 +313,18 @@ impl NodeRpc for MemNode {
 
     fn mirror_consistent(&self, probe: &[(u64, u32)]) -> bool {
         MemNode::mirror_consistent(self, probe)
+    }
+
+    fn obs_snapshot(&self) -> minuet_obs::ObsSnapshot {
+        self.obs.registry.snapshot()
+    }
+
+    fn trace_dump(&self, max: u32, slow: bool) -> Vec<minuet_obs::Trace> {
+        if slow {
+            self.obs.slow(max as usize)
+        } else {
+            self.obs.recent(max as usize)
+        }
     }
 
     fn as_local(&self) -> Option<&MemNode> {

@@ -16,19 +16,22 @@
 //!   [`Response::Error`] — the daemon never dies from one request.
 
 use crate::addr::{ItemRange, MemNodeId};
+use crate::bytes::Bytes;
 use crate::memnode::MemNode;
 use crate::minitx::{CompareItem, ReadItem, Shard, WriteItem};
 use crate::rpc::NodeRpc;
 use crate::wire::{
-    read_frame, Endpoint, Listener, NodeFlags, Request, Response, Stream, WireShard, PROTO_VERSION,
+    encode_response_payload, read_frame, seal_traced_reply, Endpoint, Listener, NodeFlags, Request,
+    Response, Stream, WireShard, PROTO_VERSION,
 };
+use minuet_obs::{note, span, with_server_trace, SpanKind, Trace};
 use parking_lot::{Condvar, Mutex};
 use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Accept-loop and connection-pool tuning for [`MemNodeServer`].
 #[derive(Debug, Clone)]
@@ -211,6 +214,7 @@ fn serve_conn(mut conn: Stream, shared: Arc<Shared>) {
             Ok(p) => p,
             Err(_) => break, // EOF, reset, or a corrupt frame: drop the conn.
         };
+        let decode_t0 = Instant::now();
         let req = match Request::decode(&payload) {
             Ok(r) => r,
             Err(e) => {
@@ -218,10 +222,43 @@ fn serve_conn(mut conn: Stream, shared: Arc<Shared>) {
                 break;
             }
         };
-        let is_shutdown = matches!(req, Request::Shutdown);
-        let resp = catch_unwind(AssertUnwindSafe(|| dispatch(&shared.node, req)))
-            .unwrap_or_else(|_| Response::Error("request handler panicked".to_string()));
-        if write_response(&mut conn, &resp).is_err() {
+        let decode_ns = decode_t0.elapsed().as_nanos() as u64;
+        let is_shutdown = match &req {
+            Request::Shutdown => true,
+            Request::Traced { inner, .. } => matches!(**inner, Request::Shutdown),
+            _ => false,
+        };
+        let frame = if let Request::Traced { trace_id, inner } = req {
+            // Traced envelope: arm a server-side trace around dispatch so
+            // decode/lock/exec/WAL/encode stages stitch onto the client's
+            // span tree, then ship the spans back in the reply frame.
+            let op_tag = inner.tag_byte();
+            let node = shared.node.clone();
+            let t0 = Instant::now();
+            let ((inner_payload, total_ns), spans) = with_server_trace(trace_id, || {
+                note(SpanKind::SrvDecode, 0, decode_ns);
+                let resp = catch_unwind(AssertUnwindSafe(|| dispatch(&node, *inner)))
+                    .unwrap_or_else(|_| Response::Error("request handler panicked".to_string()));
+                let payload = {
+                    let _enc = span(SpanKind::SrvEncode);
+                    encode_response_payload(&resp)
+                };
+                (payload, t0.elapsed().as_nanos() as u64)
+            });
+            shared.node.obs.record(Trace {
+                trace_id,
+                op_tag,
+                total_ns,
+                spans: spans.clone(),
+                dropped: 0,
+            });
+            seal_traced_reply(&spans, &inner_payload)
+        } else {
+            catch_unwind(AssertUnwindSafe(|| dispatch(&shared.node, req)))
+                .unwrap_or_else(|_| Response::Error("request handler panicked".to_string()))
+                .encode()
+        };
+        if write_frame(&mut conn, &frame).is_err() {
             break;
         }
         if is_shutdown {
@@ -239,8 +276,11 @@ fn serve_conn(mut conn: Stream, shared: Arc<Shared>) {
 }
 
 fn write_response(conn: &mut Stream, resp: &Response) -> io::Result<()> {
-    let frame = resp.encode();
-    conn.write_all(&frame)?;
+    write_frame(conn, &resp.encode())
+}
+
+fn write_frame(conn: &mut Stream, frame: &[u8]) -> io::Result<()> {
+    conn.write_all(frame)?;
     conn.flush()
 }
 
@@ -434,5 +474,18 @@ fn dispatch(node: &Arc<MemNode>, req: Request) -> Response {
         Request::Meta => Response::Meta(node.node_meta()),
         Request::MirrorConsistent { probe } => Response::Bool(node.mirror_consistent(&probe)),
         Request::Shutdown => Response::Unit,
+        // Traced envelopes are normally unwrapped in `serve_conn` (which
+        // arms the server trace); an envelope reaching here — e.g. via the
+        // in-process `NodeRpc` path — just dispatches its inner request.
+        Request::Traced { inner, .. } => dispatch(node, *inner),
+        Request::ObsSnapshot => Response::Obs(Bytes::from(node.obs.registry.snapshot().encode())),
+        Request::TraceDump { max, slow } => {
+            let traces = if slow {
+                node.obs.slow(max as usize)
+            } else {
+                node.obs.recent(max as usize)
+            };
+            Response::Traces(Bytes::from(Trace::encode_many(&traces)))
+        }
     }
 }

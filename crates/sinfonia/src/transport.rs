@@ -8,8 +8,10 @@
 //! `measured wall time + round_trips × model_rtt`, reproducing the paper's
 //! round-trip-dominated latency shapes without physical machines.
 
+use minuet_obs::{Counter, ObsPlane};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 thread_local! {
@@ -74,20 +76,30 @@ pub fn with_op_net<R>(f: impl FnOnce() -> R) -> (R, OpNet) {
     (r, op_counters())
 }
 
-/// Cluster-wide transport statistics.
+/// Cluster-wide transport statistics (registered [`Counter`] handles, see
+/// [`NetStats::register`]).
 #[derive(Debug, Default)]
 pub struct NetStats {
     /// Total round trips (sequential network delays) across all threads.
-    pub round_trips: AtomicU64,
+    pub round_trips: Counter,
     /// Total messages.
-    pub messages: AtomicU64,
+    pub messages: Counter,
     /// Total request bytes shipped to memnodes.
-    pub bytes_out: AtomicU64,
+    pub bytes_out: Counter,
     /// Total response bytes shipped back.
-    pub bytes_in: AtomicU64,
+    pub bytes_in: Counter,
 }
 
 impl NetStats {
+    /// Registers every counter under `net.*` in `plane`'s registry.
+    pub fn register(&self, plane: &ObsPlane) {
+        let r = &plane.registry;
+        r.register_counter("net.round_trips", &self.round_trips);
+        r.register_counter("net.messages", &self.messages);
+        r.register_counter("net.bytes_out", &self.bytes_out);
+        r.register_counter("net.bytes_in", &self.bytes_in);
+    }
+
     /// Snapshot of `(round_trips, messages)`.
     pub fn snapshot(&self) -> (u64, u64) {
         (
@@ -122,17 +134,34 @@ pub struct Transport {
     /// instead, so the same counters report measured rather than modeled
     /// traffic.
     modeled_bytes: bool,
+    /// The client-side observability plane: samples root operation traces
+    /// and owns the registry the transport's counters (and the wire
+    /// client's per-RPC histograms) live in. Disabled by default; swap in
+    /// a sampling plane with [`Transport::with_obs`].
+    pub obs: Arc<ObsPlane>,
 }
 
 impl Transport {
     /// Creates a transport with a model RTT and optional injected latency.
     pub fn new(model_rtt: Duration, inject_rtt: Option<Duration>) -> Self {
+        let obs = ObsPlane::disabled();
+        let stats = NetStats::default();
+        stats.register(&obs);
         Transport {
-            stats: NetStats::default(),
+            stats,
             inject_ns: AtomicU64::new(inject_rtt.map_or(0, |d| d.as_nanos() as u64)),
             model_rtt,
             modeled_bytes: true,
+            obs,
         }
+    }
+
+    /// Replaces the observability plane (builder-style), re-registering
+    /// the transport's counters in the new plane's registry.
+    pub fn with_obs(mut self, obs: Arc<ObsPlane>) -> Self {
+        self.stats.register(&obs);
+        self.obs = obs;
+        self
     }
 
     /// Creates a transport for wire mode: round trips and messages are

@@ -22,13 +22,14 @@
 //! (see [`crate::checkpoint`]).
 
 use crate::bytes::Bytes;
+use minuet_obs::{Counter, HistHandle, ObsPlane};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How (and whether) the log is fsynced before a forced operation is
 /// acknowledged.
@@ -403,17 +404,26 @@ pub fn parse_log(buf: &[u8]) -> (Vec<OwnedRecord>, u64) {
 // Stats
 // ---------------------------------------------------------------------------
 
-/// Counters of one memnode's log, in the spirit of
-/// [`crate::transport::NetStats`].
+/// Counters and latency series of one memnode's log, in the spirit of
+/// [`crate::transport::NetStats`]. The counter fields are registered
+/// [`Counter`] handles (see [`WalStats::register`]).
 #[derive(Debug, Default)]
 pub struct WalStats {
     /// Records appended.
-    pub appends: AtomicU64,
+    pub appends: Counter,
     /// Payload + frame bytes appended.
-    pub bytes: AtomicU64,
+    pub bytes: Counter,
     /// fsync calls issued (by any path: sync, group leader, flusher,
     /// checkpoint rotation).
-    pub fsyncs: AtomicU64,
+    pub fsyncs: Counter,
+    /// Wall-clock latency of each fsync, in nanoseconds.
+    pub fsync_ns: HistHandle,
+    /// Records covered per group-commit fsync (recorded only in
+    /// [`SyncMode::GroupCommit`]).
+    pub group_batch: HistHandle,
+    /// Appends counter value at the last group-commit fsync (internal
+    /// bookkeeping for `group_batch`).
+    last_sync_appends: AtomicU64,
 }
 
 impl WalStats {
@@ -424,6 +434,31 @@ impl WalStats {
             self.bytes.load(Ordering::Relaxed),
             self.fsyncs.load(Ordering::Relaxed),
         )
+    }
+
+    /// Registers every series under `wal.*` in `plane`'s registry.
+    pub fn register(&self, plane: &ObsPlane) {
+        let r = &plane.registry;
+        r.register_counter("wal.appends", &self.appends);
+        r.register_counter("wal.bytes", &self.bytes);
+        r.register_counter("wal.fsyncs", &self.fsyncs);
+        r.register_histogram("wal.fsync_ns", &self.fsync_ns);
+        r.register_histogram("wal.group_batch", &self.group_batch);
+    }
+
+    /// Records one fsync of duration `dur`.
+    fn record_fsync(&self, dur: Duration) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.fsync_ns.record_duration(dur);
+    }
+
+    /// Records a group-commit fsync covering everything appended since the
+    /// previous one.
+    fn record_group_fsync(&self, dur: Duration) {
+        self.record_fsync(dur);
+        let cur = self.appends.get();
+        let prev = self.last_sync_appends.swap(cur, Ordering::Relaxed);
+        self.group_batch.record(cur.saturating_sub(prev));
     }
 }
 
@@ -501,8 +536,9 @@ impl Wal {
                     let tail = sync.tail.load(Ordering::Acquire);
                     if tail > sync.synced.load(Ordering::Acquire) {
                         let f = sync.file.lock();
+                        let t0 = Instant::now();
                         if f.sync_data().is_ok() {
-                            stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                            stats.record_fsync(t0.elapsed());
                             sync.synced.fetch_max(tail, Ordering::AcqRel);
                         }
                     }
@@ -556,8 +592,9 @@ impl Wal {
                 let tail = self.sync.tail.load(Ordering::Acquire);
                 let f = self.sync.file.lock();
                 if self.sync.synced.load(Ordering::Acquire) < upto {
+                    let t0 = Instant::now();
                     f.sync_data().expect("wal fsync failed");
-                    self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    self.stats.record_fsync(t0.elapsed());
                     self.sync.synced.fetch_max(tail, Ordering::AcqRel);
                 }
             }
@@ -574,12 +611,13 @@ impl Wal {
                         // covers every record appended before it.
                         std::thread::sleep(window);
                         let tail = self.sync.tail.load(Ordering::Acquire);
+                        let t0 = Instant::now();
                         let synced = {
                             let f = self.sync.file.lock();
                             f.sync_data()
                         };
                         if synced.is_ok() {
-                            self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                            self.stats.record_group_fsync(t0.elapsed());
                             self.sync.synced.fetch_max(tail, Ordering::AcqRel);
                         }
                         // Hand leadership back (and wake the group) even on
@@ -617,8 +655,9 @@ impl Wal {
         {
             let mut t = File::create(&tmp)?;
             t.write_all(&suffix)?;
+            let t0 = Instant::now();
             t.sync_data()?;
-            self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+            self.stats.record_fsync(t0.elapsed());
         }
         std::fs::rename(&tmp, &self.path)?;
         if let Some(dir) = self.path.parent() {

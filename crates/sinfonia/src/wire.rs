@@ -25,13 +25,17 @@ use crate::minitx::LockPolicy;
 use crate::recovery::NodeMeta;
 use crate::rpc::NodeStats;
 use crate::wal::crc32;
+use minuet_obs::SpanRecord;
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
 use std::time::Duration;
 
 /// Protocol version carried in `Hello`; bumped on incompatible changes.
-pub const PROTO_VERSION: u16 = 1;
+/// Version 2 added the `Traced` request envelope (optional trace context,
+/// answered by a `TracedReply` carrying server-side spans) and the
+/// `ObsSnapshot` / `TraceDump` admin requests.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Largest admissible frame payload. Frames claiming more are rejected
 /// before any allocation, bounding what a corrupt length prefix can cost.
@@ -652,6 +656,27 @@ pub enum Request {
     },
     /// Ask the server process to exit cleanly after replying.
     Shutdown,
+    /// Trace envelope: the inner request executes normally, and the reply
+    /// comes back as [`Response::TracedReply`] carrying the server-side
+    /// spans recorded while serving it. Envelopes do not nest.
+    Traced {
+        /// Client-assigned trace id (stitches server spans onto the
+        /// client's trace).
+        trace_id: u64,
+        /// The request being traced.
+        inner: Box<Request>,
+    },
+    /// Fetch the server's full metrics snapshot (every registered counter
+    /// and histogram), answered by [`Response::Obs`].
+    ObsSnapshot,
+    /// Fetch recent traces from the server's buffer, answered by
+    /// [`Response::Traces`].
+    TraceDump {
+        /// At most this many traces, newest last.
+        max: u32,
+        /// Dump the slow-op buffer instead of the recent-trace buffer.
+        slow: bool,
+    },
 }
 
 mod tag {
@@ -673,6 +698,9 @@ mod tag {
     pub const META: u8 = 0x10;
     pub const MIRROR: u8 = 0x11;
     pub const SHUTDOWN: u8 = 0x12;
+    pub const TRACED: u8 = 0x13;
+    pub const OBS_SNAPSHOT: u8 = 0x14;
+    pub const TRACE_DUMP: u8 = 0x15;
 
     pub const R_HELLO: u8 = 0x81;
     pub const R_SINGLE: u8 = 0x82;
@@ -686,12 +714,75 @@ mod tag {
     pub const R_META: u8 = 0x8A;
     pub const R_UNAVAILABLE: u8 = 0x8B;
     pub const R_ERROR: u8 = 0x8C;
+    pub const R_TRACED: u8 = 0x8D;
+    pub const R_OBS: u8 = 0x8E;
+    pub const R_TRACES: u8 = 0x8F;
 }
 
 impl Request {
     /// Encodes the request as a complete sealed frame, ready to write.
     pub fn encode(&self) -> Vec<u8> {
-        seal(|buf| match self {
+        seal(|buf| self.encode_payload(buf))
+    }
+
+    /// Stable kind name for metric series (`wire.lat.exec_single`). A
+    /// [`Request::Traced`] envelope reports its inner request's kind.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::ExecSingle { .. } => "exec_single",
+            Request::ExecBatch { .. } => "exec_batch",
+            Request::Prepare { .. } => "prepare",
+            Request::Commit { .. } => "commit",
+            Request::Abort { .. } => "abort",
+            Request::RawRead { .. } => "raw_read",
+            Request::RawWrite { .. } => "raw_write",
+            Request::SetJoining(_) => "set_joining",
+            Request::SetRetiring(_) => "set_retiring",
+            Request::Crash => "crash",
+            Request::Recover => "recover",
+            Request::Checkpoint => "checkpoint",
+            Request::Stats => "stats",
+            Request::Flags => "flags",
+            Request::Meta => "meta",
+            Request::MirrorConsistent { .. } => "mirror",
+            Request::Shutdown => "shutdown",
+            Request::Traced { inner, .. } => inner.kind_name(),
+            Request::ObsSnapshot => "obs_snapshot",
+            Request::TraceDump { .. } => "trace_dump",
+        }
+    }
+
+    /// The wire tag byte (inner tag for a [`Request::Traced`] envelope);
+    /// used to tag RTT spans with the request kind.
+    pub fn tag_byte(&self) -> u8 {
+        match self {
+            Request::Hello { .. } => tag::HELLO,
+            Request::ExecSingle { .. } => tag::EXEC_SINGLE,
+            Request::ExecBatch { .. } => tag::EXEC_BATCH,
+            Request::Prepare { .. } => tag::PREPARE,
+            Request::Commit { .. } => tag::COMMIT,
+            Request::Abort { .. } => tag::ABORT,
+            Request::RawRead { .. } => tag::RAW_READ,
+            Request::RawWrite { .. } => tag::RAW_WRITE,
+            Request::SetJoining(_) => tag::SET_JOINING,
+            Request::SetRetiring(_) => tag::SET_RETIRING,
+            Request::Crash => tag::CRASH,
+            Request::Recover => tag::RECOVER,
+            Request::Checkpoint => tag::CHECKPOINT,
+            Request::Stats => tag::STATS,
+            Request::Flags => tag::FLAGS,
+            Request::Meta => tag::META,
+            Request::MirrorConsistent { .. } => tag::MIRROR,
+            Request::Shutdown => tag::SHUTDOWN,
+            Request::Traced { inner, .. } => inner.tag_byte(),
+            Request::ObsSnapshot => tag::OBS_SNAPSHOT,
+            Request::TraceDump { .. } => tag::TRACE_DUMP,
+        }
+    }
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        match self {
             Request::Hello { version } => {
                 buf.push(tag::HELLO);
                 put_u16(buf, *version);
@@ -771,19 +862,40 @@ impl Request {
                 }
             }
             Request::Shutdown => buf.push(tag::SHUTDOWN),
-        })
+            Request::Traced { trace_id, inner } => {
+                debug_assert!(
+                    !matches!(**inner, Request::Traced { .. }),
+                    "traced envelopes do not nest"
+                );
+                buf.push(tag::TRACED);
+                put_u64(buf, *trace_id);
+                inner.encode_payload(buf);
+            }
+            Request::ObsSnapshot => buf.push(tag::OBS_SNAPSHOT),
+            Request::TraceDump { max, slow } => {
+                buf.push(tag::TRACE_DUMP);
+                put_u32(buf, *max);
+                buf.push(*slow as u8);
+            }
+        }
     }
 
     /// Decodes a request from a frame payload (as returned by
     /// [`read_frame`]). Write payloads alias the frame buffer.
     pub fn decode(payload: &Bytes) -> Result<Request, WireError> {
         let mut c = Cur::new(payload);
+        let req = Self::decode_payload(&mut c, 0)?;
+        c.done()?;
+        Ok(req)
+    }
+
+    fn decode_payload(c: &mut Cur<'_>, depth: u8) -> Result<Request, WireError> {
         let req = match c.u8()? {
             tag::HELLO => Request::Hello { version: c.u16()? },
             tag::EXEC_SINGLE => Request::ExecSingle {
                 txid: c.u64()?,
-                policy: decode_policy(&mut c)?,
-                shard: WireShard::decode(&mut c)?,
+                policy: decode_policy(c)?,
+                shard: WireShard::decode(c)?,
             },
             tag::EXEC_BATCH => {
                 let n = c.u32()?;
@@ -791,15 +903,15 @@ impl Request {
                 for _ in 0..n {
                     items.push(WireBatchItem {
                         txid: c.u64()?,
-                        policy: decode_policy(&mut c)?,
-                        shard: WireShard::decode(&mut c)?,
+                        policy: decode_policy(c)?,
+                        shard: WireShard::decode(c)?,
                     });
                 }
                 Request::ExecBatch { items }
             }
             tag::PREPARE => {
                 let txid = c.u64()?;
-                let policy = decode_policy(&mut c)?;
+                let policy = decode_policy(c)?;
                 let n = c.u32()?;
                 let mut participants = Vec::new();
                 for _ in 0..n {
@@ -809,7 +921,7 @@ impl Request {
                     txid,
                     policy,
                     participants,
-                    shard: WireShard::decode(&mut c)?,
+                    shard: WireShard::decode(c)?,
                 }
             }
             tag::COMMIT => Request::Commit { txid: c.u64()? },
@@ -841,9 +953,24 @@ impl Request {
                 Request::MirrorConsistent { probe }
             }
             tag::SHUTDOWN => Request::Shutdown,
+            tag::TRACED => {
+                if depth > 0 {
+                    return Err(WireError::BadValue("nested traced envelope"));
+                }
+                let trace_id = c.u64()?;
+                let inner = Request::decode_payload(c, depth + 1)?;
+                Request::Traced {
+                    trace_id,
+                    inner: Box::new(inner),
+                }
+            }
+            tag::OBS_SNAPSHOT => Request::ObsSnapshot,
+            tag::TRACE_DUMP => Request::TraceDump {
+                max: c.u32()?,
+                slow: c.bool()?,
+            },
             t => return Err(WireError::BadTag(t)),
         };
-        c.done()?;
         Ok(req)
     }
 }
@@ -899,6 +1026,20 @@ pub enum Response {
     Unavailable(u16),
     /// Any other server-side failure, as text.
     Error(String),
+    /// Reply to a [`Request::Traced`] envelope: the server-side spans
+    /// recorded while serving the inner request, plus the inner reply.
+    /// Envelopes do not nest.
+    TracedReply {
+        /// Spans recorded on the server (start offsets server-relative).
+        spans: Vec<SpanRecord>,
+        /// The inner request's reply.
+        inner: Box<Response>,
+    },
+    /// An encoded [`minuet_obs::ObsSnapshot`], shipped opaquely.
+    Obs(Bytes),
+    /// Encoded traces ([`minuet_obs::Trace::encode_many`]), shipped
+    /// opaquely.
+    Traces(Bytes),
 }
 
 fn encode_pairs(buf: &mut Vec<u8>, pairs: &[(usize, Bytes)]) {
@@ -959,10 +1100,51 @@ fn decode_single(c: &mut Cur<'_>) -> Result<SingleResult, WireError> {
     }
 }
 
+/// Encodes `inner` wrapped in a [`Request::Traced`] envelope as a sealed
+/// frame, without boxing the request (the client's hot path wraps every
+/// sampled RPC this way).
+pub fn encode_traced_request(trace_id: u64, inner: &Request) -> Vec<u8> {
+    debug_assert!(
+        !matches!(inner, Request::Traced { .. }),
+        "traced envelopes do not nest"
+    );
+    seal(|buf| {
+        buf.push(tag::TRACED);
+        put_u64(buf, trace_id);
+        inner.encode_payload(buf);
+    })
+}
+
+/// Encodes a response's payload bytes alone (no frame header). The
+/// server's traced path uses this so the `srv.encode` span measures
+/// message encoding without the envelope bookkeeping around it.
+pub fn encode_response_payload(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    resp.encode_payload(&mut buf);
+    buf
+}
+
+/// Seals a complete [`Response::TracedReply`] frame from server-side spans
+/// plus an inner payload already produced by [`encode_response_payload`].
+pub fn seal_traced_reply(spans: &[SpanRecord], inner_payload: &[u8]) -> Vec<u8> {
+    seal(|buf| {
+        buf.push(tag::R_TRACED);
+        put_u32(buf, spans.len() as u32);
+        for s in spans {
+            s.encode_into(buf);
+        }
+        buf.extend_from_slice(inner_payload);
+    })
+}
+
 impl Response {
     /// Encodes the response as a complete sealed frame.
     pub fn encode(&self) -> Vec<u8> {
-        seal(|buf| match self {
+        seal(|buf| self.encode_payload(buf))
+    }
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        match self {
             Response::Hello {
                 version,
                 node,
@@ -1071,26 +1253,52 @@ impl Response {
                 buf.push(tag::R_ERROR);
                 put_bytes(buf, msg.as_bytes());
             }
-        })
+            Response::TracedReply { spans, inner } => {
+                debug_assert!(
+                    !matches!(**inner, Response::TracedReply { .. }),
+                    "traced replies do not nest"
+                );
+                buf.push(tag::R_TRACED);
+                put_u32(buf, spans.len() as u32);
+                for s in spans {
+                    s.encode_into(buf);
+                }
+                inner.encode_payload(buf);
+            }
+            Response::Obs(b) => {
+                buf.push(tag::R_OBS);
+                put_bytes(buf, b);
+            }
+            Response::Traces(b) => {
+                buf.push(tag::R_TRACES);
+                put_bytes(buf, b);
+            }
+        }
     }
 
     /// Decodes a response from a frame payload. Data payloads alias the
     /// frame buffer.
     pub fn decode(payload: &Bytes) -> Result<Response, WireError> {
         let mut c = Cur::new(payload);
+        let resp = Self::decode_payload(&mut c, 0)?;
+        c.done()?;
+        Ok(resp)
+    }
+
+    fn decode_payload(c: &mut Cur<'_>, depth: u8) -> Result<Response, WireError> {
         let resp = match c.u8()? {
             tag::R_HELLO => Response::Hello {
                 version: c.u16()?,
                 node: c.u16()?,
                 capacity: c.u64()?,
             },
-            tag::R_SINGLE => Response::Single(decode_single(&mut c)?),
+            tag::R_SINGLE => Response::Single(decode_single(c)?),
             tag::R_BATCH => {
                 let n = c.u32()?;
                 let mut members = Vec::new();
                 for _ in 0..n {
                     members.push(match c.u8()? {
-                        0 => Ok(decode_single(&mut c)?),
+                        0 => Ok(decode_single(c)?),
                         1 => Err(c.u16()?),
                         _ => return Err(WireError::BadValue("batch member kind")),
                     });
@@ -1098,8 +1306,8 @@ impl Response {
                 Response::Batch(members)
             }
             tag::R_VOTE => Response::Vote(match c.u8()? {
-                0 => Vote::Ok(decode_pairs(&mut c)?),
-                1 => Vote::BadCompare(decode_indices(&mut c)?),
+                0 => Vote::Ok(decode_pairs(c)?),
+                1 => Vote::BadCompare(decode_indices(c)?),
                 2 => Vote::Busy,
                 _ => return Err(WireError::BadValue("vote kind")),
             }),
@@ -1157,9 +1365,33 @@ impl Response {
                 let b = c.bytes()?;
                 Response::Error(String::from_utf8_lossy(&b).into_owned())
             }
+            tag::R_TRACED => {
+                if depth > 0 {
+                    return Err(WireError::BadValue("nested traced reply"));
+                }
+                let n = c.u32()?;
+                if n > minuet_obs::trace::MAX_TRACE_SPANS as u32 {
+                    return Err(WireError::BadValue("span count"));
+                }
+                let mut spans = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let raw = c.take(19)?;
+                    let mut pos = 0;
+                    spans.push(
+                        SpanRecord::decode_from(raw, &mut pos)
+                            .ok_or(WireError::BadValue("span record"))?,
+                    );
+                }
+                let inner = Response::decode_payload(c, depth + 1)?;
+                Response::TracedReply {
+                    spans,
+                    inner: Box::new(inner),
+                }
+            }
+            tag::R_OBS => Response::Obs(c.bytes()?),
+            tag::R_TRACES => Response::Traces(c.bytes()?),
             t => return Err(WireError::BadTag(t)),
         };
-        c.done()?;
         Ok(resp)
     }
 }
@@ -1222,6 +1454,88 @@ mod tests {
     }
 
     #[test]
+    fn traced_envelope_roundtrips() {
+        roundtrip_req(Request::Traced {
+            trace_id: 0xDEAD_BEEF,
+            inner: Box::new(Request::ExecSingle {
+                txid: 42,
+                policy: LockPolicy::AbortOnBusy,
+                shard: WireShard {
+                    compares: vec![],
+                    reads: vec![(1, 16, 4)],
+                    writes: vec![(0, 24, Bytes::from(vec![9; 16]))],
+                },
+            }),
+        });
+        roundtrip_req(Request::ObsSnapshot);
+        roundtrip_req(Request::TraceDump {
+            max: 32,
+            slow: true,
+        });
+        roundtrip_resp(Response::TracedReply {
+            spans: vec![
+                SpanRecord {
+                    kind: 11,
+                    tag: 0,
+                    depth: 1,
+                    start_ns: 123,
+                    dur_ns: 456,
+                },
+                SpanRecord {
+                    kind: 13,
+                    tag: 2,
+                    depth: 2,
+                    start_ns: 999,
+                    dur_ns: 1,
+                },
+            ],
+            inner: Box::new(Response::Single(SingleResult::Busy)),
+        });
+        roundtrip_resp(Response::Obs(Bytes::from(vec![1, 2, 3])));
+        roundtrip_resp(Response::Traces(Bytes::from(vec![0; 4])));
+    }
+
+    #[test]
+    fn nested_trace_envelopes_rejected() {
+        // Hand-build a Traced(Traced(Stats)) payload: 0x13 id 0x13 id 0x0E.
+        let frame = seal(|buf| {
+            buf.push(tag::TRACED);
+            put_u64(buf, 1);
+            buf.push(tag::TRACED);
+            put_u64(buf, 2);
+            buf.push(tag::STATS);
+        });
+        let (payload, _) = decode_frame(&frame).unwrap();
+        assert_eq!(
+            Request::decode(&payload),
+            Err(WireError::BadValue("nested traced envelope"))
+        );
+        let rframe = seal(|buf| {
+            buf.push(tag::R_TRACED);
+            put_u32(buf, 0);
+            buf.push(tag::R_TRACED);
+            put_u32(buf, 0);
+            buf.push(tag::R_UNIT);
+        });
+        let (rpayload, _) = decode_frame(&rframe).unwrap();
+        assert_eq!(
+            Response::decode(&rpayload),
+            Err(WireError::BadValue("nested traced reply"))
+        );
+    }
+
+    #[test]
+    fn kind_names_pierce_the_envelope() {
+        let req = Request::Traced {
+            trace_id: 1,
+            inner: Box::new(Request::Commit { txid: 9 }),
+        };
+        assert_eq!(req.kind_name(), "commit");
+        assert_eq!(req.tag_byte(), tag::COMMIT);
+        assert_eq!(Request::ObsSnapshot.kind_name(), "obs_snapshot");
+    }
+
+    #[test]
     fn corrupt_frames_fail_cleanly() {
         let frame = Request::Commit { txid: 1 }.encode();
         // Truncations at every prefix length.
@@ -1244,6 +1558,108 @@ mod tests {
             decode_frame(&frame),
             Err(WireError::FrameTooLarge(u32::MAX))
         );
+    }
+
+    /// Frame-size conformance: the modeled byte accounting in the minitx
+    /// module must match what the encoders actually put on the wire, per
+    /// RPC type — so in-process byte counters agree with wire mode.
+    #[test]
+    fn modeled_bytes_match_real_frames() {
+        use crate::addr::ItemRange;
+        use crate::memnode::SingleResult;
+        use crate::minitx::Minitransaction;
+
+        let mem = crate::addr::MemNodeId(0);
+        let mut m = Minitransaction::new();
+        m.compare(ItemRange::new(mem, 0, 3), vec![1, 2, 3]);
+        m.read(ItemRange::new(mem, 8, 16));
+        m.read(ItemRange::new(mem, 64, 5));
+        m.write(ItemRange::new(mem, 128, 7), vec![9; 7]);
+        let (model_out, model_in) = m.wire_bytes();
+
+        // One-phase request: ExecSingle carrying the full shard.
+        let shards = m.shard();
+        let shard = shards.get(&mem).unwrap();
+        let req = Request::ExecSingle {
+            txid: 7,
+            policy: LockPolicy::AbortOnBusy,
+            shard: WireShard::from_shard(shard),
+        };
+        assert_eq!(req.encode().len() as u64, model_out, "exec_single request");
+
+        // Committed reply carrying both reads.
+        let resp = Response::Single(SingleResult::Committed(vec![
+            (0, Bytes::from(vec![0u8; 16])),
+            (1, Bytes::from(vec![0u8; 5])),
+        ]));
+        assert_eq!(resp.encode().len() as u64, model_in, "exec_single reply");
+
+        // Blocking policy adds the u64 budget.
+        let mb = m.clone().blocking(Duration::from_millis(1));
+        let req = Request::ExecSingle {
+            txid: 7,
+            policy: LockPolicy::Block(Duration::from_millis(1)),
+            shard: WireShard::from_shard(shard),
+        };
+        assert_eq!(
+            req.encode().len() as u64,
+            mb.wire_bytes().0,
+            "blocking exec_single request"
+        );
+
+        // Two-phase prepare with a 3-node participant list.
+        let participants = vec![0u16, 1, 2];
+        let (prep_out, prep_in) =
+            shard.prepare_wire_bytes(participants.len(), LockPolicy::AbortOnBusy);
+        let req = Request::Prepare {
+            txid: 7,
+            policy: LockPolicy::AbortOnBusy,
+            participants,
+            shard: WireShard::from_shard(shard),
+        };
+        assert_eq!(req.encode().len() as u64, prep_out, "prepare request");
+        let resp = Response::Vote(Vote::Ok(vec![
+            (0, Bytes::from(vec![0u8; 16])),
+            (1, Bytes::from(vec![0u8; 5])),
+        ]));
+        assert_eq!(resp.encode().len() as u64, prep_in, "vote reply");
+
+        // Decision round trips: 17 bytes out, 9 back (see exec.rs).
+        assert_eq!(Request::Commit { txid: 7 }.encode().len(), 17);
+        assert_eq!(Request::Abort { txid: 7 }.encode().len(), 17);
+        assert_eq!(Response::Unit.encode().len(), 9);
+
+        // Batched execution: 13 bytes of envelope + exact member shares.
+        let members = [m.clone(), m.clone()];
+        let (batch_out, batch_in) = members.iter().fold((13u64, 13u64), |(o, b), mm| {
+            let (wo, wb) = mm.batch_member_wire_bytes();
+            (o + wo, b + wb)
+        });
+        let req = Request::ExecBatch {
+            items: members
+                .iter()
+                .map(|mm| {
+                    let shards = mm.shard();
+                    WireBatchItem {
+                        txid: 7,
+                        policy: LockPolicy::AbortOnBusy,
+                        shard: WireShard::from_shard(shards.get(&mem).unwrap()),
+                    }
+                })
+                .collect(),
+        };
+        assert_eq!(req.encode().len() as u64, batch_out, "exec_batch request");
+        let resp = Response::Batch(vec![
+            Ok(SingleResult::Committed(vec![
+                (0, Bytes::from(vec![0u8; 16])),
+                (1, Bytes::from(vec![0u8; 5])),
+            ])),
+            Ok(SingleResult::Committed(vec![
+                (0, Bytes::from(vec![0u8; 16])),
+                (1, Bytes::from(vec![0u8; 5])),
+            ])),
+        ]);
+        assert_eq!(resp.encode().len() as u64, batch_in, "exec_batch reply");
     }
 
     #[test]

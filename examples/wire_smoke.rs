@@ -1,20 +1,23 @@
 //! Wire-transport smoke test: two real `memnoded` *processes* on
 //! Unix-domain sockets, a coordinator that bulk-loads and scans through
-//! them over the binary wire protocol, and a clean daemon shutdown via
-//! the `Shutdown` RPC.
+//! them over the binary wire protocol — with tracing armed, so the run
+//! ends with a real client↔server span tree — a `minuet-stats` poll of
+//! both daemons, and a clean shutdown via the `Shutdown` RPC.
 //!
-//! Build the daemon first, then run:
+//! Build the binaries first, then run:
 //!
 //! ```sh
-//! cargo build --release --bin memnoded
+//! cargo build --release --bin memnoded --bin minuet-stats
 //! cargo run --release --example wire_smoke
 //! ```
 //!
-//! The daemon binary is located next to this example under
-//! `target/<profile>/memnoded`; set `MEMNODED_BIN` to override. CI runs
-//! this as the end-to-end proof that the deployable cluster works as a
-//! set of separate OS processes, not just in-process servers.
+//! The binaries are located next to this example under
+//! `target/<profile>/`; set `MEMNODED_BIN` / `MINUET_STATS_BIN` to
+//! override. CI runs this as the end-to-end proof that the deployable
+//! cluster works as a set of separate OS processes, not just in-process
+//! servers.
 
+use minuet::obs::ObsConfig;
 use minuet::sinfonia::wire::Endpoint;
 use minuet::sinfonia::{ClusterConfig, MemNodeId, RemoteNode, Transport, WireConfig};
 use minuet::{MinuetCluster, TreeConfig};
@@ -26,16 +29,20 @@ use std::time::Duration;
 const MEMNODES: usize = 2;
 const RECORDS: u32 = 10_000;
 
-fn memnoded_bin() -> PathBuf {
-    if let Ok(p) = std::env::var("MEMNODED_BIN") {
+fn sibling_bin(name: &str, env_override: &str) -> PathBuf {
+    if let Ok(p) = std::env::var(env_override) {
         return PathBuf::from(p);
     }
-    // examples live in target/<profile>/examples/; the daemon sits one up.
+    // examples live in target/<profile>/examples/; the binaries sit one up.
     let exe = std::env::current_exe().expect("current_exe");
     exe.parent()
         .and_then(|p| p.parent())
-        .map(|p| p.join("memnoded"))
-        .expect("locate memnoded next to this example")
+        .map(|p| p.join(name))
+        .expect("locate binary next to this example")
+}
+
+fn memnoded_bin() -> PathBuf {
+    sibling_bin("memnoded", "MEMNODED_BIN")
 }
 
 struct Daemons(Vec<Child>);
@@ -96,7 +103,8 @@ fn main() {
         capacity_per_node: capacity,
         ..ClusterConfig::with_memnodes(MEMNODES)
     }
-    .with_wire_transport(endpoints.clone(), WireConfig::default());
+    .with_wire_transport(endpoints.clone(), WireConfig::default())
+    .with_obs(ObsConfig::sampled(1));
     let mc = MinuetCluster::with_cluster_config(sin, 1, cfg);
     let mut proxy = mc.proxy();
 
@@ -115,6 +123,35 @@ fn main() {
     assert_eq!(u32::from_le_bytes(v.try_into().unwrap()), 9_999);
     let (bytes_out, bytes_in) = mc.sinfonia.transport.stats.bytes_snapshot();
     println!("scan + point reads verified; {bytes_out} B out / {bytes_in} B in of real frames");
+
+    // Tracing was armed for every op: the last trace must stitch server
+    // spans (recorded by the daemon processes) onto the client's tree.
+    let trace = mc
+        .sinfonia
+        .obs()
+        .recent(1)
+        .pop()
+        .expect("sampled ops left no trace");
+    assert!(
+        trace.spans.iter().any(|s| s.kind >= 9),
+        "trace carries no server-side spans from the daemons"
+    );
+    println!("sampled span tree of the last op:\n{}", trace.render());
+
+    // The dashboard must be able to poll live daemons.
+    let stats_bin = sibling_bin("minuet-stats", "MINUET_STATS_BIN");
+    assert!(
+        stats_bin.exists(),
+        "minuet-stats binary not found at {} — run `cargo build --release --bin minuet-stats` first",
+        stats_bin.display()
+    );
+    let status = Command::new(&stats_bin)
+        .args(endpoints.iter().map(|e| e.to_string()))
+        .arg("--once")
+        .status()
+        .expect("run minuet-stats");
+    assert!(status.success(), "minuet-stats exited with {status}");
+    println!("minuet-stats polled both daemons");
 
     // Clean shutdown: one Shutdown RPC per daemon, then reap the
     // processes and check their exit codes.

@@ -36,17 +36,25 @@ pub fn socket_path(tag: &str) -> PathBuf {
 /// Spawns `n` loopback memnode servers of the given capacity and returns
 /// their endpoints. The servers stay alive for the rest of the process.
 pub fn spawn_servers(n: usize, capacity: u64) -> Vec<Endpoint> {
+    spawn_servers_with_nodes(n, capacity).0
+}
+
+/// Like [`spawn_servers`], also handing back the served `MemNode`s so
+/// parity tests can compare wire-fetched stats against server state.
+pub fn spawn_servers_with_nodes(n: usize, capacity: u64) -> (Vec<Endpoint>, Vec<Arc<MemNode>>) {
     let registry = SERVERS.get_or_init(|| Mutex::new(Vec::new()));
     let mut endpoints = Vec::with_capacity(n);
+    let mut nodes = Vec::with_capacity(n);
     for i in 0..n {
         let ep = Endpoint::Unix(socket_path(&format!("mem{i}")));
         let node = Arc::new(MemNode::new(MemNodeId(i as u16), capacity));
-        let server = MemNodeServer::spawn(node, &ep, ServerOptions::default())
+        let server = MemNodeServer::spawn(node.clone(), &ep, ServerOptions::default())
             .expect("spawn memnode server");
         registry.lock().unwrap().push(server);
         endpoints.push(ep);
+        nodes.push(node);
     }
-    endpoints
+    (endpoints, nodes)
 }
 
 /// A `ClusterConfig` for the selected transport: plain in-process by

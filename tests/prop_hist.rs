@@ -1,0 +1,109 @@
+//! Property tests for the log-linear histogram at the bottom of the
+//! metrics registry: merge behaves like concatenated recording (and is
+//! associative/commutative), percentiles are monotone in `p`, and the
+//! bucketing honours its documented relative-error bound.
+
+use minuet::obs::hist::{Histogram, MAX_RELATIVE_ERROR};
+use proptest::prelude::*;
+
+/// Values spanning every octave the bucketing distinguishes, up to the
+/// clamp at 2^40 ns.
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..64,                   // exact region
+            64u64..4096,                // low octaves
+            4096u64..1_000_000,         // µs range
+            1_000_000u64..(1u64 << 40)  // ms .. clamp
+        ],
+        0..120,
+    )
+}
+
+fn hist_of(vs: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in vs {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Merging histograms is exactly recording the concatenation, so
+    /// per-shard histograms can be combined without losing anything.
+    #[test]
+    fn merge_equals_concatenation(a in values(), b in values()) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, hist_of(&concat));
+    }
+
+    /// `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)` and `a ⊕ b == b ⊕ a`: snapshot
+    /// aggregation order across memnodes cannot change the result.
+    #[test]
+    fn merge_associative_and_commutative(a in values(), b in values(), c in values()) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Percentiles never decrease as `p` grows, and stay within the
+    /// recorded range.
+    #[test]
+    fn percentiles_monotone(vs in values(), mut ps in proptest::collection::vec(0u64..=1000, 2..8)) {
+        prop_assume!(!vs.is_empty());
+        let h = hist_of(&vs);
+        ps.sort_unstable();
+        let qs: Vec<u64> = ps.iter().map(|&p| h.percentile(p as f64 / 10.0)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "percentile not monotone: {qs:?}");
+        }
+        prop_assert!(*qs.last().unwrap() <= h.max());
+    }
+
+    /// A single recorded value is reported within the documented
+    /// relative-error bound (exact below one octave).
+    #[test]
+    fn bounded_relative_error(v in 0u64..(1u64 << 40)) {
+        let mut h = Histogram::new();
+        h.record(v);
+        let q = h.percentile(50.0);
+        if v < 64 {
+            prop_assert_eq!(q, v);
+        } else {
+            let err = (v as f64 - q as f64).abs() / v as f64;
+            prop_assert!(
+                err <= MAX_RELATIVE_ERROR,
+                "value {v} reported as {q}: relative error {err}"
+            );
+        }
+        // The mean is tracked exactly, independent of bucketing.
+        prop_assert_eq!(h.mean(), v as f64);
+    }
+
+    /// Min/max/count survive merges exactly.
+    #[test]
+    fn extremes_exact(a in values(), b in values()) {
+        let mut h = hist_of(&a);
+        h.merge(&hist_of(&b));
+        let all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(h.count(), all.len() as u64);
+        prop_assert_eq!(h.max(), all.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(h.min(), all.iter().copied().min().unwrap_or(0));
+    }
+}

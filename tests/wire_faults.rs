@@ -9,6 +9,8 @@
 //! semantics (in-doubt resolution, `unavailable_retry`) carry over
 //! unchanged.
 
+use minuet::core::{op_tag, ConcurrencyMode, MinuetCluster, TreeConfig};
+use minuet::obs::{tracing_active, ObsConfig, ObsPlane, SpanKind};
 use minuet::sinfonia::memnode::Vote;
 use minuet::sinfonia::{
     ClusterConfig, DurabilityConfig, Endpoint, ItemRange, LockPolicy, MemNode, MemNodeId,
@@ -233,6 +235,148 @@ fn execute_survives_daemon_restart_within_retry_budget() {
     assert_eq!(c.node(MemNodeId(0)).raw_read(0, 2).unwrap(), vec![7, 9]);
     drop(c);
     drop(server2);
+}
+
+/// A traced wire `MinuetCluster` sampling every operation.
+fn traced_tree(n_mems: usize, cfg: TreeConfig) -> Arc<MinuetCluster> {
+    let capacity = MinuetCluster::required_node_capacity(&cfg, 1, n_mems);
+    let endpoints = common::spawn_servers(n_mems, capacity);
+    let sin = ClusterConfig::with_memnodes(n_mems)
+        .with_wire_transport(endpoints, WireConfig::default())
+        .with_obs(ObsConfig::sampled(1));
+    MinuetCluster::with_cluster_config(sin, 1, cfg)
+}
+
+/// An operation that loses its commit-time validation (another proxy
+/// moved the tip and rewrote the key under it) retries and commits — and
+/// its trace carries the whole story: a `retry` event, a `backoff` span,
+/// and round trips from both the failed and the successful attempt.
+#[test]
+fn traces_survive_validation_retry_loops() {
+    let mc = traced_tree(2, TreeConfig::small_nodes(8));
+    let mut p1 = mc.proxy();
+    let mut p2 = mc.proxy();
+    let k = b"contended".to_vec();
+    p1.put(0, k.clone(), vec![1]).unwrap(); // p1 caches the tip
+                                            // p2 freezes a snapshot, advancing the mainline tip's snapshot id and
+                                            // rewriting the replicated TIP object p1 has cached.
+    p2.create_snapshot(0).unwrap();
+    p2.put(0, k.clone(), vec![2]).unwrap();
+    let before = p1.stats.retries;
+    p1.put(0, k.clone(), vec![3]).unwrap(); // stale tip cache: must retry
+    assert!(
+        p1.stats.retries > before,
+        "scenario failed to force a retry"
+    );
+
+    let traces = mc.sinfonia.obs().recent(32);
+    let retried = traces
+        .iter()
+        .find(|t| {
+            t.op_tag == op_tag::PUT && t.spans.iter().any(|s| s.kind == SpanKind::Retry as u8)
+        })
+        .expect("retried put left no trace with a retry event");
+    assert!(
+        retried
+            .spans
+            .iter()
+            .any(|s| s.kind == SpanKind::Backoff as u8),
+        "retry did not record its backoff span"
+    );
+    assert!(
+        retried
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Rtt as u8)
+            .count()
+            >= 2,
+        "trace lost the failed attempt's round trips"
+    );
+    assert!(!tracing_active(), "trace left armed after the op returned");
+}
+
+/// `FullValidation` mode diverts every batch member to the per-key path;
+/// the batch trace must record that fallback instead of losing it.
+#[test]
+fn traces_record_batch_fallback_to_per_key() {
+    let mut cfg = TreeConfig::small_nodes(8);
+    cfg.mode = ConcurrencyMode::FullValidation;
+    let mc = traced_tree(1, cfg);
+    let mut p = mc.proxy();
+    let pairs: Vec<_> = (0..4u8).map(|i| (vec![i], vec![i])).collect();
+    p.multi_put(0, &pairs).unwrap();
+    assert!(p.stats.batch_fallbacks >= 4, "mode did not force fallback");
+
+    let traces = mc.sinfonia.obs().recent(32);
+    let batch = traces
+        .iter()
+        .find(|t| t.op_tag == op_tag::MULTI_PUT)
+        .expect("sampled multi_put left no trace");
+    assert!(
+        batch.spans.iter().any(|s| s.kind == SpanKind::Retry as u8),
+        "fallback-to-per-key left no event in the batch trace"
+    );
+    assert!(!tracing_active(), "trace left armed after the batch");
+}
+
+/// Fail-fast rejections inside the breaker window still produce complete
+/// traces, deactivate the thread-local trace on every path, and never
+/// grow the ring buffer past its bound — 100 failing ops against a dead
+/// endpoint must not leak trace slots.
+#[test]
+fn breaker_fail_fast_does_not_leak_trace_slots() {
+    let path = common::socket_path("trace-blackhole");
+    let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+    let held: Arc<Mutex<Vec<std::os::unix::net::UnixStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = held.clone();
+    std::thread::spawn(move || {
+        for conn in listener.incoming().flatten() {
+            sink.lock().unwrap().push(conn);
+        }
+    });
+
+    let plane = ObsPlane::new(&ObsConfig {
+        sample_every: 1,
+        slow_op_ns: 0,
+        trace_buffer: 4,
+    });
+    let wire = WireConfig {
+        request_timeout: Duration::from_millis(50),
+        connect_timeout: Duration::from_millis(100),
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(500),
+        ..WireConfig::default()
+    };
+    let transport =
+        Arc::new(Transport::new_wire(Duration::from_micros(100), None).with_obs(plane.clone()));
+    let node = RemoteNode::new(MemNodeId(0), Endpoint::Unix(path), wire, transport);
+
+    // First failure is a real timeout; the rest fail fast in the backoff
+    // window. Every iteration arms a trace and must disarm it.
+    for i in 0..100 {
+        let guard = plane.op(0xEE);
+        assert!(guard.is_some(), "sampling every op must arm each trace");
+        assert!(node.raw_read(0, 8).is_err(), "black hole must not succeed");
+        drop(guard);
+        assert!(!tracing_active(), "trace left armed after failure {i}");
+    }
+    let recent = plane.recent(1000);
+    assert!(
+        recent.len() <= 4,
+        "ring buffer exceeded its bound: {} traces",
+        recent.len()
+    );
+    assert_eq!(
+        plane.trace_count(),
+        4,
+        "buffer should hold exactly its capacity after 100 recorded ops"
+    );
+    // The survivors are the newest ops, each carrying its rtt/backoff
+    // evidence rather than an empty husk.
+    assert!(
+        recent.iter().all(|t| t.op_tag == 0xEE && t.total_ns > 0),
+        "buffered traces lost their op identity"
+    );
 }
 
 fn count_fds() -> usize {

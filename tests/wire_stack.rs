@@ -5,8 +5,9 @@
 //! transport is selected purely through `ClusterConfig`; nothing above
 //! the Sinfonia layer knows which one it got.
 
-use minuet::core::{MinuetCluster, TreeConfig};
-use minuet::sinfonia::MemNodeId;
+use minuet::core::{op_tag, MinuetCluster, TreeConfig};
+use minuet::obs::{ObsConfig, SpanKind};
+use minuet::sinfonia::{ClusterConfig, MemNodeId, NodeRpc, WireConfig};
 use std::sync::Arc;
 
 mod common;
@@ -180,6 +181,93 @@ fn wire_byte_counters_report_real_frames() {
     let after = mc.sinfonia.transport.stats.bytes_snapshot();
     assert!(after.0 > before.0, "no request bytes recorded");
     assert!(after.1 > before.1, "no response bytes recorded");
+}
+
+/// The `Stats` admin RPC must report exactly what the daemon's own
+/// counters say: fetch `NodeStats` over the wire and compare it
+/// field-for-field against the served `MemNode`, and do the same for the
+/// full registry snapshot behind the `ObsSnapshot` RPC.
+#[test]
+fn stat_rpc_matches_server_state_over_the_wire() {
+    let cfg = TreeConfig::small_nodes(8);
+    let capacity = MinuetCluster::required_node_capacity(&cfg, 1, 2);
+    let (endpoints, nodes) = common::spawn_servers_with_nodes(2, capacity);
+    let sin = ClusterConfig::with_memnodes(2).with_wire_transport(endpoints, WireConfig::default());
+    let mc = MinuetCluster::with_cluster_config(sin, 1, cfg);
+
+    let mut p = mc.proxy();
+    for i in 0..48u64 {
+        p.put(0, key(i), val(i)).unwrap();
+    }
+    for i in 0..48u64 {
+        assert_eq!(p.get(0, &key(i)).unwrap(), Some(val(i)));
+    }
+    p.remove(0, &key(7)).unwrap();
+    drop(p);
+
+    for (i, node) in nodes.iter().enumerate() {
+        let handle = mc.sinfonia.node(MemNodeId(i as u16));
+        let remote = handle.node_stats();
+        let local = NodeRpc::node_stats(node.as_ref());
+        assert_eq!(remote, local, "wire NodeStats diverges on memnode {i}");
+        assert!(
+            local.single_commits > 0,
+            "workload left no trace on memnode {i}"
+        );
+
+        let remote_snap = handle.obs_snapshot();
+        let local_snap = node.obs.registry.snapshot();
+        assert_eq!(
+            remote_snap.counters, local_snap.counters,
+            "ObsSnapshot counters diverge on memnode {i}"
+        );
+        assert_eq!(
+            remote_snap.hists.len(),
+            local_snap.hists.len(),
+            "ObsSnapshot histograms diverge on memnode {i}"
+        );
+        assert!(
+            remote_snap.counter("memnode.single_commits").unwrap_or(0) > 0,
+            "snapshot missing memnode counters"
+        );
+    }
+}
+
+/// A sampled put over real sockets yields one trace whose client-side
+/// spans (route, rtt) and server-side spans (decode, exec, encode) are
+/// stitched together, with the server stages nested inside the client's
+/// measured round trips.
+#[test]
+fn traced_op_stitches_client_and_server_spans() {
+    let cfg = TreeConfig::small_nodes(8);
+    let capacity = MinuetCluster::required_node_capacity(&cfg, 1, 2);
+    let endpoints = common::spawn_servers(2, capacity);
+    let sin = ClusterConfig::with_memnodes(2)
+        .with_wire_transport(endpoints, WireConfig::default())
+        .with_obs(ObsConfig::sampled(1));
+    let mc = MinuetCluster::with_cluster_config(sin, 1, cfg);
+
+    let mut p = mc.proxy();
+    p.put(0, key(1), val(1)).unwrap();
+    p.put(0, key(2), val(2)).unwrap();
+    drop(p);
+
+    let traces = mc.sinfonia.obs().recent(16);
+    let put = traces
+        .iter()
+        .find(|t| t.op_tag == op_tag::PUT)
+        .expect("sampled put left no trace");
+    let has = |kind: SpanKind| put.spans.iter().any(|s| s.kind == kind as u8);
+    assert!(has(SpanKind::Route), "missing client route span");
+    assert!(has(SpanKind::Rtt), "missing client rtt span");
+    assert!(has(SpanKind::SrvDecode), "missing stitched server decode");
+    assert!(has(SpanKind::SrvExec), "missing stitched server exec");
+    assert!(has(SpanKind::SrvEncode), "missing stitched server encode");
+    assert!(put.total_ns > 0, "op total not measured");
+    // Server time is a strict subset of the client's round trips.
+    let rtt: u64 = put.kind_total_ns(SpanKind::Rtt);
+    let srv: u64 = put.kind_total_ns(SpanKind::SrvExec);
+    assert!(srv <= rtt, "server exec ({srv}ns) exceeds rtt ({rtt}ns)");
 }
 
 #[test]
