@@ -219,7 +219,7 @@ fn grab_chunk(
         let state_obj = layout.alloc_state(mem);
         let raw = match tx.read(state_obj) {
             Ok(r) => r,
-            Err(TxError::Validation) => continue,
+            Err(TxError::Validation | TxError::NoReadyReplica) => continue,
             Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
         };
         let mut state = AllocState::decode(&raw);
@@ -235,7 +235,7 @@ fn grab_chunk(
             });
             let seg_raw = match tx.read(seg_obj) {
                 Ok(r) => r,
-                Err(TxError::Validation) => continue,
+                Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             };
             match FreeSegment::decode(&seg_raw) {
@@ -260,7 +260,7 @@ fn grab_chunk(
         tx.write(state_obj, state.encode());
         match tx.commit() {
             Ok(_) => return Ok(got),
-            Err(TxError::Validation) => continue,
+            Err(TxError::Validation | TxError::NoReadyReplica) => continue,
             Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
         }
     }

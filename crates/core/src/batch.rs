@@ -432,7 +432,16 @@ impl Proxy {
         // and pipeline their commits. ----
         let mut fallback: Vec<usize> = Vec::new();
         let mut staged: Vec<StagedCommit<'_>> = Vec::new();
-        let mut staged_members: Vec<(Vec<usize>, Vec<Option<Value>>, NodePtr)> = Vec::new();
+        // Per staged group: member indices, displaced old values, the leaf
+        // slot, and (for simple in-place writes) the staged leaf image to
+        // re-install into the validated cache once the group commits.
+        type StagedGroup = (
+            Vec<usize>,
+            Vec<Option<Value>>,
+            NodePtr,
+            Option<(u32, NodePtr, Arc<Node>)>,
+        );
+        let mut staged_members: Vec<StagedGroup> = Vec::new();
         for (leaf_ptr, group) in groups {
             let Some(img) = leaves.get(&leaf_ptr) else {
                 // Freed or rewritten slot: the route was stale.
@@ -500,7 +509,7 @@ impl Proxy {
                     // the group diverts to the per-key path — wholesale,
                     // so same-key members never reorder across the batch /
                     // fallback boundary.
-                    let payload_cap = mc.cfg.layout.node_payload as usize;
+                    let payload_cap = mc.cfg.split_payload_cap();
                     let max_entries = mc.cfg.max_leaf_entries;
                     let mut members = group.members.clone();
                     members.sort_unstable();
@@ -537,10 +546,14 @@ impl Proxy {
                     let level = path.len() - 1;
                     match self.materialize(&mut gtx, tree, &ctx, &path, level, new_leaf)? {
                         Attempt::Done(()) => {
+                            let written = self.last_leaf_written.take();
                             staged.push(gtx.stage_commit());
-                            staged_members.push((members, olds, leaf_ptr));
+                            staged_members.push((members, olds, leaf_ptr, written));
                         }
-                        Attempt::Retry(_) => fallback.extend(members),
+                        Attempt::Retry(_) => {
+                            self.last_leaf_written = None;
+                            fallback.extend(members)
+                        }
                     }
                 }
             }
@@ -551,11 +564,15 @@ impl Proxy {
         let commit_results = commit_many(staged).map_err(|e| match e {
             TxError::Unavailable(mem) => Error::Unavailable(mem),
             TxError::Validation => unreachable!("exec_many reports validation per member"),
+            TxError::NoReadyReplica => unreachable!("staging failures surface per member"),
         })?;
         let mut requeue: Vec<usize> = Vec::new();
-        for ((members, olds, leaf_ptr), outcome) in staged_members.into_iter().zip(commit_results) {
+        for ((members, olds, leaf_ptr, written), outcome) in
+            staged_members.into_iter().zip(commit_results)
+        {
             match outcome {
-                Ok(_) => {
+                Ok(info) => {
+                    self.install_committed_leaf(&info, written);
                     self.stats.ops += members.len() as u64;
                     self.stats.batched_ops += members.len() as u64;
                     for (i, old) in members.into_iter().zip(olds) {
@@ -569,6 +586,12 @@ impl Proxy {
                     // re-batch these members against a fresh image.
                     self.ncache.invalidate(tree, leaf_ptr);
                     self.stats.record_retry(RetryCause::Validation);
+                    requeue.extend(members);
+                }
+                Err(TxError::NoReadyReplica) => {
+                    // Membership transition window: nothing about the leaf
+                    // is stale, just retry once a replica is ready.
+                    self.stats.record_retry(RetryCause::NoReadyReplica);
                     requeue.extend(members);
                 }
                 Err(TxError::Unavailable(mem)) => return Err(Error::Unavailable(mem)),
@@ -644,6 +667,12 @@ impl Proxy {
                     backoff(attempts);
                     continue;
                 }
+                Err(TxError::NoReadyReplica) => {
+                    self.note_retry(tree, RetryCause::NoReadyReplica);
+                    attempts += 1;
+                    backoff(attempts);
+                    continue;
+                }
                 Err(TxError::Unavailable(mem)) => return Err(Error::Unavailable(mem)),
             };
             let root = Node::decode(&root_raw).map_err(Error::Corrupt)?;
@@ -667,6 +696,11 @@ impl Proxy {
                 }
                 Err(TxError::Validation) => {
                     self.note_retry(tree, RetryCause::Validation);
+                    attempts += 1;
+                    backoff(attempts);
+                }
+                Err(TxError::NoReadyReplica) => {
+                    self.note_retry(tree, RetryCause::NoReadyReplica);
                     attempts += 1;
                     backoff(attempts);
                 }
@@ -705,7 +739,7 @@ impl Proxy {
         pairs: &[(Key, Value)],
         pool: &mut Vec<NodePtr>,
     ) -> Result<Attempt<()>, Error> {
-        let payload_cap = self.mc.cfg.layout.node_payload as usize;
+        let payload_cap = self.mc.cfg.split_payload_cap();
         let max_leaf = self.mc.cfg.max_leaf_entries;
         let max_internal = self.mc.cfg.max_internal_entries;
         let sid = ctx.sid;
@@ -912,11 +946,17 @@ mod tests {
             "expected ~4 round trips for 64 batched puts, got {}",
             net.round_trips
         );
-        // And far fewer than the ~2 round trips per op of the single path.
+        // A follow-up single put fuses into exactly one commit round trip:
+        // the batch re-installed its committed leaf images, so the leaf is
+        // served from cache and the commit carries compare+write.
         let (_, single) = with_op_net(|| {
             p.put(0, key(0), vec![2u8; 8]).unwrap();
         });
-        assert!(single.round_trips >= 2);
+        assert_eq!(
+            single.round_trips, 1,
+            "cached-leaf put must fuse into one commit round trip, got {}",
+            single.round_trips
+        );
 
         let (_, getnet) = with_op_net(|| {
             p.multi_get(0, &keys).unwrap();
@@ -926,6 +966,29 @@ mod tests {
             "expected <=2 round trips for 64 batched gets, got {}",
             getnet.round_trips
         );
+    }
+
+    #[test]
+    fn sustained_puts_stay_fused_after_first_commit() {
+        // A put-only workload must not degrade to fetch+commit: each
+        // successful commit re-installs the written leaf image, so every
+        // put after the first costs exactly one (compare+write) round
+        // trip. Regression test for the validated-leaf cache being
+        // invalidated by `write_node` and never repopulated.
+        let mc = MinuetCluster::new(2, 1, TreeConfig::default());
+        let mut p = mc.proxy();
+        p.put(0, key(7), vec![0]).unwrap(); // cold: route + fetch + commit
+        for round in 1..=8u8 {
+            let (_, net) = with_op_net(|| {
+                p.put(0, key(7), vec![round]).unwrap();
+            });
+            assert_eq!(
+                net.round_trips, 1,
+                "warm put #{round} took {} round trips, want 1 (fused)",
+                net.round_trips
+            );
+        }
+        assert_eq!(p.get(0, &key(7)).unwrap(), Some(vec![8]));
     }
 
     #[test]

@@ -153,6 +153,9 @@ pub enum RetryCause {
     StaleTip,
     /// A node image failed to decode during a dirty read.
     TornRead,
+    /// No memnode was ready to bind replicated-object compares (every
+    /// member joining or of unknown state — a drain or fault window).
+    NoReadyReplica,
 }
 
 /// Converts a dyntx error into an attempt disposition.
@@ -160,6 +163,7 @@ pub(crate) fn tx_attempt<T>(e: TxError) -> Result<Attempt<T>, Error> {
     match e {
         TxError::Validation => Ok(Attempt::Retry(RetryCause::Validation)),
         TxError::Unavailable(m) => Err(Error::Unavailable(m)),
+        TxError::NoReadyReplica => Ok(Attempt::Retry(RetryCause::NoReadyReplica)),
     }
 }
 

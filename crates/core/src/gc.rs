@@ -110,7 +110,7 @@ impl Proxy {
             let mut tx = DynTx::new(&sin);
             let raw = match tx.read_repl(layout.global(), self.home) {
                 Ok(r) => r,
-                Err(TxError::Validation) => continue,
+                Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             };
             let mut g = GlobalVal::decode(&raw).expect("global header corrupt");
@@ -118,7 +118,7 @@ impl Proxy {
             tx.write_repl(layout.global(), g.encode());
             match tx.commit() {
                 Ok(_) => return Ok(()),
-                Err(TxError::Validation) => continue,
+                Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             }
         }
@@ -138,7 +138,7 @@ impl Proxy {
             let mut tx = DynTx::new(&sin);
             let traw = match tx.read_repl(layout.tip(), self.home) {
                 Ok(r) => r,
-                Err(TxError::Validation) => continue,
+                Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             };
             let tip = crate::catalog::TipVal::decode(&traw).expect("tip corrupt");
@@ -147,7 +147,7 @@ impl Proxy {
             }
             let raw = match tx.read_repl(repl, self.home) {
                 Ok(r) => r,
-                Err(TxError::Validation) => continue,
+                Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             };
             let mut entry =
@@ -159,7 +159,7 @@ impl Proxy {
                     self.cat_cache.remove(&(tree, sid));
                     return Ok(());
                 }
-                Err(TxError::Validation) => continue,
+                Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             }
         }
@@ -243,7 +243,7 @@ impl Proxy {
             let state_obj = layout.alloc_state(mem);
             let state = match tx.read(state_obj) {
                 Ok(r) => AllocState::decode(&r),
-                Err(TxError::Validation) => continue,
+                Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             };
             // Re-confirm each candidate under validation.
@@ -253,7 +253,7 @@ impl Proxy {
                 let ptr = NodePtr { mem, slot };
                 let raw = match tx.read(layout.node_obj(ptr)) {
                     Ok(r) => r,
-                    Err(TxError::Validation) => {
+                    Err(TxError::Validation | TxError::NoReadyReplica) => {
                         skipped += 1;
                         continue;
                     }
@@ -276,7 +276,7 @@ impl Proxy {
                     }
                     return Ok((confirmed.len() as u64, skipped));
                 }
-                Err(TxError::Validation) => continue,
+                Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             }
         }

@@ -281,7 +281,7 @@ impl Proxy {
         let src_obj = layout.node_obj(src);
         let raw = match tx.read(src_obj) {
             Ok(r) => r,
-            Err(TxError::Validation) => return Ok(Swap::Retry),
+            Err(TxError::Validation | TxError::NoReadyReplica) => return Ok(Swap::Retry),
             Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
         };
         if Node::decode(&raw).is_err() {
@@ -294,7 +294,7 @@ impl Proxy {
         match tx.read(tgt_obj) {
             Ok(t) if is_reservation(&t) => {}
             Ok(_) => return Ok(Swap::Retry),
-            Err(TxError::Validation) => return Ok(Swap::Retry),
+            Err(TxError::Validation | TxError::NoReadyReplica) => return Ok(Swap::Retry),
             Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
         }
         tx.write(tgt_obj, raw);
@@ -305,7 +305,7 @@ impl Proxy {
             let robj = layout.node_obj(rptr);
             let rraw = match tx.read(robj) {
                 Ok(r) => r,
-                Err(TxError::Validation) => return Ok(Swap::Retry),
+                Err(TxError::Validation | TxError::NoReadyReplica) => return Ok(Swap::Retry),
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             };
             if tx.observed_seqno(&TxKey::Plain(robj)) != Some(seen) {
@@ -325,7 +325,7 @@ impl Proxy {
                 .ok_or(Error::NoSuchSnapshot(sid))?;
             let craw = match tx.read_repl(repl, home) {
                 Ok(r) => r,
-                Err(TxError::Validation) => return Ok(Swap::Retry),
+                Err(TxError::Validation | TxError::NoReadyReplica) => return Ok(Swap::Retry),
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             };
             if tx.observed_seqno(&TxKey::Repl(repl)) != Some(seen) {
@@ -344,7 +344,7 @@ impl Proxy {
             let repl = layout.tip();
             let traw = match tx.read_repl(repl, home) {
                 Ok(r) => r,
-                Err(TxError::Validation) => return Ok(Swap::Retry),
+                Err(TxError::Validation | TxError::NoReadyReplica) => return Ok(Swap::Retry),
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             };
             if tx.observed_seqno(&TxKey::Repl(repl)) != Some(seen) {
@@ -365,7 +365,7 @@ impl Proxy {
         let state_obj = layout.alloc_state(src.mem);
         let state = match tx.read(state_obj) {
             Ok(r) => AllocState::decode(&r),
-            Err(TxError::Validation) => return Ok(Swap::Retry),
+            Err(TxError::Validation | TxError::NoReadyReplica) => return Ok(Swap::Retry),
             Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
         };
         let new_state = push_free_segment(&mut tx, &layout, src.mem, &state, &[src.slot]);
@@ -373,7 +373,7 @@ impl Proxy {
 
         match tx.commit() {
             Ok(info) => Ok(Swap::Done(info.installed)),
-            Err(TxError::Validation) => Ok(Swap::Retry),
+            Err(TxError::Validation | TxError::NoReadyReplica) => Ok(Swap::Retry),
             Err(TxError::Unavailable(m)) => Err(Error::Unavailable(m)),
         }
     }
@@ -397,7 +397,7 @@ impl Proxy {
             tx.write(layout.node_obj(target), encode_reservation(src));
             match tx.commit() {
                 Ok(_) => return Ok(target),
-                Err(TxError::Validation) => continue, // blind write; transient
+                Err(TxError::Validation | TxError::NoReadyReplica) => continue, // blind write; transient
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             }
         }
@@ -535,20 +535,20 @@ impl Proxy {
             match tx.read(layout.node_obj(ptr)) {
                 Ok(r) if is_reservation(&r) => {}
                 Ok(_) => return Ok(()),
-                Err(TxError::Validation) => continue,
+                Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             }
             let state_obj = layout.alloc_state(ptr.mem);
             let state = match tx.read(state_obj) {
                 Ok(r) => AllocState::decode(&r),
-                Err(TxError::Validation) => continue,
+                Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             };
             let new_state = push_free_segment(&mut tx, &layout, ptr.mem, &state, &[ptr.slot]);
             tx.write(state_obj, new_state.encode());
             match tx.commit() {
                 Ok(_) => return Ok(()),
-                Err(TxError::Validation) => continue,
+                Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
             }
         }

@@ -67,13 +67,26 @@ impl Proxy {
     }
 
     fn limits(&self, node: &Node) -> (usize, usize) {
-        let payload_cap = self.mc.cfg.layout.node_payload as usize;
+        let payload_cap = self.mc.cfg.split_payload_cap();
         let max_entries = if node.is_internal() {
             self.mc.cfg.max_internal_entries
         } else {
             self.mc.cfg.max_leaf_entries
         };
         (payload_cap, max_entries)
+    }
+
+    /// Leaf access for operations on writable targets: the validated leaf
+    /// cache serves the image and pins only its version, so commit
+    /// validates with a compare (gets) or a fused compare+write (puts)
+    /// instead of re-fetching. FullValidation keeps the transactional
+    /// fetch — its path validation piggy-backs on the leaf fetch.
+    pub(crate) fn writable_leaf_access(&self) -> LeafAccess {
+        if self.mc.cfg.cache_leaves && self.mc.cfg.mode != ConcurrencyMode::FullValidation {
+            LeafAccess::CachedValidated
+        } else {
+            LeafAccess::Transactional
+        }
     }
 
     /// One read-only lookup attempt.
@@ -86,12 +99,8 @@ impl Proxy {
     ) -> Result<Attempt<Option<Value>>, Error> {
         let access = if !ctx.writable {
             LeafAccess::Dirty
-        } else if self.mc.cfg.cache_leaves && self.mc.cfg.mode != ConcurrencyMode::FullValidation {
-            // Validated leaf cache: a cached leaf is revalidated by a
-            // compare-only commit instead of being re-fetched.
-            LeafAccess::CachedValidated
         } else {
-            LeafAccess::Transactional
+            self.writable_leaf_access()
         };
         let path = {
             let _t = span(SpanKind::Traverse);
@@ -114,9 +123,16 @@ impl Proxy {
         f: &mut dyn FnMut(&mut Node) -> Option<Value>,
     ) -> Result<Attempt<Option<Value>>, Error> {
         debug_assert!(ctx.writable);
+        // Fused put: a cached, still-valid leaf skips the fetch round trip
+        // — the mutation is derived from the cached image with only its
+        // version pinned, so the commit minitransaction carries
+        // compare(leaf seqno) + write(new image) and lands in one round
+        // trip at the leaf's memnode. A stale image fails that compare and
+        // the retry fetches fresh (see `Proxy::note_retry`).
+        let access = self.writable_leaf_access();
         let path = {
             let _t = span(SpanKind::Traverse);
-            attempt!(self.traverse(tx, tree, ctx, key, LeafAccess::Transactional, 0)?)
+            attempt!(self.traverse(tx, tree, ctx, key, access, 0)?)
         };
         let _apply = span(SpanKind::Apply);
         let leaf_level = path.len() - 1;
@@ -145,6 +161,15 @@ impl Proxy {
         if in_snapshot {
             if !node.overflows(payload_cap, max_entries) {
                 self.write_node(tx, tree, orig.ptr, &node);
+                // Remember the staged leaf image so a successful commit
+                // re-installs it into the validated leaf cache (the write
+                // above invalidated the stale entry). Without this, a
+                // put-only workload would pay a fetch on every op: each
+                // write evicts the leaf the next write needs.
+                if !node.is_internal() && self.writable_leaf_access() == LeafAccess::CachedValidated
+                {
+                    self.last_leaf_written = Some((tree, orig.ptr, std::sync::Arc::new(node)));
+                }
                 return Ok(Attempt::Done(()));
             }
             if level == 0 {

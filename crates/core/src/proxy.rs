@@ -16,7 +16,7 @@ use crate::node::SnapshotId;
 use crate::stats::ProxyStats;
 use crate::traverse::{fetch_cat_raw, OpCtx};
 use crate::tree::MinuetCluster;
-use minuet_dyntx::{DynTx, SeqNo, TxError, TxKey};
+use minuet_dyntx::{CommitInfo, DynTx, SeqNo, TxError, TxKey};
 use minuet_obs::{event, span, SpanKind};
 use minuet_sinfonia::MemNodeId;
 use std::collections::HashMap;
@@ -73,6 +73,7 @@ pub(crate) fn retry_tag(cause: RetryCause) -> u8 {
         RetryCause::StaleVersion => 4,
         RetryCause::StaleTip => 5,
         RetryCause::TornRead => 6,
+        RetryCause::NoReadyReplica => 8,
     }
 }
 
@@ -119,6 +120,13 @@ pub struct Proxy {
     /// validated-leaf-cache fast path): a validation failure means this
     /// entry is the prime suspect, so `note_retry` invalidates it.
     pub(crate) last_leaf_assumed: Option<(u32, crate::node::NodePtr)>,
+    /// The leaf image the current attempt staged as a simple in-place
+    /// write (no split, no copy-on-write). On commit success it is
+    /// re-installed into the validated leaf cache at its committed
+    /// seqno — `write_node` invalidated the pre-write entry — so a
+    /// following mutation of the same leaf stays on the fused 1-RTT
+    /// path instead of paying a fetch to repopulate the cache.
+    pub(crate) last_leaf_written: Option<(u32, crate::node::NodePtr, Arc<crate::node::Node>)>,
     /// Operation statistics.
     pub stats: ProxyStats,
 }
@@ -155,6 +163,7 @@ impl Proxy {
             cat_cache: HashMap::new(),
             chunks: ChunkCache::new(chunk),
             last_leaf_assumed: None,
+            last_leaf_written: None,
             stats: ProxyStats::default(),
         }
     }
@@ -196,6 +205,25 @@ impl Proxy {
         self.cat_cache.retain(|(t, _), _| *t != tree);
     }
 
+    /// Re-installs a committed in-place leaf write into the validated
+    /// leaf cache at the seqno the commit installed, so put-after-put on
+    /// the same leaf keeps fusing into one round trip. A commit whose
+    /// `installed` set does not carry the leaf (e.g. a piggybacked
+    /// one-shot that skipped staging) simply leaves the cache cold.
+    pub(crate) fn install_committed_leaf(
+        &mut self,
+        info: &CommitInfo,
+        written: Option<(u32, crate::node::NodePtr, Arc<crate::node::Node>)>,
+    ) {
+        let Some((tree, ptr, node)) = written else {
+            return;
+        };
+        let key = TxKey::Plain(self.mc.layout(tree).node_obj(ptr));
+        if let Some((_, seqno)) = info.installed.iter().find(|(k, _)| *k == key) {
+            self.ncache.put(tree, ptr, *seqno, node);
+        }
+    }
+
     /// Runs one operation to completion with optimistic retries.
     pub(crate) fn run_op<T>(
         &mut self,
@@ -224,6 +252,7 @@ impl Proxy {
             }
             let mut tx = DynTx::with_piggyback(&sin, mc.cfg.piggyback);
             self.last_leaf_assumed = None;
+            self.last_leaf_written = None;
             match f(self, &mut tx)? {
                 Attempt::Retry(cause) => {
                     self.note_retry(tree, cause);
@@ -231,13 +260,20 @@ impl Proxy {
                     backoff(attempts);
                 }
                 Attempt::Done(v) => match tx.commit() {
-                    Ok(_) => {
+                    Ok(info) => {
                         self.last_leaf_assumed = None;
+                        let written = self.last_leaf_written.take();
+                        self.install_committed_leaf(&info, written);
                         self.stats.ops += 1;
                         return Ok(v);
                     }
                     Err(TxError::Validation) => {
                         self.note_retry(tree, RetryCause::Validation);
+                        attempts += 1;
+                        backoff(attempts);
+                    }
+                    Err(TxError::NoReadyReplica) => {
+                        self.note_retry(tree, RetryCause::NoReadyReplica);
                         attempts += 1;
                         backoff(attempts);
                     }
@@ -450,6 +486,9 @@ impl Proxy {
         let raw = match tx.read_repl(layout.tip(), self.home) {
             Ok(r) => r,
             Err(TxError::Validation) => unreachable!("plain read cannot fail validation"),
+            Err(TxError::NoReadyReplica) => {
+                unreachable!("reads bind their own replica, not the commit fallback")
+            }
             Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
         };
         let tip = TipVal::decode(&raw).expect("tip object corrupt");
@@ -503,6 +542,11 @@ impl Proxy {
                     }
                     Err(TxError::Validation) => {
                         self.note_retry(0, RetryCause::Validation);
+                        attempts += 1;
+                        backoff(attempts);
+                    }
+                    Err(TxError::NoReadyReplica) => {
+                        self.note_retry(0, RetryCause::NoReadyReplica);
                         attempts += 1;
                         backoff(attempts);
                     }

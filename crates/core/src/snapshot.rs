@@ -220,6 +220,10 @@ impl Proxy {
                         self.note_retry(tree, RetryCause::Validation);
                         continue;
                     }
+                    Err(TxError::NoReadyReplica) => {
+                        self.note_retry(tree, RetryCause::NoReadyReplica);
+                        continue;
+                    }
                     Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
                 },
             }

@@ -59,6 +59,9 @@ pub struct ProxyStats {
     pub retries_stale_tip: u64,
     /// Retries caused by torn node decodes.
     pub retries_torn: u64,
+    /// Retries because no memnode was ready for replicated compares
+    /// (membership transition windows).
+    pub retries_no_ready: u64,
     /// Operations served through the batched multi-op fast path (shared
     /// traversal + grouped leaf fetches + pipelined commits).
     pub batched_ops: u64,
@@ -93,6 +96,7 @@ impl ProxyStats {
             RetryCause::StaleVersion => self.retries_stale_version += 1,
             RetryCause::StaleTip => self.retries_stale_tip += 1,
             RetryCause::TornRead => self.retries_torn += 1,
+            RetryCause::NoReadyReplica => self.retries_no_ready += 1,
         }
     }
 

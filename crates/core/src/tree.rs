@@ -102,6 +102,19 @@ impl Default for TreeConfig {
 }
 
 impl TreeConfig {
+    /// Byte budget a node's *content* may grow to before it must split:
+    /// the slot payload capacity minus headroom for the up-to-β
+    /// descendant-set entries (14 encoded bytes each) that copy-on-write
+    /// tagging and snapshot root bookkeeping push onto a node **after**
+    /// its content froze. Splitting at the full slot capacity instead
+    /// would let a node sit flush against its slot, and the later desc
+    /// push would overflow it — a probabilistic crash that only fires
+    /// when a snapshot or CoW lands on a node within 14·β bytes of full.
+    pub fn split_payload_cap(&self) -> usize {
+        const DESC_ENTRY_BYTES: usize = 14;
+        (self.layout.node_payload as usize).saturating_sub(DESC_ENTRY_BYTES * self.beta)
+    }
+
     /// A configuration with tiny nodes, handy for tests that need deep
     /// trees from few keys.
     pub fn small_nodes(max_entries: usize) -> Self {
@@ -307,7 +320,12 @@ impl MinuetCluster {
                 return Proxy::new(self.clone(), home);
             }
         }
-        Proxy::new(self.clone(), self.sinfonia.first_ready())
+        // Every memnode reports joining (a drain or fault window): fall
+        // back to node 0 as a home *preference* — a proxy home is only a
+        // routing hint, and ops through it surface retryable errors until
+        // a replica is ready.
+        let home = self.sinfonia.try_first_ready().unwrap_or(MemNodeId(0));
+        Proxy::new(self.clone(), home)
     }
 
     /// Memnode count the layout was sized for: the elastic growth ceiling
@@ -362,7 +380,12 @@ impl MinuetCluster {
                     .map_err(|e| Error::Storage(e.to_string()))?
             }
         };
-        let src = self.sinfonia.first_ready();
+        // Seeding must copy from a node whose replicas are themselves
+        // seeded; copying from another joining node would propagate
+        // garbage, so surface the (transient) condition instead.
+        let src = self.sinfonia.try_first_ready().ok_or(Error::Storage(
+            "no seeded memnode available as a seeding source".to_string(),
+        ))?;
         for t in 0..self.trees.len() as u32 {
             seed_tree_replicas(&self.sinfonia, self.layout(t), src, id)?;
         }
@@ -567,6 +590,32 @@ mod tests {
             assert!(root.is_empty());
             assert_eq!(root.created, 0);
         }
+    }
+
+    #[test]
+    fn desc_tag_on_a_full_node_never_overflows_its_slot() {
+        // Regression: nodes used to split only when their content
+        // exceeded the full slot payload, so a node could sit flush
+        // against its slot and the 14-byte descendant-set tag pushed by
+        // snapshot-root bookkeeping (or CoW tagging) overflowed the
+        // object — a probabilistic panic under snapshot-heavy load.
+        // Splits now reserve β desc entries of headroom
+        // (`TreeConfig::split_payload_cap`).
+        let cfg = TreeConfig::small_nodes(64); // node_payload = 1024
+        let mc = MinuetCluster::new(1, 1, cfg);
+        let mut p = mc.proxy();
+        // Two values sized so the root leaf's encoded content lands
+        // within one desc entry of the 1024-byte slot (15 B node
+        // overhead + two 4+1+497 B entries = 1019 B). Pre-fix this did
+        // not split, and the first snapshot's desc push then wrote
+        // 1033 bytes into a 1024-byte slot.
+        p.put(0, b"a".to_vec(), vec![0u8; 497]).unwrap();
+        p.put(0, b"b".to_vec(), vec![0u8; 497]).unwrap();
+        for round in 0..3u8 {
+            p.create_snapshot(0).unwrap();
+            p.put(0, b"a".to_vec(), vec![round; 497]).unwrap();
+        }
+        assert_eq!(p.get(0, b"a").unwrap(), Some(vec![2u8; 497]));
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub enum TxError {
     Validation,
     /// A memnode stayed unavailable beyond the retry budget.
     Unavailable(MemNodeId),
+    /// No memnode is currently ready to serve replicated-object compares:
+    /// every member reports joining (or its state is unknown after
+    /// failures). Transient during membership changes — retryable, like
+    /// [`TxError::Validation`], rather than a hard failure.
+    NoReadyReplica,
 }
 
 impl std::fmt::Display for TxError {
@@ -50,6 +55,7 @@ impl std::fmt::Display for TxError {
         match self {
             TxError::Validation => write!(f, "validation failed"),
             TxError::Unavailable(m) => write!(f, "memnode {m} unavailable"),
+            TxError::NoReadyReplica => write!(f, "no memnode ready for replicated objects"),
         }
     }
 }
@@ -390,12 +396,14 @@ impl<'c> DynTx<'c> {
                 m: None,
                 repl_writes: Vec::new(),
                 installed: Vec::new(),
+                err: None,
             };
         }
 
         // Assembly counts as commit time: binding replicated compares
-        // checks memnode flags (a round trip on the wire transport) and
-        // staging writes copies every node image.
+        // checks memnode flags (a cached read — the wire client keeps them
+        // fresh off every reply envelope) and staging writes copies every
+        // node image.
         let _commit = span(SpanKind::Commit);
 
         let mut m = Minitransaction::new();
@@ -420,13 +428,38 @@ impl<'c> DynTx<'c> {
                     TxKey::Plain(r) if ready(r.mem) => Some(r.mem),
                     _ => None,
                 })
-            })
-            .unwrap_or_else(|| self.cluster.first_ready());
+            });
+        // A bind is only *required* when replicated compares exist; resolve
+        // the cluster-wide fallback lazily, and surface a typed retryable
+        // error when every memnode is joining or of unknown state (a drain
+        // or fault window) instead of binding compares to an unseeded
+        // replica, which would fail them spuriously — or worse, pass them
+        // against garbage.
+        let needs_bind = self.read_set.keys().any(|k| matches!(k, TxKey::Repl(_)));
+        let bind = match (bind, needs_bind) {
+            (Some(b), _) => Some(b),
+            (None, false) => None,
+            (None, true) => match self.cluster.try_first_ready() {
+                Some(b) => Some(b),
+                None => {
+                    return StagedCommit {
+                        cluster: self.cluster,
+                        m: None,
+                        repl_writes: Vec::new(),
+                        installed: Vec::new(),
+                        err: Some(TxError::NoReadyReplica),
+                    }
+                }
+            },
+        };
 
         for (key, seqno) in &self.read_set {
             let range = match key {
                 TxKey::Plain(r) => r.seqno_range(),
-                TxKey::Repl(r) => r.at(bind).seqno_range(),
+                TxKey::Repl(r) => {
+                    let bind = bind.expect("repl compare binds a ready memnode");
+                    r.at(bind).seqno_range()
+                }
             };
             m.compare(range, seqno.to_le_bytes().to_vec());
         }
@@ -460,6 +493,7 @@ impl<'c> DynTx<'c> {
             m: Some(m),
             repl_writes,
             installed,
+            err: None,
         }
     }
 }
@@ -478,13 +512,17 @@ pub struct StagedCommit<'c> {
     m: Option<Minitransaction>,
     repl_writes: Vec<(ReplRef, Bytes)>,
     installed: Vec<(TxKey, SeqNo)>,
+    /// Staging itself failed (e.g. no ready memnode to bind replicated
+    /// compares to); `execute` / [`commit_many`] surface this without
+    /// touching the network.
+    err: Option<TxError>,
 }
 
 impl<'c> StagedCommit<'c> {
     /// True if no commit minitransaction is needed (read-only, fully
     /// validated by piggy-backed compares).
     pub fn is_noop(&self) -> bool {
-        self.m.is_none()
+        self.m.is_none() && self.err.is_none()
     }
 
     /// The cluster this commit targets.
@@ -520,6 +558,9 @@ impl<'c> StagedCommit<'c> {
 
     /// Executes the staged commit on its own (the unbatched path).
     pub fn execute(self) -> Result<CommitInfo, TxError> {
+        if let Some(e) = self.err {
+            return Err(e);
+        }
         let Some(mut m) = self.m else {
             return Ok(CommitInfo {
                 installed: Vec::new(),
@@ -592,17 +633,27 @@ pub fn commit_many(
         None
     };
     // Move each commit minitransaction out (no payload clones) while
-    // remembering which members have one.
+    // remembering which members have one; members whose staging already
+    // failed carry their error through without joining the batch.
+    enum Member {
+        Mini(Vec<(TxKey, SeqNo)>),
+        Noop,
+        Failed(TxError),
+    }
     let mut batch: Vec<Minitransaction> = Vec::with_capacity(staged.len());
-    let mut members: Vec<(bool, Vec<(TxKey, SeqNo)>)> = Vec::with_capacity(staged.len());
+    let mut members: Vec<Member> = Vec::with_capacity(staged.len());
     for s in staged {
+        if let Some(e) = s.err {
+            members.push(Member::Failed(e));
+            continue;
+        }
         match s.m {
             Some(mut m) => {
                 StagedCommit::expand_repl_writes(&mut m, &s.repl_writes, cluster);
                 batch.push(m);
-                members.push((true, s.installed));
+                members.push(Member::Mini(s.installed));
             }
-            None => members.push((false, s.installed)),
+            None => members.push(Member::Noop),
         }
     }
     let outcomes = {
@@ -612,16 +663,16 @@ pub fn commit_many(
     let mut outcomes = outcomes.into_iter();
     Ok(members
         .into_iter()
-        .map(|(has_minitx, installed)| {
-            if has_minitx {
+        .map(|member| match member {
+            Member::Mini(installed) => {
                 let outcome = outcomes.next().expect("one outcome per minitx");
                 StagedCommit::into_info(installed, outcome)
-            } else {
-                Ok(CommitInfo {
-                    installed: Vec::new(),
-                    validation_skipped: true,
-                })
             }
+            Member::Noop => Ok(CommitInfo {
+                installed: Vec::new(),
+                validation_skipped: true,
+            }),
+            Member::Failed(e) => Err(e),
         })
         .collect())
 }

@@ -221,3 +221,44 @@ fn dirty_reads_do_not_create_conflicts() {
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     churner.join().unwrap();
 }
+
+/// Regression: draining the cluster to zero ready memnodes (every member
+/// inside a join fence, the window a membership transition opens) must
+/// surface the typed, retryable `NoReadyReplica` from commit — not panic
+/// on an empty ready set or silently bind the replicated compare to a
+/// node that holds no seeded replica. Clearing one fence makes the same
+/// transaction commit again.
+#[test]
+fn all_nodes_joining_fails_commit_with_no_ready_replica() {
+    let c = cluster(2);
+    let r = ReplRef::new(0, 64);
+    {
+        let mut t = DynTx::new(&c);
+        t.write_repl(r, 1u64.to_le_bytes().to_vec());
+        t.commit().unwrap();
+    }
+    for id in c.memnode_ids().collect::<Vec<_>>() {
+        c.node(id).set_joining(true);
+    }
+
+    // The joining fence gates placement, not service: reads still work.
+    let mut t = DynTx::new(&c);
+    let v = u64::from_le_bytes(t.read_repl(r, MemNodeId(0)).unwrap().try_into().unwrap());
+    assert_eq!(v, 1);
+    t.write_repl(r, 2u64.to_le_bytes().to_vec());
+    assert!(matches!(t.commit(), Err(TxError::NoReadyReplica)));
+
+    // Blind replicated writes need no compare binding; they still commit.
+    let mut t = DynTx::new(&c);
+    t.write_repl(r, 3u64.to_le_bytes().to_vec());
+    t.commit()
+        .expect("write-only repl transactions bind no compare replica");
+
+    // One node finishing its join reopens the commit path.
+    c.node(MemNodeId(0)).set_joining(false);
+    let mut t = DynTx::new(&c);
+    let v = u64::from_le_bytes(t.read_repl(r, MemNodeId(0)).unwrap().try_into().unwrap());
+    assert_eq!(v, 3);
+    t.write_repl(r, 4u64.to_le_bytes().to_vec());
+    t.commit().expect("one ready memnode suffices to bind");
+}

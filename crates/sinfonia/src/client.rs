@@ -26,8 +26,8 @@ use crate::recovery::NodeMeta;
 use crate::rpc::{BatchItem, NodeRpc, NodeStats};
 use crate::transport::Transport;
 use crate::wire::{
-    encode_traced_request, read_frame, Endpoint, NodeFlags, Request, Response, WireBatchItem,
-    WireShard, PROTO_VERSION,
+    encode_traced_request, read_frame, split_reply_flags, Endpoint, NodeFlags, Request, Response,
+    WireBatchItem, WireShard, PROTO_VERSION,
 };
 use minuet_obs::{absorb_spans, current_ctx, span, span_tagged, HistHandle, ObsSnapshot, SpanKind};
 use parking_lot::Mutex;
@@ -73,6 +73,21 @@ struct Backoff {
     until: Option<Instant>,
 }
 
+/// Client-side cache of the server's [`NodeFlags`], refreshed by the
+/// one-byte trailer every v3 reply frame carries and invalidated (epoch
+/// bump) whenever the transport fails — so `is_joining`/`is_retiring`
+/// checks on the commit hot path are memory reads, not round trips.
+#[derive(Default)]
+struct FlagsCache {
+    /// Invalidation epoch; bumped on transport failure and by
+    /// [`NodeRpc::invalidate_cached_flags`].
+    epoch: u64,
+    /// Epoch at which `flags` was last refreshed; the entry is *fresh*
+    /// iff this equals `epoch`, and *stale-but-known* otherwise.
+    filled_at: Option<u64>,
+    flags: NodeFlags,
+}
+
 /// Per-RPC-type histogram handles, cached by request tag so the hot path
 /// pays one `HashMap` lookup instead of a registry get-or-create.
 #[derive(Clone)]
@@ -94,6 +109,8 @@ pub struct RemoteNode {
     capacity: AtomicU64,
     /// Per-RPC-type wire histograms (`wire.lat.*`, `wire.bytes_*`).
     hists: Mutex<HashMap<u8, RpcHists>>,
+    /// Piggybacked node-flags cache (see [`FlagsCache`]).
+    flags_cache: Mutex<FlagsCache>,
 }
 
 impl RemoteNode {
@@ -114,6 +131,7 @@ impl RemoteNode {
             backoff: Mutex::new(Backoff::default()),
             capacity: AtomicU64::new(0),
             hists: Mutex::new(HashMap::new()),
+            flags_cache: Mutex::new(FlagsCache::default()),
         }
     }
 
@@ -233,6 +251,32 @@ impl RemoteNode {
         // Stale pooled connections are useless after a failure (the server
         // likely died); drop them so recovery starts from fresh dials.
         self.idle.lock().clear();
+        // The flag cache can no longer be trusted either: the server may
+        // have restarted with different state. Keep the last value as a
+        // stale fallback but force the next flag check to re-probe.
+        let mut c = self.flags_cache.lock();
+        c.epoch = c.epoch.wrapping_add(1);
+    }
+
+    /// Records a piggybacked flag byte, marking the cache fresh for the
+    /// current epoch.
+    fn observe_flags(&self, f: NodeFlags) {
+        let mut c = self.flags_cache.lock();
+        c.flags = f;
+        c.filled_at = Some(c.epoch);
+    }
+
+    /// Fresh cached flags (refreshed this epoch), if any.
+    fn fresh_flags(&self) -> Option<NodeFlags> {
+        let c = self.flags_cache.lock();
+        (c.filled_at == Some(c.epoch)).then_some(c.flags)
+    }
+
+    /// Last known flags, fresh or stale — the conservative fallback when
+    /// the node is unreachable.
+    fn last_known_flags(&self) -> Option<NodeFlags> {
+        let c = self.flags_cache.lock();
+        c.filled_at.map(|_| c.flags)
     }
 
     /// Looks up (or creates and caches) the per-RPC-type histograms for
@@ -273,7 +317,11 @@ impl RemoteNode {
             .record_wire_bytes(frame.len() as u64, bytes_in);
         let resp = {
             let _f = span(SpanKind::Framing);
-            Response::decode(&payload)?
+            // Every v3 reply ends with a piggybacked node-flags byte:
+            // strip it, refresh the flag cache, decode the rest.
+            let (body, flags) = split_reply_flags(&payload)?;
+            self.observe_flags(flags);
+            Response::decode(&body)?
         };
         Ok((resp, bytes_in))
     }
@@ -374,10 +422,19 @@ impl RemoteNode {
         })
     }
 
+    /// Current flags, cache-first: a value refreshed during the current
+    /// epoch answers from memory (the hot path — every reply trailer
+    /// refreshes it, so no RPC happens while the connection is healthy).
+    /// A stale cache triggers one `Flags` RPC; if that fails, the last
+    /// known (stale) value is returned, or `None` if the node has never
+    /// been reached.
     fn flags(&self) -> Option<NodeFlags> {
+        if let Some(f) = self.fresh_flags() {
+            return Some(f);
+        }
         match self.request(&Request::Flags) {
             Ok(Response::Flags(f)) => Some(f),
-            _ => None,
+            _ => self.last_known_flags(),
         }
     }
 
@@ -506,12 +563,26 @@ impl NodeRpc for RemoteNode {
     }
 
     fn is_crashed(&self) -> bool {
-        // An unreachable node is indistinguishable from a crashed one.
-        self.flags().is_none_or(|f| f.crashed)
+        if let Some(f) = self.fresh_flags() {
+            return f.crashed;
+        }
+        match self.request(&Request::Flags) {
+            Ok(Response::Flags(f)) => f.crashed,
+            // An unreachable node is indistinguishable from a crashed
+            // one. Unlike joining/retiring, a stale `crashed: false`
+            // must never be trusted here — callers probe this exact
+            // question ("can I reach it right now?").
+            _ => true,
+        }
     }
 
     fn is_joining(&self) -> bool {
-        self.flags().is_some_and(|f| f.joining)
+        // `flags()` already falls back to the last cached value when the
+        // node is unreachable, so a network blip cannot flip a joining
+        // node to "seeded" and let a commit bind replicated compares to
+        // its half-seeded replicas. A node never reached at all is
+        // treated as joining: nothing vouches that it is seeded.
+        self.flags().is_none_or(|f| f.joining)
     }
 
     fn set_joining(&self, joining: bool) {
@@ -519,11 +590,16 @@ impl NodeRpc for RemoteNode {
     }
 
     fn is_retiring(&self) -> bool {
-        self.flags().is_some_and(|f| f.retiring)
+        self.flags().is_none_or(|f| f.retiring)
     }
 
     fn set_retiring(&self, retiring: bool) {
         let _ = self.request(&Request::SetRetiring(retiring));
+    }
+
+    fn invalidate_cached_flags(&self) {
+        let mut c = self.flags_cache.lock();
+        c.epoch = c.epoch.wrapping_add(1);
     }
 
     fn crash(&self) {

@@ -428,7 +428,9 @@ impl SinfoniaCluster {
         if let Some(dir) = self.cfg.durability.dir.as_ref() {
             let _ = std::fs::remove_file(recovery::join_marker_path(dir, id));
         }
-        self.node(id).set_joining(false);
+        let node = self.node(id);
+        node.set_joining(false);
+        node.invalidate_cached_flags();
     }
 
     /// The memnode currently in the `joining` state, if any — a join
@@ -443,21 +445,28 @@ impl SinfoniaCluster {
     }
 
     /// The lowest-id memnode whose replicated replicas are fully seeded.
-    /// Used to bind replicated-object reads/validation; node 0 is always
-    /// seeded (initial members never join late), so this never fails.
-    pub fn first_ready(&self) -> MemNodeId {
-        let nodes = self.nodes.read();
-        nodes
+    /// Used to bind replicated-object reads/validation. `None` means every
+    /// memnode currently reports joining (or, over the wire, is unreachable
+    /// with no better information) — a transient condition callers must
+    /// surface as a retryable error, never paper over by binding to an
+    /// unseeded node.
+    pub fn try_first_ready(&self) -> Option<MemNodeId> {
+        self.nodes
+            .read()
             .iter()
             .find(|n| !n.is_joining())
             .map(|n| n.id())
-            .unwrap_or(MemNodeId(0))
     }
 
     /// Marks / clears the retiring state of a memnode (allocation
     /// placement steers away from retiring nodes; see the drain path).
     pub fn set_retiring(&self, id: MemNodeId, retiring: bool) {
-        self.node(id).set_retiring(retiring);
+        let node = self.node(id);
+        node.set_retiring(retiring);
+        // Membership transitions drop any client-side flag cache so the
+        // next gate check re-learns the state instead of trusting a
+        // pre-transition epoch.
+        node.invalidate_cached_flags();
     }
 
     /// Injects a modeled per-minitransaction-shard service time at every

@@ -126,9 +126,10 @@ pub fn execute_many(
         // One batched request to this memnode: one round trip carrying
         // `idxs.len()` packed minitransactions (counted as messages). In
         // wire mode the whole group really is one ExecBatch frame: frame
-        // header + tag + member count (13 bytes) each way, plus each
-        // member's exact encoded share.
-        let (req_bytes, resp_bytes) = idxs.iter().fold((13, 13), |(o, b), &i| {
+        // header + tag + member count (13 bytes) out, the same plus the
+        // node-flags trailer (14 bytes) back, plus each member's exact
+        // encoded share.
+        let (req_bytes, resp_bytes) = idxs.iter().fold((13, 14), |(o, b), &i| {
             let (wo, wb) = ms[i].batch_member_wire_bytes();
             (o + wo, b + wb)
         });
@@ -261,11 +262,12 @@ fn try_once(
             // Phase two: commit everywhere. A participant that crashed
             // after voting Ok must still apply the decision after recovery:
             // we retry commit delivery until the recovery deadline.
-            // Commit frame: header + tag + txid (17B); Unit reply: 9B.
+            // Commit frame: header + tag + txid (17B); Unit reply plus
+            // the node-flags trailer: 10B.
             let n = prepared.len() as u64;
             cluster
                 .transport
-                .round_trip_bytes(prepared.len(), 17 * n, 9 * n);
+                .round_trip_bytes(prepared.len(), 17 * n, 10 * n);
             for mem in &prepared {
                 let node = cluster.node(*mem);
                 node.occupy(service);
@@ -290,11 +292,12 @@ fn try_once(
 
         // Abort everyone we prepared.
         if !prepared.is_empty() {
-            // Abort frame: header + tag + txid (17B); Unit reply: 9B.
+            // Abort frame: header + tag + txid (17B); Unit reply plus
+            // the node-flags trailer: 10B.
             let n = prepared.len() as u64;
             cluster
                 .transport
-                .round_trip_bytes(prepared.len(), 17 * n, 9 * n);
+                .round_trip_bytes(prepared.len(), 17 * n, 10 * n);
             for mem in &prepared {
                 let _ = cluster.node(*mem).abort(txid);
             }

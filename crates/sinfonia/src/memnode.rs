@@ -103,6 +103,13 @@ pub struct MemNodeStats {
     /// Fast-path attempts that detected a racing writer and fell back to
     /// the locked path.
     pub read_fastpath_misses: Counter,
+    /// Single-phase writes served by the lock-free fast path (no lock
+    /// acquisition; the space write guard plus a span probe bracket make
+    /// the compare+apply atomic against every other execution path).
+    pub write_fastpath: Counter,
+    /// Write fast-path attempts that found a held or newly-released lock
+    /// and fell back to the locked path.
+    pub write_fastpath_misses: Counter,
 }
 
 impl MemNodeStats {
@@ -116,6 +123,8 @@ impl MemNodeStats {
         r.register_counter("memnode.busy", &self.busy);
         r.register_counter("memnode.read_fastpath", &self.read_fastpath);
         r.register_counter("memnode.read_fastpath_misses", &self.read_fastpath_misses);
+        r.register_counter("memnode.write_fastpath", &self.write_fastpath);
+        r.register_counter("memnode.write_fastpath_misses", &self.write_fastpath_misses);
     }
 }
 
@@ -370,10 +379,15 @@ impl MemNode {
 
     /// Evaluates compares and stages reads. The caller guarantees
     /// stability: either it holds the item locks, or it brackets this call
-    /// with [`LockManager::probe`]s (the read fast path). Reads are
-    /// zero-copy views of the resident pages.
+    /// with [`LockManager::probe`]s (the read fast path), or it holds the
+    /// space guard itself (the write fast path). Reads are zero-copy views
+    /// of the resident pages.
     fn eval(&self, shard: &Shard<'_>) -> Result<Vec<(usize, Bytes)>, Vec<usize>> {
-        let space = self.space.read();
+        Self::eval_in(&self.space.read(), shard)
+    }
+
+    /// [`MemNode::eval`] against a space guard the caller already holds.
+    fn eval_in(space: &PagedSpace, shard: &Shard<'_>) -> Result<Vec<(usize, Bytes)>, Vec<usize>> {
         let mut failed = Vec::new();
         for (idx, c) in &shard.compares {
             let ok = space
@@ -418,11 +432,14 @@ impl MemNode {
     fn log_and_apply(&self, txid: TxId, writes: &[(u64, Bytes)]) -> Option<u64> {
         match &self.dur {
             Some(d) => {
-                let end = {
-                    let _s = span(SpanKind::SrvWalAppend);
-                    let mut g = d.wal.lock();
-                    g.append(&Record::Apply { txid, writes })
-                };
+                // Hold the appender guard across the apply (as `commit`
+                // does): a checkpoint freezes (log tail, space image) under
+                // this guard, and a tail past the append paired with a
+                // space missing the writes would truncate the record while
+                // the image lacks its effects.
+                let _s = span(SpanKind::SrvWalAppend);
+                let mut g = d.wal.lock();
+                let end = g.append(&Record::Apply { txid, writes });
                 self.apply(writes);
                 Some(end)
             }
@@ -478,6 +495,8 @@ impl MemNode {
                     .fetch_add(1, Ordering::Relaxed);
                 let _ = attempt;
             }
+        } else if let Some(result) = self.try_write_fastpath(txid, shard, &spans) {
+            return Ok(result);
         }
 
         let busy = {
@@ -518,6 +537,80 @@ impl MemNode {
             d.wal.wait_durable(end);
         }
         Ok(result)
+    }
+
+    /// The write analogue of the lock-free read probe: with no lock held
+    /// over the shard's spans and the primary's write guard in hand, the
+    /// compare+log+apply sequence is atomic with respect to every other
+    /// execution path — locked transactions cannot evaluate while we hold
+    /// the space guard, and prepared-but-undecided transactions show up as
+    /// held locks at the probes. Uncontended single-memnode commits (the
+    /// fused cached-leaf put) thus skip the lock table entirely. Returns
+    /// `None` to fall back to the ordinary locked path.
+    fn try_write_fastpath(
+        &self,
+        txid: TxId,
+        shard: &Shard<'_>,
+        spans: &[(u64, u64)],
+    ) -> Option<SingleResult> {
+        let s1 = self.locks.probe(spans)?;
+        // Guard order matches the locked path (`commit`, `log_and_apply`):
+        // WAL appender, then backup, then primary space.
+        let mut wal_g = self.dur.as_ref().map(|d| d.wal.lock());
+        let mut backup = self.backup.lock();
+        let mut space = self.space.write();
+        // A lock acquired (or acquired-and-released) since the first probe
+        // means a conflicting transaction may have evaluated before we
+        // took the space guard; let the locked path serialize against it.
+        if self.locks.probe(spans) != Some(s1) {
+            self.stats
+                .write_fastpath_misses
+                .fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let result = match Self::eval_in(&space, shard) {
+            Err(failed) => {
+                self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                SingleResult::BadCompare(failed)
+            }
+            Ok(reads) => {
+                let _ex = span(SpanKind::SrvExec);
+                let writes: Vec<(u64, Bytes)> = shard
+                    .writes
+                    .iter()
+                    .map(|(_, w)| (w.range.off, w.data.clone()))
+                    .collect();
+                let wait = wal_g.as_mut().map(|g| {
+                    let _s = span(SpanKind::SrvWalAppend);
+                    g.append(&Record::Apply {
+                        txid,
+                        writes: &writes,
+                    })
+                });
+                // Backup before primary, as `apply` does.
+                for (off, data) in &writes {
+                    backup
+                        .write(*off, data)
+                        .unwrap_or_else(|e| panic!("write item out of bounds: {e}"));
+                }
+                for (off, data) in &writes {
+                    space
+                        .write(*off, data)
+                        .unwrap_or_else(|e| panic!("write item out of bounds: {e}"));
+                }
+                drop(space);
+                drop(backup);
+                drop(wal_g);
+                if let (Some(end), Some(d)) = (wait, &self.dur) {
+                    let _fs = span(SpanKind::SrvFsync);
+                    d.wal.wait_durable(end);
+                }
+                self.stats.single_commits.fetch_add(1, Ordering::Relaxed);
+                SingleResult::Committed(reads)
+            }
+        };
+        self.stats.write_fastpath.fetch_add(1, Ordering::Relaxed);
+        Some(result)
     }
 
     /// Phase one of the two-phase protocol: lock, compare, stage writes.

@@ -158,8 +158,9 @@ impl Minitransaction {
     pub fn wire_bytes(&self) -> (u64, u64) {
         // Frame header (8) + request tag + txid + policy + shard items.
         let out = 8 + 1 + 8 + self.policy_wire_bytes() + self.shard_item_wire_bytes();
-        // Frame header + response tag + committed read pairs.
-        let back = 8 + 1 + self.reply_pairs_wire_bytes();
+        // Frame header + response tag + committed read pairs + the v3
+        // node-flags trailer byte every reply carries.
+        let back = 8 + 1 + self.reply_pairs_wire_bytes() + 1;
         (out, back)
     }
 
@@ -240,7 +241,8 @@ impl Shard<'_> {
                 .sum::<u64>();
         // Frame header + tag + txid + policy + participant list + shard.
         let out = 8 + 1 + 8 + policy_len + 4 + 2 * participants as u64 + items;
-        // Frame header + tag + vote variant + pair count + read pairs.
+        // Frame header + tag + vote variant + pair count + read pairs +
+        // the v3 node-flags trailer byte.
         let back = 8
             + 1
             + 1
@@ -249,7 +251,8 @@ impl Shard<'_> {
                 .reads
                 .iter()
                 .map(|(_, r)| 8 + r.range.len as u64)
-                .sum::<u64>();
+                .sum::<u64>()
+            + 1;
         (out, back)
     }
 

@@ -53,6 +53,10 @@ pub struct NodeStats {
     pub read_fastpath: u64,
     /// Fast-path attempts that fell back to the locked path.
     pub read_fastpath_misses: u64,
+    /// Lock-free single-phase write fast-path hits.
+    pub write_fastpath: u64,
+    /// Write fast-path attempts that fell back to the locked path.
+    pub write_fastpath_misses: u64,
     /// Currently prepared (in-doubt) transactions.
     pub in_doubt: u64,
     /// Redo records appended.
@@ -148,6 +152,12 @@ pub trait NodeRpc: Send + Sync {
 
     /// Sets / clears the retiring fence.
     fn set_retiring(&self, retiring: bool);
+
+    /// Drops any client-side cache of this node's crashed/joining/retiring
+    /// flags, forcing the next check to re-learn them (membership-gate
+    /// transitions call this). In-process handles read the live atomics
+    /// directly and have nothing to drop.
+    fn invalidate_cached_flags(&self) {}
 
     /// Injects a crash (volatile state dropped).
     fn crash(&self);
@@ -301,6 +311,8 @@ impl NodeRpc for MemNode {
             busy: s.busy.load(Ordering::Relaxed),
             read_fastpath: s.read_fastpath.load(Ordering::Relaxed),
             read_fastpath_misses: s.read_fastpath_misses.load(Ordering::Relaxed),
+            write_fastpath: s.write_fastpath.load(Ordering::Relaxed),
+            write_fastpath_misses: s.write_fastpath_misses.load(Ordering::Relaxed),
             in_doubt: self.in_doubt() as u64,
             wal_appends,
             wal_bytes,

@@ -21,8 +21,8 @@ use crate::memnode::MemNode;
 use crate::minitx::{CompareItem, ReadItem, Shard, WriteItem};
 use crate::rpc::NodeRpc;
 use crate::wire::{
-    encode_response_payload, read_frame, seal_traced_reply, Endpoint, Listener, NodeFlags, Request,
-    Response, Stream, WireShard, PROTO_VERSION,
+    encode_response_payload, read_frame, seal_reply, seal_traced_reply, Endpoint, Listener,
+    NodeFlags, Request, Response, Stream, WireShard, PROTO_VERSION,
 };
 use minuet_obs::{note, span, with_server_trace, SpanKind, Trace};
 use parking_lot::{Condvar, Mutex};
@@ -218,7 +218,11 @@ fn serve_conn(mut conn: Stream, shared: Arc<Shared>) {
         let req = match Request::decode(&payload) {
             Ok(r) => r,
             Err(e) => {
-                let _ = write_response(&mut conn, &Response::Error(format!("bad request: {e}")));
+                let _ = write_response(
+                    &mut conn,
+                    &Response::Error(format!("bad request: {e}")),
+                    node_flags(&shared.node),
+                );
                 break;
             }
         };
@@ -252,11 +256,13 @@ fn serve_conn(mut conn: Stream, shared: Arc<Shared>) {
                 spans: spans.clone(),
                 dropped: 0,
             });
-            seal_traced_reply(&spans, &inner_payload)
+            // Flags are sampled *after* dispatch so a request that mutates
+            // them (SetJoining, Crash, …) reports its own effect.
+            seal_traced_reply(&spans, &inner_payload, node_flags(&shared.node))
         } else {
-            catch_unwind(AssertUnwindSafe(|| dispatch(&shared.node, req)))
-                .unwrap_or_else(|_| Response::Error("request handler panicked".to_string()))
-                .encode()
+            let resp = catch_unwind(AssertUnwindSafe(|| dispatch(&shared.node, req)))
+                .unwrap_or_else(|_| Response::Error("request handler panicked".to_string()));
+            seal_reply(&resp, node_flags(&shared.node))
         };
         if write_frame(&mut conn, &frame).is_err() {
             break;
@@ -275,8 +281,17 @@ fn serve_conn(mut conn: Stream, shared: Arc<Shared>) {
     shared.wait_cv.notify_all();
 }
 
-fn write_response(conn: &mut Stream, resp: &Response) -> io::Result<()> {
-    write_frame(conn, &resp.encode())
+fn write_response(conn: &mut Stream, resp: &Response, flags: NodeFlags) -> io::Result<()> {
+    write_frame(conn, &seal_reply(resp, flags))
+}
+
+/// The node's current flag byte, piggybacked on every reply frame (v3).
+fn node_flags(node: &MemNode) -> NodeFlags {
+    NodeFlags {
+        crashed: node.is_crashed(),
+        joining: node.is_joining(),
+        retiring: node.is_retiring(),
+    }
 }
 
 fn write_frame(conn: &mut Stream, frame: &[u8]) -> io::Result<()> {
@@ -347,12 +362,12 @@ impl ShardHolder {
     }
 }
 
-fn check_extent(node: &MemNode, extent: u64) -> Result<(), Response> {
+fn check_extent(node: &MemNode, extent: u64) -> Result<(), String> {
     if extent > node.capacity() {
-        return Err(Response::Error(format!(
+        return Err(format!(
             "request extent {extent} exceeds capacity {}",
             node.capacity()
-        )));
+        ));
     }
     Ok(())
 }
@@ -377,7 +392,7 @@ fn dispatch(node: &Arc<MemNode>, req: Request) -> Response {
             shard,
         } => {
             if let Err(e) = check_extent(node, shard.max_extent()) {
-                return e;
+                return Response::Error(e);
             }
             let holder = ShardHolder::from_wire(node.id, &shard);
             match node.exec_single(txid, &holder.shard(), policy) {
@@ -388,7 +403,7 @@ fn dispatch(node: &Arc<MemNode>, req: Request) -> Response {
         Request::ExecBatch { items } => {
             for it in &items {
                 if let Err(e) = check_extent(node, it.shard.max_extent()) {
-                    return e;
+                    return Response::Error(e);
                 }
             }
             let members = items
@@ -410,7 +425,7 @@ fn dispatch(node: &Arc<MemNode>, req: Request) -> Response {
             shard,
         } => {
             if let Err(e) = check_extent(node, shard.max_extent()) {
-                return e;
+                return Response::Error(e);
             }
             let holder = ShardHolder::from_wire(node.id, &shard);
             let participants: Vec<MemNodeId> = participants.into_iter().map(MemNodeId).collect();
@@ -429,7 +444,7 @@ fn dispatch(node: &Arc<MemNode>, req: Request) -> Response {
         },
         Request::RawRead { off, len } => {
             if let Err(e) = check_extent(node, off.saturating_add(len as u64)) {
-                return e;
+                return Response::Error(e);
             }
             match node.raw_read(off, len) {
                 Ok(b) => Response::Data(b),
@@ -438,7 +453,7 @@ fn dispatch(node: &Arc<MemNode>, req: Request) -> Response {
         }
         Request::RawWrite { off, data } => {
             if let Err(e) = check_extent(node, off.saturating_add(data.len() as u64)) {
-                return e;
+                return Response::Error(e);
             }
             match node.raw_write(off, &data) {
                 Ok(()) => Response::Unit,
@@ -466,11 +481,7 @@ fn dispatch(node: &Arc<MemNode>, req: Request) -> Response {
             Err(e) => Response::Error(format!("checkpoint failed: {e}")),
         },
         Request::Stats => Response::Stats(NodeRpc::node_stats(node.as_ref())),
-        Request::Flags => Response::Flags(NodeFlags {
-            crashed: node.is_crashed(),
-            joining: node.is_joining(),
-            retiring: node.is_retiring(),
-        }),
+        Request::Flags => Response::Flags(node_flags(node)),
         Request::Meta => Response::Meta(node.node_meta()),
         Request::MirrorConsistent { probe } => Response::Bool(node.mirror_consistent(&probe)),
         Request::Shutdown => Response::Unit,

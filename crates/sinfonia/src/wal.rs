@@ -41,8 +41,10 @@ pub enum SyncMode {
     /// A background flusher thread fsyncs every few milliseconds. Commits
     /// are acknowledged before they are durable (bounded-loss window).
     Async,
-    /// fsync before acknowledging every forced record. Maximum durability,
-    /// one fsync per logged commit/prepare.
+    /// fsync before acknowledging every forced record. Maximum durability;
+    /// concurrent committers still share fsyncs through the same
+    /// leader/follower pipeline as [`SyncMode::GroupCommit`], just without
+    /// the batching window — the fsync's own duration is the window.
     Sync,
     /// Group commit: the first waiter becomes the leader, sleeps `window`
     /// to let concurrent commits pile up, then issues one fsync covering
@@ -418,8 +420,9 @@ pub struct WalStats {
     pub fsyncs: Counter,
     /// Wall-clock latency of each fsync, in nanoseconds.
     pub fsync_ns: HistHandle,
-    /// Records covered per group-commit fsync (recorded only in
-    /// [`SyncMode::GroupCommit`]).
+    /// Records covered per commit-path fsync (recorded by the
+    /// leader/follower pipeline in [`SyncMode::Sync`] and
+    /// [`SyncMode::GroupCommit`]; 1 means no sharing happened).
     pub group_batch: HistHandle,
     /// Appends counter value at the last group-commit fsync (internal
     /// bookkeeping for `group_batch`).
@@ -582,58 +585,61 @@ impl Wal {
 
     /// Blocks until logical offset `upto` is durable per the sync mode.
     /// [`SyncMode::None`] and [`SyncMode::Async`] return immediately.
+    ///
+    /// [`SyncMode::Sync`] and [`SyncMode::GroupCommit`] share one
+    /// leader/follower pipeline: the first waiter becomes the leader and
+    /// issues the fsync; everyone who appended before that fsync rides it
+    /// and returns without issuing their own. The only difference is the
+    /// batching window — GroupCommit sleeps `window` to let the group
+    /// build, Sync goes straight to the fsync and lets the fsync's own
+    /// duration collect concurrent committers (an idle log still pays
+    /// exactly one fsync per commit, so latency is unchanged).
     pub fn wait_durable(&self, upto: u64) {
-        match self.mode {
-            SyncMode::None | SyncMode::Async => {}
-            SyncMode::Sync => {
-                if self.sync.synced.load(Ordering::Acquire) >= upto {
-                    return;
+        let window = match self.mode {
+            SyncMode::None | SyncMode::Async => return,
+            SyncMode::Sync => Duration::ZERO,
+            SyncMode::GroupCommit { window } => window,
+        };
+        let mut g = self.group.lock();
+        loop {
+            if self.sync.synced.load(Ordering::Acquire) >= upto {
+                return;
+            }
+            if !g.leader_active {
+                g.leader_active = true;
+                drop(g);
+                if !window.is_zero() {
+                    std::thread::sleep(window);
                 }
-                let tail = self.sync.tail.load(Ordering::Acquire);
-                let f = self.sync.file.lock();
-                if self.sync.synced.load(Ordering::Acquire) < upto {
-                    let t0 = Instant::now();
-                    f.sync_data().expect("wal fsync failed");
-                    self.stats.record_fsync(t0.elapsed());
+                let t0 = Instant::now();
+                let (tail, synced) = {
+                    let f = self.sync.file.lock();
+                    // Snapshot the tail *inside* the file lock, right
+                    // before the fsync: any append whose tail store is
+                    // visible here has its bytes in the page cache, so
+                    // the sync below covers it and it must be credited.
+                    // (Sampling before the lock under-credits appends
+                    // that land while the leader waits for the lock and
+                    // forces them into a redundant follow-up fsync.)
+                    let tail = self.sync.tail.load(Ordering::Acquire);
+                    (tail, f.sync_data())
+                };
+                if synced.is_ok() {
+                    self.stats.record_group_fsync(t0.elapsed());
                     self.sync.synced.fetch_max(tail, Ordering::AcqRel);
                 }
-            }
-            SyncMode::GroupCommit { window } => {
-                let mut g = self.group.lock();
-                loop {
-                    if self.sync.synced.load(Ordering::Acquire) >= upto {
-                        return;
-                    }
-                    if !g.leader_active {
-                        g.leader_active = true;
-                        drop(g);
-                        // Leader: let the group build up, then one fsync
-                        // covers every record appended before it.
-                        std::thread::sleep(window);
-                        let tail = self.sync.tail.load(Ordering::Acquire);
-                        let t0 = Instant::now();
-                        let synced = {
-                            let f = self.sync.file.lock();
-                            f.sync_data()
-                        };
-                        if synced.is_ok() {
-                            self.stats.record_group_fsync(t0.elapsed());
-                            self.sync.synced.fetch_max(tail, Ordering::AcqRel);
-                        }
-                        // Hand leadership back (and wake the group) even on
-                        // failure, so waiters surface the error themselves
-                        // instead of hanging on a dead leader.
-                        g = self.group.lock();
-                        g.leader_active = false;
-                        self.group_cv.notify_all();
-                        if let Err(e) = synced {
-                            drop(g);
-                            panic!("wal fsync failed: {e}");
-                        }
-                    } else {
-                        self.group_cv.wait(&mut g);
-                    }
+                // Hand leadership back (and wake the group) even on
+                // failure, so waiters surface the error themselves
+                // instead of hanging on a dead leader.
+                g = self.group.lock();
+                g.leader_active = false;
+                self.group_cv.notify_all();
+                if let Err(e) = synced {
+                    drop(g);
+                    panic!("wal fsync failed: {e}");
                 }
+            } else {
+                self.group_cv.wait(&mut g);
             }
         }
     }
@@ -928,5 +934,42 @@ mod tests {
         let (appends, _, fsyncs) = wal.stats.snapshot();
         assert_eq!(appends, 8);
         assert!((1..8).contains(&fsyncs), "fsyncs {fsyncs} not batched");
+    }
+
+    /// Sync mode shares fsyncs too: when every append lands before any
+    /// waiter reaches `wait_durable` (forced by the barrier), the first
+    /// leader's fsync covers all of them and the rest ride it. Allows 2
+    /// for the race where a thread claims leadership between the first
+    /// leader's tail snapshot and its credit.
+    #[test]
+    fn sync_mode_shares_fsyncs_under_concurrency() {
+        let path = temp("sync-share");
+        let wal = Arc::new(Wal::open(&path, SyncMode::Sync).unwrap());
+        let writes = vec![(0u64, Bytes::from(vec![1u8; 8]))];
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let wal = wal.clone();
+                let writes = writes.clone();
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let end = {
+                        let mut a = wal.lock();
+                        a.append(&Record::Apply {
+                            txid: t,
+                            writes: &writes,
+                        })
+                    };
+                    barrier.wait();
+                    wal.wait_durable(end);
+                });
+            }
+        });
+        let (appends, _, fsyncs) = wal.stats.snapshot();
+        assert_eq!(appends, 8);
+        assert!(
+            (1..=2).contains(&fsyncs),
+            "fsyncs {fsyncs}: sync-mode committers did not share"
+        );
     }
 }

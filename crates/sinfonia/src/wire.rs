@@ -34,8 +34,11 @@ use std::time::Duration;
 /// Protocol version carried in `Hello`; bumped on incompatible changes.
 /// Version 2 added the `Traced` request envelope (optional trace context,
 /// answered by a `TracedReply` carrying server-side spans) and the
-/// `ObsSnapshot` / `TraceDump` admin requests.
-pub const PROTO_VERSION: u16 = 2;
+/// `ObsSnapshot` / `TraceDump` admin requests. Version 3 appends a
+/// one-byte [`NodeFlags`] trailer to **every** reply frame, so clients
+/// learn crashed/joining/retiring state as a side effect of any RPC and
+/// never need a dedicated `Flags` round trip on the hot path.
+pub const PROTO_VERSION: u16 = 3;
 
 /// Largest admissible frame payload. Frames claiming more are rejected
 /// before any allocation, bounding what a corrupt length prefix can cost.
@@ -679,43 +682,83 @@ pub enum Request {
     },
 }
 
-mod tag {
+/// Request/response tag bytes. Public so tests and benches can identify
+/// RPC kinds in traces (client [`minuet_obs::SpanKind::Rtt`] spans carry
+/// the request tag).
+pub mod tag {
+    /// Version/feature handshake.
     pub const HELLO: u8 = 0x01;
+    /// One-phase single-memnode minitransaction.
     pub const EXEC_SINGLE: u8 = 0x02;
+    /// Batch of independent single-memnode minitransactions.
     pub const EXEC_BATCH: u8 = 0x03;
+    /// 2PC phase one (vote).
     pub const PREPARE: u8 = 0x04;
+    /// 2PC phase two (commit).
     pub const COMMIT: u8 = 0x05;
+    /// 2PC phase two (abort).
     pub const ABORT: u8 = 0x06;
+    /// Raw object read (recovery / admin).
     pub const RAW_READ: u8 = 0x07;
+    /// Raw object write (recovery / admin).
     pub const RAW_WRITE: u8 = 0x08;
+    /// Set/clear the joining membership flag.
     pub const SET_JOINING: u8 = 0x09;
+    /// Set/clear the retiring membership flag.
     pub const SET_RETIRING: u8 = 0x0A;
+    /// Fault injection: drop state, refuse service.
     pub const CRASH: u8 = 0x0B;
+    /// Fault injection: recover from the WAL.
     pub const RECOVER: u8 = 0x0C;
+    /// Checkpoint the WAL + space.
     pub const CHECKPOINT: u8 = 0x0D;
+    /// Memnode counters snapshot.
     pub const STATS: u8 = 0x0E;
+    /// Explicit membership-flag probe (liveness checks only — flags
+    /// normally ride every reply's trailer byte).
     pub const FLAGS: u8 = 0x0F;
+    /// Space geometry / capacity metadata.
     pub const META: u8 = 0x10;
+    /// Backup mirror of the full space.
     pub const MIRROR: u8 = 0x11;
+    /// Clean daemon shutdown.
     pub const SHUTDOWN: u8 = 0x12;
+    /// Envelope: inner request + server-side trace in the reply.
     pub const TRACED: u8 = 0x13;
+    /// Observability registry snapshot.
     pub const OBS_SNAPSHOT: u8 = 0x14;
+    /// Drain the recent/slow trace ring.
     pub const TRACE_DUMP: u8 = 0x15;
 
+    /// Reply to [`HELLO`].
     pub const R_HELLO: u8 = 0x81;
+    /// Reply to [`EXEC_SINGLE`].
     pub const R_SINGLE: u8 = 0x82;
+    /// Reply to [`EXEC_BATCH`].
     pub const R_BATCH: u8 = 0x83;
+    /// Reply to [`PREPARE`].
     pub const R_VOTE: u8 = 0x84;
+    /// Empty acknowledgement.
     pub const R_UNIT: u8 = 0x85;
+    /// Byte-payload reply.
     pub const R_DATA: u8 = 0x86;
+    /// Boolean reply.
     pub const R_BOOL: u8 = 0x87;
+    /// Reply to [`STATS`].
     pub const R_STATS: u8 = 0x88;
+    /// Reply to [`FLAGS`].
     pub const R_FLAGS: u8 = 0x89;
+    /// Reply to [`META`].
     pub const R_META: u8 = 0x8A;
+    /// Memnode up but refusing service (crashed / draining).
     pub const R_UNAVAILABLE: u8 = 0x8B;
+    /// Typed error reply.
     pub const R_ERROR: u8 = 0x8C;
+    /// Reply envelope carrying the server-side trace.
     pub const R_TRACED: u8 = 0x8D;
+    /// Reply to [`OBS_SNAPSHOT`].
     pub const R_OBS: u8 = 0x8E;
+    /// Reply to [`TRACE_DUMP`].
     pub const R_TRACES: u8 = 0x8F;
 }
 
@@ -979,7 +1022,9 @@ impl Request {
 // Responses
 // ---------------------------------------------------------------------------
 
-/// Crashed/joining/retiring state of a memnode, fetched in one RPC.
+/// Crashed/joining/retiring state of a memnode, fetched in one RPC or —
+/// since protocol v3 — piggybacked as a one-byte trailer on every reply
+/// frame (see [`NodeFlags::to_byte`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NodeFlags {
     /// Node is crashed (rejects every data operation).
@@ -988,6 +1033,38 @@ pub struct NodeFlags {
     pub joining: bool,
     /// Drain in progress (no new allocations).
     pub retiring: bool,
+}
+
+impl NodeFlags {
+    /// Packs the flags into the reply-trailer byte: bit 0 crashed, bit 1
+    /// joining, bit 2 retiring.
+    pub fn to_byte(self) -> u8 {
+        self.crashed as u8 | (self.joining as u8) << 1 | (self.retiring as u8) << 2
+    }
+
+    /// Unpacks a reply-trailer byte; rejects undefined bits so a version
+    /// skew (or corruption the CRC missed) fails loudly.
+    pub fn from_byte(b: u8) -> Result<NodeFlags, WireError> {
+        if b & !0x07 != 0 {
+            return Err(WireError::BadValue("flags trailer"));
+        }
+        Ok(NodeFlags {
+            crashed: b & 1 != 0,
+            joining: b & 2 != 0,
+            retiring: b & 4 != 0,
+        })
+    }
+}
+
+/// Splits a v3 reply frame payload into the response body and the
+/// piggybacked [`NodeFlags`] trailer byte every reply carries.
+pub fn split_reply_flags(payload: &Bytes) -> Result<(Bytes, NodeFlags), WireError> {
+    let n = payload.len();
+    if n == 0 {
+        return Err(WireError::Truncated);
+    }
+    let flags = NodeFlags::from_byte(payload[n - 1])?;
+    Ok((payload.slice(0, n - 1), flags))
 }
 
 /// A server→client message. `Unavailable` mirrors the in-process
@@ -1125,8 +1202,9 @@ pub fn encode_response_payload(resp: &Response) -> Vec<u8> {
 }
 
 /// Seals a complete [`Response::TracedReply`] frame from server-side spans
-/// plus an inner payload already produced by [`encode_response_payload`].
-pub fn seal_traced_reply(spans: &[SpanRecord], inner_payload: &[u8]) -> Vec<u8> {
+/// plus an inner payload already produced by [`encode_response_payload`],
+/// ending with the v3 [`NodeFlags`] trailer byte.
+pub fn seal_traced_reply(spans: &[SpanRecord], inner_payload: &[u8], flags: NodeFlags) -> Vec<u8> {
     seal(|buf| {
         buf.push(tag::R_TRACED);
         put_u32(buf, spans.len() as u32);
@@ -1134,6 +1212,17 @@ pub fn seal_traced_reply(spans: &[SpanRecord], inner_payload: &[u8]) -> Vec<u8> 
             s.encode_into(buf);
         }
         buf.extend_from_slice(inner_payload);
+        buf.push(flags.to_byte());
+    })
+}
+
+/// Seals a complete reply frame: the encoded response followed by the v3
+/// [`NodeFlags`] trailer byte. This is what the server writes for every
+/// untraced request (traced ones go through [`seal_traced_reply`]).
+pub fn seal_reply(resp: &Response, flags: NodeFlags) -> Vec<u8> {
+    seal(|buf| {
+        resp.encode_payload(buf);
+        buf.push(flags.to_byte());
     })
 }
 
@@ -1208,6 +1297,8 @@ impl Response {
                     s.busy,
                     s.read_fastpath,
                     s.read_fastpath_misses,
+                    s.write_fastpath,
+                    s.write_fastpath_misses,
                     s.in_doubt,
                     s.wal_appends,
                     s.wal_bytes,
@@ -1315,7 +1406,7 @@ impl Response {
             tag::R_DATA => Response::Data(c.bytes()?),
             tag::R_BOOL => Response::Bool(c.bool()?),
             tag::R_STATS => {
-                let mut v = [0u64; 13];
+                let mut v = [0u64; 15];
                 for slot in v.iter_mut() {
                     *slot = c.u64()?;
                 }
@@ -1327,12 +1418,14 @@ impl Response {
                     busy: v[4],
                     read_fastpath: v[5],
                     read_fastpath_misses: v[6],
-                    in_doubt: v[7],
-                    wal_appends: v[8],
-                    wal_bytes: v[9],
-                    wal_fsyncs: v[10],
-                    checkpoints: v[11],
-                    wal_retained_bytes: v[12],
+                    write_fastpath: v[7],
+                    write_fastpath_misses: v[8],
+                    in_doubt: v[9],
+                    wal_appends: v[10],
+                    wal_bytes: v[11],
+                    wal_fsyncs: v[12],
+                    checkpoints: v[13],
+                    wal_retained_bytes: v[14],
                     durable: c.bool()?,
                 })
             }
@@ -1587,12 +1680,16 @@ mod tests {
         };
         assert_eq!(req.encode().len() as u64, model_out, "exec_single request");
 
-        // Committed reply carrying both reads.
+        // Committed reply carrying both reads (+ the v3 flags trailer).
         let resp = Response::Single(SingleResult::Committed(vec![
             (0, Bytes::from(vec![0u8; 16])),
             (1, Bytes::from(vec![0u8; 5])),
         ]));
-        assert_eq!(resp.encode().len() as u64, model_in, "exec_single reply");
+        assert_eq!(
+            seal_reply(&resp, NodeFlags::default()).len() as u64,
+            model_in,
+            "exec_single reply"
+        );
 
         // Blocking policy adds the u64 budget.
         let mb = m.clone().blocking(Duration::from_millis(1));
@@ -1622,16 +1719,21 @@ mod tests {
             (0, Bytes::from(vec![0u8; 16])),
             (1, Bytes::from(vec![0u8; 5])),
         ]));
-        assert_eq!(resp.encode().len() as u64, prep_in, "vote reply");
+        assert_eq!(
+            seal_reply(&resp, NodeFlags::default()).len() as u64,
+            prep_in,
+            "vote reply"
+        );
 
-        // Decision round trips: 17 bytes out, 9 back (see exec.rs).
+        // Decision round trips: 17 bytes out, 10 back (see exec.rs).
         assert_eq!(Request::Commit { txid: 7 }.encode().len(), 17);
         assert_eq!(Request::Abort { txid: 7 }.encode().len(), 17);
-        assert_eq!(Response::Unit.encode().len(), 9);
+        assert_eq!(seal_reply(&Response::Unit, NodeFlags::default()).len(), 10);
 
-        // Batched execution: 13 bytes of envelope + exact member shares.
+        // Batched execution: 13 bytes of request envelope + exact member
+        // shares; the reply envelope is 14 (trailer included).
         let members = [m.clone(), m.clone()];
-        let (batch_out, batch_in) = members.iter().fold((13u64, 13u64), |(o, b), mm| {
+        let (batch_out, batch_in) = members.iter().fold((13u64, 14u64), |(o, b), mm| {
             let (wo, wb) = mm.batch_member_wire_bytes();
             (o + wo, b + wb)
         });
@@ -1659,7 +1761,37 @@ mod tests {
                 (1, Bytes::from(vec![0u8; 5])),
             ])),
         ]);
-        assert_eq!(resp.encode().len() as u64, batch_in, "exec_batch reply");
+        assert_eq!(
+            seal_reply(&resp, NodeFlags::default()).len() as u64,
+            batch_in,
+            "exec_batch reply"
+        );
+    }
+
+    #[test]
+    fn flags_trailer_roundtrips_and_rejects_junk() {
+        for flags in [
+            NodeFlags::default(),
+            NodeFlags {
+                crashed: true,
+                joining: false,
+                retiring: true,
+            },
+            NodeFlags {
+                crashed: false,
+                joining: true,
+                retiring: false,
+            },
+        ] {
+            assert_eq!(NodeFlags::from_byte(flags.to_byte()).unwrap(), flags);
+            let frame = seal_reply(&Response::Unit, flags);
+            let (payload, _) = decode_frame(&frame).unwrap();
+            let (body, got) = split_reply_flags(&payload).unwrap();
+            assert_eq!(got, flags);
+            assert_eq!(Response::decode(&body).unwrap(), Response::Unit);
+        }
+        assert!(NodeFlags::from_byte(0x08).is_err());
+        assert!(split_reply_flags(&Bytes::from(vec![])).is_err());
     }
 
     #[test]

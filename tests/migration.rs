@@ -15,6 +15,8 @@ use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+mod common;
+
 type Model = BTreeMap<Vec<u8>, Vec<u8>>;
 type Scanned = Vec<(u64, Vec<(Vec<u8>, Vec<u8>)>)>;
 
@@ -135,7 +137,11 @@ fn rebalance_stress_matches_model() {
 fn drain_empties_memnode_under_concurrent_load() {
     let mut cfg = TreeConfig::small_nodes(8);
     cfg.max_memnodes = 3;
-    let mc = MinuetCluster::new(3, 1, cfg);
+    // Transport-selectable: under MINUET_TRANSPORT=wire the drain's
+    // retiring flip travels as a `SetRetiring` RPC and every client
+    // learns it through the piggybacked flag cache, so this exercises
+    // cache invalidation against a live membership change.
+    let mc = common::cluster(3, 1, cfg);
     {
         let mut p = mc.proxy();
         for i in 0..400u64 {

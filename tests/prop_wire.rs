@@ -114,6 +114,8 @@ fn arb_stats() -> impl Strategy<Value = NodeStats> {
                 busy: e as u64,
                 read_fastpath: f as u64,
                 read_fastpath_misses: g as u64,
+                write_fastpath: (c ^ j) as u64,
+                write_fastpath_misses: (d ^ k) as u64,
                 in_doubt: h as u64,
                 wal_appends: i as u64,
                 wal_bytes: j as u64,

@@ -466,3 +466,60 @@ fn request_timeout_backoff_cap_and_no_fd_leak() {
         "backoff must cap, not grow unboundedly"
     );
 }
+
+/// Regression: membership flags survive the daemon's death. A daemon
+/// that set its joining fence and then died must still read as joining
+/// from the client's piggybacked-flags cache — a network failure must
+/// not flip a half-seeded node to "ready" and let commits bind
+/// replicated compares to it. `is_crashed`, which asks "can I reach it
+/// right now?", must flip to true instead of trusting the stale cache.
+/// A node never reached at all conservatively holds both fences.
+#[test]
+fn killed_daemon_falls_back_to_cached_membership_flags() {
+    let capacity = 1u64 << 20;
+    let node = Arc::new(MemNode::new(MemNodeId(0), capacity));
+    let ep = Endpoint::Unix(common::socket_path("flag-cache"));
+    let server = MemNodeServer::spawn(node, &ep, ServerOptions::default()).unwrap();
+    let wire = WireConfig {
+        request_timeout: Duration::from_millis(100),
+        connect_timeout: Duration::from_millis(200),
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(20),
+        ..WireConfig::default()
+    };
+    let transport = Arc::new(Transport::new_wire(Duration::from_micros(100), None));
+    let remote = RemoteNode::new(MemNodeId(0), ep, wire.clone(), transport.clone());
+
+    remote.set_joining(true);
+    // The SetJoining reply's flag trailer already refreshed the cache:
+    // these answer from memory against the live server.
+    assert!(remote.is_joining());
+    assert!(!remote.is_retiring());
+    assert!(!remote.is_crashed());
+
+    server.kill();
+    drop(server);
+
+    // One failed RPC marks the cache stale (epoch bump)...
+    assert!(remote.raw_read(0, 8).is_err());
+    // ...after which reachability reads as crashed, while the membership
+    // fences keep answering from the last known flags.
+    assert!(remote.is_crashed(), "unreachable must read as crashed");
+    assert!(remote.is_joining(), "join fence lost to a network failure");
+    assert!(
+        !remote.is_retiring(),
+        "stale fallback invented a retire fence"
+    );
+
+    // Never-reached node: nothing vouches for its state, so both fences
+    // hold and it reads as crashed.
+    let ghost = RemoteNode::new(
+        MemNodeId(1),
+        Endpoint::Unix(common::socket_path("flag-ghost")),
+        wire,
+        transport,
+    );
+    assert!(ghost.is_crashed());
+    assert!(ghost.is_joining());
+    assert!(ghost.is_retiring());
+}

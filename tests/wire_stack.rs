@@ -287,3 +287,70 @@ fn raw_reads_agree_between_node_handles() {
     let b2 = node.raw_read(0, 4096).unwrap();
     assert_eq!(&*b, &*b2);
 }
+
+/// The per-commit control plane carries no membership probes: node flags
+/// ride every reply's trailer byte, so a traced steady-state workload
+/// must contain zero `Flags` RPCs in any per-op span tree — and a put
+/// whose leaf is cached and still valid must commit in exactly one
+/// round trip (the fused compare+write minitransaction at the leaf's
+/// memnode), with no separate fetch.
+#[test]
+fn per_op_span_trees_have_no_flags_rpcs_and_fused_puts_are_one_rtt() {
+    use minuet::sinfonia::wire::tag;
+
+    let cfg = TreeConfig::small_nodes(8);
+    let capacity = MinuetCluster::required_node_capacity(&cfg, 1, 2);
+    let endpoints = common::spawn_servers(2, capacity);
+    let sin = ClusterConfig::with_memnodes(2)
+        .with_wire_transport(endpoints, WireConfig::default())
+        .with_obs(ObsConfig::sampled(1));
+    let mc = MinuetCluster::with_cluster_config(sin, 1, cfg);
+
+    let mut p = mc.proxy();
+    for i in 0..48u64 {
+        p.put(0, key(i), val(i)).unwrap();
+    }
+    for i in 0..48u64 {
+        assert_eq!(p.get(0, &key(i)).unwrap(), Some(val(i)));
+    }
+    // Steady state: tip and leaf caches are warm. This put must fuse.
+    p.put(0, key(7), val(1007)).unwrap();
+    let fused = mc
+        .sinfonia
+        .obs()
+        .recent(1)
+        .pop()
+        .expect("sampled put left no trace");
+    drop(p);
+
+    let traces = mc.sinfonia.obs().recent(512);
+    assert!(traces.len() > 90, "sampling every op must trace every op");
+    for t in &traces {
+        let flags_rtts = t
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Rtt as u8 && s.tag == tag::FLAGS)
+            .count();
+        assert_eq!(
+            flags_rtts,
+            0,
+            "op 0x{:02x} trace carries a Flags round trip:\n{}",
+            t.op_tag,
+            t.render()
+        );
+    }
+
+    assert_eq!(fused.op_tag, op_tag::PUT);
+    let rtts: Vec<u8> = fused
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Rtt as u8)
+        .map(|s| s.tag)
+        .collect();
+    assert_eq!(
+        rtts,
+        vec![tag::EXEC_SINGLE],
+        "cached-leaf put is not a single fused round trip:\n{}",
+        fused.render()
+    );
+}
