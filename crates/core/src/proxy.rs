@@ -189,6 +189,16 @@ impl Proxy {
         &self.mc
     }
 
+    /// Captures a read-your-writes session token: the per-memnode WAL
+    /// tails of this (primary) cluster right now. Every write this proxy
+    /// has seen committed is at or below the token, so a replication
+    /// follower that has passed it
+    /// ([`MinuetCluster::wait_replicated`](crate::tree::MinuetCluster::wait_replicated))
+    /// serves all of this session's writes.
+    pub fn session_token(&self) -> minuet_sinfonia::repl::ReplToken {
+        self.mc.sinfonia.repl_token()
+    }
+
     /// Invalidation + accounting shared by all retry sites.
     pub(crate) fn note_retry(&mut self, tree: u32, cause: RetryCause) {
         self.stats.record_retry(cause);

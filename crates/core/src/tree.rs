@@ -272,6 +272,64 @@ impl MinuetCluster {
         ))
     }
 
+    /// Opens a Minuet view over an **existing** Sinfonia cluster without
+    /// bootstrapping or replaying anything — the images must already be
+    /// there. This is how a client attaches to a replication *follower*:
+    /// the follower's memnodes receive the primary's WAL stream (including
+    /// the original bootstrap writes), so once replication has caught up
+    /// past the primary's creation point, `attach` reads the catalog back
+    /// exactly like [`MinuetCluster::restart_from_disk`] does after a
+    /// restart. `n_trees` and `cfg.layout` must match the primary, and
+    /// the cluster must have been sized with
+    /// [`MinuetCluster::required_node_capacity`].
+    ///
+    /// Callers gate freshness with session tokens: capture
+    /// [`Proxy::session_token`] on the primary, then
+    /// [`MinuetCluster::wait_replicated`] here before reading.
+    pub fn attach(
+        sinfonia: Arc<SinfoniaCluster>,
+        n_trees: u32,
+        cfg: TreeConfig,
+    ) -> Arc<MinuetCluster> {
+        Self::check_cfg(&cfg, n_trees);
+        let max_mems = Self::layout_mems(&cfg, sinfonia.n());
+        assert!(
+            sinfonia.n() <= max_mems,
+            "attached cluster has {} memnodes but the layout is sized for {max_mems}",
+            sinfonia.n()
+        );
+        let mut trees = Vec::with_capacity(n_trees as usize);
+        for t in 0..n_trees {
+            let layout = Layout::new(t, cfg.layout, max_mems);
+            let shared = TreeShared {
+                layout,
+                vcache: VersionCache::new(),
+                scs: SnapshotService::new(),
+            };
+            reopen_tree(&sinfonia, &shared);
+            trees.push(shared);
+        }
+        Arc::new(MinuetCluster {
+            sinfonia,
+            cfg,
+            trees,
+            max_mems,
+            join_lock: parking_lot::Mutex::new(()),
+            migration: crate::stats::MigrationCounters::default(),
+            proxy_rr: AtomicUsize::new(0),
+        })
+    }
+
+    /// Blocks until this (follower) cluster's replication watermarks have
+    /// all reached `token` (a [`Proxy::session_token`] captured on the
+    /// primary), or the timeout expires; returns whether it caught up.
+    /// This is the read-your-writes gate: after it returns `true`, every
+    /// write the session saw committed on the primary is durably applied
+    /// here.
+    pub fn wait_replicated(&self, token: &[u64], timeout: Duration) -> bool {
+        self.sinfonia.wait_replicated(token, timeout)
+    }
+
     fn check_cfg(cfg: &TreeConfig, n_trees: u32) {
         assert!(n_trees > 0);
         assert!(cfg.beta >= 2, "β must be at least 2");

@@ -1,0 +1,399 @@
+//! Epoch-batched commit: amortizing validation round trips across
+//! concurrent transactions.
+//!
+//! Per-commit OCC pays one validation round trip per transaction — fine in
+//! a datacenter, ruinous over a WAN where the RTT is tens of milliseconds.
+//! An [`EpochService`] instead enrolls every committing transaction in the
+//! current *epoch*; when the epoch closes (it filled up, or its interval
+//! expired), one leader validates and applies **all** of the epoch's
+//! commit minitransactions through a single batched
+//! [`minuet_sinfonia::SinfoniaCluster::exec_many`] pass — one round trip
+//! per participant memnode for the whole epoch, instead of one per
+//! transaction.
+//!
+//! ## The epoch invariant
+//!
+//! Epoch closes are serialized: epoch *E+1*'s batch does not execute until
+//! *E*'s has fully committed. Every transaction in an epoch therefore
+//! validates against a frozen snapshot of the state as of the prior
+//! epoch's close, plus the writes of *earlier members of its own epoch*:
+//! a memnode executes its slice of the batch **in order**, so a later
+//! member's compares observe an earlier member's installed seqnos. Two
+//! same-epoch transactions touching the same object resolve
+//! first-committer-wins, exactly as they would under per-commit OCC —
+//! batching changes *when* validation happens, never *what* it admits.
+//!
+//! Members never gain atomicity from sharing an epoch: each validates and
+//! applies independently, and a validation failure aborts only its own
+//! transaction ([`TxError::Validation`] to that caller).
+
+use crate::txn::{commit_many, CommitInfo, DynTx, StagedCommit, TxError};
+use minuet_obs::{span, SpanKind};
+use minuet_sinfonia::SinfoniaCluster;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Epoch sizing knobs.
+#[derive(Debug, Clone)]
+pub struct EpochConfig {
+    /// Close the epoch as soon as this many commits have enrolled.
+    pub max_batch: usize,
+    /// Close the epoch this long after its first enrollee arrives, even
+    /// if it is not full. Bounds the latency a lone commit pays for
+    /// batching; should be small next to the WAN RTT being amortized.
+    pub interval: Duration,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        EpochConfig {
+            max_batch: 32,
+            interval: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Results of a closed epoch, held until every member has claimed its
+/// slot.
+struct ClosedEpoch {
+    slots: Vec<Option<Result<CommitInfo, TxError>>>,
+    unclaimed: usize,
+}
+
+struct Inner<'c> {
+    /// Number of the currently open epoch; `pending` are its enrollees.
+    epoch: u64,
+    pending: Vec<StagedCommit<'c>>,
+    /// When the open epoch received its first enrollee.
+    opened: Option<Instant>,
+    /// A leader is currently executing a close (epoch closes serialize:
+    /// this is what freezes the prior-epoch snapshot the next epoch
+    /// validates against).
+    closing: bool,
+    done: HashMap<u64, ClosedEpoch>,
+}
+
+/// The coordinator-side epoch service (see module docs). One instance per
+/// commit stream; committing threads share it by reference.
+pub struct EpochService<'c> {
+    cluster: &'c SinfoniaCluster,
+    cfg: EpochConfig,
+    inner: Mutex<Inner<'c>>,
+    cv: Condvar,
+    epochs_closed: minuet_obs::Counter,
+    batch_size: minuet_obs::HistHandle,
+}
+
+impl<'c> EpochService<'c> {
+    /// Creates an epoch service over `cluster`.
+    pub fn new(cluster: &'c SinfoniaCluster, cfg: EpochConfig) -> Self {
+        assert!(cfg.max_batch > 0, "epoch batch must hold at least one");
+        let registry = &cluster.obs().registry;
+        EpochService {
+            cluster,
+            cfg,
+            inner: Mutex::new(Inner {
+                epoch: 1,
+                pending: Vec::new(),
+                opened: None,
+                closing: false,
+                done: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+            epochs_closed: registry.counter("epoch.closed"),
+            batch_size: registry.histogram("epoch.batch_size"),
+        }
+    }
+
+    /// The cluster this service commits against.
+    pub fn cluster(&self) -> &'c SinfoniaCluster {
+        self.cluster
+    }
+
+    /// Number of the currently open epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Commits `tx` through the epoch machinery: stage, enroll in the open
+    /// epoch, block until that epoch's batched validation pass has run,
+    /// return this transaction's own outcome. Equivalent to
+    /// [`DynTx::commit`] in what it admits; cheaper in round trips.
+    pub fn commit(&self, tx: DynTx<'c>) -> Result<CommitInfo, TxError> {
+        self.commit_staged(tx.stage_commit())
+    }
+
+    /// [`EpochService::commit`] for an already-staged commit.
+    pub fn commit_staged(&self, staged: StagedCommit<'c>) -> Result<CommitInfo, TxError> {
+        // No-network members (fully piggy-back-validated read-only
+        // commits, staging failures) resolve immediately: holding them
+        // for an epoch would buy nothing and cost the interval.
+        if staged.is_noop() || staged.staging_err().is_some() {
+            return staged.execute();
+        }
+
+        let mut inner = self.inner.lock();
+        let my_epoch = inner.epoch;
+        let my_idx = inner.pending.len();
+        if my_idx == 0 {
+            inner.opened = Some(Instant::now());
+        }
+        inner.pending.push(staged);
+
+        loop {
+            // My epoch already closed? Claim my slot.
+            if let Some(done) = inner.done.get_mut(&my_epoch) {
+                let result = done.slots[my_idx].take().expect("slot claimed once");
+                done.unclaimed -= 1;
+                if done.unclaimed == 0 {
+                    inner.done.remove(&my_epoch);
+                }
+                return result;
+            }
+
+            // Should *I* close it? Only while it is still the open epoch,
+            // no other leader is mid-close, and it is full or expired.
+            let open = inner.epoch == my_epoch && !inner.closing;
+            let full = open && inner.pending.len() >= self.cfg.max_batch;
+            let expired = open
+                && inner
+                    .opened
+                    .is_some_and(|t| t.elapsed() >= self.cfg.interval);
+            if full || expired {
+                inner = self.close_epoch(inner);
+                continue;
+            }
+
+            let _wait = span(SpanKind::EpochWait);
+            if open {
+                // Wake myself at the interval deadline to lead the close
+                // if nothing else (a full batch, another leader) happens
+                // first.
+                let deadline = inner.opened.expect("open epoch has a start") + self.cfg.interval;
+                self.cv.wait_until(&mut inner, deadline);
+            } else {
+                // A leader is executing (mine or an earlier epoch's); it
+                // notifies when results land.
+                self.cv.wait(&mut inner);
+            }
+        }
+    }
+
+    /// Closes the open epoch as leader: swap its batch out, open the next
+    /// epoch, release the lock, run the advisory epoch marks plus the
+    /// batched validation pass, publish per-member results, wake waiters.
+    /// Takes the lock held; returns with it re-held.
+    fn close_epoch<'g>(
+        &'g self,
+        mut inner: MutexGuard<'g, Inner<'c>>,
+    ) -> MutexGuard<'g, Inner<'c>> {
+        let epoch = inner.epoch;
+        let batch = std::mem::take(&mut inner.pending);
+        inner.epoch += 1;
+        inner.opened = None;
+        inner.closing = true;
+        let n = batch.len();
+
+        // Enrollment continues into the next epoch while this one
+        // validates; only the close itself is serialized (`closing` keeps
+        // other would-be leaders out until the results are published).
+        drop(inner);
+
+        // Advisory group decision: tell every memnode the epoch is
+        // closing before its validation pass lands. One round trip
+        // per memnode per *epoch* — amortized across the batch.
+        for id in self.cluster.memnode_ids() {
+            let _ = self.cluster.node(id).epoch_mark(epoch, true);
+        }
+        let results = commit_many(batch);
+
+        let mut inner = self.inner.lock();
+        let closed = match results {
+            Ok(slots) => ClosedEpoch {
+                slots: slots.into_iter().map(Some).collect(),
+                unclaimed: n,
+            },
+            // A cluster-level failure (memnode past its retry budget)
+            // fails every member identically.
+            Err(e) => ClosedEpoch {
+                slots: (0..n).map(|_| Some(Err(e.clone()))).collect(),
+                unclaimed: n,
+            },
+        };
+        inner.closing = false;
+        inner.done.insert(epoch, closed);
+        self.epochs_closed.inc();
+        self.batch_size.record(n as u64);
+        self.cv.notify_all();
+        inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjRef;
+    use minuet_sinfonia::{with_op_net, ClusterConfig, MemNodeId};
+    use std::sync::Arc;
+
+    fn cluster(n: usize) -> Arc<SinfoniaCluster> {
+        SinfoniaCluster::new(ClusterConfig {
+            memnodes: n,
+            capacity_per_node: 1 << 20,
+            ..Default::default()
+        })
+    }
+
+    fn obj(mem: u16, off: u64) -> ObjRef {
+        ObjRef::new(MemNodeId(mem), off, 64)
+    }
+
+    #[test]
+    fn concurrent_commits_share_an_epoch() {
+        let c = cluster(1);
+        let svc = EpochService::new(
+            &c,
+            EpochConfig {
+                max_batch: 8,
+                interval: Duration::from_millis(50),
+            },
+        );
+        std::thread::scope(|s| {
+            for i in 0..8u64 {
+                let svc = &svc;
+                let c = &c;
+                s.spawn(move || {
+                    let mut tx = DynTx::new(c);
+                    tx.write(obj(0, i * 64), format!("v{i}").into_bytes());
+                    svc.commit(tx).unwrap();
+                });
+            }
+        });
+        for i in 0..8u64 {
+            let mut tx = DynTx::new(&c);
+            assert_eq!(
+                tx.read(obj(0, i * 64)).unwrap(),
+                format!("v{i}").into_bytes()
+            );
+        }
+        // All eight fit one epoch (or a couple, under scheduling jitter) —
+        // never one epoch each.
+        let closed = c.obs().registry.snapshot().counter("epoch.closed").unwrap();
+        assert!(closed <= 4, "{closed} epochs for 8 concurrent commits");
+    }
+
+    #[test]
+    fn lone_commit_closes_on_interval() {
+        let c = cluster(1);
+        let svc = EpochService::new(
+            &c,
+            EpochConfig {
+                max_batch: 64,
+                interval: Duration::from_millis(1),
+            },
+        );
+        let mut tx = DynTx::new(&c);
+        tx.write(obj(0, 0), b"solo".to_vec());
+        let info = svc.commit(tx).unwrap();
+        assert_eq!(info.installed.len(), 1);
+    }
+
+    #[test]
+    fn same_epoch_conflict_is_first_committer_wins() {
+        let c = cluster(1);
+        let o = obj(0, 0);
+        let mut t0 = DynTx::new(&c);
+        t0.write(o, b"init".to_vec());
+        t0.commit().unwrap();
+
+        // Two transactions that read the same version and both write it,
+        // staged *before* enrollment so they demonstrably share an epoch.
+        let mut ta = DynTx::new(&c);
+        let _ = ta.read(o).unwrap();
+        ta.write(o, b"a".to_vec());
+        let mut tb = DynTx::new(&c);
+        let _ = tb.read(o).unwrap();
+        tb.write(o, b"b".to_vec());
+
+        let svc = EpochService::new(
+            &c,
+            EpochConfig {
+                max_batch: 2,
+                interval: Duration::from_secs(5),
+            },
+        );
+        let (sa, sb) = (ta.stage_commit(), tb.stage_commit());
+        let (ra, rb) = std::thread::scope(|s| {
+            let ha = s.spawn(|| svc.commit_staged(sa));
+            let hb = s.spawn(|| svc.commit_staged(sb));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        // Exactly one wins; the loser fails validation inside the batch
+        // (the memnode executes batch members in order, so the second
+        // member's compare sees the first's installed seqno).
+        assert_ne!(ra.is_ok(), rb.is_ok(), "{ra:?} vs {rb:?}");
+        let loser = if ra.is_ok() { rb } else { ra };
+        assert_eq!(loser.unwrap_err(), TxError::Validation);
+    }
+
+    #[test]
+    fn readonly_validated_commits_skip_the_epoch() {
+        let c = cluster(1);
+        let o = obj(0, 0);
+        let mut t0 = DynTx::new(&c);
+        t0.write(o, b"x".to_vec());
+        t0.commit().unwrap();
+
+        let svc = EpochService::new(
+            &c,
+            EpochConfig {
+                max_batch: 64,
+                interval: Duration::from_secs(10), // would hang a batched member
+            },
+        );
+        let mut tx = DynTx::new(&c);
+        let _ = tx.read(o).unwrap();
+        let ((), net) = with_op_net(|| {
+            assert!(svc.commit(tx).unwrap().validation_skipped);
+        });
+        assert_eq!(net.round_trips, 0);
+    }
+
+    #[test]
+    fn epoch_batching_amortizes_validation_round_trips() {
+        let c = cluster(1);
+        let svc = EpochService::new(
+            &c,
+            EpochConfig {
+                max_batch: 8,
+                interval: Duration::from_secs(5),
+            },
+        );
+        // Pre-stage eight independent updates, then commit them through
+        // one epoch and count round trips across the whole pass: one
+        // exec_many batch + one epoch mark, instead of eight commits.
+        let staged: Vec<StagedCommit<'_>> = (0..8u64)
+            .map(|i| {
+                let mut tx = DynTx::new(&c);
+                tx.write(obj(0, i * 64), vec![i as u8]);
+                tx.stage_commit()
+            })
+            .collect();
+        let before = c.transport.stats.snapshot().0;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = staged
+                .into_iter()
+                .map(|sc| s.spawn(|| svc.commit_staged(sc).unwrap()))
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let spent = c.transport.stats.snapshot().0 - before;
+        assert!(
+            spent <= 4,
+            "8 epoch-batched commits cost {spent} round trips"
+        );
+    }
+}

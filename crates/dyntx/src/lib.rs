@@ -34,10 +34,12 @@
 //! ```
 
 pub mod cache;
+pub mod epoch;
 pub mod object;
 pub mod txn;
 
 pub use cache::{CachedObj, ObjectCache};
+pub use epoch::{EpochConfig, EpochService};
 pub use object::{
     decode_obj, decode_obj_shared, encode_obj, ObjRef, ObjVal, ReplRef, SeqNo, OBJ_HEADER,
 };

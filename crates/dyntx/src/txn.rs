@@ -525,6 +525,14 @@ impl<'c> StagedCommit<'c> {
         self.m.is_none() && self.err.is_none()
     }
 
+    /// The error staging itself produced, if any. [`StagedCommit::execute`]
+    /// and [`commit_many`] surface it without touching the network, so
+    /// batching layers can short-circuit such members instead of holding
+    /// them for a batch.
+    pub fn staging_err(&self) -> Option<&TxError> {
+        self.err.as_ref()
+    }
+
     /// The cluster this commit targets.
     pub fn cluster(&self) -> &'c SinfoniaCluster {
         self.cluster

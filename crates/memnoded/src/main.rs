@@ -14,15 +14,25 @@
 //! checkpoint + redo log in the directory (crash restart) or starts fresh,
 //! and logs before applying. Without it, state is purely in memory.
 //!
+//! With `--follow <endpoint>`, the daemon is a **replication follower**:
+//! besides serving its own endpoint, it continuously pulls the WAL stream
+//! of the same-id memnode at the primary endpoint and applies it locally
+//! (wire protocol v4 `ReplFetch`). The pull cursor is this node's durable
+//! replication watermark, so restarting the follower resumes the stream
+//! with no gaps and no duplicate applies.
+//!
 //! The process exits cleanly when a client sends the `Shutdown` RPC.
 
 use minuet_sinfonia::wire::Endpoint;
 use minuet_sinfonia::{
-    DurabilityConfig, MemNode, MemNodeId, MemNodeServer, ServerOptions, SyncMode,
+    DurabilityConfig, MemNode, MemNodeId, MemNodeServer, NodeRpc, RemoteNode, ServerOptions,
+    SyncMode, Transport, WireConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Args {
     listen: Endpoint,
@@ -32,11 +42,13 @@ struct Args {
     sync: SyncMode,
     max_connections: usize,
     slow_us: u64,
+    follow: Option<Endpoint>,
+    follow_poll: Duration,
 }
 
 const USAGE: &str = "memnoded --listen <tcp:HOST:PORT|unix:PATH> [--id N] [--capacity-mb MB]
          [--dir PATH] [--sync none|async|sync|group] [--max-connections N]
-         [--slow-us US]
+         [--slow-us US] [--follow ENDPOINT] [--follow-poll-ms MS]
 
   --listen            endpoint to serve on (required)
   --id                memnode id this daemon serves (default 0)
@@ -46,7 +58,12 @@ const USAGE: &str = "memnoded --listen <tcp:HOST:PORT|unix:PATH> [--id N] [--cap
   --max-connections   bounded accept pool size (default 64)
   --slow-us           slow-op log threshold in microseconds: traced requests
                       slower than this are pinned in the slow-trace ring
-                      (fetch with minuet-stats --slow; default 0 = off)";
+                      (fetch with minuet-stats --slow; default 0 = off)
+  --follow            run as a replication follower of the same-id memnode
+                      served at this endpoint: pull its WAL stream and apply
+                      it locally, resuming from the durable watermark
+  --follow-poll-ms    sleep between pulls when caught up or the primary is
+                      unreachable (default 2)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -57,6 +74,8 @@ fn parse_args() -> Result<Args, String> {
         sync: SyncMode::Async,
         max_connections: ServerOptions::default().max_connections,
         slow_us: 0,
+        follow: None,
+        follow_poll: Duration::from_millis(2),
     };
     let mut listen_set = false;
     let mut it = std::env::args().skip(1);
@@ -106,6 +125,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--slow-us {v}: not a number"))?;
             }
+            "--follow" => {
+                let v = value("--follow")?;
+                args.follow = Some(Endpoint::parse(&v).map_err(|e| format!("--follow {v}: {e}"))?);
+            }
+            "--follow-poll-ms" => {
+                let v = value("--follow-poll-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--follow-poll-ms {v}: not a number"))?;
+                args.follow_poll = Duration::from_millis(ms);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
         }
@@ -149,16 +179,68 @@ fn run(args: Args) -> std::io::Result<()> {
         max_connections: args.max_connections,
         ..Default::default()
     };
-    let server = MemNodeServer::spawn(Arc::new(node), &args.listen, opts)?;
+    let node = Arc::new(node);
+    let follower = args
+        .follow
+        .as_ref()
+        .map(|primary| spawn_follow_loop(&node, id, primary.clone(), args.follow_poll));
+    let server = MemNodeServer::spawn(node, &args.listen, opts)?;
     eprintln!(
-        "memnoded: serving {id} on {} (capacity {} MiB{})",
+        "memnoded: serving {id} on {} (capacity {} MiB{}{})",
         args.listen,
         args.capacity >> 20,
-        if args.dir.is_some() { ", durable" } else { "" }
+        if args.dir.is_some() { ", durable" } else { "" },
+        match &args.follow {
+            Some(p) => format!(", following {p}"),
+            None => String::new(),
+        }
     );
     server.wait();
+    if let Some((stop, handle)) = follower {
+        stop.store(true, Ordering::Release);
+        let _ = handle.join();
+    }
     eprintln!("memnoded: {id} shutting down");
     Ok(())
+}
+
+/// Starts the follower pull loop: ask the local node for its durable
+/// replication watermark, fetch the primary's WAL from there, apply. The
+/// primary being down (or not yet up) is retried forever — the stream
+/// resumes from the watermark whenever it returns.
+fn spawn_follow_loop(
+    node: &Arc<MemNode>,
+    id: MemNodeId,
+    primary: Endpoint,
+    poll: Duration,
+) -> (Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    const MAX_FETCH: u32 = 1 << 20;
+    let stop = Arc::new(AtomicBool::new(false));
+    let node = node.clone();
+    let stop2 = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("memnoded-follow".into())
+        .spawn(move || {
+            let transport = Arc::new(Transport::new_wire(Duration::ZERO, None));
+            let remote = RemoteNode::new(id, primary, WireConfig::default(), transport);
+            while !stop2.load(Ordering::Acquire) {
+                let Ok(status) = node.repl_status() else {
+                    std::thread::sleep(poll);
+                    continue;
+                };
+                let Ok(seg) = remote.wal_fetch(status.watermark, MAX_FETCH) else {
+                    std::thread::sleep(poll);
+                    continue;
+                };
+                if seg.bytes.is_empty() {
+                    std::thread::sleep(poll);
+                    continue;
+                }
+                let _ = node.repl_apply(seg.from, &seg.bytes);
+            }
+        })
+        .expect("spawning follower thread failed");
+    (stop, handle)
 }
 
 fn main() -> ExitCode {

@@ -87,6 +87,12 @@ pub enum SpanKind {
     /// update, and staging the resulting node images (encode + CoW/split
     /// bookkeeping).
     Apply = 16,
+    /// Client-side wait for an epoch-batched commit: from enrollment in
+    /// the epoch to the group decision landing (the amortized-validation
+    /// window).
+    EpochWait = 17,
+    /// Server-side incorporation of a replicated log-stream chunk.
+    ReplApply = 18,
 }
 
 impl SpanKind {
@@ -109,6 +115,8 @@ impl SpanKind {
             14 => SpanKind::SrvEncode,
             15 => SpanKind::Traverse,
             16 => SpanKind::Apply,
+            17 => SpanKind::EpochWait,
+            18 => SpanKind::ReplApply,
             _ => return None,
         })
     }
@@ -132,6 +140,8 @@ impl SpanKind {
             SpanKind::SrvEncode => "srv.encode",
             SpanKind::Traverse => "traverse",
             SpanKind::Apply => "apply",
+            SpanKind::EpochWait => "epoch.wait",
+            SpanKind::ReplApply => "srv.repl_apply",
         }
     }
 }

@@ -22,8 +22,9 @@ use std::fs::File;
 use std::io::{self, Write};
 use std::path::Path;
 
-/// Image file magic ("MNUET" checkpoint, format 1).
-pub const MAGIC: &[u8; 8] = b"MNUCKPT1";
+/// Image file magic ("MNUET" checkpoint, format 2 — format 1 plus the
+/// replication watermark).
+pub const MAGIC: &[u8; 8] = b"MNUCKPT2";
 
 /// Everything a checkpoint image restores.
 pub struct Image {
@@ -33,6 +34,11 @@ pub struct Image {
     pub staged: HashMap<u64, PreparedTx>,
     /// Two-phase transactions this node has committed.
     pub decided: HashSet<u64>,
+    /// Replication watermark at the freeze point (largest source-log
+    /// offset incorporated from a primary; zero on non-followers). It
+    /// must ride the image: checkpointing truncates the `Repl` records it
+    /// would otherwise be recovered from.
+    pub repl_watermark: u64,
 }
 
 /// Serializes an image. Called under the log's appender lock so that the
@@ -41,11 +47,13 @@ pub fn encode_image(
     space: &PagedSpace,
     staged: &HashMap<u64, PreparedTx>,
     decided: &HashSet<u64>,
+    repl_watermark: u64,
 ) -> Vec<u8> {
     let npages = space.resident().count() as u64;
     let mut out = Vec::with_capacity(64 + (npages as usize) * (PAGE_SIZE + 8));
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&space.capacity().to_le_bytes());
+    out.extend_from_slice(&repl_watermark.to_le_bytes());
 
     out.extend_from_slice(&(decided.len() as u64).to_le_bytes());
     let mut decided: Vec<u64> = decided.iter().copied().collect();
@@ -95,6 +103,7 @@ pub fn decode_image(buf: &[u8]) -> Option<Image> {
     let mut c = Cur::new(&body[MAGIC.len()..]);
 
     let capacity = c.u64()?;
+    let repl_watermark = c.u64()?;
     let mut space = PagedSpace::new(capacity);
 
     let ndecided = c.u64()?;
@@ -145,6 +154,7 @@ pub fn decode_image(buf: &[u8]) -> Option<Image> {
         space,
         staged,
         decided,
+        repl_watermark,
     })
 }
 
@@ -205,8 +215,9 @@ mod tests {
         );
         let decided: HashSet<u64> = [7, 9].into_iter().collect();
 
-        let bytes = encode_image(&space, &staged, &decided);
+        let bytes = encode_image(&space, &staged, &decided, 777);
         let img = decode_image(&bytes).expect("decodes");
+        assert_eq!(img.repl_watermark, 777);
         assert_eq!(img.space.capacity(), space.capacity());
         assert_eq!(img.space.read(10, 5).unwrap(), b"hello");
         assert_eq!(
@@ -231,7 +242,7 @@ mod tests {
         let capacity = PAGE_SIZE as u64 + 4096;
         let mut space = PagedSpace::new(capacity);
         space.write(capacity - 8, &[9u8; 8]).unwrap();
-        let bytes = encode_image(&space, &HashMap::new(), &HashSet::new());
+        let bytes = encode_image(&space, &HashMap::new(), &HashSet::new(), 0);
         let img = decode_image(&bytes).expect("partial final page decodes");
         assert_eq!(img.space.capacity(), capacity);
         assert_eq!(img.space.read(capacity - 8, 8).unwrap(), vec![9u8; 8]);
@@ -240,7 +251,7 @@ mod tests {
     #[test]
     fn corrupt_image_rejected() {
         let space = PagedSpace::new(PAGE_SIZE as u64);
-        let mut bytes = encode_image(&space, &HashMap::new(), &HashSet::new());
+        let mut bytes = encode_image(&space, &HashMap::new(), &HashSet::new(), 0);
         assert!(decode_image(&bytes).is_some());
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x5A;
@@ -257,12 +268,12 @@ mod tests {
         assert!(load(&path).unwrap().is_none());
         let mut space = PagedSpace::new(PAGE_SIZE as u64);
         space.write(0, b"x").unwrap();
-        let bytes = encode_image(&space, &HashMap::new(), &HashSet::new());
+        let bytes = encode_image(&space, &HashMap::new(), &HashSet::new(), 0);
         write_atomic(&path, &bytes).unwrap();
         let img = load(&path).unwrap().expect("present");
         assert_eq!(img.space.read(0, 1).unwrap(), b"x");
         // Corrupt image on disk is an error, not "absent".
-        std::fs::write(&path, b"MNUCKPT1garbage").unwrap();
+        std::fs::write(&path, b"MNUCKPT2garbage").unwrap();
         assert!(load(&path).is_err());
     }
 }

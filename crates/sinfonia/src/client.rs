@@ -20,7 +20,7 @@
 use crate::addr::MemNodeId;
 use crate::bytes::Bytes;
 use crate::lock::TxId;
-use crate::memnode::{SingleResult, Unavailable, Vote};
+use crate::memnode::{ReplStatus, SingleResult, Unavailable, Vote};
 use crate::minitx::{LockPolicy, Shard};
 use crate::recovery::NodeMeta;
 use crate::rpc::{BatchItem, NodeRpc, NodeStats};
@@ -664,5 +664,62 @@ impl NodeRpc for RemoteNode {
             Ok(Response::Traces(b)) => minuet_obs::Trace::decode_many(&b).unwrap_or_default(),
             _ => Vec::new(),
         }
+    }
+
+    fn epoch_mark(&self, epoch: u64, closing: bool) -> Result<u64, Unavailable> {
+        let req = Request::EpochMark { epoch, closing };
+        self.expect(self.request(&req), |r| match r {
+            Response::Epoch(prev) => Some(prev),
+            _ => None,
+        })
+    }
+
+    fn wal_fetch(&self, from: u64, max: u32) -> Result<crate::wal::WalSegment, Unavailable> {
+        let req = Request::ReplFetch { from, max };
+        self.expect(self.request(&req), |r| match r {
+            Response::Frames {
+                from,
+                base,
+                tail,
+                bytes,
+            } => Some(crate::wal::WalSegment {
+                from,
+                base,
+                tail,
+                bytes: bytes.to_vec(),
+            }),
+            _ => None,
+        })
+    }
+
+    fn repl_apply(&self, from: u64, frames: &[u8]) -> Result<ReplStatus, Unavailable> {
+        let req = Request::ReplApply {
+            from,
+            frames: Bytes::copy_from_slice(frames),
+        };
+        self.expect(self.request(&req), wire_repl_status)
+    }
+
+    fn repl_status(&self) -> Result<ReplStatus, Unavailable> {
+        self.expect(self.request(&Request::ReplStatus), wire_repl_status)
+    }
+}
+
+fn wire_repl_status(r: Response) -> Option<ReplStatus> {
+    match r {
+        Response::ReplStatus {
+            watermark,
+            applied_txid,
+            tail,
+            applies,
+            dup_skips,
+        } => Some(ReplStatus {
+            watermark,
+            applied_txid,
+            tail,
+            applies,
+            dup_skips,
+        }),
+        _ => None,
     }
 }

@@ -63,6 +63,7 @@ pub mod lock;
 pub mod memnode;
 pub mod minitx;
 pub mod recovery;
+pub mod repl;
 pub mod rpc;
 pub mod server;
 pub mod space;
@@ -75,11 +76,12 @@ pub use bytes::Bytes;
 pub use client::{RemoteNode, WireConfig};
 pub use cluster::{ClusterConfig, DurSnapshot, SinfoniaCluster, TransportMode};
 pub use error::SinfoniaError;
-pub use memnode::{MemNode, Unavailable};
+pub use memnode::{MemNode, ReplStatus, Unavailable};
 pub use minitx::{LockPolicy, Minitransaction, Outcome, ReadResults};
 pub use recovery::Resolution;
+pub use repl::{ReplConfig, ReplToken, Replicator};
 pub use rpc::{BatchItem, NodeHandle, NodeRpc, NodeStats};
 pub use server::{MemNodeServer, ServerOptions};
 pub use transport::{op_counters, op_reset, with_op_net, OpNet, Transport};
-pub use wal::{DurabilityConfig, SyncMode, WalStats};
+pub use wal::{DurabilityConfig, SyncMode, WalSegment, WalStats};
 pub use wire::{Endpoint, WireError};

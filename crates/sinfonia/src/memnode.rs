@@ -19,7 +19,7 @@ use crate::lock::{LockAcquire, LockManager, TxId};
 use crate::minitx::{LockPolicy, Shard};
 use crate::recovery::{self, NodeMeta};
 use crate::space::PagedSpace;
-use crate::wal::{DurabilityConfig, Record, Wal, WalStats};
+use crate::wal::{parse_frames, DurabilityConfig, OwnedRecord, Record, Wal, WalSegment, WalStats};
 use crate::{checkpoint, lock};
 use minuet_obs::{span, Counter, ObsPlane, SpanKind};
 use parking_lot::{Mutex, RwLock};
@@ -54,6 +54,26 @@ pub enum SingleResult {
     BadCompare(Vec<usize>),
     /// Lock contention; caller retries.
     Busy,
+}
+
+/// Replication-side status of a memnode, served by
+/// [`MemNode::repl_status`] (and the matching wire RPC). On a primary the
+/// interesting field is `tail` (where a follower should ship up to); on a
+/// follower it is `watermark` and `applied_txid` (how far it has
+/// incorporated, for resume and read gating).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplStatus {
+    /// Largest source-log offset durably incorporated (follower side).
+    pub watermark: u64,
+    /// Largest transaction id incorporated via replication (or recovered
+    /// from disk at open).
+    pub applied_txid: u64,
+    /// Logical tail of this node's own redo log (0 when not durable).
+    pub tail: u64,
+    /// Cumulative records incorporated from the stream.
+    pub applies: u64,
+    /// Cumulative redelivered frames skipped at or below the watermark.
+    pub dup_skips: u64,
 }
 
 /// Error returned when a memnode is crashed.
@@ -110,6 +130,11 @@ pub struct MemNodeStats {
     /// Write fast-path attempts that found a held or newly-released lock
     /// and fell back to the locked path.
     pub write_fastpath_misses: Counter,
+    /// Replicated records incorporated from a primary's log stream.
+    pub repl_applies: Counter,
+    /// Redelivered stream frames skipped because they were at or below
+    /// the replication watermark (exactly-once incorporation).
+    pub repl_dup_skips: Counter,
 }
 
 impl MemNodeStats {
@@ -125,6 +150,8 @@ impl MemNodeStats {
         r.register_counter("memnode.read_fastpath_misses", &self.read_fastpath_misses);
         r.register_counter("memnode.write_fastpath", &self.write_fastpath);
         r.register_counter("memnode.write_fastpath_misses", &self.write_fastpath_misses);
+        r.register_counter("repl.applies", &self.repl_applies);
+        r.register_counter("repl.dup_skips", &self.repl_dup_skips);
     }
 }
 
@@ -171,6 +198,18 @@ pub struct MemNode {
     dur: Option<Durable>,
     ckpt_running: AtomicBool,
     checkpoints: AtomicU64,
+    /// Advisory epoch register: the highest epoch a coordinator has
+    /// announced to this node (see [`MemNode::epoch_mark`]). Purely
+    /// observational — validation batching happens coordinator-side.
+    epoch: AtomicU64,
+    /// Replication watermark: logical end offset of the last primary-log
+    /// frame incorporated (see [`Record::Repl`]). Durable nodes persist it
+    /// through their own log and checkpoint image.
+    repl_watermark: AtomicU64,
+    /// Largest transaction id incorporated via replication (or seen on
+    /// disk at open). Follower read gating compares session tokens
+    /// against this.
+    repl_applied_txid: AtomicU64,
     /// Operation counters.
     pub stats: MemNodeStats,
     /// This node's observability plane: its registry exposes the
@@ -190,6 +229,7 @@ impl MemNode {
             HashMap::new(),
             HashSet::new(),
             None,
+            0,
         )
     }
 
@@ -216,6 +256,7 @@ impl MemNode {
                 ckpt_path: ckpt_p,
                 capacity,
             }),
+            0,
         ))
     }
 
@@ -254,7 +295,10 @@ impl MemNode {
                 ckpt_path: ckpt_p,
                 capacity,
             }),
+            rec.repl_watermark,
         );
+        node.repl_applied_txid
+            .store(rec.max_txid, Ordering::Release);
         Ok((node, meta, rec.max_txid))
     }
 
@@ -265,6 +309,7 @@ impl MemNode {
         staged: HashMap<TxId, PreparedTx>,
         decided: HashSet<TxId>,
         dur: Option<Durable>,
+        repl_watermark: u64,
     ) -> Self {
         debug_assert_eq!(space.capacity(), capacity);
         let locks = LockManager::new();
@@ -293,6 +338,9 @@ impl MemNode {
             dur,
             ckpt_running: AtomicBool::new(false),
             checkpoints: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            repl_watermark: AtomicU64::new(repl_watermark),
+            repl_applied_txid: AtomicU64::new(0),
             stats,
             obs,
         }
@@ -758,6 +806,8 @@ impl MemNode {
             *self.space.write() = PagedSpace::new(d.capacity);
             self.prepared.lock().clear();
             self.decided.lock().clear();
+            self.repl_watermark.store(0, Ordering::Release);
+            self.repl_applied_txid.store(0, Ordering::Release);
         } else {
             self.crashed.store(true, Ordering::Release);
             self.locks.clear();
@@ -788,6 +838,10 @@ impl MemNode {
                 }
             }
             *self.decided.lock() = rec.decided;
+            self.repl_watermark
+                .store(rec.repl_watermark, Ordering::Release);
+            self.repl_applied_txid
+                .store(rec.max_txid, Ordering::Release);
         } else {
             {
                 let backup = self.backup.lock();
@@ -822,7 +876,7 @@ impl MemNode {
         // Freeze (tail, state) under the appender lock, but keep the
         // expensive serialization and file write outside it so commits
         // only stall for the duration of the in-memory clone.
-        let (space, staged, decided, upto) = {
+        let (space, staged, decided, watermark, upto) = {
             let g = d.wal.lock();
             if self.is_crashed() {
                 return Ok(false);
@@ -830,9 +884,10 @@ impl MemNode {
             let space = self.space.read().snapshot_clone();
             let staged = self.prepared.lock().clone();
             let decided = self.decided.lock().clone();
-            (space, staged, decided, g.tail())
+            let watermark = self.repl_watermark.load(Ordering::Acquire);
+            (space, staged, decided, watermark, g.tail())
         };
-        let bytes = checkpoint::encode_image(&space, &staged, &decided);
+        let bytes = checkpoint::encode_image(&space, &staged, &decided, watermark);
         checkpoint::write_atomic(&d.ckpt_path, &bytes)?;
         d.wal.drop_prefix(upto)?;
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
@@ -889,6 +944,181 @@ impl MemNode {
         probe
             .iter()
             .all(|&(off, len)| s.read(off, len).unwrap() == b.read(off, len).unwrap())
+    }
+
+    /// Records an epoch announcement from a coordinator: the register
+    /// only moves forward. Returns the register's value before the mark.
+    /// Advisory — epoch-batched validation itself happens coordinator-side
+    /// (see the `minuet-dyntx` epoch service); the register makes epoch
+    /// progress visible in traces and cross-checks that every memnode saw
+    /// the close.
+    pub fn epoch_mark(&self, epoch: u64, _closing: bool) -> Result<u64, Unavailable> {
+        self.check_up()?;
+        Ok(self.repl_epoch_mark(epoch))
+    }
+
+    fn repl_epoch_mark(&self, epoch: u64) -> u64 {
+        self.epoch.fetch_max(epoch, Ordering::AcqRel)
+    }
+
+    /// Reads up to `max` raw framed bytes of this node's redo log starting
+    /// at logical offset `from`, for shipping to a replication follower.
+    /// Non-durable nodes return an empty segment with a zero tail —
+    /// replication requires a durable primary.
+    pub fn wal_fetch(&self, from: u64, max: u32) -> Result<WalSegment, Unavailable> {
+        self.check_up()?;
+        match &self.dur {
+            Some(d) => Ok(d.wal.read_from(from, max).expect("wal read failed")),
+            None => Ok(WalSegment {
+                from,
+                base: 0,
+                tail: 0,
+                bytes: Vec::new(),
+            }),
+        }
+    }
+
+    /// This node's replication status (see [`ReplStatus`]).
+    pub fn repl_status(&self) -> Result<ReplStatus, Unavailable> {
+        self.check_up()?;
+        Ok(ReplStatus {
+            watermark: self.repl_watermark.load(Ordering::Acquire),
+            applied_txid: self.repl_applied_txid.load(Ordering::Acquire),
+            tail: self.dur.as_ref().map_or(0, |d| d.wal.tail()),
+            applies: self.stats.repl_applies.get(),
+            dup_skips: self.stats.repl_dup_skips.get(),
+        })
+    }
+
+    /// Incorporates a chunk of a primary's log stream. `from` is the
+    /// logical offset of `frames[0]` in the primary's log; the bytes are
+    /// raw CRC-framed records as returned by [`MemNode::wal_fetch`] (a
+    /// torn trailing frame is ignored — the follower re-requests it).
+    ///
+    /// Each whole frame at source end offset `s`:
+    /// - is **skipped** when `s ≤ watermark` (already durably incorporated
+    ///   — redelivery after a resume is deduplicated, never re-applied);
+    /// - otherwise is logged to this node's own redo log as a
+    ///   [`Record::Repl`] wrapping the primary payload, its effect is
+    ///   applied (one-phase writes apply; prepares stage with their locks;
+    ///   decisions finish staged transactions), and the watermark advances
+    ///   to `s`.
+    ///
+    /// The append + apply + watermark advance happens under the appender
+    /// guard, so checkpoints freeze a consistent (state, watermark) pair
+    /// and a restart resumes exactly where the durable log ends.
+    pub fn repl_apply(&self, from: u64, frames: &[u8]) -> Result<ReplStatus, Unavailable> {
+        self.check_up()?;
+        let _s = span(SpanKind::ReplApply);
+        let (records, _valid) = parse_frames(frames);
+        let mut wait = None;
+        for (rel_end, rec) in records {
+            let src_off = from + rel_end;
+            if src_off <= self.repl_watermark.load(Ordering::Acquire) {
+                self.stats.repl_dup_skips.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // A chained stream (follower of a follower) carries `Repl`
+            // wrappers; incorporate the inner record at *this* stream's
+            // offsets.
+            let rec = match rec {
+                OwnedRecord::Repl { inner, .. } => *inner,
+                other => other,
+            };
+            let txid = rec.txid();
+            match &self.dur {
+                Some(d) => {
+                    let payload = Self::reencode(&rec);
+                    let mut g = d.wal.lock();
+                    wait = Some(g.append(&Record::Repl {
+                        src_off,
+                        payload: &payload,
+                    }));
+                    self.apply_repl_effect(rec);
+                    self.repl_watermark.store(src_off, Ordering::Release);
+                }
+                None => {
+                    self.apply_repl_effect(rec);
+                    self.repl_watermark.store(src_off, Ordering::Release);
+                }
+            }
+            self.repl_applied_txid.fetch_max(txid, Ordering::AcqRel);
+            self.stats.repl_applies.fetch_add(1, Ordering::Relaxed);
+        }
+        if let (Some(end), Some(d)) = (wait, &self.dur) {
+            let _fs = span(SpanKind::SrvFsync);
+            d.wal.wait_durable(end);
+        }
+        self.repl_status()
+    }
+
+    /// Re-encodes a decoded primary record so it can be wrapped verbatim
+    /// in this node's own [`Record::Repl`].
+    fn reencode(rec: &OwnedRecord) -> Vec<u8> {
+        match rec {
+            OwnedRecord::Apply { txid, writes } => Record::Apply {
+                txid: *txid,
+                writes,
+            }
+            .encode(),
+            OwnedRecord::Prepare {
+                txid,
+                participants,
+                spans,
+                writes,
+            } => Record::Prepare {
+                txid: *txid,
+                participants,
+                spans,
+                writes,
+            }
+            .encode(),
+            OwnedRecord::Commit { txid } => Record::Commit { txid: *txid }.encode(),
+            OwnedRecord::Abort { txid } => Record::Abort { txid: *txid }.encode(),
+            OwnedRecord::Repl { .. } => unreachable!("unwrapped before re-encoding"),
+        }
+    }
+
+    /// Applies the in-memory effect of one incorporated primary record,
+    /// mirroring what the primary's own execution did: one-phase writes
+    /// apply through the backup then the primary space, prepares stage
+    /// with their locks held, and decisions finish or discard the staged
+    /// transaction.
+    fn apply_repl_effect(&self, rec: OwnedRecord) {
+        match rec {
+            OwnedRecord::Apply { writes, .. } => self.apply(&writes),
+            OwnedRecord::Prepare {
+                txid,
+                participants,
+                spans,
+                writes,
+            } => {
+                let tx = PreparedTx {
+                    spans,
+                    writes,
+                    participants: participants.into_iter().map(MemNodeId).collect(),
+                };
+                // Followers serve no transactions of their own, so the
+                // lock always grants; holding it keeps the staged set and
+                // the lock table consistent with a recovered node.
+                let got = self.locks.try_lock(&tx.spans, txid);
+                debug_assert_eq!(got, LockAcquire::Granted, "follower lock conflict");
+                self.prepared.lock().insert(txid, tx);
+            }
+            OwnedRecord::Commit { txid } => {
+                let staged = self.prepared.lock().remove(&txid);
+                if let Some(tx) = staged {
+                    self.apply(&tx.writes);
+                    self.decided.lock().insert(txid);
+                }
+                self.locks.release(txid);
+            }
+            OwnedRecord::Abort { txid } => {
+                self.prepared.lock().remove(&txid);
+                self.locks.release(txid);
+            }
+            OwnedRecord::Repl { .. } => unreachable!("never nested"),
+        }
     }
 }
 

@@ -84,27 +84,32 @@ pub struct RecoveredNode {
     pub max_txid: TxId,
     /// Bytes of torn tail dropped from the log file.
     pub truncated_bytes: u64,
+    /// Replication watermark: the largest source-log offset incorporated
+    /// from a primary (image ∪ `Repl` log records). A restarted follower
+    /// resumes the stream here. Zero on nodes that never followed.
+    pub repl_watermark: u64,
 }
 
 /// Rebuilds one memnode's state from `dir`. `capacity` is used when no
 /// checkpoint image exists yet (empty space); when an image exists its
 /// recorded capacity must match.
 pub fn recover_node(dir: &Path, id: MemNodeId, capacity: u64) -> io::Result<RecoveredNode> {
-    let (mut space, mut staged, mut decided) = match checkpoint::load(&ckpt_path(dir, id))? {
-        Some(img) => {
-            if img.space.capacity() != capacity {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!(
-                        "checkpoint capacity {} != configured {capacity} for memnode {id}",
-                        img.space.capacity()
-                    ),
-                ));
+    let (mut space, mut staged, mut decided, mut repl_watermark) =
+        match checkpoint::load(&ckpt_path(dir, id))? {
+            Some(img) => {
+                if img.space.capacity() != capacity {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "checkpoint capacity {} != configured {capacity} for memnode {id}",
+                            img.space.capacity()
+                        ),
+                    ));
+                }
+                (img.space, img.staged, img.decided, img.repl_watermark)
             }
-            (img.space, img.staged, img.decided)
-        }
-        None => (PagedSpace::new(capacity), HashMap::new(), HashSet::new()),
-    };
+            None => (PagedSpace::new(capacity), HashMap::new(), HashSet::new(), 0),
+        };
 
     let wal = wal_path(dir, id);
     let buf = match std::fs::read(&wal) {
@@ -125,6 +130,15 @@ pub fn recover_node(dir: &Path, id: MemNodeId, capacity: u64) -> io::Result<Reco
     let mut max_txid = 0;
     for rec in records {
         max_txid = max_txid.max(rec.txid());
+        // A `Repl` record replays exactly as the wrapped primary record
+        // would, and additionally advances the replication watermark.
+        let rec = match rec {
+            OwnedRecord::Repl { src_off, inner } => {
+                repl_watermark = repl_watermark.max(src_off);
+                *inner
+            }
+            other => other,
+        };
         match rec {
             OwnedRecord::Apply { writes, .. } => {
                 for (off, data) in &writes {
@@ -161,6 +175,7 @@ pub fn recover_node(dir: &Path, id: MemNodeId, capacity: u64) -> io::Result<Reco
             OwnedRecord::Abort { txid } => {
                 staged.remove(&txid);
             }
+            OwnedRecord::Repl { .. } => unreachable!("unwrapped above; never nested"),
         }
     }
     for txid in staged.keys().chain(decided.iter()) {
@@ -172,6 +187,7 @@ pub fn recover_node(dir: &Path, id: MemNodeId, capacity: u64) -> io::Result<Reco
         decided,
         max_txid,
         truncated_bytes,
+        repl_watermark,
     })
 }
 

@@ -12,9 +12,10 @@
 use crate::addr::MemNodeId;
 use crate::bytes::Bytes;
 use crate::lock::TxId;
-use crate::memnode::{MemNode, SingleResult, Unavailable, Vote};
+use crate::memnode::{MemNode, ReplStatus, SingleResult, Unavailable, Vote};
 use crate::minitx::{LockPolicy, Shard};
 use crate::recovery::NodeMeta;
+use crate::wal::WalSegment;
 use std::io;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -201,6 +202,24 @@ pub trait NodeRpc: Send + Sync {
         Vec::new()
     }
 
+    /// Records an epoch announcement (forward-only register); returns the
+    /// register's value before the mark. Advisory — see
+    /// [`MemNode::epoch_mark`].
+    fn epoch_mark(&self, epoch: u64, closing: bool) -> Result<u64, Unavailable>;
+
+    /// Reads up to `max` raw framed redo-log bytes from logical offset
+    /// `from`, for replication shipping. Empty (zero tail) on non-durable
+    /// nodes.
+    fn wal_fetch(&self, from: u64, max: u32) -> Result<WalSegment, Unavailable>;
+
+    /// Incorporates a chunk of a primary's log stream starting at source
+    /// offset `from` (see [`MemNode::repl_apply`]); returns the follower's
+    /// status after the chunk.
+    fn repl_apply(&self, from: u64, frames: &[u8]) -> Result<ReplStatus, Unavailable>;
+
+    /// This node's replication status (watermark / applied txid / tail).
+    fn repl_status(&self) -> Result<ReplStatus, Unavailable>;
+
     /// Downcast to the in-process memnode, when this handle is local.
     fn as_local(&self) -> Option<&MemNode> {
         None
@@ -337,6 +356,22 @@ impl NodeRpc for MemNode {
         } else {
             self.obs.recent(max as usize)
         }
+    }
+
+    fn epoch_mark(&self, epoch: u64, closing: bool) -> Result<u64, Unavailable> {
+        MemNode::epoch_mark(self, epoch, closing)
+    }
+
+    fn wal_fetch(&self, from: u64, max: u32) -> Result<WalSegment, Unavailable> {
+        MemNode::wal_fetch(self, from, max)
+    }
+
+    fn repl_apply(&self, from: u64, frames: &[u8]) -> Result<ReplStatus, Unavailable> {
+        MemNode::repl_apply(self, from, frames)
+    }
+
+    fn repl_status(&self) -> Result<ReplStatus, Unavailable> {
+        MemNode::repl_status(self)
     }
 
     fn as_local(&self) -> Option<&MemNode> {

@@ -498,5 +498,36 @@ fn dispatch(node: &Arc<MemNode>, req: Request) -> Response {
             };
             Response::Traces(Bytes::from(Trace::encode_many(&traces)))
         }
+        Request::EpochMark { epoch, closing } => match node.epoch_mark(epoch, closing) {
+            Ok(prev) => Response::Epoch(prev),
+            Err(u) => Response::Unavailable(u.0 .0),
+        },
+        Request::ReplFetch { from, max } => match node.wal_fetch(from, max) {
+            Ok(seg) => Response::Frames {
+                from: seg.from,
+                base: seg.base,
+                tail: seg.tail,
+                bytes: Bytes::from(seg.bytes),
+            },
+            Err(u) => Response::Unavailable(u.0 .0),
+        },
+        Request::ReplApply { from, frames } => match node.repl_apply(from, &frames) {
+            Ok(s) => repl_status_response(s),
+            Err(u) => Response::Unavailable(u.0 .0),
+        },
+        Request::ReplStatus => match node.repl_status() {
+            Ok(s) => repl_status_response(s),
+            Err(u) => Response::Unavailable(u.0 .0),
+        },
+    }
+}
+
+fn repl_status_response(s: crate::memnode::ReplStatus) -> Response {
+    Response::ReplStatus {
+        watermark: s.watermark,
+        applied_txid: s.applied_txid,
+        tail: s.tail,
+        applies: s.applies,
+        dup_skips: s.dup_skips,
     }
 }

@@ -186,6 +186,19 @@ pub enum Record<'a> {
         /// Minitransaction id.
         txid: u64,
     },
+    /// A record incorporated from a *primary's* log by a replication
+    /// follower. `src_off` is the logical end offset of the source frame
+    /// in the primary's log — the follower's durable replication
+    /// watermark is the maximum `src_off` it has logged, so a restarted
+    /// follower knows exactly where to resume the stream (and skips
+    /// redelivered frames at or below it). `payload` is the primary
+    /// record's encoded payload, verbatim.
+    Repl {
+        /// Logical end offset of the source frame in the primary's log.
+        src_off: u64,
+        /// The primary record's encoded payload.
+        payload: &'a [u8],
+    },
 }
 
 /// A redo record as decoded during replay (owning its buffers).
@@ -218,6 +231,13 @@ pub enum OwnedRecord {
     Abort {
         /// Minitransaction id.
         txid: u64,
+    },
+    /// See [`Record::Repl`].
+    Repl {
+        /// Logical end offset of the source frame in the primary's log.
+        src_off: u64,
+        /// The decoded primary record (never itself `Repl`).
+        inner: Box<OwnedRecord>,
     },
 }
 
@@ -269,6 +289,11 @@ impl Record<'_> {
                 out.push(4);
                 out.extend_from_slice(&txid.to_le_bytes());
             }
+            Record::Repl { src_off, payload } => {
+                out.push(5);
+                out.extend_from_slice(&src_off.to_le_bytes());
+                out.extend_from_slice(payload);
+            }
         }
         out
     }
@@ -311,6 +336,12 @@ impl<'a> Cur<'a> {
     /// True once every byte has been consumed.
     pub(crate) fn finished(&self) -> bool {
         self.pos == self.buf.len()
+    }
+    /// Consumes and returns every remaining byte.
+    pub(crate) fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
     }
     pub(crate) fn writes(&mut self) -> Option<Vec<(u64, Bytes)>> {
         let n = self.u32()? as usize;
@@ -355,6 +386,19 @@ impl OwnedRecord {
             }
             3 => OwnedRecord::Commit { txid },
             4 => OwnedRecord::Abort { txid },
+            5 => {
+                // The u64 read above is the source offset for this tag.
+                let payload = c.rest();
+                // Nesting is rejected *before* recursing so corrupt input
+                // can't build a deep `Repl(Repl(..))` tower on the stack.
+                if payload.first() == Some(&5) {
+                    return None;
+                }
+                OwnedRecord::Repl {
+                    src_off: txid,
+                    inner: Box::new(OwnedRecord::decode(payload)?),
+                }
+            }
             _ => return None,
         };
         if !c.finished() {
@@ -370,14 +414,17 @@ impl OwnedRecord {
             | OwnedRecord::Prepare { txid, .. }
             | OwnedRecord::Commit { txid }
             | OwnedRecord::Abort { txid } => *txid,
+            OwnedRecord::Repl { inner, .. } => inner.txid(),
         }
     }
 }
 
-/// Parses a log buffer into records, stopping at the first torn or corrupt
-/// frame. Returns the records and the byte offset of the valid prefix
-/// (callers truncate the file there).
-pub fn parse_log(buf: &[u8]) -> (Vec<OwnedRecord>, u64) {
+/// Parses a log buffer into records with their frame end offsets (relative
+/// to the start of `buf`), stopping at the first torn or corrupt frame.
+/// Returns the `(end_offset, record)` pairs and the byte length of the
+/// valid prefix. Replication consumers need the offsets: a follower's
+/// watermark is the source-log offset of the last frame it incorporated.
+pub fn parse_frames(buf: &[u8]) -> (Vec<(u64, OwnedRecord)>, u64) {
     let mut records = Vec::new();
     let mut pos = 0usize;
     loop {
@@ -394,12 +441,38 @@ pub fn parse_log(buf: &[u8]) -> (Vec<OwnedRecord>, u64) {
             break;
         }
         match OwnedRecord::decode(payload) {
-            Some(rec) => records.push(rec),
+            Some(rec) => {
+                pos += 8 + len as usize;
+                records.push((pos as u64, rec));
+            }
             None => break,
         }
-        pos += 8 + len as usize;
     }
     (records, pos as u64)
+}
+
+/// Parses a log buffer into records, stopping at the first torn or corrupt
+/// frame. Returns the records and the byte offset of the valid prefix
+/// (callers truncate the file there).
+pub fn parse_log(buf: &[u8]) -> (Vec<OwnedRecord>, u64) {
+    let (frames, valid) = parse_frames(buf);
+    (frames.into_iter().map(|(_, rec)| rec).collect(), valid)
+}
+
+/// A chunk of raw framed log bytes handed to a replication follower.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalSegment {
+    /// Logical offset of the first byte of `bytes`.
+    pub from: u64,
+    /// Logical offset of the oldest byte still retained in the log. A
+    /// requested `from` below this means the prefix was checkpointed away
+    /// and the follower can no longer be caught up by log shipping alone.
+    pub base: u64,
+    /// Logical tail of the log at read time.
+    pub tail: u64,
+    /// Raw framed record bytes; may end mid-frame (consumers keep only the
+    /// whole-frame prefix and re-request the rest).
+    pub bytes: Vec<u8>,
 }
 
 // ---------------------------------------------------------------------------
@@ -583,6 +656,12 @@ impl Wal {
         self.inner.lock().len
     }
 
+    /// Current logical tail: total bytes ever appended (never shrinks —
+    /// checkpoints advance the base, not the tail).
+    pub fn tail(&self) -> u64 {
+        self.sync.tail.load(Ordering::Acquire)
+    }
+
     /// Blocks until logical offset `upto` is durable per the sync mode.
     /// [`SyncMode::None`] and [`SyncMode::Async`] return immediately.
     ///
@@ -642,6 +721,32 @@ impl Wal {
                 self.group_cv.wait(&mut g);
             }
         }
+    }
+
+    /// Reads up to `max` raw framed bytes starting at logical offset
+    /// `from`, for shipping to a replication follower. Appends are blocked
+    /// for the duration of the (bounded) read. When `from` predates the
+    /// retained log (`from < base`, the prefix was checkpointed away) the
+    /// segment comes back empty with `base > from` so the caller can
+    /// detect that log shipping alone can no longer catch the follower up.
+    pub fn read_from(&self, from: u64, max: u32) -> io::Result<WalSegment> {
+        let mut inner = self.inner.lock();
+        let base = inner.base;
+        let tail = base + inner.len;
+        let mut seg = WalSegment {
+            from,
+            base,
+            tail,
+            bytes: Vec::new(),
+        };
+        if from < base || from >= tail {
+            return Ok(seg);
+        }
+        let want = ((tail - from) as usize).min(max as usize);
+        seg.bytes.resize(want, 0);
+        inner.file.seek(SeekFrom::Start(from - base))?;
+        inner.file.read_exact(&mut seg.bytes)?;
+        Ok(seg)
     }
 
     /// Drops the log prefix before logical offset `upto` (records already
@@ -817,6 +922,94 @@ mod tests {
         let mut ok = Record::Commit { txid: 1 }.encode();
         ok.push(0); // trailing byte
         assert!(OwnedRecord::decode(&ok).is_none());
+    }
+
+    #[test]
+    fn repl_record_roundtrip() {
+        let writes = vec![(64u64, Bytes::from(vec![1, 2, 3]))];
+        let inner = Record::Apply {
+            txid: 7,
+            writes: &writes,
+        }
+        .encode();
+        let payload = Record::Repl {
+            src_off: 4096,
+            payload: &inner,
+        }
+        .encode();
+        match OwnedRecord::decode(&payload).expect("decodes") {
+            OwnedRecord::Repl { src_off, inner } => {
+                assert_eq!(src_off, 4096);
+                assert_eq!(*inner, OwnedRecord::Apply { txid: 7, writes });
+            }
+            other => panic!("wrong decode {other:?}"),
+        }
+        assert_eq!(OwnedRecord::decode(&payload).unwrap().txid(), 7);
+    }
+
+    #[test]
+    fn nested_repl_rejected() {
+        let inner = Record::Commit { txid: 1 }.encode();
+        let once = Record::Repl {
+            src_off: 10,
+            payload: &inner,
+        }
+        .encode();
+        let twice = Record::Repl {
+            src_off: 20,
+            payload: &once,
+        }
+        .encode();
+        assert!(OwnedRecord::decode(&once).is_some());
+        assert!(OwnedRecord::decode(&twice).is_none());
+        // A repl record wrapping garbage is structural corruption too.
+        let bad = Record::Repl {
+            src_off: 30,
+            payload: b"nonsense",
+        }
+        .encode();
+        assert!(OwnedRecord::decode(&bad).is_none());
+    }
+
+    #[test]
+    fn read_from_streams_whole_log() {
+        let path = temp("readfrom");
+        let wal = Wal::open(&path, SyncMode::None).unwrap();
+        let writes = vec![(0u64, Bytes::from(vec![5u8; 32]))];
+        let mut ends = Vec::new();
+        for t in 0..6 {
+            let mut a = wal.lock();
+            ends.push(a.append(&Record::Apply {
+                txid: t,
+                writes: &writes,
+            }));
+        }
+        let tail = *ends.last().unwrap();
+        // Full read from 0.
+        let seg = wal.read_from(0, 1 << 20).unwrap();
+        assert_eq!((seg.from, seg.base, seg.tail), (0, 0, tail));
+        let (frames, valid) = parse_frames(&seg.bytes);
+        assert_eq!(valid, tail);
+        assert_eq!(frames.len(), 6);
+        assert_eq!(frames.iter().map(|(end, _)| *end).collect::<Vec<_>>(), ends);
+        // A bounded read tears mid-frame; the parsed prefix is whole
+        // frames only and the caller resumes at `from + valid`.
+        let seg = wal
+            .read_from(ends[1], (ends[3] - ends[1] + 3) as u32)
+            .unwrap();
+        let (frames, valid) = parse_frames(&seg.bytes);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(ends[1] + valid, ends[3]);
+        // Past the tail: empty.
+        assert!(wal.read_from(tail, 1024).unwrap().bytes.is_empty());
+        // Before the base after rotation: empty, with base exposing why.
+        wal.drop_prefix(ends[2]).unwrap();
+        let seg = wal.read_from(0, 1024).unwrap();
+        assert!(seg.bytes.is_empty());
+        assert_eq!(seg.base, ends[2]);
+        let seg = wal.read_from(ends[2], 1 << 20).unwrap();
+        let (frames, _) = parse_frames(&seg.bytes);
+        assert_eq!(frames.len(), 3);
     }
 
     #[test]

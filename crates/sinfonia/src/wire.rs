@@ -37,8 +37,11 @@ use std::time::Duration;
 /// `ObsSnapshot` / `TraceDump` admin requests. Version 3 appends a
 /// one-byte [`NodeFlags`] trailer to **every** reply frame, so clients
 /// learn crashed/joining/retiring state as a side effect of any RPC and
-/// never need a dedicated `Flags` round trip on the hot path.
-pub const PROTO_VERSION: u16 = 3;
+/// never need a dedicated `Flags` round trip on the hot path. Version 4
+/// adds the epoch/replication family: `EpochMark`, and the WAL-streaming
+/// requests `ReplFetch` / `ReplApply` / `ReplStatus` with their `Epoch`,
+/// `Frames`, and `ReplStatus` replies.
+pub const PROTO_VERSION: u16 = 4;
 
 /// Largest admissible frame payload. Frames claiming more are rejected
 /// before any allocation, bounding what a corrupt length prefix can cost.
@@ -680,6 +683,33 @@ pub enum Request {
         /// Dump the slow-op buffer instead of the recent-trace buffer.
         slow: bool,
     },
+    /// Advances the memnode's advisory epoch register (forward-only);
+    /// answered by [`Response::Epoch`] carrying the previous value.
+    EpochMark {
+        /// The epoch to advance to.
+        epoch: u64,
+        /// Whether this marks the close of the epoch (advisory).
+        closing: bool,
+    },
+    /// Fetches raw WAL frames starting at logical offset `from`, answered
+    /// by [`Response::Frames`]. The replication pull path.
+    ReplFetch {
+        /// Logical WAL offset to read from.
+        from: u64,
+        /// At most this many bytes back.
+        max: u32,
+    },
+    /// Applies a fetched segment of primary WAL frames on a follower;
+    /// answered by [`Response::ReplStatus`].
+    ReplApply {
+        /// Logical source-WAL offset the segment starts at.
+        from: u64,
+        /// Raw CRC-framed WAL bytes as fetched from the primary.
+        frames: Bytes,
+    },
+    /// Fetches the follower-side replication watermark and counters,
+    /// answered by [`Response::ReplStatus`].
+    ReplStatus,
 }
 
 /// Request/response tag bytes. Public so tests and benches can identify
@@ -729,6 +759,14 @@ pub mod tag {
     pub const OBS_SNAPSHOT: u8 = 0x14;
     /// Drain the recent/slow trace ring.
     pub const TRACE_DUMP: u8 = 0x15;
+    /// Advance the advisory epoch register.
+    pub const EPOCH_MARK: u8 = 0x16;
+    /// Fetch raw WAL frames for replication.
+    pub const REPL_FETCH: u8 = 0x17;
+    /// Apply fetched WAL frames on a follower.
+    pub const REPL_APPLY: u8 = 0x18;
+    /// Probe follower replication watermark and counters.
+    pub const REPL_STATUS: u8 = 0x19;
 
     /// Reply to [`HELLO`].
     pub const R_HELLO: u8 = 0x81;
@@ -760,6 +798,12 @@ pub mod tag {
     pub const R_OBS: u8 = 0x8E;
     /// Reply to [`TRACE_DUMP`].
     pub const R_TRACES: u8 = 0x8F;
+    /// Reply to [`EPOCH_MARK`] (previous epoch value).
+    pub const R_EPOCH: u8 = 0x90;
+    /// Reply to [`REPL_FETCH`]: a raw WAL segment.
+    pub const R_FRAMES: u8 = 0x91;
+    /// Reply to [`REPL_APPLY`] / [`REPL_STATUS`].
+    pub const R_REPL_STATUS: u8 = 0x92;
 }
 
 impl Request {
@@ -793,6 +837,10 @@ impl Request {
             Request::Traced { inner, .. } => inner.kind_name(),
             Request::ObsSnapshot => "obs_snapshot",
             Request::TraceDump { .. } => "trace_dump",
+            Request::EpochMark { .. } => "epoch_mark",
+            Request::ReplFetch { .. } => "repl_fetch",
+            Request::ReplApply { .. } => "repl_apply",
+            Request::ReplStatus => "repl_status",
         }
     }
 
@@ -821,6 +869,10 @@ impl Request {
             Request::Traced { inner, .. } => inner.tag_byte(),
             Request::ObsSnapshot => tag::OBS_SNAPSHOT,
             Request::TraceDump { .. } => tag::TRACE_DUMP,
+            Request::EpochMark { .. } => tag::EPOCH_MARK,
+            Request::ReplFetch { .. } => tag::REPL_FETCH,
+            Request::ReplApply { .. } => tag::REPL_APPLY,
+            Request::ReplStatus => tag::REPL_STATUS,
         }
     }
 
@@ -920,6 +972,22 @@ impl Request {
                 put_u32(buf, *max);
                 buf.push(*slow as u8);
             }
+            Request::EpochMark { epoch, closing } => {
+                buf.push(tag::EPOCH_MARK);
+                put_u64(buf, *epoch);
+                buf.push(*closing as u8);
+            }
+            Request::ReplFetch { from, max } => {
+                buf.push(tag::REPL_FETCH);
+                put_u64(buf, *from);
+                put_u32(buf, *max);
+            }
+            Request::ReplApply { from, frames } => {
+                buf.push(tag::REPL_APPLY);
+                put_u64(buf, *from);
+                put_bytes(buf, frames);
+            }
+            Request::ReplStatus => buf.push(tag::REPL_STATUS),
         }
     }
 
@@ -1012,6 +1080,19 @@ impl Request {
                 max: c.u32()?,
                 slow: c.bool()?,
             },
+            tag::EPOCH_MARK => Request::EpochMark {
+                epoch: c.u64()?,
+                closing: c.bool()?,
+            },
+            tag::REPL_FETCH => Request::ReplFetch {
+                from: c.u64()?,
+                max: c.u32()?,
+            },
+            tag::REPL_APPLY => Request::ReplApply {
+                from: c.u64()?,
+                frames: c.bytes()?,
+            },
+            tag::REPL_STATUS => Request::ReplStatus,
             t => return Err(WireError::BadTag(t)),
         };
         Ok(req)
@@ -1117,6 +1198,33 @@ pub enum Response {
     /// Encoded traces ([`minuet_obs::Trace::encode_many`]), shipped
     /// opaquely.
     Traces(Bytes),
+    /// Reply to [`Request::EpochMark`]: the register's previous value.
+    Epoch(u64),
+    /// Reply to [`Request::ReplFetch`]: a raw WAL segment.
+    Frames {
+        /// Logical offset the segment starts at (echoes the request).
+        from: u64,
+        /// The server WAL's base offset (start of retained log). When
+        /// `base > from` the requested prefix has been checkpointed away.
+        base: u64,
+        /// The server WAL's logical tail at fetch time.
+        tail: u64,
+        /// Raw CRC-framed WAL bytes (whole frames; may be empty).
+        bytes: Bytes,
+    },
+    /// Reply to [`Request::ReplApply`] / [`Request::ReplStatus`].
+    ReplStatus {
+        /// Largest source-WAL offset durably incorporated.
+        watermark: u64,
+        /// Largest txid applied through replication.
+        applied_txid: u64,
+        /// The follower's own WAL tail.
+        tail: u64,
+        /// Total frames applied.
+        applies: u64,
+        /// Frames skipped as already-applied duplicates.
+        dup_skips: u64,
+    },
 }
 
 fn encode_pairs(buf: &mut Vec<u8>, pairs: &[(usize, Bytes)]) {
@@ -1364,6 +1472,34 @@ impl Response {
                 buf.push(tag::R_TRACES);
                 put_bytes(buf, b);
             }
+            Response::Epoch(prev) => {
+                buf.push(tag::R_EPOCH);
+                put_u64(buf, *prev);
+            }
+            Response::Frames {
+                from,
+                base,
+                tail,
+                bytes,
+            } => {
+                buf.push(tag::R_FRAMES);
+                put_u64(buf, *from);
+                put_u64(buf, *base);
+                put_u64(buf, *tail);
+                put_bytes(buf, bytes);
+            }
+            Response::ReplStatus {
+                watermark,
+                applied_txid,
+                tail,
+                applies,
+                dup_skips,
+            } => {
+                buf.push(tag::R_REPL_STATUS);
+                for v in [watermark, applied_txid, tail, applies, dup_skips] {
+                    put_u64(buf, *v);
+                }
+            }
         }
     }
 
@@ -1483,6 +1619,20 @@ impl Response {
             }
             tag::R_OBS => Response::Obs(c.bytes()?),
             tag::R_TRACES => Response::Traces(c.bytes()?),
+            tag::R_EPOCH => Response::Epoch(c.u64()?),
+            tag::R_FRAMES => Response::Frames {
+                from: c.u64()?,
+                base: c.u64()?,
+                tail: c.u64()?,
+                bytes: c.bytes()?,
+            },
+            tag::R_REPL_STATUS => Response::ReplStatus {
+                watermark: c.u64()?,
+                applied_txid: c.u64()?,
+                tail: c.u64()?,
+                applies: c.u64()?,
+                dup_skips: c.u64()?,
+            },
             t => return Err(WireError::BadTag(t)),
         };
         Ok(resp)
@@ -1524,6 +1674,19 @@ mod tests {
             probe: vec![(0, 64), (128, 32)],
         });
         roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::EpochMark {
+            epoch: 9,
+            closing: true,
+        });
+        roundtrip_req(Request::ReplFetch {
+            from: 4096,
+            max: 512,
+        });
+        roundtrip_req(Request::ReplApply {
+            from: 128,
+            frames: Bytes::from(vec![3u8; 40]),
+        });
+        roundtrip_req(Request::ReplStatus);
     }
 
     #[test]
@@ -1544,6 +1707,20 @@ mod tests {
         ]));
         roundtrip_resp(Response::Vote(Vote::Ok(vec![(0, Bytes::from(vec![1]))])));
         roundtrip_resp(Response::Error("nope".into()));
+        roundtrip_resp(Response::Epoch(41));
+        roundtrip_resp(Response::Frames {
+            from: 64,
+            base: 0,
+            tail: 1024,
+            bytes: Bytes::from(vec![5u8; 96]),
+        });
+        roundtrip_resp(Response::ReplStatus {
+            watermark: 7,
+            applied_txid: 9,
+            tail: 11,
+            applies: 13,
+            dup_skips: 2,
+        });
     }
 
     #[test]

@@ -11,7 +11,8 @@
 use minuet::core::{MinuetCluster, TreeConfig};
 use minuet::sinfonia::wire::Endpoint;
 use minuet::sinfonia::{
-    ClusterConfig, MemNode, MemNodeId, MemNodeServer, ServerOptions, WireConfig,
+    ClusterConfig, DurabilityConfig, MemNode, MemNodeId, MemNodeServer, Resolution, ServerOptions,
+    SinfoniaCluster, SyncMode, WireConfig,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -83,4 +84,143 @@ pub fn wire_cluster(n_mems: usize, n_trees: u32, cfg: TreeConfig) -> Arc<MinuetC
     let sin =
         ClusterConfig::with_memnodes(n_mems).with_wire_transport(endpoints, WireConfig::default());
     MinuetCluster::with_cluster_config(sin, n_trees, cfg)
+}
+
+/// Builds a bare `SinfoniaCluster` (no B-tree) on the selected transport.
+pub fn sinfonia_cluster(n_mems: usize, capacity: u64) -> Arc<SinfoniaCluster> {
+    let mut cfg = ClusterConfig::with_memnodes(n_mems);
+    cfg.capacity_per_node = capacity;
+    if wire_mode() {
+        let endpoints = spawn_servers(n_mems, capacity);
+        cfg = cfg.with_wire_transport(endpoints, WireConfig::default());
+        cfg.capacity_per_node = capacity;
+    }
+    SinfoniaCluster::new(cfg)
+}
+
+/// A durable Minuet cluster that can power-cycle on either transport.
+///
+/// In-process, durability lives in `ClusterConfig` and a restart is
+/// `MinuetCluster::restart_from_disk`. Under `MINUET_TRANSPORT=wire`,
+/// durability is daemon-side: the harness spawns its own durable memnode
+/// servers, and a restart kills them, reopens their state from disk into
+/// fresh daemons, resolves in-doubt two-phase transactions through the
+/// wire, and attaches a new coordinator — the full daemon power-cycle.
+pub struct DurableHarness {
+    /// Base durability directory (per-memnode files inside).
+    pub dir: PathBuf,
+    n_mems: usize,
+    n_trees: u32,
+    tree_cfg: TreeConfig,
+    sync: SyncMode,
+    /// Wire mode: this harness's live daemons (killable, unlike the
+    /// process-global registry).
+    servers: Vec<MemNodeServer>,
+}
+
+impl DurableHarness {
+    /// Creates a fresh durable cluster in a unique temp directory.
+    pub fn create(
+        tag: &str,
+        n_mems: usize,
+        n_trees: u32,
+        tree_cfg: TreeConfig,
+        sync: SyncMode,
+    ) -> (DurableHarness, Arc<MinuetCluster>) {
+        let durability = DurabilityConfig::ephemeral(tag, sync);
+        let dir = durability.dir.clone().expect("ephemeral config has a dir");
+        let mut h = DurableHarness {
+            dir,
+            n_mems,
+            n_trees,
+            tree_cfg: tree_cfg.clone(),
+            sync,
+            servers: Vec::new(),
+        };
+        let mc = if wire_mode() {
+            std::fs::create_dir_all(&h.dir).expect("create durability dir");
+            let endpoints = h.spawn_durable_servers(false);
+            let sin = ClusterConfig::with_memnodes(n_mems)
+                .with_wire_transport(endpoints, WireConfig::default());
+            MinuetCluster::with_cluster_config(sin, n_trees, tree_cfg)
+        } else {
+            let sin = ClusterConfig {
+                memnodes: n_mems,
+                durability,
+                ..Default::default()
+            };
+            MinuetCluster::with_cluster_config(sin, n_trees, tree_cfg)
+        };
+        (h, mc)
+    }
+
+    fn capacity(&self) -> u64 {
+        MinuetCluster::required_node_capacity(&self.tree_cfg, self.n_trees, self.n_mems)
+    }
+
+    fn dcfg(&self) -> DurabilityConfig {
+        DurabilityConfig::at(self.dir.clone(), self.sync)
+    }
+
+    fn spawn_durable_servers(&mut self, reopen: bool) -> Vec<Endpoint> {
+        let mut endpoints = Vec::with_capacity(self.n_mems);
+        for i in 0..self.n_mems {
+            let id = MemNodeId(i as u16);
+            let node = if reopen {
+                let (node, _, _) = MemNode::open_from_disk(id, self.capacity(), &self.dcfg())
+                    .expect("reopen durable memnode");
+                node
+            } else {
+                MemNode::durable(id, self.capacity(), &self.dcfg()).expect("durable memnode")
+            };
+            let ep = Endpoint::Unix(socket_path(&format!("dur{i}")));
+            let server = MemNodeServer::spawn(Arc::new(node), &ep, ServerOptions::default())
+                .expect("spawn durable memnode server");
+            endpoints.push(ep);
+            self.servers.push(server);
+        }
+        endpoints
+    }
+
+    /// Kills this harness's daemons and releases their state (wire mode;
+    /// no-op in-process). Call after dropping the cluster handle — the
+    /// whole-datacenter power cut.
+    pub fn power_off(&mut self) {
+        for s in &self.servers {
+            s.kill();
+        }
+        self.servers.clear();
+    }
+
+    /// Restarts the whole cluster from disk and returns the reopened
+    /// handle plus the in-doubt resolution outcome.
+    pub fn restart(&mut self) -> (Arc<MinuetCluster>, Resolution) {
+        if wire_mode() {
+            self.power_off();
+            let endpoints = self.spawn_durable_servers(true);
+            let mut sin_cfg = ClusterConfig::with_memnodes(self.n_mems)
+                .with_wire_transport(endpoints, WireConfig::default());
+            sin_cfg.capacity_per_node = self.capacity();
+            let sin = SinfoniaCluster::new(sin_cfg);
+            let resolution = sin.resolve_in_doubt();
+            (
+                MinuetCluster::attach(sin, self.n_trees, self.tree_cfg.clone()),
+                resolution,
+            )
+        } else {
+            let sin_cfg = ClusterConfig {
+                memnodes: self.n_mems,
+                durability: self.dcfg(),
+                ..Default::default()
+            };
+            MinuetCluster::restart_from_disk(sin_cfg, self.n_trees, self.tree_cfg.clone())
+                .expect("restart from disk")
+        }
+    }
+
+    /// Tears the harness down and removes its on-disk state.
+    pub fn cleanup(mut self) {
+        self.power_off();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
 }

@@ -1,28 +1,34 @@
 //! Full-stack durability: a Minuet tree — catalog, nodes, snapshots —
 //! must come back byte-identical from a whole-cluster restart off disk.
+//!
+//! Runs on both transports: in-process the restart is
+//! `restart_from_disk`; under `MINUET_TRANSPORT=wire` the harness
+//! power-cycles real durable daemons and re-attaches a fresh
+//! coordinator (see `common::DurableHarness`).
 
-use minuet::core::{MinuetCluster, TreeConfig};
-use minuet::sinfonia::{ClusterConfig, DurabilityConfig, MemNodeId, SyncMode};
+mod common;
+
+use common::DurableHarness;
+use minuet::core::TreeConfig;
+use minuet::sinfonia::{MemNodeId, SyncMode};
 use std::time::Duration;
 
 fn key(i: u64) -> Vec<u8> {
     format!("d{i:06}").into_bytes()
 }
 
-/// Acceptance: `restart_from_disk()` preserves every committed
+/// Acceptance: a whole-cluster restart preserves every committed
 /// key/version — pre-crash and post-recovery snapshot scans are equal,
 /// for both the frozen snapshot and the moving tip.
 #[test]
 fn full_cluster_restart_preserves_every_version() {
-    let durability = DurabilityConfig::ephemeral("minuet-restart", SyncMode::None);
-    let dir = durability.dir.clone().unwrap();
-    let sin_cfg = ClusterConfig {
-        memnodes: 3,
-        durability,
-        ..Default::default()
-    };
-    let cfg = TreeConfig::small_nodes(8);
-    let mc = MinuetCluster::with_cluster_config(sin_cfg.clone(), 1, cfg.clone());
+    let (mut h, mc) = DurableHarness::create(
+        "minuet-restart",
+        3,
+        1,
+        TreeConfig::small_nodes(8),
+        SyncMode::None,
+    );
 
     let mut p = mc.proxy();
     for i in 0..200u64 {
@@ -44,7 +50,7 @@ fn full_cluster_restart_preserves_every_version() {
     drop(p);
     drop(mc);
 
-    let (mc2, res) = MinuetCluster::restart_from_disk(sin_cfg, 1, cfg).unwrap();
+    let (mc2, res) = h.restart();
     assert_eq!(res.committed + res.aborted, 0, "quiescent shutdown");
     let mut p2 = mc2.proxy();
     let post_snap = p2.scan_at(0, snap.frozen_sid, b"", usize::MAX).unwrap();
@@ -72,7 +78,7 @@ fn full_cluster_restart_preserves_every_version() {
 
     drop(p2);
     drop(mc2);
-    let _ = std::fs::remove_dir_all(dir);
+    h.cleanup();
 }
 
 /// Restart under live traffic cut off mid-flight: acknowledged puts
@@ -80,15 +86,13 @@ fn full_cluster_restart_preserves_every_version() {
 /// acknowledged key).
 #[test]
 fn restart_after_unclean_shutdown_keeps_acked_puts() {
-    let durability = DurabilityConfig::ephemeral("minuet-unclean", SyncMode::Async);
-    let dir = durability.dir.clone().unwrap();
-    let sin_cfg = ClusterConfig {
-        memnodes: 2,
-        durability,
-        ..Default::default()
-    };
-    let cfg = TreeConfig::small_nodes(8);
-    let mc = MinuetCluster::with_cluster_config(sin_cfg.clone(), 1, cfg.clone());
+    let (mut h, mc) = DurableHarness::create(
+        "minuet-unclean",
+        2,
+        1,
+        TreeConfig::small_nodes(8),
+        SyncMode::Async,
+    );
     {
         let mut p = mc.proxy();
         for i in 0..150u64 {
@@ -101,7 +105,7 @@ fn restart_after_unclean_shutdown_keeps_acked_puts() {
     mc.sinfonia.crash(MemNodeId(1));
     drop(mc);
 
-    let (mc2, _) = MinuetCluster::restart_from_disk(sin_cfg, 1, cfg).unwrap();
+    let (mc2, _) = h.restart();
     let mut p = mc2.proxy();
     for i in 0..150u64 {
         assert_eq!(
@@ -116,26 +120,22 @@ fn restart_after_unclean_shutdown_keeps_acked_puts() {
     let _ = mc2.sinfonia.durability_stats();
     drop(p);
     drop(mc2);
-    let _ = std::fs::remove_dir_all(dir);
+    h.cleanup();
 }
 
 /// Durable memnode crash+disk-recovery under live B-tree traffic (the
 /// Sinfonia-level scenario of `tests/failures.rs`, now through the log).
 #[test]
 fn btree_writers_ride_through_disk_recovery() {
-    let durability = DurabilityConfig::ephemeral(
+    let (h, mc) = DurableHarness::create(
         "minuet-ride",
+        2,
+        1,
+        TreeConfig::small_nodes(8),
         SyncMode::GroupCommit {
             window: Duration::from_micros(200),
         },
     );
-    let dir = durability.dir.clone().unwrap();
-    let sin_cfg = ClusterConfig {
-        memnodes: 2,
-        durability,
-        ..Default::default()
-    };
-    let mc = MinuetCluster::with_cluster_config(sin_cfg, 1, TreeConfig::small_nodes(8));
     {
         let mut p = mc.proxy();
         for i in 0..80u64 {
@@ -182,5 +182,5 @@ fn btree_writers_ride_through_disk_recovery() {
     }
     drop(p);
     drop(mc);
-    let _ = std::fs::remove_dir_all(dir);
+    h.cleanup();
 }

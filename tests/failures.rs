@@ -3,7 +3,9 @@
 //! every committed operation and the atomicity of in-flight two-phase
 //! minitransactions.
 
-use minuet::core::{MinuetCluster, TreeConfig};
+mod common;
+
+use minuet::core::TreeConfig;
 use minuet::sinfonia::MemNodeId;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -15,7 +17,7 @@ fn key(i: u64) -> Vec<u8> {
 
 #[test]
 fn committed_data_survives_crash_and_recovery() {
-    let mc = MinuetCluster::new(3, 1, TreeConfig::small_nodes(8));
+    let mc = common::cluster(3, 1, TreeConfig::small_nodes(8));
     let mut p = mc.proxy();
     for i in 0..300 {
         p.put(0, key(i), i.to_le_bytes().to_vec()).unwrap();
@@ -37,7 +39,7 @@ fn committed_data_survives_crash_and_recovery() {
 
 #[test]
 fn writers_ride_through_crash_with_recovery() {
-    let mc = MinuetCluster::new(3, 1, TreeConfig::small_nodes(8));
+    let mc = common::cluster(3, 1, TreeConfig::small_nodes(8));
     {
         let mut p = mc.proxy();
         for i in 0..100 {
@@ -90,7 +92,7 @@ fn writers_ride_through_crash_with_recovery() {
 
 #[test]
 fn snapshots_survive_crashes() {
-    let mc = MinuetCluster::new(2, 1, TreeConfig::small_nodes(8));
+    let mc = common::cluster(2, 1, TreeConfig::small_nodes(8));
     let mut p = mc.proxy();
     for i in 0..150 {
         p.put(0, key(i), i.to_le_bytes().to_vec()).unwrap();
@@ -124,12 +126,12 @@ fn snapshots_survive_crashes() {
 
 #[test]
 fn in_doubt_two_phase_transactions_complete_after_recovery() {
-    use minuet::sinfonia::{ClusterConfig, ItemRange, Minitransaction, SinfoniaCluster};
+    use minuet::sinfonia::{ItemRange, Minitransaction};
     // Substrate-level: prepare a 2PC txn, crash a participant, recover,
     // and let the coordinator finish. (The memnode-level redo behaviour
     // is tested in the sinfonia crate; this exercises the whole stack's
-    // plumbing end to end.)
-    let c = SinfoniaCluster::new(ClusterConfig::with_memnodes(2));
+    // plumbing end to end — crash/recover travel as RPCs in wire mode.)
+    let c = common::sinfonia_cluster(2, 1 << 20);
     let mut m = Minitransaction::new();
     m.write(ItemRange::new(MemNodeId(0), 0, 1), vec![1]);
     m.write(ItemRange::new(MemNodeId(1), 0, 1), vec![2]);
@@ -148,12 +150,10 @@ fn in_doubt_two_phase_transactions_complete_after_recovery() {
 
 #[test]
 fn unavailable_surfaces_after_retry_budget() {
-    use minuet::sinfonia::ClusterConfig;
-    let sin_cfg = ClusterConfig {
-        memnodes: 2,
-        unavailable_retry: Duration::from_millis(100),
-        ..Default::default()
-    };
+    // The retry budget is coordinator-side state, so it composes with
+    // either transport.
+    let mut sin_cfg = common::sinfonia_config(2, 1, &TreeConfig::default());
+    sin_cfg.unavailable_retry = Duration::from_millis(100);
     let mc = minuet::core::MinuetCluster::with_cluster_config(sin_cfg, 1, TreeConfig::default());
     let mut p = mc.proxy();
     p.put(0, key(1), vec![1]).unwrap();

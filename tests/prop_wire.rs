@@ -188,6 +188,19 @@ fn arb_request() -> impl Strategy<Value = Request> {
             }
         }),
         Just(Request::Shutdown),
+        (any::<u32>(), any::<bool>()).prop_map(|(epoch, closing)| Request::EpochMark {
+            epoch: epoch as u64,
+            closing,
+        }),
+        (any::<u32>(), any::<u16>()).prop_map(|(from, max)| Request::ReplFetch {
+            from: from as u64,
+            max: max as u32,
+        }),
+        (any::<u32>(), arb_bytes()).prop_map(|(from, frames)| Request::ReplApply {
+            from: from as u64,
+            frames,
+        }),
+        Just(Request::ReplStatus),
     ]
 }
 
@@ -222,6 +235,31 @@ fn arb_response() -> impl Strategy<Value = Response> {
         any::<u16>().prop_map(Response::Unavailable),
         proptest::collection::vec(any::<u8>(), 0..24)
             .prop_map(|v| Response::Error(v.iter().map(|b| (b'a' + b % 26) as char).collect())),
+        any::<u32>().prop_map(|prev| Response::Epoch(prev as u64)),
+        (any::<u32>(), any::<u32>(), any::<u32>(), arb_bytes()).prop_map(
+            |(from, base, tail, bytes)| Response::Frames {
+                from: from as u64,
+                base: base as u64,
+                tail: tail as u64,
+                bytes,
+            }
+        ),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(watermark, applied_txid, tail, applies, dup_skips)| {
+                Response::ReplStatus {
+                    watermark: watermark as u64,
+                    applied_txid: applied_txid as u64,
+                    tail: tail as u64,
+                    applies: applies as u64,
+                    dup_skips: dup_skips as u64,
+                }
+            }),
     ]
 }
 
