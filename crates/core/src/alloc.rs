@@ -221,6 +221,7 @@ fn grab_chunk(
             Ok(r) => r,
             Err(TxError::Validation | TxError::NoReadyReplica) => continue,
             Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+            Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
         };
         let mut state = AllocState::decode(&raw);
         let mut got: Vec<u32> = Vec::with_capacity(want as usize);
@@ -237,6 +238,7 @@ fn grab_chunk(
                 Ok(r) => r,
                 Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             };
             match FreeSegment::decode(&seg_raw) {
                 Some(seg) => {
@@ -262,6 +264,7 @@ fn grab_chunk(
             Ok(_) => return Ok(got),
             Err(TxError::Validation | TxError::NoReadyReplica) => continue,
             Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+            Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
         }
     }
 }

@@ -361,6 +361,7 @@ impl Proxy {
         let outcomes = match sin.exec_many(&ms) {
             Ok(o) => o,
             Err(SinfoniaError::Unavailable(mem)) => return Err(Error::Unavailable(mem)),
+            Err(SinfoniaError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             Err(SinfoniaError::OutOfBounds { mem, detail }) => {
                 panic!("batched leaf fetch out of bounds at {mem}: {detail}")
             }
@@ -563,6 +564,7 @@ impl Proxy {
         // participant memnode. Validation failures retry per key. ----
         let commit_results = commit_many(staged).map_err(|e| match e {
             TxError::Unavailable(mem) => Error::Unavailable(mem),
+            TxError::DeadlineExceeded => Error::DeadlineExceeded,
             TxError::Validation => unreachable!("exec_many reports validation per member"),
             TxError::NoReadyReplica => unreachable!("staging failures surface per member"),
         })?;
@@ -595,6 +597,7 @@ impl Proxy {
                     requeue.extend(members);
                 }
                 Err(TxError::Unavailable(mem)) => return Err(Error::Unavailable(mem)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             }
         }
         Ok(BatchOutcome::Served { fallback, requeue })
@@ -674,6 +677,7 @@ impl Proxy {
                     continue;
                 }
                 Err(TxError::Unavailable(mem)) => return Err(Error::Unavailable(mem)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             };
             let root = Node::decode(&root_raw).map_err(Error::Corrupt)?;
             if !(root.height == 0 && root.is_empty() && root.created == ctx.sid) {
@@ -705,6 +709,7 @@ impl Proxy {
                     backoff(attempts);
                 }
                 Err(TxError::Unavailable(mem)) => return Err(Error::Unavailable(mem)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             }
         }
     }

@@ -82,6 +82,10 @@ pub enum Error {
         /// The non-empty tree.
         tree: u32,
     },
+    /// The operation's end-to-end deadline (see
+    /// [`minuet_sinfonia::deadline`]) expired before it completed. The
+    /// tree may be healthy — the caller's time budget ran out first.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for Error {
@@ -116,6 +120,7 @@ impl fmt::Display for Error {
                     "bulk_load requires an empty tree, but tree {tree} has data"
                 )
             }
+            Error::DeadlineExceeded => write!(f, "operation deadline exceeded"),
         }
     }
 }
@@ -164,6 +169,7 @@ pub(crate) fn tx_attempt<T>(e: TxError) -> Result<Attempt<T>, Error> {
         TxError::Validation => Ok(Attempt::Retry(RetryCause::Validation)),
         TxError::Unavailable(m) => Err(Error::Unavailable(m)),
         TxError::NoReadyReplica => Ok(Attempt::Retry(RetryCause::NoReadyReplica)),
+        TxError::DeadlineExceeded => Err(Error::DeadlineExceeded),
     }
 }
 

@@ -112,6 +112,7 @@ impl Proxy {
                 Ok(r) => r,
                 Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             };
             let mut g = GlobalVal::decode(&raw).expect("global header corrupt");
             g.lowest = g.lowest.max(lowest);
@@ -120,6 +121,7 @@ impl Proxy {
                 Ok(_) => return Ok(()),
                 Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             }
         }
     }
@@ -140,6 +142,7 @@ impl Proxy {
                 Ok(r) => r,
                 Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             };
             let tip = crate::catalog::TipVal::decode(&traw).expect("tip corrupt");
             if tip.sid == sid {
@@ -149,6 +152,7 @@ impl Proxy {
                 Ok(r) => r,
                 Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             };
             let mut entry =
                 crate::catalog::CatEntry::decode(&raw).ok_or(Error::NoSuchSnapshot(sid))?;
@@ -161,6 +165,7 @@ impl Proxy {
                 }
                 Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             }
         }
     }
@@ -245,6 +250,7 @@ impl Proxy {
                 Ok(r) => AllocState::decode(&r),
                 Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             };
             // Re-confirm each candidate under validation.
             let mut confirmed: Vec<u32> = Vec::new();
@@ -258,6 +264,7 @@ impl Proxy {
                         continue;
                     }
                     Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                    Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
                 };
                 match Node::decode(&raw) {
                     Ok(node) if !ctx.node_live(ptr, &node) => confirmed.push(slot),
@@ -278,6 +285,7 @@ impl Proxy {
                 }
                 Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             }
         }
     }

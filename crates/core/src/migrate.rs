@@ -283,6 +283,7 @@ impl Proxy {
             Ok(r) => r,
             Err(TxError::Validation | TxError::NoReadyReplica) => return Ok(Swap::Retry),
             Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+            Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
         };
         if Node::decode(&raw).is_err() {
             return Ok(Swap::SourceGone);
@@ -296,6 +297,7 @@ impl Proxy {
             Ok(_) => return Ok(Swap::Retry),
             Err(TxError::Validation | TxError::NoReadyReplica) => return Ok(Swap::Retry),
             Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+            Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
         }
         tx.write(tgt_obj, raw);
 
@@ -307,6 +309,7 @@ impl Proxy {
                 Ok(r) => r,
                 Err(TxError::Validation | TxError::NoReadyReplica) => return Ok(Swap::Retry),
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             };
             if tx.observed_seqno(&TxKey::Plain(robj)) != Some(seen) {
                 return Ok(Swap::Retry);
@@ -327,6 +330,7 @@ impl Proxy {
                 Ok(r) => r,
                 Err(TxError::Validation | TxError::NoReadyReplica) => return Ok(Swap::Retry),
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             };
             if tx.observed_seqno(&TxKey::Repl(repl)) != Some(seen) {
                 return Ok(Swap::Retry);
@@ -346,6 +350,7 @@ impl Proxy {
                 Ok(r) => r,
                 Err(TxError::Validation | TxError::NoReadyReplica) => return Ok(Swap::Retry),
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             };
             if tx.observed_seqno(&TxKey::Repl(repl)) != Some(seen) {
                 return Ok(Swap::Retry);
@@ -367,6 +372,7 @@ impl Proxy {
             Ok(r) => AllocState::decode(&r),
             Err(TxError::Validation | TxError::NoReadyReplica) => return Ok(Swap::Retry),
             Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+            Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
         };
         let new_state = push_free_segment(&mut tx, &layout, src.mem, &state, &[src.slot]);
         tx.write(state_obj, new_state.encode());
@@ -375,6 +381,7 @@ impl Proxy {
             Ok(info) => Ok(Swap::Done(info.installed)),
             Err(TxError::Validation | TxError::NoReadyReplica) => Ok(Swap::Retry),
             Err(TxError::Unavailable(m)) => Err(Error::Unavailable(m)),
+            Err(TxError::DeadlineExceeded) => Err(Error::DeadlineExceeded),
         }
     }
 
@@ -399,6 +406,7 @@ impl Proxy {
                 Ok(_) => return Ok(target),
                 Err(TxError::Validation | TxError::NoReadyReplica) => continue, // blind write; transient
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             }
         }
     }
@@ -537,12 +545,14 @@ impl Proxy {
                 Ok(_) => return Ok(()),
                 Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             }
             let state_obj = layout.alloc_state(ptr.mem);
             let state = match tx.read(state_obj) {
                 Ok(r) => AllocState::decode(&r),
                 Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             };
             let new_state = push_free_segment(&mut tx, &layout, ptr.mem, &state, &[ptr.slot]);
             tx.write(state_obj, new_state.encode());
@@ -550,6 +560,7 @@ impl Proxy {
                 Ok(_) => return Ok(()),
                 Err(TxError::Validation | TxError::NoReadyReplica) => continue,
                 Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
             }
         }
     }

@@ -260,6 +260,12 @@ impl Proxy {
             if attempts >= budget {
                 return Err(Error::TooManyRetries { attempts });
             }
+            // An expired ambient deadline stops the retry loop before the
+            // next attempt issues any RPC (lower layers also check, but
+            // this is the guaranteed no-new-work cutoff).
+            if minuet_sinfonia::OpDeadline::current().expired() {
+                return Err(Error::DeadlineExceeded);
+            }
             let mut tx = DynTx::with_piggyback(&sin, mc.cfg.piggyback);
             self.last_leaf_assumed = None;
             self.last_leaf_written = None;
@@ -288,6 +294,7 @@ impl Proxy {
                         backoff(attempts);
                     }
                     Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                    Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
                 },
             }
         }
@@ -500,6 +507,7 @@ impl Proxy {
                 unreachable!("reads bind their own replica, not the commit fallback")
             }
             Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+            Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
         };
         let tip = TipVal::decode(&raw).expect("tip object corrupt");
         Ok((tip.sid, tip.root))
@@ -561,6 +569,7 @@ impl Proxy {
                         backoff(attempts);
                     }
                     Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                    Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
                 },
                 Err(TxnError::Retry(cause)) => {
                     self.note_retry(0, cause);

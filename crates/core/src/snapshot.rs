@@ -225,6 +225,7 @@ impl Proxy {
                         continue;
                     }
                     Err(TxError::Unavailable(m)) => return Err(Error::Unavailable(m)),
+                    Err(TxError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
                 },
             }
         }

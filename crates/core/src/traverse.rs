@@ -89,6 +89,7 @@ pub(crate) fn fetch_cat_raw(
     m.read(obj.full_range());
     match mc.sinfonia.execute(&m) {
         Err(minuet_sinfonia::SinfoniaError::Unavailable(mem)) => Err(Error::Unavailable(mem)),
+        Err(minuet_sinfonia::SinfoniaError::DeadlineExceeded) => Err(Error::DeadlineExceeded),
         Err(minuet_sinfonia::SinfoniaError::OutOfBounds { .. }) => Err(Error::NoSuchSnapshot(sid)),
         Ok(Outcome::FailedCompare(_)) => unreachable!("read-only minitx"),
         Ok(Outcome::Committed(res)) => {

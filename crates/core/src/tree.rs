@@ -588,6 +588,7 @@ fn seed_tree_replicas(
                 Ok(Outcome::Committed(_)) => break,
                 Ok(Outcome::FailedCompare(_)) => continue, // racing update; re-read
                 Err(SinfoniaError::Unavailable(mem)) => return Err(Error::Unavailable(mem)),
+                Err(SinfoniaError::DeadlineExceeded) => return Err(Error::DeadlineExceeded),
                 Err(SinfoniaError::OutOfBounds { mem, detail }) => {
                     panic!("seeding out of bounds at {mem}: {detail}")
                 }

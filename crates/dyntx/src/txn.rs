@@ -48,6 +48,10 @@ pub enum TxError {
     /// failures). Transient during membership changes — retryable, like
     /// [`TxError::Validation`], rather than a hard failure.
     NoReadyReplica,
+    /// The operation's end-to-end deadline expired (see
+    /// [`minuet_sinfonia::deadline`]). Not retryable within the same
+    /// deadline scope: the caller's time budget is spent.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for TxError {
@@ -56,6 +60,7 @@ impl std::fmt::Display for TxError {
             TxError::Validation => write!(f, "validation failed"),
             TxError::Unavailable(m) => write!(f, "memnode {m} unavailable"),
             TxError::NoReadyReplica => write!(f, "no memnode ready for replicated objects"),
+            TxError::DeadlineExceeded => write!(f, "operation deadline exceeded"),
         }
     }
 }
@@ -69,6 +74,7 @@ impl From<SinfoniaError> for TxError {
             SinfoniaError::OutOfBounds { mem, detail } => {
                 panic!("out-of-bounds object access at {mem}: {detail}")
             }
+            SinfoniaError::DeadlineExceeded => TxError::DeadlineExceeded,
         }
     }
 }

@@ -26,6 +26,10 @@ use std::time::Duration;
 struct Target {
     label: String,
     node: RemoteNode,
+    /// Kept so the client-side registry (circuit-breaker transitions,
+    /// fail-fast rejections, byte counters) can be rendered alongside the
+    /// node's own snapshot.
+    transport: Arc<Transport>,
 }
 
 struct Args {
@@ -96,8 +100,9 @@ fn parse_args() -> Result<Args, String> {
                         MemNodeId(id),
                         endpoint,
                         WireConfig::default(),
-                        transport,
+                        Arc::clone(&transport),
                     ),
+                    transport,
                 });
             }
         }
@@ -159,6 +164,20 @@ fn poll(t: &Target, traces: u32, slow: bool) {
             if s.count > 0 {
                 println!("  {}", render_hist(name, s));
             }
+        }
+    }
+    // Client-side view: breaker state transitions and fail-fast rejections
+    // accumulate in this process's transport registry, not on the node.
+    let local = t.transport.obs.registry.snapshot();
+    let breaker: Vec<_> = local
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("wire.breaker."))
+        .collect();
+    if !breaker.is_empty() {
+        println!("  breaker (client-side):");
+        for (name, v) in breaker {
+            println!("    {name:<28} {v}");
         }
     }
     if traces > 0 {

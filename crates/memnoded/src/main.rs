@@ -21,7 +21,15 @@
 //! replication watermark, so restarting the follower resumes the stream
 //! with no gaps and no duplicate applies.
 //!
-//! The process exits cleanly when a client sends the `Shutdown` RPC.
+//! The process exits cleanly when a client sends the `Shutdown` RPC, or
+//! on SIGTERM: the daemon stops accepting, lets in-flight requests finish
+//! (every acked commit is already durable per the WAL contract), takes a
+//! final checkpoint when durable, and exits 0.
+//!
+//! Fault injection: `--faults SPEC` (or the `MINUET_FAULTS` environment
+//! variable) arms named failpoints at startup using the
+//! `minuet_faults::apply_spec` grammar, and the `Faults` admin RPC re-arms
+//! them at runtime — the chaos harness's remote control surface.
 
 use minuet_sinfonia::wire::Endpoint;
 use minuet_sinfonia::{
@@ -44,11 +52,13 @@ struct Args {
     slow_us: u64,
     follow: Option<Endpoint>,
     follow_poll: Duration,
+    faults: Option<String>,
 }
 
 const USAGE: &str = "memnoded --listen <tcp:HOST:PORT|unix:PATH> [--id N] [--capacity-mb MB]
          [--dir PATH] [--sync none|async|sync|group] [--max-connections N]
          [--slow-us US] [--follow ENDPOINT] [--follow-poll-ms MS]
+         [--faults SPEC]
 
   --listen            endpoint to serve on (required)
   --id                memnode id this daemon serves (default 0)
@@ -63,7 +73,11 @@ const USAGE: &str = "memnoded --listen <tcp:HOST:PORT|unix:PATH> [--id N] [--cap
                       served at this endpoint: pull its WAL stream and apply
                       it locally, resuming from the durable watermark
   --follow-poll-ms    sleep between pulls when caught up or the primary is
-                      unreachable (default 2)";
+                      unreachable (default 2)
+  --faults            arm fault-injection failpoints at startup, e.g.
+                      'wal.fsync=err:count=3;wire.server.send=drop'
+                      (also read from the MINUET_FAULTS env var; the
+                      Faults admin RPC re-arms at runtime)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -76,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
         slow_us: 0,
         follow: None,
         follow_poll: Duration::from_millis(2),
+        faults: None,
     };
     let mut listen_set = false;
     let mut it = std::env::args().skip(1);
@@ -136,6 +151,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--follow-poll-ms {v}: not a number"))?;
                 args.follow_poll = Duration::from_millis(ms);
             }
+            "--faults" => args.faults = Some(value("--faults")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
         }
@@ -146,7 +162,40 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Set by the SIGTERM handler; polled by the shutdown watcher thread.
+static SIGTERM_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    // Only the async-signal-safe atomic store happens here; the watcher
+    // thread does the actual shutdown work.
+    SIGTERM_RECEIVED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    const SIGTERM: i32 = 15;
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
 fn run(args: Args) -> std::io::Result<()> {
+    // Arm startup failpoints before the node opens, so WAL/recovery paths
+    // are already under fault coverage. The flag extends (or overrides
+    // per-site) whatever MINUET_FAULTS armed.
+    minuet_faults::init_from_env()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    if let Some(spec) = &args.faults {
+        let armed = minuet_faults::apply_spec(spec)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        eprintln!("memnoded: armed {armed} failpoint(s) from --faults");
+    }
     let id = MemNodeId(args.id);
     let node = match &args.dir {
         Some(dir) => {
@@ -184,7 +233,28 @@ fn run(args: Args) -> std::io::Result<()> {
         .follow
         .as_ref()
         .map(|primary| spawn_follow_loop(&node, id, primary.clone(), args.follow_poll));
-    let server = MemNodeServer::spawn(node, &args.listen, opts)?;
+    let server = Arc::new(MemNodeServer::spawn(node, &args.listen, opts)?);
+    install_sigterm_handler();
+    // The watcher turns the SIGTERM flag into the same graceful shutdown a
+    // client `Shutdown` RPC performs; it exits on its own once the server
+    // stops for any reason.
+    let watcher = {
+        let server = server.clone();
+        std::thread::Builder::new()
+            .name("memnoded-sigterm".into())
+            .spawn(move || loop {
+                if SIGTERM_RECEIVED.load(Ordering::SeqCst) {
+                    eprintln!("memnoded: SIGTERM, shutting down gracefully");
+                    server.request_shutdown();
+                    return;
+                }
+                if server.is_stopped() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            })
+            .expect("spawning SIGTERM watcher failed")
+    };
     eprintln!(
         "memnoded: serving {id} on {} (capacity {} MiB{}{})",
         args.listen,
@@ -196,9 +266,20 @@ fn run(args: Args) -> std::io::Result<()> {
         }
     );
     server.wait();
+    let _ = watcher.join();
     if let Some((stop, handle)) = follower {
         stop.store(true, Ordering::Release);
         let _ = handle.join();
+    }
+    // Flush everything to disk before exiting: acked commits are already
+    // durable (the WAL contract), and a final checkpoint persists the rest
+    // so restart recovery starts from a fresh image. Failures (e.g. an
+    // armed checkpoint failpoint) are reported but do not taint exit —
+    // the WAL alone is sufficient for recovery.
+    if args.dir.is_some() {
+        if let Err(e) = server.node().checkpoint() {
+            eprintln!("memnoded: final checkpoint failed: {e}");
+        }
     }
     eprintln!("memnoded: {id} shutting down");
     Ok(())

@@ -161,11 +161,30 @@ pub fn decode_image(buf: &[u8]) -> Option<Image> {
 /// Writes an image atomically: sibling file, fsync, rename, directory
 /// fsync. A crash mid-write leaves the previous image intact.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use minuet_faults as faults;
     let tmp = path.with_extension("tmp");
+    if let Some(a) = faults::check_delay(faults::Site::CkptWrite) {
+        if a == faults::Action::Panic {
+            panic!("injected panic at ckpt.write");
+        }
+        // An injected ENOSPC mid-write leaves a torn sibling behind, as a
+        // real one would; the previous image is untouched either way.
+        if a == faults::Action::NoSpace || matches!(a, faults::Action::ShortWrite(_)) {
+            let half = bytes.len() / 2;
+            let _ = File::create(&tmp).and_then(|mut f| f.write_all(&bytes[..half]));
+        }
+        return Err(faults::io_error(faults::Site::CkptWrite, a));
+    }
     {
         let mut f = File::create(&tmp)?;
         f.write_all(bytes)?;
         f.sync_data()?;
+    }
+    if let Some(a) = faults::check_delay(faults::Site::CkptRename) {
+        if a == faults::Action::Panic {
+            panic!("injected panic at ckpt.rename");
+        }
+        return Err(faults::io_error(faults::Site::CkptRename, a));
     }
     std::fs::rename(&tmp, path)?;
     if let Some(dir) = path.parent() {

@@ -19,6 +19,7 @@
 
 use crate::addr::MemNodeId;
 use crate::bytes::Bytes;
+use crate::deadline::OpDeadline;
 use crate::lock::TxId;
 use crate::memnode::{ReplStatus, SingleResult, Unavailable, Vote};
 use crate::minitx::{LockPolicy, Shard};
@@ -29,6 +30,7 @@ use crate::wire::{
     encode_traced_request, read_frame, split_reply_flags, Endpoint, NodeFlags, Request, Response,
     WireBatchItem, WireShard, PROTO_VERSION,
 };
+use minuet_faults as faults;
 use minuet_obs::{absorb_spans, current_ctx, span, span_tagged, HistHandle, ObsSnapshot, SpanKind};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -210,22 +212,42 @@ impl RemoteNode {
         Ok(s)
     }
 
+    /// Bumps one of the `wire.breaker.*` transition counters in the
+    /// transport's registry (all cold paths — the healthy hot path never
+    /// touches these).
+    fn breaker_count(&self, name: &str) {
+        self.transport
+            .obs
+            .registry
+            .counter(name)
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Pops an idle connection or dials. Fails fast (without dialing)
     /// while inside the backoff window.
     fn get_conn(&self) -> io::Result<(crate::wire::Stream, bool)> {
         if let Some(s) = self.idle.lock().pop() {
             return Ok((s, true));
         }
-        {
+        let probing = {
             let b = self.backoff.lock();
-            if let Some(until) = b.until {
-                if Instant::now() < until {
+            match b.until {
+                Some(until) if Instant::now() < until => {
+                    drop(b);
+                    self.breaker_count("wire.breaker.fail_fast");
                     return Err(io::Error::new(
                         io::ErrorKind::WouldBlock,
                         "in reconnect backoff",
                     ));
                 }
+                // Window passed but not yet cleared by a success: this
+                // dial is the half-open probe.
+                Some(_) => true,
+                None => false,
             }
+        };
+        if probing {
+            self.breaker_count("wire.breaker.half_open");
         }
         Ok((self.dial()?, false))
     }
@@ -240,12 +262,18 @@ impl RemoteNode {
 
     fn note_success(&self) {
         let mut b = self.backoff.lock();
+        if b.failures > 0 {
+            self.breaker_count("wire.breaker.close");
+        }
         b.failures = 0;
         b.until = None;
     }
 
     fn note_failure(&self) {
         let mut b = self.backoff.lock();
+        if b.failures == 0 {
+            self.breaker_count("wire.breaker.open");
+        }
         b.failures = b.failures.saturating_add(1);
         b.until = Some(Instant::now() + Self::delay_for(&self.cfg, b.failures));
         // Stale pooled connections are useless after a failure (the server
@@ -298,6 +326,38 @@ impl RemoteNode {
             .clone()
     }
 
+    /// Writes the request frame, honoring an armed `wire.client.send`
+    /// failpoint: `Corrupt` flips a payload byte (the server fails the
+    /// CRC and closes), `SeverAfter(n)` writes only the first `n` bytes
+    /// then reports the cut, `Drop`/`Err` discard the frame and surface a
+    /// transport error. `Delay` has already been slept by `check_delay`.
+    fn send_frame(conn: &mut crate::wire::Stream, frame: &[u8]) -> io::Result<()> {
+        match faults::check_delay(faults::Site::WireClientSend) {
+            None => {}
+            Some(faults::Action::Panic) => panic!("injected panic at wire.client.send"),
+            Some(faults::Action::Corrupt) => {
+                let mut bad = frame.to_vec();
+                if let Some(b) = bad.last_mut() {
+                    *b ^= 0x40;
+                }
+                conn.write_all(&bad)?;
+                return conn.flush();
+            }
+            Some(faults::Action::SeverAfter(n)) => {
+                let n = (n as usize).min(frame.len());
+                conn.write_all(&frame[..n])?;
+                let _ = conn.flush();
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected sever at wire.client.send",
+                ));
+            }
+            Some(a) => return Err(faults::io_error(faults::Site::WireClientSend, a)),
+        }
+        conn.write_all(frame)?;
+        conn.flush()
+    }
+
     /// Writes `frame`, reads the reply frame, decodes it. Returns the
     /// response and the inbound frame size (header included).
     fn exchange(
@@ -308,8 +368,13 @@ impl RemoteNode {
     ) -> io::Result<(Response, u64)> {
         let payload = {
             let _rtt = span_tagged(SpanKind::Rtt, req_tag);
-            conn.write_all(frame)?;
-            conn.flush()?;
+            Self::send_frame(conn, frame)?;
+            if let Some(a) = faults::check_delay(faults::Site::WireClientRecv) {
+                match a {
+                    faults::Action::Panic => panic!("injected panic at wire.client.recv"),
+                    a => return Err(faults::io_error(faults::Site::WireClientRecv, a)),
+                }
+            }
             read_frame(conn)?
         };
         let bytes_in = (payload.len() + crate::wire::FRAME_HDR) as u64;
@@ -337,6 +402,13 @@ impl RemoteNode {
     /// client's span tree.
     fn request(&self, req: &Request) -> Result<Response, Unavailable> {
         let t0 = Instant::now();
+        // An ambient op deadline caps the per-request socket timeout and
+        // fails fast once expired — without counting against the breaker
+        // (the server did nothing wrong).
+        let op = OpDeadline::current();
+        if op.expired() {
+            return Err(Unavailable(self.id));
+        }
         let traced = current_ctx();
         let frame = {
             let _f = span(SpanKind::Framing);
@@ -361,8 +433,20 @@ impl RemoteNode {
                     return Err(Unavailable(self.id));
                 }
             };
+            let capped = op.instant().is_some();
+            if capped {
+                let t = op
+                    .cap(self.cfg.request_timeout)
+                    .max(Duration::from_millis(1));
+                let _ = conn.set_timeouts(Some(t));
+            }
             match self.exchange(&mut conn, &frame, req_tag) {
                 Ok((resp, bytes_in)) => {
+                    if capped {
+                        // Restore the default before pooling so later
+                        // uncapped requests keep their full timeout.
+                        let _ = conn.set_timeouts(Some(self.cfg.request_timeout));
+                    }
                     self.put_conn(conn);
                     self.note_success();
                     let h = self.rpc_hists(req);
@@ -411,6 +495,19 @@ impl RemoteNode {
             }),
             Err(u) => Err(u),
         }
+    }
+
+    /// Admin: applies a fault-injection spec inside the server process
+    /// (`minuet_faults::apply_spec` grammar; `"clear"` disarms all).
+    /// Returns the number of failpoints armed on the server afterwards.
+    pub fn apply_faults(&self, spec: &str) -> Result<u32, Unavailable> {
+        let req = Request::Faults {
+            spec: spec.to_string(),
+        };
+        self.expect(self.request(&req), |r| match r {
+            Response::Faults { armed } => Some(armed),
+            _ => None,
+        })
     }
 
     /// Asks the server process to exit cleanly (used by orchestration and

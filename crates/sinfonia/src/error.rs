@@ -19,6 +19,11 @@ pub enum SinfoniaError {
         /// Description of the access.
         detail: String,
     },
+    /// The operation's end-to-end deadline (see [`crate::deadline`])
+    /// expired before it completed. Distinct from
+    /// [`SinfoniaError::Unavailable`]: the cluster may be healthy — the
+    /// caller's time budget ran out first.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for SinfoniaError {
@@ -28,6 +33,7 @@ impl fmt::Display for SinfoniaError {
             SinfoniaError::OutOfBounds { mem, detail } => {
                 write!(f, "out-of-bounds access at {mem}: {detail}")
             }
+            SinfoniaError::DeadlineExceeded => write!(f, "operation deadline exceeded"),
         }
     }
 }

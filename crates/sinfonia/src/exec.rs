@@ -12,6 +12,7 @@
 
 use crate::bytes::Bytes;
 use crate::cluster::SinfoniaCluster;
+use crate::deadline::OpDeadline;
 use crate::error::SinfoniaError;
 use crate::lock::TxId;
 use crate::memnode::{SingleResult, Vote};
@@ -49,6 +50,18 @@ fn jitter(bound: u64) -> u64 {
     })
 }
 
+/// Counts and constructs the typed deadline error: every loop that gives
+/// up on an expired [`OpDeadline`] funnels through here so the
+/// `deadline.exceeded` series in the cluster's registry stays exact.
+fn deadline_exceeded(cluster: &SinfoniaCluster) -> SinfoniaError {
+    cluster
+        .obs()
+        .registry
+        .counter("deadline.exceeded")
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    SinfoniaError::DeadlineExceeded
+}
+
 fn backoff(attempt: u32) {
     // 1µs .. ~256µs exponential with jitter; contention windows in the
     // simulated cluster are short, so the ceiling stays low.
@@ -66,6 +79,11 @@ fn backoff(attempt: u32) {
 /// failed comparisons, per the Sinfonia API.
 pub fn execute(cluster: &SinfoniaCluster, m: &Minitransaction) -> Result<Outcome, SinfoniaError> {
     debug_assert!(!m.is_empty(), "empty minitransaction");
+    let op = OpDeadline::current();
+    // Fail fast: an already-expired deadline costs zero RPCs.
+    if op.expired() {
+        return Err(deadline_exceeded(cluster));
+    }
     let policy = m.policy.unwrap_or(LockPolicy::AbortOnBusy);
     let deadline = Instant::now() + cluster.cfg.unavailable_retry;
     let mut attempt: u32 = 0;
@@ -73,11 +91,18 @@ pub fn execute(cluster: &SinfoniaCluster, m: &Minitransaction) -> Result<Outcome
         let txid: TxId = cluster.next_txid();
         match try_once(cluster, m, txid, policy) {
             TryResult::Done(outcome) => return Ok(outcome),
+            TryResult::Deadline => return Err(deadline_exceeded(cluster)),
             TryResult::Busy => {
+                if op.expired() {
+                    return Err(deadline_exceeded(cluster));
+                }
                 attempt += 1;
                 backoff(attempt);
             }
             TryResult::Unavailable(id) => {
+                if op.expired() {
+                    return Err(deadline_exceeded(cluster));
+                }
                 if Instant::now() >= deadline {
                     return Err(SinfoniaError::Unavailable(id));
                 }
@@ -104,6 +129,9 @@ pub fn execute_many(
     cluster: &SinfoniaCluster,
     ms: &[Minitransaction],
 ) -> Result<Vec<Outcome>, SinfoniaError> {
+    if !ms.is_empty() && OpDeadline::current().expired() {
+        return Err(deadline_exceeded(cluster));
+    }
     let mut out: Vec<Option<Outcome>> = (0..ms.len()).map(|_| None).collect();
 
     // Partition: single-memnode minitransactions group by their memnode,
@@ -183,6 +211,8 @@ enum TryResult {
     Done(Outcome),
     Busy,
     Unavailable(crate::addr::MemNodeId),
+    /// The ambient [`OpDeadline`] expired mid-protocol.
+    Deadline,
 }
 
 fn try_once(
@@ -275,14 +305,19 @@ fn try_once(
                 loop {
                     match node.commit(txid) {
                         Ok(()) => break,
-                        Err(_) if Instant::now() < deadline => {
-                            std::thread::sleep(Duration::from_micros(200));
-                        }
                         Err(u) => {
-                            // Decision is committed (all voted Ok); a
-                            // permanently dead participant is a cluster
-                            // fault surfaced to the caller.
-                            return TryResult::Unavailable(u.0);
+                            // Decision is committed (all voted Ok). An
+                            // expired op deadline or retry budget stops
+                            // the delivery loop with a typed error; the
+                            // durable participant lists let in-doubt
+                            // resolution finish the transaction later.
+                            if OpDeadline::current().expired() {
+                                return TryResult::Deadline;
+                            }
+                            if Instant::now() >= deadline {
+                                return TryResult::Unavailable(u.0);
+                            }
+                            std::thread::sleep(Duration::from_micros(200));
                         }
                     }
                 }

@@ -57,6 +57,7 @@ pub mod bytes;
 pub mod checkpoint;
 pub mod client;
 pub mod cluster;
+pub mod deadline;
 pub mod error;
 pub mod exec;
 pub mod lock;
@@ -75,6 +76,7 @@ pub use addr::{ItemRange, MemNodeId};
 pub use bytes::Bytes;
 pub use client::{RemoteNode, WireConfig};
 pub use cluster::{ClusterConfig, DurSnapshot, SinfoniaCluster, TransportMode};
+pub use deadline::OpDeadline;
 pub use error::SinfoniaError;
 pub use memnode::{MemNode, ReplStatus, Unavailable};
 pub use minitx::{LockPolicy, Minitransaction, Outcome, ReadResults};
@@ -83,5 +85,5 @@ pub use repl::{ReplConfig, ReplToken, Replicator};
 pub use rpc::{BatchItem, NodeHandle, NodeRpc, NodeStats};
 pub use server::{MemNodeServer, ServerOptions};
 pub use transport::{op_counters, op_reset, with_op_net, OpNet, Transport};
-pub use wal::{DurabilityConfig, SyncMode, WalSegment, WalStats};
+pub use wal::{DurabilityConfig, SyncMode, WalError, WalSegment, WalStats};
 pub use wire::{Endpoint, WireError};

@@ -19,8 +19,11 @@ use crate::lock::{LockAcquire, LockManager, TxId};
 use crate::minitx::{LockPolicy, Shard};
 use crate::recovery::{self, NodeMeta};
 use crate::space::PagedSpace;
-use crate::wal::{parse_frames, DurabilityConfig, OwnedRecord, Record, Wal, WalSegment, WalStats};
+use crate::wal::{
+    parse_frames, DurabilityConfig, OwnedRecord, Record, Wal, WalError, WalSegment, WalStats,
+};
 use crate::{checkpoint, lock};
+use minuet_faults as faults;
 use minuet_obs::{span, Counter, ObsPlane, SpanKind};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
@@ -135,6 +138,9 @@ pub struct MemNodeStats {
     /// Redelivered stream frames skipped because they were at or below
     /// the replication watermark (exactly-once incorporation).
     pub repl_dup_skips: Counter,
+    /// WAL append/fsync failures observed (each one degrades the node to
+    /// read-only until it is recovered).
+    pub wal_failures: Counter,
 }
 
 impl MemNodeStats {
@@ -152,6 +158,7 @@ impl MemNodeStats {
         r.register_counter("memnode.write_fastpath_misses", &self.write_fastpath_misses);
         r.register_counter("repl.applies", &self.repl_applies);
         r.register_counter("repl.dup_skips", &self.repl_dup_skips);
+        r.register_counter("memnode.wal_failures", &self.wal_failures);
     }
 }
 
@@ -183,6 +190,10 @@ pub struct MemNode {
     /// scale.)
     decided: Mutex<HashSet<TxId>>,
     crashed: AtomicBool,
+    /// Latched when the redo log fails (short write, ENOSPC, fsync error):
+    /// the node keeps serving reads but refuses every logged mutation with
+    /// `Unavailable` instead of panicking. Cleared by [`MemNode::recover`].
+    degraded: AtomicBool,
     /// True while the node is joining an elastic cluster: it already
     /// participates in replicated *writes* but its replicas of
     /// pre-existing replicated objects have not been seeded yet, so it
@@ -332,6 +343,7 @@ impl MemNode {
             prepared: Mutex::new(staged),
             decided: Mutex::new(decided),
             crashed: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
             joining: AtomicBool::new(false),
             retiring: AtomicBool::new(false),
             service_gate: Mutex::new(()),
@@ -355,9 +367,36 @@ impl MemNode {
         }
     }
 
+    /// Like [`MemNode::check_up`], but also refuses when the node has
+    /// degraded to read-only after a WAL failure. Every logged-mutation
+    /// entry point goes through this; plain reads only need `check_up`.
+    #[inline]
+    fn check_writable(&self) -> Result<(), Unavailable> {
+        self.check_up()?;
+        if self.degraded.load(Ordering::Acquire) {
+            return Err(Unavailable(self.id));
+        }
+        Ok(())
+    }
+
+    /// Latches read-only mode after a WAL failure and returns the
+    /// `Unavailable` the failed operation surfaces. The typed cause is
+    /// counted (`memnode.wal_failures`) rather than panicking the node.
+    fn degrade(&self, _cause: WalError) -> Unavailable {
+        self.degraded.store(true, Ordering::Release);
+        self.stats.wal_failures.fetch_add(1, Ordering::Relaxed);
+        Unavailable(self.id)
+    }
+
     /// True if the node is currently crashed.
     pub fn is_crashed(&self) -> bool {
         self.crashed.load(Ordering::Acquire)
+    }
+
+    /// True once a WAL failure has degraded the node to read-only (see
+    /// [`MemNode::recover`] for how it heals).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
     }
 
     /// Address-space capacity in bytes.
@@ -476,8 +515,14 @@ impl MemNode {
     }
 
     /// Logs (when durable) and applies a one-phase batch of writes.
-    /// Returns the log offset the caller must wait on before acking.
-    fn log_and_apply(&self, txid: TxId, writes: &[(u64, Bytes)]) -> Option<u64> {
+    /// Returns the log offset the caller must wait on before acking. A
+    /// failed append degrades the node read-only *before* the in-memory
+    /// apply, so the log-before-apply contract holds even under faults.
+    fn log_and_apply(
+        &self,
+        txid: TxId,
+        writes: &[(u64, Bytes)],
+    ) -> Result<Option<u64>, Unavailable> {
         match &self.dur {
             Some(d) => {
                 // Hold the appender guard across the apply (as `commit`
@@ -487,13 +532,15 @@ impl MemNode {
                 // the image lacks its effects.
                 let _s = span(SpanKind::SrvWalAppend);
                 let mut g = d.wal.lock();
-                let end = g.append(&Record::Apply { txid, writes });
+                let end = g
+                    .append(&Record::Apply { txid, writes })
+                    .map_err(|e| self.degrade(e))?;
                 self.apply(writes);
-                Some(end)
+                Ok(Some(end))
             }
             None => {
                 self.apply(writes);
-                None
+                Ok(None)
             }
         }
     }
@@ -543,8 +590,11 @@ impl MemNode {
                     .fetch_add(1, Ordering::Relaxed);
                 let _ = attempt;
             }
-        } else if let Some(result) = self.try_write_fastpath(txid, shard, &spans) {
-            return Ok(result);
+        } else {
+            self.check_writable()?;
+            if let Some(result) = self.try_write_fastpath(txid, shard, &spans) {
+                return result;
+            }
         }
 
         let busy = {
@@ -561,10 +611,12 @@ impl MemNode {
             match self.eval(shard) {
                 Err(failed) => {
                     self.stats.aborts.fetch_add(1, Ordering::Relaxed);
-                    SingleResult::BadCompare(failed)
+                    Ok(SingleResult::BadCompare(failed))
                 }
                 Ok(reads) => {
-                    if !shard.writes.is_empty() {
+                    let logged = if shard.writes.is_empty() {
+                        Ok(None)
+                    } else {
                         // Arc bumps, not payload copies: the coordinator's
                         // buffers flow into the log and the space unchanged.
                         let writes: Vec<(u64, Bytes)> = shard
@@ -572,17 +624,24 @@ impl MemNode {
                             .iter()
                             .map(|(_, w)| (w.range.off, w.data.clone()))
                             .collect();
-                        wait = self.log_and_apply(txid, &writes);
+                        self.log_and_apply(txid, &writes)
+                    };
+                    match logged {
+                        Ok(w) => {
+                            wait = w;
+                            self.stats.single_commits.fetch_add(1, Ordering::Relaxed);
+                            Ok(SingleResult::Committed(reads))
+                        }
+                        Err(e) => Err(e),
                     }
-                    self.stats.single_commits.fetch_add(1, Ordering::Relaxed);
-                    SingleResult::Committed(reads)
                 }
             }
         };
         self.locks.release(txid);
+        let result = result?;
         if let (Some(end), Some(d)) = (wait, &self.dur) {
             let _fs = span(SpanKind::SrvFsync);
-            d.wal.wait_durable(end);
+            d.wal.wait_durable(end).map_err(|e| self.degrade(e))?;
         }
         Ok(result)
     }
@@ -600,7 +659,7 @@ impl MemNode {
         txid: TxId,
         shard: &Shard<'_>,
         spans: &[(u64, u64)],
-    ) -> Option<SingleResult> {
+    ) -> Option<Result<SingleResult, Unavailable>> {
         let s1 = self.locks.probe(spans)?;
         // Guard order matches the locked path (`commit`, `log_and_apply`):
         // WAL appender, then backup, then primary space.
@@ -619,7 +678,7 @@ impl MemNode {
         let result = match Self::eval_in(&space, shard) {
             Err(failed) => {
                 self.stats.aborts.fetch_add(1, Ordering::Relaxed);
-                SingleResult::BadCompare(failed)
+                Ok(SingleResult::BadCompare(failed))
             }
             Ok(reads) => {
                 let _ex = span(SpanKind::SrvExec);
@@ -628,13 +687,24 @@ impl MemNode {
                     .iter()
                     .map(|(_, w)| (w.range.off, w.data.clone()))
                     .collect();
-                let wait = wal_g.as_mut().map(|g| {
-                    let _s = span(SpanKind::SrvWalAppend);
-                    g.append(&Record::Apply {
-                        txid,
-                        writes: &writes,
-                    })
-                });
+                // Log before apply: a failed append degrades the node and
+                // surfaces `Unavailable` with no in-memory effect.
+                let wait = match wal_g.as_mut() {
+                    Some(g) => {
+                        let _s = span(SpanKind::SrvWalAppend);
+                        match g.append(&Record::Apply {
+                            txid,
+                            writes: &writes,
+                        }) {
+                            Ok(end) => Some(end),
+                            Err(e) => {
+                                self.stats.write_fastpath.fetch_add(1, Ordering::Relaxed);
+                                return Some(Err(self.degrade(e)));
+                            }
+                        }
+                    }
+                    None => None,
+                };
                 // Backup before primary, as `apply` does.
                 for (off, data) in &writes {
                     backup
@@ -651,10 +721,13 @@ impl MemNode {
                 drop(wal_g);
                 if let (Some(end), Some(d)) = (wait, &self.dur) {
                     let _fs = span(SpanKind::SrvFsync);
-                    d.wal.wait_durable(end);
+                    if let Err(e) = d.wal.wait_durable(end) {
+                        self.stats.write_fastpath.fetch_add(1, Ordering::Relaxed);
+                        return Some(Err(self.degrade(e)));
+                    }
                 }
                 self.stats.single_commits.fetch_add(1, Ordering::Relaxed);
-                SingleResult::Committed(reads)
+                Ok(SingleResult::Committed(reads))
             }
         };
         self.stats.write_fastpath.fetch_add(1, Ordering::Relaxed);
@@ -673,7 +746,7 @@ impl MemNode {
         policy: LockPolicy,
         participants: &[MemNodeId],
     ) -> Result<Vote, Unavailable> {
-        self.check_up()?;
+        self.check_writable()?;
         let spans = shard.lock_spans();
         let lock_busy = {
             let _lw = span(SpanKind::SrvLockWait);
@@ -713,8 +786,18 @@ impl MemNode {
                                 writes: &staged.writes,
                             })
                         };
-                        self.prepared.lock().insert(txid, staged);
-                        Some(end)
+                        match end {
+                            Ok(end) => {
+                                self.prepared.lock().insert(txid, staged);
+                                Some(end)
+                            }
+                            Err(e) => {
+                                // Nothing staged, nothing logged: release
+                                // the locks and vote unavailable.
+                                self.locks.release(txid);
+                                return Err(self.degrade(e));
+                            }
+                        }
                     }
                     None => {
                         self.prepared.lock().insert(txid, staged);
@@ -724,7 +807,14 @@ impl MemNode {
                 self.stats.prepares.fetch_add(1, Ordering::Relaxed);
                 if let (Some(end), Some(d)) = (wait, &self.dur) {
                     let _fs = span(SpanKind::SrvFsync);
-                    d.wal.wait_durable(end);
+                    if let Err(e) = d.wal.wait_durable(end) {
+                        // Un-stage: the vote never reaches the coordinator,
+                        // so the transaction must not hold locks forever on
+                        // a read-only node.
+                        self.prepared.lock().remove(&txid);
+                        self.locks.release(txid);
+                        return Err(self.degrade(e));
+                    }
                 }
                 Ok(Vote::Ok(reads))
             }
@@ -735,19 +825,27 @@ impl MemNode {
     /// Idempotent: committing an unknown txid is a no-op (the decision was
     /// already applied before a crash/retry).
     pub fn commit(&self, txid: TxId) -> Result<(), Unavailable> {
-        self.check_up()?;
+        self.check_writable()?;
         let wait = match &self.dur {
             Some(d) => {
                 let mut g = d.wal.lock();
                 let staged = self.prepared.lock().remove(&txid);
                 match staged {
-                    Some(tx) => {
-                        let end = g.append(&Record::Commit { txid });
-                        self.apply(&tx.writes);
-                        self.decided.lock().insert(txid);
-                        self.stats.commits.fetch_add(1, Ordering::Relaxed);
-                        Some(end)
-                    }
+                    Some(tx) => match g.append(&Record::Commit { txid }) {
+                        Ok(end) => {
+                            self.apply(&tx.writes);
+                            self.decided.lock().insert(txid);
+                            self.stats.commits.fetch_add(1, Ordering::Relaxed);
+                            Some(end)
+                        }
+                        Err(e) => {
+                            // Re-stage, keep the locks: the decision did
+                            // not land. Recovery (or a restarted node)
+                            // resolves the in-doubt transaction.
+                            self.prepared.lock().insert(txid, tx);
+                            return Err(self.degrade(e));
+                        }
+                    },
                     None => None,
                 }
             }
@@ -763,7 +861,9 @@ impl MemNode {
         self.locks.release(txid);
         if let (Some(end), Some(d)) = (wait, &self.dur) {
             let _fs = span(SpanKind::SrvFsync);
-            d.wal.wait_durable(end);
+            // The commit has applied; an fsync failure degrades the node
+            // but the coordinator's retry will see the idempotent no-op.
+            d.wal.wait_durable(end).map_err(|e| self.degrade(e))?;
         }
         Ok(())
     }
@@ -779,7 +879,12 @@ impl MemNode {
             Some(d) => {
                 let mut g = d.wal.lock();
                 if self.prepared.lock().remove(&txid).is_some() {
-                    g.append(&Record::Abort { txid });
+                    // The abort record is unforced and losing it is safe
+                    // (resolution re-aborts), so a failed append degrades
+                    // the node but the in-memory abort still completes.
+                    if let Err(e) = g.append(&Record::Abort { txid }) {
+                        let _ = self.degrade(e);
+                    }
                 }
             }
             None => {
@@ -825,6 +930,7 @@ impl MemNode {
     /// decision completes them.
     pub fn recover(&self) {
         if let Some(d) = &self.dur {
+            d.wal.clear_failed();
             let rec =
                 recovery::recover_node(&d.dir, self.id, d.capacity).expect("disk recovery failed");
             *self.backup.lock() = rec.space.snapshot_clone();
@@ -853,6 +959,7 @@ impl MemNode {
                 debug_assert_eq!(got, LockAcquire::Granted, "recovery lock conflict");
             }
         }
+        self.degraded.store(false, Ordering::Release);
         self.crashed.store(false, Ordering::Release);
     }
 
@@ -911,8 +1018,8 @@ impl MemNode {
     /// access exists). Applied to both primary and backup, and logged
     /// (unforced) when durable so bootstrap images survive a restart.
     pub fn raw_write(&self, off: u64, data: &[u8]) -> Result<(), Unavailable> {
-        self.check_up()?;
-        self.log_and_apply(lock::BOOTSTRAP_TXID, &[(off, Bytes::copy_from_slice(data))]);
+        self.check_writable()?;
+        self.log_and_apply(lock::BOOTSTRAP_TXID, &[(off, Bytes::copy_from_slice(data))])?;
         Ok(())
     }
 
@@ -967,8 +1074,14 @@ impl MemNode {
     /// replication requires a durable primary.
     pub fn wal_fetch(&self, from: u64, max: u32) -> Result<WalSegment, Unavailable> {
         self.check_up()?;
+        if let Some(a) = faults::check_delay(faults::Site::ReplFetch) {
+            if a == faults::Action::Panic {
+                panic!("injected panic at repl.fetch");
+            }
+            return Err(Unavailable(self.id));
+        }
         match &self.dur {
-            Some(d) => Ok(d.wal.read_from(from, max).expect("wal read failed")),
+            Some(d) => d.wal.read_from(from, max).map_err(|_| Unavailable(self.id)),
             None => Ok(WalSegment {
                 from,
                 base: 0,
@@ -1008,7 +1121,13 @@ impl MemNode {
     /// guard, so checkpoints freeze a consistent (state, watermark) pair
     /// and a restart resumes exactly where the durable log ends.
     pub fn repl_apply(&self, from: u64, frames: &[u8]) -> Result<ReplStatus, Unavailable> {
-        self.check_up()?;
+        self.check_writable()?;
+        if let Some(a) = faults::check_delay(faults::Site::ReplApply) {
+            if a == faults::Action::Panic {
+                panic!("injected panic at repl.apply");
+            }
+            return Err(Unavailable(self.id));
+        }
         let _s = span(SpanKind::ReplApply);
         let (records, _valid) = parse_frames(frames);
         let mut wait = None;
@@ -1030,10 +1149,13 @@ impl MemNode {
                 Some(d) => {
                     let payload = Self::reencode(&rec);
                     let mut g = d.wal.lock();
-                    wait = Some(g.append(&Record::Repl {
-                        src_off,
-                        payload: &payload,
-                    }));
+                    let end = g
+                        .append(&Record::Repl {
+                            src_off,
+                            payload: &payload,
+                        })
+                        .map_err(|e| self.degrade(e))?;
+                    wait = Some(end);
                     self.apply_repl_effect(rec);
                     self.repl_watermark.store(src_off, Ordering::Release);
                 }
@@ -1047,7 +1169,7 @@ impl MemNode {
         }
         if let (Some(end), Some(d)) = (wait, &self.dur) {
             let _fs = span(SpanKind::SrvFsync);
-            d.wal.wait_durable(end);
+            d.wal.wait_durable(end).map_err(|e| self.degrade(e))?;
         }
         self.repl_status()
     }

@@ -148,8 +148,11 @@ impl SinfoniaCluster {
     /// Blocks until this (follower) cluster's per-node replication
     /// watermarks have all reached `token`, or the timeout expires.
     /// Returns whether the token was reached. A token from a cluster
-    /// with a different node count never matches.
+    /// with a different node count never matches. An ambient
+    /// [`crate::deadline::OpDeadline`] caps the timeout: the wait never
+    /// outlives the caller's end-to-end budget.
     pub fn wait_replicated(&self, token: &[u64], timeout: Duration) -> bool {
+        let timeout = crate::deadline::OpDeadline::current().cap(timeout);
         let deadline = Instant::now() + timeout;
         loop {
             let marks = self.repl_statuses();

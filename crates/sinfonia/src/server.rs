@@ -24,6 +24,7 @@ use crate::wire::{
     encode_response_payload, read_frame, seal_reply, seal_traced_reply, Endpoint, Listener,
     NodeFlags, Request, Response, Stream, WireShard, PROTO_VERSION,
 };
+use minuet_faults as faults;
 use minuet_obs::{note, span, with_server_trace, SpanKind, Trace};
 use parking_lot::{Condvar, Mutex};
 use std::io::{self, Write};
@@ -138,6 +139,22 @@ impl MemNodeServer {
         self.shared.stop.store(true, Ordering::SeqCst);
     }
 
+    /// Requests the same clean shutdown a client `Shutdown` RPC triggers
+    /// (the daemon's SIGTERM path): stop accepting, let in-flight requests
+    /// finish, and wake [`MemNodeServer::wait`].
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown_requested.store(true, Ordering::SeqCst);
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.wait_cv.notify_all();
+    }
+
+    /// True once the server has stopped accepting connections (any of
+    /// [`MemNodeServer::shutdown`], [`MemNodeServer::request_shutdown`],
+    /// [`MemNodeServer::kill`], or a client `Shutdown` RPC).
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
     /// Blocks until a client sends [`Request::Shutdown`] (the daemon
     /// main-thread parking spot).
     pub fn wait(&self) {
@@ -214,6 +231,14 @@ fn serve_conn(mut conn: Stream, shared: Arc<Shared>) {
             Ok(p) => p,
             Err(_) => break, // EOF, reset, or a corrupt frame: drop the conn.
         };
+        if let Some(a) = faults::check_delay(faults::Site::WireServerRecv) {
+            match a {
+                faults::Action::Panic => panic!("injected panic at wire.server.recv"),
+                // Any other action models the inbound frame being lost
+                // after arrival: drop the connection without replying.
+                _ => break,
+            }
+        }
         let decode_t0 = Instant::now();
         let req = match Request::decode(&payload) {
             Ok(r) => r,
@@ -241,7 +266,7 @@ fn serve_conn(mut conn: Stream, shared: Arc<Shared>) {
             let t0 = Instant::now();
             let ((inner_payload, total_ns), spans) = with_server_trace(trace_id, || {
                 note(SpanKind::SrvDecode, 0, decode_ns);
-                let resp = catch_unwind(AssertUnwindSafe(|| dispatch(&node, *inner)))
+                let resp = catch_unwind(AssertUnwindSafe(|| dispatch_faulted(&node, *inner)))
                     .unwrap_or_else(|_| Response::Error("request handler panicked".to_string()));
                 let payload = {
                     let _enc = span(SpanKind::SrvEncode);
@@ -260,7 +285,7 @@ fn serve_conn(mut conn: Stream, shared: Arc<Shared>) {
             // them (SetJoining, Crash, …) reports its own effect.
             seal_traced_reply(&spans, &inner_payload, node_flags(&shared.node))
         } else {
-            let resp = catch_unwind(AssertUnwindSafe(|| dispatch(&shared.node, req)))
+            let resp = catch_unwind(AssertUnwindSafe(|| dispatch_faulted(&shared.node, req)))
                 .unwrap_or_else(|_| Response::Error("request handler panicked".to_string()));
             seal_reply(&resp, node_flags(&shared.node))
         };
@@ -295,8 +320,56 @@ fn node_flags(node: &MemNode) -> NodeFlags {
 }
 
 fn write_frame(conn: &mut Stream, frame: &[u8]) -> io::Result<()> {
+    // The `wire.server.send` failpoint covers every outbound reply:
+    // `Corrupt` flips a payload byte (the client fails the CRC),
+    // `SeverAfter(n)` writes a prefix then reports the cut (the caller
+    // drops the connection), anything else loses the reply outright.
+    match faults::check_delay(faults::Site::WireServerSend) {
+        None => {}
+        Some(faults::Action::Panic) => panic!("injected panic at wire.server.send"),
+        Some(faults::Action::Corrupt) => {
+            let mut bad = frame.to_vec();
+            if let Some(b) = bad.last_mut() {
+                *b ^= 0x40;
+            }
+            conn.write_all(&bad)?;
+            return conn.flush();
+        }
+        Some(faults::Action::SeverAfter(n)) => {
+            let n = (n as usize).min(frame.len());
+            conn.write_all(&frame[..n])?;
+            let _ = conn.flush();
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected sever at wire.server.send",
+            ));
+        }
+        Some(a) => return Err(faults::io_error(faults::Site::WireServerSend, a)),
+    }
     conn.write_all(frame)?;
     conn.flush()
+}
+
+/// [`dispatch`] behind the tagged `rpc.dispatch` failpoint: an armed fault
+/// matching this request's tag can delay the handler, fail it (the client
+/// sees [`Response::Error`] → `Unavailable`), dispatch it *twice* while
+/// replying once (an idempotency probe — commit/abort/repl-apply must
+/// tolerate redelivery), or panic inside the handler (absorbed by the
+/// caller's `catch_unwind`, like any handler bug).
+fn dispatch_faulted(node: &Arc<MemNode>, req: Request) -> Response {
+    match faults::check_tag(faults::Site::RpcDispatch, req.tag_byte()) {
+        None => dispatch(node, req),
+        Some(faults::Action::Delay(d)) => {
+            thread::sleep(d);
+            dispatch(node, req)
+        }
+        Some(faults::Action::Duplicate) => {
+            let _first = dispatch(node, req.clone());
+            dispatch(node, req)
+        }
+        Some(faults::Action::Panic) => panic!("injected panic at rpc.dispatch"),
+        Some(a) => Response::Error(format!("injected {a:?} at rpc.dispatch")),
+    }
 }
 
 /// Owned storage for a server-side reconstructed shard: the borrowed
@@ -518,6 +591,12 @@ fn dispatch(node: &Arc<MemNode>, req: Request) -> Response {
         Request::ReplStatus => match node.repl_status() {
             Ok(s) => repl_status_response(s),
             Err(u) => Response::Unavailable(u.0 .0),
+        },
+        Request::Faults { spec } => match faults::apply_spec(&spec) {
+            Ok(_) => Response::Faults {
+                armed: faults::armed_count(),
+            },
+            Err(e) => Response::Error(format!("bad faults spec: {e}")),
         },
     }
 }

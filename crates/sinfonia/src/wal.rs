@@ -22,6 +22,7 @@
 //! (see [`crate::checkpoint`]).
 
 use crate::bytes::Bytes;
+use minuet_faults as faults;
 use minuet_obs::{Counter, HistHandle, ObsPlane};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::fs::{File, OpenOptions};
@@ -476,6 +477,59 @@ pub struct WalSegment {
 }
 
 // ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A typed write-ahead-log failure. Any append or fsync error is **sticky**:
+/// the log refuses further appends ([`WalError::Failed`]) and the owning
+/// memnode degrades to read-only instead of panicking. The on-disk log
+/// stays valid up to the last whole frame — a failed append cuts its torn
+/// tail back before surfacing the error, and replay's CRC framing discards
+/// anything a crash still manages to leave behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// Underlying I/O error (message preserved; the handle may be dead).
+    Io(String),
+    /// The device accepted only a prefix of the frame.
+    ShortWrite {
+        /// Bytes that reached the medium.
+        wrote: u64,
+        /// Bytes the frame needed.
+        want: u64,
+    },
+    /// The device is out of space.
+    NoSpace,
+    /// A previous failure latched the log; it no longer accepts appends.
+    Failed,
+}
+
+impl WalError {
+    /// Classifies an `io::Error` (real ENOSPC becomes [`WalError::NoSpace`]).
+    fn from_io(e: &io::Error) -> WalError {
+        if e.raw_os_error() == Some(28) {
+            WalError::NoSpace
+        } else {
+            WalError::Io(e.to_string())
+        }
+    }
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(msg) => write!(f, "wal i/o error: {msg}"),
+            WalError::ShortWrite { wrote, want } => {
+                write!(f, "wal short write: {wrote} of {want} bytes")
+            }
+            WalError::NoSpace => write!(f, "wal device out of space"),
+            WalError::Failed => write!(f, "wal failed earlier; log is read-only"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+// ---------------------------------------------------------------------------
 // Stats
 // ---------------------------------------------------------------------------
 
@@ -561,6 +615,8 @@ struct SyncShared {
     synced: AtomicU64,
     /// Flusher shutdown flag.
     stop: AtomicBool,
+    /// Latched on any append/fsync failure; the log is then read-only.
+    failed: AtomicBool,
 }
 
 struct GroupState {
@@ -601,6 +657,7 @@ impl Wal {
             tail: AtomicU64::new(len),
             synced: AtomicU64::new(len),
             stop: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
         });
         let stats = Arc::new(WalStats::default());
         let flusher = if mode == SyncMode::Async {
@@ -613,9 +670,12 @@ impl Wal {
                     if tail > sync.synced.load(Ordering::Acquire) {
                         let f = sync.file.lock();
                         let t0 = Instant::now();
-                        if f.sync_data().is_ok() {
-                            stats.record_fsync(t0.elapsed());
-                            sync.synced.fetch_max(tail, Ordering::AcqRel);
+                        match f.sync_data() {
+                            Ok(()) => {
+                                stats.record_fsync(t0.elapsed());
+                                sync.synced.fetch_max(tail, Ordering::AcqRel);
+                            }
+                            Err(_) => sync.failed.store(true, Ordering::Release),
                         }
                     }
                 }
@@ -673,22 +733,29 @@ impl Wal {
     /// build, Sync goes straight to the fsync and lets the fsync's own
     /// duration collect concurrent committers (an idle log still pays
     /// exactly one fsync per commit, so latency is unchanged).
-    pub fn wait_durable(&self, upto: u64) {
+    pub fn wait_durable(&self, upto: u64) -> Result<(), WalError> {
         let window = match self.mode {
-            SyncMode::None | SyncMode::Async => return,
+            SyncMode::None | SyncMode::Async => return Ok(()),
             SyncMode::Sync => Duration::ZERO,
             SyncMode::GroupCommit { window } => window,
         };
         let mut g = self.group.lock();
         loop {
             if self.sync.synced.load(Ordering::Acquire) >= upto {
-                return;
+                return Ok(());
+            }
+            if self.sync.failed.load(Ordering::Acquire) {
+                return Err(WalError::Failed);
             }
             if !g.leader_active {
                 g.leader_active = true;
                 drop(g);
                 if !window.is_zero() {
                     std::thread::sleep(window);
+                }
+                let fault = faults::check_delay(faults::Site::WalFsync);
+                if fault == Some(faults::Action::Panic) {
+                    panic!("injected panic at wal.fsync");
                 }
                 let t0 = Instant::now();
                 let (tail, synced) = {
@@ -701,7 +768,11 @@ impl Wal {
                     // that land while the leader waits for the lock and
                     // forces them into a redundant follow-up fsync.)
                     let tail = self.sync.tail.load(Ordering::Acquire);
-                    (tail, f.sync_data())
+                    let res = match fault {
+                        Some(a) => Err(faults::io_error(faults::Site::WalFsync, a)),
+                        None => f.sync_data(),
+                    };
+                    (tail, res)
                 };
                 if synced.is_ok() {
                     self.stats.record_group_fsync(t0.elapsed());
@@ -712,15 +783,33 @@ impl Wal {
                 // instead of hanging on a dead leader.
                 g = self.group.lock();
                 g.leader_active = false;
-                self.group_cv.notify_all();
                 if let Err(e) = synced {
+                    // Latch the failure *before* waking the group so every
+                    // waiter observes it and errors out instead of
+                    // re-electing a leader against a dead device forever.
+                    self.sync.failed.store(true, Ordering::Release);
+                    self.group_cv.notify_all();
                     drop(g);
-                    panic!("wal fsync failed: {e}");
+                    return Err(WalError::from_io(&e));
                 }
+                self.group_cv.notify_all();
             } else {
                 self.group_cv.wait(&mut g);
             }
         }
+    }
+
+    /// True once an append or fsync failure has latched the log read-only.
+    pub fn is_failed(&self) -> bool {
+        self.sync.failed.load(Ordering::Acquire)
+    }
+
+    /// Clears the failure latch after the device has recovered (called by
+    /// node recovery; a chaos nemesis heals a degraded node this way). The
+    /// on-disk log is already whole-frame valid — failed appends cut their
+    /// torn tails back before latching.
+    pub fn clear_failed(&self) {
+        self.sync.failed.store(false, Ordering::Release);
     }
 
     /// Reads up to `max` raw framed bytes starting at logical offset
@@ -757,6 +846,12 @@ impl Wal {
         let cut = upto.saturating_sub(inner.base);
         if cut == 0 {
             return Ok(());
+        }
+        if let Some(a) = faults::check_delay(faults::Site::WalTruncate) {
+            if a == faults::Action::Panic {
+                panic!("injected panic at wal.truncate");
+            }
+            return Err(faults::io_error(faults::Site::WalTruncate, a));
         }
         debug_assert!(cut <= inner.len, "checkpoint tail beyond log end");
         let mut suffix = vec![0u8; (inner.len - cut) as usize];
@@ -803,23 +898,57 @@ pub struct WalAppender<'a> {
 
 impl WalAppender<'_> {
     /// Appends one framed record; returns the logical end offset to pass
-    /// to [`Wal::wait_durable`]. Panics on I/O failure (the simulated
-    /// cluster treats a dead log device as fatal, like an OOB access).
-    pub fn append(&mut self, rec: &Record<'_>) -> u64 {
+    /// to [`Wal::wait_durable`]. On I/O failure (real or injected) the
+    /// torn tail is cut back so the file stays valid up to the last whole
+    /// frame, the failure latches ([`Wal::is_failed`]), and the owning
+    /// memnode degrades to read-only instead of panicking.
+    pub fn append(&mut self, rec: &Record<'_>) -> Result<u64, WalError> {
+        if self.wal.sync.failed.load(Ordering::Acquire) {
+            return Err(WalError::Failed);
+        }
         let payload = rec.encode();
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
         let at = self.inner.len;
-        self.inner
-            .file
-            .seek(SeekFrom::Start(at))
-            .expect("wal seek failed");
-        self.inner
-            .file
-            .write_all(&frame)
-            .expect("wal append failed");
+        let injected = match faults::check_delay(faults::Site::WalAppend) {
+            None => None,
+            Some(faults::Action::Panic) => panic!("injected panic at wal.append"),
+            Some(faults::Action::NoSpace) => Some(WalError::NoSpace),
+            Some(faults::Action::ShortWrite(n)) => {
+                // Model the torn tail a real short write leaves behind;
+                // the cleanup below cuts it back to the last whole frame.
+                let n = (n as usize).min(frame.len());
+                let _ = self
+                    .inner
+                    .file
+                    .seek(SeekFrom::Start(at))
+                    .and_then(|_| self.inner.file.write_all(&frame[..n]));
+                Some(WalError::ShortWrite {
+                    wrote: n as u64,
+                    want: frame.len() as u64,
+                })
+            }
+            Some(other) => Some(WalError::Io(format!("injected {other:?} at wal.append"))),
+        };
+        let res = match injected {
+            Some(e) => Err(e),
+            None => self
+                .inner
+                .file
+                .seek(SeekFrom::Start(at))
+                .and_then(|_| self.inner.file.write_all(&frame))
+                .map_err(|e| WalError::from_io(&e)),
+        };
+        if let Err(e) = res {
+            // Cut any torn tail back so the retained log stays valid up
+            // to the last whole frame, then latch the failure.
+            let _ = self.inner.file.set_len(at);
+            self.wal.sync.failed.store(true, Ordering::Release);
+            self.wal.group_cv.notify_all();
+            return Err(e);
+        }
         self.inner.len += frame.len() as u64;
         let end = self.inner.base + self.inner.len;
         self.wal.sync.tail.store(end, Ordering::Release);
@@ -828,7 +957,7 @@ impl WalAppender<'_> {
             .stats
             .bytes
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
-        end
+        Ok(end)
     }
 
     /// Current logical tail (all records at or before it are reflected in
@@ -979,10 +1108,13 @@ mod tests {
         let mut ends = Vec::new();
         for t in 0..6 {
             let mut a = wal.lock();
-            ends.push(a.append(&Record::Apply {
-                txid: t,
-                writes: &writes,
-            }));
+            ends.push(
+                a.append(&Record::Apply {
+                    txid: t,
+                    writes: &writes,
+                })
+                .unwrap(),
+            );
         }
         let tail = *ends.last().unwrap();
         // Full read from 0.
@@ -1022,10 +1154,11 @@ mod tests {
             a.append(&Record::Apply {
                 txid: 1,
                 writes: &writes,
-            });
-            a.append(&Record::Commit { txid: 2 })
+            })
+            .unwrap();
+            a.append(&Record::Commit { txid: 2 }).unwrap()
         };
-        wal.wait_durable(end);
+        wal.wait_durable(end).unwrap();
         assert_eq!(wal.stats.snapshot().0, 2);
         assert!(wal.stats.snapshot().2 >= 1);
         drop(wal);
@@ -1047,7 +1180,8 @@ mod tests {
             a.append(&Record::Apply {
                 txid: t,
                 writes: &writes,
-            });
+            })
+            .unwrap();
         }
         drop(wal);
         let full = std::fs::read(&path).unwrap();
@@ -1076,10 +1210,11 @@ mod tests {
                 txid: 1,
                 writes: &writes,
             })
+            .unwrap()
         };
         {
             let mut a = wal.lock();
-            a.append(&Record::Commit { txid: 2 });
+            a.append(&Record::Commit { txid: 2 }).unwrap();
         }
         wal.drop_prefix(mid).unwrap();
         let buf = std::fs::read(&path).unwrap();
@@ -1088,7 +1223,7 @@ mod tests {
         // Appends continue after rotation.
         {
             let mut a = wal.lock();
-            a.append(&Record::Abort { txid: 3 });
+            a.append(&Record::Abort { txid: 3 }).unwrap();
         }
         let buf = std::fs::read(&path).unwrap();
         let (recs, _) = parse_log(&buf);
@@ -1119,8 +1254,9 @@ mod tests {
                             txid: t,
                             writes: &writes,
                         })
+                        .unwrap()
                     };
-                    wal.wait_durable(end);
+                    wal.wait_durable(end).unwrap();
                 });
             }
         });
@@ -1152,9 +1288,10 @@ mod tests {
                             txid: t,
                             writes: &writes,
                         })
+                        .unwrap()
                     };
                     barrier.wait();
-                    wal.wait_durable(end);
+                    wal.wait_durable(end).unwrap();
                 });
             }
         });

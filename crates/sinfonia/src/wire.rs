@@ -710,6 +710,14 @@ pub enum Request {
     /// Fetches the follower-side replication watermark and counters,
     /// answered by [`Response::ReplStatus`].
     ReplStatus,
+    /// Admin: applies a fault-injection spec (`minuet_faults::apply_spec`
+    /// grammar, e.g. `"wal.fsync=err:count=3"` or `"clear"`) inside the
+    /// server process; answered by [`Response::Faults`] carrying the
+    /// number of failpoints armed afterwards.
+    Faults {
+        /// The spec string, handed to `apply_spec` verbatim.
+        spec: String,
+    },
 }
 
 /// Request/response tag bytes. Public so tests and benches can identify
@@ -767,6 +775,8 @@ pub mod tag {
     pub const REPL_APPLY: u8 = 0x18;
     /// Probe follower replication watermark and counters.
     pub const REPL_STATUS: u8 = 0x19;
+    /// Apply a fault-injection spec in the server process (admin).
+    pub const FAULTS: u8 = 0x1A;
 
     /// Reply to [`HELLO`].
     pub const R_HELLO: u8 = 0x81;
@@ -804,6 +814,8 @@ pub mod tag {
     pub const R_FRAMES: u8 = 0x91;
     /// Reply to [`REPL_APPLY`] / [`REPL_STATUS`].
     pub const R_REPL_STATUS: u8 = 0x92;
+    /// Reply to [`FAULTS`]: failpoints armed after applying the spec.
+    pub const R_FAULTS: u8 = 0x93;
 }
 
 impl Request {
@@ -841,6 +853,7 @@ impl Request {
             Request::ReplFetch { .. } => "repl_fetch",
             Request::ReplApply { .. } => "repl_apply",
             Request::ReplStatus => "repl_status",
+            Request::Faults { .. } => "faults",
         }
     }
 
@@ -873,6 +886,7 @@ impl Request {
             Request::ReplFetch { .. } => tag::REPL_FETCH,
             Request::ReplApply { .. } => tag::REPL_APPLY,
             Request::ReplStatus => tag::REPL_STATUS,
+            Request::Faults { .. } => tag::FAULTS,
         }
     }
 
@@ -988,6 +1002,10 @@ impl Request {
                 put_bytes(buf, frames);
             }
             Request::ReplStatus => buf.push(tag::REPL_STATUS),
+            Request::Faults { spec } => {
+                buf.push(tag::FAULTS);
+                put_bytes(buf, spec.as_bytes());
+            }
         }
     }
 
@@ -1093,6 +1111,12 @@ impl Request {
                 frames: c.bytes()?,
             },
             tag::REPL_STATUS => Request::ReplStatus,
+            tag::FAULTS => {
+                let b = c.bytes()?;
+                Request::Faults {
+                    spec: String::from_utf8_lossy(&b).into_owned(),
+                }
+            }
             t => return Err(WireError::BadTag(t)),
         };
         Ok(req)
@@ -1224,6 +1248,12 @@ pub enum Response {
         applies: u64,
         /// Frames skipped as already-applied duplicates.
         dup_skips: u64,
+    },
+    /// Reply to [`Request::Faults`]: the number of failpoints armed after
+    /// the spec was applied (0 after `"clear"`).
+    Faults {
+        /// Armed failpoint count.
+        armed: u32,
     },
 }
 
@@ -1500,6 +1530,10 @@ impl Response {
                     put_u64(buf, *v);
                 }
             }
+            Response::Faults { armed } => {
+                buf.push(tag::R_FAULTS);
+                put_u32(buf, *armed);
+            }
         }
     }
 
@@ -1633,6 +1667,7 @@ impl Response {
                 applies: c.u64()?,
                 dup_skips: c.u64()?,
             },
+            tag::R_FAULTS => Response::Faults { armed: c.u32()? },
             t => return Err(WireError::BadTag(t)),
         };
         Ok(resp)
@@ -1687,6 +1722,12 @@ mod tests {
             frames: Bytes::from(vec![3u8; 40]),
         });
         roundtrip_req(Request::ReplStatus);
+        roundtrip_req(Request::Faults {
+            spec: "wal.fsync=err:count=3;wire.server.send=drop".into(),
+        });
+        roundtrip_req(Request::Faults {
+            spec: "clear".into(),
+        });
     }
 
     #[test]
@@ -1721,6 +1762,8 @@ mod tests {
             applies: 13,
             dup_skips: 2,
         });
+        roundtrip_resp(Response::Faults { armed: 2 });
+        roundtrip_resp(Response::Faults { armed: 0 });
     }
 
     #[test]

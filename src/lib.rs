@@ -9,6 +9,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`obs`] | the observability plane: request traces, counter/histogram registry, snapshot wire format |
+//! | [`faults`] | the deterministic fault-injection plane: named failpoints in WAL/wire/disk paths, spec grammar, env/RPC arming |
 //! | [`sinfonia`] | the Sinfonia minitransaction substrate (memnodes, range locks, 1/2-phase commit, replication) |
 //! | [`dyntx`] | dynamic transactions: OCC with backward validation, piggy-backed validation, dirty reads, replicated objects |
 //! | [`core`] | the Minuet B-tree: dirty traversals, copy-on-write snapshots, borrowed snapshots, writable clones, GC |
@@ -36,6 +37,7 @@
 pub use minuet_cdb as cdb;
 pub use minuet_core as core;
 pub use minuet_dyntx as dyntx;
+pub use minuet_faults as faults;
 pub use minuet_obs as obs;
 pub use minuet_sinfonia as sinfonia;
 pub use minuet_workload as workload;

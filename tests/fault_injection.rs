@@ -1,0 +1,472 @@
+//! Targeted failpoint regressions: WAL hardening (degrade-to-read-only,
+//! torn tails, ENOSPC mid-checkpoint), end-to-end deadline behavior
+//! (fail-fast, retry-loop cutoff, replication-wait caps), the tagged
+//! Nth-call dispatch fault, circuit-breaker observability, and the
+//! `Faults` admin RPC.
+//!
+//! Every test here arms the process-global fault registry (or must not
+//! be perturbed by one that does), so they all serialize on
+//! [`faults::test_guard`].
+
+mod common;
+
+use minuet::faults::{self, Action, Arm, Site};
+use minuet::obs::{ObsConfig, ObsPlane};
+use minuet::sinfonia::wire::{tag, Endpoint};
+use minuet::sinfonia::{
+    ClusterConfig, DurabilityConfig, ItemRange, MemNode, MemNodeId, MemNodeServer, Minitransaction,
+    NodeRpc, OpDeadline, RemoteNode, ReplConfig, Replicator, ServerOptions, SinfoniaCluster,
+    SinfoniaError, SyncMode, Transport, WireConfig,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CAPACITY: u64 = 1 << 20;
+
+fn durable_cluster(
+    tag: &str,
+    n: usize,
+    sync: SyncMode,
+) -> (std::path::PathBuf, Arc<SinfoniaCluster>) {
+    let durability = DurabilityConfig::ephemeral(tag, sync);
+    let dir = durability.dir.clone().unwrap();
+    let c = SinfoniaCluster::new(ClusterConfig {
+        memnodes: n,
+        capacity_per_node: CAPACITY,
+        durability,
+        ..Default::default()
+    });
+    (dir, c)
+}
+
+fn put_slot(c: &SinfoniaCluster, slot: u64, val: u64) -> Result<bool, SinfoniaError> {
+    let mut m = Minitransaction::new();
+    m.write(
+        ItemRange::new(MemNodeId(0), slot * 8, 8),
+        val.to_le_bytes().to_vec(),
+    );
+    c.execute(&m).map(|o| o.committed())
+}
+
+fn read_slot(c: &SinfoniaCluster, slot: u64) -> u64 {
+    let b = c.node(MemNodeId(0)).raw_read(slot * 8, 8).unwrap();
+    u64::from_le_bytes(b.try_into().unwrap())
+}
+
+// ---------------------------------------------------------------------
+// WAL hardening
+// ---------------------------------------------------------------------
+
+/// ENOSPC on a WAL append surfaces as a clean typed failure, latches the
+/// memnode read-only (reads keep working, writes refuse), and `recover`
+/// heals it without losing any acked write.
+#[test]
+fn enospc_on_wal_append_degrades_to_read_only() {
+    let _g = faults::test_guard();
+    let (dir, c) = durable_cluster("fi-enospc", 1, SyncMode::Sync);
+    assert!(put_slot(&c, 0, 7).unwrap());
+
+    faults::arm(Site::WalAppend, Arm::new(Action::NoSpace));
+    // The write fails with a typed error instead of panicking; the
+    // deadline bounds the unavailable-retry loop so the test stays fast.
+    let scope = OpDeadline::after(Duration::from_millis(300)).enter();
+    let err = put_slot(&c, 1, 8).unwrap_err();
+    drop(scope);
+    assert!(
+        matches!(
+            err,
+            SinfoniaError::Unavailable(_) | SinfoniaError::DeadlineExceeded
+        ),
+        "unexpected error {err}"
+    );
+
+    let node_ref = c.node(MemNodeId(0));
+    let node = node_ref.as_local().expect("in-process node");
+    assert!(node.is_degraded(), "WAL failure must latch read-only mode");
+    // Reads still served while degraded.
+    assert_eq!(read_slot(&c, 0), 7);
+    // Writes refused while degraded, even after the fault clears.
+    faults::disarm_all();
+    let scope = OpDeadline::after(Duration::from_millis(200)).enter();
+    assert!(
+        put_slot(&c, 1, 8).is_err(),
+        "degraded node accepted a write"
+    );
+    drop(scope);
+
+    c.recover(MemNodeId(0));
+    assert!(!node.is_degraded(), "recover must clear the latch");
+    assert!(put_slot(&c, 1, 8).unwrap());
+    assert_eq!(
+        read_slot(&c, 0),
+        7,
+        "acked write lost across degrade/recover"
+    );
+    assert_eq!(read_slot(&c, 1), 8);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A short write tears the WAL tail. The log must stay valid up to the
+/// last whole frame: after recovery the un-acked torn commit is gone,
+/// every acked commit is intact, and the node accepts writes again.
+#[test]
+fn short_write_leaves_log_valid_to_last_whole_frame() {
+    let _g = faults::test_guard();
+    let (dir, c) = durable_cluster("fi-torn", 1, SyncMode::Sync);
+    for s in 0..5 {
+        assert!(put_slot(&c, s, 100 + s).unwrap());
+    }
+
+    faults::arm(Site::WalAppend, Arm::new(Action::ShortWrite(3)).times(1));
+    let scope = OpDeadline::after(Duration::from_millis(300)).enter();
+    assert!(put_slot(&c, 5, 999).is_err(), "torn append must not ack");
+    drop(scope);
+    faults::disarm_all();
+
+    // Power-cycle from the durable log: the torn tail was cut, so the
+    // replay ends at the last whole frame.
+    c.crash_and_recover(MemNodeId(0));
+    for s in 0..5 {
+        assert_eq!(
+            read_slot(&c, s),
+            100 + s,
+            "acked slot {s} lost to the torn tail"
+        );
+    }
+    assert_eq!(read_slot(&c, 5), 0, "torn un-acked commit reappeared");
+    assert!(
+        put_slot(&c, 5, 555).unwrap(),
+        "node did not heal after recovery"
+    );
+    assert_eq!(read_slot(&c, 5), 555);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A primary whose WAL tail tore mid-stream ships only whole frames to a
+/// replication follower: the follower converges to exactly the acked
+/// commits, and the stream resumes cleanly once the primary heals.
+#[test]
+fn torn_tail_during_replication_pull_ships_whole_frames() {
+    let _g = faults::test_guard();
+    let (pdir, primary) = durable_cluster("fi-repl-src", 1, SyncMode::Sync);
+    let (fdir, follower) = durable_cluster("fi-repl-dst", 1, SyncMode::Sync);
+    let _repl = Replicator::spawn(&primary, &follower, ReplConfig::default());
+
+    for s in 0..8 {
+        assert!(put_slot(&primary, s, 200 + s).unwrap());
+    }
+    // Tear the tail on the next append; the failed commit never acks.
+    faults::arm(Site::WalAppend, Arm::new(Action::ShortWrite(5)).times(1));
+    let scope = OpDeadline::after(Duration::from_millis(300)).enter();
+    assert!(put_slot(&primary, 8, 999).is_err());
+    drop(scope);
+    faults::disarm_all();
+    primary.recover(MemNodeId(0));
+
+    // More acked traffic after the heal; the follower must pull through
+    // the (truncated) tear without gaps or garbage.
+    for s in 8..12 {
+        assert!(put_slot(&primary, s, 200 + s).unwrap());
+    }
+    let token = primary.repl_token();
+    assert!(
+        follower.wait_replicated(&token, Duration::from_secs(10)),
+        "follower stuck at {:?}",
+        follower.repl_statuses()
+    );
+    for s in 0..12 {
+        assert_eq!(
+            read_slot(&follower, s),
+            200 + s,
+            "follower slot {s} diverged"
+        );
+    }
+    let _ = std::fs::remove_dir_all(pdir);
+    let _ = std::fs::remove_dir_all(fdir);
+}
+
+/// ENOSPC while writing the checkpoint image (and a failing tmp→image
+/// rename) fail the checkpoint cleanly: a typed error, no degraded node,
+/// the WAL still intact — a later checkpoint succeeds and a power-cycle
+/// recovers everything.
+#[test]
+fn enospc_mid_checkpoint_fails_clean_and_wal_recovers() {
+    let _g = faults::test_guard();
+    let (dir, c) = durable_cluster("fi-ckpt", 1, SyncMode::Sync);
+    for s in 0..6 {
+        assert!(put_slot(&c, s, 300 + s).unwrap());
+    }
+
+    let node = c.node(MemNodeId(0));
+    faults::arm(Site::CkptWrite, Arm::new(Action::NoSpace).times(1));
+    assert!(
+        node.checkpoint().is_err(),
+        "checkpoint must fail under ENOSPC"
+    );
+    faults::arm(Site::CkptRename, Arm::new(Action::Err).times(1));
+    assert!(
+        node.checkpoint().is_err(),
+        "checkpoint must fail on rename error"
+    );
+    faults::disarm_all();
+
+    // The failed checkpoints did not poison the node: writes still land,
+    // and the retained WAL still covers everything.
+    let local = node.as_local().unwrap();
+    assert!(
+        !local.is_degraded(),
+        "a checkpoint failure must not degrade"
+    );
+    assert!(put_slot(&c, 6, 306).unwrap());
+    assert!(
+        node.checkpoint().unwrap(),
+        "clean checkpoint after the fault"
+    );
+
+    c.crash_and_recover(MemNodeId(0));
+    for s in 0..7 {
+        assert_eq!(read_slot(&c, s), 300 + s, "slot {s} lost across ckpt fault");
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------
+
+fn obs_counter(c: &SinfoniaCluster, name: &str) -> u64 {
+    c.obs()
+        .registry
+        .snapshot()
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// An already-expired deadline fails fast with the typed error before
+/// any RPC reaches the server, and bumps the `deadline.exceeded`
+/// counter.
+#[test]
+fn expired_deadline_fails_fast_before_any_rpc() {
+    let _g = faults::test_guard();
+    let node = Arc::new(MemNode::new(MemNodeId(0), CAPACITY));
+    let ep = Endpoint::Unix(common::socket_path("fi-deadline"));
+    let _server = MemNodeServer::spawn(node.clone(), &ep, ServerOptions::default()).unwrap();
+    let c = SinfoniaCluster::new(
+        ClusterConfig {
+            capacity_per_node: CAPACITY,
+            ..ClusterConfig::with_memnodes(1)
+        }
+        .with_wire_transport(vec![ep], WireConfig::default()),
+    );
+    assert!(put_slot(&c, 0, 1).unwrap()); // warm the connection pool
+
+    let commits_before = node.node_stats().single_commits;
+    let exceeded_before = obs_counter(&c, "deadline.exceeded");
+    let scope = OpDeadline::at(Instant::now() - Duration::from_millis(1)).enter();
+    let start = Instant::now();
+    let err = put_slot(&c, 1, 2).unwrap_err();
+    let elapsed = start.elapsed();
+    drop(scope);
+
+    assert!(matches!(err, SinfoniaError::DeadlineExceeded), "got {err}");
+    assert!(
+        elapsed < Duration::from_millis(50),
+        "expired deadline did not fail fast ({elapsed:?})"
+    );
+    assert_eq!(
+        node.node_stats().single_commits,
+        commits_before,
+        "an RPC reached the server despite the expired deadline"
+    );
+    assert!(
+        obs_counter(&c, "deadline.exceeded") > exceeded_before,
+        "deadline.exceeded counter did not move"
+    );
+}
+
+/// A deadline inside the unavailable-retry loop cuts the retries off at
+/// the budget with the typed error, instead of burning the full retry
+/// allowance against a dark node.
+#[test]
+fn deadline_bounds_unavailable_retry() {
+    let _g = faults::test_guard();
+    let c = SinfoniaCluster::new(ClusterConfig {
+        capacity_per_node: CAPACITY,
+        ..ClusterConfig::with_memnodes(1)
+    });
+    c.crash(MemNodeId(0)); // dark, and staying dark
+
+    let budget = Duration::from_millis(250);
+    let scope = OpDeadline::after(budget).enter();
+    let start = Instant::now();
+    let err = put_slot(&c, 0, 1).unwrap_err();
+    let elapsed = start.elapsed();
+    drop(scope);
+
+    assert!(matches!(err, SinfoniaError::DeadlineExceeded), "got {err}");
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "retry loop ignored the deadline ({elapsed:?})"
+    );
+}
+
+/// `wait_replicated` honors the ambient deadline: a caller with a 100ms
+/// budget never waits out the full replication timeout.
+#[test]
+fn deadline_caps_wait_replicated() {
+    let _g = faults::test_guard();
+    let (dir, c) = durable_cluster("fi-wait-repl", 1, SyncMode::Async);
+    let scope = OpDeadline::after(Duration::from_millis(100)).enter();
+    let start = Instant::now();
+    let reached = c.wait_replicated(&[u64::MAX], Duration::from_secs(30));
+    let elapsed = start.elapsed();
+    drop(scope);
+
+    assert!(!reached, "an unreachable token cannot be reached");
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "wait_replicated ignored the deadline cap ({elapsed:?})"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Dispatch faults, breaker observability, admin RPC
+// ---------------------------------------------------------------------
+
+fn wire_remote(
+    tag: &str,
+    wire: WireConfig,
+) -> (Arc<MemNode>, MemNodeServer, RemoteNode, Arc<ObsPlane>) {
+    let node = Arc::new(MemNode::new(MemNodeId(0), CAPACITY));
+    let ep = Endpoint::Unix(common::socket_path(tag));
+    let server = MemNodeServer::spawn(node.clone(), &ep, ServerOptions::default()).unwrap();
+    let plane = ObsPlane::new(&ObsConfig::default());
+    let transport = Arc::new(Transport::new_wire(Duration::ZERO, None).with_obs(plane.clone()));
+    let remote = RemoteNode::new(MemNodeId(0), ep, wire, transport);
+    (node, server, remote, plane)
+}
+
+/// `rpc.dispatch=err:tag=T:skip=N` fails exactly the (N+1)th call of the
+/// tagged RPC kind, leaving every other kind untouched.
+#[test]
+fn rpc_dispatch_fails_the_nth_tagged_call() {
+    let _g = faults::test_guard();
+    let (_node, _server, remote, _plane) = wire_remote("fi-nth", WireConfig::default());
+
+    assert!(remote.raw_write(0, &7u64.to_le_bytes()).is_ok());
+    faults::arm(
+        Site::RpcDispatch,
+        Arm::new(Action::Err)
+            .on_tag(tag::RAW_READ)
+            .after(2)
+            .times(1),
+    );
+    // Calls 1 and 2 pass through, call 3 fails, call 4 heals (self-disarmed).
+    assert!(
+        remote.raw_read(0, 8).is_ok(),
+        "skip window must pass through"
+    );
+    assert!(
+        remote.raw_read(0, 8).is_ok(),
+        "skip window must pass through"
+    );
+    assert!(remote.raw_read(0, 8).is_err(), "the 3rd call must fail");
+    assert!(remote.raw_read(0, 8).is_ok(), "count=1 must self-disarm");
+    // A different RPC kind never matched the tag.
+    assert!(remote.raw_write(8, &8u64.to_le_bytes()).is_ok());
+}
+
+fn plane_counter(plane: &ObsPlane, name: &str) -> u64 {
+    plane
+        .registry
+        .snapshot()
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// The circuit breaker's life cycle — open on first failure, fail-fast
+/// rejections inside the window, a half-open probe after it, close on
+/// the first success — is visible as counters in the transport's obs
+/// registry.
+#[test]
+fn breaker_transitions_surface_in_obs_registry() {
+    let _g = faults::test_guard();
+    let wire = WireConfig {
+        request_timeout: Duration::from_millis(100),
+        connect_timeout: Duration::from_millis(100),
+        backoff_base: Duration::from_millis(30),
+        backoff_cap: Duration::from_millis(60),
+        ..WireConfig::default()
+    };
+    let (node, server, remote, plane) = wire_remote("fi-breaker", wire);
+    assert!(remote.raw_read(0, 8).is_ok());
+    let ep = server.endpoint().clone();
+
+    // The server dies: the first real failure opens the breaker.
+    server.kill();
+    drop(server);
+    assert!(remote.raw_read(0, 8).is_err());
+    assert_eq!(plane_counter(&plane, "wire.breaker.open"), 1);
+
+    // Requests inside the backoff window are rejected without dialing.
+    for _ in 0..3 {
+        assert!(remote.raw_read(0, 8).is_err());
+    }
+    assert!(
+        plane_counter(&plane, "wire.breaker.fail_fast") >= 3,
+        "fail-fast rejections not counted"
+    );
+
+    // Past the window: a half-open probe dials (and fails again — the
+    // already-open episode must not be double-counted).
+    std::thread::sleep(remote.backoff_delay() + Duration::from_millis(10));
+    assert!(remote.raw_read(0, 8).is_err());
+    assert!(plane_counter(&plane, "wire.breaker.half_open") >= 1);
+    assert_eq!(
+        plane_counter(&plane, "wire.breaker.open"),
+        1,
+        "one outage must count as one open episode"
+    );
+
+    // The server returns; the next probe succeeds and closes the breaker.
+    let server2 = MemNodeServer::spawn(node, &ep, ServerOptions::default()).unwrap();
+    std::thread::sleep(remote.backoff_delay() + Duration::from_millis(10));
+    assert!(remote.raw_read(0, 8).is_ok());
+    assert_eq!(plane_counter(&plane, "wire.breaker.close"), 1);
+    drop(server2);
+}
+
+/// The `Faults` admin RPC arms and clears the *remote* registry through
+/// the wire, with the same all-or-nothing spec semantics as the local
+/// API.
+#[test]
+fn faults_admin_rpc_arms_remote_registry() {
+    let _g = faults::test_guard();
+    let (_node, _server, remote, _plane) = wire_remote("fi-admin", WireConfig::default());
+
+    let spec = format!("rpc.dispatch=err:tag={}:count=1", tag::RAW_READ);
+    assert_eq!(remote.apply_faults(&spec).unwrap(), 1);
+    assert!(remote.raw_read(0, 8).is_err(), "armed fault must fire once");
+    assert!(remote.raw_read(0, 8).is_ok(), "count=1 must self-disarm");
+
+    assert_eq!(remote.apply_faults("wal.fsync=delay:arg=1").unwrap(), 1);
+    assert_eq!(
+        faults::armed_count(),
+        1,
+        "server shares this process's registry"
+    );
+    assert_eq!(remote.apply_faults("clear").unwrap(), 0);
+    assert_eq!(faults::armed_count(), 0);
+
+    // A malformed spec is rejected atomically: an error reply, nothing
+    // armed.
+    assert!(remote.apply_faults("bogus.site=err").is_err());
+    assert_eq!(faults::armed_count(), 0);
+}

@@ -201,6 +201,9 @@ fn arb_request() -> impl Strategy<Value = Request> {
             frames,
         }),
         Just(Request::ReplStatus),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(|v| Request::Faults {
+            spec: v.iter().map(|b| (b'a' + b % 26) as char).collect(),
+        }),
     ]
 }
 
@@ -260,6 +263,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     dup_skips: dup_skips as u64,
                 }
             }),
+        any::<u32>().prop_map(|armed| Response::Faults { armed }),
     ]
 }
 
